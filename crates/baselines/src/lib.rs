@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # bpmf-baselines — ALS and SGD matrix factorization
+//!
+//! The paper's introduction names three popular low-rank factorization
+//! algorithms: alternating least squares (ALS, its reference \[2\] — Zhou,
+//! Wilkinson, Schreiber & Pan's ALS-WR from the Netflix prize), stochastic
+//! gradient descent (SGD, reference \[3\] — Koren, Bell & Volinsky), and
+//! BPMF itself. BPMF is chosen *despite* being the most expensive because
+//! it needs no regularization cross-validation and yields uncertainty; the
+//! other two are the baselines any evaluation of that trade-off needs.
+//!
+//! This crate implements both from scratch on the same substrates the BPMF
+//! sampler uses (`bpmf-linalg` for the per-item normal equations,
+//! `bpmf-sched` for parallel sweeps):
+//!
+//! * [`AlsTrainer`] — ALS with weighted-λ regularization (ALS-WR): each
+//!   half-sweep solves one ridge system per item via Cholesky, exactly once
+//!   per item, parallelized with any [`bpmf_sched::ItemRunner`];
+//! * [`SgdTrainer`] — biased SGD with inverse-time learning-rate decay,
+//!   plus a *stratified* parallel mode (the diagonal-strata scheme of
+//!   Gemulla et al.'s distributed SGD) whose block schedule guarantees two
+//!   workers never touch the same user or movie row concurrently;
+//! * [`MfModel`] — the factor model both trainers produce, with prediction
+//!   and RMSE evaluation shared with the BPMF reports.
+//!
+//! Both trainers model residuals around the training global mean, like the
+//! BPMF sampler, so RMSE curves are directly comparable.
+//!
+//! ```
+//! use bpmf_baselines::{AlsConfig, AlsTrainer};
+//! use bpmf_sparse::{Coo, Csr};
+//!
+//! let mut coo = Coo::new(3, 3);
+//! for (u, m, r) in [(0, 0, 4.0), (0, 1, 3.0), (1, 1, 5.0), (2, 2, 1.0), (1, 0, 4.5)] {
+//!     coo.push(u, m, r);
+//! }
+//! let r = Csr::from_coo_owned(coo);
+//! let rt = r.transpose();
+//! let cfg = AlsConfig { num_latent: 2, sweeps: 10, ..Default::default() };
+//! let runner = bpmf_sched::StaticPool::new(1);
+//! let model = AlsTrainer::new(cfg, &r, &rt).train(&runner);
+//! assert!(model.predict(0, 0).is_finite());
+//! ```
+
+mod als;
+mod metrics;
+mod model;
+mod ranking;
+mod sgd;
+
+pub use als::{AlsConfig, AlsTrainer};
+pub use metrics::{mae, rmse};
+pub use model::MfModel;
+pub use ranking::{evaluate_ranking, RankingReport};
+pub use sgd::{SgdConfig, SgdTrainer};

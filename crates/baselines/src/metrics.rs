@@ -1,0 +1,57 @@
+//! Shared evaluation metrics.
+
+/// Root mean square error of `predict` over `(user, movie, rating)` triples
+/// — the metric every experiment in the paper reports (§V-B). Returns `NaN`
+/// on an empty test set, which poisons downstream comparisons instead of
+/// silently claiming perfection.
+pub fn rmse(test: &[(u32, u32, f64)], mut predict: impl FnMut(usize, usize) -> f64) -> f64 {
+    if test.is_empty() {
+        return f64::NAN;
+    }
+    let sse: f64 = test
+        .iter()
+        .map(|&(u, m, r)| {
+            let e = predict(u as usize, m as usize) - r;
+            e * e
+        })
+        .sum();
+    (sse / test.len() as f64).sqrt()
+}
+
+/// Mean absolute error over the same triples (a secondary accuracy metric,
+/// less sensitive to outliers than RMSE).
+pub fn mae(test: &[(u32, u32, f64)], mut predict: impl FnMut(usize, usize) -> f64) -> f64 {
+    if test.is_empty() {
+        return f64::NAN;
+    }
+    let sae: f64 = test.iter().map(|&(u, m, r)| (predict(u as usize, m as usize) - r).abs()).sum();
+    sae / test.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_constant_error_is_that_error() {
+        let test = vec![(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)];
+        let r = rmse(&test, |u, _| test[u].2 + 0.5);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_dominated_by_large_errors() {
+        let test = vec![(0, 0, 0.0), (1, 0, 0.0)];
+        let r = rmse(&test, |u, _| if u == 0 { 0.0 } else { 2.0 });
+        let m = mae(&test, |u, _| if u == 0 { 0.0 } else { 2.0 });
+        assert!((r - (2.0f64).sqrt()).abs() < 1e-12);
+        assert!((m - 1.0).abs() < 1e-12);
+        assert!(r > m, "rmse must weight the outlier more than mae");
+    }
+
+    #[test]
+    fn empty_test_set_is_nan_not_zero() {
+        assert!(rmse(&[], |_, _| 0.0).is_nan());
+        assert!(mae(&[], |_, _| 0.0).is_nan());
+    }
+}

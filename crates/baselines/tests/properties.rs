@@ -1,0 +1,147 @@
+//! Property-based tests of the baseline trainers: invariants that must hold
+//! for *any* small rating matrix, not just the fixtures.
+
+use bpmf_baselines::{AlsConfig, AlsTrainer, MfModel, SgdConfig, SgdTrainer};
+use bpmf_linalg::Mat;
+use bpmf_sched::StaticPool;
+use bpmf_sparse::{Coo, Csr};
+use proptest::prelude::*;
+
+/// Arbitrary small rating matrix: dims in [1, 12], up to 40 ratings with
+/// values in a plausible star range.
+fn arb_ratings() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(nrows, ncols)| {
+        let entry = (0..nrows, 0..ncols, 0.5f64..5.0);
+        proptest::collection::vec(entry, 0..40)
+            .prop_map(move |entries| (nrows, ncols, entries))
+    })
+}
+
+fn to_csr(nrows: usize, ncols: usize, entries: &[(usize, usize, f64)]) -> Csr {
+    let mut coo = Coo::new(nrows, ncols);
+    let mut seen = std::collections::HashSet::new();
+    for &(i, j, v) in entries {
+        // Deduplicate coordinates: rating matrices have one value per cell.
+        if seen.insert((i, j)) {
+            coo.push(i, j, v);
+        }
+    }
+    Csr::from_coo_owned(coo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ALS coordinate descent can never increase its own objective.
+    #[test]
+    fn als_objective_never_increases((nrows, ncols, entries) in arb_ratings()) {
+        let r = to_csr(nrows, ncols, &entries);
+        let rt = r.transpose();
+        let cfg = AlsConfig { num_latent: 3, sweeps: 0, lambda: 0.1, ..Default::default() };
+        let runner = StaticPool::new(1);
+        let mut t = AlsTrainer::new(cfg, &r, &rt);
+        let mut prev = t.objective();
+        prop_assert!(prev.is_finite());
+        for _ in 0..4 {
+            t.sweep(&runner);
+            let now = t.objective();
+            prop_assert!(now.is_finite());
+            prop_assert!(now <= prev + 1e-7, "objective rose: {prev} -> {now}");
+            prev = now;
+        }
+    }
+
+    /// ALS is deterministic in the thread count: a parallel sweep must be
+    /// bit-identical to a serial one (items are independent).
+    #[test]
+    fn als_is_thread_count_invariant((nrows, ncols, entries) in arb_ratings()) {
+        let r = to_csr(nrows, ncols, &entries);
+        let rt = r.transpose();
+        let cfg = AlsConfig { num_latent: 2, sweeps: 3, ..Default::default() };
+        let a = AlsTrainer::new(cfg.clone(), &r, &rt).train(&StaticPool::new(1));
+        let b = AlsTrainer::new(cfg, &r, &rt).train(&StaticPool::new(3));
+        prop_assert_eq!(a.user_factors.max_abs_diff(&b.user_factors), 0.0);
+        prop_assert_eq!(a.movie_factors.max_abs_diff(&b.movie_factors), 0.0);
+    }
+
+    /// Whatever the data, trained models predict finite values everywhere
+    /// (no NaN poisoning from empty rows, single ratings, etc.).
+    #[test]
+    fn trained_models_predict_finite_values((nrows, ncols, entries) in arb_ratings()) {
+        let r = to_csr(nrows, ncols, &entries);
+        let rt = r.transpose();
+        let als = AlsTrainer::new(
+            AlsConfig { num_latent: 2, sweeps: 3, ..Default::default() },
+            &r,
+            &rt,
+        )
+        .train(&StaticPool::new(1));
+        let sgd = SgdTrainer::new(
+            SgdConfig { num_latent: 2, epochs: 3, ..Default::default() },
+            &r,
+        )
+        .train();
+        for i in 0..nrows {
+            for j in 0..ncols {
+                prop_assert!(als.predict(i, j).is_finite());
+                prop_assert!(sgd.predict(i, j).is_finite());
+            }
+        }
+    }
+
+    /// SGD with a clip always honors the rating scale.
+    #[test]
+    fn clipped_predictions_stay_in_range((nrows, ncols, entries) in arb_ratings()) {
+        let r = to_csr(nrows, ncols, &entries);
+        let cfg = SgdConfig {
+            num_latent: 2,
+            epochs: 2,
+            clip: Some((0.5, 5.0)),
+            ..Default::default()
+        };
+        let model = SgdTrainer::new(cfg, &r).train();
+        for i in 0..nrows {
+            for j in 0..ncols {
+                let p = model.predict(i, j);
+                prop_assert!((0.5..=5.0).contains(&p), "clip violated: {p}");
+            }
+        }
+    }
+
+    /// Stratified SGD partitions every rating into exactly one block per
+    /// epoch: one epoch with any worker count consumes each rating once,
+    /// so the epoch counter and the parameters always advance the same way
+    /// (weaker than bit-equality, which shuffling forbids).
+    #[test]
+    fn stratified_epoch_advances_for_any_worker_count(
+        (nrows, ncols, entries) in arb_ratings(),
+        threads in 1usize..5,
+    ) {
+        let r = to_csr(nrows, ncols, &entries);
+        let cfg = SgdConfig { num_latent: 2, epochs: 0, ..Default::default() };
+        let mut t = SgdTrainer::new(cfg, &r);
+        let before = t.train_rmse();
+        t.epoch_stratified(threads);
+        prop_assert_eq!(t.epochs_done(), 1);
+        let after = t.train_rmse();
+        // Either there were no ratings (RMSE NaN in both) or it stays finite.
+        if r.nnz() == 0 {
+            prop_assert!(before.is_nan() && after.is_nan());
+        } else {
+            prop_assert!(after.is_finite());
+        }
+    }
+
+    /// The shared model wrapper: biases of the right length are honored,
+    /// empty biases mean zero.
+    #[test]
+    fn model_bias_semantics(mean in -2.0f64..2.0, bu in -1.0f64..1.0, bm in -1.0f64..1.0) {
+        let u = Mat::zeros(2, 2);
+        let v = Mat::zeros(3, 2);
+        let mut model = MfModel::new(u, v, mean);
+        prop_assert_eq!(model.predict(0, 0), mean);
+        model.user_bias = vec![bu; 2];
+        model.movie_bias = vec![bm; 3];
+        prop_assert!((model.predict(1, 2) - (mean + bu + bm)).abs() < 1e-15);
+    }
+}

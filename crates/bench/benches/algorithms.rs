@@ -1,0 +1,62 @@
+//! Criterion benchmark: the per-pass cost of the three factorization
+//! algorithms the paper's introduction compares (§I). One BPMF Gibbs
+//! iteration does strictly more work than one ALS sweep (same K×K solves
+//! plus hyperparameter sampling and noise), and SGD's pass is the
+//! cheapest — the measured ordering SGD < ALS < BPMF is the quantitative
+//! footing under "BPMF is more computational intensive".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf_baselines::{AlsConfig, AlsTrainer, SgdConfig, SgdTrainer};
+use bpmf_dataset::chembl_like;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let ds = chembl_like(0.003, 8);
+    let k = 16;
+    let mut group = c.benchmark_group("algorithm-pass");
+    group.sample_size(10);
+
+    group.bench_function("als-sweep", |b| {
+        let cfg = AlsConfig { num_latent: k, sweeps: 0, ..Default::default() };
+        let runner = EngineKind::WorkStealing.build(2);
+        let mut trainer = AlsTrainer::new(cfg, &ds.train, &ds.train_t);
+        b.iter(|| {
+            trainer.sweep(runner.as_ref());
+            black_box(trainer.sweeps_done())
+        });
+    });
+
+    group.bench_function("sgd-epoch", |b| {
+        let cfg = SgdConfig { num_latent: k, epochs: 0, ..Default::default() };
+        let mut trainer = SgdTrainer::new(cfg, &ds.train);
+        b.iter(|| {
+            trainer.epoch();
+            black_box(trainer.epochs_done())
+        });
+    });
+
+    group.bench_function("sgd-epoch-stratified-x2", |b| {
+        let cfg = SgdConfig { num_latent: k, epochs: 0, ..Default::default() };
+        let mut trainer = SgdTrainer::new(cfg, &ds.train);
+        b.iter(|| {
+            trainer.epoch_stratified(2);
+            black_box(trainer.epochs_done())
+        });
+    });
+
+    group.bench_function("bpmf-gibbs-iteration", |b| {
+        let cfg =
+            BpmfConfig { num_latent: k, seed: 1, kernel_threads: 1, ..Default::default() };
+        let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+        let runner = EngineKind::WorkStealing.build(2);
+        let mut sampler = GibbsSampler::new(cfg, data);
+        b.iter(|| black_box(sampler.step(runner.as_ref())));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion end-to-end benchmark: one full Gibbs iteration per runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf_dataset::chembl_like;
+
+fn bench_iteration(c: &mut Criterion) {
+    let ds = chembl_like(0.003, 8);
+    let mut group = c.benchmark_group("gibbs-iteration");
+    group.sample_size(10);
+
+    for kind in EngineKind::all() {
+        let runner = kind.build(2);
+        group.bench_with_input(
+            BenchmarkId::new(runner.name(), format!("{}nnz", ds.nnz())),
+            &ds,
+            |b, ds| {
+                let cfg = BpmfConfig {
+                    num_latent: 16,
+                    seed: 1,
+                    kernel_threads: 1,
+                    ..Default::default()
+                };
+                let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+                let mut sampler = GibbsSampler::new(cfg, data);
+                b.iter(|| black_box(sampler.step(runner.as_ref())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

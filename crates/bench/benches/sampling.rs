@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the statistical sampling substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bpmf_linalg::{Cholesky, Mat};
+use bpmf_stats::{
+    chi_squared, gamma, sample_mvn_from_precision, sample_wishart, standard_normal, NormalWishart,
+    SuffStats, Xoshiro256pp,
+};
+
+fn bench_scalar_draws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar-draws");
+    group.sample_size(50);
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    group.bench_function("u64", |b| b.iter(|| black_box(rng.next_u64())));
+    group.bench_function("normal", |b| b.iter(|| black_box(standard_normal(&mut rng))));
+    group.bench_function("gamma(8.5)", |b| b.iter(|| black_box(gamma(&mut rng, 8.5, 1.0))));
+    group.bench_function("chi2(16)", |b| b.iter(|| black_box(chi_squared(&mut rng, 16.0))));
+    group.finish();
+}
+
+fn bench_matrix_draws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix-draws");
+    group.sample_size(30);
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    for &k in &[16usize, 32] {
+        let chol = Cholesky::factor(&Mat::identity(k)).unwrap();
+        group.bench_with_input(BenchmarkId::new("wishart", k), &k, |b, &k| {
+            b.iter(|| black_box(sample_wishart(&mut rng, &chol, k as f64 + 2.0)))
+        });
+        let mean = vec![0.0; k];
+        let mut out = vec![0.0; k];
+        group.bench_with_input(BenchmarkId::new("mvn_precision", k), &k, |b, _| {
+            b.iter(|| {
+                sample_mvn_from_precision(&mut rng, &mean, &chol, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_normal_wishart_posterior(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normal-wishart");
+    group.sample_size(30);
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    for &k in &[16usize, 32] {
+        let items = Mat::from_fn(5000, k, |_, _| standard_normal(&mut rng));
+        let prior = NormalWishart::default_for_dim(k);
+        group.bench_with_input(BenchmarkId::new("stats+posterior+sample", k), &k, |b, _| {
+            b.iter(|| {
+                let stats = SuffStats::from_rows(&items);
+                let post = prior.posterior(&stats);
+                black_box(post.sample(&mut rng));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scalar_draws,
+    bench_matrix_draws,
+    bench_normal_wishart_posterior
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **Ablation** — the send-buffer size of §IV-C.
+//!
+//! The paper: "the overhead of calling these routines is too much to
+//! individually send each item ... we store items that need to be sent in a
+//! temporary buffer and only send when the buffer is full." This harness
+//! sweeps the buffer size on the real distributed driver under a synthetic
+//! network model and reports throughput and message counts.
+//!
+//! Usage: `cargo run -p bpmf-bench --release --bin ablation_buffer`
+
+use bpmf::distributed::{run_rank, DistConfig};
+use bpmf::BpmfConfig;
+use bpmf_bench::table::{si, Table};
+use bpmf_dataset::movielens_like;
+use bpmf_mpisim::{NetModel, Universe};
+
+fn main() {
+    let scale = bpmf_bench::env_scale("BPMF_SCALE", 0.004);
+    let ds = movielens_like(scale, 55);
+    let ranks = 4;
+    println!(
+        "Ablation: send-buffer size on {} ({} x {}, {} ratings), {} ranks, test network model",
+        ds.name,
+        ds.nrows(),
+        ds.ncols(),
+        ds.nnz(),
+        ranks
+    );
+
+    let mut table = Table::new(["buffer (items)", "items/s", "messages", "bytes", "final RMSE"]);
+    #[derive(serde::Serialize)]
+    struct Row {
+        buffer_items: usize,
+        items_per_sec: f64,
+        messages: u64,
+        bytes: u64,
+    }
+    let mut artifact = Vec::new();
+
+    for &buffer in &[1usize, 4, 16, 64, 256] {
+        let cfg = DistConfig {
+            base: BpmfConfig {
+                num_latent: 16,
+                burnin: 2,
+                samples: 4,
+                seed: 21,
+                kernel_threads: 1,
+                ..Default::default()
+            },
+            send_buffer_items: buffer,
+            ..Default::default()
+        };
+        let out = Universe::run(ranks, Some(NetModel::test_cluster()), |comm| {
+            run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &cfg)
+        });
+        let msgs: u64 = out.iter().map(|o| o.msgs_sent).sum();
+        let bytes: u64 = out.iter().map(|o| o.bytes_sent).sum();
+        table.row([
+            buffer.to_string(),
+            format!("{}/s", si(out[0].items_per_sec)),
+            si(msgs as f64),
+            si(bytes as f64),
+            format!("{:.4}", out[0].final_rmse()),
+        ]);
+        artifact.push(Row { buffer_items: buffer, items_per_sec: out[0].items_per_sec, messages: msgs, bytes });
+    }
+
+    table.print("Ablation — send-buffer size (paper: buffered sends are essential)");
+    println!("\nExpect: messages drop ~linearly with buffer size; throughput climbs then flattens;");
+    println!("RMSE is unaffected (buffering changes timing, not values).");
+    bpmf_bench::write_json("ablation_buffer", &artifact);
+}

@@ -1,0 +1,159 @@
+//! **Figure 4** — distributed BPMF strong scaling on MovieLens: items/s and
+//! parallel efficiency versus node count (16 cores per node on the paper's
+//! BlueGene/Q).
+//!
+//! Two parts:
+//!
+//! 1. **Live runs** of the real distributed driver (`bpmf::distributed`)
+//!    over the in-process message-passing runtime with a synthetic network
+//!    model — small rank counts, real messages, real async protocol.
+//! 2. **Calibrated extrapolation** of the *same schedule* (identical
+//!    partitioner and communication plan) on the BlueGene/Q-like simulator
+//!    to 1–1024 nodes. Expected shape (paper): super-linear efficiency up to
+//!    32 nodes (one rack; cache effects), degradation beyond one rack
+//!    (shared uplinks).
+//!
+//! Usage: `cargo run -p bpmf-bench --release --bin fig4_strong_scaling`
+//! (`BPMF_FIG4_SCALE` resizes the MovieLens-like workload for the
+//! simulator part, default 0.1; `BPMF_SCALE` the live part, default 0.005).
+
+use bpmf::distributed::{run_rank, DistConfig};
+use bpmf::BpmfConfig;
+use bpmf_bench::calibrate::calibrate;
+use bpmf_bench::table::{pct, si, Table};
+use bpmf_cluster_sim::{phase_loads, simulate_iteration, ComputeModel, Topology};
+use bpmf_dataset::movielens_like;
+use bpmf_mpisim::{NetModel, Universe};
+
+fn main() {
+    live_part();
+    simulated_part();
+}
+
+fn live_part() {
+    let scale = bpmf_bench::env_scale("BPMF_SCALE", 0.005);
+    let ds = movielens_like(scale, 2016);
+    println!(
+        "Figure 4 reproduction — live part: {} users x {} movies, {} ratings, ranks on the in-process MPI runtime",
+        ds.nrows(),
+        ds.ncols(),
+        ds.nnz()
+    );
+
+    let mut table = Table::new(["#ranks", "items/s", "efficiency", "bytes sent", "final RMSE"]);
+    let mut base_ips = None;
+    #[derive(serde::Serialize)]
+    struct Row {
+        ranks: usize,
+        items_per_sec: f64,
+        efficiency: f64,
+    }
+    let mut artifact = Vec::new();
+
+    for ranks in [1usize, 2, 4] {
+        let cfg = DistConfig {
+            base: BpmfConfig {
+                num_latent: 16,
+                burnin: 2,
+                samples: 4,
+                seed: 11,
+                kernel_threads: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = Universe::run(ranks, Some(NetModel::test_cluster()), |comm| {
+            run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &cfg)
+        });
+        let ips = out[0].items_per_sec;
+        let base = *base_ips.get_or_insert(ips);
+        let eff = ips / (base * ranks as f64);
+        let bytes: u64 = out.iter().map(|o| o.bytes_sent).sum();
+        table.row([
+            ranks.to_string(),
+            format!("{}/s", si(ips)),
+            pct(eff),
+            si(bytes as f64),
+            format!("{:.4}", out[0].final_rmse()),
+        ]);
+        artifact.push(Row { ranks, items_per_sec: ips, efficiency: eff });
+    }
+    table.print("Fig. 4 (live, in-process ranks) — oversubscribed on this host; shape only");
+    bpmf_bench::write_json("fig4_live", &artifact);
+}
+
+fn simulated_part() {
+    let scale = bpmf_bench::env_scale("BPMF_FIG4_SCALE", 1.0);
+    println!("\nFigure 4 reproduction — BlueGene/Q-like simulation (MovieLens-like scale {scale})");
+    let ds = movielens_like(scale, 2016);
+    println!(
+        "  workload: {} users x {} movies, {} ratings; calibrating kernel costs on this host...",
+        ds.nrows(),
+        ds.ncols(),
+        ds.nnz()
+    );
+    // Host calibration is reported for the record, but the machine model
+    // charges BG/Q-era per-core costs: mixing this host's (much faster)
+    // kernel times with BG/Q-era network constants would skew the
+    // compute/communication ratio and distort the figure.
+    let host = calibrate(16);
+    println!(
+        "  host kernel calibration (for reference): {:.1} ns/rating, {:.2} µs/item",
+        host.seconds_per_rating * 1e9,
+        host.seconds_per_item * 1e6
+    );
+    let model = ComputeModel::default_calibration();
+    println!(
+        "  machine model charges BG/Q-era costs: {:.1} ns/rating, {:.2} µs/item",
+        model.seconds_per_rating * 1e9,
+        model.seconds_per_item * 1e6
+    );
+    // The super-linear region exists only when the 1-node working set
+    // spills the cache (as the real ml-20m does); warn when a scaled-down
+    // run cannot show it.
+    let one_node_ws = ((ds.nrows() + ds.ncols()) * 16 * 8 + ds.nnz() * 12) as f64;
+    if one_node_ws <= model.cache_bytes {
+        println!(
+            "  note: working set ({:.0} MB) fits one node's cache — the cache-driven",
+            one_node_ws / 1e6
+        );
+        println!("  super-linear region will not appear; use BPMF_FIG4_SCALE=1 for full fidelity.");
+    }
+    println!(
+        "  calibration: {:.1} ns/rating, {:.2} µs/item",
+        model.seconds_per_rating * 1e9,
+        model.seconds_per_item * 1e6
+    );
+    let topo = Topology::bluegene_q_like();
+
+    let mut table = Table::new(["#cores", "#nodes", "items/s", "parallel efficiency", "inter-rack msgs"]);
+    let mut base: Option<f64> = None;
+    #[derive(serde::Serialize)]
+    struct Row {
+        nodes: usize,
+        cores: usize,
+        items_per_sec: f64,
+        efficiency: f64,
+    }
+    let mut artifact = Vec::new();
+
+    for p in 0..=10 {
+        let nodes = 1usize << p;
+        let phases = phase_loads(&ds.train, &ds.train_t, nodes, 16);
+        let res = simulate_iteration(&topo, &model, &phases, 64);
+        let ips = res.items_per_sec;
+        let t1 = *base.get_or_insert(ips);
+        let eff = ips / (t1 * nodes as f64);
+        table.row([
+            (nodes * topo.cores_per_node).to_string(),
+            nodes.to_string(),
+            format!("{}/s", si(ips)),
+            pct(eff),
+            res.inter_rack_messages.to_string(),
+        ]);
+        artifact.push(Row { nodes, cores: nodes * topo.cores_per_node, items_per_sec: ips, efficiency: eff });
+    }
+
+    table.print("Fig. 4 (simulated BG/Q) — expect super-linear ≤ 32 nodes, degradation beyond one rack");
+    bpmf_bench::write_json("fig4_simulated", &artifact);
+}

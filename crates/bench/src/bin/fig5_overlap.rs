@@ -1,0 +1,90 @@
+//! **Figure 5** — fraction of wall time each rank spends computing,
+//! communicating, and doing *both* (computation overlapped with in-flight
+//! communication), versus node count.
+//!
+//! Paper shape: at small scale, most communication hides under computation
+//! ("both" is a visible share and blocked "communicate" time is small); at
+//! large core counts the overlap stops helping and blocked communication
+//! dominates.
+//!
+//! Live ranks measure the real driver's accounting; the simulator extends
+//! the axis to the paper's 2048-core range.
+//!
+//! Usage: `cargo run -p bpmf-bench --release --bin fig5_overlap`
+
+use bpmf::distributed::{run_rank, DistConfig};
+use bpmf::BpmfConfig;
+use bpmf_bench::table::{pct, Table};
+use bpmf_cluster_sim::{phase_loads, simulate_iteration, ComputeModel, Topology};
+use bpmf_dataset::movielens_like;
+use bpmf_mpisim::{NetModel, Universe};
+
+fn main() {
+    let scale = bpmf_bench::env_scale("BPMF_SCALE", 0.005);
+    let ds = movielens_like(scale, 2016);
+    println!(
+        "Figure 5 reproduction: compute / both / communicate split ({} users x {} movies, {} ratings)",
+        ds.nrows(),
+        ds.ncols(),
+        ds.nnz()
+    );
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        label: String,
+        compute: f64,
+        both: f64,
+        comm: f64,
+    }
+    let mut artifact = Vec::new();
+
+    // ---- live ranks ------------------------------------------------------
+    let mut live = Table::new(["#ranks", "compute", "both", "communicate"]);
+    for ranks in [1usize, 2, 4] {
+        let cfg = DistConfig {
+            base: BpmfConfig {
+                num_latent: 16,
+                burnin: 2,
+                samples: 4,
+                seed: 13,
+                kernel_threads: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = Universe::run(ranks, Some(NetModel::test_cluster()), |comm| {
+            run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &cfg)
+        });
+        let n = out.len() as f64;
+        let (c, b, m) = out.iter().fold((0.0, 0.0, 0.0), |acc, o| {
+            (acc.0 + o.compute_frac / n, acc.1 + o.both_frac / n, acc.2 + o.comm_frac / n)
+        });
+        live.row([ranks.to_string(), pct(c), pct(b), pct(m)]);
+        artifact.push(Row { label: format!("live-{ranks}"), compute: c, both: b, comm: m });
+    }
+    live.print("Fig. 5 (live, in-process ranks)");
+
+    // ---- simulated BG/Q axis --------------------------------------------
+    let sim_scale = bpmf_bench::env_scale("BPMF_FIG4_SCALE", 1.0);
+    let sim_ds = movielens_like(sim_scale, 2016);
+    // BG/Q-era compute constants, consistent with the fig4 harness.
+    let model = ComputeModel::default_calibration();
+    let topo = Topology::bluegene_q_like();
+    let mut sim = Table::new(["#cores", "#nodes", "compute", "both", "communicate"]);
+    for p in 0..=7 {
+        let nodes = 1usize << p;
+        let phases = phase_loads(&sim_ds.train, &sim_ds.train_t, nodes, 16);
+        let res = simulate_iteration(&topo, &model, &phases, 64);
+        let (c, b, m) = res.mean_fractions();
+        sim.row([
+            (nodes * topo.cores_per_node).to_string(),
+            nodes.to_string(),
+            pct(c),
+            pct(b),
+            pct(m),
+        ]);
+        artifact.push(Row { label: format!("sim-{nodes}"), compute: c, both: b, comm: m });
+    }
+    sim.print("Fig. 5 (simulated BG/Q) — expect 'communicate' to grow with core count");
+    bpmf_bench::write_json("fig5_overlap", &artifact);
+}

@@ -1,0 +1,35 @@
+//! Shared infrastructure for the figure/table harnesses.
+//!
+//! Each binary in this crate regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index). This library holds what they share:
+//! aligned table printing, the deliberately naive baseline sampler standing
+//! in for the authors' "initial Julia version", and host calibration of the
+//! cluster simulator's compute constants.
+
+pub mod calibrate;
+pub mod naive;
+pub mod table;
+
+use std::io::Write;
+
+/// Standard workload scales, overridable via environment so CI-sized boxes
+/// and workstations can both run the harnesses.
+pub fn env_scale(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Write a JSON result artifact under `target/bench-results/`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target/bench-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // read-only target dir: artifacts are best-effort
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap());
+        println!("  [artifact] {}", path.display());
+    }
+}

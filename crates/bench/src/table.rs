@@ -1,0 +1,129 @@
+//! Aligned text tables for harness output.
+//!
+//! Every harness prints the same rows/series the paper's figure reports, as
+//! a table (this reproduction has no plotting dependency). Output goes
+//! through one locked stdout handle per table, per the Rust Performance
+//! Book's I/O guidance.
+
+use std::io::Write;
+
+/// A simple right-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Print with a title banner.
+    pub fn print(&self, title: &str) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let _ = writeln!(out, "\n{title}");
+        let _ = writeln!(out, "{}", "=".repeat(title.len().max(total.min(100))));
+        let _ = write!(out, "|");
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(out, " {h:>w$} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|");
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "|");
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(out, " {cell:>w$} |");
+            }
+            let _ = writeln!(out);
+        }
+    }
+}
+
+/// Format with SI suffixes: `1234.5` → `"1.23k"`.
+pub fn si(x: f64) -> String {
+    let ax = x.abs();
+    if !x.is_finite() {
+        format!("{x}")
+    } else if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else if ax >= 1.0 || x == 0.0 {
+        format!("{x:.2}")
+    } else if ax >= 1e-3 {
+        format!("{:.2}m", x * 1e3)
+    } else if ax >= 1e-6 {
+        format!("{:.2}µ", x * 1e6)
+    } else {
+        format!("{:.2}n", x * 1e9)
+    }
+}
+
+/// Seconds, human formatted.
+pub fn dur(secs: f64) -> String {
+    if secs >= 60.0 {
+        format!("{:.1}min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
+/// Percentage with one decimal.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_formatting_covers_ranges() {
+        assert_eq!(si(0.0), "0.00");
+        assert_eq!(si(1234.5), "1.23k");
+        assert_eq!(si(2.5e6), "2.50M");
+        assert_eq!(si(3.2e-3), "3.20m");
+        assert_eq!(si(4.0e-7), "400.00n");
+    }
+
+    #[test]
+    fn dur_formatting() {
+        assert_eq!(dur(90.0), "1.5min");
+        assert_eq!(dur(2.5), "2.50s");
+        assert_eq!(dur(0.004), "4.00ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_are_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

@@ -1,0 +1,355 @@
+#![warn(missing_docs)]
+
+//! Argument parsing and output helpers for `bpmf-train`.
+//!
+//! Hand-rolled flag parsing (the dependency budget stays with the numeric
+//! crates); exposed as a library so the parsing rules are unit-testable.
+
+use std::fmt;
+use std::io::Write;
+
+use bpmf::EngineKind;
+use bpmf_linalg::Mat;
+
+/// Usage text.
+pub const USAGE: &str = "\
+bpmf-train — Bayesian Probabilistic Matrix Factorization trainer
+
+USAGE:
+  bpmf-train --train FILE.mtx [OPTIONS]
+
+OPTIONS:
+  --train FILE        MatrixMarket training ratings (required)
+  --test FILE         MatrixMarket held-out ratings (same dimensions)
+  --test-fraction F   split F of --train off as the test set [default 0.1]
+  --k N               latent dimension [default 16]
+  --burnin N          burn-in iterations [default 8]
+  --samples N         averaged sampling iterations [default 24]
+  --threads N         worker threads [default: all cores]
+  --engine NAME       ws | static | graphlab [default ws]
+  --seed N            RNG seed [default 42]
+  --save-factors PFX  write posterior-mean factors to PFX_{users,movies}.tsv
+  --user-features F   TSV of per-user features (Macau-style side info)
+  --lambda-beta X     link-matrix ridge when --user-features is set [default 1]
+  --checkpoint FILE   write a JSON checkpoint after the run (and every
+                      --checkpoint-every iterations)
+  --checkpoint-every N  periodic checkpoint interval [default: end only]
+  --resume FILE       continue an interrupted run from its checkpoint
+  --diagnostics       print ESS / autocorrelation-time summary of the
+                      sample-RMSE trace after the run
+  --help              show this text
+";
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Path to the MatrixMarket training ratings.
+    pub train: String,
+    /// Optional path to a held-out MatrixMarket test set.
+    pub test: Option<String>,
+    /// Fraction split off `train` when no test file is given.
+    pub test_fraction: f64,
+    /// Latent dimension K.
+    pub k: usize,
+    /// Burn-in iterations.
+    pub burnin: usize,
+    /// Averaged sampling iterations.
+    pub samples: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Shared-memory runtime.
+    pub engine: EngineKind,
+    /// RNG seed.
+    pub seed: u64,
+    /// Prefix for posterior-mean factor TSVs, if requested.
+    pub save_factors: Option<String>,
+    /// TSV of per-user features for Macau-style side information.
+    pub user_features: Option<String>,
+    /// Link-matrix ridge used with `--user-features`.
+    pub lambda_beta: f64,
+    /// Checkpoint file to write.
+    pub checkpoint: Option<String>,
+    /// Periodic checkpoint interval (`None` = only at the end).
+    pub checkpoint_every: Option<usize>,
+    /// Checkpoint file to resume from.
+    pub resume: Option<String>,
+    /// Print convergence diagnostics after the run.
+    pub diagnostics: bool,
+}
+
+/// CLI error with a human message.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl CliError {
+    /// Wrap a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CliError(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Parse arguments; `Ok(None)` means `--help` was requested.
+pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
+    let mut opts = Options {
+        train: String::new(),
+        test: None,
+        test_fraction: 0.1,
+        k: 16,
+        burnin: 8,
+        samples: 24,
+        threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        engine: EngineKind::WorkStealing,
+        seed: 42,
+        save_factors: None,
+        user_features: None,
+        lambda_beta: 1.0,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: None,
+        diagnostics: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().ok_or_else(|| CliError::new(format!("{flag} requires a value")))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--train" => opts.train = value()?.clone(),
+            "--test" => opts.test = Some(value()?.clone()),
+            "--test-fraction" => {
+                opts.test_fraction = parse_num(flag, value()?)?;
+                if !(0.0..1.0).contains(&opts.test_fraction) {
+                    return Err(CliError::new("--test-fraction must be in [0, 1)"));
+                }
+            }
+            "--k" => opts.k = parse_num(flag, value()?)?,
+            "--burnin" => opts.burnin = parse_num(flag, value()?)?,
+            "--samples" => opts.samples = parse_num(flag, value()?)?,
+            "--threads" => opts.threads = parse_num(flag, value()?)?,
+            "--seed" => opts.seed = parse_num(flag, value()?)?,
+            "--save-factors" => opts.save_factors = Some(value()?.clone()),
+            "--user-features" => opts.user_features = Some(value()?.clone()),
+            "--lambda-beta" => {
+                opts.lambda_beta = parse_num(flag, value()?)?;
+                if opts.lambda_beta <= 0.0 {
+                    return Err(CliError::new("--lambda-beta must be positive"));
+                }
+            }
+            "--checkpoint" => opts.checkpoint = Some(value()?.clone()),
+            "--checkpoint-every" => opts.checkpoint_every = Some(parse_num(flag, value()?)?),
+            "--resume" => opts.resume = Some(value()?.clone()),
+            "--diagnostics" => opts.diagnostics = true,
+            "--engine" => {
+                opts.engine = match value()?.as_str() {
+                    "ws" | "work-stealing" => EngineKind::WorkStealing,
+                    "static" => EngineKind::Static,
+                    "graphlab" => EngineKind::GraphLabLike,
+                    other => {
+                        return Err(CliError::new(format!(
+                            "unknown engine '{other}' (ws | static | graphlab)"
+                        )))
+                    }
+                };
+            }
+            other => return Err(CliError::new(format!("unknown flag '{other}'"))),
+        }
+    }
+    if opts.train.is_empty() {
+        return Err(CliError::new("--train is required"));
+    }
+    if opts.k == 0 {
+        return Err(CliError::new("--k must be positive"));
+    }
+    Ok(Some(opts))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| CliError::new(format!("invalid value '{s}' for {flag}")))
+}
+
+/// Write a factor matrix as TSV (one item per line, K columns).
+pub fn write_factors(path: &str, m: &Mat) -> Result<(), CliError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for i in 0..m.rows() {
+        let row = m.row(i);
+        for (c, v) in row.iter().enumerate() {
+            if c > 0 {
+                write!(w, "\t")?;
+            }
+            write!(w, "{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a TSV of per-item features: one line per item, `d` tab- or
+/// space-separated columns, same column count on every line.
+pub fn read_features_tsv(path: &str) -> Result<Mat, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> =
+            line.split_whitespace().map(str::parse::<f64>).collect();
+        let row = row
+            .map_err(|e| CliError::new(format!("{path}:{}: bad number: {e}", lineno + 1)))?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(CliError::new(format!(
+                    "{path}:{}: expected {} columns, found {}",
+                    lineno + 1,
+                    first.len(),
+                    row.len()
+                )));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CliError::new(format!("{path}: no feature rows")));
+    }
+    let (n, d) = (rows.len(), rows[0].len());
+    Ok(Mat::from_fn(n, d, |i, j| rows[i][j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn minimal_invocation_parses() {
+        let opts = parse_args(&argv("--train r.mtx")).unwrap().unwrap();
+        assert_eq!(opts.train, "r.mtx");
+        assert_eq!(opts.k, 16);
+        assert_eq!(opts.engine, EngineKind::WorkStealing);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let opts = parse_args(&argv(
+            "--train a.mtx --test b.mtx --k 8 --burnin 3 --samples 5 --threads 2 \
+             --engine static --seed 7 --save-factors out --test-fraction 0.2",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.test.as_deref(), Some("b.mtx"));
+        assert_eq!(opts.k, 8);
+        assert_eq!(opts.burnin, 3);
+        assert_eq!(opts.samples, 5);
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.engine, EngineKind::Static);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.save_factors.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn extension_flags_parse() {
+        let opts = parse_args(&argv(
+            "--train a.mtx --user-features f.tsv --lambda-beta 0.5              --checkpoint c.json --checkpoint-every 10 --resume old.json --diagnostics",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.user_features.as_deref(), Some("f.tsv"));
+        assert_eq!(opts.lambda_beta, 0.5);
+        assert_eq!(opts.checkpoint.as_deref(), Some("c.json"));
+        assert_eq!(opts.checkpoint_every, Some(10));
+        assert_eq!(opts.resume.as_deref(), Some("old.json"));
+        assert!(opts.diagnostics);
+    }
+
+    #[test]
+    fn nonpositive_lambda_beta_is_an_error() {
+        assert!(parse_args(&argv("--train a.mtx --lambda-beta 0")).is_err());
+        assert!(parse_args(&argv("--train a.mtx --lambda-beta -1")).is_err());
+    }
+
+    #[test]
+    fn features_tsv_roundtrip() {
+        let dir = std::env::temp_dir().join("bpmf_cli_feat_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("features.tsv");
+        std::fs::write(&path, "1.0	2.0
+3.0	4.0
+
+-1.5	0.25
+").unwrap();
+        let m = read_features_tsv(path.to_str().unwrap()).unwrap();
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m[(2, 0)], -1.5);
+        assert_eq!(m[(2, 1)], 0.25);
+    }
+
+    #[test]
+    fn ragged_features_tsv_is_an_error() {
+        let dir = std::env::temp_dir().join("bpmf_cli_feat_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.tsv");
+        std::fs::write(&path, "1 2 3
+4 5
+").unwrap();
+        let err = read_features_tsv(path.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("expected 3 columns"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse_args(&argv("--help")).unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_train_is_an_error() {
+        assert!(parse_args(&argv("--k 4")).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse_args(&argv("--train a.mtx --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse_args(&argv("--train a.mtx --k")).is_err());
+    }
+
+    #[test]
+    fn bad_engine_is_an_error() {
+        assert!(parse_args(&argv("--train a.mtx --engine spark")).is_err());
+    }
+
+    #[test]
+    fn write_factors_roundtrip() {
+        let m = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let dir = std::env::temp_dir().join("bpmf_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("factors.tsv");
+        write_factors(path.to_str().unwrap(), &m).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], "4\t5");
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end smoke test: run the `bpmf-train` binary against a generated
+//! MatrixMarket file and check it trains, reports RMSE, and writes factors.
+
+use std::process::Command;
+
+#[test]
+fn trains_from_matrix_market_and_writes_factors() {
+    let dir = std::env::temp_dir().join(format!("bpmf_cli_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("ratings.mtx");
+    let prefix = dir.join("factors");
+
+    // Small synthetic workload exported to MatrixMarket.
+    let ds = bpmf_dataset::chembl_like(0.003, 31);
+    let mut buf = Vec::new();
+    bpmf_sparse::write_matrix_market(&mut buf, &ds.train).unwrap();
+    std::fs::write(&mtx, &buf).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args([
+            "--train",
+            mtx.to_str().unwrap(),
+            "--k",
+            "6",
+            "--burnin",
+            "2",
+            "--samples",
+            "4",
+            "--threads",
+            "2",
+            "--engine",
+            "ws",
+            "--save-factors",
+            prefix.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary should run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // stdout: a header plus one line per iteration with finite RMSE.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1 + 6, "header + 6 iterations: {stdout}");
+    let last: Vec<&str> = lines.last().unwrap().split('\t').collect();
+    let rmse: f64 = last[2].parse().unwrap();
+    assert!(rmse.is_finite() && rmse > 0.0);
+
+    // Factor files exist with the right shapes.
+    let users = std::fs::read_to_string(format!("{}_users.tsv", prefix.display())).unwrap();
+    let movies = std::fs::read_to_string(format!("{}_movies.tsv", prefix.display())).unwrap();
+    assert_eq!(users.lines().count(), ds.nrows());
+    assert_eq!(movies.lines().count(), ds.ncols());
+    assert_eq!(users.lines().next().unwrap().split('\t').count(), 6);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_and_error_paths() {
+    let help = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
+
+    let missing = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args(["--train", "/nonexistent/x.mtx"])
+        .output()
+        .unwrap();
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot open"));
+}
+
+#[test]
+fn checkpoint_resume_and_side_info_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("bpmf_cli_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("ratings.mtx");
+    let features = dir.join("features.tsv");
+    let ckpt = dir.join("state.json");
+
+    let ds = bpmf_dataset::chembl_like(0.003, 77);
+    let mut buf = Vec::new();
+    bpmf_sparse::write_matrix_market(&mut buf, &ds.train).unwrap();
+    std::fs::write(&mtx, &buf).unwrap();
+
+    // Per-user feature file (3 features, deterministic values).
+    let mut tsv = String::new();
+    for i in 0..ds.nrows() {
+        tsv.push_str(&format!(
+            "{:.4}\t{:.4}\t{:.4}\n",
+            (i as f64 * 0.37).sin(),
+            (i as f64 * 0.11).cos(),
+            (i as f64).rem_euclid(5.0) / 5.0 - 0.4,
+        ));
+    }
+    std::fs::write(&features, &tsv).unwrap();
+
+    let base_args = |extra: &[&str]| {
+        let mut v = vec![
+            "--train".to_string(),
+            mtx.to_str().unwrap().to_string(),
+            "--k".into(),
+            "4".into(),
+            "--burnin".into(),
+            "2".into(),
+            "--threads".into(),
+            "1".into(),
+            "--engine".into(),
+            "static".into(),
+            "--user-features".into(),
+            features.to_str().unwrap().to_string(),
+            "--diagnostics".into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+
+    // Phase 1: short run that writes a checkpoint.
+    let out1 = std::process::Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args(base_args(&["--samples", "2", "--checkpoint", ckpt.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(out1.status.success(), "stderr: {}", String::from_utf8_lossy(&out1.stderr));
+    let stderr1 = String::from_utf8_lossy(&out1.stderr);
+    assert!(stderr1.contains("side information: 3 features per user"), "{stderr1}");
+    assert!(stderr1.contains("final checkpoint written"), "{stderr1}");
+    assert!(ckpt.exists());
+
+    // Phase 2: resume with a larger budget; must pick up at iteration 4.
+    let out2 = std::process::Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args(base_args(&["--samples", "6", "--resume", ckpt.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(out2.status.success(), "stderr: {}", String::from_utf8_lossy(&out2.stderr));
+    let stderr2 = String::from_utf8_lossy(&out2.stderr);
+    assert!(stderr2.contains("resuming from"), "{stderr2}");
+    assert!(stderr2.contains("diagnostics"), "{stderr2}");
+    // 8 configured iterations - 4 already done = 4 printed lines + header.
+    let stdout2 = String::from_utf8_lossy(&out2.stdout);
+    assert_eq!(stdout2.lines().count(), 1 + 4, "{stdout2}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

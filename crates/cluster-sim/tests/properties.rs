@@ -1,0 +1,119 @@
+//! Property tests for the cluster simulator's invariants.
+
+use bpmf_cluster_sim::{simulate_iteration, ComputeModel, PhaseLoad, Topology};
+use proptest::prelude::*;
+
+/// Random but consistent phase load for `nodes` nodes.
+fn phase(nodes: usize) -> impl Strategy<Value = PhaseLoad> {
+    let ratings = proptest::collection::vec(0.0f64..50_000.0, nodes);
+    let items = proptest::collection::vec(1.0f64..2_000.0, nodes);
+    let ws = proptest::collection::vec(1.0e5f64..1.0e9, nodes);
+    let sends = proptest::collection::vec(
+        proptest::collection::vec((0..nodes as u32, 0u32..200), 0..nodes.min(6)),
+        nodes,
+    );
+    (ratings, items, ws, sends).prop_map(move |(node_ratings, node_items, node_working_set, mut node_sends)| {
+        // Drop self-sends (the plan never produces them).
+        for (src, sends) in node_sends.iter_mut().enumerate() {
+            sends.retain(|&(dst, _)| dst as usize != src);
+        }
+        PhaseLoad {
+            node_ratings,
+            node_items,
+            node_sends,
+            node_working_set,
+            bytes_per_item: 136,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn makespan_is_at_least_the_slowest_node_compute(nodes in 1usize..32, ph in (4usize..32).prop_flat_map(phase)) {
+        // Use a phase sized for `nodes` by regenerating when sizes mismatch.
+        prop_assume!(ph.nodes() >= nodes);
+        let ph = shrink_phase(&ph, nodes);
+        let topo = Topology::bluegene_q_like();
+        let model = ComputeModel::default_calibration();
+        let res = simulate_iteration(&topo, &model, &[ph.clone()], 64);
+        // Makespan can never beat the slowest node's pure compute time.
+        let slowest = (0..nodes)
+            .map(|n| model.node_compute_seconds(
+                ph.node_ratings[n], ph.node_items[n], ph.node_working_set[n], topo.cores_per_node))
+            .fold(0.0f64, f64::max);
+        prop_assert!(res.makespan_s >= slowest - 1e-12,
+            "makespan {} < slowest compute {slowest}", res.makespan_s);
+    }
+
+    #[test]
+    fn fractions_are_normalized(nodes in 1usize..16, ph in (4usize..16).prop_flat_map(phase)) {
+        prop_assume!(ph.nodes() >= nodes);
+        let ph = shrink_phase(&ph, nodes);
+        let topo = Topology::bluegene_q_like();
+        let model = ComputeModel::default_calibration();
+        let res = simulate_iteration(&topo, &model, &[ph.clone(), ph], 16);
+        for n in &res.nodes {
+            let (c, b, m) = n.fractions();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&b));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m));
+            prop_assert!((c + b + m - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn items_are_conserved(nodes in 1usize..16, ph in (4usize..16).prop_flat_map(phase)) {
+        prop_assume!(ph.nodes() >= nodes);
+        let ph = shrink_phase(&ph, nodes);
+        let expected: f64 = ph.node_items.iter().sum();
+        let topo = Topology::bluegene_q_like();
+        let model = ComputeModel::default_calibration();
+        let res = simulate_iteration(&topo, &model, &[ph], 64);
+        prop_assert!((res.total_items - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_buffers_never_slow_the_schedule(nodes in 2usize..12, ph in (4usize..12).prop_flat_map(phase)) {
+        prop_assume!(ph.nodes() >= nodes);
+        let ph = shrink_phase(&ph, nodes);
+        let topo = Topology::bluegene_q_like();
+        let model = ComputeModel::default_calibration();
+        let small = simulate_iteration(&topo, &model, &[ph.clone()], 1);
+        let large = simulate_iteration(&topo, &model, &[ph], 128);
+        // Fewer messages (same bytes) can only reduce software overhead.
+        prop_assert!(large.makespan_s <= small.makespan_s + 1e-12);
+    }
+
+    #[test]
+    fn faster_network_never_hurts(nodes in 2usize..12, ph in (4usize..12).prop_flat_map(phase)) {
+        prop_assume!(ph.nodes() >= nodes);
+        let ph = shrink_phase(&ph, nodes);
+        let model = ComputeModel::default_calibration();
+        let slow = Topology { intra_rack_bw: 1e8, inter_rack_bw: 1e8, ..Topology::bluegene_q_like() };
+        let fast = Topology { intra_rack_bw: 1e11, inter_rack_bw: 1e11, ..Topology::bluegene_q_like() };
+        let t_slow = simulate_iteration(&slow, &model, &[ph.clone()], 16);
+        let t_fast = simulate_iteration(&fast, &model, &[ph], 16);
+        prop_assert!(t_fast.makespan_s <= t_slow.makespan_s + 1e-12);
+    }
+}
+
+/// Truncate a generated phase to exactly `nodes` nodes (destinations are
+/// remapped into range).
+fn shrink_phase(ph: &PhaseLoad, nodes: usize) -> PhaseLoad {
+    let mut out = PhaseLoad {
+        node_ratings: ph.node_ratings[..nodes].to_vec(),
+        node_items: ph.node_items[..nodes].to_vec(),
+        node_sends: ph.node_sends[..nodes].to_vec(),
+        node_working_set: ph.node_working_set[..nodes].to_vec(),
+        bytes_per_item: ph.bytes_per_item,
+    };
+    for (src, sends) in out.node_sends.iter_mut().enumerate() {
+        for (dst, _) in sends.iter_mut() {
+            *dst %= nodes as u32;
+        }
+        sends.retain(|&(dst, _)| dst as usize != src);
+    }
+    out
+}

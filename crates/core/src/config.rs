@@ -1,0 +1,92 @@
+//! Sampler configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// BPMF hyper- and engineering parameters.
+///
+/// Statistical parameters follow the original BPMF paper; engineering
+/// parameters follow CLUSTER'16 (notably the 1000-rating threshold above
+/// which an item update switches to the parallel Cholesky kernel, §III).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BpmfConfig {
+    /// Number of latent features `K`.
+    pub num_latent: usize,
+    /// Observation precision α of the rating noise model.
+    pub alpha: f64,
+    /// Gibbs iterations discarded before posterior averaging starts.
+    pub burnin: usize,
+    /// Gibbs iterations that contribute to the posterior mean.
+    pub samples: usize,
+    /// Ratings count at or above which an item uses the parallel Cholesky
+    /// kernel (the paper's ≈1000).
+    pub parallel_threshold: usize,
+    /// Ratings count at or below which an item uses the rank-one update
+    /// kernel; `None` selects `K/2` (the measured Fig. 2 crossover scales
+    /// with K).
+    pub rank_one_max: Option<usize>,
+    /// Threads used *inside* one parallel-kernel item update.
+    pub kernel_threads: usize,
+    /// Master seed; every worker/rank stream is derived from it by RNG
+    /// jumps.
+    pub seed: u64,
+}
+
+impl Default for BpmfConfig {
+    fn default() -> Self {
+        BpmfConfig {
+            num_latent: 16,
+            alpha: 2.0,
+            burnin: 8,
+            samples: 24,
+            parallel_threshold: 1000,
+            rank_one_max: None,
+            kernel_threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            seed: 42,
+        }
+    }
+}
+
+impl BpmfConfig {
+    /// Total Gibbs iterations (`burnin + samples`).
+    pub fn iterations(&self) -> usize {
+        self.burnin + self.samples
+    }
+
+    /// Effective rank-one/serial-Cholesky crossover.
+    pub fn rank_one_threshold(&self) -> usize {
+        self.rank_one_max.unwrap_or(self.num_latent / 2)
+    }
+
+    /// Panic early on nonsensical settings (zero latent dimension,
+    /// non-positive noise precision).
+    pub fn validate(&self) {
+        assert!(self.num_latent > 0, "num_latent must be positive");
+        assert!(self.alpha > 0.0, "alpha must be positive");
+        assert!(self.kernel_threads > 0, "kernel_threads must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let cfg = BpmfConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.iterations(), cfg.burnin + cfg.samples);
+        assert_eq!(cfg.rank_one_threshold(), cfg.num_latent / 2);
+    }
+
+    #[test]
+    fn explicit_rank_one_threshold_wins() {
+        let cfg = BpmfConfig { rank_one_max: Some(7), ..Default::default() };
+        assert_eq!(cfg.rank_one_threshold(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn bad_alpha_is_rejected() {
+        BpmfConfig { alpha: 0.0, ..Default::default() }.validate();
+    }
+}

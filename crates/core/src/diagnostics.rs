@@ -1,0 +1,344 @@
+//! MCMC convergence diagnostics: autocorrelation, effective sample size,
+//! and the Gelman–Rubin statistic.
+//!
+//! The paper validates its parallel and distributed samplers by checking
+//! that "all the versions of the parallel BPMF reach the same level of
+//! prediction accuracy" (§V-B). That claim is an informal convergence
+//! diagnostic; this module provides the formal ones a Bayesian library is
+//! expected to ship, so the equivalence can be tested on the *posterior
+//! draws* rather than eyeballed on RMSE curves:
+//!
+//! * [`autocorrelation`] — the normalized autocovariance function of a
+//!   scalar trace;
+//! * [`effective_sample_size`] — Geyer's initial-positive-sequence
+//!   estimator: how many independent draws the correlated chain is worth;
+//! * [`gelman_rubin`] — the potential scale reduction factor R̂ over
+//!   several independent chains (different seeds, same data); values near
+//!   1 mean the chains are sampling the same distribution, exactly the
+//!   property the paper's multi-engine comparison relies on.
+
+/// Sample autocovariance of `x` at `lag` (biased `1/n` normalization, the
+/// standard choice for spectral-window estimators).
+///
+/// Returns 0 for an empty series or a lag outside the series.
+pub fn autocovariance(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if n == 0 || lag >= n {
+        return 0.0;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let mut acc = 0.0;
+    for t in 0..n - lag {
+        acc += (x[t] - mean) * (x[t + lag] - mean);
+    }
+    acc / n as f64
+}
+
+/// Autocorrelation function ρ(0..=max_lag); ρ(0) = 1 by construction.
+///
+/// A constant (zero-variance) series returns `[1, 0, 0, …]` rather than
+/// NaNs: a constant chain carries no dependence information.
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let c0 = autocovariance(x, 0);
+    let mut rho = Vec::with_capacity(max_lag + 1);
+    rho.push(1.0);
+    for lag in 1..=max_lag {
+        rho.push(if c0 > 0.0 { autocovariance(x, lag) / c0 } else { 0.0 });
+    }
+    rho
+}
+
+/// Effective sample size of a scalar MCMC trace (Geyer 1992).
+///
+/// Sums consecutive pairs of autocorrelations `ρ(2t) + ρ(2t+1)` while the
+/// pair sums stay positive (for a reversible chain they are a decreasing
+/// positive sequence; the first negative pair is noise) and returns
+/// `n / (1 + 2 Σ ρ)`, clamped to `(0, n]`. An i.i.d. series therefore
+/// scores ≈ `n`, and a sticky chain scores ≪ `n`.
+pub fn effective_sample_size(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n < 2 {
+        return n as f64;
+    }
+    let c0 = autocovariance(x, 0);
+    if c0 <= 0.0 {
+        // Constant chain: every draw is the same, one effective sample.
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut lag = 1;
+    while lag + 1 < n {
+        let pair = (autocovariance(x, lag) + autocovariance(x, lag + 1)) / c0;
+        if pair <= 0.0 {
+            break;
+        }
+        sum += pair;
+        lag += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * sum)).clamp(1.0, n as f64)
+}
+
+/// Integrated autocorrelation time `τ = n / ESS` — the mean number of
+/// iterations between effectively independent draws.
+pub fn integrated_autocorrelation_time(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    n as f64 / effective_sample_size(x)
+}
+
+/// Gelman–Rubin potential scale reduction factor R̂ over `chains`.
+///
+/// All chains must have the same length `n ≥ 2`; at least two chains are
+/// required. R̂ compares the between-chain variance to the within-chain
+/// variance: values near 1 indicate the chains agree on the stationary
+/// distribution; values ≳ 1.1 indicate non-convergence (or, in this
+/// workspace's use, an execution mode that changed the distribution it
+/// samples — the regression the diagnostic exists to catch). In finite
+/// samples R̂ may dip slightly below 1 (the exact lower bound is
+/// `√((n−1)/n)`, attained when the chain means coincide).
+///
+/// # Panics
+///
+/// Panics on fewer than two chains, mismatched lengths, or `n < 2`.
+pub fn gelman_rubin(chains: &[&[f64]]) -> f64 {
+    let m = chains.len();
+    assert!(m >= 2, "Gelman-Rubin needs at least two chains");
+    let n = chains[0].len();
+    assert!(n >= 2, "chains must have at least two draws");
+    assert!(chains.iter().all(|c| c.len() == n), "chains must have equal length");
+
+    let chain_means: Vec<f64> = chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let grand_mean = chain_means.iter().sum::<f64>() / m as f64;
+
+    // Between-chain variance B/n and within-chain variance W.
+    let b_over_n = chain_means.iter().map(|&mu| (mu - grand_mean).powi(2)).sum::<f64>()
+        / (m as f64 - 1.0);
+    let w = chains
+        .iter()
+        .zip(&chain_means)
+        .map(|(c, &mu)| c.iter().map(|&v| (v - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0))
+        .sum::<f64>()
+        / m as f64;
+
+    if w <= 0.0 {
+        // All chains constant: identical constants converge trivially,
+        // different constants never do.
+        return if b_over_n <= 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b_over_n;
+    (var_plus / w).sqrt()
+}
+
+/// Summary of one scalar trace: posterior mean, standard deviation, ESS,
+/// and integrated autocorrelation time.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSummary {
+    /// Trace mean.
+    pub mean: f64,
+    /// Trace standard deviation (unbiased).
+    pub sd: f64,
+    /// Effective sample size.
+    pub ess: f64,
+    /// Integrated autocorrelation time `n / ESS`.
+    pub tau: f64,
+    /// Monte-Carlo standard error of the mean, `sd / √ESS`.
+    pub mcse: f64,
+}
+
+/// Summarize a scalar trace (e.g. the per-iteration RMSE of a sampler run,
+/// or a single test-point prediction across draws).
+pub fn summarize_trace(x: &[f64]) -> TraceSummary {
+    let n = x.len();
+    if n == 0 {
+        return TraceSummary { mean: f64::NAN, sd: f64::NAN, ess: 0.0, tau: f64::NAN, mcse: f64::NAN };
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let sd = if n > 1 {
+        (x.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    let ess = effective_sample_size(x);
+    TraceSummary { mean, sd, ess, tau: n as f64 / ess, mcse: sd / ess.sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpmf_stats::{normal, Xoshiro256pp};
+
+    fn iid_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..n).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+    }
+
+    /// AR(1) chain with coefficient `phi`: stationary autocorrelation
+    /// ρ(k) = φᵏ, so ESS ≈ n (1−φ)/(1+φ).
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let innovation_sd = (1.0 - phi * phi).sqrt();
+        let mut x = Vec::with_capacity(n);
+        let mut prev = normal(&mut rng, 0.0, 1.0);
+        for _ in 0..n {
+            prev = phi * prev + normal(&mut rng, 0.0, innovation_sd);
+            x.push(prev);
+        }
+        x
+    }
+
+    #[test]
+    fn acf_starts_at_one_and_decays_for_ar1() {
+        let x = ar1(20_000, 0.8, 7);
+        let rho = autocorrelation(&x, 5);
+        assert_eq!(rho[0], 1.0);
+        for lag in 1..=5 {
+            let expect = 0.8f64.powi(lag as i32);
+            assert!(
+                (rho[lag] - expect).abs() < 0.05,
+                "rho({lag}) = {} vs theoretical {expect}",
+                rho[lag]
+            );
+        }
+    }
+
+    #[test]
+    fn ess_of_iid_noise_is_near_n() {
+        let n = 8_000;
+        let ess = effective_sample_size(&iid_noise(n, 3));
+        assert!(
+            ess > 0.8 * n as f64 && ess <= n as f64,
+            "iid ESS should be close to n: {ess} vs {n}"
+        );
+    }
+
+    #[test]
+    fn ess_of_sticky_chain_matches_theory() {
+        let n = 40_000;
+        let phi = 0.9;
+        let ess = effective_sample_size(&ar1(n, phi, 11));
+        let theory = n as f64 * (1.0 - phi) / (1.0 + phi); // ≈ n/19
+        assert!(
+            ess > 0.5 * theory && ess < 2.0 * theory,
+            "AR(1) ESS {ess} should be within 2x of theory {theory}"
+        );
+    }
+
+    #[test]
+    fn ess_handles_degenerate_series() {
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[1.0]), 1.0);
+        assert_eq!(effective_sample_size(&[2.0; 100]), 1.0, "constant chain = 1 draw");
+    }
+
+    #[test]
+    fn rhat_near_one_for_same_distribution() {
+        let a = iid_noise(4_000, 1);
+        let b = iid_noise(4_000, 2);
+        let c = iid_noise(4_000, 3);
+        let r = gelman_rubin(&[&a, &b, &c]);
+        assert!((0.99..1.02).contains(&r), "R-hat of identical dists: {r}");
+    }
+
+    #[test]
+    fn rhat_flags_shifted_chains() {
+        let a = iid_noise(2_000, 1);
+        let b: Vec<f64> = iid_noise(2_000, 2).iter().map(|v| v + 3.0).collect();
+        let r = gelman_rubin(&[&a, &b]);
+        assert!(r > 1.5, "shifted chains must be flagged: {r}");
+    }
+
+    #[test]
+    fn rhat_of_identical_constants_is_one() {
+        let a = vec![5.0; 10];
+        let b = vec![5.0; 10];
+        assert_eq!(gelman_rubin(&[&a, &b]), 1.0);
+        let c = vec![6.0; 10];
+        assert_eq!(gelman_rubin(&[&a, &c]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two chains")]
+    fn rhat_requires_two_chains() {
+        let a = vec![1.0, 2.0];
+        let _ = gelman_rubin(&[&a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rhat_rejects_mismatched_lengths() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.0];
+        let _ = gelman_rubin(&[&a, &b]);
+    }
+
+    #[test]
+    fn summary_reports_consistent_fields() {
+        let x = ar1(5_000, 0.5, 9);
+        let s = summarize_trace(&x);
+        assert!(s.mean.abs() < 0.15, "AR(1) mean ~ 0: {}", s.mean);
+        assert!((s.sd - 1.0).abs() < 0.1, "AR(1) sd ~ 1: {}", s.sd);
+        assert!(s.ess > 0.0 && s.ess <= 5_000.0);
+        assert!((s.tau - 5_000.0 / s.ess).abs() < 1e-9);
+        assert!(s.mcse > 0.0 && s.mcse < 0.1);
+    }
+
+    #[test]
+    fn tau_of_iid_is_near_one() {
+        let tau = integrated_autocorrelation_time(&iid_noise(8_000, 21));
+        assert!(tau < 1.3, "iid tau ~ 1: {tau}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// ESS is bounded by the chain length for any non-empty series.
+            #[test]
+            fn ess_is_bounded(x in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+                let ess = effective_sample_size(&x);
+                prop_assert!(ess >= 1.0 - 1e-12, "ess {ess} below 1");
+                prop_assert!(ess <= x.len() as f64 + 1e-9, "ess {ess} above n {}", x.len());
+            }
+
+            /// The ACF starts at exactly 1 and stays in [-1-ε, 1+ε]
+            /// (biased estimator can leak slightly past 1 only through
+            /// rounding).
+            #[test]
+            fn acf_is_normalized(x in proptest::collection::vec(-100.0f64..100.0, 4..200)) {
+                let rho = autocorrelation(&x, 3.min(x.len() - 1));
+                prop_assert_eq!(rho[0], 1.0);
+                for (lag, &r) in rho.iter().enumerate() {
+                    prop_assert!(r.abs() <= 1.0 + 1e-9, "rho({lag}) = {r}");
+                }
+            }
+
+            /// R-hat of chains drawn from one deterministic generator is
+            /// finite and never below its exact finite-sample floor
+            /// √((n−1)/n) (attained when the chain means coincide).
+            #[test]
+            fn rhat_respects_finite_sample_floor(seed in 0u64..1000, n in 10usize..200) {
+                let mut rng = Xoshiro256pp::seed_from_u64(seed);
+                let a: Vec<f64> = (0..n).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+                let b: Vec<f64> = (0..n).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
+                let r = gelman_rubin(&[&a, &b]);
+                let floor = ((n as f64 - 1.0) / n as f64).sqrt();
+                prop_assert!(r.is_finite());
+                prop_assert!(r >= floor - 1e-9, "rhat {r} below floor {floor}");
+            }
+
+            /// summarize_trace is self-consistent: tau * ess == n and the
+            /// MCSE shrinks when the trace is duplicated (more draws).
+            #[test]
+            fn summary_self_consistency(x in proptest::collection::vec(-10.0f64..10.0, 8..100)) {
+                let s = summarize_trace(&x);
+                prop_assert!((s.tau * s.ess - x.len() as f64).abs() < 1e-6);
+                prop_assert!(s.mcse >= 0.0);
+            }
+        }
+    }
+}

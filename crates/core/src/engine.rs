@@ -1,0 +1,53 @@
+//! Multicore runtime selection (the three engines of paper Fig. 3).
+
+use bpmf_sched::{ItemRunner, StaticPool, VertexEngine, WorkStealingPool};
+
+/// Which shared-memory runtime drives the item sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Work-stealing pool — the paper's TBB configuration (its winner).
+    WorkStealing,
+    /// Static contiguous partition — the paper's OpenMP configuration.
+    Static,
+    /// Bulk-synchronous vertex engine with edge-consistency locking — the
+    /// paper's GraphLab baseline.
+    GraphLabLike,
+}
+
+impl EngineKind {
+    /// All engines in the order Fig. 3 plots them.
+    pub fn all() -> [EngineKind; 3] {
+        [EngineKind::WorkStealing, EngineKind::Static, EngineKind::GraphLabLike]
+    }
+
+    /// Instantiate the runtime with `threads` workers.
+    pub fn build(self, threads: usize) -> Box<dyn ItemRunner> {
+        match self {
+            EngineKind::WorkStealing => Box::new(WorkStealingPool::new(threads)),
+            EngineKind::Static => Box::new(StaticPool::new(threads)),
+            EngineKind::GraphLabLike => Box::new(VertexEngine::new(threads)),
+        }
+    }
+
+    /// Label used in benchmark tables (paper terminology).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::WorkStealing => "TBB-like (work stealing)",
+            EngineKind::Static => "OpenMP-like (static)",
+            EngineKind::GraphLabLike => "GraphLab-like (vertex engine)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_build_with_requested_threads() {
+        for kind in EngineKind::all() {
+            let runner = kind.build(3);
+            assert_eq!(runner.threads(), 3, "{}", kind.label());
+        }
+    }
+}

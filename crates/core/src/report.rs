@@ -1,0 +1,94 @@
+//! Serializable training reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Accounting for one Gibbs iteration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IterStats {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// RMSE of the *current* sample's predictions on the test set.
+    pub rmse_sample: f64,
+    /// RMSE of the running posterior-mean prediction (NaN during burn-in).
+    pub rmse_mean: f64,
+    /// Item updates (users + movies) per wall second over both sweeps.
+    pub items_per_sec: f64,
+    /// Wall seconds spent in the two item sweeps.
+    pub sweep_seconds: f64,
+    /// Mean worker busy fraction across both sweeps (1.0 = no idle time).
+    pub busy_fraction: f64,
+    /// Successful steals across both sweeps (work-stealing runtime only).
+    pub steals: u64,
+}
+
+/// Full training run: per-iteration stats plus summary accessors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Runtime used ("work-stealing", "static", "graphlab-like", "distributed").
+    pub engine: String,
+    /// Worker threads (or ranks).
+    pub parallelism: usize,
+    /// Per-iteration trace.
+    pub iters: Vec<IterStats>,
+}
+
+impl TrainReport {
+    /// Final posterior-mean RMSE (falls back to the last sample RMSE if no
+    /// averaged samples were taken).
+    pub fn final_rmse(&self) -> f64 {
+        self.iters
+            .last()
+            .map(|s| if s.rmse_mean.is_finite() { s.rmse_mean } else { s.rmse_sample })
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Mean items/second over the sampling (post-burn-in) iterations, the
+    /// paper's headline performance metric.
+    pub fn mean_items_per_sec(&self) -> f64 {
+        let tail: Vec<f64> = self
+            .iters
+            .iter()
+            .filter(|s| s.rmse_mean.is_finite())
+            .map(|s| s.items_per_sec)
+            .collect();
+        if tail.is_empty() {
+            return self.iters.iter().map(|s| s.items_per_sec).sum::<f64>()
+                / self.iters.len().max(1) as f64;
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(iter: usize, rmse_mean: f64, ips: f64) -> IterStats {
+        IterStats {
+            iter,
+            rmse_sample: 1.0,
+            rmse_mean,
+            items_per_sec: ips,
+            sweep_seconds: 0.1,
+            busy_fraction: 0.9,
+            steals: 0,
+        }
+    }
+
+    #[test]
+    fn final_rmse_prefers_posterior_mean() {
+        let report = TrainReport {
+            engine: "test".into(),
+            parallelism: 1,
+            iters: vec![stats(0, f64::NAN, 10.0), stats(1, 0.5, 20.0)],
+        };
+        assert_eq!(report.final_rmse(), 0.5);
+        assert_eq!(report.mean_items_per_sec(), 20.0);
+    }
+
+    #[test]
+    fn empty_report_is_nan() {
+        let report = TrainReport { engine: "e".into(), parallelism: 1, iters: vec![] };
+        assert!(report.final_rmse().is_nan());
+    }
+}

@@ -1,0 +1,779 @@
+//! The Gibbs sampler (Algorithm 1 of the paper) over a pluggable runtime.
+
+use std::sync::Mutex;
+
+use bpmf_linalg::{vecops, Mat};
+use bpmf_sched::{Adjacency, ItemRunner, RunStats};
+use bpmf_sparse::{Csr, WorkModel};
+use bpmf_stats::Xoshiro256pp;
+
+use crate::config::BpmfConfig;
+use crate::model::SideState;
+use crate::report::{IterStats, TrainReport};
+use crate::sideinfo::FeatureSideInfo;
+use crate::update::{choose_method, update_item, SidePrior, UpdateScratch};
+use bpmf_linalg::MatWriter;
+use bpmf_stats::SuffStats;
+
+/// Borrowed training inputs: the rating matrix in both orientations, its
+/// global mean, and the held-out test points.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainData<'a> {
+    /// Ratings, users × movies.
+    pub r: &'a Csr,
+    /// Ratings transposed, movies × users.
+    pub rt: &'a Csr,
+    /// Mean rating (the sampler models residuals around it).
+    pub global_mean: f64,
+    /// Held-out `(user, movie, rating)` triples for RMSE tracking.
+    pub test: &'a [(u32, u32, f64)],
+}
+
+impl<'a> TrainData<'a> {
+    /// Validate and bundle the inputs. Panics if `rt` is not shaped as the
+    /// transpose of `r` or a test point is out of range.
+    pub fn new(r: &'a Csr, rt: &'a Csr, global_mean: f64, test: &'a [(u32, u32, f64)]) -> Self {
+        assert_eq!(r.nrows(), rt.ncols(), "rt must be the transpose of r");
+        assert_eq!(r.ncols(), rt.nrows(), "rt must be the transpose of r");
+        assert_eq!(r.nnz(), rt.nnz(), "rt must be the transpose of r");
+        for &(i, j, _) in test {
+            assert!((i as usize) < r.nrows(), "test user {i} out of range");
+            assert!((j as usize) < r.ncols(), "test movie {j} out of range");
+        }
+        TrainData { r, rt, global_mean, test }
+    }
+}
+
+enum Side {
+    Users,
+    Movies,
+}
+
+/// One side's hyperparameter step: plain Normal–Wishart from the factors,
+/// or — with side information attached — from the residuals around the
+/// feature-predicted prior means, followed by a fresh link-matrix draw.
+fn resample_hyper(
+    state: &mut SideState,
+    side_info: &mut Option<FeatureSideInfo>,
+    rng: &mut Xoshiro256pp,
+) {
+    match side_info {
+        None => state.sample_hyper(rng),
+        Some(si) => {
+            let stats = SuffStats::from_residual_rows(&state.items, si.offsets());
+            state.apply_hyper_from_stats(&stats, rng);
+            let (_, chol_lambda) = state.prior_derivatives();
+            si.resample_beta(&state.items, &state.mu, &chol_lambda, rng);
+        }
+    }
+}
+
+/// The BPMF Gibbs sampler.
+///
+/// One [`GibbsSampler::step`] performs Algorithm 1's loop body: resample
+/// movie hyperparameters, sweep all movies, resample user hyperparameters,
+/// sweep all users, then predict the test points (tracking both the current
+/// sample's RMSE and the posterior-mean RMSE after burn-in).
+pub struct GibbsSampler<'a> {
+    cfg: BpmfConfig,
+    data: TrainData<'a>,
+    users: SideState,
+    movies: SideState,
+    user_side: Option<FeatureSideInfo>,
+    movie_side: Option<FeatureSideInfo>,
+    /// Link state recovered from a checkpoint, applied when side info is
+    /// re-attached after [`GibbsSampler::resume`].
+    pending_user_link: Option<(Mat, f64)>,
+    pending_movie_link: Option<(Mat, f64)>,
+    hyper_rng: Xoshiro256pp,
+    worker_rngs: Vec<Mutex<Xoshiro256pp>>,
+    scratches: Vec<Mutex<UpdateScratch>>,
+    user_weights: Vec<f64>,
+    movie_weights: Vec<f64>,
+    predict_acc: Vec<f64>,
+    predict_sq_acc: Vec<f64>,
+    factor_acc: Option<(Mat, Mat)>,
+    acc_count: usize,
+    iter: usize,
+}
+
+/// Monte-Carlo summary of one test point's posterior predictive.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictionSummary {
+    /// Posterior-mean prediction.
+    pub mean: f64,
+    /// Posterior predictive standard deviation across Gibbs samples — the
+    /// confidence measure the paper's intro credits BPMF with providing
+    /// "for free".
+    pub std: f64,
+}
+
+impl<'a> GibbsSampler<'a> {
+    /// Initialize factors and hyperparameters from `cfg.seed`.
+    pub fn new(cfg: BpmfConfig, data: TrainData<'a>) -> Self {
+        cfg.validate();
+        let k = cfg.num_latent;
+        let mut init_rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+        let users = SideState::init(data.r.nrows(), k, &mut init_rng);
+        let movies = SideState::init(data.r.ncols(), k, &mut init_rng);
+        let wm = WorkModel::default();
+        GibbsSampler {
+            hyper_rng: Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9),
+            worker_rngs: Vec::new(),
+            scratches: Vec::new(),
+            user_weights: wm.row_weights(data.r),
+            movie_weights: wm.row_weights(data.rt),
+            predict_acc: vec![0.0; data.test.len()],
+            predict_sq_acc: vec![0.0; data.test.len()],
+            factor_acc: None,
+            acc_count: 0,
+            iter: 0,
+            cfg,
+            data,
+            users,
+            movies,
+            user_side: None,
+            movie_side: None,
+            pending_user_link: None,
+            pending_movie_link: None,
+        }
+    }
+
+    /// Attach Macau-style side information to the *user* side: `features`
+    /// must have one row per user. The link matrix starts at zero and is
+    /// Gibbs-sampled from the next [`GibbsSampler::step`] on.
+    ///
+    /// Supported on the shared-memory path; the distributed driver runs the
+    /// plain BPMF model.
+    pub fn attach_user_side_info(&mut self, mut si: FeatureSideInfo) {
+        assert_eq!(si.num_items(), self.data.r.nrows(), "one feature row per user required");
+        assert_eq!(si.offsets().cols(), self.cfg.num_latent, "side info built for wrong K");
+        if let Some((beta, lb)) = self.pending_user_link.take() {
+            si.restore_link(beta, lb);
+        }
+        self.user_side = Some(si);
+    }
+
+    /// Attach Macau-style side information to the *movie* side: `features`
+    /// must have one row per movie. See [`GibbsSampler::attach_user_side_info`].
+    pub fn attach_movie_side_info(&mut self, mut si: FeatureSideInfo) {
+        assert_eq!(si.num_items(), self.data.r.ncols(), "one feature row per movie required");
+        assert_eq!(si.offsets().cols(), self.cfg.num_latent, "side info built for wrong K");
+        if let Some((beta, lb)) = self.pending_movie_link.take() {
+            si.restore_link(beta, lb);
+        }
+        self.movie_side = Some(si);
+    }
+
+    /// Current user-side link matrix sample, if side information is attached.
+    pub fn user_link_matrix(&self) -> Option<&bpmf_linalg::Mat> {
+        self.user_side.as_ref().map(|si| si.beta())
+    }
+
+    /// Current movie-side link matrix sample, if side information is attached.
+    pub fn movie_link_matrix(&self) -> Option<&bpmf_linalg::Mat> {
+        self.movie_side.as_ref().map(|si| si.beta())
+    }
+
+    /// Sampler configuration.
+    pub fn cfg(&self) -> &BpmfConfig {
+        &self.cfg
+    }
+
+    /// Current user factors (`M × K`).
+    pub fn user_factors(&self) -> &Mat {
+        &self.users.items
+    }
+
+    /// Current movie factors (`N × K`).
+    pub fn movie_factors(&self) -> &Mat {
+        &self.movies.items
+    }
+
+    /// Predict one rating from the *current* sample.
+    pub fn predict_one(&self, user: usize, movie: usize) -> f64 {
+        self.data.global_mean
+            + vecops::dot(self.users.items.row(user), self.movies.items.row(movie))
+    }
+
+    /// Predict one rating from the running posterior-mean factors
+    /// (`E[U]·E[V]` — ignores factor covariance, the standard point
+    /// predictor for ranking). `None` before any post-burn-in sample.
+    pub fn predict_posterior_mean(&self, user: usize, movie: usize) -> Option<f64> {
+        let (u, v) = self.factor_acc.as_ref()?;
+        let n = self.acc_count as f64;
+        Some(self.data.global_mean + vecops::dot(u.row(user), v.row(movie)) / (n * n))
+    }
+
+    /// Running posterior means of the factor matrices (averaged over
+    /// post-burn-in samples). `None` before any post-burn-in sample.
+    pub fn posterior_mean_factors(&self) -> Option<(Mat, Mat)> {
+        let (u, v) = self.factor_acc.as_ref()?;
+        let inv = 1.0 / self.acc_count as f64;
+        let mut mu = u.clone();
+        mu.scale(inv);
+        let mut mv = v.clone();
+        mv.scale(inv);
+        Some((mu, mv))
+    }
+
+    /// Monte-Carlo posterior predictive summaries for every test point:
+    /// mean and standard deviation over the post-burn-in Gibbs samples.
+    /// Empty before two accumulated samples.
+    pub fn test_prediction_summaries(&self) -> Vec<PredictionSummary> {
+        if self.acc_count < 2 {
+            return Vec::new();
+        }
+        let n = self.acc_count as f64;
+        self.predict_acc
+            .iter()
+            .zip(&self.predict_sq_acc)
+            .map(|(&s, &sq)| {
+                let mean = s / n;
+                // Unbiased sample variance over the Gibbs draws.
+                let var = ((sq - s * s / n) / (n - 1.0)).max(0.0);
+                PredictionSummary { mean, std: var.sqrt() }
+            })
+            .collect()
+    }
+
+    /// Completed Gibbs iterations.
+    pub fn iterations_done(&self) -> usize {
+        self.iter
+    }
+
+    /// Capture the complete sampler state for checkpointing.
+    pub fn checkpoint(&self) -> crate::checkpoint::SamplerCheckpoint {
+        use crate::checkpoint::{FlatMat, RngState, SamplerCheckpoint};
+        SamplerCheckpoint {
+            num_latent: self.cfg.num_latent,
+            iter: self.iter,
+            acc_count: self.acc_count,
+            users: FlatMat::from_mat(&self.users.items),
+            movies: FlatMat::from_mat(&self.movies.items),
+            users_mu: self.users.mu.clone(),
+            users_lambda: FlatMat::from_mat(&self.users.lambda),
+            movies_mu: self.movies.mu.clone(),
+            movies_lambda: FlatMat::from_mat(&self.movies.lambda),
+            hyper_rng: RngState::capture(&self.hyper_rng),
+            worker_rngs: self
+                .worker_rngs
+                .iter()
+                .map(|m| RngState::capture(&m.lock().expect("rng poisoned")))
+                .collect(),
+            predict_acc: self.predict_acc.clone(),
+            predict_sq_acc: self.predict_sq_acc.clone(),
+            factor_acc: self
+                .factor_acc
+                .as_ref()
+                .map(|(u, v)| (FlatMat::from_mat(u), FlatMat::from_mat(v))),
+            user_link: self
+                .user_side
+                .as_ref()
+                .map(|si| (FlatMat::from_mat(si.beta()), si.lambda_beta())),
+            movie_link: self
+                .movie_side
+                .as_ref()
+                .map(|si| (FlatMat::from_mat(si.beta()), si.lambda_beta())),
+        }
+    }
+
+    /// Rebuild a sampler from a checkpoint, continuing the exact chain.
+    ///
+    /// `cfg` and `data` must match what the checkpointed run used (shapes
+    /// are validated; statistical parameters are trusted). Resume with the
+    /// same runner thread count for reproducible continuation.
+    pub fn resume(
+        cfg: BpmfConfig,
+        data: TrainData<'a>,
+        ckpt: &crate::checkpoint::SamplerCheckpoint,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(cfg.num_latent, ckpt.num_latent, "latent dimension mismatch");
+        assert_eq!(ckpt.users.rows, data.r.nrows(), "user count mismatch");
+        assert_eq!(ckpt.movies.rows, data.r.ncols(), "movie count mismatch");
+        assert_eq!(ckpt.predict_acc.len(), data.test.len(), "test set mismatch");
+        let k = cfg.num_latent;
+        let wm = WorkModel::default();
+        let mut sampler = GibbsSampler {
+            hyper_rng: ckpt.hyper_rng.rebuild(),
+            worker_rngs: ckpt.worker_rngs.iter().map(|s| Mutex::new(s.rebuild())).collect(),
+            scratches: ckpt
+                .worker_rngs
+                .iter()
+                .map(|_| Mutex::new(UpdateScratch::new(k)))
+                .collect(),
+            user_weights: wm.row_weights(data.r),
+            movie_weights: wm.row_weights(data.rt),
+            predict_acc: ckpt.predict_acc.clone(),
+            predict_sq_acc: ckpt.predict_sq_acc.clone(),
+            factor_acc: ckpt.factor_acc.as_ref().map(|(u, v)| (u.to_mat(), v.to_mat())),
+            acc_count: ckpt.acc_count,
+            iter: ckpt.iter,
+            cfg,
+            data,
+            user_side: None,
+            movie_side: None,
+            pending_user_link: ckpt.user_link.as_ref().map(|(b, l)| (b.to_mat(), *l)),
+            pending_movie_link: ckpt.movie_link.as_ref().map(|(b, l)| (b.to_mat(), *l)),
+            users: SideState {
+                items: ckpt.users.to_mat(),
+                mu: ckpt.users_mu.clone(),
+                lambda: ckpt.users_lambda.to_mat(),
+                hyperprior: bpmf_stats::NormalWishart::default_for_dim(k),
+            },
+            movies: SideState {
+                items: ckpt.movies.to_mat(),
+                mu: ckpt.movies_mu.clone(),
+                lambda: ckpt.movies_lambda.to_mat(),
+                hyperprior: bpmf_stats::NormalWishart::default_for_dim(k),
+            },
+        };
+        // Restored streams must not be clobbered by ensure_workers.
+        sampler.scratches.shrink_to_fit();
+        sampler
+    }
+
+    /// Grow per-worker RNG streams and scratch buffers to `n` workers.
+    ///
+    /// Streams are xoshiro `jump` sub-streams of the master seed, so any two
+    /// workers are 2¹²⁸ draws apart. Growing re-derives all streams; use one
+    /// runner per sampler for reproducible traces.
+    fn ensure_workers(&mut self, n: usize) {
+        if self.worker_rngs.len() >= n {
+            return;
+        }
+        self.worker_rngs = Xoshiro256pp::streams(self.cfg.seed ^ 0x5851_F42D, n)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        while self.scratches.len() < n {
+            self.scratches.push(Mutex::new(UpdateScratch::new(self.cfg.num_latent)));
+        }
+    }
+
+    /// One full Gibbs iteration over `runner`.
+    pub fn step(&mut self, runner: &dyn ItemRunner) -> IterStats {
+        self.ensure_workers(runner.threads());
+
+        // Algorithm 1: hyper(movies) → movies, hyper(users) → users. With
+        // side information the Normal–Wishart update sees the residuals
+        // around the feature-predicted means, then the link matrix is
+        // redrawn (Macau's sweep order).
+        resample_hyper(&mut self.movies, &mut self.movie_side, &mut self.hyper_rng);
+        let movie_stats = self.sweep(Side::Movies, runner);
+        resample_hyper(&mut self.users, &mut self.user_side, &mut self.hyper_rng);
+        let user_stats = self.sweep(Side::Users, runner);
+
+        let (rmse_sample, rmse_mean) = self.evaluate();
+        let stats = self.make_iter_stats(rmse_sample, rmse_mean, &movie_stats, &user_stats);
+        self.iter += 1;
+        stats
+    }
+
+    /// Run `iterations` steps and collect the report.
+    pub fn run(&mut self, runner: &dyn ItemRunner, iterations: usize) -> TrainReport {
+        let iters = (0..iterations).map(|_| self.step(runner)).collect();
+        TrainReport {
+            engine: runner.name().to_string(),
+            parallelism: runner.threads(),
+            iters,
+        }
+    }
+
+    fn sweep(&mut self, side: Side, runner: &dyn ItemRunner) -> RunStats {
+        // Full destructuring gives the borrow checker disjoint fields: the
+        // updated side is exclusive, the counterpart shared.
+        let GibbsSampler {
+            cfg,
+            data,
+            users,
+            movies,
+            user_side,
+            movie_side,
+            worker_rngs,
+            scratches,
+            user_weights,
+            movie_weights,
+            ..
+        } = self;
+        let (state, other, matrix, weights, side_info) = match side {
+            Side::Movies => (movies, &*users, data.rt, &*movie_weights, &*movie_side),
+            Side::Users => (users, &*movies, data.r, &*user_weights, &*user_side),
+        };
+        let prior_offsets = side_info.as_ref().map(|si| si.offsets());
+
+        let (lambda_mu, chol_lambda) = state.prior_derivatives();
+        let lambda = state.lambda.clone();
+        let prior = SidePrior {
+            lambda: &lambda,
+            lambda_mu: &lambda_mu,
+            chol_lambda: &chol_lambda,
+            alpha: cfg.alpha,
+            mean_offset: data.global_mean,
+        };
+        let other_items = &other.items;
+        let writer = MatWriter::new(&mut state.items);
+        let (offsets, indices, _) = matrix.raw_parts();
+        let adj = Adjacency { offsets, indices, neighbor_domain: other_items.rows() };
+        let rank1_max = cfg.rank_one_threshold();
+        let par_threshold = cfg.parallel_threshold;
+        let kernel_threads = cfg.kernel_threads;
+
+        let update = |worker: usize, item: usize| {
+            let ratings = matrix.row(item);
+            let method = choose_method(ratings.0.len(), rank1_max, par_threshold);
+            let mut rng = worker_rngs[worker].lock().expect("rng mutex poisoned");
+            let mut scratch = scratches[worker].lock().expect("scratch mutex poisoned");
+            // SAFETY: the runner's exactly-once contract means no other
+            // worker receives this item index, so the row is unaliased.
+            let out = unsafe { writer.row_mut(item) };
+            update_item(
+                method,
+                &prior,
+                ratings,
+                other_items,
+                prior_offsets.map(|g| g.row(item)),
+                &mut rng,
+                &mut scratch,
+                out,
+                kernel_threads,
+            );
+        };
+        runner.run_items(matrix.nrows(), Some(weights), Some(adj), &update)
+    }
+
+    /// RMSE of the current sample and of the running posterior mean.
+    fn evaluate(&mut self) -> (f64, f64) {
+        if self.data.test.is_empty() {
+            return (f64::NAN, f64::NAN);
+        }
+        let averaging = self.iter >= self.cfg.burnin;
+        if averaging {
+            self.acc_count += 1;
+            // Accumulate factor sums for the posterior-mean point predictor.
+            let k = self.cfg.num_latent;
+            let (u_acc, v_acc) = self.factor_acc.get_or_insert_with(|| {
+                (Mat::zeros(self.users.items.rows(), k), Mat::zeros(self.movies.items.rows(), k))
+            });
+            u_acc.add_assign_scaled(&self.users.items, 1.0);
+            v_acc.add_assign_scaled(&self.movies.items, 1.0);
+        }
+        let mut se_sample = 0.0;
+        let mut se_mean = 0.0;
+        for ((slot, sq_slot), &(i, j, r)) in self
+            .predict_acc
+            .iter_mut()
+            .zip(self.predict_sq_acc.iter_mut())
+            .zip(self.data.test)
+        {
+            let pred = self.data.global_mean
+                + vecops::dot(self.users.items.row(i as usize), self.movies.items.row(j as usize));
+            se_sample += (pred - r) * (pred - r);
+            if averaging {
+                *slot += pred;
+                *sq_slot += pred * pred;
+                let avg = *slot / self.acc_count as f64;
+                se_mean += (avg - r) * (avg - r);
+            }
+        }
+        let n = self.data.test.len() as f64;
+        let rmse_sample = (se_sample / n).sqrt();
+        let rmse_mean = if averaging { (se_mean / n).sqrt() } else { f64::NAN };
+        (rmse_sample, rmse_mean)
+    }
+
+    fn make_iter_stats(
+        &self,
+        rmse_sample: f64,
+        rmse_mean: f64,
+        movie_stats: &RunStats,
+        user_stats: &RunStats,
+    ) -> IterStats {
+        let items = (self.data.r.nrows() + self.data.r.ncols()) as f64;
+        let secs = movie_stats.elapsed.as_secs_f64() + user_stats.elapsed.as_secs_f64();
+        let busy = {
+            let (e1, e2) = (movie_stats.elapsed.as_secs_f64(), user_stats.elapsed.as_secs_f64());
+            if e1 + e2 > 0.0 {
+                (movie_stats.busy_fraction() * e1 + user_stats.busy_fraction() * e2) / (e1 + e2)
+            } else {
+                1.0
+            }
+        };
+        IterStats {
+            iter: self.iter,
+            rmse_sample,
+            rmse_mean,
+            items_per_sec: if secs > 0.0 { items / secs } else { 0.0 },
+            sweep_seconds: secs,
+            busy_fraction: busy,
+            steals: movie_stats.total_steals() + user_stats.total_steals(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+    use bpmf_sparse::Coo;
+
+    /// A small planted dataset the sampler must crack: rank-2 structure,
+    /// mild noise.
+    fn planted(seed: u64) -> (Csr, Csr, f64, Vec<(u32, u32, f64)>) {
+        let (m, n, k) = (60usize, 40usize, 2usize);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let u = Mat::from_fn(m, k, |_, _| bpmf_stats::normal(&mut rng, 0.0, 1.0));
+        let v = Mat::from_fn(n, k, |_, _| bpmf_stats::normal(&mut rng, 0.0, 1.0));
+        let mut coo = Coo::new(m, n);
+        let mut test = Vec::new();
+        for i in 0..m {
+            for j in 0..n {
+                if rng.next_f64() < 0.4 {
+                    let r = vecops::dot(u.row(i), v.row(j)) + bpmf_stats::normal(&mut rng, 0.0, 0.1);
+                    if rng.next_f64() < 0.15 {
+                        test.push((i as u32, j as u32, r));
+                    } else {
+                        coo.push(i, j, r);
+                    }
+                }
+            }
+        }
+        let r = Csr::from_coo_owned(coo);
+        let mean = r.iter().map(|(_, _, v)| v).sum::<f64>() / r.nnz() as f64;
+        let rt = r.transpose();
+        (r, rt, mean, test)
+    }
+
+    #[test]
+    fn sampler_converges_toward_noise_floor() {
+        let (r, rt, mean, test) = planted(11);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig {
+            num_latent: 4,
+            burnin: 6,
+            samples: 14,
+            seed: 1,
+            kernel_threads: 1,
+            ..Default::default()
+        };
+        let runner = EngineKind::WorkStealing.build(2);
+        let mut sampler = GibbsSampler::new(cfg, data);
+        let report = sampler.run(runner.as_ref(), 20);
+
+        let first = report.iters[0].rmse_sample;
+        let last = report.final_rmse();
+        assert!(last < first * 0.6, "no convergence: first {first}, last {last}");
+        // Noise sd is 0.1; posterior-mean RMSE should land well below 0.5.
+        assert!(last < 0.5, "final RMSE too high: {last}");
+    }
+
+    #[test]
+    fn posterior_mean_rmse_is_at_least_as_good_as_sample_rmse_eventually() {
+        let (r, rt, mean, test) = planted(5);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig {
+            num_latent: 4,
+            burnin: 4,
+            samples: 16,
+            seed: 3,
+            kernel_threads: 1,
+            ..Default::default()
+        };
+        let runner = EngineKind::Static.build(2);
+        let mut sampler = GibbsSampler::new(cfg, data);
+        let report = sampler.run(runner.as_ref(), 20);
+        let last = report.iters.last().unwrap();
+        assert!(
+            last.rmse_mean <= last.rmse_sample * 1.1,
+            "averaging should not hurt: mean {} vs sample {}",
+            last.rmse_mean,
+            last.rmse_sample
+        );
+    }
+
+    #[test]
+    fn static_engine_is_deterministic_given_seed() {
+        let (r, rt, mean, test) = planted(2);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig {
+            num_latent: 3,
+            burnin: 2,
+            samples: 4,
+            seed: 7,
+            kernel_threads: 1,
+            ..Default::default()
+        };
+        let runner = EngineKind::Static.build(2);
+        let run = |cfg: BpmfConfig| {
+            let mut s = GibbsSampler::new(cfg, data);
+            s.run(runner.as_ref(), 6).final_rmse()
+        };
+        // Static scheduling assigns item→worker deterministically, so the
+        // whole chain is reproducible bit-for-bit.
+        assert_eq!(run(cfg.clone()), run(cfg));
+    }
+
+    #[test]
+    fn all_engines_converge_similarly() {
+        let (r, rt, mean, test) = planted(4);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        for kind in EngineKind::all() {
+            let cfg = BpmfConfig {
+                num_latent: 4,
+                burnin: 5,
+                samples: 10,
+                seed: 9,
+                kernel_threads: 1,
+                ..Default::default()
+            };
+            let runner = kind.build(2);
+            let mut sampler = GibbsSampler::new(cfg, data);
+            let report = sampler.run(runner.as_ref(), 15);
+            assert!(
+                report.final_rmse() < 0.5,
+                "{} failed to converge: {}",
+                kind.label(),
+                report.final_rmse()
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_summaries_have_calibrated_spread() {
+        let (r, rt, mean, test) = planted(8);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig {
+            num_latent: 4,
+            burnin: 4,
+            samples: 16,
+            seed: 12,
+            kernel_threads: 1,
+            ..Default::default()
+        };
+        let runner = EngineKind::WorkStealing.build(2);
+        let mut sampler = GibbsSampler::new(cfg, data);
+        assert!(sampler.test_prediction_summaries().is_empty(), "no summaries before burn-in");
+        sampler.run(runner.as_ref(), 20);
+
+        let summaries = sampler.test_prediction_summaries();
+        assert_eq!(summaries.len(), test.len());
+        // Stds must be positive (the chain moves); individual points with
+        // few observations legitimately stay wide, but the typical point
+        // must be tight once the chain has converged.
+        for s in &summaries {
+            assert!(s.std > 0.0, "degenerate predictive std");
+            assert!(s.std.is_finite() && s.mean.is_finite());
+        }
+        let mut stds: Vec<f64> = summaries.iter().map(|s| s.std).collect();
+        stds.sort_by(f64::total_cmp);
+        let median = stds[stds.len() / 2];
+        assert!(median < 0.6, "median predictive std too wide: {median}");
+        // ~Gaussian calibration: the truth should fall within ±4 posterior
+        // std + noise for the large majority of points.
+        let covered = summaries
+            .iter()
+            .zip(&test)
+            .filter(|(s, &(_, _, r))| (s.mean - r).abs() < 4.0 * (s.std + 0.1))
+            .count();
+        assert!(
+            covered * 10 >= summaries.len() * 8,
+            "only {covered}/{} covered",
+            summaries.len()
+        );
+    }
+
+    #[test]
+    fn posterior_mean_factors_match_accumulated_predictions() {
+        let (r, rt, mean, test) = planted(9);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig {
+            num_latent: 3,
+            burnin: 2,
+            samples: 6,
+            seed: 4,
+            kernel_threads: 1,
+            ..Default::default()
+        };
+        let runner = EngineKind::Static.build(1);
+        let mut sampler = GibbsSampler::new(cfg, data);
+        assert!(sampler.posterior_mean_factors().is_none());
+        sampler.run(runner.as_ref(), 8);
+        let (mu, mv) = sampler.posterior_mean_factors().unwrap();
+        let (i, j) = (test[0].0 as usize, test[0].1 as usize);
+        let direct = mean + vecops::dot(mu.row(i), mv.row(j));
+        let via_api = sampler.predict_posterior_mean(i, j).unwrap();
+        assert!((direct - via_api).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_the_exact_chain() {
+        let (r, rt, mean, test) = planted(15);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig {
+            num_latent: 3,
+            burnin: 2,
+            samples: 8,
+            seed: 33,
+            kernel_threads: 1,
+            ..Default::default()
+        };
+        // Static engine with a fixed thread count: fully deterministic.
+        let runner = EngineKind::Static.build(2);
+
+        // Uninterrupted: 8 iterations.
+        let mut full = GibbsSampler::new(cfg.clone(), data);
+        let full_report = full.run(runner.as_ref(), 8);
+
+        // Interrupted after 4, checkpointed, resumed for 4 more.
+        let mut first_half = GibbsSampler::new(cfg.clone(), data);
+        first_half.run(runner.as_ref(), 4);
+        let ckpt = first_half.checkpoint();
+        drop(first_half);
+        let mut resumed = GibbsSampler::resume(cfg, data, &ckpt);
+        assert_eq!(resumed.iterations_done(), 4);
+        let resumed_report = resumed.run(runner.as_ref(), 4);
+
+        for (a, b) in full_report.iters[4..].iter().zip(&resumed_report.iters) {
+            assert_eq!(
+                a.rmse_sample.to_bits(),
+                b.rmse_sample.to_bits(),
+                "iteration {} diverged after resume",
+                b.iter
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "latent dimension mismatch")]
+    fn resume_validates_dimensions() {
+        let (r, rt, mean, test) = planted(16);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig { num_latent: 3, kernel_threads: 1, ..Default::default() };
+        let sampler = GibbsSampler::new(cfg, data);
+        let ckpt = sampler.checkpoint();
+        let bad_cfg = BpmfConfig { num_latent: 4, kernel_threads: 1, ..Default::default() };
+        let _ = GibbsSampler::resume(bad_cfg, data, &ckpt);
+    }
+
+    #[test]
+    fn empty_test_set_yields_nan_rmse_but_runs() {
+        let (r, rt, mean, _) = planted(6);
+        let test: Vec<(u32, u32, f64)> = Vec::new();
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig { num_latent: 3, kernel_threads: 1, ..Default::default() };
+        let runner = EngineKind::WorkStealing.build(1);
+        let mut sampler = GibbsSampler::new(cfg, data);
+        let stats = sampler.step(runner.as_ref());
+        assert!(stats.rmse_sample.is_nan());
+        assert_eq!(sampler.iterations_done(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose")]
+    fn mismatched_transpose_is_rejected() {
+        let (r, _, mean, test) = planted(1);
+        let bad = r.clone(); // not a transpose
+        let _ = TrainData::new(&r, &bad, mean, &test);
+    }
+}

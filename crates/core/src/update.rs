@@ -1,0 +1,458 @@
+//! The three item-update kernels (paper Fig. 2) and the adaptive choice.
+//!
+//! Every kernel draws one item's conditional posterior
+//!
+//! ```text
+//! Λ* = Λ + α Σ_j v_j v_jᵀ          (precision)
+//! b  = Λμ + α Σ_j r_j v_j          (information vector)
+//! item ~ N(Λ*⁻¹ b, Λ*⁻¹)
+//! ```
+//!
+//! and they differ only in how the Cholesky factor of `Λ*` is obtained:
+//!
+//! * **rank-one** — start from `chol(Λ)` and fold each rating in with a
+//!   rank-one Cholesky update: `O(d·K²)` with no final `O(K³)` factorization;
+//!   cheapest for items with few ratings.
+//! * **serial Cholesky** — accumulate `Λ*` with SYRK, factor once serially:
+//!   the workhorse for mid-sized items.
+//! * **parallel Cholesky** — split the accumulation across threads and use
+//!   the blocked parallel factorization: pays thread coordination, wins only
+//!   for the heavy items (the paper routes items with ≳1000 ratings here,
+//!   which also breaks those items into stealable sub-tasks).
+
+use bpmf_linalg::{
+    cholesky_in_place, cholesky_in_place_parallel, solve_lower, solve_lower_transpose, vecops,
+    Cholesky, Mat,
+};
+use bpmf_stats::{fill_standard_normal, Xoshiro256pp};
+
+/// Which factorization strategy an item update uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateMethod {
+    /// Incremental rank-one Cholesky updates of the prior factor.
+    RankOne,
+    /// SYRK accumulation + one serial Cholesky factorization.
+    CholSerial,
+    /// Threaded accumulation + blocked parallel Cholesky.
+    CholParallel,
+}
+
+/// The paper's adaptive rule: rank-one for the lightest items, parallel
+/// Cholesky for items with at least `parallel_threshold` ratings (≈1000 in
+/// the paper), serial Cholesky in between.
+#[inline]
+pub fn choose_method(
+    nratings: usize,
+    rank_one_max: usize,
+    parallel_threshold: usize,
+) -> UpdateMethod {
+    if nratings >= parallel_threshold {
+        UpdateMethod::CholParallel
+    } else if nratings <= rank_one_max {
+        UpdateMethod::RankOne
+    } else {
+        UpdateMethod::CholSerial
+    }
+}
+
+/// Reusable per-worker buffers: one item update allocates nothing.
+#[derive(Clone, Debug)]
+pub struct UpdateScratch {
+    prec: Mat,
+    rhs: Vec<f64>,
+    noise: Vec<f64>,
+    vec_k: Vec<f64>,
+}
+
+impl UpdateScratch {
+    /// Buffers for latent dimension `k`.
+    pub fn new(k: usize) -> Self {
+        UpdateScratch {
+            prec: Mat::zeros(k, k),
+            rhs: vec![0.0; k],
+            noise: vec![0.0; k],
+            vec_k: vec![0.0; k],
+        }
+    }
+}
+
+/// Per-sweep view of one side's prior: everything an item update needs that
+/// is constant across the sweep.
+pub struct SidePrior<'a> {
+    /// Prior precision `Λ` (full symmetric).
+    pub lambda: &'a Mat,
+    /// Precomputed `Λμ`.
+    pub lambda_mu: &'a [f64],
+    /// Cholesky factor of `Λ` (starting point of the rank-one kernel).
+    pub chol_lambda: &'a Cholesky,
+    /// Rating-noise precision α.
+    pub alpha: f64,
+    /// Global rating mean subtracted from every observation.
+    pub mean_offset: f64,
+}
+
+/// Draw one item's conditional posterior sample into `out`.
+///
+/// `ratings` are the item's `(counterpart index, raw rating)` pairs;
+/// `other` is the counterpart side's factor matrix; `offset`, when present,
+/// shifts this item's prior mean from `μ` to `μ + offset` (the Macau-style
+/// side-information hook — the precision is unchanged, so all three
+/// kernels need only a different right-hand-side seed). All three methods
+/// produce draws from exactly the same distribution — tests verify their
+/// moments agree — so the choice is purely a performance decision.
+#[allow(clippy::too_many_arguments)]
+pub fn update_item(
+    method: UpdateMethod,
+    prior: &SidePrior<'_>,
+    ratings: (&[u32], &[f64]),
+    other: &Mat,
+    offset: Option<&[f64]>,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut UpdateScratch,
+    out: &mut [f64],
+    kernel_threads: usize,
+) {
+    let k = prior.lambda.rows();
+    debug_assert_eq!(out.len(), k, "output row length mismatch");
+    let (cols, vals) = ratings;
+    debug_assert_eq!(cols.len(), vals.len());
+
+    match method {
+        UpdateMethod::CholSerial => {
+            accumulate_serial(prior, offset, cols, vals, other, scratch);
+            cholesky_in_place(&mut scratch.prec).expect("item precision must be SPD");
+        }
+        UpdateMethod::RankOne => {
+            // Start from the prior factor; fold in √α·v per rating.
+            scratch.prec.copy_from(prior.chol_lambda.l());
+            seed_rhs(prior, offset, scratch);
+            let sqrt_alpha = prior.alpha.sqrt();
+            for (&j, &r) in cols.iter().zip(vals) {
+                let v = other.row(j as usize);
+                for (s, &vi) in scratch.vec_k.iter_mut().zip(v) {
+                    *s = sqrt_alpha * vi;
+                }
+                bpmf_linalg::chol_update(&mut scratch.prec, &mut scratch.vec_k);
+                vecops::axpy(prior.alpha * (r - prior.mean_offset), v, &mut scratch.rhs);
+            }
+        }
+        UpdateMethod::CholParallel => {
+            accumulate_parallel(prior, offset, cols, vals, other, scratch, kernel_threads);
+            cholesky_in_place_parallel(&mut scratch.prec, kernel_threads, 32)
+                .expect("item precision must be SPD");
+        }
+    }
+
+    // scratch.prec now holds L with L Lᵀ = Λ*; solve for the mean and add
+    // precision-shaped noise: out = Λ*⁻¹ b + L⁻ᵀ z.
+    solve_lower(&scratch.prec, &mut scratch.rhs);
+    solve_lower_transpose(&scratch.prec, &mut scratch.rhs);
+    fill_standard_normal(rng, &mut scratch.noise);
+    solve_lower_transpose(&scratch.prec, &mut scratch.noise);
+    for ((o, &m), &z) in out.iter_mut().zip(&scratch.rhs).zip(&scratch.noise) {
+        *o = m + z;
+    }
+}
+
+/// Seed the information vector: `b = Λμ`, plus `Λ·offset` when this item's
+/// prior mean is shifted by side information. `vec_k` is free at this point
+/// in every kernel (the rank-one loop overwrites it afterwards).
+fn seed_rhs(prior: &SidePrior<'_>, offset: Option<&[f64]>, scratch: &mut UpdateScratch) {
+    scratch.rhs.copy_from_slice(prior.lambda_mu);
+    if let Some(g) = offset {
+        prior.lambda.matvec_into(g, &mut scratch.vec_k);
+        vecops::axpy(1.0, &scratch.vec_k, &mut scratch.rhs);
+    }
+}
+
+fn accumulate_serial(
+    prior: &SidePrior<'_>,
+    offset: Option<&[f64]>,
+    cols: &[u32],
+    vals: &[f64],
+    other: &Mat,
+    scratch: &mut UpdateScratch,
+) {
+    scratch.prec.copy_from(prior.lambda);
+    seed_rhs(prior, offset, scratch);
+    for (&j, &r) in cols.iter().zip(vals) {
+        let v = other.row(j as usize);
+        scratch.prec.syrk_lower(prior.alpha, v);
+        vecops::axpy(prior.alpha * (r - prior.mean_offset), v, &mut scratch.rhs);
+    }
+}
+
+/// Threaded accumulation: each thread builds a partial `(Λ_t, b_t)` over a
+/// contiguous rating chunk; partials are reduced serially (K² work,
+/// negligible next to the per-rating K² accumulation it parallelizes).
+fn accumulate_parallel(
+    prior: &SidePrior<'_>,
+    offset: Option<&[f64]>,
+    cols: &[u32],
+    vals: &[f64],
+    other: &Mat,
+    scratch: &mut UpdateScratch,
+    threads: usize,
+) {
+    let k = prior.lambda.rows();
+    let threads = threads.max(1).min(cols.len().max(1));
+    if threads == 1 {
+        accumulate_serial(prior, offset, cols, vals, other, scratch);
+        return;
+    }
+    let chunk = cols.len().div_ceil(threads);
+    let partials: Vec<(Mat, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cols
+            .chunks(chunk)
+            .zip(vals.chunks(chunk))
+            .map(|(cchunk, vchunk)| {
+                scope.spawn(move || {
+                    let mut prec = Mat::zeros(k, k);
+                    let mut rhs = vec![0.0; k];
+                    for (&j, &r) in cchunk.iter().zip(vchunk) {
+                        let v = other.row(j as usize);
+                        prec.syrk_lower(prior.alpha, v);
+                        vecops::axpy(prior.alpha * (r - prior.mean_offset), v, &mut rhs);
+                    }
+                    (prec, rhs)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("accumulation thread panicked")).collect()
+    });
+
+    scratch.prec.copy_from(prior.lambda);
+    seed_rhs(prior, offset, scratch);
+    for (prec, rhs) in &partials {
+        scratch.prec.add_assign_scaled(prec, 1.0);
+        vecops::axpy(1.0, rhs, &mut scratch.rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(k: usize, nratings: usize, seed: u64) -> (Mat, Vec<f64>, Cholesky, Mat, Vec<u32>, Vec<f64>) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        // A well-conditioned prior precision.
+        let mut lambda = Mat::identity(k);
+        for i in 0..k {
+            lambda[(i, i)] = 1.5 + 0.1 * i as f64;
+        }
+        let mu: Vec<f64> = (0..k).map(|i| 0.1 * i as f64 - 0.2).collect();
+        let lambda_mu = lambda.matvec(&mu);
+        let chol = Cholesky::factor(&lambda).unwrap();
+        let other = Mat::from_fn(nratings.max(4) * 2, k, |_, _| {
+            bpmf_stats::normal(&mut rng, 0.0, 0.5)
+        });
+        let cols: Vec<u32> = (0..nratings).map(|i| (i * 2) as u32).collect();
+        let vals: Vec<f64> = (0..nratings).map(|i| 3.0 + (i as f64 * 0.7).sin()).collect();
+        (lambda, lambda_mu, chol, other, cols, vals)
+    }
+
+    /// All three kernels must produce draws from the same distribution.
+    /// With the same RNG stream and the same posterior Cholesky factor they
+    /// would be bit-identical; rank-one builds the factor differently, so we
+    /// compare the implied posterior mean (deterministic part) instead.
+    #[test]
+    fn kernels_agree_on_posterior_mean() {
+        for &(k, d) in &[(4usize, 2usize), (8, 8), (8, 40), (16, 200)] {
+            let (lambda, lambda_mu, chol, other, cols, vals) = fixture(k, d, 99);
+            let prior = SidePrior {
+                lambda: &lambda,
+                lambda_mu: &lambda_mu,
+                chol_lambda: &chol,
+                alpha: 2.0,
+                mean_offset: 3.0,
+            };
+            let mut means = Vec::new();
+            for method in [UpdateMethod::RankOne, UpdateMethod::CholSerial, UpdateMethod::CholParallel] {
+                let mut scratch = UpdateScratch::new(k);
+                // Zero noise: run the deterministic part only by solving
+                // with a fresh rng and subtracting the noise afterwards is
+                // fragile; instead exploit that the mean is
+                // scratch.rhs after the solves. We reproduce it here.
+                match method {
+                    UpdateMethod::CholSerial => {
+                        accumulate_serial(&prior, None, &cols, &vals, &other, &mut scratch);
+                        cholesky_in_place(&mut scratch.prec).unwrap();
+                    }
+                    UpdateMethod::RankOne => {
+                        scratch.prec.copy_from(prior.chol_lambda.l());
+                        scratch.rhs.copy_from_slice(prior.lambda_mu);
+                        let sa = prior.alpha.sqrt();
+                        for (&j, &r) in cols.iter().zip(&vals) {
+                            let v = other.row(j as usize);
+                            for (s, &vi) in scratch.vec_k.iter_mut().zip(v) {
+                                *s = sa * vi;
+                            }
+                            bpmf_linalg::chol_update(&mut scratch.prec, &mut scratch.vec_k);
+                            vecops::axpy(prior.alpha * (r - prior.mean_offset), v, &mut scratch.rhs);
+                        }
+                    }
+                    UpdateMethod::CholParallel => {
+                        accumulate_parallel(&prior, None, &cols, &vals, &other, &mut scratch, 3);
+                        cholesky_in_place_parallel(&mut scratch.prec, 3, 8).unwrap();
+                    }
+                }
+                solve_lower(&scratch.prec, &mut scratch.rhs);
+                solve_lower_transpose(&scratch.prec, &mut scratch.rhs);
+                means.push(scratch.rhs.clone());
+            }
+            for m in &means[1..] {
+                for (a, b) in m.iter().zip(&means[0]) {
+                    assert!((a - b).abs() < 1e-8, "k={k} d={d}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_moments_match_conditional_posterior() {
+        // Empirically verify E[sample] ≈ Λ*⁻¹ b and Cov ≈ Λ*⁻¹ for the full
+        // sampling path (serial kernel).
+        let k = 3;
+        let (lambda, lambda_mu, chol, other, cols, vals) = fixture(k, 12, 7);
+        let prior = SidePrior {
+            lambda: &lambda,
+            lambda_mu: &lambda_mu,
+            chol_lambda: &chol,
+            alpha: 1.5,
+            mean_offset: 3.0,
+        };
+
+        // Reference posterior.
+        let mut scratch = UpdateScratch::new(k);
+        accumulate_serial(&prior, None, &cols, &vals, &other, &mut scratch);
+        let mut prec_full = scratch.prec.clone();
+        prec_full.symmetrize_from_lower();
+        let post = Cholesky::factor(&prec_full).unwrap();
+        let mut mean = scratch.rhs.clone();
+        post.solve_in_place(&mut mean);
+        let cov = post.inverse();
+
+        let mut rng = Xoshiro256pp::seed_from_u64(500);
+        let n = 60_000;
+        let mut acc = vec![0.0; k];
+        let mut sq = Mat::zeros(k, k);
+        let mut out = vec![0.0; k];
+        for _ in 0..n {
+            update_item(
+                UpdateMethod::CholSerial,
+                &prior,
+                (&cols, &vals),
+                &other,
+                None,
+                &mut rng,
+                &mut scratch,
+                &mut out,
+                1,
+            );
+            for (a, &o) in acc.iter_mut().zip(&out) {
+                *a += o / n as f64;
+            }
+            for i in 0..k {
+                for j in 0..k {
+                    sq[(i, j)] += out[i] * out[j] / n as f64;
+                }
+            }
+        }
+        for (got, want) in acc.iter().zip(&mean) {
+            assert!((got - want).abs() < 0.02, "mean: {got} vs {want}");
+        }
+        for i in 0..k {
+            for j in 0..k {
+                let emp_cov = sq[(i, j)] - acc[i] * acc[j];
+                assert!(
+                    (emp_cov - cov[(i, j)]).abs() < 0.02,
+                    "cov[{i}{j}]: {emp_cov} vs {}",
+                    cov[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_kernel_samples_same_distribution() {
+        // Same empirical-mean check for the rank-one path (catches sign or
+        // scaling slips in the incremental factor).
+        let k = 4;
+        let (lambda, lambda_mu, chol, other, cols, vals) = fixture(k, 3, 21);
+        let prior = SidePrior {
+            lambda: &lambda,
+            lambda_mu: &lambda_mu,
+            chol_lambda: &chol,
+            alpha: 2.0,
+            mean_offset: 3.0,
+        };
+        let mut scratch = UpdateScratch::new(k);
+        accumulate_serial(&prior, None, &cols, &vals, &other, &mut scratch);
+        let mut prec_full = scratch.prec.clone();
+        prec_full.symmetrize_from_lower();
+        let post = Cholesky::factor(&prec_full).unwrap();
+        let mut want_mean = scratch.rhs.clone();
+        post.solve_in_place(&mut want_mean);
+
+        let mut rng = Xoshiro256pp::seed_from_u64(1234);
+        let n = 40_000;
+        let mut acc = vec![0.0; k];
+        let mut out = vec![0.0; k];
+        for _ in 0..n {
+            update_item(
+                UpdateMethod::RankOne,
+                &prior,
+                (&cols, &vals),
+                &other,
+                None,
+                &mut rng,
+                &mut scratch,
+                &mut out,
+                1,
+            );
+            for (a, &o) in acc.iter_mut().zip(&out) {
+                *a += o / n as f64;
+            }
+        }
+        for (got, want) in acc.iter().zip(&want_mean) {
+            assert!((got - want).abs() < 0.03, "mean: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zero_rating_item_draws_from_prior() {
+        let k = 5;
+        let (lambda, lambda_mu, chol, other, _, _) = fixture(k, 0, 3);
+        let prior = SidePrior {
+            lambda: &lambda,
+            lambda_mu: &lambda_mu,
+            chol_lambda: &chol,
+            alpha: 2.0,
+            mean_offset: 0.0,
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let mut scratch = UpdateScratch::new(k);
+        let mut out = vec![0.0; k];
+        update_item(
+            UpdateMethod::CholSerial,
+            &prior,
+            (&[], &[]),
+            &other,
+            None,
+            &mut rng,
+            &mut scratch,
+            &mut out,
+            1,
+        );
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn adaptive_rule_matches_paper() {
+        assert_eq!(choose_method(3, 8, 1000), UpdateMethod::RankOne);
+        assert_eq!(choose_method(8, 8, 1000), UpdateMethod::RankOne);
+        assert_eq!(choose_method(9, 8, 1000), UpdateMethod::CholSerial);
+        assert_eq!(choose_method(999, 8, 1000), UpdateMethod::CholSerial);
+        assert_eq!(choose_method(1000, 8, 1000), UpdateMethod::CholParallel);
+    }
+}

@@ -1,0 +1,65 @@
+//! Deterministic train/test splitting.
+
+use bpmf_sparse::{Coo, Csr};
+use bpmf_stats::Xoshiro256pp;
+
+/// Split triplets into a frozen training matrix and a held-out test list.
+///
+/// Each observation lands in the test set independently with probability
+/// `test_fraction`, driven by `seed` — the split is reproducible and
+/// independent of triplet order only in distribution, so callers should keep
+/// generation order fixed (the generators do).
+pub fn split_train_test(coo: &Coo, test_fraction: f64, seed: u64) -> (Csr, Vec<(u32, u32, f64)>) {
+    assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut train = Coo::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
+    let mut test = Vec::with_capacity((coo.nnz() as f64 * test_fraction) as usize + 16);
+    for &(i, j, v) in coo.entries() {
+        if rng.next_f64() < test_fraction {
+            test.push((i, j, v));
+        } else {
+            train.push(i as usize, j as usize, v);
+        }
+    }
+    (Csr::from_coo_owned(train), test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo(n: usize) -> Coo {
+        assert!(n <= 100 * 80);
+        let mut coo = Coo::new(100, 80);
+        for k in 0..n {
+            coo.push(k / 80, k % 80, k as f64); // distinct coordinates
+        }
+        coo
+    }
+
+    #[test]
+    fn split_conserves_observations() {
+        let coo = sample_coo(2000);
+        let (train, test) = split_train_test(&coo, 0.25, 99);
+        assert_eq!(train.nnz() + test.len(), 2000);
+        // Rough proportion check.
+        assert!((300..=700).contains(&test.len()), "test = {}", test.len());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let coo = sample_coo(500);
+        let (tr1, te1) = split_train_test(&coo, 0.3, 5);
+        let (tr2, te2) = split_train_test(&coo, 0.3, 5);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything_in_train() {
+        let coo = sample_coo(100);
+        let (train, test) = split_train_test(&coo, 0.0, 1);
+        assert_eq!(train.nnz(), 100);
+        assert!(test.is_empty());
+    }
+}

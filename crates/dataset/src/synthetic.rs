@@ -1,0 +1,441 @@
+//! Planted low-rank generator with power-law popularity.
+
+use bpmf_linalg::{vecops, Mat};
+use bpmf_sparse::{Coo, Csr};
+use bpmf_stats::{normal, Xoshiro256pp};
+
+use crate::split::split_train_test;
+
+/// Parameters of the synthetic workload generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Human-readable name carried into reports.
+    pub name: String,
+    /// Rows of R ("users"; compounds in the ChEMBL reading).
+    pub nrows: usize,
+    /// Columns of R ("movies"; protein targets in the ChEMBL reading).
+    pub ncols: usize,
+    /// Target number of observed ratings (achieved exactly).
+    pub nnz: usize,
+    /// Rank of the planted model.
+    pub k_true: usize,
+    /// Observation noise σ — the RMSE floor a correct sampler approaches.
+    pub noise_sd: f64,
+    /// Row-popularity exponent (0 = uniform; 1 ≈ Zipf).
+    pub row_exponent: f64,
+    /// Column-popularity exponent.
+    pub col_exponent: f64,
+    /// Optional clipping of ratings to a scale (e.g. 0.5–5 stars).
+    pub clip: Option<(f64, f64)>,
+    /// Community structure: with `Some(c)`, rows and columns are assigned
+    /// to `c` hidden clusters and a rating stays inside its row's cluster
+    /// with probability [`SyntheticConfig::intra_cluster_prob`]. Real rating
+    /// data is block-structured this way (genre niches, assay families),
+    /// which is what bandwidth-reducing orderings exploit (§IV-B). Row/
+    /// column ids are shuffled, so the structure is hidden from naive
+    /// contiguous partitioning.
+    pub clusters: Option<usize>,
+    /// Probability that a rating's column is drawn from the row's own
+    /// cluster (only used when `clusters` is set).
+    pub intra_cluster_prob: f64,
+    /// Fraction of observations held out for RMSE evaluation.
+    pub test_fraction: f64,
+    /// Master seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+/// A ready-to-train workload: frozen train matrix (both orientations), a
+/// held-out test set, and the metadata the harnesses report against.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset label for reports.
+    pub name: String,
+    /// Training ratings, users × movies.
+    pub train: Csr,
+    /// Training ratings transposed, movies × users.
+    pub train_t: Csr,
+    /// Held-out `(row, col, rating)` observations.
+    pub test: Vec<(u32, u32, f64)>,
+    /// Mean of the training ratings (samplers model residuals around it).
+    pub global_mean: f64,
+    /// Noise σ used during generation (`NaN` for loaded real data).
+    pub noise_sd: f64,
+    /// Rating-scale clipping applied during generation, if any.
+    pub clip: Option<(f64, f64)>,
+    /// Planted factors, kept for oracle checks in tests (dropped for loaded
+    /// data).
+    pub truth: Option<(Mat, Mat)>,
+}
+
+impl Dataset {
+    /// Wrap externally loaded train/test matrices (e.g. real MovieLens read
+    /// from MatrixMarket).
+    pub fn from_train_test(name: impl Into<String>, train: Csr, test: Vec<(u32, u32, f64)>) -> Self {
+        let global_mean = global_mean_of(&train);
+        Dataset {
+            name: name.into(),
+            train_t: train.transpose(),
+            train,
+            test,
+            global_mean,
+            noise_sd: f64::NAN,
+            clip: None,
+            truth: None,
+        }
+    }
+
+    /// Number of users (rows).
+    pub fn nrows(&self) -> usize {
+        self.train.nrows()
+    }
+
+    /// Number of movies (columns).
+    pub fn ncols(&self) -> usize {
+        self.train.ncols()
+    }
+
+    /// Training observations.
+    pub fn nnz(&self) -> usize {
+        self.train.nnz()
+    }
+
+    /// RMSE of the planted model on the held-out set — the best any sampler
+    /// can asymptotically do. Predictions are clamped to the rating scale
+    /// for clipped datasets (the observed ratings were). `None` for loaded
+    /// data.
+    pub fn oracle_rmse(&self) -> Option<f64> {
+        let (u, v) = self.truth.as_ref()?;
+        let se: f64 = self
+            .test
+            .iter()
+            .map(|&(i, j, r)| {
+                let mut pred = vecops::dot(u.row(i as usize), v.row(j as usize));
+                if let Some((lo, hi)) = self.clip {
+                    pred = pred.clamp(lo, hi);
+                }
+                (pred - r) * (pred - r)
+            })
+            .sum();
+        Some((se / self.test.len() as f64).sqrt())
+    }
+}
+
+fn global_mean_of(m: &Csr) -> f64 {
+    if m.nnz() == 0 {
+        return 0.0;
+    }
+    m.iter().map(|(_, _, v)| v).sum::<f64>() / m.nnz() as f64
+}
+
+impl SyntheticConfig {
+    /// Generate the workload.
+    ///
+    /// Steps: plant `U*, V*` with entries `N(0, k^{-1/2})` (unit signal
+    /// variance), draw popularity weights `(rank+1)^{-exponent}` shuffled
+    /// over indices, sample distinct cells from the product distribution,
+    /// observe `r = U*_i · V*_j + ε` (clipped if configured), then split.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.nnz <= self.nrows * self.ncols, "nnz exceeds matrix capacity");
+        assert!(self.k_true > 0, "planted rank must be positive");
+        assert!((0.0..1.0).contains(&self.test_fraction), "test fraction must be in [0, 1)");
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
+
+        // Planted factors with unit signal variance: Var[u·v] = k · s⁴ = 1
+        // for s = k^(-1/4).
+        let s = (self.k_true as f64).powf(-0.25);
+        let u = Mat::from_fn(self.nrows, self.k_true, |_, _| normal(&mut rng, 0.0, s));
+        let v = Mat::from_fn(self.ncols, self.k_true, |_, _| normal(&mut rng, 0.0, s));
+
+        let row_cdf = popularity_cdf(self.nrows, self.row_exponent, &mut rng);
+        let col_cdf = popularity_cdf(self.ncols, self.col_exponent, &mut rng);
+
+        // Hidden community structure: shuffled cluster assignments plus a
+        // per-cluster column pool for intra-cluster draws.
+        let cluster_info = self.clusters.filter(|&c| c > 1).map(|c| {
+            let assign = |n: usize, rng: &mut Xoshiro256pp| -> Vec<u32> {
+                let mut ids: Vec<u32> = (0..n).map(|i| (i % c) as u32).collect();
+                for i in (1..n).rev() {
+                    let j = rng.next_index(i + 1);
+                    ids.swap(i, j);
+                }
+                ids
+            };
+            let row_cluster = assign(self.nrows, &mut rng);
+            let col_cluster = assign(self.ncols, &mut rng);
+            let mut cols_by_cluster: Vec<Vec<u32>> = vec![Vec::new(); c];
+            for (j, &cl) in col_cluster.iter().enumerate() {
+                cols_by_cluster[cl as usize].push(j as u32);
+            }
+            (row_cluster, cols_by_cluster)
+        });
+
+        // Sample distinct cells. The dedup set keys on a packed u64; with
+        // the paper-shaped densities (≤ 1% of cells) collisions stay rare.
+        let mut seen = std::collections::HashSet::with_capacity(self.nnz * 2);
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        while coo.nnz() < self.nnz {
+            let i = sample_cdf(&row_cdf, &mut rng);
+            let j = match &cluster_info {
+                Some((row_cluster, cols_by_cluster))
+                    if rng.next_f64() < self.intra_cluster_prob =>
+                {
+                    let pool = &cols_by_cluster[row_cluster[i] as usize];
+                    pool[rng.next_index(pool.len())] as usize
+                }
+                _ => sample_cdf(&col_cdf, &mut rng),
+            };
+            if !seen.insert((i as u64) << 32 | j as u64) {
+                continue;
+            }
+            let mut r = vecops::dot(u.row(i), v.row(j)) + normal(&mut rng, 0.0, self.noise_sd);
+            if let Some((lo, hi)) = self.clip {
+                r = r.clamp(lo, hi);
+            }
+            coo.push(i, j, r);
+        }
+
+        let (train, test) = split_train_test(&coo, self.test_fraction, self.seed ^ 0xBEEF);
+        let global_mean = global_mean_of(&train);
+        Dataset {
+            name: self.name.clone(),
+            train_t: train.transpose(),
+            train,
+            test,
+            global_mean,
+            noise_sd: self.noise_sd,
+            clip: self.clip,
+            truth: Some((u, v)),
+        }
+    }
+}
+
+/// Cumulative popularity distribution: weights `(rank+1)^{-exponent}`
+/// assigned to indices in shuffled order (real datasets are not sorted by
+/// popularity).
+fn popularity_cdf(n: usize, exponent: f64, rng: &mut Xoshiro256pp) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..n).map(|r| (r as f64 + 1.0).powf(-exponent)).collect();
+    // Fisher–Yates shuffle of the weight assignment.
+    for i in (1..n).rev() {
+        let j = rng.next_index(i + 1);
+        weights.swap(i, j);
+    }
+    let mut acc = 0.0;
+    for w in weights.iter_mut() {
+        acc += *w;
+        *w = acc;
+    }
+    let total = acc;
+    for w in weights.iter_mut() {
+        *w /= total;
+    }
+    weights
+}
+
+/// Inverse-CDF sampling via binary search.
+fn sample_cdf(cdf: &[f64], rng: &mut Xoshiro256pp) -> usize {
+    let u = rng.next_f64();
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
+}
+
+/// ChEMBL-v20-shaped workload at `scale` (1.0 = the paper's 483 500 × 5 775,
+/// ~1.02 M ratings). Compounds are measured against few targets while
+/// popular targets accumulate thousands of measurements — a strong column
+/// skew, the source of the paper's load-balancing pathology.
+pub fn chembl_like(scale: f64, seed: u64) -> Dataset {
+    assert!(scale > 0.0, "scale must be positive");
+    let nrows = ((483_500.0 * scale) as usize).max(64);
+    let ncols = ((5_775.0 * scale) as usize).max(16);
+    let nnz = (((1_023_952.0 * scale) as usize).max(512)).min(nrows * ncols / 2);
+    SyntheticConfig {
+        name: format!("chembl-like(x{scale})"),
+        nrows,
+        ncols,
+        nnz,
+        k_true: 16,
+        noise_sd: 0.6,
+        row_exponent: 0.45,
+        col_exponent: 1.0,
+        clip: None,
+        clusters: None,
+        intra_cluster_prob: 0.0,
+        test_fraction: 0.1,
+        seed,
+    }
+    .generate()
+}
+
+/// MovieLens-ml-20m-shaped workload at `scale` (1.0 = 138 493 × 27 278,
+/// 20 M ratings). Both sides are skewed; ratings live on a 0.5–5 scale.
+pub fn movielens_like(scale: f64, seed: u64) -> Dataset {
+    assert!(scale > 0.0, "scale must be positive");
+    let nrows = ((138_493.0 * scale) as usize).max(64);
+    let ncols = ((27_278.0 * scale) as usize).max(32);
+    let nnz = (((20_000_263.0 * scale) as usize).max(512)).min(nrows * ncols / 2);
+    SyntheticConfig {
+        name: format!("movielens-like(x{scale})"),
+        nrows,
+        ncols,
+        nnz,
+        k_true: 16,
+        noise_sd: 0.8,
+        row_exponent: 0.75,
+        col_exponent: 1.0,
+        clip: Some((0.5, 5.0)),
+        clusters: None,
+        intra_cluster_prob: 0.0,
+        test_fraction: 0.1,
+        seed,
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            name: "test".into(),
+            nrows: 200,
+            ncols: 100,
+            nnz: 3000,
+            k_true: 8,
+            noise_sd: 0.5,
+            row_exponent: 0.5,
+            col_exponent: 1.0,
+            clip: None,
+            clusters: None,
+            intra_cluster_prob: 0.0,
+            test_fraction: 0.2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn shape_and_counts_match_config() {
+        let cfg = small_config();
+        let ds = cfg.generate();
+        assert_eq!(ds.nrows(), 200);
+        assert_eq!(ds.ncols(), 100);
+        assert_eq!(ds.nnz() + ds.test.len(), 3000);
+        // ~20% held out, allow generous slack for the Bernoulli split.
+        assert!((400..=800).contains(&ds.test.len()), "test size = {}", ds.test.len());
+        assert_eq!(ds.train_t.nrows(), 100);
+        assert_eq!(ds.train_t.nnz(), ds.train.nnz());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_config().generate();
+        let b = small_config().generate();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small_config();
+        let a = cfg.generate();
+        cfg.seed = 43;
+        let b = cfg.generate();
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn oracle_rmse_is_near_noise_floor() {
+        let ds = small_config().generate();
+        let oracle = ds.oracle_rmse().unwrap();
+        assert!(
+            (oracle - 0.5).abs() < 0.08,
+            "oracle RMSE {oracle} should be near the noise σ 0.5"
+        );
+    }
+
+    #[test]
+    fn column_skew_produces_heavy_items() {
+        let mut cfg = small_config();
+        cfg.col_exponent = 1.1;
+        // Plenty of rows so the hottest column is not capped by dedup
+        // (a column holds at most `nrows` distinct cells).
+        cfg.nrows = 500;
+        cfg.nnz = 2000;
+        let ds = cfg.generate();
+        // With strong skew, the busiest movie should hold many times the
+        // mean load.
+        let mean = ds.train_t.mean_row_nnz();
+        let max = ds.train_t.max_row_nnz() as f64;
+        assert!(max > 5.0 * mean, "max = {max}, mean = {mean}");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let mut cfg = small_config();
+        cfg.row_exponent = 0.0;
+        cfg.col_exponent = 0.0;
+        let ds = cfg.generate();
+        let mean = ds.train.mean_row_nnz();
+        let max = ds.train.max_row_nnz() as f64;
+        assert!(max < 4.0 * mean, "uniform sampling should not create hot rows");
+    }
+
+    #[test]
+    fn clipping_is_applied() {
+        let mut cfg = small_config();
+        cfg.clip = Some((1.0, 5.0));
+        cfg.noise_sd = 3.0; // force excursions
+        let ds = cfg.generate();
+        for (_, _, v) in ds.train.iter() {
+            assert!((1.0..=5.0).contains(&v));
+        }
+        for &(_, _, v) in &ds.test {
+            assert!((1.0..=5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn clustered_generation_has_recoverable_block_structure() {
+        use bpmf_sparse::{comm_volume, rcm_bipartite, BlockPartition};
+        let mut cfg = small_config();
+        cfg.nrows = 400;
+        cfg.ncols = 200;
+        cfg.nnz = 6000;
+        cfg.clusters = Some(4);
+        cfg.intra_cluster_prob = 0.9;
+        cfg.row_exponent = 0.2;
+        cfg.col_exponent = 0.2;
+        let ds = cfg.generate();
+
+        // RCM must recover the hidden blocks: cross-partition traffic under
+        // contiguous 4-way splits should shrink substantially.
+        let before = comm_volume(
+            &ds.train,
+            &ds.train_t,
+            &BlockPartition::uniform(400, 4),
+            &BlockPartition::uniform(200, 4),
+        );
+        let (pr, pc) = rcm_bipartite(&ds.train);
+        let reordered = ds.train.permute(&pr, &pc);
+        let reordered_t = reordered.transpose();
+        let after = comm_volume(
+            &reordered,
+            &reordered_t,
+            &BlockPartition::uniform(400, 4),
+            &BlockPartition::uniform(200, 4),
+        );
+        assert!(
+            (after as f64) < 0.8 * before as f64,
+            "RCM should cut comm volume on clustered data: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn presets_scale_down_sanely() {
+        let ds = chembl_like(0.005, 7);
+        assert!(ds.nrows() >= 64);
+        assert!(ds.ncols() >= 16);
+        assert!(ds.nnz() > 1000);
+        let ml = movielens_like(0.002, 7);
+        assert!(ml.nrows() >= 64);
+        assert!(ml.global_mean > 0.5 && ml.global_mean < 5.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Serial Cholesky factorization.
+
+use crate::error::LinalgError;
+use crate::mat::Mat;
+use crate::tri::{solve_lower, solve_lower_transpose};
+use crate::vecops;
+
+/// Smallest pivot accepted before declaring the matrix non-SPD.
+///
+/// BPMF precision matrices are `Λ_prior + α Σ v vᵀ` with `Λ_prior` sampled
+/// from a Wishart, so they are comfortably positive definite; a pivot this
+/// small signals corrupted input rather than a borderline case.
+const MIN_PIVOT: f64 = 1e-300;
+
+/// Factor the lower triangle of `m` in place: on success the lower triangle
+/// holds `L` with `L Lᵀ = A`, and the strict upper triangle is zeroed.
+///
+/// Only the lower triangle of the input is read, so callers that build
+/// precision matrices with [`Mat::syrk_lower`] never need to symmetrize.
+///
+/// This is the row-oriented (left-looking) variant: for row-major storage
+/// every inner product streams two contiguous row prefixes, which is the
+/// layout-friendly choice for the `K × K` matrices BPMF solves per item.
+pub fn cholesky_in_place(m: &mut Mat) -> Result<(), LinalgError> {
+    let n = m.rows();
+    assert_eq!(n, m.cols(), "cholesky requires a square matrix");
+    for i in 0..n {
+        for j in 0..=i {
+            // inner = Σ_{k<j} L[i][k] L[j][k]
+            let inner = if i == j {
+                let row = &m.row(i)[..j];
+                vecops::dot(row, row)
+            } else {
+                let (row_j, row_i) = m.two_rows_mut(j, i);
+                vecops::dot(&row_i[..j], &row_j[..j])
+            };
+            let s = m[(i, j)] - inner;
+            if i == j {
+                if s <= MIN_PIVOT {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                m[(i, i)] = s.sqrt();
+            } else {
+                m[(i, j)] = s / m[(j, j)];
+            }
+        }
+        // Zero the strict upper part of row i so the factor is clean.
+        for j in i + 1..n {
+            m[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// An SPD factorization `A = L Lᵀ` with solve/inverse/log-det helpers.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factor a copy of `a` (only its lower triangle is read).
+    pub fn factor(a: &Mat) -> Result<Self, LinalgError> {
+        let mut l = a.clone();
+        cholesky_in_place(&mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// Factor `a` in place, consuming it.
+    pub fn factor_in_place(mut a: Mat) -> Result<Self, LinalgError> {
+        cholesky_in_place(&mut a)?;
+        Ok(Cholesky { l: a })
+    }
+
+    /// Wrap an existing lower factor without checking it.
+    ///
+    /// The caller promises `l` is lower triangular with positive diagonal;
+    /// used by the rank-one update path which maintains a factor
+    /// incrementally.
+    pub fn from_lower_unchecked(l: Mat) -> Self {
+        Cholesky { l }
+    }
+
+    /// The lower factor `L`.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Mutable access to the factor (for in-place rank-one updates).
+    pub fn l_mut(&mut self) -> &mut Mat {
+        &mut self.l
+    }
+
+    /// Order of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A x = b` in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        solve_lower(&self.l, b);
+        solve_lower_transpose(&self.l, b);
+    }
+
+    /// Solve `Lᵀ x = b` in place.
+    ///
+    /// Mapping i.i.d. standard normals through this produces a draw with
+    /// covariance `A⁻¹` — the precision-form sampling step of BPMF.
+    pub fn solve_lt_in_place(&self, b: &mut [f64]) {
+        solve_lower_transpose(&self.l, b);
+    }
+
+    /// Solve `L x = b` in place.
+    pub fn solve_l_in_place(&self, b: &mut [f64]) {
+        solve_lower(&self.l, b);
+    }
+
+    /// Explicit inverse `A⁻¹` (dense). Prefer the solves in hot paths.
+    pub fn inverse(&self) -> Mat {
+        let n = self.dim();
+        let mut inv = Mat::zeros(n, n);
+        let mut col = vec![0.0; n];
+        for j in 0..n {
+            col.fill(0.0);
+            col[j] = 1.0;
+            self.solve_in_place(&mut col);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+
+    /// `log |A|` via the factor diagonal.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Rebuild `L Lᵀ` (testing / diagnostics).
+    pub fn reconstruct(&self) -> Mat {
+        self.l.matmul_transb(&self.l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example(n: usize) -> Mat {
+        // A = B Bᵀ + n·I is SPD for any B.
+        let b = Mat::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 11) as f64 / 11.0 - 0.4);
+        let mut a = b.matmul_transb(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        for n in [1, 2, 3, 8, 17] {
+            let a = spd_example(n);
+            let chol = Cholesky::factor(&a).unwrap();
+            assert!(chol.reconstruct().max_abs_diff(&a) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn solve_gives_small_residual() {
+        let a = spd_example(12);
+        let chol = Cholesky::factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..12).map(|i| (i as f64 - 6.0) * 0.3).collect();
+        let mut b = a.matvec(&x_true);
+        chol.solve_in_place(&mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd_example(6);
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Mat::identity(6)) < 1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_2x2_closed_form() {
+        let mut a = Mat::identity(2);
+        a[(0, 0)] = 4.0;
+        a[(1, 1)] = 9.0;
+        a[(1, 0)] = 1.0;
+        a[(0, 1)] = 1.0;
+        let chol = Cholesky::factor(&a).unwrap();
+        let det: f64 = 4.0 * 9.0 - 1.0;
+        assert!((chol.log_det() - det.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let mut a = Mat::identity(3);
+        a[(1, 1)] = -2.0;
+        match Cholesky::factor(&a) {
+            Err(LinalgError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn only_lower_triangle_is_read() {
+        let a = spd_example(5);
+        let mut garbage_upper = a.clone();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                garbage_upper[(i, j)] = f64::NAN;
+            }
+        }
+        let c1 = Cholesky::factor(&a).unwrap();
+        let c2 = Cholesky::factor(&garbage_upper).unwrap();
+        assert!(c1.l().max_abs_diff(c2.l()) < 1e-15);
+    }
+}

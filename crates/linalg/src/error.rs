@@ -1,0 +1,31 @@
+use std::fmt;
+
+/// Errors produced by the dense kernels.
+///
+/// Dimension mismatches between caller-supplied operands are programmer
+/// errors and panic via `assert!`; this enum covers the *data-dependent*
+/// failures a caller is expected to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// A Cholesky factorization hit a non-positive pivot.
+    ///
+    /// For BPMF this indicates a precision matrix that lost positive
+    /// definiteness (numerically singular prior, or a downdate that removed
+    /// more than was ever added).
+    NotPositiveDefinite {
+        /// Index of the offending pivot.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra for the BPMF reproduction.
+//!
+//! This crate replaces the role Eigen plays in the paper's C++ implementation:
+//! it provides exactly the kernels the BPMF Gibbs sampler is built from,
+//! tuned for the small-to-medium square matrices (`K × K`, `K` typically
+//! 8–128) that dominate its runtime:
+//!
+//! * [`Mat`] — a row-major dense matrix with the usual constructors and
+//!   element-wise operations,
+//! * serial Cholesky factorization ([`Cholesky`]),
+//! * a blocked, multi-threaded Cholesky ([`cholesky_in_place_parallel`]) used
+//!   for items with very many ratings (paper, Fig. 2),
+//! * rank-one Cholesky update/downdate ([`chol_update`], [`chol_downdate`])
+//!   used by the cheap per-rating update kernel,
+//! * triangular solves and the vector helpers ([`vecops`]) the sampler's hot
+//!   loops use.
+//!
+//! Everything is `f64`; the paper's workloads are well inside `f64` range and
+//! the Gibbs sampler is sensitive to the conditioning of the precision
+//! matrices, so no `f32` path is offered.
+//!
+//! # Example
+//!
+//! ```
+//! use bpmf_linalg::{Mat, Cholesky};
+//!
+//! // Solve the SPD system (A + I) x = b with a Cholesky factorization.
+//! let mut a = Mat::identity(3);
+//! a[(0, 1)] = 0.5;
+//! a[(1, 0)] = 0.5;
+//! let chol = Cholesky::factor(&a).unwrap();
+//! let mut x = vec![1.0, 2.0, 3.0];
+//! chol.solve_in_place(&mut x);
+//! let r = a.matvec(&x);
+//! assert!((r[0] - 1.0).abs() < 1e-12);
+//! ```
+
+mod chol;
+mod chol_par;
+mod cholupdate;
+mod error;
+mod mat;
+mod matwriter;
+mod par;
+mod tri;
+pub mod vecops;
+
+pub use chol::Cholesky;
+pub use chol::cholesky_in_place;
+pub use chol_par::{cholesky_in_place_parallel, DEFAULT_BLOCK};
+pub use cholupdate::{chol_downdate, chol_update};
+pub use error::LinalgError;
+pub use mat::Mat;
+pub use matwriter::MatWriter;
+pub use par::par_row_chunks;
+pub use tri::{solve_lower, solve_lower_transpose};

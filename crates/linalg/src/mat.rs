@@ -1,0 +1,349 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::vecops;
+
+/// Row-major dense `f64` matrix.
+///
+/// The BPMF sampler manipulates two shapes: small square `K × K` precision
+/// matrices (hot path) and tall `N × K` factor matrices whose rows are item
+/// models. Row-major storage makes a factor row a contiguous `&[f64]`, which
+/// is what every kernel in the sampler consumes.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// `scale * I` of order `n`.
+    pub fn scaled_identity(n: usize, scale: f64) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = scale;
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Build from a row-major flat slice. Panics if the length is not `rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length must be rows * cols");
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Two disjoint mutable rows; panics if `i == j`.
+    pub fn two_rows_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(i, j, "rows must be distinct");
+        let c = self.cols;
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (head, tail) = self.data.split_at_mut(hi * c);
+        let lo_row = &mut head[lo * c..(lo + 1) * c];
+        let hi_row = &mut tail[..c];
+        if i < j { (lo_row, hi_row) } else { (hi_row, lo_row) }
+    }
+
+    /// Set every element to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Copy every element from `other` (shapes must match). Used by the
+    /// update kernels to reset scratch matrices without reallocating.
+    pub fn copy_from(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// `self += s * other` element-wise.
+    pub fn add_assign_scaled(&mut self, other: &Mat, s: f64) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *yi = vecops::dot(row, x);
+        }
+        y
+    }
+
+    /// Matrix-vector product written into `y` (no allocation).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *yi = vecops::dot(row, x);
+        }
+    }
+
+    /// Dense matrix product `self * other`.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams both `other` rows and `out` rows.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                vecops::axpy(aik, other.row(k), out_row);
+            }
+        }
+        out
+    }
+
+    /// Dense product with the second operand transposed: `self * otherᵀ`.
+    pub fn matmul_transb(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_transb dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                out.data[i * other.rows + j] = vecops::dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Symmetric rank-one accumulation on the **lower** triangle:
+    /// `self[lower] += alpha * x xᵀ`.
+    ///
+    /// This is the inner operation of the precision build
+    /// `Λ* = Λ + α Σ v vᵀ`; only the lower triangle is touched because the
+    /// Cholesky kernels read only the lower triangle.
+    pub fn syrk_lower(&mut self, alpha: f64, x: &[f64]) {
+        let n = self.rows;
+        assert_eq!(n, self.cols, "syrk_lower requires a square matrix");
+        assert_eq!(x.len(), n, "syrk_lower vector length mismatch");
+        for i in 0..n {
+            let axi = alpha * x[i];
+            let row = &mut self.data[i * n..i * n + i + 1];
+            // `x[..=i]` has exactly `row.len()` elements: bounds checks fold away.
+            for (r, &xj) in row.iter_mut().zip(&x[..=i]) {
+                *r += axi * xj;
+            }
+        }
+    }
+
+    /// Copy the lower triangle onto the upper triangle, producing a fully
+    /// symmetric matrix.
+    pub fn symmetrize_from_lower(&mut self) {
+        let n = self.rows;
+        assert_eq!(n, self.cols, "symmetrize requires a square matrix");
+        for i in 0..n {
+            for j in 0..i {
+                self.data[j * n + i] = self.data[i * n + j];
+            }
+        }
+    }
+
+    /// Largest absolute element-wise difference against `other`.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let m = Mat::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Mat::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_row_major(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_matmul_of_transpose() {
+        let a = Mat::from_fn(3, 4, |i, j| (i * 7 + j) as f64 * 0.25);
+        let b = Mat::from_fn(5, 4, |i, j| (i + 2 * j) as f64 - 3.0);
+        let direct = a.matmul_transb(&b);
+        let via_transpose = a.matmul(&b.transpose());
+        assert!(direct.max_abs_diff(&via_transpose) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Mat::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn syrk_lower_accumulates_outer_product() {
+        let mut m = Mat::zeros(3, 3);
+        let x = [1.0, 2.0, 3.0];
+        m.syrk_lower(2.0, &x);
+        m.symmetrize_from_lower();
+        let expected = Mat::from_fn(3, 3, |i, j| 2.0 * x[i] * x[j]);
+        assert!(m.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn two_rows_mut_returns_disjoint_rows() {
+        let mut m = Mat::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let (a, b) = m.two_rows_mut(3, 1);
+        a[0] = -1.0;
+        b[0] = -2.0;
+        assert_eq!(m[(3, 0)], -1.0);
+        assert_eq!(m[(1, 0)], -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_assign_scaled_and_scale() {
+        let mut a = Mat::identity(2);
+        let b = Mat::identity(2);
+        a.add_assign_scaled(&b, 3.0);
+        a.scale(0.5);
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Concurrent disjoint-row writer for factor matrices.
+
+use crate::Mat;
+
+/// Raw-pointer view of a factor matrix that lets multiple workers write
+/// *disjoint* rows concurrently.
+///
+/// The borrow checker cannot express "each worker writes only the rows of
+/// the items it executes", which is the access pattern of every factor
+/// sweep in this workspace (Gibbs and ALS both execute every item exactly
+/// once per sweep, and item `i` writes only row `i`). This wrapper makes
+/// the pattern explicit and keeps the `unsafe` confined to one audited
+/// place.
+pub struct MatWriter {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: `MatWriter` is only used inside a sweep whose runner guarantees
+// each row index is handed to exactly one worker invocation (ItemRunner's
+// exactly-once contract), so no two threads ever alias a row.
+unsafe impl Send for MatWriter {}
+unsafe impl Sync for MatWriter {}
+
+impl MatWriter {
+    /// Capture the matrix; the `&mut` borrow pins exclusive access for the
+    /// writer's lifetime.
+    pub fn new(m: &mut Mat) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        MatWriter { ptr: m.as_mut_slice().as_mut_ptr(), rows, cols }
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Safety
+    ///
+    /// At most one live reference per row: the caller must guarantee no two
+    /// concurrent calls receive the same `i`, and that no other reference to
+    /// the underlying matrix is alive.
+    #[inline]
+    pub unsafe fn row_mut(&self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        std::slice::from_raw_parts_mut(self.ptr.add(i * self.cols), self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_rows_can_be_written_in_parallel() {
+        let rows = 64;
+        let cols = 8;
+        let mut m = Mat::zeros(rows, cols);
+        let writer = MatWriter::new(&mut m);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let writer = &writer;
+                scope.spawn(move || {
+                    for i in (t..rows).step_by(4) {
+                        // SAFETY: strided ranges are disjoint across threads.
+                        let row = unsafe { writer.row_mut(i) };
+                        for (c, v) in row.iter_mut().enumerate() {
+                            *v = (i * cols + c) as f64;
+                        }
+                    }
+                });
+            }
+        });
+        for i in 0..rows {
+            for c in 0..cols {
+                assert_eq!(m[(i, c)], (i * cols + c) as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal scoped row-partitioned parallelism.
+//!
+//! `linalg` deliberately does not depend on the scheduler crate (the
+//! scheduler depends on nothing numeric, and the parallel Cholesky is used
+//! *inside* scheduler-driven item updates). Instead it uses plain
+//! `std::thread::scope` over contiguous row chunks: the matrices involved are
+//! large enough (the paper only routes items with >1000 ratings here) that
+//! thread spawn cost is noise.
+
+/// Split `data` (a row-major buffer of rows of length `row_len`) into at most
+/// `nthreads` contiguous row chunks and run `f(first_row, chunk)` on each in
+/// parallel.
+///
+/// `f` receives the index of the first row in its chunk plus the mutable
+/// chunk itself; chunks are disjoint so no synchronization is needed.
+pub fn par_row_chunks<F>(data: &mut [f64], row_len: usize, nthreads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(data.len() % row_len, 0, "buffer must be a whole number of rows");
+    let nrows = data.len() / row_len;
+    if nrows == 0 {
+        return;
+    }
+    let threads = nthreads.max(1).min(nrows);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = nrows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row0 = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * row_len).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = row0;
+            row0 += take / row_len;
+            let f = &f;
+            scope.spawn(move || f(start, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_is_visited_exactly_once() {
+        let rows = 37;
+        let cols = 5;
+        let mut data = vec![0.0f64; rows * cols];
+        par_row_chunks(&mut data, cols, 4, |first, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first + r) as f64 + 1.0;
+                }
+            }
+        });
+        for (i, row) in data.chunks_exact(cols).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f64 + 1.0), "row {i}");
+        }
+    }
+
+    #[test]
+    fn single_thread_and_empty_cases() {
+        let mut data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        par_row_chunks(&mut data, 3, 1, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v *= 2.0;
+            }
+        });
+        assert_eq!(data[11], 22.0);
+
+        let mut empty: Vec<f64> = vec![];
+        par_row_chunks(&mut empty, 4, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let mut data = vec![1.0f64; 2 * 3];
+        par_row_chunks(&mut data, 3, 16, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+}

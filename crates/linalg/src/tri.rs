@@ -1,0 +1,71 @@
+//! Triangular solves against a lower Cholesky factor.
+
+use crate::mat::Mat;
+use crate::vecops;
+
+/// Solve `L x = b` in place (forward substitution), where `l` holds a lower
+/// triangular factor in its lower triangle. `b` is overwritten with `x`.
+pub fn solve_lower(l: &Mat, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(n, l.cols(), "solve_lower requires a square factor");
+    assert_eq!(b.len(), n, "solve_lower rhs length mismatch");
+    for i in 0..n {
+        let row = &l.row(i)[..i];
+        let s = vecops::dot(row, &b[..i]);
+        b[i] = (b[i] - s) / l[(i, i)];
+    }
+}
+
+/// Solve `Lᵀ x = b` in place (back substitution) using the lower triangle of
+/// `l`. `b` is overwritten with `x`.
+///
+/// Together with [`solve_lower`] this solves the SPD system `L Lᵀ x = b`;
+/// alone it maps an i.i.d. standard normal vector `z` to a draw with
+/// covariance `(L Lᵀ)⁻¹`, which is exactly how the BPMF item sampler turns a
+/// precision Cholesky factor into posterior noise.
+pub fn solve_lower_transpose(l: &Mat, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(n, l.cols(), "solve_lower_transpose requires a square factor");
+    assert_eq!(b.len(), n, "solve_lower_transpose rhs length mismatch");
+    for i in (0..n).rev() {
+        // Lᵀ[i, j] = L[j, i] for j > i: walk column i below the diagonal.
+        let mut s = b[i];
+        for j in i + 1..n {
+            s -= l[(j, i)] * b[j];
+        }
+        b[i] = s / l[(i, i)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_example() -> Mat {
+        // L = [2 0 0; 1 3 0; -1 0.5 1.5]
+        Mat::from_row_major(3, 3, vec![2.0, 0.0, 0.0, 1.0, 3.0, 0.0, -1.0, 0.5, 1.5])
+    }
+
+    #[test]
+    fn forward_substitution_solves_lx_eq_b() {
+        let l = lower_example();
+        let x_true = [1.0, -2.0, 0.5];
+        let mut b = l.matvec(&x_true);
+        solve_lower(&l, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn back_substitution_solves_ltx_eq_b() {
+        let l = lower_example();
+        let lt = l.transpose();
+        let x_true = [0.25, 4.0, -1.0];
+        let mut b = lt.matvec(&x_true);
+        solve_lower_transpose(&l, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

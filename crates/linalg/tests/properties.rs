@@ -1,0 +1,112 @@
+//! Property-based tests for the dense kernels.
+//!
+//! Strategy: random well-conditioned SPD matrices are built as `B Bᵀ + c·I`;
+//! every invariant the sampler relies on (factor/solve consistency, rank-one
+//! update equivalence, serial/parallel agreement) must hold over the whole
+//! generated family, not just hand-picked examples.
+
+use bpmf_linalg::{
+    chol_downdate, chol_update, cholesky_in_place, cholesky_in_place_parallel, vecops, Cholesky,
+    Mat,
+};
+use proptest::prelude::*;
+
+fn spd_matrix(max_n: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_n, proptest::collection::vec(-1.0f64..1.0, max_n * max_n)).prop_map(
+        move |(n, raw)| {
+            let b = Mat::from_fn(n, n, |i, j| raw[i * max_n + j]);
+            let mut a = b.matmul_transb(&b);
+            for i in 0..n {
+                a[(i, i)] += n as f64 + 1.0;
+            }
+            a
+        },
+    )
+}
+
+fn vector(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_reconstructs_input(a in spd_matrix(12)) {
+        let chol = Cholesky::factor(&a).unwrap();
+        prop_assert!(chol.reconstruct().max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrips((a, x) in spd_matrix(12).prop_flat_map(|a| {
+        let n = a.rows();
+        (Just(a), proptest::collection::vec(-3.0f64..3.0, n))
+    })) {
+        let chol = Cholesky::factor(&a).unwrap();
+        let mut b = a.matvec(&x);
+        chol.solve_in_place(&mut b);
+        for (got, want) in b.iter().zip(&x) {
+            prop_assert!((got - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rank_one_update_equals_refactor((a, x) in spd_matrix(10).prop_flat_map(|a| {
+        let n = a.rows();
+        (Just(a), proptest::collection::vec(-1.5f64..1.5, n))
+    })) {
+        let mut updated = a.clone();
+        updated.syrk_lower(1.0, &x);
+        let direct = Cholesky::factor(&updated).unwrap();
+
+        let mut inc = Cholesky::factor(&a).unwrap();
+        let mut scratch = x.clone();
+        chol_update(inc.l_mut(), &mut scratch);
+        prop_assert!(inc.l().max_abs_diff(direct.l()) < 1e-7);
+    }
+
+    #[test]
+    fn update_then_downdate_is_identity((a, x) in spd_matrix(10).prop_flat_map(|a| {
+        let n = a.rows();
+        (Just(a), proptest::collection::vec(-1.5f64..1.5, n))
+    })) {
+        let original = Cholesky::factor(&a).unwrap();
+        let mut chol = original.clone();
+        let mut s = x.clone();
+        chol_update(chol.l_mut(), &mut s);
+        let mut s = x.clone();
+        chol_downdate(chol.l_mut(), &mut s).unwrap();
+        prop_assert!(chol.l().max_abs_diff(original.l()) < 1e-7);
+    }
+
+    #[test]
+    fn parallel_cholesky_equals_serial(a in spd_matrix(40), threads in 1usize..4, block in 8usize..24) {
+        let mut serial = a.clone();
+        cholesky_in_place(&mut serial).unwrap();
+        let mut par = a.clone();
+        cholesky_in_place_parallel(&mut par, threads, block).unwrap();
+        prop_assert!(par.max_abs_diff(&serial) < 1e-8);
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_linear(x in vector(16), y in vector(16), a in -3.0f64..3.0) {
+        let d1 = vecops::dot(&x, &y);
+        let d2 = vecops::dot(&y, &x);
+        prop_assert!((d1 - d2).abs() < 1e-10);
+
+        let scaled: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let d3 = vecops::dot(&scaled, &y);
+        prop_assert!((d3 - a * d1).abs() < 1e-8 * (1.0 + d1.abs()).max(1.0));
+    }
+
+    #[test]
+    fn log_det_is_additive_under_scaling(a in spd_matrix(8), s in 0.5f64..4.0) {
+        let n = a.rows();
+        let mut scaled = a.clone();
+        scaled.scale(s);
+        let ld_a = Cholesky::factor(&a).unwrap().log_det();
+        let ld_s = Cholesky::factor(&scaled).unwrap().log_det();
+        // |sA| = s^n |A|
+        prop_assert!((ld_s - (ld_a + n as f64 * s.ln())).abs() < 1e-8);
+    }
+}

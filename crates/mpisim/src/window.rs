@@ -1,0 +1,328 @@
+//! GASPI-style one-sided windows with notifications.
+//!
+//! The paper's future work (§VI) proposes replacing two-sided MPI messaging
+//! with "a more light-weight multi-threaded communication library" — GASPI
+//! (GPI-2), whose model is: segments of remote-writable memory, one-sided
+//! `put` into a target's segment, and small *notifications* that tell the
+//! target what arrived. No tag matching, no mailbox scans, no per-message
+//! envelopes.
+//!
+//! This module reproduces that model in process:
+//!
+//! * every rank owns a segment of `len` f64 slots, remotely writable;
+//! * [`Comm::window_put_notify`] writes a span into the destination's
+//!   segment and posts a notification value on the (src → dst) queue;
+//! * the destination polls or waits for notifications, then reads the spans
+//!   the notifications describe from its own segment.
+//!
+//! Memory safety without locks on the data path: segment slots are
+//! `AtomicU64` (f64 bit patterns) written with `Relaxed` stores; the
+//! notification enqueue is the `Release` operation and the dequeue the
+//! `Acquire`, so a reader that popped a notification observes every store
+//! the writer made before posting it. Readers only read spans they were
+//! notified about, so torn reads cannot be observed — provided writers keep
+//! concurrent puts to disjoint spans, which the BPMF exchange guarantees
+//! (each item row is written only by its owner).
+//!
+//! **Span reuse requires an epoch.** One-sided puts have no flow control: a
+//! writer that reuses a span must know the consumer has finished reading the
+//! previous contents, or the reader can observe the *next* epoch's values
+//! under the old notification. Real GASPI programs carry the same burden.
+//! The BPMF exchange satisfies it for free — the hyperparameter collective
+//! between Gibbs sweeps orders "all reads of sweep s" before "all writes of
+//! sweep s+1" — and ad-hoc uses must add an explicit ack message.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+
+/// Handle to a collectively created window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowHandle(pub(crate) usize);
+
+struct Notification {
+    value: u64,
+    /// Network-model delivery time (puts traverse the same wire as
+    /// messages).
+    ready_at: Option<Instant>,
+}
+
+pub(crate) struct WindowShared {
+    /// One segment of `len` f64 slots per rank.
+    segments: Vec<Vec<AtomicU64>>,
+    /// Notification queues indexed `dst * nranks + src`.
+    notifications: Vec<Mutex<VecDeque<Notification>>>,
+    nranks: usize,
+}
+
+impl WindowShared {
+    pub(crate) fn new(nranks: usize, len: usize) -> Arc<Self> {
+        Arc::new(WindowShared {
+            segments: (0..nranks)
+                .map(|_| (0..len).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            notifications: (0..nranks * nranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            nranks,
+        })
+    }
+
+    fn queue(&self, dst: usize, src: usize) -> &Mutex<VecDeque<Notification>> {
+        &self.notifications[dst * self.nranks + src]
+    }
+}
+
+impl Comm<'_> {
+    /// Collectively create a window of `len` f64 slots per rank. Every rank
+    /// must call this the same number of times in the same order; the Nth
+    /// call everywhere refers to the Nth window, and all ranks receive the
+    /// same handle.
+    pub fn window_create(&mut self, len: usize) -> WindowHandle {
+        let handle = {
+            let mut registry = self.shared().window_registry.lock();
+            let idx = registry.attached[self.rank()];
+            registry.attached[self.rank()] += 1;
+            if idx == registry.windows.len() {
+                // First rank to reach this creation point materializes it.
+                let win = WindowShared::new(self.size(), len);
+                registry.windows.push(win);
+            } else {
+                assert_eq!(
+                    registry.windows[idx].segments[0].len(),
+                    len,
+                    "ranks disagree on the length of window {idx}"
+                );
+            }
+            WindowHandle(idx)
+        };
+        // No rank may put into a window before every rank has attached.
+        self.barrier();
+        handle
+    }
+
+    /// One-sided write of `data` into `dst`'s segment at `offset`, followed
+    /// by a notification carrying `value` (typically the item id). Returns
+    /// immediately (one-sided semantics: the target is not involved).
+    pub fn window_put_notify(
+        &mut self,
+        win: WindowHandle,
+        dst: usize,
+        offset: usize,
+        data: &[f64],
+        value: u64,
+    ) {
+        let t0 = Instant::now();
+        let bytes = data.len() * 8;
+        let ready_at = self.net_model().map(|m| Instant::now() + m.delay(bytes));
+        {
+            let shared = self.shared();
+            let registry = shared.window_registry.lock();
+            let window = Arc::clone(&registry.windows[win.0]);
+            drop(registry);
+            let segment = &window.segments[dst];
+            assert!(offset + data.len() <= segment.len(), "put outside the window");
+            for (slot, &v) in segment[offset..offset + data.len()].iter().zip(data) {
+                slot.store(v.to_bits(), Ordering::Relaxed);
+            }
+            // Release: publishing the notification publishes the stores.
+            window.queue(dst, self.rank()).lock().push_back(Notification { value, ready_at });
+        }
+        self.account_put(bytes as u64, t0.elapsed());
+    }
+
+    /// Drain up to `max` ready notifications from `src` into `out`
+    /// (non-blocking); returns how many were drained. The bound lets a
+    /// consumer with an exact per-phase quota avoid stealing notifications
+    /// that belong to a future phase.
+    pub fn window_poll_notifications(
+        &mut self,
+        win: WindowHandle,
+        src: usize,
+        max: usize,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        let t0 = Instant::now();
+        let drained = {
+            let shared = self.shared();
+            let registry = shared.window_registry.lock();
+            let window = Arc::clone(&registry.windows[win.0]);
+            drop(registry);
+            let mut q = window.queue(self.rank(), src).lock();
+            let mut n = 0;
+            while n < max {
+                let Some(front) = q.front() else { break };
+                if front.ready_at.is_some_and(|t| t > Instant::now()) {
+                    break; // still "on the wire"; preserve order
+                }
+                out.push(q.pop_front().expect("front exists").value);
+                n += 1;
+            }
+            n
+        };
+        self.account_comm_time(t0.elapsed());
+        drained
+    }
+
+    /// Blocking wait for the next notification from `src` (poll time is
+    /// accounted inside each poll).
+    pub fn window_wait_notification(&mut self, win: WindowHandle, src: usize) -> u64 {
+        let mut out = Vec::with_capacity(1);
+        loop {
+            self.shared().check_abort();
+            if self.window_poll_notifications(win, src, 1, &mut out) > 0 {
+                return out[0];
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Copy `out.len()` slots starting at `offset` from this rank's own
+    /// segment. Only read spans you have been notified about.
+    pub fn window_read_local(&self, win: WindowHandle, offset: usize, out: &mut [f64]) {
+        let shared = self.shared();
+        let registry = shared.window_registry.lock();
+        let window = Arc::clone(&registry.windows[win.0]);
+        drop(registry);
+        let segment = &window.segments[self.rank()];
+        let len = out.len();
+        assert!(offset + len <= segment.len(), "read outside the window");
+        for (o, slot) in out.iter_mut().zip(&segment[offset..offset + len]) {
+            *o = f64::from_bits(slot.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// Registry of collectively created windows (lives in the universe).
+pub(crate) struct WindowRegistry {
+    pub(crate) windows: Vec<Arc<WindowShared>>,
+    /// Per rank: how many windows it has attached so far (creation order is
+    /// the identity of a window).
+    pub(crate) attached: Vec<usize>,
+}
+
+impl WindowRegistry {
+    pub(crate) fn new(nranks: usize) -> Self {
+        WindowRegistry { windows: Vec::new(), attached: vec![0; nranks] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use crate::NetModel;
+    use std::time::Duration;
+
+    #[test]
+    fn put_notify_read_roundtrip() {
+        Universe::run(2, None, |comm| {
+            let win = comm.window_create(8);
+            if comm.rank() == 0 {
+                comm.window_put_notify(win, 1, 2, &[1.5, -2.5, 3.5], 7);
+                comm.barrier();
+            } else {
+                let value = comm.window_wait_notification(win, 0);
+                assert_eq!(value, 7);
+                let mut out = [0.0; 3];
+                comm.window_read_local(win, 2, &mut out);
+                assert_eq!(out, [1.5, -2.5, 3.5]);
+                comm.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn notifications_are_fifo_per_pair() {
+        Universe::run(2, None, |comm| {
+            let win = comm.window_create(16);
+            if comm.rank() == 0 {
+                for i in 0..5u64 {
+                    comm.window_put_notify(win, 1, i as usize, &[i as f64], i);
+                }
+                comm.barrier();
+            } else {
+                comm.barrier(); // all puts posted
+                let mut out = Vec::new();
+                while out.len() < 5 {
+                    comm.window_poll_notifications(win, 0, 8, &mut out);
+                }
+                assert_eq!(out, vec![0, 1, 2, 3, 4]);
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_disjoint_puts_are_all_visible() {
+        let n = 4;
+        Universe::run(n, None, |comm| {
+            let win = comm.window_create(n * 2);
+            let me = comm.rank();
+            // Every rank writes its own disjoint span into rank 0.
+            if me != 0 {
+                comm.window_put_notify(win, 0, me * 2, &[me as f64, -(me as f64)], me as u64);
+            }
+            comm.barrier();
+            if me == 0 {
+                let mut seen = vec![false; n];
+                let mut values = Vec::new();
+                for src in 1..n {
+                    while comm.window_poll_notifications(win, src, 8, &mut values) == 0 {}
+                }
+                for &v in &values {
+                    seen[v as usize] = true;
+                    let mut out = [0.0; 2];
+                    comm.window_read_local(win, v as usize * 2, &mut out);
+                    assert_eq!(out, [v as f64, -(v as f64)]);
+                }
+                assert!(seen[1..].iter().all(|&s| s));
+            }
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn network_model_delays_notifications() {
+        let latency = Duration::from_millis(20);
+        let out = Universe::run(2, Some(NetModel::new(latency, 1e12)), |comm| {
+            let win = comm.window_create(4);
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.window_put_notify(win, 1, 0, &[9.0], 1);
+                Duration::ZERO
+            } else {
+                comm.barrier();
+                let t0 = Instant::now();
+                let _ = comm.window_wait_notification(win, 0);
+                t0.elapsed()
+            }
+        });
+        assert!(out[1] >= latency - Duration::from_millis(2), "elapsed {:?}", out[1]);
+    }
+
+    #[test]
+    fn multiple_windows_are_independent() {
+        Universe::run(2, None, |comm| {
+            let a = comm.window_create(4);
+            let b = comm.window_create(4);
+            assert_ne!(a, b);
+            if comm.rank() == 0 {
+                comm.window_put_notify(a, 1, 0, &[1.0], 10);
+                comm.window_put_notify(b, 1, 0, &[2.0], 20);
+                comm.barrier();
+            } else {
+                assert_eq!(comm.window_wait_notification(a, 0), 10);
+                assert_eq!(comm.window_wait_notification(b, 0), 20);
+                let mut out = [0.0];
+                comm.window_read_local(a, 0, &mut out);
+                assert_eq!(out[0], 1.0);
+                comm.window_read_local(b, 0, &mut out);
+                assert_eq!(out[0], 2.0);
+                comm.barrier();
+            }
+        });
+    }
+}

@@ -1,0 +1,84 @@
+//! Payload encoding helpers (little-endian `f64`/`u64` slices).
+//!
+//! The distributed BPMF driver ships factor rows and sufficient statistics
+//! as flat `f64` buffers; these helpers are the only (de)serialization it
+//! needs, with explicit little-endian framing so payloads are
+//! platform-independent.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encode an `f64` slice.
+pub fn f64s_to_bytes(data: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(data.len() * 8);
+    for &v in data {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode an `f64` payload. Panics if the length is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of f64s");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Decode an `f64` payload into an existing buffer (no allocation).
+pub fn bytes_to_f64s_into(bytes: &[u8], out: &mut Vec<f64>) {
+    assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of f64s");
+    out.clear();
+    out.extend(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
+}
+
+/// Encode a `u64` slice.
+pub fn u64s_to_bytes(data: &[u64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(data.len() * 8);
+    for &v in data {
+        buf.put_u64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode a `u64` payload. Panics if the length is not a multiple of 8.
+pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of u64s");
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let data = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 42.42];
+        let bytes = f64s_to_bytes(&data);
+        assert_eq!(bytes.len(), data.len() * 8);
+        assert_eq!(bytes_to_f64s(&bytes), data);
+    }
+
+    #[test]
+    fn f64_roundtrip_into_buffer() {
+        let data = vec![1.0, 2.0, 3.0];
+        let mut out = vec![9.9; 17];
+        bytes_to_f64s_into(&f64s_to_bytes(&data), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let data = vec![0u64, 1, u64::MAX, 0xDEADBEEF];
+        assert_eq!(bytes_to_u64s(&u64s_to_bytes(&data)), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_payload_panics() {
+        let _ = bytes_to_f64s(&[1, 2, 3]);
+    }
+}

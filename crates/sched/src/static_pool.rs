@@ -1,0 +1,308 @@
+//! Static-partition pool — the OpenMP analogue of paper §III.
+//!
+//! Each sweep splits `0..n` into exactly one contiguous chunk per thread —
+//! either by item count (OpenMP `schedule(static)`) or by the workload
+//! model's weights — and every thread processes only its own chunk. There is
+//! no stealing: a thread that finishes early idles at the barrier. The
+//! difference between this runtime's `busy_fraction` and the work-stealing
+//! pool's is the OpenMP-vs-TBB gap of Fig. 3.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::{RunStats, WorkerStats};
+use crate::ItemRunner;
+
+type Job = &'static (dyn Fn(usize, usize) + Sync);
+
+struct Sweep {
+    ranges: Vec<std::ops::Range<usize>>,
+    job: Option<Job>,
+}
+
+struct Shared {
+    gate: Mutex<(u64, bool)>, // (epoch, shutdown)
+    wake: Condvar,
+    sweep: Mutex<Sweep>,
+    workers_left: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    busy_ns: Vec<AtomicUsize>,
+    items: Vec<AtomicUsize>,
+}
+
+/// Fixed-partition thread pool (no work stealing).
+pub struct StaticPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    run_lock: Mutex<()>,
+    nthreads: usize,
+}
+
+impl StaticPool {
+    /// Spawn a pool with `nthreads` workers (at least 1).
+    pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        let shared = Arc::new(Shared {
+            gate: Mutex::new((0, false)),
+            wake: Condvar::new(),
+            sweep: Mutex::new(Sweep { ranges: Vec::new(), job: None }),
+            workers_left: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(true),
+            done_cv: Condvar::new(),
+            busy_ns: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
+            items: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        let handles = (0..nthreads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bpmf-static-{id}"))
+                    .spawn(move || worker_loop(id, shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        StaticPool { shared, handles, run_lock: Mutex::new(()), nthreads }
+    }
+
+    /// Contiguous per-thread ranges: equal count, or equal modeled weight.
+    fn split(&self, n: usize, weights: Option<&[f64]>) -> Vec<std::ops::Range<usize>> {
+        match weights {
+            None => {
+                let base = n / self.nthreads;
+                let extra = n % self.nthreads;
+                let mut out = Vec::with_capacity(self.nthreads);
+                let mut start = 0;
+                for t in 0..self.nthreads {
+                    let len = base + usize::from(t < extra);
+                    out.push(start..start + len);
+                    start += len;
+                }
+                out
+            }
+            Some(w) => {
+                assert_eq!(w.len(), n, "weights length must equal item count");
+                let total: f64 = w.iter().sum();
+                let mut out = Vec::with_capacity(self.nthreads);
+                let mut start = 0usize;
+                let mut acc = 0.0;
+                for t in 0..self.nthreads {
+                    let target = total * (t as f64 + 1.0) / self.nthreads as f64;
+                    let mut end = start;
+                    let cap = n - (self.nthreads - 1 - t).min(n - start.min(n));
+                    while end < cap && (acc < target || end == start) {
+                        acc += w[end];
+                        end += 1;
+                    }
+                    if t == self.nthreads - 1 {
+                        end = n;
+                    }
+                    out.push(start..end.max(start));
+                    start = end.max(start);
+                }
+                out
+            }
+        }
+    }
+}
+
+impl ItemRunner for StaticPool {
+    fn run_items(
+        &self,
+        n: usize,
+        weights: Option<&[f64]>,
+        _adj: Option<crate::Adjacency<'_>>,
+        f: &(dyn Fn(usize, usize) + Sync),
+    ) -> RunStats {
+        let _serial = self.run_lock.lock();
+        if n == 0 {
+            return RunStats { elapsed: Duration::ZERO, per_worker: vec![WorkerStats::default(); self.nthreads] };
+        }
+        let shared = &self.shared;
+        for (b, i) in shared.busy_ns.iter().zip(&shared.items) {
+            b.store(0, Ordering::Relaxed);
+            i.store(0, Ordering::Relaxed);
+        }
+        shared.panicked.store(false, Ordering::Relaxed);
+        shared.workers_left.store(self.nthreads, Ordering::Release);
+
+        {
+            let mut sweep = shared.sweep.lock();
+            sweep.ranges = self.split(n, weights);
+            // SAFETY: workers dereference the borrow only before decrementing
+            // `workers_left`; we block until it reaches zero, so the borrow
+            // outlives every dereference. Cleared before returning.
+            sweep.job = Some(unsafe {
+                std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(f)
+            });
+        }
+        *shared.done.lock() = false;
+
+        let t0 = Instant::now();
+        {
+            let mut g = shared.gate.lock();
+            g.0 += 1;
+            shared.wake.notify_all();
+        }
+        {
+            let mut done = shared.done.lock();
+            while !*done {
+                shared.done_cv.wait(&mut done);
+            }
+        }
+        let elapsed = t0.elapsed();
+        shared.sweep.lock().job = None;
+
+        if shared.panicked.load(Ordering::Acquire) {
+            panic!("a worker panicked during StaticPool::run_items");
+        }
+
+        RunStats {
+            elapsed,
+            per_worker: (0..self.nthreads)
+                .map(|t| WorkerStats {
+                    busy: Duration::from_nanos(shared.busy_ns[t].load(Ordering::Relaxed) as u64),
+                    items: shared.items[t].load(Ordering::Relaxed) as u64,
+                    steals: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+impl Drop for StaticPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.gate.lock();
+            g.1 = true;
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, shared: Arc<Shared>) {
+    let mut last_epoch = 0u64;
+    loop {
+        {
+            let mut g = shared.gate.lock();
+            while g.0 == last_epoch && !g.1 {
+                shared.wake.wait(&mut g);
+            }
+            if g.1 {
+                return;
+            }
+            last_epoch = g.0;
+        }
+        let (range, job) = {
+            let sweep = shared.sweep.lock();
+            match sweep.job {
+                Some(job) => (sweep.ranges.get(id).cloned().unwrap_or(0..0), job),
+                None => (0..0, (&|_: usize, _: usize| {}) as &(dyn Fn(usize, usize) + Sync)),
+            }
+        };
+        let len = range.len();
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for i in range {
+                job(id, i);
+            }
+        }));
+        shared.busy_ns[id].fetch_add(t0.elapsed().as_nanos() as usize, Ordering::Relaxed);
+        shared.items[id].fetch_add(len, Ordering::Relaxed);
+        if result.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        if shared.workers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = shared.done.lock();
+            *done = true;
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let pool = StaticPool::new(4);
+        let n = 5000;
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let stats = pool.run_items(n, None, None, &|_, i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.total_items(), n as u64);
+        assert_eq!(stats.total_steals(), 0);
+    }
+
+    #[test]
+    fn weighted_split_assigns_fewer_heavy_items_per_thread() {
+        let pool = StaticPool::new(2);
+        // First 10 items cost 100, the remaining 90 cost 1 each.
+        let mut weights = vec![100.0; 10];
+        weights.extend(vec![1.0; 90]);
+        let ranges = pool.split(100, Some(&weights));
+        // Thread 0 should get roughly the first ~5 heavy items, not 50 items.
+        assert!(ranges[0].len() < 20, "ranges = {ranges:?}");
+        assert_eq!(ranges[0].end, ranges[1].start);
+        assert_eq!(ranges[1].end, 100);
+    }
+
+    #[test]
+    fn uniform_split_covers_domain() {
+        let pool = StaticPool::new(3);
+        let ranges = pool.split(10, None);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 10);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let pool = StaticPool::new(8);
+        let hits = AtomicUsize::new(0);
+        pool.run_items(3, None, None, &|_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_reusable_and_panic_propagates() {
+        let pool = StaticPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_items(10, None, None, &|_, i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let ok = AtomicUsize::new(0);
+        pool.run_items(7, None, None, &|_, _| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 7);
+    }
+}

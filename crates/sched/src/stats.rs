@@ -1,0 +1,100 @@
+//! Per-run accounting shared by all runtimes.
+
+use std::time::Duration;
+
+/// What one worker did during a sweep.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Wall time spent executing item updates (not waiting/stealing).
+    pub busy: Duration,
+    /// Items this worker executed.
+    pub items: u64,
+    /// Successful steals (work-stealing runtime only; 0 elsewhere).
+    pub steals: u64,
+}
+
+/// Accounting for one sweep over the items.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Wall time of the whole sweep.
+    pub elapsed: Duration,
+    /// Per-worker breakdown.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl RunStats {
+    /// Total items executed across workers.
+    pub fn total_items(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.items).sum()
+    }
+
+    /// Total successful steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.steals).sum()
+    }
+
+    /// Mean busy time / wall time over workers: 1.0 means no idle time.
+    ///
+    /// This is the single number that explains the Fig. 3 ordering — static
+    /// scheduling leaves threads idle whenever the up-front split mispredicts
+    /// item cost, stealing does not.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.per_worker.is_empty() || self.elapsed.is_zero() {
+            return 1.0;
+        }
+        let busy: f64 = self.per_worker.iter().map(|w| w.busy.as_secs_f64()).sum();
+        busy / (self.elapsed.as_secs_f64() * self.per_worker.len() as f64)
+    }
+
+    /// Max worker busy time / mean worker busy time (1.0 = perfectly even).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<f64> = self.per_worker.iter().map(|w| w.busy.as_secs_f64()).collect();
+        let total: f64 = times.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let mean = total / times.len() as f64;
+        times.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+
+    /// Items per second of wall time.
+    pub fn items_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.total_items() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_from_per_worker() {
+        let stats = RunStats {
+            elapsed: Duration::from_secs(2),
+            per_worker: vec![
+                WorkerStats { busy: Duration::from_secs(2), items: 10, steals: 1 },
+                WorkerStats { busy: Duration::from_secs(1), items: 5, steals: 0 },
+            ],
+        };
+        assert_eq!(stats.total_items(), 15);
+        assert_eq!(stats.total_steals(), 1);
+        assert!((stats.busy_fraction() - 0.75).abs() < 1e-12);
+        assert!((stats.imbalance() - 2.0 / 1.5).abs() < 1e-12);
+        assert!((stats.items_per_sec() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let stats = RunStats::default();
+        assert_eq!(stats.total_items(), 0);
+        assert_eq!(stats.busy_fraction(), 1.0);
+        assert_eq!(stats.imbalance(), 1.0);
+        assert_eq!(stats.items_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Persistent work-stealing pool — the TBB analogue of paper §III.
+//!
+//! Design (following the shape of TBB's task scheduler, scaled to what BPMF
+//! needs):
+//!
+//! * one OS thread per worker, parked on a condvar between sweeps;
+//! * sweeps hand out *ranges* of item indices: a worker pops a range, splits
+//!   it in half until it is at most `grain` items, executes the left piece
+//!   and leaves the right pieces in its LIFO deque for itself or thieves;
+//! * idle workers steal from the global injector first (fresh chunks), then
+//!   from victim deques round-robin;
+//! * completion is detected by counting executed items, so uneven splits
+//!   and stolen chunks need no extra coordination.
+//!
+//! The non-`'static` closure is passed to the persistent workers by
+//! lifetime-erasing a `&dyn Fn` (see `SAFETY` in [`WorkStealingPool::run_items`]);
+//! `run_items` does not return until every item is executed, so the
+//! reference never outlives the borrow it was created from.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::{RunStats, WorkerStats};
+use crate::ItemRunner;
+
+type Chunk = std::ops::Range<usize>;
+type Job = &'static (dyn Fn(usize, usize) + Sync);
+
+struct Gate {
+    epoch: Mutex<(u64, bool)>, // (sweep epoch, shutdown)
+    wake: Condvar,
+}
+
+struct DoneGate {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct WorkerCounters {
+    busy_ns: AtomicU64,
+    items: AtomicU64,
+    steals: AtomicU64,
+}
+
+struct Shared {
+    injector: Injector<Chunk>,
+    stealers: Vec<Stealer<Chunk>>,
+    job: Mutex<Option<Job>>,
+    grain: AtomicUsize,
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    gate: Gate,
+    done: DoneGate,
+    counters: Vec<CachePadded<WorkerCounters>>,
+}
+
+/// Work-stealing thread pool with persistent workers.
+pub struct WorkStealingPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes sweeps: the pool supports one sweep at a time.
+    run_lock: Mutex<()>,
+    nthreads: usize,
+}
+
+impl WorkStealingPool {
+    /// Spawn a pool with `nthreads` workers (at least 1).
+    pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        let deques: Vec<Deque<Chunk>> = (0..nthreads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            job: Mutex::new(None),
+            grain: AtomicUsize::new(1),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            gate: Gate { epoch: Mutex::new((0, false)), wake: Condvar::new() },
+            done: DoneGate { flag: Mutex::new(true), cv: Condvar::new() },
+            counters: (0..nthreads).map(|_| CachePadded::new(WorkerCounters::default())).collect(),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(id, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bpmf-ws-{id}"))
+                    .spawn(move || worker_loop(id, deque, shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkStealingPool { shared, handles, run_lock: Mutex::new(()), nthreads }
+    }
+
+    /// Sweep `f` over `0..n` with an explicit splitting grain.
+    pub fn run_with_grain<F>(&self, n: usize, grain: usize, f: F) -> RunStats
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let _serial = self.run_lock.lock();
+        if n == 0 {
+            return RunStats { elapsed: Duration::ZERO, per_worker: vec![WorkerStats::default(); self.nthreads] };
+        }
+        let shared = &self.shared;
+        for c in shared.counters.iter() {
+            c.busy_ns.store(0, Ordering::Relaxed);
+            c.items.store(0, Ordering::Relaxed);
+            c.steals.store(0, Ordering::Relaxed);
+        }
+        shared.grain.store(grain.max(1), Ordering::Relaxed);
+        shared.panicked.store(false, Ordering::Relaxed);
+        shared.remaining.store(n, Ordering::Release);
+
+        // Seed the injector with ~4 chunks per worker so the first steals
+        // find work immediately; splitting handles the rest.
+        let nchunks = (self.nthreads * 4).min(n);
+        let per = n.div_ceil(nchunks);
+        let mut start = 0;
+        while start < n {
+            let end = (start + per).min(n);
+            shared.injector.push(start..end);
+            start = end;
+        }
+
+        // SAFETY: the worker threads dereference this borrow only while
+        // `remaining > 0`; we block below until `remaining == 0` (the done
+        // gate), so the borrow outlives every dereference. The job slot is
+        // cleared before returning.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(&f)
+        };
+        *shared.job.lock() = Some(job);
+        *shared.done.flag.lock() = false;
+
+        let t0 = Instant::now();
+        {
+            let mut g = shared.gate.epoch.lock();
+            g.0 += 1;
+            shared.gate.wake.notify_all();
+        }
+        {
+            let mut done = shared.done.flag.lock();
+            while !*done {
+                shared.done.cv.wait(&mut done);
+            }
+        }
+        let elapsed = t0.elapsed();
+        *shared.job.lock() = None;
+
+        if shared.panicked.load(Ordering::Acquire) {
+            panic!("a worker panicked during WorkStealingPool::run_items");
+        }
+
+        RunStats {
+            elapsed,
+            per_worker: shared
+                .counters
+                .iter()
+                .map(|c| WorkerStats {
+                    busy: Duration::from_nanos(c.busy_ns.load(Ordering::Relaxed)),
+                    items: c.items.load(Ordering::Relaxed),
+                    steals: c.steals.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// A reasonable default grain: big enough to amortize deque traffic,
+    /// small enough that stealing can still balance (≈ 8 splits per worker).
+    fn default_grain(&self, n: usize) -> usize {
+        (n / (self.nthreads * 8)).clamp(1, 1024)
+    }
+}
+
+impl ItemRunner for WorkStealingPool {
+    fn run_items(
+        &self,
+        n: usize,
+        _weights: Option<&[f64]>,
+        _adj: Option<crate::Adjacency<'_>>,
+        f: &(dyn Fn(usize, usize) + Sync),
+    ) -> RunStats {
+        // Stealing adapts at runtime; neither the static weight model nor
+        // neighbor locking is needed.
+        self.run_with_grain(n, self.default_grain(n), f)
+    }
+
+    fn threads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.gate.epoch.lock();
+            g.1 = true;
+            self.shared.gate.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, deque: Deque<Chunk>, shared: Arc<Shared>) {
+    let mut last_epoch = 0u64;
+    // Cheap xorshift for victim selection.
+    let mut rng_state = (id as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    loop {
+        {
+            let mut g = shared.gate.epoch.lock();
+            while g.0 == last_epoch && !g.1 {
+                shared.gate.wake.wait(&mut g);
+            }
+            if g.1 {
+                return;
+            }
+            last_epoch = g.0;
+        }
+        let Some(job) = *shared.job.lock() else { continue };
+        let grain = shared.grain.load(Ordering::Relaxed);
+        sweep(id, &deque, &shared, job, grain, &mut rng_state);
+    }
+}
+
+/// Execute work until the sweep's item counter reaches zero.
+fn sweep(
+    id: usize,
+    deque: &Deque<Chunk>,
+    shared: &Shared,
+    job: Job,
+    grain: usize,
+    rng_state: &mut u64,
+) {
+    let counters = &shared.counters[id];
+    let mut idle_spins = 0u32;
+    loop {
+        let chunk = deque.pop().or_else(|| {
+            find_work(id, deque, shared, rng_state).inspect(|_| {
+                counters.steals.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        match chunk {
+            Some(mut cur) => {
+                idle_spins = 0;
+                // Split until at most `grain` items remain, leaving right
+                // halves for thieves.
+                while cur.len() > grain {
+                    let mid = cur.start + cur.len() / 2;
+                    deque.push(mid..cur.end);
+                    cur = cur.start..mid;
+                }
+                let len = cur.len();
+                let t0 = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    for i in cur {
+                        job(id, i);
+                    }
+                }));
+                counters.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                counters.items.fetch_add(len as u64, Ordering::Relaxed);
+                if result.is_err() {
+                    shared.panicked.store(true, Ordering::Release);
+                }
+                if shared.remaining.fetch_sub(len, Ordering::AcqRel) == len {
+                    let mut done = shared.done.flag.lock();
+                    *done = true;
+                    shared.done.cv.notify_all();
+                }
+            }
+            None => {
+                if shared.remaining.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                // Nothing stealable yet but the sweep is not over: another
+                // worker is inside a big leaf. Back off politely.
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+            }
+        }
+    }
+}
+
+/// Steal: injector first (fresh chunks), then victim deques round-robin
+/// from a random start.
+fn find_work(id: usize, deque: &Deque<Chunk>, shared: &Shared, rng_state: &mut u64) -> Option<Chunk> {
+    loop {
+        match shared.injector.steal_batch_and_pop(deque) {
+            Steal::Success(c) => return Some(c),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    let n = shared.stealers.len();
+    *rng_state ^= *rng_state << 13;
+    *rng_state ^= *rng_state >> 7;
+    *rng_state ^= *rng_state << 17;
+    let start = (*rng_state as usize) % n;
+    for k in 0..n {
+        let victim = (start + k) % n;
+        if victim == id {
+            continue;
+        }
+        loop {
+            match shared.stealers[victim].steal() {
+                Steal::Success(c) => return Some(c),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let pool = WorkStealingPool::new(4);
+        let n = 10_000;
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let stats = pool.run_items(n, None, None, &|_, i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.total_items(), n as u64);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_sweeps() {
+        let pool = WorkStealingPool::new(3);
+        for round in 0..5 {
+            let n = 100 * (round + 1);
+            let hits = AtomicUsize::new(0);
+            pool.run_items(n, None, None, &|_, _| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), n);
+        }
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let pool = WorkStealingPool::new(2);
+        let stats = pool.run_items(0, None, None, &|_, _| panic!("must not run"));
+        assert_eq!(stats.total_items(), 0);
+    }
+
+    #[test]
+    fn imbalanced_items_get_stolen() {
+        // One item is 1000× the cost of the rest; with 4 workers the cheap
+        // items must flow to other workers while one grinds the big item.
+        let pool = WorkStealingPool::new(4);
+        let n = 4096;
+        let stats = pool.run_with_grain(n, 16, |_, i| {
+            let iters = if i == 0 { 200_000 } else { 200 };
+            let mut acc = 0u64;
+            for k in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+        });
+        assert_eq!(stats.total_items(), n as u64);
+        // More than one worker must have executed items.
+        let active = stats.per_worker.iter().filter(|w| w.items > 0).count();
+        assert!(active > 1, "expected stealing to spread work, stats: {stats:?}");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkStealingPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_items(100, None, None, &|_, i| {
+                if i == 50 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool survives and is reusable after a propagated panic.
+        let ok = AtomicUsize::new(0);
+        pool.run_items(10, None, None, &|_, _| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = WorkStealingPool::new(1);
+        let sum = AtomicUsize::new(0);
+        pool.run_items(1000, None, None, &|_, i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the runtimes' core contract: every item executes
+//! exactly once, no matter the item count, thread count, grain, or weights.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use bpmf_sched::{ItemRunner, StaticPool, VertexEngine, WorkStealingPool};
+use proptest::prelude::*;
+
+fn check_exactly_once(runner: &dyn ItemRunner, n: usize, weights: Option<&[f64]>) {
+    let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let stats = runner.run_items(n, weights, None, &|_, i| {
+        counts[i].fetch_add(1, Ordering::Relaxed);
+    });
+    for (i, c) in counts.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} ran a wrong number of times");
+    }
+    assert_eq!(stats.total_items(), n as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn work_stealing_runs_every_item_once(n in 0usize..3000, threads in 1usize..6, grain in 1usize..64) {
+        let pool = WorkStealingPool::new(threads);
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        pool.run_with_grain(n, grain, |_, i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn static_pool_runs_every_item_once(n in 0usize..3000, threads in 1usize..6) {
+        check_exactly_once(&StaticPool::new(threads), n, None);
+    }
+
+    #[test]
+    fn static_pool_weighted_runs_every_item_once(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..500),
+        threads in 1usize..6,
+    ) {
+        check_exactly_once(&StaticPool::new(threads), weights.len(), Some(&weights));
+    }
+
+    #[test]
+    fn vertex_engine_runs_every_item_once(n in 0usize..1500, threads in 1usize..5) {
+        check_exactly_once(&VertexEngine::new(threads), n, None);
+    }
+
+    #[test]
+    fn results_are_order_independent_sums(n in 1usize..2000, threads in 1usize..6) {
+        // Commutative reduction must not depend on the runtime.
+        let expected: u64 = (0..n as u64).sum();
+        for runner in [
+            Box::new(WorkStealingPool::new(threads)) as Box<dyn ItemRunner>,
+            Box::new(StaticPool::new(threads)),
+        ] {
+            let sum = std::sync::atomic::AtomicU64::new(0);
+            runner.run_items(n, None, None, &|_, i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            prop_assert_eq!(sum.load(Ordering::Relaxed), expected);
+        }
+    }
+}

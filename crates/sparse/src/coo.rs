@@ -1,0 +1,83 @@
+//! Triplet (coordinate) sparse matrix builder.
+
+/// A growable list of `(row, col, value)` triplets with fixed dimensions.
+///
+/// This is the ingestion format: dataset generators and the MatrixMarket
+/// reader produce a [`Coo`], which is then frozen into a [`crate::Csr`] for
+/// the samplers. Duplicate coordinates are allowed and are summed when the
+/// matrix is frozen (the MatrixMarket convention).
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Empty builder with the given dimensions.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "dimensions must fit in u32 indices");
+        Coo { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Empty builder with entry capacity reserved up front.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut c = Coo::new(nrows, ncols);
+        c.entries.reserve(cap);
+        c
+    }
+
+    /// Append one rating. Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        assert!(col < self.ncols, "col {col} out of bounds ({})", self.ncols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The raw triplets.
+    pub fn entries(&self) -> &[(u32, u32, f64)] {
+        &self.entries
+    }
+
+    pub(crate) fn into_entries(self) -> (usize, usize, Vec<(u32, u32, f64)>) {
+        (self.nrows, self.ncols, self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut c = Coo::new(3, 4);
+        c.push(0, 0, 1.0);
+        c.push(2, 3, -2.5);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.entries()[1], (2, 3, -2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_row_panics() {
+        let mut c = Coo::new(2, 2);
+        c.push(2, 0, 1.0);
+    }
+}

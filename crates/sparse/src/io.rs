@@ -1,0 +1,211 @@
+//! MatrixMarket coordinate I/O.
+//!
+//! The paper's datasets (ChEMBL IC50 subset, MovieLens ml-20m) are commonly
+//! distributed as MatrixMarket `coordinate real general` files; this reader
+//! lets users run the reproduction on the real data, while the synthetic
+//! generators in `bpmf-dataset` cover the offline case.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Errors from MatrixMarket parsing or writing.
+#[derive(Debug)]
+pub enum SparseIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content.
+    Parse {
+        /// 1-based line number of the offending line (0 if end-of-file).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SparseIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseIoError::Io(e) => write!(f, "I/O error: {e}"),
+            SparseIoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseIoError {}
+
+impl From<std::io::Error> for SparseIoError {
+    fn from(e: std::io::Error) -> Self {
+        SparseIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> SparseIoError {
+    SparseIoError::Parse { line, msg: msg.into() }
+}
+
+/// Read a `matrix coordinate real general` MatrixMarket stream into a CSR
+/// matrix. Duplicate coordinates are summed; indices in the file are
+/// 1-based per the format specification.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, SparseIoError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (idx, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))?;
+    let header = header?;
+    let lower = header.to_ascii_lowercase();
+    if !lower.starts_with("%%matrixmarket") {
+        return Err(parse_err(idx + 1, "missing %%MatrixMarket header"));
+    }
+    if !lower.contains("coordinate") {
+        return Err(parse_err(idx + 1, "only 'coordinate' format is supported"));
+    }
+    if lower.contains("complex") || lower.contains("pattern") {
+        return Err(parse_err(idx + 1, "only real/integer values are supported"));
+    }
+    if lower.contains("symmetric") || lower.contains("hermitian") || lower.contains("skew") {
+        return Err(parse_err(idx + 1, "only 'general' symmetry is supported"));
+    }
+
+    // Size line: first non-comment line.
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut coo: Option<Coo> = None;
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        if dims.is_none() {
+            let nrows: usize = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(idx + 1, "bad row count"))?;
+            let ncols: usize = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(idx + 1, "bad column count"))?;
+            let nnz: usize = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(idx + 1, "bad nnz count"))?;
+            dims = Some((nrows, ncols, nnz));
+            coo = Some(Coo::with_capacity(nrows, ncols, nnz));
+            continue;
+        }
+        let (nrows, ncols, nnz) = dims.unwrap();
+        let i: usize = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(idx + 1, "bad row index"))?;
+        let j: usize = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(idx + 1, "bad column index"))?;
+        let v: f64 = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(idx + 1, "bad value"))?;
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(idx + 1, format!("index ({i}, {j}) out of bounds")));
+        }
+        seen += 1;
+        if seen > nnz {
+            return Err(parse_err(idx + 1, "more entries than declared"));
+        }
+        coo.as_mut().unwrap().push(i - 1, j - 1, v);
+    }
+
+    let (_, _, nnz) = dims.ok_or_else(|| parse_err(1, "missing size line"))?;
+    if seen != nnz {
+        return Err(parse_err(0, format!("declared {nnz} entries, found {seen}")));
+    }
+    Ok(Csr::from_coo_owned(coo.unwrap()))
+}
+
+/// Write `m` as `matrix coordinate real general` (1-based indices).
+pub fn write_matrix_market<W: Write>(mut w: W, m: &Csr) -> Result<(), SparseIoError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by bpmf-sparse")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use std::io::Cursor;
+
+    fn example() -> Csr {
+        let mut coo = Coo::new(3, 4);
+        coo.push(0, 1, 1.5);
+        coo.push(2, 0, -2.0);
+        coo.push(1, 3, 0.25);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let m = example();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    \n\
+                    2 2 2\n\
+                    % another comment\n\
+                    1 1 3.0\n\
+                    2 2 4.0\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0), (&[0u32][..], &[3.0][..]));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let text = "2 2 1\n1 1 5.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn wrong_entry_count_is_an_error() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("declared 2"));
+    }
+
+    #[test]
+    fn out_of_bounds_index_is_an_error() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn symmetric_files_are_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 5.0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn duplicates_sum_on_read() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n1 1 2.0\n";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.row(0), (&[0u32][..], &[7.0][..]));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Sparse rating-matrix structures for the BPMF reproduction.
+//!
+//! The rating matrix `R` is the only large object in BPMF. This crate owns
+//! everything the samplers need from it:
+//!
+//! * [`Coo`] — a triplet builder fed by dataset generators and loaders,
+//! * [`Csr`] — compressed sparse rows; the user pass iterates rows of `R`,
+//!   the movie pass iterates rows of `Rᵀ` (also a [`Csr`]),
+//! * MatrixMarket I/O ([`read_matrix_market`], [`write_matrix_market`]) for
+//!   users who have the real ChEMBL / MovieLens exports,
+//! * [`Permutation`]s and the orderings the paper uses to localize
+//!   communication (degree sort, reverse Cuthill–McKee on the bipartite
+//!   rating graph),
+//! * the workload model and contiguous weighted partitioner of §IV-B
+//!   ([`WorkModel`], [`BlockPartition`]), plus the communication-plan
+//!   analysis ([`CommPlan`]) that tells each rank where updated items must
+//!   be sent.
+//!
+//! Column indices are `u32`: the largest paper workload (483 500 compounds)
+//! fits with room to spare, and halving index bytes measurably helps the
+//! memory-bound accumulation loops.
+
+mod coo;
+mod csr;
+mod io;
+mod partition;
+mod reorder;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use io::{read_matrix_market, write_matrix_market, SparseIoError};
+pub use partition::{comm_volume, BlockPartition, CommPlan, WorkModel};
+pub use reorder::{degree_sort_permutation, max_row_span, rcm_bipartite, Permutation};

@@ -1,0 +1,140 @@
+//! Property tests for the sparse structures.
+
+use bpmf_sparse::{comm_volume, BlockPartition, CommPlan, Coo, Csr, Permutation, WorkModel};
+use proptest::prelude::*;
+
+/// Random small sparse matrix as raw triplets (duplicates possible).
+fn triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..20, 1usize..20).prop_flat_map(|(nr, nc)| {
+        let entry = (0..nr, 0..nc, -5.0f64..5.0);
+        (Just(nr), Just(nc), proptest::collection::vec(entry, 0..60))
+    })
+}
+
+fn build(nr: usize, nc: usize, entries: &[(usize, usize, f64)]) -> Csr {
+    let mut coo = Coo::new(nr, nc);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    Csr::from_coo_owned(coo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transpose_is_involution((nr, nc, entries) in triplets()) {
+        let m = build(nr, nc, &entries);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn construction_is_order_independent((nr, nc, entries) in triplets(), seed in 0u64..1000) {
+        // Drop duplicate coordinates: summing them in different orders is
+        // legitimately non-associative in floating point, which is not the
+        // invariant under test here.
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<(usize, usize, f64)> = entries
+            .into_iter()
+            .filter(|&(r, c, _)| seen.insert((r, c)))
+            .collect();
+        let m1 = build(nr, nc, &entries);
+        let mut shuffled = entries.clone();
+        // Deterministic Fisher–Yates driven by the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        let m2 = build(nr, nc, &shuffled);
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn nnz_conserved_by_transpose((nr, nc, entries) in triplets()) {
+        let m = build(nr, nc, &entries);
+        prop_assert_eq!(m.transpose().nnz(), m.nnz());
+    }
+
+    #[test]
+    fn permute_then_inverse_restores((nr, nc, entries) in triplets(), rs in 0u64..100, cs in 0u64..100) {
+        let m = build(nr, nc, &entries);
+        let rp = random_perm(nr, rs);
+        let cp = random_perm(nc, cs);
+        let back = m.permute(&rp, &cp).permute(&rp.inverted(), &cp.inverted());
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn weighted_partition_covers_exactly(weights in proptest::collection::vec(0.0f64..10.0, 1..80), nparts in 1usize..8) {
+        let p = BlockPartition::weighted(&weights, nparts);
+        prop_assert_eq!(p.nparts(), nparts);
+        prop_assert_eq!(p.domain_len(), weights.len());
+        // Ranges must be consecutive and non-overlapping.
+        let mut expected_start = 0;
+        for r in p.ranges() {
+            prop_assert_eq!(r.start, expected_start);
+            expected_start = r.end;
+        }
+        // part_of consistent with ranges.
+        for i in 0..weights.len() {
+            prop_assert!(p.range(p.part_of(i)).contains(&i));
+        }
+    }
+
+    #[test]
+    fn weighted_partition_bounded_imbalance(nnz in proptest::collection::vec(0usize..50, 8..120), nparts in 2usize..5) {
+        // Imbalance is bounded by (max item weight) / (mean part weight) + 1:
+        // a contiguous partition can always be off by at most one item.
+        let wm = WorkModel::default();
+        let weights: Vec<f64> = nnz.iter().map(|&d| wm.weight(d)).collect();
+        let p = BlockPartition::weighted(&weights, nparts);
+        let total: f64 = weights.iter().sum();
+        let mean = total / nparts as f64;
+        let max_item = weights.iter().cloned().fold(0.0f64, f64::max);
+        let max_part = p.part_weights(&weights).iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(max_part <= mean + max_item + 1e-9,
+            "max_part={max_part} mean={mean} max_item={max_item}");
+    }
+
+    #[test]
+    fn comm_plan_recv_counts_match_destinations((nr, nc, entries) in triplets(), nparts in 1usize..4) {
+        let m = build(nr, nc, &entries);
+        let rows = BlockPartition::uniform(nr, nparts);
+        let cols = BlockPartition::uniform(nc, nparts);
+        let plan = CommPlan::build(&m, &rows, &cols);
+        // Sum of destination list lengths == total sends == sum of recv counts.
+        let dest_total: usize = (0..nr).map(|i| plan.destinations(i).len()).sum();
+        let recv_total: usize = (0..nparts).map(|p| plan.recv_count(p)).sum();
+        prop_assert_eq!(dest_total, plan.total_sends());
+        prop_assert_eq!(recv_total, plan.total_sends());
+        // No item is ever sent to its owner.
+        for i in 0..nr {
+            let owner = rows.part_of(i) as u32;
+            prop_assert!(!plan.destinations(i).contains(&owner));
+        }
+    }
+
+    #[test]
+    fn comm_volume_never_increased_by_single_part((nr, nc, entries) in triplets()) {
+        let m = build(nr, nc, &entries);
+        let t = m.transpose();
+        let one = comm_volume(&m, &t,
+            &BlockPartition::uniform(nr, 1), &BlockPartition::uniform(nc, 1));
+        prop_assert_eq!(one, 0);
+    }
+}
+
+fn random_perm(n: usize, seed: u64) -> Permutation {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        order.swap(i, (state as usize) % (i + 1));
+    }
+    Permutation::from_order(order)
+}

@@ -1,0 +1,129 @@
+//! Multivariate normal sampling.
+
+use bpmf_linalg::Cholesky;
+
+use crate::normal::fill_standard_normal;
+use crate::rng::Xoshiro256pp;
+
+/// Draw `x ~ N(mean, P⁻¹)` given the Cholesky factor of the *precision*
+/// matrix `P = L Lᵀ`, writing into `out`.
+///
+/// This is the core of the BPMF item update: the conditional posterior of an
+/// item is expressed by its precision, and sampling reduces to one
+/// back-substitution — `Lᵀ y = z` gives `Cov[y] = (L Lᵀ)⁻¹` — with no
+/// explicit covariance ever formed.
+pub fn sample_mvn_from_precision(
+    rng: &mut Xoshiro256pp,
+    mean: &[f64],
+    precision_chol: &Cholesky,
+    out: &mut [f64],
+) {
+    let k = precision_chol.dim();
+    assert_eq!(mean.len(), k, "mean length mismatch");
+    assert_eq!(out.len(), k, "output length mismatch");
+    fill_standard_normal(rng, out);
+    precision_chol.solve_lt_in_place(out);
+    for (o, m) in out.iter_mut().zip(mean) {
+        *o += m;
+    }
+}
+
+/// Draw `x ~ N(mean, L Lᵀ)` given the Cholesky factor of the *covariance*
+/// matrix, writing into `out`. Used where the covariance is natural (e.g.
+/// sampling `μ | Λ` in the Normal–Wishart with covariance `(β Λ)⁻¹` already
+/// inverted).
+pub fn sample_mvn_from_cholesky_cov(
+    rng: &mut Xoshiro256pp,
+    mean: &[f64],
+    cov_chol: &Cholesky,
+    out: &mut [f64],
+) {
+    let k = cov_chol.dim();
+    assert_eq!(mean.len(), k, "mean length mismatch");
+    assert_eq!(out.len(), k, "output length mismatch");
+    let mut z = vec![0.0; k];
+    fill_standard_normal(rng, &mut z);
+    // x = mean + L z
+    let l = cov_chol.l();
+    for i in 0..k {
+        let row = &l.row(i)[..=i];
+        out[i] = mean[i] + bpmf_linalg::vecops::dot(row, &z[..=i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpmf_linalg::Mat;
+
+    fn empirical_cov(samples: &[Vec<f64>]) -> Mat {
+        let k = samples[0].len();
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; k];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v / n;
+            }
+        }
+        let mut cov = Mat::zeros(k, k);
+        for s in samples {
+            for i in 0..k {
+                for j in 0..k {
+                    cov[(i, j)] += (s[i] - mean[i]) * (s[j] - mean[j]) / n;
+                }
+            }
+        }
+        cov
+    }
+
+    #[test]
+    fn precision_sampling_has_correct_covariance() {
+        // P = [[2, 0.5], [0.5, 1]]; Cov = P⁻¹.
+        let mut p = Mat::identity(2);
+        p[(0, 0)] = 2.0;
+        p[(1, 0)] = 0.5;
+        p[(0, 1)] = 0.5;
+        let chol = Cholesky::factor(&p).unwrap();
+        let expected_cov = chol.inverse();
+
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let mean = [1.0, -2.0];
+        let samples: Vec<Vec<f64>> = (0..100_000)
+            .map(|_| {
+                let mut out = vec![0.0; 2];
+                sample_mvn_from_precision(&mut rng, &mean, &chol, &mut out);
+                out
+            })
+            .collect();
+
+        let emp_mean_0 = samples.iter().map(|s| s[0]).sum::<f64>() / samples.len() as f64;
+        assert!((emp_mean_0 - 1.0).abs() < 0.01);
+        let cov = empirical_cov(&samples);
+        assert!(cov.max_abs_diff(&expected_cov) < 0.02, "{cov:?} vs {expected_cov:?}");
+    }
+
+    #[test]
+    fn covariance_sampling_has_correct_covariance() {
+        let mut c = Mat::identity(3);
+        c[(0, 0)] = 1.5;
+        c[(1, 0)] = 0.4;
+        c[(0, 1)] = 0.4;
+        c[(2, 2)] = 0.25;
+        let chol = Cholesky::factor(&c).unwrap();
+
+        let mut rng = Xoshiro256pp::seed_from_u64(18);
+        let mean = [0.0, 5.0, -1.0];
+        let samples: Vec<Vec<f64>> = (0..100_000)
+            .map(|_| {
+                let mut out = vec![0.0; 3];
+                sample_mvn_from_cholesky_cov(&mut rng, &mean, &chol, &mut out);
+                out
+            })
+            .collect();
+
+        let cov = empirical_cov(&samples);
+        assert!(cov.max_abs_diff(&c) < 0.03);
+        let emp_mean_1 = samples.iter().map(|s| s[1]).sum::<f64>() / samples.len() as f64;
+        assert!((emp_mean_1 - 5.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,92 @@
+//! Normal deviates via the Marsaglia polar method.
+
+use crate::rng::Xoshiro256pp;
+
+/// One standard normal draw.
+///
+/// The polar method produces deviates in pairs; the spare is cached on the
+/// generator so consecutive calls consume it first. BPMF draws `K` of these
+/// per item update (the "randomly sampled noise" of Algorithm 1), so the
+/// cache matters.
+#[inline]
+pub fn standard_normal(rng: &mut Xoshiro256pp) -> f64 {
+    if let Some(z) = rng.spare_normal.take() {
+        return z;
+    }
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let m = (-2.0 * s.ln() / s).sqrt();
+            rng.spare_normal = Some(v * m);
+            return u * m;
+        }
+    }
+}
+
+/// Draw from `N(mu, sd²)`.
+#[inline]
+pub fn normal(rng: &mut Xoshiro256pp, mu: f64, sd: f64) -> f64 {
+    mu + sd * standard_normal(rng)
+}
+
+/// Fill a slice with i.i.d. standard normals (noise vector of an item
+/// update).
+pub fn fill_standard_normal(rng: &mut Xoshiro256pp, out: &mut [f64]) {
+    for z in out.iter_mut() {
+        *z = standard_normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(xs: &[f64]) -> (f64, f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let skew = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n / var.powf(1.5);
+        (mean, var, skew)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var, skew) = moments(&xs);
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+        assert!(skew.abs() < 0.03, "skew = {skew}");
+    }
+
+    #[test]
+    fn location_and_scale_are_applied() {
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let xs: Vec<f64> = (0..100_000).map(|_| normal(&mut rng, 3.0, 0.5)).collect();
+        let (mean, var, _) = moments(&xs);
+        assert!((mean - 3.0).abs() < 0.01);
+        assert!((var - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn tail_mass_is_roughly_gaussian() {
+        // P(|Z| > 2) ≈ 0.0455
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let n = 200_000;
+        let tail = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        assert!((tail - 0.0455).abs() < 0.005, "tail = {tail}");
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let mut rng = Xoshiro256pp::seed_from_u64(41);
+        let mut buf = [f64::NAN; 33];
+        fill_standard_normal(&mut rng, &mut buf);
+        assert!(buf.iter().all(|z| z.is_finite()));
+    }
+}

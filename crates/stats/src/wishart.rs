@@ -1,0 +1,102 @@
+//! Wishart sampling via the Bartlett decomposition.
+
+use bpmf_linalg::{Cholesky, Mat};
+
+use crate::gamma::chi_squared;
+use crate::normal::standard_normal;
+use crate::rng::Xoshiro256pp;
+
+/// Draw `W ~ Wishart(scale = V, dof = ν)` where `scale_chol` is the Cholesky
+/// factor of `V` and `ν > K - 1`. `E[W] = ν·V`.
+///
+/// Bartlett: with `V = L Lᵀ`, form lower-triangular `A` with
+/// `A[i][i] = √χ²(ν − i)` and `A[i][j] ~ N(0,1)` below the diagonal; then
+/// `W = (L A)(L A)ᵀ`. BPMF draws one of these per Gibbs iteration per side
+/// (users / movies) to refresh the prior precision `Λ`.
+pub fn sample_wishart(rng: &mut Xoshiro256pp, scale_chol: &Cholesky, dof: f64) -> Mat {
+    let k = scale_chol.dim();
+    assert!(
+        dof > k as f64 - 1.0,
+        "Wishart dof must exceed K-1 (dof = {dof}, K = {k})"
+    );
+
+    // Lower-triangular Bartlett factor A.
+    let mut a = Mat::zeros(k, k);
+    for i in 0..k {
+        a[(i, i)] = chi_squared(rng, dof - i as f64).sqrt();
+        for j in 0..i {
+            a[(i, j)] = standard_normal(rng);
+        }
+    }
+
+    // X = L · A (both lower triangular, so X is lower triangular).
+    let l = scale_chol.l();
+    let mut x = Mat::zeros(k, k);
+    for i in 0..k {
+        for j in 0..=i {
+            let mut s = 0.0;
+            // Σ_t L[i][t] A[t][j] over t in j..=i (A lower, L lower)
+            for t in j..=i {
+                s += l[(i, t)] * a[(t, j)];
+            }
+            x[(i, j)] = s;
+        }
+    }
+
+    // W = X Xᵀ.
+    x.matmul_transb(&x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_dof_times_scale() {
+        let k = 4;
+        let mut v = Mat::identity(k);
+        v[(1, 0)] = 0.3;
+        v[(0, 1)] = 0.3;
+        v[(2, 2)] = 2.0;
+        let chol = Cholesky::factor(&v).unwrap();
+        let dof = 8.0;
+
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let n = 20_000;
+        let mut mean = Mat::zeros(k, k);
+        for _ in 0..n {
+            let w = sample_wishart(&mut rng, &chol, dof);
+            mean.add_assign_scaled(&w, 1.0 / n as f64);
+        }
+
+        let mut expected = v.clone();
+        expected.scale(dof);
+        assert!(
+            mean.max_abs_diff(&expected) < 0.15,
+            "mean {mean:?} expected {expected:?}"
+        );
+    }
+
+    #[test]
+    fn draws_are_symmetric_positive_definite() {
+        let k = 6;
+        let chol = Cholesky::factor(&Mat::identity(k)).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(29);
+        for _ in 0..200 {
+            let w = sample_wishart(&mut rng, &chol, k as f64 + 1.0);
+            // symmetric
+            let wt = w.transpose();
+            assert!(w.max_abs_diff(&wt) < 1e-12);
+            // positive definite
+            assert!(Cholesky::factor(&w).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dof must exceed")]
+    fn insufficient_dof_is_rejected() {
+        let chol = Cholesky::factor(&Mat::identity(5)).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let _ = sample_wishart(&mut rng, &chol, 3.0);
+    }
+}

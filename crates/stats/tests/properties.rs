@@ -1,0 +1,134 @@
+//! Property tests for the sampling substrate.
+
+use bpmf_linalg::{Cholesky, Mat};
+use bpmf_stats::{
+    chi_squared, gamma, normal, sample_mvn_from_precision, sample_wishart, standard_normal,
+    NormalWishart, SuffStats, Xoshiro256pp,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gamma_draws_positive_and_finite(shape in 0.05f64..50.0, scale in 0.05f64..10.0, seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = gamma(&mut rng, shape, scale);
+            prop_assert!(x.is_finite() && x > 0.0, "gamma({shape}, {scale}) = {x}");
+        }
+    }
+
+    #[test]
+    fn chi_squared_positive(dof in 0.2f64..100.0, seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = chi_squared(&mut rng, dof);
+            prop_assert!(x.is_finite() && x > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_is_finite_and_scales(mu in -100.0f64..100.0, sd in 0.001f64..50.0, seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = normal(&mut rng, mu, sd);
+            prop_assert!(x.is_finite());
+            // 12σ excursions have probability ~1e-32: effectively impossible.
+            prop_assert!((x - mu).abs() < 12.0 * sd, "x = {x}, mu = {mu}, sd = {sd}");
+        }
+    }
+
+    #[test]
+    fn bounded_draw_is_in_range(bound in 1u64..1_000_000, seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.next_bounded(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn streams_never_collide_on_prefixes(seed in 0u64..10_000, n in 2usize..6) {
+        let mut streams = Xoshiro256pp::streams(seed, n);
+        let prefixes: Vec<Vec<u64>> = streams
+            .iter_mut()
+            .map(|s| (0..32).map(|_| s.next_u64()).collect())
+            .collect();
+        for i in 0..n {
+            for j in i + 1..n {
+                prop_assert_ne!(&prefixes[i], &prefixes[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn wishart_draws_are_spd(k in 1usize..8, extra_dof in 0.1f64..20.0, seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let chol = Cholesky::factor(&Mat::identity(k)).unwrap();
+        let dof = k as f64 - 1.0 + extra_dof;
+        let w = sample_wishart(&mut rng, &chol, dof);
+        prop_assert!(Cholesky::factor(&w).is_ok(), "draw not SPD for k={k}, dof={dof}");
+    }
+
+    #[test]
+    fn mvn_precision_draws_are_finite(k in 1usize..10, seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut prec = Mat::identity(k);
+        for i in 0..k {
+            prec[(i, i)] = 0.5 + i as f64 * 0.25;
+        }
+        let chol = Cholesky::factor(&prec).unwrap();
+        let mean: Vec<f64> = (0..k).map(|i| i as f64 - 2.0).collect();
+        let mut out = vec![0.0; k];
+        sample_mvn_from_precision(&mut rng, &mean, &chol, &mut out);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn suff_stats_merge_is_associative(
+        rows in proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, 3), 3..30),
+    ) {
+        let k = 3;
+        // ((a ∪ b) ∪ c) == (a ∪ (b ∪ c)) at the to_flat level.
+        let third = rows.len() / 3;
+        let (a, rest) = rows.split_at(third.max(1).min(rows.len() - 1));
+        let (b, c) = rest.split_at((rest.len() / 2).max(1).min(rest.len()));
+        let stats_of = |rs: &[Vec<f64>]| {
+            let mut s = SuffStats::new(k);
+            for r in rs {
+                s.add_row(r);
+            }
+            s
+        };
+        let mut left = stats_of(a);
+        left.merge(&stats_of(b));
+        left.merge(&stats_of(c));
+        let mut right_tail = stats_of(b);
+        right_tail.merge(&stats_of(c));
+        let mut right = stats_of(a);
+        right.merge(&right_tail);
+        let (lf, rf) = (left.to_flat(), right.to_flat());
+        for (x, y) in lf.iter().zip(&rf) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn posterior_sampling_is_seed_deterministic(seed in 0u64..10_000) {
+        let k = 4;
+        let mut gen = Xoshiro256pp::seed_from_u64(seed ^ 0xAAAA);
+        let mut stats = SuffStats::new(k);
+        let mut row = vec![0.0; k];
+        for _ in 0..50 {
+            for r in row.iter_mut() {
+                *r = standard_normal(&mut gen);
+            }
+            stats.add_row(&row);
+        }
+        let post = NormalWishart::default_for_dim(k).posterior(&stats);
+        let (mu1, l1) = post.sample(&mut Xoshiro256pp::seed_from_u64(seed));
+        let (mu2, l2) = post.sample(&mut Xoshiro256pp::seed_from_u64(seed));
+        prop_assert_eq!(mu1, mu2);
+        prop_assert!(l1.max_abs_diff(&l2) == 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Side information on a cold-start workload — the Macau extension
+//! (the paper's reference [6], from the same ExaScience group).
+//!
+//! Drug-discovery matrices are cold-start heavy: most compounds have very
+//! few measured targets, so their latent factors are barely constrained by
+//! ratings alone. Macau's answer is to let per-item *features* (compound
+//! fingerprints) shift the prior mean of each item's factors through a
+//! Gibbs-sampled link matrix β.
+//!
+//! This example plants such a workload (user factors a linear function of
+//! 6 features, only 2 training ratings per user), trains plain BPMF and
+//! feature-informed BPMF on identical data, and prints both RMSE traces.
+//!
+//! Run with: `cargo run --release -p bpmf --example cold_start_side_info`
+
+use bpmf::{BpmfConfig, EngineKind, FeatureSideInfo, GibbsSampler, TrainData};
+use bpmf_linalg::Mat;
+use bpmf_sparse::{Coo, Csr};
+use bpmf_stats::{normal, Xoshiro256pp};
+
+struct Workload {
+    train: Csr,
+    train_t: Csr,
+    test: Vec<(u32, u32, f64)>,
+    features: Mat,
+    global_mean: f64,
+}
+
+/// Users are "compounds" with 6 fingerprint features; factors are a planted
+/// linear map of the features plus small noise; each compound has only two
+/// measured "assays" in the training set.
+fn plant(seed: u64) -> Workload {
+    let (nusers, nmovies, k_true, d) = (1_500, 120, 4, 6);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let beta = Mat::from_fn(d, k_true, |_, _| normal(&mut rng, 0.0, 0.6));
+    let features = Mat::from_fn(nusers, d, |_, _| normal(&mut rng, 0.0, 1.0));
+    let mut u = Mat::zeros(nusers, k_true);
+    for i in 0..nusers {
+        for c in 0..k_true {
+            let mut acc = 0.0;
+            for f in 0..d {
+                acc += features[(i, f)] * beta[(f, c)];
+            }
+            u[(i, c)] = acc + normal(&mut rng, 0.0, 0.1);
+        }
+    }
+    let v = Mat::from_fn(nmovies, k_true, |_, _| normal(&mut rng, 0.0, 0.6));
+
+    let mut coo = Coo::new(nusers, nmovies);
+    let mut test = Vec::new();
+    for i in 0..nusers {
+        let mut seen = [usize::MAX; 5];
+        for slot in 0..5 {
+            let mut m = rng.next_index(nmovies);
+            while seen.contains(&m) {
+                m = rng.next_index(nmovies);
+            }
+            seen[slot] = m;
+            let r = 6.5
+                + bpmf_linalg::vecops::dot(u.row(i), v.row(m))
+                + normal(&mut rng, 0.0, 0.15);
+            if slot < 2 {
+                coo.push(i, m, r);
+            } else {
+                test.push((i as u32, m as u32, r));
+            }
+        }
+    }
+    let train = Csr::from_coo_owned(coo);
+    let train_t = train.transpose();
+    let global_mean = {
+        let (_, _, vals) = train.raw_parts();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    Workload { train, train_t, test, features, global_mean }
+}
+
+fn main() {
+    let w = plant(2026);
+    println!(
+        "cold-start workload: {} compounds x {} targets, {} train ratings \
+         (2 per compound), {} held out",
+        w.train.nrows(),
+        w.train.ncols(),
+        w.train.nnz(),
+        w.test.len()
+    );
+
+    let cfg = BpmfConfig { num_latent: 6, burnin: 10, samples: 40, seed: 11, ..Default::default() };
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let runner = EngineKind::WorkStealing.build(threads);
+
+    let mut results = Vec::new();
+    for informed in [false, true] {
+        let data = TrainData::new(&w.train, &w.train_t, w.global_mean, &w.test);
+        let mut sampler = GibbsSampler::new(cfg.clone(), data);
+        if informed {
+            sampler
+                .attach_user_side_info(FeatureSideInfo::new(w.features.clone(), cfg.num_latent, 1.0));
+        }
+        let label = if informed { "BPMF + side info" } else { "plain BPMF    " };
+        let report = sampler.run(runner.as_ref(), cfg.iterations());
+        println!("\n{label}: RMSE trace (every 5th iteration)");
+        for (it, stat) in report.iters.iter().enumerate() {
+            if it % 5 == 0 || it + 1 == report.iters.len() {
+                println!("  iter {it:3}  sample RMSE {:.4}", stat.rmse_sample);
+            }
+        }
+        let final_rmse = report.final_rmse();
+        println!("{label}: final posterior-mean RMSE = {final_rmse:.4}");
+        if informed {
+            let beta = sampler.user_link_matrix().expect("side info attached");
+            println!(
+                "link matrix beta: {} features -> {} latent dims, ‖β‖_F = {:.3}",
+                beta.rows(),
+                beta.cols(),
+                beta.frobenius_norm()
+            );
+        }
+        results.push(final_rmse);
+    }
+
+    println!(
+        "\ncold-start improvement: {:.4} -> {:.4}  ({:.1}% better)",
+        results[0],
+        results[1],
+        100.0 * (results[0] - results[1]) / results[0]
+    );
+}

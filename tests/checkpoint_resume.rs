@@ -1,0 +1,130 @@
+//! Checkpoint/resume integration: a resumed run must continue the *exact*
+//! chain — the property that makes 15-day production runs (the paper's §VI
+//! headline workload) survivable.
+
+use bpmf::{BpmfConfig, EngineKind, FeatureSideInfo, GibbsSampler, TrainData};
+use bpmf_dataset::chembl_like;
+use bpmf_linalg::Mat;
+use bpmf_stats::{normal, Xoshiro256pp};
+
+fn cfg() -> BpmfConfig {
+    BpmfConfig {
+        num_latent: 6,
+        burnin: 2,
+        samples: 6,
+        seed: 77,
+        kernel_threads: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn resume_continues_the_exact_chain() {
+    let ds = chembl_like(0.003, 5);
+    let runner = EngineKind::Static.build(1); // deterministic schedule
+
+    // Uninterrupted: 8 iterations.
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut full = GibbsSampler::new(cfg(), data);
+    let full_report = full.run(runner.as_ref(), 8);
+
+    // Interrupted: 3 iterations, checkpoint, resume, 5 more.
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut first = GibbsSampler::new(cfg(), data);
+    first.run(runner.as_ref(), 3);
+    let ckpt = first.checkpoint();
+
+    // The checkpoint must survive serialization (what a real run writes).
+    let json = serde_json::to_string(&ckpt).expect("checkpoint serializes");
+    let ckpt: bpmf::checkpoint::SamplerCheckpoint =
+        serde_json::from_str(&json).expect("checkpoint deserializes");
+
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut resumed = GibbsSampler::resume(cfg(), data, &ckpt);
+    assert_eq!(resumed.iterations_done(), 3);
+    let tail = resumed.run(runner.as_ref(), 5);
+
+    // Bit-identical continuation: the resumed tail equals iterations 3..8
+    // of the uninterrupted run.
+    for (a, b) in tail.iters.iter().zip(full_report.iters.iter().skip(3)) {
+        assert_eq!(
+            a.rmse_sample.to_bits(),
+            b.rmse_sample.to_bits(),
+            "resumed chain diverged: {} vs {}",
+            a.rmse_sample,
+            b.rmse_sample
+        );
+    }
+    // And the final factor states agree exactly.
+    assert_eq!(resumed.user_factors().max_abs_diff(full.user_factors()), 0.0);
+    assert_eq!(resumed.movie_factors().max_abs_diff(full.movie_factors()), 0.0);
+}
+
+#[test]
+fn resume_restores_side_information_link() {
+    let ds = chembl_like(0.003, 6);
+    let runner = EngineKind::Static.build(1);
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
+    let features = Mat::from_fn(ds.nrows(), 3, |_, _| normal(&mut rng, 0.0, 1.0));
+
+    // Uninterrupted informed run.
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut full = GibbsSampler::new(cfg(), data);
+    full.attach_user_side_info(FeatureSideInfo::new(features.clone(), 6, 1.0));
+    let full_report = full.run(runner.as_ref(), 7);
+
+    // Interrupted at 4.
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut first = GibbsSampler::new(cfg(), data);
+    first.attach_user_side_info(FeatureSideInfo::new(features.clone(), 6, 1.0));
+    first.run(runner.as_ref(), 4);
+    let ckpt = first.checkpoint();
+    assert!(ckpt.user_link.is_some(), "link state must be captured");
+    assert!(ckpt.movie_link.is_none());
+
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut resumed = GibbsSampler::resume(cfg(), data, &ckpt);
+    // Features are data: the caller re-attaches them; the checkpointed β is
+    // restored into the fresh side info.
+    resumed.attach_user_side_info(FeatureSideInfo::new(features.clone(), 6, 1.0));
+    let restored_beta = resumed.user_link_matrix().expect("attached");
+    let saved_beta = first.user_link_matrix().expect("still attached");
+    assert_eq!(
+        restored_beta.max_abs_diff(saved_beta),
+        0.0,
+        "restored link must equal the checkpointed one"
+    );
+
+    let tail = resumed.run(runner.as_ref(), 3);
+    for (a, b) in tail.iters.iter().zip(full_report.iters.iter().skip(4)) {
+        assert_eq!(
+            a.rmse_sample.to_bits(),
+            b.rmse_sample.to_bits(),
+            "informed resumed chain diverged"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "latent dimension mismatch")]
+fn resume_rejects_wrong_latent_dimension() {
+    let ds = chembl_like(0.003, 7);
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let sampler = GibbsSampler::new(cfg(), data);
+    let ckpt = sampler.checkpoint();
+    let wrong = BpmfConfig { num_latent: 12, ..cfg() };
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let _ = GibbsSampler::resume(wrong, data, &ckpt);
+}
+
+#[test]
+#[should_panic(expected = "user count mismatch")]
+fn resume_rejects_wrong_dataset_shape() {
+    let ds = chembl_like(0.003, 8);
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let sampler = GibbsSampler::new(cfg(), data);
+    let ckpt = sampler.checkpoint();
+    let other = chembl_like(0.004, 8);
+    let data = TrainData::new(&other.train, &other.train_t, other.global_mean, &other.test);
+    let _ = GibbsSampler::resume(cfg(), data, &ckpt);
+}

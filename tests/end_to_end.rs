@@ -1,0 +1,101 @@
+//! Integration: full pipeline from dataset generation through training to
+//! RMSE, plus the MatrixMarket ingestion path.
+
+use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf_dataset::{chembl_like, Dataset, SyntheticConfig};
+use bpmf_sparse::{read_matrix_market, write_matrix_market};
+
+fn small_cfg(seed: u64) -> BpmfConfig {
+    BpmfConfig {
+        num_latent: 8,
+        burnin: 5,
+        samples: 10,
+        seed,
+        kernel_threads: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn synthetic_to_rmse_pipeline_reaches_near_oracle() {
+    let ds = SyntheticConfig {
+        name: "e2e".into(),
+        nrows: 300,
+        ncols: 200,
+        nnz: 12_000,
+        k_true: 4,
+        noise_sd: 0.4,
+        row_exponent: 0.5,
+        col_exponent: 0.9,
+        clip: None,
+        clusters: None,
+        intra_cluster_prob: 0.0,
+        test_fraction: 0.15,
+        seed: 42,
+    }
+    .generate();
+    let oracle = ds.oracle_rmse().unwrap();
+
+    let cfg = small_cfg(1);
+    let iterations = cfg.iterations();
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let runner = EngineKind::WorkStealing.build(2);
+    let mut sampler = GibbsSampler::new(cfg, data);
+    let report = sampler.run(runner.as_ref(), iterations);
+
+    let final_rmse = report.final_rmse();
+    assert!(
+        final_rmse < oracle * 1.35,
+        "final RMSE {final_rmse} should approach the oracle floor {oracle}"
+    );
+    // RMSE must have improved substantially from the first iteration.
+    assert!(final_rmse < report.iters[0].rmse_sample * 0.8);
+}
+
+#[test]
+fn chembl_preset_trains_under_every_engine_entry_point() {
+    let ds = chembl_like(0.004, 9);
+    let cfg = small_cfg(2);
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let runner = EngineKind::Static.build(2);
+    let mut sampler = GibbsSampler::new(cfg.clone(), data);
+    let report = sampler.run(runner.as_ref(), cfg.iterations());
+    assert!(report.final_rmse().is_finite());
+    assert!(report.mean_items_per_sec() > 0.0);
+}
+
+#[test]
+fn matrix_market_roundtrip_feeds_the_sampler() {
+    // Export a synthetic workload to MatrixMarket, read it back as a user
+    // would with the real ChEMBL/MovieLens exports, and train on it.
+    let ds = chembl_like(0.003, 5);
+    let mut buf = Vec::new();
+    write_matrix_market(&mut buf, &ds.train).unwrap();
+    let reloaded = read_matrix_market(std::io::Cursor::new(buf)).unwrap();
+    assert_eq!(reloaded, ds.train);
+
+    let loaded = Dataset::from_train_test("reloaded", reloaded, ds.test.clone());
+    let cfg = small_cfg(3);
+    let data = TrainData::new(&loaded.train, &loaded.train_t, loaded.global_mean, &loaded.test);
+    let runner = EngineKind::WorkStealing.build(2);
+    let mut sampler = GibbsSampler::new(cfg, data);
+    let stats = sampler.step(runner.as_ref());
+    assert!(stats.rmse_sample.is_finite());
+}
+
+#[test]
+fn predictions_are_usable_for_ranking() {
+    let ds = chembl_like(0.003, 6);
+    let cfg = small_cfg(4);
+    let iterations = cfg.iterations();
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let runner = EngineKind::WorkStealing.build(2);
+    let mut sampler = GibbsSampler::new(cfg, data);
+    sampler.run(runner.as_ref(), iterations);
+    let preds: Vec<f64> = (0..ds.ncols().min(50)).map(|m| sampler.predict_one(0, m)).collect();
+    assert!(preds.iter().all(|p| p.is_finite()));
+    // Not all identical — the model actually differentiates items.
+    let spread = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - preds.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 1e-6);
+}

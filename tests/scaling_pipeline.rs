@@ -1,0 +1,84 @@
+//! Integration: the Fig. 4/5 extrapolation pipeline — real workload →
+//! partition/communication plan → cluster simulation — produces sane,
+//! paper-shaped results.
+
+use bpmf_cluster_sim::{phase_loads, simulate_iteration, ComputeModel, Topology};
+use bpmf_dataset::movielens_like;
+
+#[test]
+fn simulated_strong_scaling_has_the_paper_shape() {
+    let ds = movielens_like(0.02, 3);
+    let model = ComputeModel::default_calibration();
+    let topo = Topology::bluegene_q_like();
+
+    let ips = |nodes: usize| {
+        let phases = phase_loads(&ds.train, &ds.train_t, nodes, 16);
+        simulate_iteration(&topo, &model, &phases, 64).items_per_sec
+    };
+
+    let t1 = ips(1);
+    let t8 = ips(8);
+    let t32 = ips(32);
+
+    // Within one rack, scaling is at least near-linear.
+    assert!(t8 > 5.0 * t1, "8-node speedup too low: {}", t8 / t1);
+    assert!(t32 > t8, "32 nodes should beat 8");
+
+    // Efficiency past one rack must be worse than inside one rack
+    // (the Fig. 4 knee).
+    let eff32 = t32 / (32.0 * t1);
+    let t256 = ips(256);
+    let eff256 = t256 / (256.0 * t1);
+    assert!(
+        eff256 < eff32,
+        "efficiency must degrade past one rack: {eff256} vs {eff32}"
+    );
+}
+
+#[test]
+fn blocked_communication_share_rises_with_scale() {
+    let ds = movielens_like(0.02, 3);
+    let model = ComputeModel::default_calibration();
+    let topo = Topology::bluegene_q_like();
+
+    let comm_frac = |nodes: usize| {
+        let phases = phase_loads(&ds.train, &ds.train_t, nodes, 16);
+        let (_, _, comm) = simulate_iteration(&topo, &model, &phases, 64).mean_fractions();
+        comm
+    };
+
+    assert!(
+        comm_frac(256) > comm_frac(2),
+        "Fig. 5 shape: communication share must grow with node count"
+    );
+}
+
+#[test]
+fn simulation_conserves_items() {
+    let ds = movielens_like(0.01, 4);
+    let model = ComputeModel::default_calibration();
+    let topo = Topology::bluegene_q_like();
+    for nodes in [1usize, 4, 32] {
+        let phases = phase_loads(&ds.train, &ds.train_t, nodes, 16);
+        let res = simulate_iteration(&topo, &model, &phases, 64);
+        assert_eq!(
+            res.total_items as usize,
+            ds.nrows() + ds.ncols(),
+            "every user and movie is updated exactly once per iteration"
+        );
+    }
+}
+
+#[test]
+fn bigger_send_buffers_do_not_hurt_simulated_throughput() {
+    let ds = movielens_like(0.01, 4);
+    let model = ComputeModel::default_calibration();
+    let topo = Topology::bluegene_q_like();
+    let phases = phase_loads(&ds.train, &ds.train_t, 64, 16);
+    let unbuffered = simulate_iteration(&topo, &model, &phases, 1);
+    let buffered = simulate_iteration(&topo, &model, &phases, 64);
+    assert!(
+        buffered.makespan_s <= unbuffered.makespan_s,
+        "buffering should never slow the simulated schedule"
+    );
+}
