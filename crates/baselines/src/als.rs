@@ -109,7 +109,15 @@ impl<'a> AlsTrainer<'a> {
                 vals.iter().sum::<f64>() / vals.len() as f64
             }
         };
-        AlsTrainer { cfg, r, rt, global_mean, users, movies, sweeps_done: 0 }
+        AlsTrainer {
+            cfg,
+            r,
+            rt,
+            global_mean,
+            users,
+            movies,
+            sweeps_done: 0,
+        }
     }
 
     /// The training-set mean the residuals are centered on.
@@ -169,6 +177,20 @@ impl<'a> AlsTrainer<'a> {
         model
     }
 
+    /// RMSE of the *current* factors on held-out ratings (clamped when the
+    /// config carries a rating-scale clip) — lets callers trace convergence
+    /// sweep by sweep without packaging a model.
+    pub fn rmse_on(&self, test: &[(u32, u32, f64)]) -> f64 {
+        crate::metrics::rmse(test, |u, m| {
+            let p =
+                self.global_mean + bpmf_linalg::vecops::dot(self.users.row(u), self.movies.row(m));
+            match self.cfg.clip {
+                Some((lo, hi)) => p.clamp(lo, hi),
+                None => p,
+            }
+        })
+    }
+
     /// The regularized least-squares objective ALS descends:
     /// `Σ (r−r̂)² + λ Σ reg_i ||u_i||² + λ Σ reg_j ||v_j||²`.
     ///
@@ -177,15 +199,19 @@ impl<'a> AlsTrainer<'a> {
     pub fn objective(&self) -> f64 {
         let mut sse = 0.0;
         for (i, j, r) in self.r.iter() {
-            let e = r - self.global_mean
+            let e = r
+                - self.global_mean
                 - bpmf_linalg::vecops::dot(self.users.row(i), self.movies.row(j as usize));
             sse += e * e;
         }
         let reg_term = |m: &Mat, matrix: &Csr| -> f64 {
             (0..m.rows())
                 .map(|i| {
-                    let reg =
-                        if self.cfg.weighted_regularization { matrix.row_nnz(i) as f64 } else { 1.0 };
+                    let reg = if self.cfg.weighted_regularization {
+                        matrix.row_nnz(i) as f64
+                    } else {
+                        1.0
+                    };
                     let n = bpmf_linalg::vecops::norm2(m.row(i));
                     reg * n * n
                 })
@@ -208,9 +234,16 @@ fn solve_side(
 ) {
     let k = cfg.num_latent;
     let scratches: Vec<Mutex<Scratch>> = (0..runner.threads())
-        .map(|_| Mutex::new(Scratch { a: Mat::zeros(k, k), b: vec![0.0; k] }))
+        .map(|_| {
+            Mutex::new(Scratch {
+                a: Mat::zeros(k, k),
+                b: vec![0.0; k],
+            })
+        })
         .collect();
-    let weights: Vec<f64> = (0..matrix.nrows()).map(|i| 1.0 + matrix.row_nnz(i) as f64).collect();
+    let weights: Vec<f64> = (0..matrix.nrows())
+        .map(|i| 1.0 + matrix.row_nnz(i) as f64)
+        .collect();
     let writer = MatWriter::new(out);
     let update = |worker: usize, item: usize| {
         let mut scratch = scratches[worker].lock().expect("scratch mutex poisoned");
@@ -224,7 +257,11 @@ fn solve_side(
             row.fill(0.0);
             return;
         }
-        let reg = if cfg.weighted_regularization { cols.len() as f64 } else { 1.0 };
+        let reg = if cfg.weighted_regularization {
+            cols.len() as f64
+        } else {
+            1.0
+        };
         a.fill(0.0);
         for d in 0..k {
             a[(d, d)] = cfg.lambda * reg;
@@ -249,10 +286,18 @@ mod tests {
     use bpmf_sched::StaticPool;
     use bpmf_sparse::Coo;
 
+    #[allow(clippy::needless_range_loop)]
     fn small_matrix() -> (Csr, Csr) {
         // 6 users × 5 movies, 18 ratings from a rank-2 pattern + noise-free.
         let mut coo = Coo::new(6, 5);
-        let u = [[1.0, 0.2], [0.5, -0.4], [-0.3, 0.9], [0.8, 0.8], [-1.0, 0.1], [0.0, -0.7]];
+        let u = [
+            [1.0, 0.2],
+            [0.5, -0.4],
+            [-0.3, 0.9],
+            [0.8, 0.8],
+            [-1.0, 0.1],
+            [0.0, -0.7],
+        ];
         let v = [[0.9, 0.0], [0.2, 1.0], [-0.5, 0.5], [1.0, -1.0], [0.3, 0.3]];
         for i in 0..6 {
             for j in 0..5 {
@@ -270,7 +315,12 @@ mod tests {
     #[test]
     fn objective_is_monotone_nonincreasing() {
         let (r, rt) = small_matrix();
-        let cfg = AlsConfig { num_latent: 2, sweeps: 0, lambda: 0.1, ..Default::default() };
+        let cfg = AlsConfig {
+            num_latent: 2,
+            sweeps: 0,
+            lambda: 0.1,
+            ..Default::default()
+        };
         let runner = StaticPool::new(1);
         let mut t = AlsTrainer::new(cfg, &r, &rt);
         let mut prev = t.objective();
@@ -311,7 +361,11 @@ mod tests {
         // ALS is deterministic given the init, and items are independent
         // within a half-sweep, so thread count must not change the result.
         let (r, rt) = small_matrix();
-        let cfg = AlsConfig { num_latent: 3, sweeps: 4, ..Default::default() };
+        let cfg = AlsConfig {
+            num_latent: 3,
+            sweeps: 4,
+            ..Default::default()
+        };
         let serial = AlsTrainer::new(cfg.clone(), &r, &rt).train(&StaticPool::new(1));
         let parallel = AlsTrainer::new(cfg, &r, &rt).train(&StaticPool::new(4));
         assert_eq!(
@@ -319,7 +373,10 @@ mod tests {
             0.0,
             "parallel ALS diverged from serial"
         );
-        assert_eq!(serial.movie_factors.max_abs_diff(&parallel.movie_factors), 0.0);
+        assert_eq!(
+            serial.movie_factors.max_abs_diff(&parallel.movie_factors),
+            0.0
+        );
     }
 
     #[test]
@@ -330,7 +387,11 @@ mod tests {
         // users 2,3 and movies 1,2 have no ratings at all
         let r = Csr::from_coo_owned(coo);
         let rt = r.transpose();
-        let cfg = AlsConfig { num_latent: 2, sweeps: 3, ..Default::default() };
+        let cfg = AlsConfig {
+            num_latent: 2,
+            sweeps: 3,
+            ..Default::default()
+        };
         let model = AlsTrainer::new(cfg, &r, &rt).train(&StaticPool::new(1));
         for i in 2..4 {
             assert!(model.user_factors.row(i).iter().all(|&v| v == 0.0));
@@ -355,15 +416,26 @@ mod tests {
         coo.push(0, 1, 4.0);
         let r = Csr::from_coo_owned(coo);
         let rt = r.transpose();
-        let base = AlsConfig { num_latent: 2, sweeps: 10, lambda: 0.5, ..Default::default() };
+        let base = AlsConfig {
+            num_latent: 2,
+            sweeps: 10,
+            lambda: 0.5,
+            ..Default::default()
+        };
         let wr = AlsTrainer::new(
-            AlsConfig { weighted_regularization: true, ..base.clone() },
+            AlsConfig {
+                weighted_regularization: true,
+                ..base.clone()
+            },
             &r,
             &rt,
         )
         .train(&StaticPool::new(1));
         let plain = AlsTrainer::new(
-            AlsConfig { weighted_regularization: false, ..base },
+            AlsConfig {
+                weighted_regularization: false,
+                ..base
+            },
             &r,
             &rt,
         )

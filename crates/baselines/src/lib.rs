@@ -48,9 +48,11 @@ mod metrics;
 mod model;
 mod ranking;
 mod sgd;
+mod unified;
 
 pub use als::{AlsConfig, AlsTrainer};
 pub use metrics::{mae, rmse};
 pub use model::MfModel;
 pub use ranking::{evaluate_ranking, RankingReport};
 pub use sgd::{SgdConfig, SgdTrainer};
+pub use unified::{make_trainer, AlsRecommenderTrainer, SgdRecommenderTrainer};

@@ -24,7 +24,10 @@ pub fn mae(test: &[(u32, u32, f64)], mut predict: impl FnMut(usize, usize) -> f6
     if test.is_empty() {
         return f64::NAN;
     }
-    let sae: f64 = test.iter().map(|&(u, m, r)| (predict(u as usize, m as usize) - r).abs()).sum();
+    let sae: f64 = test
+        .iter()
+        .map(|&(u, m, r)| (predict(u as usize, m as usize) - r).abs())
+        .sum();
     sae / test.len() as f64
 }
 

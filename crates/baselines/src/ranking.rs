@@ -81,8 +81,7 @@ pub fn evaluate_ranking(
         let cut = k.min(candidates.len());
         // Top-k by score (descending), ties broken by item id for
         // determinism.
-        candidates
-            .sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let topk = &candidates[..cut];
 
         let rel: std::collections::HashSet<u32> = rel_items.iter().copied().collect();
@@ -103,8 +102,9 @@ pub fn evaluate_ranking(
             .filter(|(_, (m, _))| rel.contains(m))
             .map(|(rank, _)| 1.0 / ((rank as f64 + 2.0).log2()))
             .sum();
-        let ideal: f64 =
-            (0..k.min(rel.len())).map(|rank| 1.0 / ((rank as f64 + 2.0).log2())).sum();
+        let ideal: f64 = (0..k.min(rel.len()))
+            .map(|rank| 1.0 / ((rank as f64 + 2.0).log2()))
+            .sum();
         sum_ndcg += dcg / ideal;
         users += 1;
     }
@@ -197,7 +197,10 @@ mod tests {
                 _ => 0.0,
             }
         });
-        assert_eq!(report.precision, 1.0, "movie 0 must be excluded, movie 3 ranked first");
+        assert_eq!(
+            report.precision, 1.0,
+            "movie 0 must be excluded, movie 3 ranked first"
+        );
     }
 
     #[test]
@@ -213,7 +216,11 @@ mod tests {
         });
         assert!((report.precision - 0.5).abs() < 1e-12);
         assert!((report.recall - 0.5).abs() < 1e-12);
-        assert!(report.ndcg > 0.5 && report.ndcg < 1.0, "ndcg {}", report.ndcg);
+        assert!(
+            report.ndcg > 0.5 && report.ndcg < 1.0,
+            "ndcg {}",
+            report.ndcg
+        );
         assert_eq!(report.hit_rate, 1.0);
     }
 

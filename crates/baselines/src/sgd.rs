@@ -141,6 +141,19 @@ impl SgdTrainer {
         crate::metrics::rmse(&self.ratings, |u, m| self.predict(u, m))
     }
 
+    /// RMSE of the current parameters on held-out ratings (clamped when the
+    /// config carries a rating-scale clip) — lets callers trace convergence
+    /// epoch by epoch without packaging a model.
+    pub fn rmse_on(&self, test: &[(u32, u32, f64)]) -> f64 {
+        crate::metrics::rmse(test, |u, m| {
+            let p = self.predict(u, m);
+            match self.cfg.clip {
+                Some((lo, hi)) => p.clamp(lo, hi),
+                None => p,
+            }
+        })
+    }
+
     fn predict(&self, u: usize, m: usize) -> f64 {
         self.global_mean
             + self.user_bias[u]
@@ -309,7 +322,10 @@ unsafe impl Sync for SliceWriter {}
 
 impl SliceWriter {
     fn new(s: &mut [f64]) -> Self {
-        SliceWriter { ptr: s.as_mut_ptr(), len: s.len() }
+        SliceWriter {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+        }
     }
 
     /// # Safety
@@ -369,7 +385,11 @@ mod tests {
     #[test]
     fn same_seed_is_deterministic() {
         let r = planted(15, 10);
-        let cfg = SgdConfig { num_latent: 3, epochs: 5, ..Default::default() };
+        let cfg = SgdConfig {
+            num_latent: 3,
+            epochs: 5,
+            ..Default::default()
+        };
         let a = SgdTrainer::new(cfg.clone(), &r).train();
         let b = SgdTrainer::new(cfg, &r).train();
         assert_eq!(a.user_factors.max_abs_diff(&b.user_factors), 0.0);
@@ -396,8 +416,22 @@ mod tests {
             learning_rate: 0.05,
             ..Default::default()
         };
-        let with = SgdTrainer::new(SgdConfig { use_biases: true, ..base.clone() }, &r).train();
-        let without = SgdTrainer::new(SgdConfig { use_biases: false, ..base }, &r).train();
+        let with = SgdTrainer::new(
+            SgdConfig {
+                use_biases: true,
+                ..base.clone()
+            },
+            &r,
+        )
+        .train();
+        let without = SgdTrainer::new(
+            SgdConfig {
+                use_biases: false,
+                ..base
+            },
+            &r,
+        )
+        .train();
         let test: Vec<_> = r.iter().map(|(i, j, v)| (i as u32, j, v)).collect();
         let rmse_with = with.rmse_on(&test);
         let rmse_without = without.rmse_on(&test);
@@ -428,7 +462,11 @@ mod tests {
 
     #[test]
     fn learning_rate_decays_inverse_time() {
-        let cfg = SgdConfig { learning_rate: 0.1, decay: 0.5, ..Default::default() };
+        let cfg = SgdConfig {
+            learning_rate: 0.1,
+            decay: 0.5,
+            ..Default::default()
+        };
         assert_eq!(cfg.learning_rate_at(0), 0.1);
         assert!((cfg.learning_rate_at(2) - 0.05).abs() < 1e-15);
         assert!(cfg.learning_rate_at(10) < cfg.learning_rate_at(9));
@@ -438,7 +476,12 @@ mod tests {
     fn empty_matrix_trains_to_global_mean_model() {
         let coo = Coo::new(4, 4);
         let r = Csr::from_coo_owned(coo);
-        let cfg = SgdConfig { num_latent: 2, epochs: 3, init_sd: 0.0, ..Default::default() };
+        let cfg = SgdConfig {
+            num_latent: 2,
+            epochs: 3,
+            init_sd: 0.0,
+            ..Default::default()
+        };
         let model = SgdTrainer::new(cfg, &r).train();
         assert_eq!(model.predict(1, 2), 0.0); // mean of no ratings = 0
     }
@@ -446,7 +489,11 @@ mod tests {
     #[test]
     fn clip_is_carried_into_the_model() {
         let r = planted(10, 8);
-        let cfg = SgdConfig { epochs: 1, clip: Some((1.0, 5.0)), ..Default::default() };
+        let cfg = SgdConfig {
+            epochs: 1,
+            clip: Some((1.0, 5.0)),
+            ..Default::default()
+        };
         let model = SgdTrainer::new(cfg, &r).train();
         for i in 0..10 {
             for j in 0..8 {

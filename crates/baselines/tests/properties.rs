@@ -12,8 +12,7 @@ use proptest::prelude::*;
 fn arb_ratings() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (1usize..12, 1usize..12).prop_flat_map(|(nrows, ncols)| {
         let entry = (0..nrows, 0..ncols, 0.5f64..5.0);
-        proptest::collection::vec(entry, 0..40)
-            .prop_map(move |entries| (nrows, ncols, entries))
+        proptest::collection::vec(entry, 0..40).prop_map(move |entries| (nrows, ncols, entries))
     })
 }
 

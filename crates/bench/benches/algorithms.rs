@@ -19,7 +19,11 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("als-sweep", |b| {
-        let cfg = AlsConfig { num_latent: k, sweeps: 0, ..Default::default() };
+        let cfg = AlsConfig {
+            num_latent: k,
+            sweeps: 0,
+            ..Default::default()
+        };
         let runner = EngineKind::WorkStealing.build(2);
         let mut trainer = AlsTrainer::new(cfg, &ds.train, &ds.train_t);
         b.iter(|| {
@@ -29,7 +33,11 @@ fn bench_algorithms(c: &mut Criterion) {
     });
 
     group.bench_function("sgd-epoch", |b| {
-        let cfg = SgdConfig { num_latent: k, epochs: 0, ..Default::default() };
+        let cfg = SgdConfig {
+            num_latent: k,
+            epochs: 0,
+            ..Default::default()
+        };
         let mut trainer = SgdTrainer::new(cfg, &ds.train);
         b.iter(|| {
             trainer.epoch();
@@ -38,7 +46,11 @@ fn bench_algorithms(c: &mut Criterion) {
     });
 
     group.bench_function("sgd-epoch-stratified-x2", |b| {
-        let cfg = SgdConfig { num_latent: k, epochs: 0, ..Default::default() };
+        let cfg = SgdConfig {
+            num_latent: k,
+            epochs: 0,
+            ..Default::default()
+        };
         let mut trainer = SgdTrainer::new(cfg, &ds.train);
         b.iter(|| {
             trainer.epoch_stratified(2);
@@ -47,8 +59,12 @@ fn bench_algorithms(c: &mut Criterion) {
     });
 
     group.bench_function("bpmf-gibbs-iteration", |b| {
-        let cfg =
-            BpmfConfig { num_latent: k, seed: 1, kernel_threads: 1, ..Default::default() };
+        let cfg = BpmfConfig {
+            num_latent: k,
+            seed: 1,
+            kernel_threads: 1,
+            ..Default::default()
+        };
         let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
         let runner = EngineKind::WorkStealing.build(2);
         let mut sampler = GibbsSampler::new(cfg, data);

@@ -78,5 +78,10 @@ fn bench_syrk_and_dot(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cholesky, bench_rank_one_update, bench_syrk_and_dot);
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_rank_one_update,
+    bench_syrk_and_dot
+);
 criterion_main!(benches);

@@ -14,9 +14,15 @@ fn bench_scalar_draws(c: &mut Criterion) {
     group.sample_size(50);
     let mut rng = Xoshiro256pp::seed_from_u64(1);
     group.bench_function("u64", |b| b.iter(|| black_box(rng.next_u64())));
-    group.bench_function("normal", |b| b.iter(|| black_box(standard_normal(&mut rng))));
-    group.bench_function("gamma(8.5)", |b| b.iter(|| black_box(gamma(&mut rng, 8.5, 1.0))));
-    group.bench_function("chi2(16)", |b| b.iter(|| black_box(chi_squared(&mut rng, 16.0))));
+    group.bench_function("normal", |b| {
+        b.iter(|| black_box(standard_normal(&mut rng)))
+    });
+    group.bench_function("gamma(8.5)", |b| {
+        b.iter(|| black_box(gamma(&mut rng, 8.5, 1.0)))
+    });
+    group.bench_function("chi2(16)", |b| {
+        b.iter(|| black_box(chi_squared(&mut rng, 16.0)))
+    });
     group.finish();
 }
 

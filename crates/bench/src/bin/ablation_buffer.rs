@@ -27,7 +27,13 @@ fn main() {
         ranks
     );
 
-    let mut table = Table::new(["buffer (items)", "items/s", "messages", "bytes", "final RMSE"]);
+    let mut table = Table::new([
+        "buffer (items)",
+        "items/s",
+        "messages",
+        "bytes",
+        "final RMSE",
+    ]);
     #[derive(serde::Serialize)]
     struct Row {
         buffer_items: usize,
@@ -62,11 +68,18 @@ fn main() {
             si(bytes as f64),
             format!("{:.4}", out[0].final_rmse()),
         ]);
-        artifact.push(Row { buffer_items: buffer, items_per_sec: out[0].items_per_sec, messages: msgs, bytes });
+        artifact.push(Row {
+            buffer_items: buffer,
+            items_per_sec: out[0].items_per_sec,
+            messages: msgs,
+            bytes,
+        });
     }
 
     table.print("Ablation — send-buffer size (paper: buffered sends are essential)");
-    println!("\nExpect: messages drop ~linearly with buffer size; throughput climbs then flattens;");
+    println!(
+        "\nExpect: messages drop ~linearly with buffer size; throughput climbs then flattens;"
+    );
     println!("RMSE is unaffected (buffering changes timing, not values).");
     bpmf_bench::write_json("ablation_buffer", &artifact);
 }

@@ -76,7 +76,10 @@ fn main() {
         traces.push(out[0].rmse_mean_trace.iter().map(|v| v.to_bits()).collect());
     }
 
-    assert_eq!(traces[0], traces[1], "exchange mechanism must not change values");
+    assert_eq!(
+        traces[0], traces[1],
+        "exchange mechanism must not change values"
+    );
     table.print("Extension — exchange mechanism (values verified bit-identical)");
     println!("\nOne-sided ships item-granular puts (no buffering needed); the interesting");
     println!("comparison on real hardware is software overhead per transfer, which this");

@@ -57,7 +57,13 @@ fn main() {
     let mut artifact = Vec::new();
 
     for ds in &workloads {
-        let mut table = Table::new(["reorder", "comm volume (items/iter)", "bytes sent", "items/s", "final RMSE"]);
+        let mut table = Table::new([
+            "reorder",
+            "comm volume (items/iter)",
+            "bytes sent",
+            "items/s",
+            "final RMSE",
+        ]);
         for reorder in [false, true] {
             let cfg = DistConfig {
                 base: BpmfConfig {

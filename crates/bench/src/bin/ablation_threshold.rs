@@ -9,26 +9,39 @@
 //!
 //! Usage: `cargo run -p bpmf-bench --release --bin ablation_threshold`
 
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{Bpmf, EngineKind, NoCallback, TrainData};
+use bpmf_baselines::make_trainer;
 use bpmf_bench::table::{si, Table};
 use bpmf_dataset::chembl_like;
 
-fn throughput(ds: &bpmf_dataset::Dataset, rank_one_max: Option<usize>, parallel_threshold: usize) -> f64 {
-    let cfg = BpmfConfig {
-        num_latent: 16,
-        burnin: 1,
-        samples: 2,
-        seed: 3,
-        rank_one_max,
-        parallel_threshold,
-        kernel_threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
-        ..Default::default()
-    };
-    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
-    let runner = EngineKind::WorkStealing.build(2);
-    let mut sampler = GibbsSampler::new(cfg, data);
-    sampler.step(runner.as_ref()); // warm-up
-    sampler.run(runner.as_ref(), 2).mean_items_per_sec()
+fn throughput(
+    ds: &bpmf_dataset::Dataset,
+    rank_one_max: Option<usize>,
+    parallel_threshold: usize,
+) -> f64 {
+    let mut builder = Bpmf::builder()
+        .latent(16)
+        .burnin(1) // the burn-in iteration doubles as warm-up
+        .samples(2)
+        .seed(3)
+        .parallel_threshold(parallel_threshold)
+        .kernel_threads(std::thread::available_parallelism().map_or(2, |n| n.get()))
+        .engine(EngineKind::WorkStealing)
+        .threads(2);
+    if let Some(max) = rank_one_max {
+        builder = builder.rank_one_max(max);
+    }
+    let spec = builder.build().expect("valid spec");
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+        .expect("well-formed dataset");
+    let runner = spec.runner();
+    let mut trainer = make_trainer(&spec);
+    // mean_items_per_sec averages post-burn-in iterations only, so the
+    // warm-up burn-in step is excluded exactly as before.
+    trainer
+        .fit(&data, runner.as_ref(), &mut NoCallback)
+        .expect("fit succeeds")
+        .mean_items_per_sec()
 }
 
 fn main() {
@@ -55,9 +68,17 @@ fn main() {
     let mut t1 = Table::new(["parallel threshold", "items/s"]);
     for &threshold in &[64usize, 250, 1000, 4000, usize::MAX] {
         let ips = throughput(&ds, None, threshold);
-        let label = if threshold == usize::MAX { "never (serial only)".into() } else { threshold.to_string() };
+        let label = if threshold == usize::MAX {
+            "never (serial only)".into()
+        } else {
+            threshold.to_string()
+        };
         t1.row([label.clone(), format!("{}/s", si(ips))]);
-        artifact.push(Row { which: "parallel_threshold".into(), value: label, items_per_sec: ips });
+        artifact.push(Row {
+            which: "parallel_threshold".into(),
+            value: label,
+            items_per_sec: ips,
+        });
     }
     t1.print("Ablation 1 — parallel-Cholesky threshold (paper picks ~1000)");
 
@@ -66,7 +87,11 @@ fn main() {
     for &cap in &[0usize, 4, 8, 16, 32, 64] {
         let ips = throughput(&ds, Some(cap), 1000);
         t2.row([cap.to_string(), format!("{}/s", si(ips))]);
-        artifact.push(Row { which: "rank_one_max".into(), value: cap.to_string(), items_per_sec: ips });
+        artifact.push(Row {
+            which: "rank_one_max".into(),
+            value: cap.to_string(),
+            items_per_sec: ips,
+        });
     }
     t2.print("Ablation 2 — rank-one kernel ceiling (default: K/2)");
     bpmf_bench::write_json("ablation_threshold", &artifact);

@@ -24,8 +24,16 @@ fn main() {
 
     println!("Figure 2 reproduction: per-item update time vs #ratings (K = {k}, parallel kernel threads = {threads})");
 
-    let ratings = [1usize, 3, 10, 30, 100, 300, 1000, 3000, 10_000, 30_000, 100_000];
-    let mut table = Table::new(["#ratings", "rank-one", "serial chol", "parallel chol", "fastest"]);
+    let ratings = [
+        1usize, 3, 10, 30, 100, 300, 1000, 3000, 10_000, 30_000, 100_000,
+    ];
+    let mut table = Table::new([
+        "#ratings",
+        "rank-one",
+        "serial chol",
+        "parallel chol",
+        "fastest",
+    ]);
     let mut crossover_serial = None;
     let mut crossover_parallel = None;
 
@@ -56,8 +64,19 @@ fn main() {
         if fastest == "parallel chol" && crossover_parallel.is_none() {
             crossover_parallel = Some(d);
         }
-        table.row([d.to_string(), dur(t_r1), dur(t_ser), dur(t_par), fastest.to_string()]);
-        artifact.push(Row { ratings: d, rank_one_s: t_r1, serial_chol_s: t_ser, parallel_chol_s: t_par });
+        table.row([
+            d.to_string(),
+            dur(t_r1),
+            dur(t_ser),
+            dur(t_par),
+            fastest.to_string(),
+        ]);
+        artifact.push(Row {
+            ratings: d,
+            rank_one_s: t_r1,
+            serial_chol_s: t_ser,
+            parallel_chol_s: t_par,
+        });
     }
 
     table.print("Fig. 2 — time to update one item (lower is better)");

@@ -15,7 +15,8 @@
 //! Usage: `cargo run -p bpmf-bench --release --bin fig3_multicore`
 //! (`BPMF_SCALE` resizes the ChEMBL-like workload, default 0.01).
 
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{Bpmf, EngineKind, NoCallback, TrainData};
+use bpmf_baselines::make_trainer;
 use bpmf_bench::table::{pct, si, Table};
 use bpmf_dataset::chembl_like;
 
@@ -55,24 +56,27 @@ fn main() {
         let mut ips = Vec::new();
         let mut busy = Vec::new();
         for kind in EngineKind::all() {
-            let cfg = BpmfConfig {
-                num_latent: 16,
-                burnin: 1,
-                samples: iters,
-                seed: 7,
-                kernel_threads: 1,
-                ..Default::default()
-            };
-            let runner = kind.build(threads);
-            let test = &ds.test;
-            let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, test);
-            let mut sampler = GibbsSampler::new(cfg, data);
-            // Warm-up iteration, then measured ones.
-            sampler.step(runner.as_ref());
-            let report = sampler.run(runner.as_ref(), iters);
+            let spec = Bpmf::builder()
+                .latent(16)
+                .burnin(1) // warm-up iteration, excluded from the mean below
+                .samples(iters)
+                .seed(7)
+                .kernel_threads(1)
+                .engine(kind)
+                .threads(threads)
+                .build()
+                .expect("valid spec");
+            let runner = spec.runner();
+            let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+                .expect("well-formed dataset");
+            let mut trainer = make_trainer(&spec);
+            let report = trainer
+                .fit(&data, runner.as_ref(), &mut NoCallback)
+                .expect("fit succeeds");
             ips.push(report.mean_items_per_sec());
-            let mean_busy = report.iters.iter().map(|s| s.busy_fraction).sum::<f64>()
-                / report.iters.len() as f64;
+            let measured = &report.iters[1..];
+            let mean_busy = measured.iter().map(|s| s.busy_fraction).sum::<f64>()
+                / measured.len().max(1) as f64;
             busy.push(mean_busy);
         }
         table.row([

@@ -40,7 +40,13 @@ fn live_part() {
         ds.nnz()
     );
 
-    let mut table = Table::new(["#ranks", "items/s", "efficiency", "bytes sent", "final RMSE"]);
+    let mut table = Table::new([
+        "#ranks",
+        "items/s",
+        "efficiency",
+        "bytes sent",
+        "final RMSE",
+    ]);
     let mut base_ips = None;
     #[derive(serde::Serialize)]
     struct Row {
@@ -76,7 +82,11 @@ fn live_part() {
             si(bytes as f64),
             format!("{:.4}", out[0].final_rmse()),
         ]);
-        artifact.push(Row { ranks, items_per_sec: ips, efficiency: eff });
+        artifact.push(Row {
+            ranks,
+            items_per_sec: ips,
+            efficiency: eff,
+        });
     }
     table.print("Fig. 4 (live, in-process ranks) — oversubscribed on this host; shape only");
     bpmf_bench::write_json("fig4_live", &artifact);
@@ -126,7 +136,13 @@ fn simulated_part() {
     );
     let topo = Topology::bluegene_q_like();
 
-    let mut table = Table::new(["#cores", "#nodes", "items/s", "parallel efficiency", "inter-rack msgs"]);
+    let mut table = Table::new([
+        "#cores",
+        "#nodes",
+        "items/s",
+        "parallel efficiency",
+        "inter-rack msgs",
+    ]);
     let mut base: Option<f64> = None;
     #[derive(serde::Serialize)]
     struct Row {
@@ -151,9 +167,16 @@ fn simulated_part() {
             pct(eff),
             res.inter_rack_messages.to_string(),
         ]);
-        artifact.push(Row { nodes, cores: nodes * topo.cores_per_node, items_per_sec: ips, efficiency: eff });
+        artifact.push(Row {
+            nodes,
+            cores: nodes * topo.cores_per_node,
+            items_per_sec: ips,
+            efficiency: eff,
+        });
     }
 
-    table.print("Fig. 4 (simulated BG/Q) — expect super-linear ≤ 32 nodes, degradation beyond one rack");
+    table.print(
+        "Fig. 4 (simulated BG/Q) — expect super-linear ≤ 32 nodes, degradation beyond one rack",
+    );
     bpmf_bench::write_json("fig4_simulated", &artifact);
 }

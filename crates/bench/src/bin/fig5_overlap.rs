@@ -57,10 +57,19 @@ fn main() {
         });
         let n = out.len() as f64;
         let (c, b, m) = out.iter().fold((0.0, 0.0, 0.0), |acc, o| {
-            (acc.0 + o.compute_frac / n, acc.1 + o.both_frac / n, acc.2 + o.comm_frac / n)
+            (
+                acc.0 + o.compute_frac / n,
+                acc.1 + o.both_frac / n,
+                acc.2 + o.comm_frac / n,
+            )
         });
         live.row([ranks.to_string(), pct(c), pct(b), pct(m)]);
-        artifact.push(Row { label: format!("live-{ranks}"), compute: c, both: b, comm: m });
+        artifact.push(Row {
+            label: format!("live-{ranks}"),
+            compute: c,
+            both: b,
+            comm: m,
+        });
     }
     live.print("Fig. 5 (live, in-process ranks)");
 
@@ -83,7 +92,12 @@ fn main() {
             pct(b),
             pct(m),
         ]);
-        artifact.push(Row { label: format!("sim-{nodes}"), compute: c, both: b, comm: m });
+        artifact.push(Row {
+            label: format!("sim-{nodes}"),
+            compute: c,
+            both: b,
+            comm: m,
+        });
     }
     sim.print("Fig. 5 (simulated BG/Q) — expect 'communicate' to grow with core count");
     bpmf_bench::write_json("fig5_overlap", &artifact);

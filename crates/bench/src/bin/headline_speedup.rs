@@ -17,7 +17,8 @@
 use std::time::Instant;
 
 use bpmf::distributed::{run_rank, DistConfig};
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{Bpmf, BpmfConfig, EngineKind, NoCallback, TrainData};
+use bpmf_baselines::make_trainer;
 use bpmf_bench::calibrate::calibrate;
 use bpmf_bench::naive::naive_iteration;
 use bpmf_bench::table::{si, Table};
@@ -49,8 +50,16 @@ fn main() {
     }
     let mut artifact = Vec::new();
     let mut push = |table: &mut Table, name: &str, ips: f64, naive: f64| {
-        table.row([name.to_string(), format!("{}/s", si(ips)), format!("{:.1}x", ips / naive)]);
-        artifact.push(Row { version: name.into(), items_per_sec: ips, speedup: ips / naive });
+        table.row([
+            name.to_string(),
+            format!("{}/s", si(ips)),
+            format!("{:.1}x", ips / naive),
+        ]);
+        artifact.push(Row {
+            version: name.into(),
+            items_per_sec: ips,
+            speedup: ips / naive,
+        });
     };
 
     // 1. Naive baseline ("initial Julia version").
@@ -61,23 +70,50 @@ fn main() {
         let iters = 2;
         let t0 = Instant::now();
         for _ in 0..iters {
-            naive_iteration(&ds.train, &ds.train_t, ds.global_mean, &mut u, &mut v, &ds.test, 2.0, &mut rng);
+            naive_iteration(
+                &ds.train,
+                &ds.train_t,
+                ds.global_mean,
+                &mut u,
+                &mut v,
+                &ds.test,
+                2.0,
+                &mut rng,
+            );
         }
         items_per_iter * iters as f64 / t0.elapsed().as_secs_f64()
     };
-    push(&mut table, "naive single-thread (Julia-era baseline)", naive_ips, naive_ips);
+    push(
+        &mut table,
+        "naive single-thread (Julia-era baseline)",
+        naive_ips,
+        naive_ips,
+    );
 
     // 2–3. Optimized sampler, 1 thread and all host threads.
     let host_threads = std::thread::available_parallelism().map_or(2, |n| n.get());
     let mut opt_serial_ips = naive_ips;
     for threads in [1usize, host_threads] {
-        let cfg = BpmfConfig { num_latent: k, burnin: 1, samples: 3, seed: 5, kernel_threads: 1, ..Default::default() };
-        let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
-        let runner = EngineKind::WorkStealing.build(threads);
-        let mut sampler = GibbsSampler::new(cfg, data);
-        sampler.step(runner.as_ref()); // warm-up
-        let report = sampler.run(runner.as_ref(), 3);
+        let spec = Bpmf::builder()
+            .latent(k)
+            .burnin(1) // the burn-in iteration doubles as warm-up
+            .samples(3)
+            .seed(5)
+            .kernel_threads(1)
+            .engine(EngineKind::WorkStealing)
+            .threads(threads)
+            .build()
+            .expect("valid spec");
+        let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+            .expect("well-formed dataset");
+        let runner = spec.runner();
+        let mut trainer = make_trainer(&spec);
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .expect("fit succeeds");
         let name = format!("optimized, work stealing x{threads}");
+        // mean_items_per_sec averages post-burn-in iterations only, so the
+        // warm-up burn-in step is excluded exactly as before.
         let ips = report.mean_items_per_sec();
         if threads == 1 {
             opt_serial_ips = ips;
@@ -87,9 +123,17 @@ fn main() {
 
     // 4. Distributed driver, in-process ranks (no artificial network delay:
     // measures protocol overhead, not the host's oversubscription).
-    for ranks in [2usize] {
+    {
+        let ranks = 2usize;
         let cfg = DistConfig {
-            base: BpmfConfig { num_latent: k, burnin: 1, samples: 3, seed: 5, kernel_threads: 1, ..Default::default() },
+            base: BpmfConfig {
+                num_latent: k,
+                burnin: 1,
+                samples: 3,
+                seed: 5,
+                kernel_threads: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let out = Universe::run(ranks, None, |comm| {
@@ -113,13 +157,21 @@ fn main() {
     // with the naive implementation's measured slowdown factor (how much
     // slower naive is than the optimized serial kernel on this host).
     let naive_factor = opt_serial_ips / naive_ips;
-    let one_core_optimized =
-        items_per_iter / (phases.iter().flat_map(|p| p.node_ratings.iter()).sum::<f64>() * model.seconds_per_rating
+    let one_core_optimized = items_per_iter
+        / (phases
+            .iter()
+            .flat_map(|p| p.node_ratings.iter())
+            .sum::<f64>()
+            * model.seconds_per_rating
             + items_per_iter * model.seconds_per_item);
     let projected_naive = one_core_optimized / naive_factor;
     push(
         &mut table,
-        &format!("projected: {} BG/Q nodes ({} cores)", nodes, nodes * topo.cores_per_node),
+        &format!(
+            "projected: {} BG/Q nodes ({} cores)",
+            nodes,
+            nodes * topo.cores_per_node
+        ),
         sim.items_per_sec,
         projected_naive,
     );

@@ -3,9 +3,10 @@
 //! be more robust to data-overfitting and released from cross-validation
 //! … Yet BPMF is more computational intensive."
 //!
-//! Trains ALS-WR, SGD (serial and stratified-parallel) and BPMF on the
-//! same two synthetic workloads and reports held-out RMSE, wall time and
-//! the extras each algorithm does(n't) deliver. Two tables are shown:
+//! Trains ALS-WR, SGD and BPMF on the same synthetic workload through the
+//! unified `Bpmf::builder()` → `Trainer` facade — one code path, three
+//! algorithms — and reports held-out RMSE, wall time and the extras each
+//! algorithm does(n't) deliver. Two tables are shown:
 //!
 //! * *tuned* — every algorithm at a reasonable λ: the speed/accuracy
 //!   trade-off of §I;
@@ -17,10 +18,8 @@
 //!
 //! Usage: `cargo run -p bpmf-bench --release --bin table_algorithms`
 
-use std::time::Instant;
-
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
-use bpmf_baselines::{AlsConfig, AlsTrainer, SgdConfig, SgdTrainer};
+use bpmf::{Algorithm, Bpmf, NoCallback, TrainData};
+use bpmf_baselines::make_trainer;
 use bpmf_bench::table::Table;
 use bpmf_dataset::{chembl_like, Dataset};
 
@@ -33,42 +32,37 @@ struct Row {
     seconds: f64,
 }
 
-fn bpmf_rmse(ds: &Dataset, threads: usize) -> (f64, f64) {
-    let cfg =
-        BpmfConfig { num_latent: 16, burnin: 8, samples: 20, seed: 17, ..Default::default() };
-    let iterations = cfg.iterations();
-    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
-    let runner = EngineKind::WorkStealing.build(threads);
-    let mut sampler = GibbsSampler::new(cfg, data);
-    let t0 = Instant::now();
-    let report = sampler.run(runner.as_ref(), iterations);
-    (report.final_rmse(), t0.elapsed().as_secs_f64())
+/// One spec per algorithm — the only thing that differs between table rows.
+fn spec_for(algorithm: Algorithm, lambda: f64, threads: usize) -> Bpmf {
+    let mut builder = Bpmf::builder()
+        .algorithm(algorithm)
+        .latent(16)
+        .threads(threads)
+        .seed(17)
+        // BPMF iteration budget; ignored by the baselines.
+        .burnin(8)
+        .samples(20)
+        // Baseline budgets; ignored by BPMF.
+        .sweeps(20)
+        .epochs(30)
+        .learning_rate(0.02)
+        .decay(0.02);
+    if lambda.is_finite() {
+        builder = builder.lambda(lambda);
+    }
+    builder.build().expect("valid benchmark spec")
 }
 
-fn als_rmse(ds: &Dataset, lambda: f64, threads: usize) -> (f64, f64) {
-    let cfg = AlsConfig { num_latent: 16, sweeps: 20, lambda, ..Default::default() };
-    let runner = EngineKind::WorkStealing.build(threads);
-    let t0 = Instant::now();
-    let model = AlsTrainer::new(cfg, &ds.train, &ds.train_t).train(runner.as_ref());
-    (model.rmse_on(&ds.test), t0.elapsed().as_secs_f64())
-}
-
-fn sgd_rmse(ds: &Dataset, lambda: f64, threads: usize) -> (f64, f64) {
-    let cfg = SgdConfig {
-        num_latent: 16,
-        epochs: 30,
-        learning_rate: 0.02,
-        decay: 0.02,
-        lambda,
-        ..Default::default()
-    };
-    let t0 = Instant::now();
-    let model = if threads > 1 {
-        SgdTrainer::new(cfg, &ds.train).train_stratified(threads)
-    } else {
-        SgdTrainer::new(cfg, &ds.train).train()
-    };
-    (model.rmse_on(&ds.test), t0.elapsed().as_secs_f64())
+/// Fit one algorithm through the shared trait and report (rmse, seconds).
+fn run(ds: &Dataset, spec: &Bpmf) -> (f64, f64) {
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+        .expect("dataset is well-formed");
+    let runner = spec.runner();
+    let mut trainer = make_trainer(spec);
+    let report = trainer
+        .fit(&data, runner.as_ref(), &mut NoCallback)
+        .expect("fit succeeds");
+    (report.final_rmse(), report.total_seconds)
 }
 
 fn main() {
@@ -99,11 +93,31 @@ fn main() {
 
     // Regime 1: reasonable regularization for the point estimators.
     let mut table = Table::new(["algorithm", "λ", "RMSE", "time"]);
-    let (r, t) = push(&mut artifact, "ALS-WR", 0.08, als_rmse(&ds, 0.08, threads));
+    let (r, t) = push(
+        &mut artifact,
+        "ALS-WR",
+        0.08,
+        run(&ds, &spec_for(Algorithm::Als, 0.08, threads)),
+    );
     table.row(["ALS-WR (20 sweeps)", "0.08", &r, &t]);
-    let (r, t) = push(&mut artifact, "SGD", 0.05, sgd_rmse(&ds, 0.05, threads));
-    table.row([&format!("SGD stratified x{threads} (30 epochs)"), "0.05", &r, &t]);
-    let (r, t) = push(&mut artifact, "BPMF", f64::NAN, bpmf_rmse(&ds, threads));
+    let (r, t) = push(
+        &mut artifact,
+        "SGD",
+        0.05,
+        run(&ds, &spec_for(Algorithm::Sgd, 0.05, threads)),
+    );
+    table.row([
+        &format!("SGD stratified x{threads} (30 epochs)"),
+        "0.05",
+        &r,
+        &t,
+    ]);
+    let (r, t) = push(
+        &mut artifact,
+        "BPMF",
+        f64::NAN,
+        run(&ds, &spec_for(Algorithm::Gibbs, f64::NAN, threads)),
+    );
     table.row(["BPMF (28 iters)", "—", &r, &t]);
     table.print("algorithms, tuned regularization (§I trade-off)");
 
@@ -116,8 +130,18 @@ fn main() {
     let (mut als_lo, mut als_hi) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut sgd_lo, mut sgd_hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &lambda in &lambdas {
-        let (ar, _) = push(&mut artifact, "ALS-WR", lambda, als_rmse(&ds, lambda, threads));
-        let (sr, _) = push(&mut artifact, "SGD", lambda, sgd_rmse(&ds, lambda, threads));
+        let (ar, _) = push(
+            &mut artifact,
+            "ALS-WR",
+            lambda,
+            run(&ds, &spec_for(Algorithm::Als, lambda, threads)),
+        );
+        let (sr, _) = push(
+            &mut artifact,
+            "SGD",
+            lambda,
+            run(&ds, &spec_for(Algorithm::Sgd, lambda, threads)),
+        );
         let (av, sv): (f64, f64) = (ar.parse().unwrap(), sr.parse().unwrap());
         (als_lo, als_hi) = (als_lo.min(av), als_hi.max(av));
         (sgd_lo, sgd_hi) = (sgd_lo.min(sv), sgd_hi.max(sv));

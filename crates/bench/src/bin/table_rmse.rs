@@ -9,7 +9,8 @@
 //! Usage: `cargo run -p bpmf-bench --release --bin table_rmse`
 
 use bpmf::distributed::{run_rank, DistConfig};
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{Bpmf, BpmfConfig, EngineKind, NoCallback, TrainData};
+use bpmf_baselines::make_trainer;
 use bpmf_bench::table::Table;
 use bpmf_dataset::{chembl_like, movielens_like, Dataset};
 use bpmf_mpisim::Universe;
@@ -25,17 +26,34 @@ fn base_cfg(seed: u64) -> BpmfConfig {
     }
 }
 
+/// Shared-memory runs go through the unified builder/trainer facade; the
+/// statistical configuration matches `base_cfg` exactly.
 fn shared_memory_rmse(ds: &Dataset, kind: EngineKind, threads: usize) -> f64 {
-    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
-    let cfg = base_cfg(99);
-    let iterations = cfg.iterations();
-    let runner = kind.build(threads);
-    let mut sampler = GibbsSampler::new(cfg, data);
-    sampler.run(runner.as_ref(), iterations).final_rmse()
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+        .expect("dataset is well-formed");
+    let spec = Bpmf::builder()
+        .latent(16)
+        .burnin(6)
+        .samples(14)
+        .seed(99)
+        .kernel_threads(1)
+        .engine(kind)
+        .threads(threads)
+        .build()
+        .expect("valid spec");
+    let runner = spec.runner();
+    let mut trainer = make_trainer(&spec);
+    trainer
+        .fit(&data, runner.as_ref(), &mut NoCallback)
+        .expect("fit succeeds")
+        .final_rmse()
 }
 
 fn distributed_rmse(ds: &Dataset, ranks: usize) -> f64 {
-    let cfg = DistConfig { base: base_cfg(99), ..Default::default() };
+    let cfg = DistConfig {
+        base: base_cfg(99),
+        ..Default::default()
+    };
     let out = Universe::run(ranks, None, |comm| {
         run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &cfg)
     });
@@ -62,14 +80,22 @@ fn main() {
         for kind in EngineKind::all() {
             let rmse = shared_memory_rmse(ds, kind, 2);
             table.row([kind.label().to_string(), format!("{rmse:.4}")]);
-            artifact.push(Row { dataset: ds.name.clone(), version: kind.label().into(), rmse });
+            artifact.push(Row {
+                dataset: ds.name.clone(),
+                version: kind.label().into(),
+                rmse,
+            });
             rmses.push(rmse);
         }
         for ranks in [2usize, 4] {
             let rmse = distributed_rmse(ds, ranks);
             let label = format!("distributed MPI ({ranks} ranks)");
             table.row([label.clone(), format!("{rmse:.4}")]);
-            artifact.push(Row { dataset: ds.name.clone(), version: label, rmse });
+            artifact.push(Row {
+                dataset: ds.name.clone(),
+                version: label,
+                rmse,
+            });
             rmses.push(rmse);
         }
         table.row(["oracle (planted model)".to_string(), format!("{oracle:.4}")]);

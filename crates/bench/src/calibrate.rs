@@ -14,7 +14,13 @@ use bpmf_stats::{normal, Xoshiro256pp};
 
 /// Time one serial item update with `d` ratings at latent dimension `k`,
 /// averaged over `reps` runs.
-pub fn time_item_update(method: UpdateMethod, k: usize, d: usize, reps: usize, threads: usize) -> f64 {
+pub fn time_item_update(
+    method: UpdateMethod,
+    k: usize,
+    d: usize,
+    reps: usize,
+    threads: usize,
+) -> f64 {
     let mut rng = Xoshiro256pp::seed_from_u64(1717);
     let lambda = Mat::identity(k);
     let mu = vec![0.0; k];
@@ -35,11 +41,31 @@ pub fn time_item_update(method: UpdateMethod, k: usize, d: usize, reps: usize, t
 
     // Warm up, then measure.
     for _ in 0..reps.min(3) {
-        update_item(method, &prior, (&cols, &vals), &other, None, &mut rng, &mut scratch, &mut out, threads);
+        update_item(
+            method,
+            &prior,
+            (&cols, &vals),
+            &other,
+            None,
+            &mut rng,
+            &mut scratch,
+            &mut out,
+            threads,
+        );
     }
     let t0 = Instant::now();
     for _ in 0..reps {
-        update_item(method, &prior, (&cols, &vals), &other, None, &mut rng, &mut scratch, &mut out, threads);
+        update_item(
+            method,
+            &prior,
+            (&cols, &vals),
+            &other,
+            None,
+            &mut rng,
+            &mut scratch,
+            &mut out,
+            threads,
+        );
     }
     std::hint::black_box(&out);
     t0.elapsed().as_secs_f64() / reps as f64

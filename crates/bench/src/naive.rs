@@ -86,7 +86,9 @@ fn naive_side(
         }
 
         // Explicit inverse, then a dense matvec — O(K³) more than needed.
-        let cov = Cholesky::factor(&prec).expect("naive precision must be SPD").inverse();
+        let cov = Cholesky::factor(&prec)
+            .expect("naive precision must be SPD")
+            .inverse();
         let mean = cov.matvec(&b);
 
         // Sample by factoring the covariance (a second O(K³)).

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (must match the header count).

@@ -8,12 +8,12 @@
 use std::fmt;
 use std::io::Write;
 
-use bpmf::EngineKind;
+use bpmf::{Algorithm, EngineKind};
 use bpmf_linalg::Mat;
 
 /// Usage text.
 pub const USAGE: &str = "\
-bpmf-train — Bayesian Probabilistic Matrix Factorization trainer
+bpmf-train — matrix-factorization trainer (BPMF Gibbs / ALS-WR / SGD)
 
 USAGE:
   bpmf-train --train FILE.mtx [OPTIONS]
@@ -22,21 +22,28 @@ OPTIONS:
   --train FILE        MatrixMarket training ratings (required)
   --test FILE         MatrixMarket held-out ratings (same dimensions)
   --test-fraction F   split F of --train off as the test set [default 0.1]
+  --algorithm NAME    gibbs | als | sgd [default gibbs]
   --k N               latent dimension [default 16]
-  --burnin N          burn-in iterations [default 8]
-  --samples N         averaged sampling iterations [default 24]
+  --burnin N          burn-in iterations (gibbs) [default 8]
+  --samples N         averaged sampling iterations (gibbs) [default 24]
+  --sweeps N          full U+V sweeps (als) [default 20]
+  --epochs N          epochs (sgd) [default 30]
+  --lambda X          ridge strength (als/sgd) [algorithm default]
+  --learning-rate X   initial learning rate (sgd) [default 0.01]
+  --min-rating X      clamp predictions below X (use with --max-rating)
+  --max-rating X      clamp predictions above X (use with --min-rating)
   --threads N         worker threads [default: all cores]
   --engine NAME       ws | static | graphlab [default ws]
   --seed N            RNG seed [default 42]
-  --save-factors PFX  write posterior-mean factors to PFX_{users,movies}.tsv
-  --user-features F   TSV of per-user features (Macau-style side info)
+  --save-factors PFX  write the fitted factors to PFX_{users,movies}.tsv
+  --user-features F   TSV of per-user features (Macau side info; gibbs only)
   --lambda-beta X     link-matrix ridge when --user-features is set [default 1]
   --checkpoint FILE   write a JSON checkpoint after the run (and every
-                      --checkpoint-every iterations)
+                      --checkpoint-every iterations; gibbs only)
   --checkpoint-every N  periodic checkpoint interval [default: end only]
   --resume FILE       continue an interrupted run from its checkpoint
   --diagnostics       print ESS / autocorrelation-time summary of the
-                      sample-RMSE trace after the run
+                      RMSE trace after the run
   --help              show this text
 ";
 
@@ -49,19 +56,33 @@ pub struct Options {
     pub test: Option<String>,
     /// Fraction split off `train` when no test file is given.
     pub test_fraction: f64,
+    /// Selected algorithm.
+    pub algorithm: Algorithm,
     /// Latent dimension K.
     pub k: usize,
-    /// Burn-in iterations.
+    /// Burn-in iterations (Gibbs).
     pub burnin: usize,
-    /// Averaged sampling iterations.
+    /// Averaged sampling iterations (Gibbs).
     pub samples: usize,
+    /// Full sweeps (ALS), if overridden.
+    pub sweeps: Option<usize>,
+    /// Epochs (SGD), if overridden.
+    pub epochs: Option<usize>,
+    /// Ridge strength (ALS/SGD), if overridden.
+    pub lambda: Option<f64>,
+    /// Initial learning rate (SGD), if overridden.
+    pub learning_rate: Option<f64>,
+    /// Lower rating clamp.
+    pub min_rating: Option<f64>,
+    /// Upper rating clamp.
+    pub max_rating: Option<f64>,
     /// Worker threads.
     pub threads: usize,
     /// Shared-memory runtime.
     pub engine: EngineKind,
     /// RNG seed.
     pub seed: u64,
-    /// Prefix for posterior-mean factor TSVs, if requested.
+    /// Prefix for fitted-factor TSVs, if requested.
     pub save_factors: Option<String>,
     /// TSV of per-user features for Macau-style side information.
     pub user_features: Option<String>,
@@ -102,15 +123,28 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<bpmf::BpmfError> for CliError {
+    fn from(e: bpmf::BpmfError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Parse arguments; `Ok(None)` means `--help` was requested.
 pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let mut opts = Options {
         train: String::new(),
         test: None,
         test_fraction: 0.1,
+        algorithm: Algorithm::Gibbs,
         k: 16,
         burnin: 8,
         samples: 24,
+        sweeps: None,
+        epochs: None,
+        lambda: None,
+        learning_rate: None,
+        min_rating: None,
+        max_rating: None,
         threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
         engine: EngineKind::WorkStealing,
         seed: 42,
@@ -125,7 +159,8 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
-            it.next().ok_or_else(|| CliError::new(format!("{flag} requires a value")))
+            it.next()
+                .ok_or_else(|| CliError::new(format!("{flag} requires a value")))
         };
         match flag.as_str() {
             "--help" | "-h" => return Ok(None),
@@ -137,9 +172,20 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     return Err(CliError::new("--test-fraction must be in [0, 1)"));
                 }
             }
+            "--algorithm" => {
+                opts.algorithm = value()?
+                    .parse()
+                    .map_err(|e| CliError::new(format!("{e}")))?;
+            }
             "--k" => opts.k = parse_num(flag, value()?)?,
             "--burnin" => opts.burnin = parse_num(flag, value()?)?,
             "--samples" => opts.samples = parse_num(flag, value()?)?,
+            "--sweeps" => opts.sweeps = Some(parse_num(flag, value()?)?),
+            "--epochs" => opts.epochs = Some(parse_num(flag, value()?)?),
+            "--lambda" => opts.lambda = Some(parse_num(flag, value()?)?),
+            "--learning-rate" => opts.learning_rate = Some(parse_num(flag, value()?)?),
+            "--min-rating" => opts.min_rating = Some(parse_num(flag, value()?)?),
+            "--max-rating" => opts.max_rating = Some(parse_num(flag, value()?)?),
             "--threads" => opts.threads = parse_num(flag, value()?)?,
             "--seed" => opts.seed = parse_num(flag, value()?)?,
             "--save-factors" => opts.save_factors = Some(value()?.clone()),
@@ -175,11 +221,22 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     if opts.k == 0 {
         return Err(CliError::new("--k must be positive"));
     }
+    if opts.min_rating.is_some() != opts.max_rating.is_some() {
+        return Err(CliError::new(
+            "--min-rating and --max-rating must be given together",
+        ));
+    }
+    if let (Some(lo), Some(hi)) = (opts.min_rating, opts.max_rating) {
+        if lo >= hi {
+            return Err(CliError::new("--min-rating must be below --max-rating"));
+        }
+    }
     Ok(Some(opts))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, CliError> {
-    s.parse().map_err(|_| CliError::new(format!("invalid value '{s}' for {flag}")))
+    s.parse()
+        .map_err(|_| CliError::new(format!("invalid value '{s}' for {flag}")))
 }
 
 /// Write a factor matrix as TSV (one item per line, K columns).
@@ -209,10 +266,9 @@ pub fn read_features_tsv(path: &str) -> Result<Mat, CliError> {
         if line.trim().is_empty() {
             continue;
         }
-        let row: Result<Vec<f64>, _> =
-            line.split_whitespace().map(str::parse::<f64>).collect();
-        let row = row
-            .map_err(|e| CliError::new(format!("{path}:{}: bad number: {e}", lineno + 1)))?;
+        let row: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse::<f64>).collect();
+        let row =
+            row.map_err(|e| CliError::new(format!("{path}:{}: bad number: {e}", lineno + 1)))?;
         if let Some(first) = rows.first() {
             if row.len() != first.len() {
                 return Err(CliError::new(format!(
@@ -245,6 +301,7 @@ mod tests {
         let opts = parse_args(&argv("--train r.mtx")).unwrap().unwrap();
         assert_eq!(opts.train, "r.mtx");
         assert_eq!(opts.k, 16);
+        assert_eq!(opts.algorithm, Algorithm::Gibbs);
         assert_eq!(opts.engine, EngineKind::WorkStealing);
     }
 
@@ -264,6 +321,42 @@ mod tests {
         assert_eq!(opts.engine, EngineKind::Static);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.save_factors.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn algorithm_flags_parse() {
+        let opts = parse_args(&argv(
+            "--train a.mtx --algorithm als --sweeps 12 --lambda 0.2 --min-rating 1 --max-rating 5",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.algorithm, Algorithm::Als);
+        assert_eq!(opts.sweeps, Some(12));
+        assert_eq!(opts.lambda, Some(0.2));
+        assert_eq!(opts.min_rating, Some(1.0));
+        assert_eq!(opts.max_rating, Some(5.0));
+
+        let sgd = parse_args(&argv(
+            "--train a.mtx --algorithm sgd --epochs 9 --learning-rate 0.05",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(sgd.algorithm, Algorithm::Sgd);
+        assert_eq!(sgd.epochs, Some(9));
+        assert_eq!(sgd.learning_rate, Some(0.05));
+    }
+
+    #[test]
+    fn bad_algorithm_is_an_error() {
+        assert!(parse_args(&argv("--train a.mtx --algorithm spark")).is_err());
+    }
+
+    #[test]
+    fn rating_bounds_must_come_together_and_be_ordered() {
+        assert!(parse_args(&argv("--train a.mtx --min-rating 1")).is_err());
+        assert!(parse_args(&argv("--train a.mtx --max-rating 5")).is_err());
+        assert!(parse_args(&argv("--train a.mtx --min-rating 5 --max-rating 1")).is_err());
+        assert!(parse_args(&argv("--train a.mtx --min-rating 1 --max-rating 5")).is_ok());
     }
 
     #[test]
@@ -292,11 +385,15 @@ mod tests {
         let dir = std::env::temp_dir().join("bpmf_cli_feat_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("features.tsv");
-        std::fs::write(&path, "1.0	2.0
+        std::fs::write(
+            &path,
+            "1.0	2.0
 3.0	4.0
 
 -1.5	0.25
-").unwrap();
+",
+        )
+        .unwrap();
         let m = read_features_tsv(path.to_str().unwrap()).unwrap();
         assert_eq!((m.rows(), m.cols()), (3, 2));
         assert_eq!(m[(2, 0)], -1.5);
@@ -308,9 +405,13 @@ mod tests {
         let dir = std::env::temp_dir().join("bpmf_cli_feat_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ragged.tsv");
-        std::fs::write(&path, "1 2 3
+        std::fs::write(
+            &path,
+            "1 2 3
 4 5
-").unwrap();
+",
+        )
+        .unwrap();
         let err = read_features_tsv(path.to_str().unwrap()).unwrap_err();
         assert!(err.to_string().contains("expected 3 columns"));
     }

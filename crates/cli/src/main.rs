@@ -1,12 +1,16 @@
-//! `bpmf-train` — train BPMF on a MatrixMarket rating matrix.
+//! `bpmf-train` — train a recommender on a MatrixMarket rating matrix.
 //!
-//! Intended for the real datasets the paper evaluates (ChEMBL IC50 export,
-//! MovieLens ml-20m converted to `.mtx`). Prints per-iteration RMSE and can
-//! write the posterior-mean factors for downstream ranking.
+//! One binary, three algorithms: BPMF Gibbs sampling (default), ALS-WR,
+//! and biased SGD, all dispatched through the unified
+//! `Bpmf::builder()` → `Trainer` → `Recommender` facade. Prints
+//! per-iteration RMSE as training streams through an `IterCallback` and
+//! can write the fitted factors for downstream ranking.
 //!
 //! ```text
 //! bpmf-train --train ratings.mtx [--test held_out.mtx | --test-fraction 0.1]
-//!            [--k 16] [--burnin 8] [--samples 24] [--threads N]
+//!            [--algorithm gibbs|als|sgd] [--k 16] [--burnin 8] [--samples 24]
+//!            [--sweeps 20] [--epochs 30] [--lambda X] [--learning-rate X]
+//!            [--min-rating X --max-rating Y] [--threads N]
 //!            [--engine ws|static|graphlab] [--seed 42]
 //!            [--save-factors PREFIX]
 //!            [--user-features F.tsv [--lambda-beta 1.0]]
@@ -18,7 +22,8 @@ use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
 use bpmf::checkpoint::SamplerCheckpoint;
-use bpmf::{BpmfConfig, FeatureSideInfo, GibbsSampler, TrainData};
+use bpmf::{Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats};
+use bpmf_baselines::make_trainer;
 use bpmf_cli::{parse_args, CliError, Options};
 use bpmf_sparse::read_matrix_market;
 
@@ -45,6 +50,53 @@ fn main() -> ExitCode {
     }
 }
 
+/// Streams per-iteration stats to stdout, collects the RMSE trace for
+/// diagnostics, and writes periodic + final checkpoints from the trainer's
+/// snapshots.
+struct CliCallback<'a> {
+    out: std::io::StdoutLock<'a>,
+    trace: Vec<f64>,
+    printed: usize,
+    total_iterations: usize,
+    checkpoint: Option<&'a str>,
+    checkpoint_every: Option<usize>,
+    final_checkpoint: Option<SamplerCheckpoint>,
+    error: Option<CliError>,
+}
+
+impl IterCallback for CliCallback<'_> {
+    fn on_iteration(&mut self, s: &IterStats, snapshot: &dyn FitSnapshot) -> FitControl {
+        writeln!(
+            self.out,
+            "{}\t{:.6}\t{:.6}\t{:.0}",
+            s.iter, s.rmse_sample, s.rmse_mean, s.items_per_sec
+        )
+        .ok();
+        self.trace.push(s.rmse_sample);
+        self.printed += 1;
+        if let Some(path) = self.checkpoint {
+            let last = s.iter + 1 >= self.total_iterations;
+            let periodic = self
+                .checkpoint_every
+                .is_some_and(|every| every > 0 && self.printed.is_multiple_of(every) && !last);
+            if periodic || last {
+                if let Some(ckpt) = snapshot.sampler_checkpoint() {
+                    if last {
+                        // Written (with a log line) after the run completes.
+                        self.final_checkpoint = Some(ckpt);
+                    } else if let Err(e) = write_checkpoint(path, &ckpt) {
+                        self.error = Some(e);
+                        return FitControl::Stop;
+                    } else {
+                        eprintln!("checkpoint written to {path} (iteration {})", s.iter);
+                    }
+                }
+            }
+        }
+        FitControl::Continue
+    }
+}
+
 fn run(opts: &Options) -> Result<(), CliError> {
     let file = std::fs::File::open(&opts.train)
         .map_err(|e| CliError::new(format!("cannot open {}: {e}", opts.train)))?;
@@ -66,10 +118,11 @@ fn run(opts: &Options) -> Result<(), CliError> {
             let t = read_matrix_market(BufReader::new(f))
                 .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
             if t.nrows() != full.nrows() || t.ncols() != full.ncols() {
-                return Err(CliError::new("test matrix dimensions do not match training matrix"));
+                return Err(CliError::new(
+                    "test matrix dimensions do not match training matrix",
+                ));
             }
-            let test: Vec<(u32, u32, f64)> =
-                t.iter().map(|(i, j, v)| (i as u32, j, v)).collect();
+            let test: Vec<(u32, u32, f64)> = t.iter().map(|(i, j, v)| (i as u32, j, v)).collect();
             (full, test)
         }
         None => {
@@ -88,27 +141,30 @@ fn run(opts: &Options) -> Result<(), CliError> {
     };
     eprintln!("train {} / test {} observations", train.nnz(), test.len());
 
-    let cfg = BpmfConfig {
-        num_latent: opts.k,
-        burnin: opts.burnin,
-        samples: opts.samples,
-        seed: opts.seed,
-        ..Default::default()
-    };
-    let iterations = cfg.iterations();
-    let data = TrainData::new(&train, &train_t, global_mean, &test);
-    let runner = opts.engine.build(opts.threads);
-    let mut sampler = match &opts.resume {
-        None => GibbsSampler::new(cfg, data),
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
-            let ckpt: SamplerCheckpoint = serde_json::from_str(&text)
-                .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
-            eprintln!("resuming from {path} at iteration {}", ckpt.iter);
-            GibbsSampler::resume(cfg, data, &ckpt)
-        }
-    };
+    // One builder for every algorithm.
+    let mut builder = Bpmf::builder()
+        .algorithm(opts.algorithm)
+        .latent(opts.k)
+        .burnin(opts.burnin)
+        .samples(opts.samples)
+        .seed(opts.seed)
+        .engine(opts.engine)
+        .threads(opts.threads);
+    if let Some(n) = opts.sweeps {
+        builder = builder.sweeps(n);
+    }
+    if let Some(n) = opts.epochs {
+        builder = builder.epochs(n);
+    }
+    if let Some(l) = opts.lambda {
+        builder = builder.lambda(l);
+    }
+    if let Some(lr) = opts.learning_rate {
+        builder = builder.learning_rate(lr);
+    }
+    if let (Some(lo), Some(hi)) = (opts.min_rating, opts.max_rating) {
+        builder = builder.rating_bounds(lo, hi);
+    }
     if let Some(path) = &opts.user_features {
         let features = bpmf_cli::read_features_tsv(path)?;
         if features.rows() != train.nrows() {
@@ -119,41 +175,69 @@ fn run(opts: &Options) -> Result<(), CliError> {
             )));
         }
         eprintln!("side information: {} features per user", features.cols());
-        sampler.attach_user_side_info(FeatureSideInfo::new(features, opts.k, opts.lambda_beta));
+        builder = builder.user_side_info(features, opts.lambda_beta);
     }
+    if let Some(path) = &opts.resume {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+        let ckpt: SamplerCheckpoint = serde_json::from_str(&text)
+            .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
+        eprintln!("resuming from {path} at iteration {}", ckpt.iter);
+        builder = builder.resume(ckpt);
+    }
+    let spec = builder.build()?;
 
-    let remaining = iterations.saturating_sub(sampler.iterations_done());
-    let mut rmse_trace = Vec::with_capacity(remaining);
+    let runner = spec.runner();
+    let mut trainer = make_trainer(&spec);
+    let total_iterations = match opts.algorithm {
+        Algorithm::Gibbs => spec.burnin + spec.samples,
+        Algorithm::Als => spec.sweeps.unwrap_or(20),
+        Algorithm::Sgd => spec.epochs.unwrap_or(30),
+    };
+
+    let report;
+    let trace;
     {
         let stdout = std::io::stdout();
-        let mut out = stdout.lock();
-        writeln!(out, "iter\trmse_sample\trmse_mean\titems_per_sec").ok();
-        for step in 0..remaining {
-            let s = sampler.step(runner.as_ref());
-            rmse_trace.push(s.rmse_sample);
-            writeln!(
-                out,
-                "{}\t{:.6}\t{:.6}\t{:.0}",
-                s.iter, s.rmse_sample, s.rmse_mean, s.items_per_sec
-            )
-            .ok();
-            if let (Some(path), Some(every)) = (&opts.checkpoint, opts.checkpoint_every) {
-                if every > 0 && (step + 1) % every == 0 && step + 1 < remaining {
-                    write_checkpoint(path, &sampler)?;
-                    eprintln!("checkpoint written to {path} (iteration {})", s.iter);
-                }
-            }
+        let mut cb = CliCallback {
+            out: stdout.lock(),
+            trace: Vec::new(),
+            printed: 0,
+            total_iterations,
+            checkpoint: opts.checkpoint.as_deref(),
+            checkpoint_every: opts.checkpoint_every,
+            final_checkpoint: None,
+            error: None,
+        };
+        writeln!(cb.out, "iter\trmse_sample\trmse_mean\titems_per_sec").ok();
+        report = trainer.fit(
+            &bpmf::TrainData::try_new(&train, &train_t, global_mean, &test)?,
+            runner.as_ref(),
+            &mut cb,
+        )?;
+        if let Some(e) = cb.error {
+            return Err(e);
         }
+        if let (Some(path), Some(ckpt)) = (&opts.checkpoint, &cb.final_checkpoint) {
+            write_checkpoint(path, ckpt)?;
+            eprintln!("final checkpoint written to {path}");
+        }
+        trace = cb.trace;
     }
+    eprintln!(
+        "fitted {} via {} in {:.2}s (final RMSE {:.6})",
+        report.algorithm,
+        report.engine,
+        report.total_seconds,
+        report.final_rmse()
+    );
 
-    if let Some(path) = &opts.checkpoint {
-        write_checkpoint(path, &sampler)?;
-        eprintln!("final checkpoint written to {path}");
-    }
-
-    if opts.diagnostics && !rmse_trace.is_empty() {
-        let burn = opts.burnin.min(rmse_trace.len());
-        let post = &rmse_trace[burn..];
+    if opts.diagnostics && !trace.is_empty() {
+        let burn = match opts.algorithm {
+            Algorithm::Gibbs => opts.burnin.min(trace.len()),
+            _ => 0,
+        };
+        let post = &trace[burn..];
         if post.len() >= 2 {
             let s = bpmf::diagnostics::summarize_trace(post);
             eprintln!(
@@ -172,18 +256,24 @@ fn run(opts: &Options) -> Result<(), CliError> {
     }
 
     if let Some(prefix) = &opts.save_factors {
-        let (u, v) = sampler
-            .posterior_mean_factors()
-            .ok_or_else(|| CliError::new("no post-burn-in samples; increase --samples"))?;
-        bpmf_cli::write_factors(&format!("{prefix}_users.tsv"), &u)?;
-        bpmf_cli::write_factors(&format!("{prefix}_movies.tsv"), &v)?;
+        let rec = trainer
+            .recommender()
+            .ok_or_else(|| CliError::new("training produced no model"))?;
+        let (u, v) = rec.factors().ok_or_else(|| {
+            CliError::new(
+                "the fitted model exposes no factor matrices \
+                     (for gibbs, no post-burn-in samples were taken; increase --samples)",
+            )
+        })?;
+        bpmf_cli::write_factors(&format!("{prefix}_users.tsv"), u)?;
+        bpmf_cli::write_factors(&format!("{prefix}_movies.tsv"), v)?;
         eprintln!("wrote {prefix}_users.tsv and {prefix}_movies.tsv");
     }
     Ok(())
 }
 
-fn write_checkpoint(path: &str, sampler: &GibbsSampler<'_>) -> Result<(), CliError> {
-    let json = serde_json::to_string(&sampler.checkpoint())
+fn write_checkpoint(path: &str, ckpt: &SamplerCheckpoint) -> Result<(), CliError> {
+    let json = serde_json::to_string(ckpt)
         .map_err(|e| CliError::new(format!("cannot serialize checkpoint: {e}")))?;
     // Write-then-rename so an interrupt mid-write cannot corrupt the
     // previous checkpoint.

@@ -123,21 +123,42 @@ fn checkpoint_resume_and_side_info_roundtrip() {
 
     // Phase 1: short run that writes a checkpoint.
     let out1 = std::process::Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
-        .args(base_args(&["--samples", "2", "--checkpoint", ckpt.to_str().unwrap()]))
+        .args(base_args(&[
+            "--samples",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
         .output()
         .unwrap();
-    assert!(out1.status.success(), "stderr: {}", String::from_utf8_lossy(&out1.stderr));
+    assert!(
+        out1.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out1.stderr)
+    );
     let stderr1 = String::from_utf8_lossy(&out1.stderr);
-    assert!(stderr1.contains("side information: 3 features per user"), "{stderr1}");
+    assert!(
+        stderr1.contains("side information: 3 features per user"),
+        "{stderr1}"
+    );
     assert!(stderr1.contains("final checkpoint written"), "{stderr1}");
     assert!(ckpt.exists());
 
     // Phase 2: resume with a larger budget; must pick up at iteration 4.
     let out2 = std::process::Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
-        .args(base_args(&["--samples", "6", "--resume", ckpt.to_str().unwrap()]))
+        .args(base_args(&[
+            "--samples",
+            "6",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ]))
         .output()
         .unwrap();
-    assert!(out2.status.success(), "stderr: {}", String::from_utf8_lossy(&out2.stderr));
+    assert!(
+        out2.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
     let stderr2 = String::from_utf8_lossy(&out2.stderr);
     assert!(stderr2.contains("resuming from"), "{stderr2}");
     assert!(stderr2.contains("diagnostics"), "{stderr2}");

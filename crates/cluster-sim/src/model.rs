@@ -117,8 +117,7 @@ impl ComputeModel {
         working_set_bytes: f64,
         cores: usize,
     ) -> f64 {
-        let serial =
-            ratings * self.seconds_per_rating + items * self.seconds_per_item;
+        let serial = ratings * self.seconds_per_rating + items * self.seconds_per_item;
         serial * self.cache_multiplier(working_set_bytes) / self.thread_speedup(cores)
     }
 }
@@ -152,7 +151,11 @@ impl PhaseLoad {
         let n = self.nodes();
         assert_eq!(self.node_items.len(), n, "node_items length mismatch");
         assert_eq!(self.node_sends.len(), n, "node_sends length mismatch");
-        assert_eq!(self.node_working_set.len(), n, "node_working_set length mismatch");
+        assert_eq!(
+            self.node_working_set.len(),
+            n,
+            "node_working_set length mismatch"
+        );
         for sends in &self.node_sends {
             for &(dst, _) in sends {
                 assert!((dst as usize) < n, "send destination {dst} out of range");

@@ -81,6 +81,7 @@ struct Message {
 
 /// Simulate one Gibbs iteration (a sequence of phases) and return makespan
 /// plus per-node accounting.
+#[allow(clippy::needless_range_loop)]
 pub fn simulate_iteration(
     topo: &Topology,
     model: &ComputeModel,
@@ -100,7 +101,11 @@ pub fn simulate_iteration(
 
     for phase in phases {
         phase.validate();
-        assert_eq!(phase.nodes(), nodes, "all phases must use the same node count");
+        assert_eq!(
+            phase.nodes(),
+            nodes,
+            "all phases must use the same node count"
+        );
         total_items += phase.node_items.iter().sum::<f64>();
 
         // Per-node compute windows (message software overhead charged to the
@@ -192,7 +197,11 @@ pub fn simulate_iteration(
     SimResult {
         makespan_s: makespan,
         total_items,
-        items_per_sec: if makespan > 0.0 { total_items / makespan } else { 0.0 },
+        items_per_sec: if makespan > 0.0 {
+            total_items / makespan
+        } else {
+            0.0
+        },
         nodes: acct,
         inter_rack_messages,
     }
@@ -221,7 +230,10 @@ mod tests {
     }
 
     fn default_setup() -> (Topology, ComputeModel) {
-        (Topology::bluegene_q_like(), ComputeModel::default_calibration())
+        (
+            Topology::bluegene_q_like(),
+            ComputeModel::default_calibration(),
+        )
     }
 
     #[test]
@@ -317,7 +329,10 @@ mod tests {
         };
         let small = frac_blocked(4);
         let large = frac_blocked(256);
-        assert!(large > small, "blocked-comm share should grow: {small} → {large}");
+        assert!(
+            large > small,
+            "blocked-comm share should grow: {small} → {large}"
+        );
     }
 
     #[test]
@@ -335,7 +350,7 @@ mod tests {
     fn buffering_reduces_message_overhead() {
         let (topo, model) = default_setup();
         let phase = even_phase(16, 500.0, 64);
-        let buffered = simulate_iteration(&topo, &model, &[phase.clone()], 64);
+        let buffered = simulate_iteration(&topo, &model, std::slice::from_ref(&phase), 64);
         let item_granular = simulate_iteration(&topo, &model, &[phase], 1);
         assert!(
             buffered.makespan_s < item_granular.makespan_s,

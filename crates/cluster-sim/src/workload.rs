@@ -66,8 +66,7 @@ fn side_phase(
         }
         // Working set: own factor rows + counterpart rows read + the rating
         // slice itself (u32 index + f64 value per entry).
-        node_working_set[node] =
-            ((range.len() + distinct_counterparts) * k * 8 + nnz * 12) as f64;
+        node_working_set[node] = ((range.len() + distinct_counterparts) * k * 8 + nnz * 12) as f64;
     }
 
     PhaseLoad {
@@ -100,7 +99,11 @@ mod tests {
         let rt = r.transpose();
         for nodes in [1usize, 2, 4, 8] {
             let [movie, user] = phase_loads(&r, &rt, nodes, 8);
-            assert_eq!(user.node_items.iter().sum::<f64>() as usize, 60, "{nodes} nodes");
+            assert_eq!(
+                user.node_items.iter().sum::<f64>() as usize,
+                60,
+                "{nodes} nodes"
+            );
             assert_eq!(movie.node_items.iter().sum::<f64>() as usize, 40);
             assert_eq!(user.node_ratings.iter().sum::<f64>() as usize, r.nnz());
             assert_eq!(movie.node_ratings.iter().sum::<f64>() as usize, r.nnz());

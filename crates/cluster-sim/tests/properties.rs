@@ -12,19 +12,21 @@ fn phase(nodes: usize) -> impl Strategy<Value = PhaseLoad> {
         proptest::collection::vec((0..nodes as u32, 0u32..200), 0..nodes.min(6)),
         nodes,
     );
-    (ratings, items, ws, sends).prop_map(move |(node_ratings, node_items, node_working_set, mut node_sends)| {
-        // Drop self-sends (the plan never produces them).
-        for (src, sends) in node_sends.iter_mut().enumerate() {
-            sends.retain(|&(dst, _)| dst as usize != src);
-        }
-        PhaseLoad {
-            node_ratings,
-            node_items,
-            node_sends,
-            node_working_set,
-            bytes_per_item: 136,
-        }
-    })
+    (ratings, items, ws, sends).prop_map(
+        move |(node_ratings, node_items, node_working_set, mut node_sends)| {
+            // Drop self-sends (the plan never produces them).
+            for (src, sends) in node_sends.iter_mut().enumerate() {
+                sends.retain(|&(dst, _)| dst as usize != src);
+            }
+            PhaseLoad {
+                node_ratings,
+                node_items,
+                node_sends,
+                node_working_set,
+                bytes_per_item: 136,
+            }
+        },
+    )
 }
 
 proptest! {
@@ -37,7 +39,7 @@ proptest! {
         let ph = shrink_phase(&ph, nodes);
         let topo = Topology::bluegene_q_like();
         let model = ComputeModel::default_calibration();
-        let res = simulate_iteration(&topo, &model, &[ph.clone()], 64);
+        let res = simulate_iteration(&topo, &model, std::slice::from_ref(&ph), 64);
         // Makespan can never beat the slowest node's pure compute time.
         let slowest = (0..nodes)
             .map(|n| model.node_compute_seconds(
@@ -80,7 +82,7 @@ proptest! {
         let ph = shrink_phase(&ph, nodes);
         let topo = Topology::bluegene_q_like();
         let model = ComputeModel::default_calibration();
-        let small = simulate_iteration(&topo, &model, &[ph.clone()], 1);
+        let small = simulate_iteration(&topo, &model, std::slice::from_ref(&ph), 1);
         let large = simulate_iteration(&topo, &model, &[ph], 128);
         // Fewer messages (same bytes) can only reduce software overhead.
         prop_assert!(large.makespan_s <= small.makespan_s + 1e-12);
@@ -93,7 +95,7 @@ proptest! {
         let model = ComputeModel::default_calibration();
         let slow = Topology { intra_rack_bw: 1e8, inter_rack_bw: 1e8, ..Topology::bluegene_q_like() };
         let fast = Topology { intra_rack_bw: 1e11, inter_rack_bw: 1e11, ..Topology::bluegene_q_like() };
-        let t_slow = simulate_iteration(&slow, &model, &[ph.clone()], 16);
+        let t_slow = simulate_iteration(&slow, &model, std::slice::from_ref(&ph), 16);
         let t_fast = simulate_iteration(&fast, &model, &[ph], 16);
         prop_assert!(t_fast.makespan_s <= t_slow.makespan_s + 1e-12);
     }

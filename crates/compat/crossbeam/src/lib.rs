@@ -1,0 +1,244 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the work-stealing deque API surface (`deque::{Injector, Worker,
+//! Stealer, Steal}`) and `utils::CachePadded` that `bpmf-sched` uses. The
+//! implementation favors simplicity over lock-freedom: each deque is a
+//! mutex-guarded `VecDeque`, which preserves the semantics (LIFO owner pops,
+//! FIFO steals, exactly-once delivery) the scheduler's correctness proofs
+//! rely on, at some cost in contention relative to the real crate.
+
+/// Work-stealing deques.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A transient conflict; retry.
+        Retry,
+    }
+
+    fn locked<T, R>(m: &Mutex<VecDeque<T>>, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
+        f(&mut m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Owner side of a worker deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New LIFO worker deque (owner pops what it pushed last).
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// New FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        /// Push a task onto the owner end.
+        pub fn push(&self, task: T) {
+            locked(&self.inner, |q| q.push_back(task));
+        }
+
+        /// Pop from the owner end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.inner, |q| q.pop_back())
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.inner, |q| q.is_empty())
+        }
+
+        /// Handle other threads use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// Thief side of a worker deque. Steals from the opposite end the owner
+    /// pops from.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempt to steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.inner, |q| q.pop_front()) {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.inner, |q| q.is_empty())
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// Global injector queue all workers can push to and steal from.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task.
+        pub fn push(&self, task: T) {
+            locked(&self.inner, |q| q.push_back(task));
+        }
+
+        /// Steal one task, optionally moving a batch into `dest` first so
+        /// subsequent owner pops hit the local deque.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut batch = locked(&self.inner, |q| {
+                let take = (q.len() / 2).clamp(usize::from(!q.is_empty()), 8);
+                q.drain(..take).collect::<Vec<_>>()
+            });
+            if batch.is_empty() {
+                return Steal::Empty;
+            }
+            // The drained batch is oldest-first; the caller gets the oldest
+            // (matching real crossbeam's FIFO injector) and the rest land in
+            // its local deque.
+            let popped = batch.remove(0);
+            for t in batch {
+                dest.push(t);
+            }
+            Steal::Success(popped)
+        }
+
+        /// Steal one task directly.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.inner, |q| q.pop_front()) {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.inner, |q| q.is_empty())
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+/// Miscellaneous utilities.
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes to avoid false sharing between
+    /// adjacent per-worker counters.
+    #[derive(Default, Debug, Clone, Copy)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_pop_delivers_everything_once() {
+        let inj = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let mut seen = Vec::new();
+        loop {
+            while let Some(t) = w.pop() {
+                seen.push(t);
+            }
+            match inj.steal_batch_and_pop(&w) {
+                Steal::Success(t) => seen.push(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let v = super::utils::CachePadded::new(0u64);
+        assert_eq!(std::mem::align_of_val(&v), 128);
+        assert_eq!(*v, 0);
+    }
+}

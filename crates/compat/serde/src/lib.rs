@@ -1,0 +1,394 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde streams through a `Serializer`/`Deserializer` pair; this
+//! stand-in routes everything through an owned [`Value`] tree instead,
+//! which is dramatically simpler and fast enough for the checkpoint files
+//! and benchmark artifacts this workspace serializes. The public names
+//! (`Serialize`, `Deserialize`, the derive macros, `#[serde(default)]`)
+//! match the real crate so application code is source-compatible.
+//!
+//! Numbers are kept in three exact channels (`u64`, `i64`, `f64`) so RNG
+//! state words survive a JSON round trip bit-exactly — a property the
+//! checkpoint/resume tests pin down.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed self-describing value (the JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null` — also the representation of non-finite floats.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Exact unsigned integer.
+    U64(u64),
+    /// Exact negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Arr(Vec<Value>),
+    /// Key-value map in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value's type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// (De)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    ref other => return Err(Error::msg(format!(
+                        "expected unsigned integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => f as i64,
+                    ref other => return Err(Error::msg(format!(
+                        "expected integer, found {}", other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // JSON has no NaN/Infinity; serde_json writes null too.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(Error::msg(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let found = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {found}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Arr(items) => Err(Error::msg(format!(
+                        "expected tuple of length {}, found {}", $len, items.len()))),
+                    other => Err(Error::msg(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive support (used by the generated code; not public API)
+// ---------------------------------------------------------------------------
+
+/// Fetch and decode a required struct field. Used by derived impls.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(field) => T::from_value(field).map_err(|e| Error::msg(format!("field `{name}`: {e}"))),
+        None => Err(Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+/// Fetch and decode a `#[serde(default)]` struct field. Used by derived
+/// impls.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(field) => T::from_value(field).map_err(|e| Error::msg(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
+/// Require an object value. Used by derived impls.
+#[doc(hidden)]
+pub fn __expect_obj<'v>(v: &'v Value, ty: &str) -> Result<&'v Value, Error> {
+    match v {
+        Value::Obj(_) => Ok(v),
+        other => Err(Error::msg(format!(
+            "expected {ty} object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3.5f64).to_value(), Value::F64(3.5));
+    }
+
+    #[test]
+    fn u64_words_are_exact() {
+        let w: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        assert_eq!(u64::from_value(&w.to_value()).unwrap(), w);
+    }
+
+    #[test]
+    fn fixed_arrays_check_length() {
+        let arr = [1u64, 2, 3, 4];
+        let v = arr.to_value();
+        assert_eq!(<[u64; 4]>::from_value(&v).unwrap(), arr);
+        assert!(<[u64; 3]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let t = (1u32, 2.5f64);
+        let v = t.to_value();
+        assert_eq!(<(u32, f64)>::from_value(&v).unwrap(), t);
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields, plus the `#[serde(default)]` field attribute. The
+//! input is parsed directly from the token stream (no `syn`/`quote`
+//! available offline); generated impls target the value-tree traits of the
+//! sibling `serde` stand-in.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<Field>,
+}
+
+/// Walk the derive input: skip attributes and visibility, expect
+/// `struct Name { fields }`.
+fn parse_struct(input: TokenStream) -> Result<StructDef, String> {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // Skip optional `(crate)` etc.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" => {
+                        if let Some(TokenTree::Ident(n)) = iter.next() {
+                            name = Some(n.to_string());
+                        } else {
+                            return Err("expected struct name".into());
+                        }
+                    }
+                    "enum" | "union" => {
+                        return Err(
+                            "this offline serde derive supports only structs with named fields"
+                                .into(),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = name.ok_or("found braces before `struct` keyword")?;
+                return Ok(StructDef {
+                    name,
+                    fields: parse_fields(g.stream())?,
+                });
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("this offline serde derive does not support generics".into());
+            }
+            _ => {}
+        }
+    }
+    Err("no struct body found (tuple/unit structs are unsupported)".into())
+}
+
+/// Parse `name: Type` fields from a brace-group body. Nested groups arrive
+/// as single tokens, so top-level commas reliably separate fields.
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // One field: attrs, visibility, name, ':', type tokens, ','.
+        let mut default = false;
+        let name = loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        let attr = g.stream().to_string();
+                        // `#[serde(default)]`, with or without spacing.
+                        if attr.starts_with("serde") && attr.contains("default") {
+                            default = true;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let text = id.to_string();
+                    if text == "pub" {
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    } else {
+                        break text;
+                    }
+                }
+                Some(other) => {
+                    return Err(format!("unexpected token `{other}` in struct body"));
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type up to the next top-level comma.
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Derive `serde::Serialize` (value-tree flavor) for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    let mut pushes = String::new();
+    for f in &def.fields {
+        pushes.push_str(&format!(
+            "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})),",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{pushes}])\n\
+             }}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavor) for a named-field
+/// struct. `#[serde(default)]` fields fall back to `Default::default()`
+/// when absent.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &def.fields {
+        let getter = if f.default {
+            "__field_or_default"
+        } else {
+            "__field"
+        };
+        inits.push_str(&format!("{n}: ::serde::{getter}(v, \"{n}\")?,", n = f.name));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 let v = ::serde::__expect_obj(v, \"{name}\")?;\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,1058 @@
+//! The unified recommender API: one builder, one trainer trait, one report.
+//!
+//! The paper's argument is a three-way trade-off between BPMF, ALS and SGD
+//! (its references \[2\] and \[3\]); serving that comparison used to take
+//! three bespoke entry points with three config structs and three report
+//! shapes. This module is the single facade over all of them:
+//!
+//! * [`Bpmf::builder`] — one fluent, validated configuration covering the
+//!   statistical, engineering, and baseline knobs, returning typed
+//!   [`BpmfError`]s instead of panicking;
+//! * [`Trainer`] — `fit(data, runner, callbacks) -> FitReport`, implemented
+//!   by the Gibbs sampler here and by the ALS/SGD adapters in
+//!   `bpmf-baselines` (see its `make_trainer` dispatcher);
+//! * [`Recommender`] — `predict`/`predict_batch`/`rmse`, plus
+//!   `predict_with_uncertainty` where a posterior exists;
+//! * [`IterCallback`] — an observer receiving per-iteration
+//!   [`IterStats`] as they happen, able to stream progress, write periodic
+//!   checkpoints (via [`FitSnapshot`]), or stop training early.
+//!
+//! ```
+//! use bpmf::{Bpmf, EngineKind, TrainData, Trainer, NoCallback};
+//! use bpmf_sparse::{Coo, Csr};
+//!
+//! let mut coo = Coo::new(4, 3);
+//! for (u, m, r) in [(0, 0, 5.0), (0, 1, 3.0), (1, 0, 4.0), (2, 2, 1.0), (3, 1, 2.0)] {
+//!     coo.push(u, m, r);
+//! }
+//! let r = Csr::from_coo_owned(coo);
+//! let rt = r.transpose();
+//! let test = vec![(1u32, 1u32, 3.0)];
+//! let data = TrainData::try_new(&r, &rt, 3.0, &test).unwrap();
+//!
+//! let spec = Bpmf::builder()
+//!     .latent(4)
+//!     .burnin(5)
+//!     .samples(10)
+//!     .engine(EngineKind::WorkStealing)
+//!     .threads(1)
+//!     .rating_bounds(1.0, 5.0)
+//!     .build()
+//!     .unwrap();
+//! let runner = spec.runner();
+//! let mut trainer = spec.gibbs_trainer();
+//! let report = trainer.fit(&data, runner.as_ref(), &mut NoCallback).unwrap();
+//! assert!(report.final_rmse().is_finite());
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+use bpmf_linalg::{vecops, Mat};
+use bpmf_sched::ItemRunner;
+
+use crate::checkpoint::SamplerCheckpoint;
+use crate::config::BpmfConfig;
+use crate::engine::EngineKind;
+use crate::error::BpmfError;
+use crate::report::{FitReport, IterStats};
+use crate::sampler::{GibbsSampler, PredictionSummary, TrainData};
+use crate::sideinfo::FeatureSideInfo;
+
+// ---------------------------------------------------------------------------
+// Algorithm selection
+// ---------------------------------------------------------------------------
+
+/// The three factorization algorithms of the paper's introduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Bayesian PMF via Gibbs sampling (the paper's subject).
+    #[default]
+    Gibbs,
+    /// Alternating least squares with weighted-λ regularization (ref \[2\]).
+    Als,
+    /// Biased stochastic gradient descent (ref \[3\]).
+    Sgd,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the paper introduces them.
+    pub fn all() -> [Algorithm; 3] {
+        [Algorithm::Als, Algorithm::Sgd, Algorithm::Gibbs]
+    }
+
+    /// Human-readable name used in tables and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Gibbs => "BPMF (Gibbs)",
+            Algorithm::Als => "ALS-WR",
+            Algorithm::Sgd => "SGD",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Algorithm::Gibbs => "gibbs",
+            Algorithm::Als => "als",
+            Algorithm::Sgd => "sgd",
+        })
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = BpmfError;
+
+    fn from_str(s: &str) -> Result<Self, BpmfError> {
+        match s.to_ascii_lowercase().as_str() {
+            "gibbs" | "bpmf" => Ok(Algorithm::Gibbs),
+            "als" | "als-wr" => Ok(Algorithm::Als),
+            "sgd" => Ok(Algorithm::Sgd),
+            other => Err(BpmfError::UnknownAlgorithm(other.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observer hooks
+// ---------------------------------------------------------------------------
+
+/// Early-stop signal returned by [`IterCallback::on_iteration`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FitControl {
+    /// Keep training.
+    Continue,
+    /// Stop after the current iteration; the report marks `early_stopped`.
+    Stop,
+}
+
+/// Read-only view of the trainer's state offered to callbacks.
+///
+/// The Gibbs trainer exposes a full [`SamplerCheckpoint`] so a callback can
+/// implement periodic checkpointing; the point-estimate baselines have no
+/// resumable chain state and return `None`.
+pub trait FitSnapshot {
+    /// Capture the complete sampler state, if this trainer has one.
+    fn sampler_checkpoint(&self) -> Option<SamplerCheckpoint> {
+        None
+    }
+}
+
+/// A [`FitSnapshot`] with nothing to snapshot (used by ALS/SGD).
+pub struct NoSnapshot;
+
+impl FitSnapshot for NoSnapshot {}
+
+struct GibbsSnapshot<'s, 'a> {
+    sampler: &'s GibbsSampler<'a>,
+}
+
+impl FitSnapshot for GibbsSnapshot<'_, '_> {
+    fn sampler_checkpoint(&self) -> Option<SamplerCheckpoint> {
+        Some(self.sampler.checkpoint())
+    }
+}
+
+/// Observer invoked after every training iteration (Gibbs step, ALS sweep,
+/// or SGD epoch) with that iteration's [`IterStats`].
+pub trait IterCallback {
+    /// React to one finished iteration. Return [`FitControl::Stop`] to end
+    /// training early.
+    fn on_iteration(&mut self, stats: &IterStats, snapshot: &dyn FitSnapshot) -> FitControl;
+}
+
+/// The do-nothing callback for plain `fit` calls.
+pub struct NoCallback;
+
+impl IterCallback for NoCallback {
+    fn on_iteration(&mut self, _stats: &IterStats, _snapshot: &dyn FitSnapshot) -> FitControl {
+        FitControl::Continue
+    }
+}
+
+/// Closures observing stats (and optionally stopping) are callbacks.
+impl<F: FnMut(&IterStats) -> FitControl> IterCallback for F {
+    fn on_iteration(&mut self, stats: &IterStats, _snapshot: &dyn FitSnapshot) -> FitControl {
+        self(stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified traits
+// ---------------------------------------------------------------------------
+
+/// A training algorithm that fits a recommender to rating data.
+///
+/// Implemented by [`GibbsTrainer`] here and by the ALS/SGD adapters in
+/// `bpmf-baselines`; `Box<dyn Trainer>` is the dispatch point the CLI,
+/// benchmark harnesses, and examples share.
+pub trait Trainer {
+    /// Which algorithm this trainer runs.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Train on `data`, sweeping items over `runner`, reporting every
+    /// iteration to `callback`.
+    fn fit(
+        &mut self,
+        data: &TrainData<'_>,
+        runner: &dyn ItemRunner,
+        callback: &mut dyn IterCallback,
+    ) -> Result<FitReport, BpmfError>;
+
+    /// The fitted model, once [`Trainer::fit`] has succeeded.
+    fn recommender(&self) -> Option<&dyn Recommender>;
+}
+
+/// A fitted model that scores user–item pairs.
+pub trait Recommender {
+    /// Predicted rating for `(user, movie)`, clamped to the configured
+    /// rating bounds when present.
+    fn predict(&self, user: usize, movie: usize) -> f64;
+
+    /// Predict a batch of pairs.
+    fn predict_batch(&self, pairs: &[(u32, u32)]) -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(u, m)| self.predict(u as usize, m as usize))
+            .collect()
+    }
+
+    /// RMSE over held-out `(user, movie, rating)` triples.
+    fn rmse(&self, test: &[(u32, u32, f64)]) -> f64 {
+        if test.is_empty() {
+            return f64::NAN;
+        }
+        let se: f64 = test
+            .iter()
+            .map(|&(u, m, r)| {
+                let e = self.predict(u as usize, m as usize) - r;
+                e * e
+            })
+            .sum();
+        (se / test.len() as f64).sqrt()
+    }
+
+    /// Prediction with posterior uncertainty, where the model carries a
+    /// posterior (the Gibbs model does; point estimators return `None`).
+    fn predict_with_uncertainty(&self, _user: usize, _movie: usize) -> Option<PredictionSummary> {
+        None
+    }
+
+    /// The underlying `(user, movie)` factor matrices, for models that
+    /// expose them (posterior means for Gibbs, point estimates for
+    /// ALS/SGD). Powers factor export regardless of algorithm.
+    fn factors(&self) -> Option<(&Mat, &Mat)> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The posterior-mean model produced by the Gibbs trainer
+// ---------------------------------------------------------------------------
+
+/// The owned model a [`GibbsTrainer`] leaves behind: posterior-mean factors
+/// plus element-wise second moments for uncertainty on *arbitrary* pairs
+/// (the per-test-point Monte-Carlo summaries remain available on the
+/// sampler itself).
+#[derive(Clone)]
+pub struct PosteriorModel {
+    user_means: Mat,
+    movie_means: Mat,
+    /// Element-wise `E[u²]`/`E[v²]` across post-burn-in samples, when at
+    /// least two samples were accumulated.
+    user_second: Option<Mat>,
+    movie_second: Option<Mat>,
+    global_mean: f64,
+    rating_bounds: Option<(f64, f64)>,
+    samples: usize,
+}
+
+impl PosteriorModel {
+    /// Extract the posterior model from a sampler. Falls back to the
+    /// current factor sample when no post-burn-in draws were accumulated.
+    pub fn from_sampler(s: &GibbsSampler<'_>) -> Self {
+        let (user_means, movie_means, samples) = match s.posterior_mean_factors() {
+            Some((u, v)) => (u, v, s.accumulated_samples()),
+            None => (s.user_factors().clone(), s.movie_factors().clone(), 0),
+        };
+        let (user_second, movie_second) = match s.posterior_second_moments() {
+            Some((u2, v2)) if samples >= 2 => (Some(u2), Some(v2)),
+            _ => (None, None),
+        };
+        PosteriorModel {
+            user_means,
+            movie_means,
+            user_second,
+            movie_second,
+            global_mean: s.global_mean(),
+            rating_bounds: s.cfg().rating_bounds,
+            samples,
+        }
+    }
+
+    /// Posterior-mean user factors (`M × K`).
+    pub fn user_means(&self) -> &Mat {
+        &self.user_means
+    }
+
+    /// Posterior-mean movie factors (`N × K`).
+    pub fn movie_means(&self) -> &Mat {
+        &self.movie_means
+    }
+
+    /// Post-burn-in samples the means average over (0 = current sample
+    /// fallback).
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    fn clamp(&self, p: f64) -> f64 {
+        match self.rating_bounds {
+            Some((lo, hi)) => p.clamp(lo, hi),
+            None => p,
+        }
+    }
+}
+
+impl Recommender for PosteriorModel {
+    fn predict(&self, user: usize, movie: usize) -> f64 {
+        self.clamp(
+            self.global_mean + vecops::dot(self.user_means.row(user), self.movie_means.row(movie)),
+        )
+    }
+
+    /// Mean from the posterior-mean factors; spread from the element-wise
+    /// factor moments under a coordinate-independence approximation:
+    /// `Var(u·v) ≈ Σ_k (E[u_k²]E[v_k²] − E[u_k]²E[v_k]²)`. Exact per-point
+    /// Monte-Carlo summaries for the *test* points live on the sampler;
+    /// this extends calibrated-order-of-magnitude uncertainty to any pair.
+    fn predict_with_uncertainty(&self, user: usize, movie: usize) -> Option<PredictionSummary> {
+        let (u2, v2) = (self.user_second.as_ref()?, self.movie_second.as_ref()?);
+        let (u, v) = (self.user_means.row(user), self.movie_means.row(movie));
+        let mut var = 0.0;
+        for k in 0..u.len() {
+            var += u2.row(user)[k] * v2.row(movie)[k] - (u[k] * v[k]) * (u[k] * v[k]);
+        }
+        Some(PredictionSummary {
+            mean: self.predict(user, movie),
+            std: var.max(0.0).sqrt(),
+        })
+    }
+
+    /// `None` when no post-burn-in samples were accumulated: the fallback
+    /// factors are a single raw MCMC draw, which would masquerade as
+    /// posterior means if exported.
+    fn factors(&self) -> Option<(&Mat, &Mat)> {
+        if self.samples == 0 {
+            return None;
+        }
+        Some((&self.user_means, &self.movie_means))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Side-information attachment: per-item features plus the link-matrix
+/// ridge λ_β.
+#[derive(Clone)]
+pub struct SideInfoSpec {
+    /// One feature row per user (or movie).
+    pub features: Mat,
+    /// Link-matrix ridge strength.
+    pub lambda_beta: f64,
+}
+
+impl fmt::Debug for SideInfoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SideInfoSpec")
+            .field(
+                "features",
+                &format_args!("{}x{}", self.features.rows(), self.features.cols()),
+            )
+            .field("lambda_beta", &self.lambda_beta)
+            .finish()
+    }
+}
+
+impl fmt::Debug for Bpmf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bpmf")
+            .field("algorithm", &self.algorithm)
+            .field("num_latent", &self.num_latent)
+            .field("engine", &self.engine)
+            .field("threads", &self.threads)
+            .field("burnin", &self.burnin)
+            .field("samples", &self.samples)
+            .field("seed", &self.seed)
+            .field("rating_bounds", &self.rating_bounds)
+            .field("user_side_info", &self.user_side_info)
+            .field("movie_side_info", &self.movie_side_info)
+            .field("resuming", &self.resume.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A validated training specification — the product of [`Bpmf::builder`].
+///
+/// Fields are public for inspection; construct through the builder so the
+/// invariants hold.
+#[derive(Clone)]
+pub struct Bpmf {
+    /// Selected algorithm.
+    pub algorithm: Algorithm,
+    /// Latent dimension K.
+    pub num_latent: usize,
+    /// Observation precision α (Gibbs).
+    pub alpha: f64,
+    /// Burn-in iterations (Gibbs).
+    pub burnin: usize,
+    /// Posterior-averaged iterations (Gibbs).
+    pub samples: usize,
+    /// Parallel-Cholesky kernel threshold (Gibbs).
+    pub parallel_threshold: usize,
+    /// Rank-one kernel ceiling (Gibbs; `None` = K/2).
+    pub rank_one_max: Option<usize>,
+    /// Threads inside one parallel kernel invocation (Gibbs).
+    pub kernel_threads: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Shared-memory runtime for item sweeps.
+    pub engine: EngineKind,
+    /// Worker threads for the runtime.
+    pub threads: usize,
+    /// Clamp every prediction into `[min, max]`.
+    pub rating_bounds: Option<(f64, f64)>,
+    /// Ridge strength λ (ALS and SGD; per-algorithm default when `None`).
+    pub lambda: Option<f64>,
+    /// Full U+V sweeps (ALS; default when `None`).
+    pub sweeps: Option<usize>,
+    /// Epochs (SGD; default when `None`).
+    pub epochs: Option<usize>,
+    /// Initial learning rate η₀ (SGD).
+    pub learning_rate: Option<f64>,
+    /// Inverse-time learning-rate decay (SGD).
+    pub decay: Option<f64>,
+    /// Fit additive per-user/per-movie biases (SGD).
+    pub use_biases: bool,
+    /// Scale the ALS ridge by each item's rating count (ALS-WR).
+    pub weighted_regularization: bool,
+    /// Standard deviation of the factor initialization (ALS and SGD;
+    /// per-algorithm default when `None`).
+    pub init_sd: Option<f64>,
+    /// Macau-style user-side features.
+    pub user_side_info: Option<SideInfoSpec>,
+    /// Macau-style movie-side features.
+    pub movie_side_info: Option<SideInfoSpec>,
+    /// Resume the Gibbs chain from this checkpoint.
+    pub resume: Option<SamplerCheckpoint>,
+}
+
+impl Bpmf {
+    /// Start a fluent configuration.
+    pub fn builder() -> BpmfBuilder {
+        BpmfBuilder::default()
+    }
+
+    /// Project the spec onto the Gibbs sampler's config struct.
+    pub fn to_gibbs_config(&self) -> BpmfConfig {
+        BpmfConfig {
+            num_latent: self.num_latent,
+            alpha: self.alpha,
+            burnin: self.burnin,
+            samples: self.samples,
+            parallel_threshold: self.parallel_threshold,
+            rank_one_max: self.rank_one_max,
+            kernel_threads: self.kernel_threads,
+            seed: self.seed,
+            rating_bounds: self.rating_bounds,
+        }
+    }
+
+    /// Instantiate the configured runtime.
+    pub fn runner(&self) -> Box<dyn ItemRunner> {
+        self.engine.build(self.threads)
+    }
+
+    /// A Gibbs trainer for this spec. For algorithm-generic dispatch across
+    /// Gibbs/ALS/SGD use `bpmf_baselines::make_trainer`, which covers all
+    /// three variants behind `Box<dyn Trainer>`.
+    pub fn gibbs_trainer(&self) -> GibbsTrainer {
+        GibbsTrainer::new(self.clone())
+    }
+}
+
+/// Fluent builder for [`Bpmf`]. Every setter returns `self`; [`BpmfBuilder::build`]
+/// validates and produces the spec.
+pub struct BpmfBuilder {
+    spec: Bpmf,
+}
+
+impl Default for BpmfBuilder {
+    fn default() -> Self {
+        let cfg = BpmfConfig::default();
+        BpmfBuilder {
+            spec: Bpmf {
+                algorithm: Algorithm::Gibbs,
+                num_latent: cfg.num_latent,
+                alpha: cfg.alpha,
+                burnin: cfg.burnin,
+                samples: cfg.samples,
+                parallel_threshold: cfg.parallel_threshold,
+                rank_one_max: cfg.rank_one_max,
+                kernel_threads: cfg.kernel_threads,
+                seed: cfg.seed,
+                engine: EngineKind::WorkStealing,
+                threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+                rating_bounds: None,
+                lambda: None,
+                sweeps: None,
+                epochs: None,
+                learning_rate: None,
+                decay: None,
+                use_biases: true,
+                weighted_regularization: true,
+                init_sd: None,
+                user_side_info: None,
+                movie_side_info: None,
+                resume: None,
+            },
+        }
+    }
+}
+
+impl BpmfBuilder {
+    /// Select the algorithm (default: Gibbs).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.spec.algorithm = a;
+        self
+    }
+
+    /// Latent dimension K.
+    pub fn latent(mut self, k: usize) -> Self {
+        self.spec.num_latent = k;
+        self
+    }
+
+    /// Observation precision α (Gibbs).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.spec.alpha = alpha;
+        self
+    }
+
+    /// Burn-in iterations (Gibbs).
+    pub fn burnin(mut self, n: usize) -> Self {
+        self.spec.burnin = n;
+        self
+    }
+
+    /// Posterior-averaged iterations (Gibbs).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.spec.samples = n;
+        self
+    }
+
+    /// Parallel-Cholesky threshold (Gibbs; paper default 1000).
+    pub fn parallel_threshold(mut self, n: usize) -> Self {
+        self.spec.parallel_threshold = n;
+        self
+    }
+
+    /// Rank-one kernel ceiling (Gibbs).
+    pub fn rank_one_max(mut self, n: usize) -> Self {
+        self.spec.rank_one_max = Some(n);
+        self
+    }
+
+    /// Threads inside one parallel kernel invocation (Gibbs).
+    pub fn kernel_threads(mut self, n: usize) -> Self {
+        self.spec.kernel_threads = n;
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Shared-memory runtime.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.spec.engine = engine;
+        self
+    }
+
+    /// Worker threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.spec.threads = n;
+        self
+    }
+
+    /// Clamp predictions to the rating scale `[min, max]` — standard
+    /// practice on bounded scales (MovieLens stars, binarized IC50).
+    pub fn rating_bounds(mut self, min: f64, max: f64) -> Self {
+        self.spec.rating_bounds = Some((min, max));
+        self
+    }
+
+    /// Ridge strength λ (ALS / SGD).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.spec.lambda = Some(lambda);
+        self
+    }
+
+    /// Full sweeps (ALS).
+    pub fn sweeps(mut self, n: usize) -> Self {
+        self.spec.sweeps = Some(n);
+        self
+    }
+
+    /// Epochs (SGD).
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.spec.epochs = Some(n);
+        self
+    }
+
+    /// Initial learning rate (SGD).
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.spec.learning_rate = Some(lr);
+        self
+    }
+
+    /// Inverse-time learning-rate decay (SGD).
+    pub fn decay(mut self, d: f64) -> Self {
+        self.spec.decay = Some(d);
+        self
+    }
+
+    /// Fit additive biases (SGD; default true).
+    pub fn biases(mut self, on: bool) -> Self {
+        self.spec.use_biases = on;
+        self
+    }
+
+    /// Weighted-λ regularization (ALS-WR; default true).
+    pub fn weighted_regularization(mut self, on: bool) -> Self {
+        self.spec.weighted_regularization = on;
+        self
+    }
+
+    /// Factor-initialization standard deviation (ALS / SGD).
+    pub fn init_sd(mut self, sd: f64) -> Self {
+        self.spec.init_sd = Some(sd);
+        self
+    }
+
+    /// Attach Macau-style user-side features (Gibbs only).
+    pub fn user_side_info(mut self, features: Mat, lambda_beta: f64) -> Self {
+        self.spec.user_side_info = Some(SideInfoSpec {
+            features,
+            lambda_beta,
+        });
+        self
+    }
+
+    /// Attach Macau-style movie-side features (Gibbs only).
+    pub fn movie_side_info(mut self, features: Mat, lambda_beta: f64) -> Self {
+        self.spec.movie_side_info = Some(SideInfoSpec {
+            features,
+            lambda_beta,
+        });
+        self
+    }
+
+    /// Resume the Gibbs chain from a checkpoint.
+    pub fn resume(mut self, ckpt: SamplerCheckpoint) -> Self {
+        self.spec.resume = Some(ckpt);
+        self
+    }
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<Bpmf, BpmfError> {
+        let s = &self.spec;
+        // Latent dim / alpha / kernel threads / rating bounds share one
+        // validator with the legacy config path, so the rules cannot drift.
+        s.to_gibbs_config().try_validate()?;
+        if s.threads == 0 {
+            return Err(BpmfError::InvalidWorkerThreads(s.threads));
+        }
+        if let Some(l) = s.lambda {
+            if l < 0.0 || !l.is_finite() {
+                return Err(BpmfError::InvalidLambda(l));
+            }
+        }
+        if let Some(lr) = s.learning_rate {
+            if lr <= 0.0 || !lr.is_finite() {
+                return Err(BpmfError::InvalidLearningRate(lr));
+            }
+        }
+        for (side, si) in [("user", &s.user_side_info), ("movie", &s.movie_side_info)] {
+            if let Some(si) = si {
+                if si.lambda_beta <= 0.0 || !si.lambda_beta.is_finite() {
+                    return Err(BpmfError::InvalidLambda(si.lambda_beta));
+                }
+                if si.features.rows() == 0 {
+                    return Err(BpmfError::SideInfoShape {
+                        side: match side {
+                            "user" => "user",
+                            _ => "movie",
+                        },
+                        expected_rows: 1,
+                        found_rows: 0,
+                    });
+                }
+            }
+        }
+        Ok(self.spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Gibbs trainer
+// ---------------------------------------------------------------------------
+
+/// [`Trainer`] adapter over [`GibbsSampler`]: constructs the sampler from
+/// the spec at `fit` time (resuming from a checkpoint when configured),
+/// attaches side information, streams every iteration to the callback, and
+/// leaves a [`PosteriorModel`] behind for serving.
+pub struct GibbsTrainer {
+    spec: Bpmf,
+    model: Option<PosteriorModel>,
+}
+
+impl GibbsTrainer {
+    /// Trainer for a validated spec.
+    pub fn new(spec: Bpmf) -> Self {
+        GibbsTrainer { spec, model: None }
+    }
+
+    /// The fitted posterior model, once `fit` has run.
+    pub fn model(&self) -> Option<&PosteriorModel> {
+        self.model.as_ref()
+    }
+
+    /// The spec this trainer runs.
+    pub fn spec(&self) -> &Bpmf {
+        &self.spec
+    }
+}
+
+impl Trainer for GibbsTrainer {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Gibbs
+    }
+
+    fn fit(
+        &mut self,
+        data: &TrainData<'_>,
+        runner: &dyn ItemRunner,
+        callback: &mut dyn IterCallback,
+    ) -> Result<FitReport, BpmfError> {
+        let cfg = self.spec.to_gibbs_config();
+        let mut sampler = match &self.spec.resume {
+            Some(ckpt) => GibbsSampler::try_resume(cfg.clone(), *data, ckpt)?,
+            None => GibbsSampler::try_new(cfg.clone(), *data)?,
+        };
+        if let Some(si) = &self.spec.user_side_info {
+            if si.features.rows() != data.r.nrows() {
+                return Err(BpmfError::SideInfoShape {
+                    side: "user",
+                    expected_rows: data.r.nrows(),
+                    found_rows: si.features.rows(),
+                });
+            }
+            sampler.attach_user_side_info(FeatureSideInfo::new(
+                si.features.clone(),
+                cfg.num_latent,
+                si.lambda_beta,
+            ));
+        }
+        if let Some(si) = &self.spec.movie_side_info {
+            if si.features.rows() != data.r.ncols() {
+                return Err(BpmfError::SideInfoShape {
+                    side: "movie",
+                    expected_rows: data.r.ncols(),
+                    found_rows: si.features.rows(),
+                });
+            }
+            sampler.attach_movie_side_info(FeatureSideInfo::new(
+                si.features.clone(),
+                cfg.num_latent,
+                si.lambda_beta,
+            ));
+        }
+
+        let total = cfg.iterations();
+        let mut iters = Vec::with_capacity(total.saturating_sub(sampler.iterations_done()));
+        let mut early_stopped = false;
+        let t0 = Instant::now();
+        while sampler.iterations_done() < total {
+            let stats = sampler.step(runner);
+            let control = callback.on_iteration(&stats, &GibbsSnapshot { sampler: &sampler });
+            iters.push(stats);
+            if control == FitControl::Stop {
+                early_stopped = true;
+                break;
+            }
+        }
+        self.model = Some(PosteriorModel::from_sampler(&sampler));
+        Ok(FitReport {
+            algorithm: Algorithm::Gibbs.to_string(),
+            engine: runner.name().to_string(),
+            parallelism: runner.threads(),
+            iters,
+            total_seconds: t0.elapsed().as_secs_f64(),
+            early_stopped,
+        })
+    }
+
+    fn recommender(&self) -> Option<&dyn Recommender> {
+        self.model.as_ref().map(|m| m as &dyn Recommender)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpmf_sparse::{Coo, Csr};
+
+    fn tiny() -> (Csr, Csr, Vec<(u32, u32, f64)>) {
+        let mut coo = Coo::new(6, 5);
+        for i in 0..6 {
+            for j in 0..5 {
+                if (i + j) % 2 == 0 {
+                    coo.push(i, j, 2.0 + ((i * 5 + j) % 3) as f64);
+                }
+            }
+        }
+        let r = Csr::from_coo_owned(coo);
+        let rt = r.transpose();
+        let test = vec![(0u32, 1u32, 3.0), (1, 0, 2.0)];
+        (r, rt, test)
+    }
+
+    #[test]
+    fn builder_rejects_each_bad_knob_with_its_variant() {
+        assert_eq!(
+            Bpmf::builder().latent(0).build().unwrap_err(),
+            BpmfError::InvalidLatentDim(0)
+        );
+        assert_eq!(
+            Bpmf::builder().alpha(-1.0).build().unwrap_err(),
+            BpmfError::InvalidAlpha(-1.0)
+        );
+        assert_eq!(
+            Bpmf::builder().threads(0).build().unwrap_err(),
+            BpmfError::InvalidWorkerThreads(0)
+        );
+        assert_eq!(
+            Bpmf::builder().kernel_threads(0).build().unwrap_err(),
+            BpmfError::InvalidThreads(0)
+        );
+        assert_eq!(
+            Bpmf::builder().rating_bounds(5.0, 1.0).build().unwrap_err(),
+            BpmfError::InvalidRatingBounds { min: 5.0, max: 1.0 }
+        );
+        assert_eq!(
+            Bpmf::builder().lambda(-0.5).build().unwrap_err(),
+            BpmfError::InvalidLambda(-0.5)
+        );
+        assert_eq!(
+            Bpmf::builder().learning_rate(0.0).build().unwrap_err(),
+            BpmfError::InvalidLearningRate(0.0)
+        );
+    }
+
+    #[test]
+    fn algorithm_parses_case_insensitively() {
+        assert_eq!("GIBBS".parse::<Algorithm>().unwrap(), Algorithm::Gibbs);
+        assert_eq!("als".parse::<Algorithm>().unwrap(), Algorithm::Als);
+        assert_eq!("Sgd".parse::<Algorithm>().unwrap(), Algorithm::Sgd);
+        assert!(matches!(
+            "spark".parse::<Algorithm>(),
+            Err(BpmfError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn gibbs_trainer_fits_and_serves() {
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(2)
+            .burnin(2)
+            .samples(4)
+            .threads(1)
+            .kernel_threads(1)
+            .rating_bounds(1.0, 5.0)
+            .build()
+            .unwrap();
+        let runner = spec.runner();
+        let mut trainer = spec.gibbs_trainer();
+        assert!(trainer.recommender().is_none(), "no model before fit");
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap();
+        assert_eq!(report.iters.len(), 6);
+        assert!(!report.early_stopped);
+        let rec = trainer.recommender().expect("model after fit");
+        let p = rec.predict(0, 1);
+        assert!((1.0..=5.0).contains(&p), "clamped prediction: {p}");
+        assert_eq!(rec.predict_batch(&[(0, 1)])[0], p);
+        assert!(rec.rmse(&test).is_finite());
+        let u = rec
+            .predict_with_uncertainty(0, 1)
+            .expect("posterior model has spread");
+        assert!(u.std >= 0.0 && u.mean.is_finite());
+    }
+
+    #[test]
+    fn callback_early_stop_halts_at_requested_iteration() {
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(2)
+            .burnin(3)
+            .samples(20)
+            .threads(1)
+            .kernel_threads(1)
+            .build()
+            .unwrap();
+        let runner = spec.runner();
+        let mut trainer = spec.gibbs_trainer();
+        let mut seen = 0usize;
+        let mut cb = |stats: &IterStats| {
+            seen += 1;
+            assert!(stats.rmse_sample.is_finite());
+            if stats.iter + 1 >= 5 {
+                FitControl::Stop
+            } else {
+                FitControl::Continue
+            }
+        };
+        let report = trainer.fit(&data, runner.as_ref(), &mut cb).unwrap();
+        assert_eq!(seen, 5);
+        assert_eq!(report.iters.len(), 5);
+        assert!(report.early_stopped);
+    }
+
+    #[test]
+    fn snapshot_checkpoint_resumes_the_chain() {
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(2)
+            .burnin(2)
+            .samples(6)
+            .engine(EngineKind::Static)
+            .threads(1)
+            .kernel_threads(1)
+            .build()
+            .unwrap();
+        let runner = spec.runner();
+
+        // Full run.
+        let mut full = spec.gibbs_trainer();
+        let full_report = full.fit(&data, runner.as_ref(), &mut NoCallback).unwrap();
+
+        // Interrupted run capturing a checkpoint from inside the callback.
+        struct StopAt {
+            at: usize,
+            ckpt: Option<SamplerCheckpoint>,
+        }
+        impl IterCallback for StopAt {
+            fn on_iteration(&mut self, s: &IterStats, snap: &dyn FitSnapshot) -> FitControl {
+                if s.iter + 1 == self.at {
+                    self.ckpt = snap.sampler_checkpoint();
+                    FitControl::Stop
+                } else {
+                    FitControl::Continue
+                }
+            }
+        }
+        let mut cb = StopAt { at: 4, ckpt: None };
+        let mut first = spec.gibbs_trainer();
+        first.fit(&data, runner.as_ref(), &mut cb).unwrap();
+        let ckpt = cb.ckpt.expect("snapshot captured");
+
+        let resumed_spec = Bpmf {
+            resume: Some(ckpt),
+            ..spec.clone()
+        };
+        let mut resumed = resumed_spec.gibbs_trainer();
+        let resumed_report = resumed
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap();
+
+        assert_eq!(resumed_report.iters.len(), 4);
+        for (a, b) in full_report.iters[4..].iter().zip(&resumed_report.iters) {
+            assert_eq!(a.rmse_sample.to_bits(), b.rmse_sample.to_bits());
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_matches_direct_gibbs_calls_exactly() {
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(3)
+            .burnin(2)
+            .samples(5)
+            .seed(11)
+            .engine(EngineKind::Static)
+            .threads(2)
+            .kernel_threads(1)
+            .build()
+            .unwrap();
+        let runner = spec.runner();
+
+        // Direct legacy path.
+        let mut sampler = GibbsSampler::new(spec.to_gibbs_config(), data);
+        let direct = sampler.run(runner.as_ref(), 7);
+
+        // Unified path behind the trait object.
+        let mut trainer: Box<dyn Trainer> = Box::new(spec.gibbs_trainer());
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap();
+
+        assert_eq!(direct.iters.len(), report.iters.len());
+        for (a, b) in direct.iters.iter().zip(&report.iters) {
+            assert_eq!(a.rmse_sample.to_bits(), b.rmse_sample.to_bits());
+        }
+        // The trait-object model and the sampler's posterior means agree.
+        let rec = trainer.recommender().unwrap();
+        let via_model = rec.predict(0, 1);
+        let via_sampler = sampler.predict_posterior_mean(0, 1).unwrap();
+        assert!((via_model - via_sampler).abs() < 1e-12);
+    }
+
+    #[test]
+    fn side_info_shape_mismatch_is_a_typed_error() {
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(2)
+            .threads(1)
+            .kernel_threads(1)
+            .user_side_info(Mat::zeros(3, 2), 1.0) // 3 rows, 6 users
+            .build()
+            .unwrap();
+        let runner = spec.runner();
+        let mut trainer = spec.gibbs_trainer();
+        let err = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BpmfError::SideInfoShape {
+                side: "user",
+                expected_rows: 6,
+                found_rows: 3
+            }
+        );
+    }
+}

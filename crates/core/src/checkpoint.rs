@@ -25,7 +25,11 @@ pub struct FlatMat {
 
 impl FlatMat {
     pub(crate) fn from_mat(m: &Mat) -> Self {
-        FlatMat { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
+        FlatMat {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().to_vec(),
+        }
     }
 
     pub(crate) fn to_mat(&self) -> Mat {
@@ -45,7 +49,10 @@ pub struct RngState {
 impl RngState {
     pub(crate) fn capture(rng: &bpmf_stats::Xoshiro256pp) -> Self {
         let (words, spare_normal) = rng.snapshot();
-        RngState { words, spare_normal }
+        RngState {
+            words,
+            spare_normal,
+        }
     }
 
     pub(crate) fn rebuild(&self) -> bpmf_stats::Xoshiro256pp {
@@ -84,6 +91,11 @@ pub struct SamplerCheckpoint {
     pub predict_sq_acc: Vec<f64>,
     /// Running sums of factor matrices (posterior-mean accumulator).
     pub factor_acc: Option<(FlatMat, FlatMat)>,
+    /// Running element-wise squared-factor sums (posterior second moments,
+    /// powering `predict_with_uncertainty` on arbitrary pairs). Absent in
+    /// checkpoints written before this field existed.
+    #[serde(default)]
+    pub factor_sq_acc: Option<(FlatMat, FlatMat)>,
     /// User-side Macau link state `(β, λ_β)`, when side information was
     /// attached. Features themselves are data, not state: the caller
     /// re-attaches them after [`crate::GibbsSampler::resume`] and the saved

@@ -29,6 +29,11 @@ pub struct BpmfConfig {
     /// Master seed; every worker/rank stream is derived from it by RNG
     /// jumps.
     pub seed: u64,
+    /// Clamp every prediction into `[min, max]` — the standard treatment of
+    /// bounded rating scales (e.g. 0.5–5 stars) in reference BPMF
+    /// implementations. `None` leaves predictions unclamped.
+    #[serde(default)]
+    pub rating_bounds: Option<(f64, f64)>,
 }
 
 impl Default for BpmfConfig {
@@ -42,6 +47,7 @@ impl Default for BpmfConfig {
             rank_one_max: None,
             kernel_threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
             seed: 42,
+            rating_bounds: None,
         }
     }
 }
@@ -57,12 +63,43 @@ impl BpmfConfig {
         self.rank_one_max.unwrap_or(self.num_latent / 2)
     }
 
+    /// Clamp a prediction to the configured rating bounds (identity when
+    /// unset).
+    #[inline]
+    pub fn clamp_rating(&self, p: f64) -> f64 {
+        match self.rating_bounds {
+            Some((lo, hi)) => p.clamp(lo, hi),
+            None => p,
+        }
+    }
+
+    /// Reject nonsensical settings with a typed error.
+    pub fn try_validate(&self) -> Result<(), crate::BpmfError> {
+        use crate::BpmfError;
+        if self.num_latent == 0 {
+            return Err(BpmfError::InvalidLatentDim(self.num_latent));
+        }
+        if self.alpha <= 0.0 || !self.alpha.is_finite() {
+            return Err(BpmfError::InvalidAlpha(self.alpha));
+        }
+        if self.kernel_threads == 0 {
+            return Err(BpmfError::InvalidThreads(self.kernel_threads));
+        }
+        if let Some((lo, hi)) = self.rating_bounds {
+            if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+                return Err(BpmfError::InvalidRatingBounds { min: lo, max: hi });
+            }
+        }
+        Ok(())
+    }
+
     /// Panic early on nonsensical settings (zero latent dimension,
-    /// non-positive noise precision).
+    /// non-positive noise precision). Legacy entry point; library code
+    /// should prefer [`BpmfConfig::try_validate`].
     pub fn validate(&self) {
-        assert!(self.num_latent > 0, "num_latent must be positive");
-        assert!(self.alpha > 0.0, "alpha must be positive");
-        assert!(self.kernel_threads > 0, "kernel_threads must be positive");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -80,13 +117,20 @@ mod tests {
 
     #[test]
     fn explicit_rank_one_threshold_wins() {
-        let cfg = BpmfConfig { rank_one_max: Some(7), ..Default::default() };
+        let cfg = BpmfConfig {
+            rank_one_max: Some(7),
+            ..Default::default()
+        };
         assert_eq!(cfg.rank_one_threshold(), 7);
     }
 
     #[test]
     #[should_panic(expected = "alpha must be positive")]
     fn bad_alpha_is_rejected() {
-        BpmfConfig { alpha: 0.0, ..Default::default() }.validate();
+        BpmfConfig {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

@@ -43,7 +43,11 @@ pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
     let mut rho = Vec::with_capacity(max_lag + 1);
     rho.push(1.0);
     for lag in 1..=max_lag {
-        rho.push(if c0 > 0.0 { autocovariance(x, lag) / c0 } else { 0.0 });
+        rho.push(if c0 > 0.0 {
+            autocovariance(x, lag) / c0
+        } else {
+            0.0
+        });
     }
     rho
 }
@@ -107,13 +111,22 @@ pub fn gelman_rubin(chains: &[&[f64]]) -> f64 {
     assert!(m >= 2, "Gelman-Rubin needs at least two chains");
     let n = chains[0].len();
     assert!(n >= 2, "chains must have at least two draws");
-    assert!(chains.iter().all(|c| c.len() == n), "chains must have equal length");
+    assert!(
+        chains.iter().all(|c| c.len() == n),
+        "chains must have equal length"
+    );
 
-    let chain_means: Vec<f64> = chains.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let chain_means: Vec<f64> = chains
+        .iter()
+        .map(|c| c.iter().sum::<f64>() / n as f64)
+        .collect();
     let grand_mean = chain_means.iter().sum::<f64>() / m as f64;
 
     // Between-chain variance B/n and within-chain variance W.
-    let b_over_n = chain_means.iter().map(|&mu| (mu - grand_mean).powi(2)).sum::<f64>()
+    let b_over_n = chain_means
+        .iter()
+        .map(|&mu| (mu - grand_mean).powi(2))
+        .sum::<f64>()
         / (m as f64 - 1.0);
     let w = chains
         .iter()
@@ -152,7 +165,13 @@ pub struct TraceSummary {
 pub fn summarize_trace(x: &[f64]) -> TraceSummary {
     let n = x.len();
     if n == 0 {
-        return TraceSummary { mean: f64::NAN, sd: f64::NAN, ess: 0.0, tau: f64::NAN, mcse: f64::NAN };
+        return TraceSummary {
+            mean: f64::NAN,
+            sd: f64::NAN,
+            ess: 0.0,
+            tau: f64::NAN,
+            mcse: f64::NAN,
+        };
     }
     let mean = x.iter().sum::<f64>() / n as f64;
     let sd = if n > 1 {
@@ -161,7 +180,13 @@ pub fn summarize_trace(x: &[f64]) -> TraceSummary {
         0.0
     };
     let ess = effective_sample_size(x);
-    TraceSummary { mean, sd, ess, tau: n as f64 / ess, mcse: sd / ess.sqrt() }
+    TraceSummary {
+        mean,
+        sd,
+        ess,
+        tau: n as f64 / ess,
+        mcse: sd / ess.sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +214,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn acf_starts_at_one_and_decays_for_ar1() {
         let x = ar1(20_000, 0.8, 7);
         let rho = autocorrelation(&x, 5);
@@ -229,7 +255,11 @@ mod tests {
     fn ess_handles_degenerate_series() {
         assert_eq!(effective_sample_size(&[]), 0.0);
         assert_eq!(effective_sample_size(&[1.0]), 1.0);
-        assert_eq!(effective_sample_size(&[2.0; 100]), 1.0, "constant chain = 1 draw");
+        assert_eq!(
+            effective_sample_size(&[2.0; 100]),
+            1.0,
+            "constant chain = 1 draw"
+        );
     }
 
     #[test]

@@ -37,9 +37,9 @@ use bpmf_stats::{SuffStats, Xoshiro256pp};
 use serde::{Deserialize, Serialize};
 
 use crate::config::BpmfConfig;
-use bpmf_linalg::MatWriter;
 use crate::model::SideState;
 use crate::update::{choose_method, update_item, SidePrior, UpdateScratch};
+use bpmf_linalg::MatWriter;
 
 const TAG_USER_ITEMS: Tag = 1;
 const TAG_MOVIE_ITEMS: Tag = 2;
@@ -81,7 +81,10 @@ pub struct DistConfig {
 impl Default for DistConfig {
     fn default() -> Self {
         DistConfig {
-            base: BpmfConfig { kernel_threads: 1, ..Default::default() },
+            base: BpmfConfig {
+                kernel_threads: 1,
+                ..Default::default()
+            },
             send_buffer_items: 64,
             poll_every: 8,
             reorder: true,
@@ -160,7 +163,13 @@ pub fn run_rank(
         let rt2 = r2.transpose();
         let t2 = test
             .iter()
-            .map(|&(i, j, v)| (pr.new_of(i as usize) as u32, pc.new_of(j as usize) as u32, v))
+            .map(|&(i, j, v)| {
+                (
+                    pr.new_of(i as usize) as u32,
+                    pc.new_of(j as usize) as u32,
+                    v,
+                )
+            })
             .collect();
         (r2, rt2, t2)
     } else {
@@ -203,9 +212,14 @@ pub fn run_rank(
                 Mutex::new(base.clone())
             })
             .collect();
-        let scratches: Vec<Mutex<UpdateScratch>> =
-            (0..cfg.threads_per_rank).map(|_| Mutex::new(UpdateScratch::new(k))).collect();
-        HybridCtx { pool: WorkStealingPool::new(cfg.threads_per_rank), rngs, scratches }
+        let scratches: Vec<Mutex<UpdateScratch>> = (0..cfg.threads_per_rank)
+            .map(|_| Mutex::new(UpdateScratch::new(k)))
+            .collect();
+        HybridCtx {
+            pool: WorkStealingPool::new(cfg.threads_per_rank),
+            rngs,
+            scratches,
+        }
     });
 
     // Test points this rank evaluates: those whose user row it owns.
@@ -284,6 +298,7 @@ pub fn run_rank(
             acc_count,
             averaging,
             global_mean,
+            cfg.base.rating_bounds,
         );
         rmse_sample_trace.push(rmse_sample);
         rmse_mean_trace.push(rmse_mean);
@@ -411,11 +426,13 @@ fn sweep_side(
             flush_len: cfg.send_buffer_items.max(1) * stride,
             send_bufs: vec![Vec::new(); size],
         },
-        Some(win) => Exchange::OneSided { win, scratch_vals: Vec::new() },
+        Some(win) => Exchange::OneSided {
+            win,
+            scratch_vals: Vec::new(),
+        },
     };
     // Items still expected from each source this sweep (per-source quota).
-    let mut outstanding: Vec<usize> =
-        (0..size).map(|src| plan.sends_between(src, rank)).collect();
+    let mut outstanding: Vec<usize> = (0..size).map(|src| plan.sends_between(src, rank)).collect();
     outstanding[rank] = 0;
 
     let range = parts.range(rank);
@@ -465,11 +482,9 @@ fn sweep_side(
                     ctx.pool.run_items(end - start, None, None, &|worker, idx| {
                         let item = start + idx;
                         let ratings = matrix.row(item);
-                        let method =
-                            choose_method(ratings.0.len(), rank1_max, par_threshold);
+                        let method = choose_method(ratings.0.len(), rank1_max, par_threshold);
                         let mut w_rng = ctx.rngs[worker].lock().expect("rng poisoned");
-                        let mut w_scratch =
-                            ctx.scratches[worker].lock().expect("scratch poisoned");
+                        let mut w_scratch = ctx.scratches[worker].lock().expect("scratch poisoned");
                         // SAFETY: the pool's exactly-once contract makes
                         // batch-local indices (hence rows) disjoint.
                         let out = unsafe { writer.row_mut(item) };
@@ -519,7 +534,12 @@ impl Exchange {
     fn ship(&mut self, comm: &mut Comm<'_>, items: &Mat, plan: &CommPlan, item: usize) {
         let row = items.row(item);
         match self {
-            Exchange::TwoSided { tag, flush_len, send_bufs, .. } => {
+            Exchange::TwoSided {
+                tag,
+                flush_len,
+                send_bufs,
+                ..
+            } => {
                 for &dst in plan.destinations(item) {
                     let buf = &mut send_bufs[dst as usize];
                     buf.push(item as f64);
@@ -544,6 +564,9 @@ impl Exchange {
     /// Non-blocking drain of whatever has arrived, bounded by per-source
     /// quotas so a fast peer's *next-iteration* items are never consumed
     /// early.
+    // `src` is simultaneously a rank id (for recv) and an index into the
+    // per-source quotas, so the indexed loop is the honest shape.
+    #[allow(clippy::needless_range_loop)]
     fn poll(&mut self, comm: &mut Comm<'_>, items: &mut Mat, outstanding: &mut [usize]) {
         match self {
             Exchange::TwoSided { tag, stride, .. } => {
@@ -579,9 +602,15 @@ impl Exchange {
 
     /// Flush anything still buffered, then block until every per-source
     /// quota for this sweep is met.
+    #[allow(clippy::needless_range_loop)]
     fn finish(&mut self, comm: &mut Comm<'_>, items: &mut Mat, outstanding: &mut [usize]) {
         match self {
-            Exchange::TwoSided { tag, stride, send_bufs, .. } => {
+            Exchange::TwoSided {
+                tag,
+                stride,
+                send_bufs,
+                ..
+            } => {
                 for (dst, buf) in send_bufs.iter_mut().enumerate() {
                     if !buf.is_empty() {
                         comm.send_bytes(dst, *tag, wire::f64s_to_bytes(buf));
@@ -636,12 +665,16 @@ fn evaluate(
     acc_count: usize,
     averaging: bool,
     global_mean: f64,
+    rating_bounds: Option<(f64, f64)>,
 ) -> (f64, f64) {
     let mut se = [0.0f64, 0.0];
     for (slot, &t) in predict_acc.iter_mut().zip(my_points) {
         let (i, j, r) = test[t];
-        let pred = global_mean
-            + bpmf_linalg::vecops::dot(users.row(i as usize), movies.row(j as usize));
+        let mut pred =
+            global_mean + bpmf_linalg::vecops::dot(users.row(i as usize), movies.row(j as usize));
+        if let Some((lo, hi)) = rating_bounds {
+            pred = pred.clamp(lo, hi);
+        }
         se[0] += (pred - r) * (pred - r);
         if averaging {
             *slot += pred;
@@ -652,7 +685,11 @@ fn evaluate(
     comm.allreduce_sum_f64(&mut se);
     let n = test.len().max(1) as f64;
     let rmse_sample = (se[0] / n).sqrt();
-    let rmse_mean = if averaging { (se[1] / n).sqrt() } else { f64::NAN };
+    let rmse_mean = if averaging {
+        (se[1] / n).sqrt()
+    } else {
+        f64::NAN
+    };
     (rmse_sample, rmse_mean)
 }
 
@@ -720,7 +757,10 @@ mod tests {
         let cfg = dist_cfg(1);
         let out = Universe::run(1, None, |comm| run_rank(comm, &r, &rt, mean, &test, &cfg));
         assert!(out[0].final_rmse() < 0.5, "rmse = {}", out[0].final_rmse());
-        assert_eq!(out[0].bytes_sent, 0, "single rank must not communicate items");
+        assert_eq!(
+            out[0].bytes_sent, 0,
+            "single rank must not communicate items"
+        );
     }
 
     #[test]
@@ -729,7 +769,12 @@ mod tests {
         let cfg = dist_cfg(2);
         let out = Universe::run(4, None, |comm| run_rank(comm, &r, &rt, mean, &test, &cfg));
         for o in &out {
-            assert!(o.final_rmse() < 0.5, "rank {} rmse = {}", o.rank, o.final_rmse());
+            assert!(
+                o.final_rmse() < 0.5,
+                "rank {} rmse = {}",
+                o.rank,
+                o.final_rmse()
+            );
         }
         // RMSE traces must be identical across ranks (deterministic
         // all-reduce).
@@ -790,7 +835,12 @@ mod tests {
         cfg.threads_per_rank = 2;
         let out = Universe::run(2, None, |comm| run_rank(comm, &r, &rt, mean, &test, &cfg));
         for o in &out {
-            assert!(o.final_rmse() < 0.5, "rank {} rmse = {}", o.rank, o.final_rmse());
+            assert!(
+                o.final_rmse() < 0.5,
+                "rank {} rmse = {}",
+                o.rank,
+                o.final_rmse()
+            );
         }
         assert_traces_identical(&out[0].rmse_mean_trace, &out[1].rmse_mean_trace);
     }
@@ -832,7 +882,10 @@ mod tests {
         // (puts) as the two-sided buffered path.
         let msgs_two: u64 = two.iter().map(|o| o.msgs_sent).sum();
         let msgs_one: u64 = one.iter().map(|o| o.msgs_sent).sum();
-        assert!(msgs_one >= msgs_two, "puts {msgs_one} vs messages {msgs_two}");
+        assert!(
+            msgs_one >= msgs_two,
+            "puts {msgs_one} vs messages {msgs_two}"
+        );
     }
 
     #[test]
@@ -843,15 +896,19 @@ mod tests {
         cfg.threads_per_rank = 2;
         cfg.base.burnin = 4;
         cfg.base.samples = 10;
-        let out = Universe::run(
-            2,
-            Some(bpmf_mpisim::NetModel::test_cluster()),
-            |comm| run_rank(comm, &r, &rt, mean, &test, &cfg),
-        );
+        let out = Universe::run(2, Some(bpmf_mpisim::NetModel::test_cluster()), |comm| {
+            run_rank(comm, &r, &rt, mean, &test, &cfg)
+        });
         // Work stealing makes the RNG-item pairing scheduling-dependent, so
-        // the short chain's exact RMSE varies run to run; assert convergence
-        // with slack rather than a tight bound.
-        assert!(out[0].final_rmse() < 1.0, "rmse = {}", out[0].final_rmse());
+        // the short chain's exact RMSE varies run to run; assert *relative*
+        // convergence (like the sampler tests) rather than an absolute bound
+        // that the scheduling tail can graze.
+        let first = out[0].rmse_sample_trace[0];
+        let last = out[0].final_rmse();
+        assert!(
+            last < first * 0.6,
+            "no convergence: first {first}, last {last}"
+        );
         assert_traces_identical(&out[0].rmse_mean_trace, &out[1].rmse_mean_trace);
     }
 
@@ -862,7 +919,10 @@ mod tests {
         let out = Universe::run(2, None, |comm| run_rank(comm, &r, &rt, mean, &test, &cfg));
         for o in &out {
             let total = o.compute_frac + o.both_frac + o.comm_frac;
-            assert!((total - 1.0).abs() < 1e-6, "fractions must sum to 1, got {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "fractions must sum to 1, got {total}"
+            );
             assert!(o.items_per_sec > 0.0);
         }
     }

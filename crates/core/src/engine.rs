@@ -17,7 +17,11 @@ pub enum EngineKind {
 impl EngineKind {
     /// All engines in the order Fig. 3 plots them.
     pub fn all() -> [EngineKind; 3] {
-        [EngineKind::WorkStealing, EngineKind::Static, EngineKind::GraphLabLike]
+        [
+            EngineKind::WorkStealing,
+            EngineKind::Static,
+            EngineKind::GraphLabLike,
+        ]
     }
 
     /// Instantiate the runtime with `threads` workers.

@@ -1,0 +1,181 @@
+//! Typed errors for configuration, data validation, and training.
+//!
+//! The seed codebase validated with `assert!`/`panic!`; library callers
+//! (the CLI, services embedding the trainer) need recoverable errors
+//! instead. Every legacy panicking entry point now delegates to a
+//! `try_*` variant returning [`BpmfError`], and the panic messages are the
+//! error's `Display` text, so existing `#[should_panic(expected = ...)]`
+//! contracts still hold.
+
+use std::fmt;
+
+use crate::api::Algorithm;
+
+/// Everything that can go wrong assembling or running a recommender.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BpmfError {
+    /// `num_latent` must be at least 1.
+    InvalidLatentDim(usize),
+    /// Observation precision α must be positive and finite.
+    InvalidAlpha(f64),
+    /// `kernel_threads` must be at least 1.
+    InvalidThreads(usize),
+    /// The runtime's worker thread count must be at least 1.
+    InvalidWorkerThreads(usize),
+    /// Regularization strength λ must be non-negative and finite.
+    InvalidLambda(f64),
+    /// SGD learning rate must be positive and finite.
+    InvalidLearningRate(f64),
+    /// Rating bounds must satisfy `min < max` and be finite.
+    InvalidRatingBounds {
+        /// Requested lower bound.
+        min: f64,
+        /// Requested upper bound.
+        max: f64,
+    },
+    /// `rt` passed to [`crate::TrainData`] is not the transpose of `r`.
+    NotTranspose {
+        /// Shape of `r` (rows × cols, nnz).
+        r: (usize, usize, usize),
+        /// Shape of `rt` (rows × cols, nnz).
+        rt: (usize, usize, usize),
+    },
+    /// A held-out test point indexes outside the rating matrix.
+    TestPointOutOfRange {
+        /// Position in the test slice.
+        index: usize,
+        /// Offending user index.
+        user: u32,
+        /// Offending movie index.
+        movie: u32,
+        /// Rating-matrix rows.
+        nrows: usize,
+        /// Rating-matrix cols.
+        ncols: usize,
+    },
+    /// Side-information features must have one row per user/movie.
+    SideInfoShape {
+        /// Which side the features were attached to.
+        side: &'static str,
+        /// Rows the rating matrix implies.
+        expected_rows: usize,
+        /// Rows the feature matrix has.
+        found_rows: usize,
+    },
+    /// A checkpoint does not match the configuration or data it is being
+    /// resumed against.
+    CheckpointMismatch(String),
+    /// The selected algorithm does not support a requested feature.
+    Unsupported {
+        /// The algorithm that cannot honor the request.
+        algorithm: Algorithm,
+        /// The requested feature.
+        feature: &'static str,
+    },
+    /// An algorithm name failed to parse.
+    UnknownAlgorithm(String),
+}
+
+impl fmt::Display for BpmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // The first three messages are load-bearing: legacy panicking
+            // validators emit them and tests pin the text.
+            BpmfError::InvalidLatentDim(k) => {
+                write!(f, "num_latent must be positive (got {k})")
+            }
+            BpmfError::InvalidAlpha(a) => write!(f, "alpha must be positive (got {a})"),
+            BpmfError::InvalidThreads(t) => {
+                write!(f, "kernel_threads must be positive (got {t})")
+            }
+            BpmfError::InvalidWorkerThreads(t) => {
+                write!(f, "threads (worker count) must be positive (got {t})")
+            }
+            BpmfError::InvalidLambda(l) => {
+                write!(f, "lambda must be non-negative and finite (got {l})")
+            }
+            BpmfError::InvalidLearningRate(lr) => {
+                write!(f, "learning rate must be positive and finite (got {lr})")
+            }
+            BpmfError::InvalidRatingBounds { min, max } => {
+                write!(
+                    f,
+                    "rating bounds must satisfy min < max with finite values (got {min}..{max})"
+                )
+            }
+            BpmfError::NotTranspose { r, rt } => {
+                write!(
+                    f,
+                    "rt must be the transpose of r: r is {}x{} ({} nnz), rt is {}x{} ({} nnz)",
+                    r.0, r.1, r.2, rt.0, rt.1, rt.2
+                )
+            }
+            BpmfError::TestPointOutOfRange {
+                index,
+                user,
+                movie,
+                nrows,
+                ncols,
+            } => {
+                if (*user as usize) >= *nrows {
+                    write!(f, "test user {user} out of range (matrix has {nrows} rows; test point {index})")
+                } else {
+                    write!(f, "test movie {movie} out of range (matrix has {ncols} cols; test point {index})")
+                }
+            }
+            BpmfError::SideInfoShape {
+                side,
+                expected_rows,
+                found_rows,
+            } => {
+                write!(
+                    f,
+                    "one feature row per {side} required: rating matrix implies {expected_rows} rows, features have {found_rows}"
+                )
+            }
+            BpmfError::CheckpointMismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            BpmfError::Unsupported { algorithm, feature } => {
+                write!(f, "{feature} is not supported by the {algorithm} algorithm")
+            }
+            BpmfError::UnknownAlgorithm(name) => {
+                write!(f, "unknown algorithm '{name}' (expected gibbs | als | sgd)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BpmfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_panic_messages_are_preserved() {
+        assert!(BpmfError::InvalidAlpha(0.0)
+            .to_string()
+            .contains("alpha must be positive"));
+        assert!(BpmfError::InvalidLatentDim(0)
+            .to_string()
+            .contains("num_latent must be positive"));
+        let nt = BpmfError::NotTranspose {
+            r: (2, 3, 4),
+            rt: (2, 3, 4),
+        };
+        assert!(nt.to_string().contains("rt must be the transpose of r"));
+        let oob = BpmfError::TestPointOutOfRange {
+            index: 0,
+            user: 9,
+            movie: 0,
+            nrows: 5,
+            ncols: 5,
+        };
+        assert!(oob.to_string().contains("test user 9 out of range"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(BpmfError::InvalidLatentDim(0));
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -9,6 +9,14 @@
 //!
 //! ## What lives here
 //!
+//! * the **unified recommender API** — [`Bpmf::builder`] (one fluent,
+//!   validated configuration), the [`Trainer`] and [`Recommender`] traits
+//!   (one `fit`/`predict` facade shared by Gibbs here and the ALS/SGD
+//!   baselines in `bpmf-baselines`), [`FitReport`] (one report shape so
+//!   RMSE/timing curves from all three algorithms are directly
+//!   comparable), [`IterCallback`] (per-iteration stats streaming,
+//!   checkpoint snapshots, early stop), and typed [`BpmfError`]s instead
+//!   of panics;
 //! * [`GibbsSampler`] — the sampler itself: Normal–Wishart hyperparameter
 //!   resampling, per-item conditional updates, RMSE tracking with posterior
 //!   averaging;
@@ -33,8 +41,12 @@
 //!
 //! ## Quickstart
 //!
+//! Configuration goes through one fluent builder; training goes through
+//! the [`Trainer`] trait; the fitted [`Recommender`] serves predictions
+//! (clamped to the rating scale when bounds are set):
+//!
 //! ```
-//! use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+//! use bpmf::{Bpmf, EngineKind, NoCallback, Recommender, TrainData, Trainer};
 //! use bpmf_sparse::{Coo, Csr};
 //!
 //! // Toy 4×3 rating matrix.
@@ -45,29 +57,59 @@
 //! let r = Csr::from_coo_owned(coo);
 //! let rt = r.transpose();
 //! let test = vec![(1u32, 1u32, 3.0)];
-//! let data = TrainData::new(&r, &rt, 3.0, &test);
+//! let data = TrainData::try_new(&r, &rt, 3.0, &test)?;
 //!
-//! let cfg = BpmfConfig { num_latent: 4, burnin: 5, samples: 10, ..Default::default() };
-//! let runner = EngineKind::WorkStealing.build(1);
-//! let mut sampler = GibbsSampler::new(cfg, data);
-//! let report = sampler.run(runner.as_ref(), 15);
+//! let spec = Bpmf::builder()
+//!     .latent(4)
+//!     .burnin(5)
+//!     .samples(10)
+//!     .engine(EngineKind::WorkStealing)
+//!     .threads(1)
+//!     .rating_bounds(1.0, 5.0)
+//!     .build()?;
+//! let runner = spec.runner();
+//! let mut trainer = spec.gibbs_trainer();
+//! let report = trainer.fit(&data, runner.as_ref(), &mut NoCallback)?;
 //! assert!(report.final_rmse().is_finite());
+//!
+//! let model = trainer.recommender().expect("fitted");
+//! let p = model.predict(1, 1);
+//! assert!((1.0..=5.0).contains(&p));
+//! # Ok::<(), bpmf::BpmfError>(())
 //! ```
+//!
+//! The same `fit` call trains ALS or SGD instead: pick the algorithm with
+//! `.algorithm(Algorithm::Als)` and dispatch through
+//! `bpmf_baselines::make_trainer(&spec)` — the CLI, benchmark tables, and
+//! examples all go through that one `Box<dyn Trainer>` path. To observe
+//! training live (or stop it early), pass an [`IterCallback`] closure
+//! instead of [`NoCallback`].
+//!
+//! The legacy entry points ([`GibbsSampler::new`] + [`BpmfConfig`] struct
+//! literals, panic-based validation) still work and now delegate to the
+//! `try_*` variants internally.
 
+mod api;
 pub mod checkpoint;
+mod config;
 pub mod diagnostics;
 pub mod distributed;
-mod config;
 mod engine;
+mod error;
 mod model;
 mod report;
 mod sampler;
 mod sideinfo;
 mod update;
 
+pub use api::{
+    Algorithm, Bpmf, BpmfBuilder, FitControl, FitSnapshot, GibbsTrainer, IterCallback, NoCallback,
+    NoSnapshot, PosteriorModel, Recommender, SideInfoSpec, Trainer,
+};
 pub use config::BpmfConfig;
 pub use engine::EngineKind;
-pub use report::{IterStats, TrainReport};
+pub use error::BpmfError;
+pub use report::{FitReport, IterStats, TrainReport};
 pub use sampler::{GibbsSampler, PredictionSummary, TrainData};
 pub use sideinfo::FeatureSideInfo;
 pub use update::{choose_method, update_item, SidePrior, UpdateMethod, UpdateScratch};

@@ -55,8 +55,7 @@ impl SideState {
     /// Per-sweep derived prior quantities: `Λμ` and `chol(Λ)`.
     pub fn prior_derivatives(&self) -> (Vec<f64>, Cholesky) {
         let lambda_mu = self.lambda.matvec(&self.mu);
-        let chol = Cholesky::factor(&self.lambda)
-            .expect("sampled prior precision must be SPD");
+        let chol = Cholesky::factor(&self.lambda).expect("sampled prior precision must be SPD");
         (lambda_mu, chol)
     }
 }

@@ -30,17 +30,47 @@ pub struct TrainData<'a> {
 }
 
 impl<'a> TrainData<'a> {
-    /// Validate and bundle the inputs. Panics if `rt` is not shaped as the
-    /// transpose of `r` or a test point is out of range.
-    pub fn new(r: &'a Csr, rt: &'a Csr, global_mean: f64, test: &'a [(u32, u32, f64)]) -> Self {
-        assert_eq!(r.nrows(), rt.ncols(), "rt must be the transpose of r");
-        assert_eq!(r.ncols(), rt.nrows(), "rt must be the transpose of r");
-        assert_eq!(r.nnz(), rt.nnz(), "rt must be the transpose of r");
-        for &(i, j, _) in test {
-            assert!((i as usize) < r.nrows(), "test user {i} out of range");
-            assert!((j as usize) < r.ncols(), "test movie {j} out of range");
+    /// Validate and bundle the inputs: `rt` must be shaped as the transpose
+    /// of `r` and every test point must index inside the matrix.
+    pub fn try_new(
+        r: &'a Csr,
+        rt: &'a Csr,
+        global_mean: f64,
+        test: &'a [(u32, u32, f64)],
+    ) -> Result<Self, crate::BpmfError> {
+        use crate::BpmfError;
+        if r.nrows() != rt.ncols() || r.ncols() != rt.nrows() || r.nnz() != rt.nnz() {
+            return Err(BpmfError::NotTranspose {
+                r: (r.nrows(), r.ncols(), r.nnz()),
+                rt: (rt.nrows(), rt.ncols(), rt.nnz()),
+            });
         }
-        TrainData { r, rt, global_mean, test }
+        for (index, &(i, j, _)) in test.iter().enumerate() {
+            if (i as usize) >= r.nrows() || (j as usize) >= r.ncols() {
+                return Err(BpmfError::TestPointOutOfRange {
+                    index,
+                    user: i,
+                    movie: j,
+                    nrows: r.nrows(),
+                    ncols: r.ncols(),
+                });
+            }
+        }
+        Ok(TrainData {
+            r,
+            rt,
+            global_mean,
+            test,
+        })
+    }
+
+    /// Validate and bundle the inputs, panicking on invalid shapes. Legacy
+    /// entry point; library code should prefer [`TrainData::try_new`].
+    pub fn new(r: &'a Csr, rt: &'a Csr, global_mean: f64, test: &'a [(u32, u32, f64)]) -> Self {
+        match Self::try_new(r, rt, global_mean, test) {
+            Ok(data) => data,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -93,6 +123,14 @@ pub struct GibbsSampler<'a> {
     predict_acc: Vec<f64>,
     predict_sq_acc: Vec<f64>,
     factor_acc: Option<(Mat, Mat)>,
+    /// Element-wise squared-factor sums, feeding posterior second moments
+    /// for uncertainty on arbitrary (not just test) pairs.
+    factor_sq_acc: Option<(Mat, Mat)>,
+    /// False when resumed from a checkpoint written before squared-factor
+    /// accumulation existed: the early draws' squares are unrecoverable, so
+    /// second moments stay disabled for the continued chain rather than
+    /// report a silently understated spread.
+    sq_acc_valid: bool,
     acc_count: usize,
     iter: usize,
 }
@@ -109,15 +147,25 @@ pub struct PredictionSummary {
 }
 
 impl<'a> GibbsSampler<'a> {
-    /// Initialize factors and hyperparameters from `cfg.seed`.
+    /// Initialize factors and hyperparameters from `cfg.seed`, panicking on
+    /// an invalid config. Legacy entry point; prefer
+    /// [`GibbsSampler::try_new`] or the [`crate::Bpmf::builder`] facade.
     pub fn new(cfg: BpmfConfig, data: TrainData<'a>) -> Self {
-        cfg.validate();
+        match Self::try_new(cfg, data) {
+            Ok(sampler) => sampler,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Initialize factors and hyperparameters from `cfg.seed`.
+    pub fn try_new(cfg: BpmfConfig, data: TrainData<'a>) -> Result<Self, crate::BpmfError> {
+        cfg.try_validate()?;
         let k = cfg.num_latent;
         let mut init_rng = Xoshiro256pp::seed_from_u64(cfg.seed);
         let users = SideState::init(data.r.nrows(), k, &mut init_rng);
         let movies = SideState::init(data.r.ncols(), k, &mut init_rng);
         let wm = WorkModel::default();
-        GibbsSampler {
+        Ok(GibbsSampler {
             hyper_rng: Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9),
             worker_rngs: Vec::new(),
             scratches: Vec::new(),
@@ -126,6 +174,8 @@ impl<'a> GibbsSampler<'a> {
             predict_acc: vec![0.0; data.test.len()],
             predict_sq_acc: vec![0.0; data.test.len()],
             factor_acc: None,
+            factor_sq_acc: None,
+            sq_acc_valid: true,
             acc_count: 0,
             iter: 0,
             cfg,
@@ -136,7 +186,7 @@ impl<'a> GibbsSampler<'a> {
             movie_side: None,
             pending_user_link: None,
             pending_movie_link: None,
-        }
+        })
     }
 
     /// Attach Macau-style side information to the *user* side: `features`
@@ -146,8 +196,16 @@ impl<'a> GibbsSampler<'a> {
     /// Supported on the shared-memory path; the distributed driver runs the
     /// plain BPMF model.
     pub fn attach_user_side_info(&mut self, mut si: FeatureSideInfo) {
-        assert_eq!(si.num_items(), self.data.r.nrows(), "one feature row per user required");
-        assert_eq!(si.offsets().cols(), self.cfg.num_latent, "side info built for wrong K");
+        assert_eq!(
+            si.num_items(),
+            self.data.r.nrows(),
+            "one feature row per user required"
+        );
+        assert_eq!(
+            si.offsets().cols(),
+            self.cfg.num_latent,
+            "side info built for wrong K"
+        );
         if let Some((beta, lb)) = self.pending_user_link.take() {
             si.restore_link(beta, lb);
         }
@@ -157,8 +215,16 @@ impl<'a> GibbsSampler<'a> {
     /// Attach Macau-style side information to the *movie* side: `features`
     /// must have one row per movie. See [`GibbsSampler::attach_user_side_info`].
     pub fn attach_movie_side_info(&mut self, mut si: FeatureSideInfo) {
-        assert_eq!(si.num_items(), self.data.r.ncols(), "one feature row per movie required");
-        assert_eq!(si.offsets().cols(), self.cfg.num_latent, "side info built for wrong K");
+        assert_eq!(
+            si.num_items(),
+            self.data.r.ncols(),
+            "one feature row per movie required"
+        );
+        assert_eq!(
+            si.offsets().cols(),
+            self.cfg.num_latent,
+            "side info built for wrong K"
+        );
         if let Some((beta, lb)) = self.pending_movie_link.take() {
             si.restore_link(beta, lb);
         }
@@ -190,19 +256,52 @@ impl<'a> GibbsSampler<'a> {
         &self.movies.items
     }
 
-    /// Predict one rating from the *current* sample.
+    /// Predict one rating from the *current* sample, clamped to the
+    /// configured rating bounds.
     pub fn predict_one(&self, user: usize, movie: usize) -> f64 {
-        self.data.global_mean
-            + vecops::dot(self.users.items.row(user), self.movies.items.row(movie))
+        self.cfg.clamp_rating(
+            self.data.global_mean
+                + vecops::dot(self.users.items.row(user), self.movies.items.row(movie)),
+        )
     }
 
     /// Predict one rating from the running posterior-mean factors
     /// (`E[U]·E[V]` — ignores factor covariance, the standard point
-    /// predictor for ranking). `None` before any post-burn-in sample.
+    /// predictor for ranking), clamped to the configured rating bounds.
+    /// `None` before any post-burn-in sample.
     pub fn predict_posterior_mean(&self, user: usize, movie: usize) -> Option<f64> {
         let (u, v) = self.factor_acc.as_ref()?;
         let n = self.acc_count as f64;
-        Some(self.data.global_mean + vecops::dot(u.row(user), v.row(movie)) / (n * n))
+        Some(
+            self.cfg.clamp_rating(
+                self.data.global_mean + vecops::dot(u.row(user), v.row(movie)) / (n * n),
+            ),
+        )
+    }
+
+    /// Posterior element-wise second moments `(E[U²], E[V²])` across the
+    /// post-burn-in samples. `None` before any post-burn-in sample.
+    pub fn posterior_second_moments(&self) -> Option<(Mat, Mat)> {
+        if !self.sq_acc_valid {
+            return None;
+        }
+        let (u, v) = self.factor_sq_acc.as_ref()?;
+        let inv = 1.0 / self.acc_count as f64;
+        let mut mu = u.clone();
+        mu.scale(inv);
+        let mut mv = v.clone();
+        mv.scale(inv);
+        Some((mu, mv))
+    }
+
+    /// Training-set global mean the sampler centers residuals on.
+    pub fn global_mean(&self) -> f64 {
+        self.data.global_mean
+    }
+
+    /// Post-burn-in samples accumulated into the posterior means.
+    pub fn accumulated_samples(&self) -> usize {
+        self.acc_count
     }
 
     /// Running posterior means of the factor matrices (averaged over
@@ -232,7 +331,10 @@ impl<'a> GibbsSampler<'a> {
                 let mean = s / n;
                 // Unbiased sample variance over the Gibbs draws.
                 let var = ((sq - s * s / n) / (n - 1.0)).max(0.0);
-                PredictionSummary { mean, std: var.sqrt() }
+                PredictionSummary {
+                    mean,
+                    std: var.sqrt(),
+                }
             })
             .collect()
     }
@@ -267,6 +369,10 @@ impl<'a> GibbsSampler<'a> {
                 .factor_acc
                 .as_ref()
                 .map(|(u, v)| (FlatMat::from_mat(u), FlatMat::from_mat(v))),
+            factor_sq_acc: self
+                .factor_sq_acc
+                .as_ref()
+                .map(|(u, v)| (FlatMat::from_mat(u), FlatMat::from_mat(v))),
             user_link: self
                 .user_side
                 .as_ref()
@@ -278,26 +384,64 @@ impl<'a> GibbsSampler<'a> {
         }
     }
 
-    /// Rebuild a sampler from a checkpoint, continuing the exact chain.
-    ///
-    /// `cfg` and `data` must match what the checkpointed run used (shapes
-    /// are validated; statistical parameters are trusted). Resume with the
-    /// same runner thread count for reproducible continuation.
+    /// Rebuild a sampler from a checkpoint, panicking on any mismatch.
+    /// Legacy entry point; prefer [`GibbsSampler::try_resume`].
     pub fn resume(
         cfg: BpmfConfig,
         data: TrainData<'a>,
         ckpt: &crate::checkpoint::SamplerCheckpoint,
     ) -> Self {
-        cfg.validate();
-        assert_eq!(cfg.num_latent, ckpt.num_latent, "latent dimension mismatch");
-        assert_eq!(ckpt.users.rows, data.r.nrows(), "user count mismatch");
-        assert_eq!(ckpt.movies.rows, data.r.ncols(), "movie count mismatch");
-        assert_eq!(ckpt.predict_acc.len(), data.test.len(), "test set mismatch");
+        match Self::try_resume(cfg, data, ckpt) {
+            Ok(sampler) => sampler,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Rebuild a sampler from a checkpoint, continuing the exact chain.
+    ///
+    /// `cfg` and `data` must match what the checkpointed run used (shapes
+    /// are validated; statistical parameters are trusted). Resume with the
+    /// same runner thread count for reproducible continuation.
+    pub fn try_resume(
+        cfg: BpmfConfig,
+        data: TrainData<'a>,
+        ckpt: &crate::checkpoint::SamplerCheckpoint,
+    ) -> Result<Self, crate::BpmfError> {
+        use crate::BpmfError;
+        cfg.try_validate()?;
+        let mismatch = |what: &str, expected: usize, found: usize| {
+            BpmfError::CheckpointMismatch(format!(
+                "{what} mismatch: expected {expected}, found {found}"
+            ))
+        };
+        if cfg.num_latent != ckpt.num_latent {
+            return Err(BpmfError::CheckpointMismatch(format!(
+                "latent dimension mismatch: config has {}, checkpoint has {}",
+                cfg.num_latent, ckpt.num_latent
+            )));
+        }
+        if ckpt.users.rows != data.r.nrows() {
+            return Err(mismatch("user count", data.r.nrows(), ckpt.users.rows));
+        }
+        if ckpt.movies.rows != data.r.ncols() {
+            return Err(mismatch("movie count", data.r.ncols(), ckpt.movies.rows));
+        }
+        if ckpt.predict_acc.len() != data.test.len() {
+            return Err(mismatch(
+                "test set",
+                data.test.len(),
+                ckpt.predict_acc.len(),
+            ));
+        }
         let k = cfg.num_latent;
         let wm = WorkModel::default();
         let mut sampler = GibbsSampler {
             hyper_rng: ckpt.hyper_rng.rebuild(),
-            worker_rngs: ckpt.worker_rngs.iter().map(|s| Mutex::new(s.rebuild())).collect(),
+            worker_rngs: ckpt
+                .worker_rngs
+                .iter()
+                .map(|s| Mutex::new(s.rebuild()))
+                .collect(),
             scratches: ckpt
                 .worker_rngs
                 .iter()
@@ -307,7 +451,19 @@ impl<'a> GibbsSampler<'a> {
             movie_weights: wm.row_weights(data.rt),
             predict_acc: ckpt.predict_acc.clone(),
             predict_sq_acc: ckpt.predict_sq_acc.clone(),
-            factor_acc: ckpt.factor_acc.as_ref().map(|(u, v)| (u.to_mat(), v.to_mat())),
+            factor_acc: ckpt
+                .factor_acc
+                .as_ref()
+                .map(|(u, v)| (u.to_mat(), v.to_mat())),
+            // A checkpoint from before squared-factor accumulation existed
+            // has posterior-mean state but no squares; restarting the
+            // square accumulator mid-chain would divide partial sums by the
+            // full acc_count, so second moments stay off instead.
+            sq_acc_valid: ckpt.acc_count == 0 || ckpt.factor_sq_acc.is_some(),
+            factor_sq_acc: ckpt
+                .factor_sq_acc
+                .as_ref()
+                .map(|(u, v)| (u.to_mat(), v.to_mat())),
             acc_count: ckpt.acc_count,
             iter: ckpt.iter,
             cfg,
@@ -331,7 +487,7 @@ impl<'a> GibbsSampler<'a> {
         };
         // Restored streams must not be clobbered by ensure_workers.
         sampler.scratches.shrink_to_fit();
-        sampler
+        Ok(sampler)
     }
 
     /// Grow per-worker RNG streams and scratch buffers to `n` workers.
@@ -348,7 +504,8 @@ impl<'a> GibbsSampler<'a> {
             .map(Mutex::new)
             .collect();
         while self.scratches.len() < n {
-            self.scratches.push(Mutex::new(UpdateScratch::new(self.cfg.num_latent)));
+            self.scratches
+                .push(Mutex::new(UpdateScratch::new(self.cfg.num_latent)));
         }
     }
 
@@ -415,7 +572,11 @@ impl<'a> GibbsSampler<'a> {
         let other_items = &other.items;
         let writer = MatWriter::new(&mut state.items);
         let (offsets, indices, _) = matrix.raw_parts();
-        let adj = Adjacency { offsets, indices, neighbor_domain: other_items.rows() };
+        let adj = Adjacency {
+            offsets,
+            indices,
+            neighbor_domain: other_items.rows(),
+        };
         let rank1_max = cfg.rank_one_threshold();
         let par_threshold = cfg.parallel_threshold;
         let kernel_threads = cfg.kernel_threads;
@@ -454,10 +615,35 @@ impl<'a> GibbsSampler<'a> {
             // Accumulate factor sums for the posterior-mean point predictor.
             let k = self.cfg.num_latent;
             let (u_acc, v_acc) = self.factor_acc.get_or_insert_with(|| {
-                (Mat::zeros(self.users.items.rows(), k), Mat::zeros(self.movies.items.rows(), k))
+                (
+                    Mat::zeros(self.users.items.rows(), k),
+                    Mat::zeros(self.movies.items.rows(), k),
+                )
             });
             u_acc.add_assign_scaled(&self.users.items, 1.0);
             v_acc.add_assign_scaled(&self.movies.items, 1.0);
+            if self.sq_acc_valid {
+                let (u_sq, v_sq) = self.factor_sq_acc.get_or_insert_with(|| {
+                    (
+                        Mat::zeros(self.users.items.rows(), k),
+                        Mat::zeros(self.movies.items.rows(), k),
+                    )
+                });
+                for (acc, x) in u_sq
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.users.items.as_slice())
+                {
+                    *acc += x * x;
+                }
+                for (acc, x) in v_sq
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(self.movies.items.as_slice())
+                {
+                    *acc += x * x;
+                }
+            }
         }
         let mut se_sample = 0.0;
         let mut se_mean = 0.0;
@@ -467,8 +653,13 @@ impl<'a> GibbsSampler<'a> {
             .zip(self.predict_sq_acc.iter_mut())
             .zip(self.data.test)
         {
-            let pred = self.data.global_mean
-                + vecops::dot(self.users.items.row(i as usize), self.movies.items.row(j as usize));
+            let pred = self.cfg.clamp_rating(
+                self.data.global_mean
+                    + vecops::dot(
+                        self.users.items.row(i as usize),
+                        self.movies.items.row(j as usize),
+                    ),
+            );
             se_sample += (pred - r) * (pred - r);
             if averaging {
                 *slot += pred;
@@ -479,7 +670,11 @@ impl<'a> GibbsSampler<'a> {
         }
         let n = self.data.test.len() as f64;
         let rmse_sample = (se_sample / n).sqrt();
-        let rmse_mean = if averaging { (se_mean / n).sqrt() } else { f64::NAN };
+        let rmse_mean = if averaging {
+            (se_mean / n).sqrt()
+        } else {
+            f64::NAN
+        };
         (rmse_sample, rmse_mean)
     }
 
@@ -493,7 +688,10 @@ impl<'a> GibbsSampler<'a> {
         let items = (self.data.r.nrows() + self.data.r.ncols()) as f64;
         let secs = movie_stats.elapsed.as_secs_f64() + user_stats.elapsed.as_secs_f64();
         let busy = {
-            let (e1, e2) = (movie_stats.elapsed.as_secs_f64(), user_stats.elapsed.as_secs_f64());
+            let (e1, e2) = (
+                movie_stats.elapsed.as_secs_f64(),
+                user_stats.elapsed.as_secs_f64(),
+            );
             if e1 + e2 > 0.0 {
                 (movie_stats.busy_fraction() * e1 + user_stats.busy_fraction() * e2) / (e1 + e2)
             } else {
@@ -530,7 +728,8 @@ mod tests {
         for i in 0..m {
             for j in 0..n {
                 if rng.next_f64() < 0.4 {
-                    let r = vecops::dot(u.row(i), v.row(j)) + bpmf_stats::normal(&mut rng, 0.0, 0.1);
+                    let r =
+                        vecops::dot(u.row(i), v.row(j)) + bpmf_stats::normal(&mut rng, 0.0, 0.1);
                     if rng.next_f64() < 0.15 {
                         test.push((i as u32, j as u32, r));
                     } else {
@@ -563,7 +762,10 @@ mod tests {
 
         let first = report.iters[0].rmse_sample;
         let last = report.final_rmse();
-        assert!(last < first * 0.6, "no convergence: first {first}, last {last}");
+        assert!(
+            last < first * 0.6,
+            "no convergence: first {first}, last {last}"
+        );
         // Noise sd is 0.1; posterior-mean RMSE should land well below 0.5.
         assert!(last < 0.5, "final RMSE too high: {last}");
     }
@@ -653,7 +855,10 @@ mod tests {
         };
         let runner = EngineKind::WorkStealing.build(2);
         let mut sampler = GibbsSampler::new(cfg, data);
-        assert!(sampler.test_prediction_summaries().is_empty(), "no summaries before burn-in");
+        assert!(
+            sampler.test_prediction_summaries().is_empty(),
+            "no summaries before burn-in"
+        );
         sampler.run(runner.as_ref(), 20);
 
         let summaries = sampler.test_prediction_summaries();
@@ -745,14 +950,49 @@ mod tests {
     }
 
     #[test]
+    fn resume_from_pre_second_moment_checkpoint_disables_uncertainty() {
+        let (r, rt, mean, test) = planted(17);
+        let data = TrainData::new(&r, &rt, mean, &test);
+        let cfg = BpmfConfig {
+            num_latent: 3,
+            burnin: 1,
+            samples: 6,
+            seed: 8,
+            kernel_threads: 1,
+            ..Default::default()
+        };
+        let runner = EngineKind::Static.build(1);
+        let mut sampler = GibbsSampler::new(cfg.clone(), data);
+        sampler.run(runner.as_ref(), 4);
+        let mut ckpt = sampler.checkpoint();
+        // Simulate a checkpoint written before squared-factor accumulation
+        // existed: posterior means present, squares absent.
+        ckpt.factor_sq_acc = None;
+        let mut resumed = GibbsSampler::resume(cfg, data, &ckpt);
+        resumed.run(runner.as_ref(), 3);
+        // Means keep working; second moments are honestly unavailable
+        // instead of silently understated.
+        assert!(resumed.posterior_mean_factors().is_some());
+        assert!(resumed.posterior_second_moments().is_none());
+    }
+
+    #[test]
     #[should_panic(expected = "latent dimension mismatch")]
     fn resume_validates_dimensions() {
         let (r, rt, mean, test) = planted(16);
         let data = TrainData::new(&r, &rt, mean, &test);
-        let cfg = BpmfConfig { num_latent: 3, kernel_threads: 1, ..Default::default() };
+        let cfg = BpmfConfig {
+            num_latent: 3,
+            kernel_threads: 1,
+            ..Default::default()
+        };
         let sampler = GibbsSampler::new(cfg, data);
         let ckpt = sampler.checkpoint();
-        let bad_cfg = BpmfConfig { num_latent: 4, kernel_threads: 1, ..Default::default() };
+        let bad_cfg = BpmfConfig {
+            num_latent: 4,
+            kernel_threads: 1,
+            ..Default::default()
+        };
         let _ = GibbsSampler::resume(bad_cfg, data, &ckpt);
     }
 
@@ -761,7 +1001,11 @@ mod tests {
         let (r, rt, mean, _) = planted(6);
         let test: Vec<(u32, u32, f64)> = Vec::new();
         let data = TrainData::new(&r, &rt, mean, &test);
-        let cfg = BpmfConfig { num_latent: 3, kernel_threads: 1, ..Default::default() };
+        let cfg = BpmfConfig {
+            num_latent: 3,
+            kernel_threads: 1,
+            ..Default::default()
+        };
         let runner = EngineKind::WorkStealing.build(1);
         let mut sampler = GibbsSampler::new(cfg, data);
         let stats = sampler.step(runner.as_ref());

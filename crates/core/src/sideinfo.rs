@@ -61,7 +61,10 @@ impl FeatureSideInfo {
     /// Panics if the feature matrix is empty or `lambda_beta` is not
     /// strictly positive (β would be improper).
     pub fn new(features: Mat, k: usize, lambda_beta: f64) -> Self {
-        assert!(features.rows() > 0 && features.cols() > 0, "features must be non-empty");
+        assert!(
+            features.rows() > 0 && features.cols() > 0,
+            "features must be non-empty"
+        );
         assert!(lambda_beta > 0.0, "lambda_beta must be positive");
         let d = features.cols();
         let n = features.rows();
@@ -208,7 +211,11 @@ impl FeatureSideInfo {
     /// offset cache. Used on resume, where the features are re-supplied by
     /// the caller and the link sample comes from the checkpoint.
     pub fn restore_link(&mut self, beta: Mat, lambda_beta: f64) {
-        assert_eq!(beta.rows(), self.features.cols(), "link rows must match feature count");
+        assert_eq!(
+            beta.rows(),
+            self.features.cols(),
+            "link rows must match feature count"
+        );
         assert_eq!(beta.cols(), self.beta.cols(), "link columns must match K");
         assert!(lambda_beta > 0.0, "lambda_beta must be positive");
         self.beta = beta;
@@ -337,7 +344,10 @@ mod tests {
         let b2 = si.beta().clone();
         let diff = b1.max_abs_diff(&b2);
         assert!(diff > 0.0, "consecutive draws must differ");
-        assert!(diff < 1.0, "consecutive draws should be posterior-close, got {diff}");
+        assert!(
+            diff < 1.0,
+            "consecutive draws should be posterior-close, got {diff}"
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ fn accumulate_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("accumulation thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("accumulation thread panicked"))
+            .collect()
     });
 
     scratch.prec.copy_from(prior.lambda);
@@ -233,7 +236,11 @@ fn accumulate_parallel(
 mod tests {
     use super::*;
 
-    fn fixture(k: usize, nratings: usize, seed: u64) -> (Mat, Vec<f64>, Cholesky, Mat, Vec<u32>, Vec<f64>) {
+    fn fixture(
+        k: usize,
+        nratings: usize,
+        seed: u64,
+    ) -> (Mat, Vec<f64>, Cholesky, Mat, Vec<u32>, Vec<f64>) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         // A well-conditioned prior precision.
         let mut lambda = Mat::identity(k);
@@ -247,7 +254,9 @@ mod tests {
             bpmf_stats::normal(&mut rng, 0.0, 0.5)
         });
         let cols: Vec<u32> = (0..nratings).map(|i| (i * 2) as u32).collect();
-        let vals: Vec<f64> = (0..nratings).map(|i| 3.0 + (i as f64 * 0.7).sin()).collect();
+        let vals: Vec<f64> = (0..nratings)
+            .map(|i| 3.0 + (i as f64 * 0.7).sin())
+            .collect();
         (lambda, lambda_mu, chol, other, cols, vals)
     }
 
@@ -267,7 +276,11 @@ mod tests {
                 mean_offset: 3.0,
             };
             let mut means = Vec::new();
-            for method in [UpdateMethod::RankOne, UpdateMethod::CholSerial, UpdateMethod::CholParallel] {
+            for method in [
+                UpdateMethod::RankOne,
+                UpdateMethod::CholSerial,
+                UpdateMethod::CholParallel,
+            ] {
                 let mut scratch = UpdateScratch::new(k);
                 // Zero noise: run the deterministic part only by solving
                 // with a fresh rng and subtracting the noise afterwards is
@@ -288,7 +301,11 @@ mod tests {
                                 *s = sa * vi;
                             }
                             bpmf_linalg::chol_update(&mut scratch.prec, &mut scratch.vec_k);
-                            vecops::axpy(prior.alpha * (r - prior.mean_offset), v, &mut scratch.rhs);
+                            vecops::axpy(
+                                prior.alpha * (r - prior.mean_offset),
+                                v,
+                                &mut scratch.rhs,
+                            );
                         }
                     }
                     UpdateMethod::CholParallel => {

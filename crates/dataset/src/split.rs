@@ -10,7 +10,10 @@ use bpmf_stats::Xoshiro256pp;
 /// independent of triplet order only in distribution, so callers should keep
 /// generation order fixed (the generators do).
 pub fn split_train_test(coo: &Coo, test_fraction: f64, seed: u64) -> (Csr, Vec<(u32, u32, f64)>) {
-    assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test fraction must be in [0, 1)"
+    );
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut train = Coo::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
     let mut test = Vec::with_capacity((coo.nnz() as f64 * test_fraction) as usize + 16);

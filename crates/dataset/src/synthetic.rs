@@ -70,7 +70,11 @@ pub struct Dataset {
 impl Dataset {
     /// Wrap externally loaded train/test matrices (e.g. real MovieLens read
     /// from MatrixMarket).
-    pub fn from_train_test(name: impl Into<String>, train: Csr, test: Vec<(u32, u32, f64)>) -> Self {
+    pub fn from_train_test(
+        name: impl Into<String>,
+        train: Csr,
+        test: Vec<(u32, u32, f64)>,
+    ) -> Self {
         let global_mean = global_mean_of(&train);
         Dataset {
             name: name.into(),
@@ -135,9 +139,15 @@ impl SyntheticConfig {
     /// over indices, sample distinct cells from the product distribution,
     /// observe `r = U*_i · V*_j + ε` (clipped if configured), then split.
     pub fn generate(&self) -> Dataset {
-        assert!(self.nnz <= self.nrows * self.ncols, "nnz exceeds matrix capacity");
+        assert!(
+            self.nnz <= self.nrows * self.ncols,
+            "nnz exceeds matrix capacity"
+        );
         assert!(self.k_true > 0, "planted rank must be positive");
-        assert!((0.0..1.0).contains(&self.test_fraction), "test fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.test_fraction),
+            "test fraction must be in [0, 1)"
+        );
         let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
 
         // Planted factors with unit signal variance: Var[u·v] = k · s⁴ = 1
@@ -319,7 +329,11 @@ mod tests {
         assert_eq!(ds.ncols(), 100);
         assert_eq!(ds.nnz() + ds.test.len(), 3000);
         // ~20% held out, allow generous slack for the Bernoulli split.
-        assert!((400..=800).contains(&ds.test.len()), "test size = {}", ds.test.len());
+        assert!(
+            (400..=800).contains(&ds.test.len()),
+            "test size = {}",
+            ds.test.len()
+        );
         assert_eq!(ds.train_t.nrows(), 100);
         assert_eq!(ds.train_t.nnz(), ds.train.nnz());
     }
@@ -375,7 +389,10 @@ mod tests {
         let ds = cfg.generate();
         let mean = ds.train.mean_row_nnz();
         let max = ds.train.max_row_nnz() as f64;
-        assert!(max < 4.0 * mean, "uniform sampling should not create hot rows");
+        assert!(
+            max < 4.0 * mean,
+            "uniform sampling should not create hot rows"
+        );
     }
 
     #[test]

@@ -47,8 +47,8 @@ mod par;
 mod tri;
 pub mod vecops;
 
-pub use chol::Cholesky;
 pub use chol::cholesky_in_place;
+pub use chol::Cholesky;
 pub use chol_par::{cholesky_in_place_parallel, DEFAULT_BLOCK};
 pub use cholupdate::{chol_downdate, chol_update};
 pub use error::LinalgError;

@@ -19,7 +19,11 @@ pub struct Mat {
 impl Mat {
     /// All-zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -53,7 +57,11 @@ impl Mat {
 
     /// Build from a row-major flat slice. Panics if the length is not `rows * cols`.
     pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length must be rows * cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length must be rows * cols"
+        );
         Mat { rows, cols, data }
     }
 
@@ -103,7 +111,11 @@ impl Mat {
         let (head, tail) = self.data.split_at_mut(hi * c);
         let lo_row = &mut head[lo * c..(lo + 1) * c];
         let hi_row = &mut tail[..c];
-        if i < j { (lo_row, hi_row) } else { (hi_row, lo_row) }
+        if i < j {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
     }
 
     /// Set every element to `v`.
@@ -114,7 +126,11 @@ impl Mat {
     /// Copy every element from `other` (shapes must match). Used by the
     /// update kernels to reset scratch matrices without reallocating.
     pub fn copy_from(&mut self, other: &Mat) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data.copy_from_slice(&other.data);
     }
 
@@ -127,7 +143,11 @@ impl Mat {
 
     /// `self += s * other` element-wise.
     pub fn add_assign_scaled(&mut self, other: &Mat, s: f64) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += s * b;
         }
@@ -228,7 +248,11 @@ impl Mat {
 
     /// Largest absolute element-wise difference against `other`.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

@@ -29,7 +29,11 @@ impl MatWriter {
     pub fn new(m: &mut Mat) -> Self {
         let rows = m.rows();
         let cols = m.cols();
-        MatWriter { ptr: m.as_mut_slice().as_mut_ptr(), rows, cols }
+        MatWriter {
+            ptr: m.as_mut_slice().as_mut_ptr(),
+            rows,
+            cols,
+        }
     }
 
     /// Mutable view of row `i`.
@@ -40,6 +44,7 @@ impl MatWriter {
     /// concurrent calls receive the same `i`, and that no other reference to
     /// the underlying matrix is alive.
     #[inline]
+    #[allow(clippy::mut_from_ref)]
     pub unsafe fn row_mut(&self, i: usize) -> &mut [f64] {
         debug_assert!(i < self.rows);
         std::slice::from_raw_parts_mut(self.ptr.add(i * self.cols), self.cols)

@@ -18,7 +18,11 @@ where
     F: Fn(usize, &mut [f64]) + Sync,
 {
     assert!(row_len > 0, "row_len must be positive");
-    assert_eq!(data.len() % row_len, 0, "buffer must be a whole number of rows");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer must be a whole number of rows"
+    );
     let nrows = data.len() / row_len;
     if nrows == 0 {
         return;

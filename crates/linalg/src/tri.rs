@@ -25,7 +25,11 @@ pub fn solve_lower(l: &Mat, b: &mut [f64]) {
 /// precision Cholesky factor into posterior noise.
 pub fn solve_lower_transpose(l: &Mat, b: &mut [f64]) {
     let n = l.rows();
-    assert_eq!(n, l.cols(), "solve_lower_transpose requires a square factor");
+    assert_eq!(
+        n,
+        l.cols(),
+        "solve_lower_transpose requires a square factor"
+    );
     assert_eq!(b.len(), n, "solve_lower_transpose rhs length mismatch");
     for i in (0..n).rev() {
         // Lᵀ[i, j] = L[j, i] for j > i: walk column i below the diagonal.

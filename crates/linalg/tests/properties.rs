@@ -12,16 +12,18 @@ use bpmf_linalg::{
 use proptest::prelude::*;
 
 fn spd_matrix(max_n: usize) -> impl Strategy<Value = Mat> {
-    (1..=max_n, proptest::collection::vec(-1.0f64..1.0, max_n * max_n)).prop_map(
-        move |(n, raw)| {
+    (
+        1..=max_n,
+        proptest::collection::vec(-1.0f64..1.0, max_n * max_n),
+    )
+        .prop_map(move |(n, raw)| {
             let b = Mat::from_fn(n, n, |i, j| raw[i * max_n + j]);
             let mut a = b.matmul_transb(&b);
             for i in 0..n {
                 a[(i, i)] += n as f64 + 1.0;
             }
             a
-        },
-    )
+        })
 }
 
 fn vector(max_n: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -92,7 +92,12 @@ pub struct Comm<'a> {
 
 impl<'a> Comm<'a> {
     pub(crate) fn new(rank: usize, shared: &'a UniverseShared) -> Self {
-        Comm { rank, shared, stats: CommStats::default(), times: TimeStats::default() }
+        Comm {
+            rank,
+            shared,
+            stats: CommStats::default(),
+            times: TimeStats::default(),
+        }
     }
 
     /// This rank's id.
@@ -114,13 +119,19 @@ impl<'a> Comm<'a> {
     /// Buffered send (completes immediately, like `MPI_Send` with a small
     /// message or `MPI_Isend` + internal buffering).
     pub fn send(&mut self, dst: usize, tag: Tag, payload: &[u8]) {
-        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        assert!(
+            tag < RESERVED_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
         self.send_raw(dst, tag, Bytes::copy_from_slice(payload));
     }
 
     /// Buffered send of an owned payload (no copy).
     pub fn send_bytes(&mut self, dst: usize, tag: Tag, payload: Bytes) {
-        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        assert!(
+            tag < RESERVED_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
         self.send_raw(dst, tag, payload);
     }
 
@@ -135,7 +146,12 @@ impl<'a> Comm<'a> {
         assert!(dst < self.size(), "destination rank {dst} out of range");
         let len = payload.len();
         let ready_at = self.shared.net.map(|m| Instant::now() + m.delay(len));
-        let msg = Message { src: self.rank as u32, tag, ready_at, payload };
+        let msg = Message {
+            src: self.rank as u32,
+            tag,
+            ready_at,
+            payload,
+        };
         self.shared.inflight_from[self.rank].fetch_add(1, Ordering::AcqRel);
         {
             let mailbox = &self.shared.mailboxes[dst];
@@ -153,7 +169,9 @@ impl<'a> Comm<'a> {
     /// later one "arrived" — finished its simulated transfer — sooner).
     pub fn recv(&mut self, src: Option<usize>, tag: Tag) -> (usize, Bytes) {
         let t0 = Instant::now();
-        let got = self.recv_inner(src, tag, true).expect("blocking recv returned none");
+        let got = self
+            .recv_inner(src, tag, true)
+            .expect("blocking recv returned none");
         self.times.comm += t0.elapsed();
         got
     }
@@ -177,18 +195,15 @@ impl<'a> Comm<'a> {
                 .position(|m| m.tag == tag && src.is_none_or(|s| s as u32 == m.src));
             match pos {
                 Some(i) => {
-                    match q[i].ready_at {
-                        Some(t) => {
-                            let now = Instant::now();
-                            if t > now {
-                                if !block {
-                                    return None;
-                                }
-                                let _ = mailbox.arrived.wait_for(&mut q, t - now);
-                                continue;
+                    if let Some(t) = q[i].ready_at {
+                        let now = Instant::now();
+                        if t > now {
+                            if !block {
+                                return None;
                             }
+                            let _ = mailbox.arrived.wait_for(&mut q, t - now);
+                            continue;
                         }
-                        None => {}
                     }
                     let msg = q.remove(i).expect("position was just found");
                     self.shared.inflight_from[msg.src as usize].fetch_sub(1, Ordering::AcqRel);
@@ -499,7 +514,11 @@ mod tests {
                 t0.elapsed()
             }
         });
-        assert!(out[1] >= latency - Duration::from_millis(2), "elapsed = {:?}", out[1]);
+        assert!(
+            out[1] >= latency - Duration::from_millis(2),
+            "elapsed = {:?}",
+            out[1]
+        );
     }
 
     #[test]
@@ -519,14 +538,20 @@ mod tests {
 
     #[test]
     fn allreduce_u64_counts() {
-        let out = Universe::run(3, None, |comm| comm.allreduce_sum_u64(comm.rank() as u64 + 1));
+        let out = Universe::run(3, None, |comm| {
+            comm.allreduce_sum_u64(comm.rank() as u64 + 1)
+        });
         assert_eq!(out, vec![6, 6, 6]);
     }
 
     #[test]
     fn bcast_propagates_root_data() {
         let out = Universe::run(4, None, |comm| {
-            let mut buf = if comm.rank() == 2 { vec![3.5, -1.0] } else { vec![0.0, 0.0] };
+            let mut buf = if comm.rank() == 2 {
+                vec![3.5, -1.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             comm.bcast_f64s(2, &mut buf);
             buf
         });
@@ -559,7 +584,7 @@ mod tests {
                 comm.compute(|| std::thread::sleep(Duration::from_millis(10)));
                 comm.barrier(); // rank 1 receives after this
                 comm.barrier(); // message consumed by now
-                // Phase 2: no communication in flight → "compute".
+                                // Phase 2: no communication in flight → "compute".
                 comm.compute(|| std::thread::sleep(Duration::from_millis(10)));
                 comm.time_stats()
             } else {
@@ -571,7 +596,11 @@ mod tests {
         });
         let t0 = out[0];
         assert!(t0.both >= Duration::from_millis(9), "both = {:?}", t0.both);
-        assert!(t0.compute >= Duration::from_millis(9), "compute = {:?}", t0.compute);
+        assert!(
+            t0.compute >= Duration::from_millis(9),
+            "compute = {:?}",
+            t0.compute
+        );
         // Rank 1 blocked in recv/barrier → comm time accumulated.
         assert!(out[1].comm > Duration::ZERO);
     }

@@ -21,7 +21,10 @@ impl NetModel {
     /// Model with the given α (latency) and bandwidth in bytes/second.
     pub fn new(latency: Duration, bandwidth_bytes_per_sec: f64) -> Self {
         assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
-        NetModel { latency, seconds_per_byte: 1.0 / bandwidth_bytes_per_sec }
+        NetModel {
+            latency,
+            seconds_per_byte: 1.0 / bandwidth_bytes_per_sec,
+        }
     }
 
     /// Transfer delay for an `n`-byte payload.

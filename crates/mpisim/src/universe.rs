@@ -54,7 +54,10 @@ impl CentralBarrier {
 
     pub fn wait(&self) {
         let mut s = self.state.lock();
-        assert!(!self.poisoned.load(Ordering::SeqCst), "barrier poisoned: universe aborted");
+        assert!(
+            !self.poisoned.load(Ordering::SeqCst),
+            "barrier poisoned: universe aborted"
+        );
         let gen = s.1;
         s.0 += 1;
         if s.0 == self.n {
@@ -144,7 +147,10 @@ impl Universe {
         let shared = UniverseShared {
             nranks,
             mailboxes: (0..nranks)
-                .map(|_| Mailbox { queue: Mutex::new(VecDeque::new()), arrived: Condvar::new() })
+                .map(|_| Mailbox {
+                    queue: Mutex::new(VecDeque::new()),
+                    arrived: Condvar::new(),
+                })
                 .collect(),
             barrier: CentralBarrier::new(nranks),
             net,
@@ -197,8 +203,8 @@ impl Universe {
                 match &first_failure {
                     None => first_failure = Some((rank, msg)),
                     Some((_, prev)) => {
-                        let prev_is_echo = prev.contains("universe aborted")
-                            || prev.contains("barrier poisoned");
+                        let prev_is_echo =
+                            prev.contains("universe aborted") || prev.contains("barrier poisoned");
                         if prev_is_echo && !is_echo {
                             first_failure = Some((rank, msg));
                         }
@@ -209,7 +215,10 @@ impl Universe {
         if let Some((rank, msg)) = first_failure {
             panic!("rank {rank} panicked: {msg}");
         }
-        results.into_iter().map(|r| r.expect("failures handled above")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("failures handled above"))
+            .collect()
     }
 }
 

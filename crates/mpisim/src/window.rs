@@ -66,7 +66,9 @@ impl WindowShared {
             segments: (0..nranks)
                 .map(|_| (0..len).map(|_| AtomicU64::new(0)).collect())
                 .collect(),
-            notifications: (0..nranks * nranks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            notifications: (0..nranks * nranks)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             nranks,
         })
     }
@@ -124,12 +126,18 @@ impl Comm<'_> {
             let window = Arc::clone(&registry.windows[win.0]);
             drop(registry);
             let segment = &window.segments[dst];
-            assert!(offset + data.len() <= segment.len(), "put outside the window");
+            assert!(
+                offset + data.len() <= segment.len(),
+                "put outside the window"
+            );
             for (slot, &v) in segment[offset..offset + data.len()].iter().zip(data) {
                 slot.store(v.to_bits(), Ordering::Relaxed);
             }
             // Release: publishing the notification publishes the stores.
-            window.queue(dst, self.rank()).lock().push_back(Notification { value, ready_at });
+            window
+                .queue(dst, self.rank())
+                .lock()
+                .push_back(Notification { value, ready_at });
         }
         self.account_put(bytes as u64, t0.elapsed());
     }
@@ -206,7 +214,10 @@ pub(crate) struct WindowRegistry {
 
 impl WindowRegistry {
     pub(crate) fn new(nranks: usize) -> Self {
-        WindowRegistry { windows: Vec::new(), attached: vec![0; nranks] }
+        WindowRegistry {
+            windows: Vec::new(),
+            attached: vec![0; nranks],
+        }
     }
 }
 
@@ -300,7 +311,11 @@ mod tests {
                 t0.elapsed()
             }
         });
-        assert!(out[1] >= latency - Duration::from_millis(2), "elapsed {:?}", out[1]);
+        assert!(
+            out[1] >= latency - Duration::from_millis(2),
+            "elapsed {:?}",
+            out[1]
+        );
     }
 
     #[test]

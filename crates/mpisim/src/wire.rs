@@ -29,7 +29,11 @@ pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
 pub fn bytes_to_f64s_into(bytes: &[u8], out: &mut Vec<f64>) {
     assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of f64s");
     out.clear();
-    out.extend(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
+    out.extend(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+    );
 }
 
 /// Encode a `u64` slice.

@@ -70,7 +70,10 @@ fn interleaved_collectives_and_p2p_do_not_cross_talk() {
             // Σ(r + round) over ranks = n*round + n(n-1)/2
             assert_eq!(buf[0], (n * (n - 1) / 2) as f64 + (n as u64 * round) as f64);
             let (_, data) = comm.recv(Some((me + n - 1) % n), 5);
-            assert_eq!(data[0], (round as u8).wrapping_add(((me + n - 1) % n) as u8));
+            assert_eq!(
+                data[0],
+                (round as u8).wrapping_add(((me + n - 1) % n) as u8)
+            );
             let mut b = [if me == 0 { round as f64 } else { -1.0 }];
             comm.bcast_f64s(0, &mut b);
             assert_eq!(b[0], round as f64);
@@ -110,7 +113,10 @@ fn windows_and_messages_interleave_safely() {
             assert_eq!(note, round);
             let mut row = [0.0f64; 4];
             comm.window_read_local(win, left * 4, &mut row);
-            assert!(row.iter().all(|&v| v == round as f64), "round {round}: stale span {row:?}");
+            assert!(
+                row.iter().all(|&v| v == round as f64),
+                "round {round}: stale span {row:?}"
+            );
             comm.send(left, 10, &[]); // ack: the writer may reuse the span
         }
     });
@@ -137,7 +143,10 @@ fn rank_panic_aborts_blocked_receivers() {
     .expect_err("universe must propagate the failure");
     let msg = err.downcast_ref::<String>().expect("formatted panic");
     assert!(msg.contains("rank 1 panicked"), "root cause lost: {msg}");
-    assert!(msg.contains("simulated rank failure"), "root cause lost: {msg}");
+    assert!(
+        msg.contains("simulated rank failure"),
+        "root cause lost: {msg}"
+    );
 }
 
 #[test]
@@ -216,5 +225,8 @@ fn abort_during_collective_unblocks_all_ranks() {
     .expect_err("universe must propagate the failure");
     let msg = err.downcast_ref::<String>().expect("formatted panic");
     assert!(msg.contains("rank 2 panicked"), "root cause lost: {msg}");
-    assert!(msg.contains("rank loss mid-collective"), "root cause lost: {msg}");
+    assert!(
+        msg.contains("rank loss mid-collective"),
+        "root cause lost: {msg}"
+    );
 }

@@ -23,13 +23,13 @@
 //! All three report [`RunStats`] (per-worker busy time, items, steals) so
 //! the Fig. 3 harness can show *why* the ordering comes out the way it does.
 
-mod stats;
 mod static_pool;
+mod stats;
 mod vertex;
 mod workstealing;
 
-pub use stats::{RunStats, WorkerStats};
 pub use static_pool::StaticPool;
+pub use stats::{RunStats, WorkerStats};
 pub use vertex::VertexEngine;
 pub use workstealing::WorkStealingPool;
 

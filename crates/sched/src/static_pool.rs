@@ -52,7 +52,10 @@ impl StaticPool {
         let shared = Arc::new(Shared {
             gate: Mutex::new((0, false)),
             wake: Condvar::new(),
-            sweep: Mutex::new(Sweep { ranges: Vec::new(), job: None }),
+            sweep: Mutex::new(Sweep {
+                ranges: Vec::new(),
+                job: None,
+            }),
             workers_left: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             done: Mutex::new(true),
@@ -69,7 +72,12 @@ impl StaticPool {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        StaticPool { shared, handles, run_lock: Mutex::new(()), nthreads }
+        StaticPool {
+            shared,
+            handles,
+            run_lock: Mutex::new(()),
+            nthreads,
+        }
     }
 
     /// Contiguous per-thread ranges: equal count, or equal modeled weight.
@@ -123,7 +131,10 @@ impl ItemRunner for StaticPool {
     ) -> RunStats {
         let _serial = self.run_lock.lock();
         if n == 0 {
-            return RunStats { elapsed: Duration::ZERO, per_worker: vec![WorkerStats::default(); self.nthreads] };
+            return RunStats {
+                elapsed: Duration::ZERO,
+                per_worker: vec![WorkerStats::default(); self.nthreads],
+            };
         }
         let shared = &self.shared;
         for (b, i) in shared.busy_ns.iter().zip(&shared.items) {
@@ -139,9 +150,8 @@ impl ItemRunner for StaticPool {
             // SAFETY: workers dereference the borrow only before decrementing
             // `workers_left`; we block until it reaches zero, so the borrow
             // outlives every dereference. Cleared before returning.
-            sweep.job = Some(unsafe {
-                std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(f)
-            });
+            sweep.job =
+                Some(unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(f) });
         }
         *shared.done.lock() = false;
 
@@ -215,7 +225,10 @@ fn worker_loop(id: usize, shared: Arc<Shared>) {
             let sweep = shared.sweep.lock();
             match sweep.job {
                 Some(job) => (sweep.ranges.get(id).cloned().unwrap_or(0..0), job),
-                None => (0..0, (&|_: usize, _: usize| {}) as &(dyn Fn(usize, usize) + Sync)),
+                None => (
+                    0..0,
+                    (&|_: usize, _: usize| {}) as &(dyn Fn(usize, usize) + Sync),
+                ),
             }
         };
         let len = range.len();

@@ -51,7 +51,11 @@ impl RunStats {
         if self.per_worker.is_empty() {
             return 1.0;
         }
-        let times: Vec<f64> = self.per_worker.iter().map(|w| w.busy.as_secs_f64()).collect();
+        let times: Vec<f64> = self
+            .per_worker
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .collect();
         let total: f64 = times.iter().sum();
         if total <= 0.0 {
             return 1.0;
@@ -78,8 +82,16 @@ mod tests {
         let stats = RunStats {
             elapsed: Duration::from_secs(2),
             per_worker: vec![
-                WorkerStats { busy: Duration::from_secs(2), items: 10, steals: 1 },
-                WorkerStats { busy: Duration::from_secs(1), items: 5, steals: 0 },
+                WorkerStats {
+                    busy: Duration::from_secs(2),
+                    items: 10,
+                    steals: 1,
+                },
+                WorkerStats {
+                    busy: Duration::from_secs(1),
+                    items: 5,
+                    steals: 0,
+                },
             ],
         };
         assert_eq!(stats.total_items(), 15);

@@ -122,7 +122,10 @@ impl VertexEngine {
         assert_eq!(offsets.len(), n + 1, "offsets must have n + 1 entries");
         let _serial = self.run_lock.lock();
         if n == 0 {
-            return RunStats { elapsed: Duration::ZERO, per_worker: vec![WorkerStats::default(); self.nthreads] };
+            return RunStats {
+                elapsed: Duration::ZERO,
+                per_worker: vec![WorkerStats::default(); self.nthreads],
+            };
         }
 
         let locks = {
@@ -150,7 +153,9 @@ impl VertexEngine {
             unsafe {
                 sweep.offsets = std::mem::transmute::<&[usize], &'static [usize]>(offsets);
                 sweep.indices = std::mem::transmute::<&[u32], &'static [u32]>(indices);
-                sweep.job = Some(std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(f));
+                sweep.job = Some(std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(
+                    f,
+                ));
             }
             sweep.neighbor_locks = locks;
         }
@@ -253,7 +258,12 @@ fn worker_loop(id: usize, shared: Arc<Shared>) {
         let (offsets, indices, job, locks) = {
             let sweep = shared.sweep.lock();
             match sweep.job {
-                Some(job) => (sweep.offsets, sweep.indices, job, Arc::clone(&sweep.neighbor_locks)),
+                Some(job) => (
+                    sweep.offsets,
+                    sweep.indices,
+                    job,
+                    Arc::clone(&sweep.neighbor_locks),
+                ),
                 None => {
                     finish_worker(&shared);
                     continue;
@@ -340,7 +350,11 @@ mod tests {
             std::thread::sleep(Duration::from_micros(50));
             inside.fetch_sub(1, Ordering::SeqCst);
         });
-        assert_eq!(max_inside.load(Ordering::SeqCst), 1, "hub lock must serialize");
+        assert_eq!(
+            max_inside.load(Ordering::SeqCst),
+            1,
+            "hub lock must serialize"
+        );
     }
 
     #[test]

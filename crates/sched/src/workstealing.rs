@@ -57,6 +57,12 @@ struct Shared {
     grain: AtomicUsize,
     remaining: AtomicUsize,
     panicked: AtomicBool,
+    /// Workers currently inside a sweep. `run_items` returns when the item
+    /// counter hits zero — which can be *before* every worker has observed
+    /// the end of the sweep — so the next sweep must wait for this to drain
+    /// or a laggard could execute fresh chunks with the previous sweep's
+    /// (stale, possibly dangling) job pointer.
+    in_sweep: AtomicUsize,
     gate: Gate,
     done: DoneGate,
     counters: Vec<CachePadded<WorkerCounters>>,
@@ -79,14 +85,23 @@ impl WorkStealingPool {
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
+            in_sweep: AtomicUsize::new(0),
             stealers,
             job: Mutex::new(None),
             grain: AtomicUsize::new(1),
             remaining: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
-            gate: Gate { epoch: Mutex::new((0, false)), wake: Condvar::new() },
-            done: DoneGate { flag: Mutex::new(true), cv: Condvar::new() },
-            counters: (0..nthreads).map(|_| CachePadded::new(WorkerCounters::default())).collect(),
+            gate: Gate {
+                epoch: Mutex::new((0, false)),
+                wake: Condvar::new(),
+            },
+            done: DoneGate {
+                flag: Mutex::new(true),
+                cv: Condvar::new(),
+            },
+            counters: (0..nthreads)
+                .map(|_| CachePadded::new(WorkerCounters::default()))
+                .collect(),
         });
         let handles = deques
             .into_iter()
@@ -99,7 +114,12 @@ impl WorkStealingPool {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        WorkStealingPool { shared, handles, run_lock: Mutex::new(()), nthreads }
+        WorkStealingPool {
+            shared,
+            handles,
+            run_lock: Mutex::new(()),
+            nthreads,
+        }
     }
 
     /// Sweep `f` over `0..n` with an explicit splitting grain.
@@ -108,8 +128,16 @@ impl WorkStealingPool {
         F: Fn(usize, usize) + Sync,
     {
         let _serial = self.run_lock.lock();
+        // Retire laggards of the previous sweep before touching shared
+        // state (see `Shared::in_sweep`).
+        while self.shared.in_sweep.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
         if n == 0 {
-            return RunStats { elapsed: Duration::ZERO, per_worker: vec![WorkerStats::default(); self.nthreads] };
+            return RunStats {
+                elapsed: Duration::ZERO,
+                per_worker: vec![WorkerStats::default(); self.nthreads],
+            };
         }
         let shared = &self.shared;
         for c in shared.counters.iter() {
@@ -136,9 +164,7 @@ impl WorkStealingPool {
         // `remaining > 0`; we block below until `remaining == 0` (the done
         // gate), so the borrow outlives every dereference. The job slot is
         // cleared before returning.
-        let job: Job = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(&f)
-        };
+        let job: Job = unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), Job>(&f) };
         *shared.job.lock() = Some(job);
         *shared.done.flag.lock() = false;
 
@@ -231,10 +257,18 @@ fn worker_loop(id: usize, deque: Deque<Chunk>, shared: Arc<Shared>) {
                 return;
             }
             last_epoch = g.0;
+            // Registered while still holding the gate lock: the master only
+            // advances the epoch after draining `in_sweep` to zero, so a
+            // worker is either counted for the current sweep or has not yet
+            // seen it — never half-entered into a stale one.
+            shared.in_sweep.fetch_add(1, Ordering::AcqRel);
         }
-        let Some(job) = *shared.job.lock() else { continue };
-        let grain = shared.grain.load(Ordering::Relaxed);
-        sweep(id, &deque, &shared, job, grain, &mut rng_state);
+        let job = *shared.job.lock();
+        if let Some(job) = job {
+            let grain = shared.grain.load(Ordering::Relaxed);
+            sweep(id, &deque, &shared, job, grain, &mut rng_state);
+        }
+        shared.in_sweep.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -272,7 +306,9 @@ fn sweep(
                         job(id, i);
                     }
                 }));
-                counters.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                counters
+                    .busy_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 counters.items.fetch_add(len as u64, Ordering::Relaxed);
                 if result.is_err() {
                     shared.panicked.store(true, Ordering::Release);
@@ -302,7 +338,12 @@ fn sweep(
 
 /// Steal: injector first (fresh chunks), then victim deques round-robin
 /// from a random start.
-fn find_work(id: usize, deque: &Deque<Chunk>, shared: &Shared, rng_state: &mut u64) -> Option<Chunk> {
+fn find_work(
+    id: usize,
+    deque: &Deque<Chunk>,
+    shared: &Shared,
+    rng_state: &mut u64,
+) -> Option<Chunk> {
     loop {
         match shared.injector.steal_batch_and_pop(deque) {
             Steal::Success(c) => return Some(c),
@@ -385,7 +426,10 @@ mod tests {
         assert_eq!(stats.total_items(), n as u64);
         // More than one worker must have executed items.
         let active = stats.per_worker.iter().filter(|w| w.items > 0).count();
-        assert!(active > 1, "expected stealing to spread work, stats: {stats:?}");
+        assert!(
+            active > 1,
+            "expected stealing to spread work, stats: {stats:?}"
+        );
     }
 
     #[test]

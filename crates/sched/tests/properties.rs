@@ -12,7 +12,11 @@ fn check_exactly_once(runner: &dyn ItemRunner, n: usize, weights: Option<&[f64]>
         counts[i].fetch_add(1, Ordering::Relaxed);
     });
     for (i, c) in counts.iter().enumerate() {
-        assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} ran a wrong number of times");
+        assert_eq!(
+            c.load(Ordering::Relaxed),
+            1,
+            "item {i} ran a wrong number of times"
+        );
     }
     assert_eq!(stats.total_items(), n as u64);
 }

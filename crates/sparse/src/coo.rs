@@ -16,9 +16,15 @@ pub struct Coo {
 impl Coo {
     /// Empty builder with the given dimensions.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
-            "dimensions must fit in u32 indices");
-        Coo { nrows, ncols, entries: Vec::new() }
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "dimensions must fit in u32 indices"
+        );
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Empty builder with entry capacity reserved up front.

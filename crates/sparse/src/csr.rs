@@ -59,7 +59,12 @@ impl Csr {
         for r in 0..nrows {
             let (lo, hi) = (row_ptr_unmerged[r], row_ptr_unmerged[r + 1]);
             pairs.clear();
-            pairs.extend(col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            pairs.extend(
+                col_idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied()),
+            );
             pairs.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < pairs.len() {
@@ -76,7 +81,13 @@ impl Csr {
             row_ptr.push(merged_col.len());
         }
 
-        Csr { nrows, ncols, row_ptr, col_idx: merged_col, values: merged_val }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx: merged_col,
+            values: merged_val,
+        }
     }
 
     /// Number of rows.
@@ -148,7 +159,13 @@ impl Csr {
         }
         // Rows are visited in increasing order, so each transposed row is
         // already sorted by column.
-        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Apply row and column permutations: entry `(i, j)` moves to
@@ -171,7 +188,11 @@ impl Csr {
 
     /// Mean entries per row.
     pub fn mean_row_nnz(&self) -> f64 {
-        if self.nrows == 0 { 0.0 } else { self.nnz() as f64 / self.nrows as f64 }
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
     }
 
     /// Largest row length.

@@ -43,7 +43,10 @@ impl From<std::io::Error> for SparseIoError {
 }
 
 fn parse_err(line: usize, msg: impl Into<String>) -> SparseIoError {
-    SparseIoError::Parse { line, msg: msg.into() }
+    SparseIoError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Read a `matrix coordinate real general` MatrixMarket stream into a CSR
@@ -53,9 +56,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, SparseIoError> {
     let mut lines = reader.lines().enumerate();
 
     // Header line.
-    let (idx, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))?;
+    let (idx, header) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
     let header = header?;
     let lower = header.to_ascii_lowercase();
     if !lower.starts_with("%%matrixmarket") {
@@ -113,7 +114,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, SparseIoError> {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| parse_err(idx + 1, "bad value"))?;
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(parse_err(idx + 1, format!("index ({i}, {j}) out of bounds")));
+            return Err(parse_err(
+                idx + 1,
+                format!("index ({i}, {j}) out of bounds"),
+            ));
         }
         seen += 1;
         if seen > nnz {
@@ -124,7 +128,10 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, SparseIoError> {
 
     let (_, _, nnz) = dims.ok_or_else(|| parse_err(1, "missing size line"))?;
     if seen != nnz {
-        return Err(parse_err(0, format!("declared {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            0,
+            format!("declared {nnz} entries, found {seen}"),
+        ));
     }
     Ok(Csr::from_coo_owned(coo.unwrap()))
 }

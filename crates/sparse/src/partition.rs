@@ -24,8 +24,14 @@ pub struct WorkModel {
 impl WorkModel {
     /// Model with the given constants.
     pub fn new(fixed_cost: f64, cost_per_rating: f64) -> Self {
-        assert!(fixed_cost >= 0.0 && cost_per_rating >= 0.0, "costs must be non-negative");
-        WorkModel { fixed_cost, cost_per_rating }
+        assert!(
+            fixed_cost >= 0.0 && cost_per_rating >= 0.0,
+            "costs must be non-negative"
+        );
+        WorkModel {
+            fixed_cost,
+            cost_per_rating,
+        }
     }
 
     /// Modeled cost of an item with `nnz` ratings.
@@ -45,7 +51,10 @@ impl Default for WorkModel {
     /// `fig2_item_update` harness): an empty item costs about as much as ~40
     /// rating accumulations.
     fn default() -> Self {
-        WorkModel { fixed_cost: 40.0, cost_per_rating: 1.0 }
+        WorkModel {
+            fixed_cost: 40.0,
+            cost_per_rating: 1.0,
+        }
     }
 }
 
@@ -181,8 +190,16 @@ impl CommPlan {
     /// rows partitioned by `row_parts` and the counterpart side partitioned
     /// by `col_parts`.
     pub fn build(m: &Csr, row_parts: &BlockPartition, col_parts: &BlockPartition) -> Self {
-        assert_eq!(row_parts.domain_len(), m.nrows(), "row partition must cover rows");
-        assert_eq!(col_parts.domain_len(), m.ncols(), "col partition must cover cols");
+        assert_eq!(
+            row_parts.domain_len(),
+            m.nrows(),
+            "row partition must cover rows"
+        );
+        assert_eq!(
+            col_parts.domain_len(),
+            m.ncols(),
+            "col partition must cover cols"
+        );
         let nparts = row_parts.nparts().max(col_parts.nparts());
         let mut dest_offsets = Vec::with_capacity(m.nrows() + 1);
         dest_offsets.push(0usize);
@@ -213,7 +230,14 @@ impl CommPlan {
             dest_offsets.push(dest_ranks.len());
         }
 
-        CommPlan { dest_offsets, dest_ranks, recv_counts, pair_counts, nparts, total_sends }
+        CommPlan {
+            dest_offsets,
+            dest_ranks,
+            recv_counts,
+            pair_counts,
+            nparts,
+            total_sends,
+        }
     }
 
     /// Ranks (excluding the owner) that need item `i` after it is updated.
@@ -271,12 +295,16 @@ mod tests {
     fn weighted_partition_balances_skewed_weights() {
         // One huge item followed by many tiny ones.
         let mut weights = vec![100.0];
-        weights.extend(std::iter::repeat(1.0).take(100));
+        weights.extend(std::iter::repeat_n(1.0, 100));
         let p = BlockPartition::weighted(&weights, 2);
         // Part 0 should hold just the huge item (plus maybe a couple),
         // part 1 the rest.
         let pw = p.part_weights(&weights);
-        assert!(p.imbalance(&weights) < 1.2, "imbalance = {}", p.imbalance(&weights));
+        assert!(
+            p.imbalance(&weights) < 1.2,
+            "imbalance = {}",
+            p.imbalance(&weights)
+        );
         assert!((pw[0] - pw[1]).abs() < 20.0, "weights: {pw:?}");
     }
 

@@ -23,7 +23,10 @@ impl Permutation {
     /// Identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
         let forward: Vec<u32> = (0..n as u32).collect();
-        Permutation { inverse: forward.clone(), forward }
+        Permutation {
+            inverse: forward.clone(),
+            forward,
+        }
     }
 
     /// Build from a forward map (`forward[old] = new`). Panics if the map is
@@ -49,7 +52,10 @@ impl Permutation {
             assert!(forward[old as usize] == u32::MAX, "duplicate source {old}");
             forward[old as usize] = new as u32;
         }
-        Permutation { forward, inverse: order }
+        Permutation {
+            forward,
+            inverse: order,
+        }
     }
 
     /// Domain size.
@@ -76,7 +82,10 @@ impl Permutation {
 
     /// The inverse permutation.
     pub fn inverted(&self) -> Permutation {
-        Permutation { forward: self.inverse.clone(), inverse: self.forward.clone() }
+        Permutation {
+            forward: self.inverse.clone(),
+            inverse: self.forward.clone(),
+        }
     }
 
     /// Apply to a dense slice: `out[new_of(i)] = data[i]`.
@@ -114,7 +123,11 @@ pub fn rcm_bipartite(m: &Csr) -> (Permutation, Permutation) {
     let n = nr + nc;
 
     let degree = |v: usize| -> usize {
-        if v < nr { m.row_nnz(v) } else { t.row_nnz(v - nr) }
+        if v < nr {
+            m.row_nnz(v)
+        } else {
+            t.row_nnz(v - nr)
+        }
     };
 
     let mut visited = vec![false; n];
@@ -162,7 +175,10 @@ pub fn rcm_bipartite(m: &Csr) -> (Permutation, Permutation) {
             col_order.push((v - nr) as u32);
         }
     }
-    (Permutation::from_order(row_order), Permutation::from_order(col_order))
+    (
+        Permutation::from_order(row_order),
+        Permutation::from_order(col_order),
+    )
 }
 
 /// Bandwidth of the bipartite adjacency under current orderings: the largest
@@ -264,7 +280,7 @@ mod tests {
         let mut coo = Coo::new(6, 6);
         coo.push(0, 0, 1.0);
         coo.push(1, 1, 1.0); // separate component
-        // rows 2..6 and cols 2..6 have no ratings at all
+                             // rows 2..6 and cols 2..6 have no ratings at all
         let m = Csr::from_coo(&coo);
         let (pr, pc) = rcm_bipartite(&m);
         assert_eq!(pr.len(), 6);

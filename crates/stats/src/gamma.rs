@@ -54,7 +54,11 @@ pub fn chi_squared(rng: &mut Xoshiro256pp, dof: f64) -> f64 {
 mod tests {
     use super::*;
 
-    fn sample_moments(rng: &mut Xoshiro256pp, n: usize, mut f: impl FnMut(&mut Xoshiro256pp) -> f64) -> (f64, f64) {
+    fn sample_moments(
+        rng: &mut Xoshiro256pp,
+        n: usize,
+        mut f: impl FnMut(&mut Xoshiro256pp) -> f64,
+    ) -> (f64, f64) {
         let xs: Vec<f64> = (0..n).map(|_| f(rng)).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;

@@ -99,7 +99,10 @@ mod tests {
         let emp_mean_0 = samples.iter().map(|s| s[0]).sum::<f64>() / samples.len() as f64;
         assert!((emp_mean_0 - 1.0).abs() < 0.01);
         let cov = empirical_cov(&samples);
-        assert!(cov.max_abs_diff(&expected_cov) < 0.02, "{cov:?} vs {expected_cov:?}");
+        assert!(
+            cov.max_abs_diff(&expected_cov) < 0.02,
+            "{cov:?} vs {expected_cov:?}"
+        );
     }
 
     #[test]

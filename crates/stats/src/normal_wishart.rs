@@ -27,7 +27,11 @@ pub struct SuffStats {
 impl SuffStats {
     /// Empty statistics for dimension `k`.
     pub fn new(k: usize) -> Self {
-        SuffStats { n: 0, sum: vec![0.0; k], scatter: Mat::zeros(k, k) }
+        SuffStats {
+            n: 0,
+            sum: vec![0.0; k],
+            scatter: Mat::zeros(k, k),
+        }
     }
 
     /// Dimension `K`.
@@ -102,7 +106,11 @@ impl SuffStats {
 
     /// Inverse of [`SuffStats::to_flat`].
     pub fn from_flat(k: usize, flat: &[f64]) -> Self {
-        assert_eq!(flat.len(), 1 + k + k * (k + 1) / 2, "flat buffer length mismatch");
+        assert_eq!(
+            flat.len(),
+            1 + k + k * (k + 1) / 2,
+            "flat buffer length mismatch"
+        );
         let n = flat[0].round() as usize;
         let sum = flat[1..1 + k].to_vec();
         let mut scatter = Mat::zeros(k, k);
@@ -170,7 +178,11 @@ impl NormalWishart {
         w_star_inv.add_assign_scaled(&stats.scatter, 1.0);
         if stats.n > 0 {
             w_star_inv.syrk_lower(-n, &theta_bar);
-            let diff: Vec<f64> = theta_bar.iter().zip(&self.mu0).map(|(t, m)| t - m).collect();
+            let diff: Vec<f64> = theta_bar
+                .iter()
+                .zip(&self.mu0)
+                .map(|(t, m)| t - m)
+                .collect();
             w_star_inv.syrk_lower(self.beta0 * n / beta_star, &diff);
         }
 
@@ -178,10 +190,14 @@ impl NormalWishart {
         let w_star = Cholesky::factor(&w_star_inv)
             .expect("posterior W*^-1 must be SPD")
             .inverse();
-        let w_star_chol =
-            Cholesky::factor(&w_star).expect("posterior W* must be SPD");
+        let w_star_chol = Cholesky::factor(&w_star).expect("posterior W* must be SPD");
 
-        NormalWishartPosterior { mu_star, beta_star, nu_star, w_star_chol }
+        NormalWishartPosterior {
+            mu_star,
+            beta_star,
+            nu_star,
+            w_star_chol,
+        }
     }
 }
 
@@ -235,7 +251,11 @@ mod tests {
         let mut a = SuffStats::new(k);
         let mut b = SuffStats::new(k);
         for (i, r) in rows.iter().enumerate() {
-            if i % 2 == 0 { a.add_row(r) } else { b.add_row(r) }
+            if i % 2 == 0 {
+                a.add_row(r)
+            } else {
+                b.add_row(r)
+            }
         }
         a.merge(&b);
         assert_eq!(a.count(), bulk.count());
@@ -285,7 +305,10 @@ mod tests {
         let w_star = post.w_star_chol.reconstruct();
         for i in 0..k {
             let e_lambda_ii = post.nu_star * w_star[(i, i)];
-            assert!((e_lambda_ii - 1.0 / (sd * sd)).abs() < 0.2, "E[Λ_ii] = {e_lambda_ii}");
+            assert!(
+                (e_lambda_ii - 1.0 / (sd * sd)).abs() < 0.2,
+                "E[Λ_ii] = {e_lambda_ii}"
+            );
         }
     }
 

@@ -58,14 +58,23 @@ impl Xoshiro256pp {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Xoshiro256pp { s, spare_normal: None }
+        Xoshiro256pp {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Construct from an explicit state. Panics on the forbidden all-zero
     /// state.
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must not be all zero");
-        Xoshiro256pp { s, spare_normal: None }
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro state must not be all zero"
+        );
+        Xoshiro256pp {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Snapshot the complete generator state (including the cached spare
@@ -78,7 +87,10 @@ impl Xoshiro256pp {
     /// Rebuild a generator from a [`Xoshiro256pp::snapshot`].
     pub fn restore(snapshot: ([u64; 4], Option<f64>)) -> Self {
         let (s, spare_normal) = snapshot;
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro state must not be all zero"
+        );
         Xoshiro256pp { s, spare_normal }
     }
 

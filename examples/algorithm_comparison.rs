@@ -6,17 +6,15 @@
 //! more robust to data-overfitting and released from cross-validation …
 //! Yet BPMF is more computational intensive." (§I)
 //!
-//! This example trains all three on the same ChEMBL-like workload and
-//! reports held-out RMSE and wall time per algorithm, making the trade-off
-//! concrete: ALS/SGD are faster per pass, BPMF needs no λ tuning and also
-//! yields predictive uncertainty.
+//! All three algorithms run through ONE code path: `Bpmf::builder()`
+//! selects the algorithm, `make_trainer` hands back a `Box<dyn Trainer>`,
+//! and fitting/serving is identical from the caller's side — the exact
+//! "one builder, one trait, one report" the unified API exists for.
 //!
 //! Run with: `cargo run --release -p bpmf --example algorithm_comparison`
 
-use std::time::Instant;
-
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
-use bpmf_baselines::{AlsConfig, AlsTrainer, SgdConfig, SgdTrainer};
+use bpmf::{Algorithm, Bpmf, NoCallback, TrainData, Trainer};
+use bpmf_baselines::make_trainer;
 use bpmf_dataset::chembl_like;
 
 fn main() {
@@ -30,65 +28,81 @@ fn main() {
         ds.test.len()
     );
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
-    let k = 16;
-    println!("{:<22} {:>10} {:>12} {:>14}", "algorithm", "RMSE", "wall time", "extras");
-    println!("{}", "-".repeat(62));
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+        .expect("well-formed dataset");
 
-    // --- ALS-WR ------------------------------------------------------
-    let t0 = Instant::now();
-    let als_cfg = AlsConfig { num_latent: k, sweeps: 20, lambda: 0.08, ..Default::default() };
-    let runner = EngineKind::WorkStealing.build(threads);
-    let als = AlsTrainer::new(als_cfg, &ds.train, &ds.train_t).train(runner.as_ref());
-    let als_time = t0.elapsed();
     println!(
-        "{:<22} {:>10.4} {:>10.2?} {:>16}",
-        "ALS-WR (20 sweeps)",
-        als.rmse_on(&ds.test),
-        als_time,
-        "needs λ tuning"
+        "{:<22} {:>10} {:>12} {:>16}",
+        "algorithm", "RMSE", "wall time", "extras"
     );
+    println!("{}", "-".repeat(64));
 
-    // --- SGD (stratified-parallel) ------------------------------------
-    let t0 = Instant::now();
-    let sgd_cfg = SgdConfig {
-        num_latent: k,
-        epochs: 30,
-        learning_rate: 0.02,
-        decay: 0.02,
-        lambda: 0.05,
-        ..Default::default()
-    };
-    let sgd = SgdTrainer::new(sgd_cfg, &ds.train).train_stratified(threads);
-    let sgd_time = t0.elapsed();
-    println!(
-        "{:<22} {:>10.4} {:>10.2?} {:>16}",
-        "SGD (30 epochs)",
-        sgd.rmse_on(&ds.test),
-        sgd_time,
-        "needs λ,η tuning"
-    );
+    let mut gibbs_trainer: Option<Box<dyn Trainer>> = None;
+    for algorithm in Algorithm::all() {
+        // One builder serves every algorithm; unrelated knobs are ignored.
+        let spec = Bpmf::builder()
+            .algorithm(algorithm)
+            .latent(16)
+            .threads(threads)
+            .sweeps(20)
+            .epochs(30)
+            .learning_rate(0.02)
+            .decay(0.02)
+            .lambda(match algorithm {
+                Algorithm::Als => 0.08,
+                _ => 0.05,
+            })
+            .burnin(8)
+            .samples(24)
+            .seed(3)
+            .build()
+            .expect("valid spec");
+        let runner = spec.runner();
+        let mut trainer = make_trainer(&spec);
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .expect("fit succeeds");
 
-    // --- BPMF ----------------------------------------------------------
-    let t0 = Instant::now();
-    let cfg = BpmfConfig { num_latent: k, burnin: 8, samples: 24, seed: 3, ..Default::default() };
-    let iterations = cfg.iterations();
-    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
-    let mut sampler = GibbsSampler::new(cfg, data);
-    let report = sampler.run(runner.as_ref(), iterations);
-    let bpmf_time = t0.elapsed();
-    println!(
-        "{:<22} {:>10.4} {:>10.2?} {:>16}",
-        "BPMF (32 iters)",
-        report.final_rmse(),
-        bpmf_time,
-        "no tuning + CI"
-    );
+        let label = match algorithm {
+            Algorithm::Als => "ALS-WR (20 sweeps)".to_string(),
+            Algorithm::Sgd => "SGD (30 epochs)".to_string(),
+            Algorithm::Gibbs => "BPMF (32 iters)".to_string(),
+        };
+        let extras = match algorithm {
+            Algorithm::Als => "needs λ tuning",
+            Algorithm::Sgd => "needs λ,η tuning",
+            Algorithm::Gibbs => "no tuning + CI",
+        };
+        println!(
+            "{:<22} {:>10.4} {:>11.2}s {:>16}",
+            label,
+            report.final_rmse(),
+            report.total_seconds,
+            extras
+        );
+        if algorithm == Algorithm::Gibbs {
+            gibbs_trainer = Some(trainer);
+        }
+    }
 
-    // BPMF's extra deliverable: calibrated uncertainty per prediction.
-    let summaries = sampler.test_prediction_summaries();
-    if !summaries.is_empty() {
-        let mean_std = summaries.iter().map(|s| s.std).sum::<f64>() / summaries.len() as f64;
-        println!("\nBPMF predictive uncertainty: mean posterior std = {mean_std:.4}");
+    // BPMF's extra deliverable: uncertainty per prediction, straight from
+    // the shared Recommender trait (None for the point estimators).
+    if let Some(trainer) = &gibbs_trainer {
+        let rec = trainer.recommender().expect("fitted model");
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for &(u, m, _) in ds.test.iter().take(200) {
+            if let Some(s) = rec.predict_with_uncertainty(u as usize, m as usize) {
+                total += s.std;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            println!(
+                "\nBPMF predictive uncertainty: mean posterior std = {:.4} over {count} test points",
+                total / count as f64
+            );
+        }
     }
     if let Some(oracle) = ds.oracle_rmse() {
         println!("oracle RMSE (planted model, noise floor): {oracle:.4}");

@@ -8,12 +8,14 @@
 //! Gibbs-sampled link matrix β.
 //!
 //! This example plants such a workload (user factors a linear function of
-//! 6 features, only 2 training ratings per user), trains plain BPMF and
-//! feature-informed BPMF on identical data, and prints both RMSE traces.
+//! 6 features, only 2 training ratings per user), then trains plain BPMF
+//! and feature-informed BPMF on identical data through the unified builder
+//! — attaching features is one `.user_side_info(...)` call — and prints
+//! both RMSE traces.
 //!
 //! Run with: `cargo run --release -p bpmf --example cold_start_side_info`
 
-use bpmf::{BpmfConfig, EngineKind, FeatureSideInfo, GibbsSampler, TrainData};
+use bpmf::{Bpmf, NoCallback, TrainData, Trainer};
 use bpmf_linalg::Mat;
 use bpmf_sparse::{Coo, Csr};
 use bpmf_stats::{normal, Xoshiro256pp};
@@ -56,9 +58,8 @@ fn plant(seed: u64) -> Workload {
                 m = rng.next_index(nmovies);
             }
             seen[slot] = m;
-            let r = 6.5
-                + bpmf_linalg::vecops::dot(u.row(i), v.row(m))
-                + normal(&mut rng, 0.0, 0.15);
+            let r =
+                6.5 + bpmf_linalg::vecops::dot(u.row(i), v.row(m)) + normal(&mut rng, 0.0, 0.15);
             if slot < 2 {
                 coo.push(i, m, r);
             } else {
@@ -72,7 +73,13 @@ fn plant(seed: u64) -> Workload {
         let (_, _, vals) = train.raw_parts();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
-    Workload { train, train_t, test, features, global_mean }
+    Workload {
+        train,
+        train_t,
+        test,
+        features,
+        global_mean,
+    }
 }
 
 fn main() {
@@ -86,20 +93,33 @@ fn main() {
         w.test.len()
     );
 
-    let cfg = BpmfConfig { num_latent: 6, burnin: 10, samples: 40, seed: 11, ..Default::default() };
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
-    let runner = EngineKind::WorkStealing.build(threads);
+    let data = TrainData::try_new(&w.train, &w.train_t, w.global_mean, &w.test)
+        .expect("well-formed workload");
 
     let mut results = Vec::new();
     for informed in [false, true] {
-        let data = TrainData::new(&w.train, &w.train_t, w.global_mean, &w.test);
-        let mut sampler = GibbsSampler::new(cfg.clone(), data);
+        let mut builder = Bpmf::builder()
+            .latent(6)
+            .burnin(10)
+            .samples(40)
+            .seed(11)
+            .threads(threads);
         if informed {
-            sampler
-                .attach_user_side_info(FeatureSideInfo::new(w.features.clone(), cfg.num_latent, 1.0));
+            // Side information is one builder call away.
+            builder = builder.user_side_info(w.features.clone(), 1.0);
         }
-        let label = if informed { "BPMF + side info" } else { "plain BPMF    " };
-        let report = sampler.run(runner.as_ref(), cfg.iterations());
+        let spec = builder.build().expect("valid configuration");
+        let runner = spec.runner();
+        let mut trainer = spec.gibbs_trainer();
+        let label = if informed {
+            "BPMF + side info"
+        } else {
+            "plain BPMF    "
+        };
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .expect("training succeeds");
         println!("\n{label}: RMSE trace (every 5th iteration)");
         for (it, stat) in report.iters.iter().enumerate() {
             if it % 5 == 0 || it + 1 == report.iters.len() {
@@ -108,15 +128,6 @@ fn main() {
         }
         let final_rmse = report.final_rmse();
         println!("{label}: final posterior-mean RMSE = {final_rmse:.4}");
-        if informed {
-            let beta = sampler.user_link_matrix().expect("side info attached");
-            println!(
-                "link matrix beta: {} features -> {} latent dims, ‖β‖_F = {:.3}",
-                beta.rows(),
-                beta.cols(),
-                beta.frobenius_norm()
-            );
-        }
         results.push(final_rmse);
     }
 

@@ -43,8 +43,15 @@ fn main() {
         // identical RMSE trace.
         for o in &outcomes[1..] {
             assert_eq!(
-                o.rmse_mean_trace.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                outcomes[0].rmse_mean_trace.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                o.rmse_mean_trace
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                outcomes[0]
+                    .rmse_mean_trace
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
                 "ranks disagreed on the RMSE trace"
             );
         }

@@ -1,57 +1,84 @@
-//! Movie recommendation on a MovieLens-ml-20m-shaped workload: train BPMF,
-//! then produce top-N recommendations for a user from the posterior sample.
+//! Movie recommendation on a MovieLens-ml-20m-shaped workload: train BPMF
+//! through the unified builder — with predictions clamped to the 0.5–5
+//! star scale via `.rating_bounds(...)` — then produce top-N
+//! recommendations from the fitted `Recommender`.
 //!
 //! Run with: `cargo run --release -p bpmf --example movielens_recommender`
 
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{Bpmf, NoCallback, TrainData, Trainer};
 use bpmf_dataset::movielens_like;
 
 fn main() {
     let ds = movielens_like(0.01, 99);
     println!("MovieLens-like rating matrix:");
-    println!("  {} users x {} movies, {} ratings on a 0.5-5 star scale", ds.nrows(), ds.ncols(), ds.nnz());
+    println!(
+        "  {} users x {} movies, {} ratings on a 0.5-5 star scale",
+        ds.nrows(),
+        ds.ncols(),
+        ds.nnz()
+    );
     println!("  global mean rating: {:.2}\n", ds.global_mean);
 
-    let cfg = BpmfConfig {
-        num_latent: 16,
-        burnin: 6,
-        samples: 14,
-        seed: 3,
-        ..Default::default()
-    };
-    let iterations = cfg.iterations();
-    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
-    let runner =
-        EngineKind::WorkStealing.build(std::thread::available_parallelism().map_or(2, |n| n.get()));
-    let mut sampler = GibbsSampler::new(cfg, data);
-    let report = sampler.run(runner.as_ref(), iterations);
-    println!("final RMSE: {:.4} (oracle floor {:.4})", report.final_rmse(), ds.oracle_rmse().unwrap());
+    let spec = Bpmf::builder()
+        .latent(16)
+        .burnin(6)
+        .samples(14)
+        .seed(3)
+        .threads(std::thread::available_parallelism().map_or(2, |n| n.get()))
+        // Every prediction is clamped into the star scale — no more ad-hoc
+        // clamping at call sites.
+        .rating_bounds(0.5, 5.0)
+        .build()
+        .expect("valid configuration");
+
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+        .expect("well-formed dataset");
+    let runner = spec.runner();
+    let mut trainer = spec.gibbs_trainer();
+    let report = trainer
+        .fit(&data, runner.as_ref(), &mut NoCallback)
+        .expect("training succeeds");
+    println!(
+        "final RMSE: {:.4} (oracle floor {:.4})",
+        report.final_rmse(),
+        ds.oracle_rmse().unwrap()
+    );
+
+    let rec = trainer.recommender().expect("fitted model");
 
     // Recommend for the most active user: unseen movies, ranked by
-    // predicted rating (clamped to the star scale).
-    let user = (0..ds.nrows()).max_by_key(|&u| ds.train.row_nnz(u)).unwrap();
+    // predicted rating (already clamped to the star scale by the model).
+    let user = (0..ds.nrows())
+        .max_by_key(|&u| ds.train.row_nnz(u))
+        .unwrap();
     let (seen, _) = ds.train.row(user);
     let seen: std::collections::HashSet<u32> = seen.iter().copied().collect();
-    println!("\nuser {user} has rated {} movies; scoring the {} unseen ones...", seen.len(), ds.ncols() - seen.len());
+    println!(
+        "\nuser {user} has rated {} movies; scoring the {} unseen ones...",
+        seen.len(),
+        ds.ncols() - seen.len()
+    );
 
     let mut recs: Vec<(usize, f64)> = (0..ds.ncols())
         .filter(|m| !seen.contains(&(*m as u32)))
-        .map(|m| (m, sampler.predict_one(user, m).clamp(0.5, 5.0)))
+        .map(|m| (m, rec.predict(user, m)))
         .collect();
     recs.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("top-10 recommendations for user {user}:");
     for (rank, (movie, stars)) in recs.iter().take(10).enumerate() {
-        println!("  {:2}. movie {movie:5}  predicted {stars:.2} stars", rank + 1);
+        println!(
+            "  {:2}. movie {movie:5}  predicted {stars:.2} stars",
+            rank + 1
+        );
     }
 
     // Ranking quality over all users with relevant (>= 4 star) held-out
     // ratings: the deployment metric behind the paper's "suggestions for
     // movies on Netflix" motivation.
     for k in [5usize, 10, 20] {
-        let report = bpmf_baselines::evaluate_ranking(&ds.train, &ds.test, k, 4.0, |u, m| {
-            sampler.predict_posterior_mean(u, m).unwrap_or_else(|| sampler.predict_one(u, m))
-        });
+        let report =
+            bpmf_baselines::evaluate_ranking(&ds.train, &ds.test, k, 4.0, |u, m| rec.predict(u, m));
         println!(
             "top-{k:2}: precision {:.3}  recall {:.3}  NDCG {:.3}  hit-rate {:.3}  ({} users)",
             report.precision, report.recall, report.ndcg, report.hit_rate, report.users_evaluated

@@ -1,9 +1,10 @@
-//! Quickstart: train BPMF on a small synthetic workload and watch RMSE
-//! converge toward the planted noise floor.
+//! Quickstart: train BPMF through the unified `Bpmf::builder()` API on a
+//! small synthetic workload and watch RMSE converge toward the planted
+//! noise floor, streamed live through an `IterCallback`.
 //!
 //! Run with: `cargo run --release -p bpmf --example quickstart`
 
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{Bpmf, EngineKind, FitControl, Recommender, TrainData, Trainer};
 use bpmf_dataset::SyntheticConfig;
 
 fn main() {
@@ -35,30 +36,50 @@ fn main() {
     );
     println!("oracle RMSE floor: {:.4}\n", dataset.oracle_rmse().unwrap());
 
-    let cfg = BpmfConfig {
-        num_latent: 16,
-        burnin: 8,
-        samples: 20,
-        seed: 7,
-        ..Default::default()
-    };
-    let iterations = cfg.iterations();
-    let data = TrainData::new(&dataset.train, &dataset.train_t, dataset.global_mean, &dataset.test);
-    let runner = EngineKind::WorkStealing.build(
-        std::thread::available_parallelism().map_or(2, |n| n.get()),
-    );
+    // One fluent, validated configuration instead of a bare config struct.
+    let spec = Bpmf::builder()
+        .latent(16)
+        .burnin(8)
+        .samples(20)
+        .seed(7)
+        .engine(EngineKind::WorkStealing)
+        .threads(std::thread::available_parallelism().map_or(2, |n| n.get()))
+        .build()
+        .expect("valid configuration");
 
-    let mut sampler = GibbsSampler::new(cfg, data);
+    let data = TrainData::try_new(
+        &dataset.train,
+        &dataset.train_t,
+        dataset.global_mean,
+        &dataset.test,
+    )
+    .expect("well-formed training data");
+    let runner = spec.runner();
+    let mut trainer = spec.gibbs_trainer();
+
+    // Stream every Gibbs iteration as it happens.
     println!("iter  sample-RMSE  posterior-mean-RMSE  items/s");
-    for _ in 0..iterations {
-        let s = sampler.step(runner.as_ref());
+    let mut on_iter = |s: &bpmf::IterStats| {
         println!(
             "{:4}  {:11.4}  {:19.4}  {:9.0}",
             s.iter, s.rmse_sample, s.rmse_mean, s.items_per_sec
         );
-    }
+        FitControl::Continue
+    };
+    let report = trainer
+        .fit(&data, runner.as_ref(), &mut on_iter)
+        .expect("training succeeds");
+    println!(
+        "\ntrained in {:.2}s — final posterior-mean RMSE {:.4}",
+        report.total_seconds,
+        report.final_rmse()
+    );
 
-    // Predict one unseen pair from the final sample.
+    // Predict one unseen pair from the fitted model.
+    let model = trainer.model().expect("model available after fit");
     let (u, m) = (3usize, 14usize);
-    println!("\npredicted rating for (user {u}, movie {m}): {:.3}", sampler.predict_one(u, m));
+    println!(
+        "predicted rating for (user {u}, movie {m}): {:.3}",
+        model.predict(u, m)
+    );
 }

@@ -2,15 +2,16 @@
 //! introduction credits BPMF with over ALS/SGD ("BPMF easily incorporates
 //! confidence intervals").
 //!
-//! Trains on a planted workload, then reports per-prediction posterior
-//! standard deviations and checks their empirical calibration: roughly 95%
-//! of held-out ratings should fall inside mean ± 2·(predictive std), where
-//! the predictive std combines the posterior spread with the observation
-//! noise.
+//! Trains through the unified API, then queries per-prediction posterior
+//! standard deviations via `Recommender::predict_with_uncertainty` — which
+//! works for ANY (user, movie) pair, not just held-out test points — and
+//! checks empirical calibration: roughly 95% of held-out ratings should
+//! fall inside mean ± 2·(predictive std), where the predictive std
+//! combines the posterior spread with the observation noise.
 //!
 //! Run with: `cargo run --release -p bpmf --example uncertainty`
 
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{Bpmf, NoCallback, TrainData, Trainer};
 use bpmf_dataset::SyntheticConfig;
 
 fn main() {
@@ -39,21 +40,40 @@ fn main() {
         ds.test.len()
     );
 
-    let cfg = BpmfConfig { num_latent: 16, burnin: 8, samples: 30, seed: 5, ..Default::default() };
-    let iterations = cfg.iterations();
-    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
-    let runner = EngineKind::WorkStealing
-        .build(std::thread::available_parallelism().map_or(2, |n| n.get()));
-    let mut sampler = GibbsSampler::new(cfg, data);
-    let report = sampler.run(runner.as_ref(), iterations);
+    let spec = Bpmf::builder()
+        .latent(16)
+        .burnin(8)
+        .samples(30)
+        .seed(5)
+        .threads(std::thread::available_parallelism().map_or(2, |n| n.get()))
+        .build()
+        .expect("valid configuration");
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test)
+        .expect("well-formed dataset");
+    let runner = spec.runner();
+    let mut trainer = spec.gibbs_trainer();
+    let report = trainer
+        .fit(&data, runner.as_ref(), &mut NoCallback)
+        .expect("training succeeds");
     println!("trained: posterior-mean RMSE {:.4}\n", report.final_rmse());
 
-    let summaries = sampler.test_prediction_summaries();
+    let rec = trainer.recommender().expect("fitted model");
+    let summaries: Vec<_> = ds
+        .test
+        .iter()
+        .map(|&(i, j, _)| {
+            rec.predict_with_uncertainty(i as usize, j as usize)
+                .expect("posterior model provides uncertainty")
+        })
+        .collect();
 
     // A few concrete predictions with their uncertainty.
     println!("sample predictions (mean ± posterior std, true rating):");
     for (s, &(i, j, r)) in summaries.iter().zip(ds.test.iter()).take(8) {
-        println!("  user {i:4} movie {j:4}:  {:+.3} ± {:.3}   (true {:+.3})", s.mean, s.std, r);
+        println!(
+            "  user {i:4} movie {j:4}:  {:+.3} ± {:.3}   (true {:+.3})",
+            s.mean, s.std, r
+        );
     }
 
     // Calibration: predictive variance = posterior variance + noise
@@ -66,7 +86,10 @@ fn main() {
         }
     }
     let frac = covered as f64 / summaries.len() as f64;
-    println!("\nempirical 2σ coverage: {:.1}% (Gaussian target ≈ 95%)", frac * 100.0);
+    println!(
+        "\nempirical 2σ coverage: {:.1}% (Gaussian target ≈ 95%)",
+        frac * 100.0
+    );
 
     // Sparse items should be more uncertain than well-observed ones.
     let mut by_count: Vec<(usize, f64)> = summaries
@@ -78,11 +101,24 @@ fn main() {
     let quarter = by_count.len() / 4;
     let sparse_mean: f64 =
         by_count[..quarter].iter().map(|&(_, s)| s).sum::<f64>() / quarter as f64;
-    let dense_mean: f64 =
-        by_count[by_count.len() - quarter..].iter().map(|&(_, s)| s).sum::<f64>() / quarter as f64;
+    let dense_mean: f64 = by_count[by_count.len() - quarter..]
+        .iter()
+        .map(|&(_, s)| s)
+        .sum::<f64>()
+        / quarter as f64;
     println!(
         "mean posterior std: {:.3} for the least-observed users vs {:.3} for the most-observed",
         sparse_mean, dense_mean
     );
     println!("(uncertainty correctly concentrates on sparsely observed items)");
+
+    // Uncertainty is available for pairs never rated and never held out —
+    // something the per-test-point summaries of the raw sampler can't do.
+    let s = rec.predict_with_uncertainty(0, ds.ncols() - 1).unwrap();
+    println!(
+        "\narbitrary-pair query (user 0, movie {}): {:+.3} ± {:.3}",
+        ds.ncols() - 1,
+        s.mean,
+        s.std
+    );
 }

@@ -56,8 +56,14 @@ fn resume_continues_the_exact_chain() {
         );
     }
     // And the final factor states agree exactly.
-    assert_eq!(resumed.user_factors().max_abs_diff(full.user_factors()), 0.0);
-    assert_eq!(resumed.movie_factors().max_abs_diff(full.movie_factors()), 0.0);
+    assert_eq!(
+        resumed.user_factors().max_abs_diff(full.user_factors()),
+        0.0
+    );
+    assert_eq!(
+        resumed.movie_factors().max_abs_diff(full.movie_factors()),
+        0.0
+    );
 }
 
 #[test]
@@ -112,7 +118,10 @@ fn resume_rejects_wrong_latent_dimension() {
     let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
     let sampler = GibbsSampler::new(cfg(), data);
     let ckpt = sampler.checkpoint();
-    let wrong = BpmfConfig { num_latent: 12, ..cfg() };
+    let wrong = BpmfConfig {
+        num_latent: 12,
+        ..cfg()
+    };
     let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
     let _ = GibbsSampler::resume(wrong, data, &ckpt);
 }

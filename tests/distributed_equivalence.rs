@@ -35,9 +35,19 @@ fn distributed_matches_shared_memory_quality() {
         sampler.run(runner.as_ref(), iterations).final_rmse()
     };
 
-    let dist_cfg = DistConfig { base: cfg(5), ..Default::default() };
+    let dist_cfg = DistConfig {
+        base: cfg(5),
+        ..Default::default()
+    };
     let dist = Universe::run(3, None, |comm| {
-        run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &dist_cfg)
+        run_rank(
+            comm,
+            &ds.train,
+            &ds.train_t,
+            ds.global_mean,
+            &ds.test,
+            &dist_cfg,
+        )
     });
     let dist_rmse = dist[0].final_rmse();
 
@@ -52,15 +62,28 @@ fn rank_count_does_not_change_quality() {
     let ds = dataset();
     let mut finals = Vec::new();
     for ranks in [1usize, 2, 4] {
-        let dist_cfg = DistConfig { base: cfg(6), ..Default::default() };
+        let dist_cfg = DistConfig {
+            base: cfg(6),
+            ..Default::default()
+        };
         let out = Universe::run(ranks, None, |comm| {
-            run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &dist_cfg)
+            run_rank(
+                comm,
+                &ds.train,
+                &ds.train_t,
+                ds.global_mean,
+                &ds.test,
+                &dist_cfg,
+            )
         });
         finals.push(out[0].final_rmse());
     }
     let min = finals.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    assert!(max - min < 0.12 * max, "rank count changed accuracy: {finals:?}");
+    assert!(
+        max - min < 0.12 * max,
+        "rank count changed accuracy: {finals:?}"
+    );
 }
 
 #[test]
@@ -69,15 +92,40 @@ fn network_delays_do_not_change_results() {
     // — delay changes *when* items arrive, never *what* arrives (the
     // per-source quota protocol guarantees alignment).
     let ds = dataset();
-    let dist_cfg = DistConfig { base: cfg(7), ..Default::default() };
+    let dist_cfg = DistConfig {
+        base: cfg(7),
+        ..Default::default()
+    };
     let fast = Universe::run(2, None, |comm| {
-        run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &dist_cfg)
+        run_rank(
+            comm,
+            &ds.train,
+            &ds.train_t,
+            ds.global_mean,
+            &ds.test,
+            &dist_cfg,
+        )
     });
     let slow = Universe::run(2, Some(NetModel::test_cluster()), |comm| {
-        run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &dist_cfg)
+        run_rank(
+            comm,
+            &ds.train,
+            &ds.train_t,
+            ds.global_mean,
+            &ds.test,
+            &dist_cfg,
+        )
     });
-    let fast_bits: Vec<u64> = fast[0].rmse_mean_trace.iter().map(|v| v.to_bits()).collect();
-    let slow_bits: Vec<u64> = slow[0].rmse_mean_trace.iter().map(|v| v.to_bits()).collect();
+    let fast_bits: Vec<u64> = fast[0]
+        .rmse_mean_trace
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let slow_bits: Vec<u64> = slow[0]
+        .rmse_mean_trace
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
     assert_eq!(fast_bits, slow_bits, "network timing leaked into results");
 }
 
@@ -92,9 +140,22 @@ fn buffer_size_does_not_change_results() {
             ..Default::default()
         };
         let out = Universe::run(2, None, |comm| {
-            run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &dist_cfg)
+            run_rank(
+                comm,
+                &ds.train,
+                &ds.train_t,
+                ds.global_mean,
+                &ds.test,
+                &dist_cfg,
+            )
         });
-        traces.push(out[0].rmse_mean_trace.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        traces.push(
+            out[0]
+                .rmse_mean_trace
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
     }
     assert_eq!(traces[0], traces[1], "send-buffer size leaked into results");
 }
@@ -103,9 +164,20 @@ fn buffer_size_does_not_change_results() {
 fn comm_volume_shrinks_with_rcm_reordering() {
     let ds = dataset();
     let volume = |reorder: bool| {
-        let dist_cfg = DistConfig { base: cfg(9), reorder, ..Default::default() };
+        let dist_cfg = DistConfig {
+            base: cfg(9),
+            reorder,
+            ..Default::default()
+        };
         let out = Universe::run(4, None, |comm| {
-            run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &dist_cfg)
+            run_rank(
+                comm,
+                &ds.train,
+                &ds.train_t,
+                ds.global_mean,
+                &ds.test,
+                &dist_cfg,
+            )
         });
         out[0].comm_volume_items
     };

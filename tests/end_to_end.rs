@@ -76,7 +76,12 @@ fn matrix_market_roundtrip_feeds_the_sampler() {
 
     let loaded = Dataset::from_train_test("reloaded", reloaded, ds.test.clone());
     let cfg = small_cfg(3);
-    let data = TrainData::new(&loaded.train, &loaded.train_t, loaded.global_mean, &loaded.test);
+    let data = TrainData::new(
+        &loaded.train,
+        &loaded.train_t,
+        loaded.global_mean,
+        &loaded.test,
+    );
     let runner = EngineKind::WorkStealing.build(2);
     let mut sampler = GibbsSampler::new(cfg, data);
     let stats = sampler.step(runner.as_ref());
@@ -92,7 +97,9 @@ fn predictions_are_usable_for_ranking() {
     let runner = EngineKind::WorkStealing.build(2);
     let mut sampler = GibbsSampler::new(cfg, data);
     sampler.run(runner.as_ref(), iterations);
-    let preds: Vec<f64> = (0..ds.ncols().min(50)).map(|m| sampler.predict_one(0, m)).collect();
+    let preds: Vec<f64> = (0..ds.ncols().min(50))
+        .map(|m| sampler.predict_one(0, m))
+        .collect();
     assert!(preds.iter().all(|p| p.is_finite()));
     // Not all identical — the model actually differentiates items.
     let spread = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max)

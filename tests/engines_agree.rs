@@ -38,7 +38,10 @@ fn all_engines_reach_equivalent_rmse() {
     // All engines sample the same posterior: final posterior-mean RMSEs must
     // agree within Monte-Carlo noise.
     let min = finals.iter().map(|(_, r)| *r).fold(f64::INFINITY, f64::min);
-    let max = finals.iter().map(|(_, r)| *r).fold(f64::NEG_INFINITY, f64::max);
+    let max = finals
+        .iter()
+        .map(|(_, r)| *r)
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(
         max - min < 0.1 * max.max(1e-9),
         "engine RMSEs diverged: {finals:?}"
@@ -94,7 +97,14 @@ fn gelman_rubin_confirms_engines_sample_one_distribution() {
         let runner = kind.build(2);
         let mut sampler = GibbsSampler::new(cfg, data);
         let report = sampler.run(runner.as_ref(), iterations);
-        chains.push(report.iters.iter().skip(burnin).map(|s| s.rmse_sample).collect());
+        chains.push(
+            report
+                .iters
+                .iter()
+                .skip(burnin)
+                .map(|s| s.rmse_sample)
+                .collect(),
+        );
     }
     let views: Vec<&[f64]> = chains.iter().map(|c| c.as_slice()).collect();
     let rhat = bpmf::diagnostics::gelman_rubin(&views);

@@ -66,13 +66,29 @@ fn cold_start_workload(seed: u64) -> ColdStart {
         let (_, _, vals) = train.raw_parts();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
-    ColdStart { train, train_t, test, features, global_mean }
+    ColdStart {
+        train,
+        train_t,
+        test,
+        features,
+        global_mean,
+    }
 }
 
 fn run(workload: &ColdStart, side_info: bool) -> f64 {
-    let cfg = BpmfConfig { num_latent: 4, burnin: 8, samples: 25, seed: 7, ..Default::default() };
-    let data =
-        TrainData::new(&workload.train, &workload.train_t, workload.global_mean, &workload.test);
+    let cfg = BpmfConfig {
+        num_latent: 4,
+        burnin: 8,
+        samples: 25,
+        seed: 7,
+        ..Default::default()
+    };
+    let data = TrainData::new(
+        &workload.train,
+        &workload.train_t,
+        workload.global_mean,
+        &workload.test,
+    );
     let runner = EngineKind::WorkStealing.build(2);
     let mut sampler = GibbsSampler::new(cfg.clone(), data);
     if side_info {
@@ -99,15 +115,28 @@ fn side_information_beats_plain_bpmf_on_cold_start() {
     // the planted factors put test ratings around 3 ± ~1, so the global-mean
     // predictor sits near sd(u·v) ≈ 1. The informed model must do much
     // better than that.
-    assert!(informed < 0.7, "informed RMSE should approach the noise floor, got {informed:.4}");
+    assert!(
+        informed < 0.7,
+        "informed RMSE should approach the noise floor, got {informed:.4}"
+    );
 }
 
 #[test]
 fn link_matrix_is_sampled_and_finite() {
     let workload = cold_start_workload(99);
-    let cfg = BpmfConfig { num_latent: 4, burnin: 2, samples: 3, seed: 1, ..Default::default() };
-    let data =
-        TrainData::new(&workload.train, &workload.train_t, workload.global_mean, &workload.test);
+    let cfg = BpmfConfig {
+        num_latent: 4,
+        burnin: 2,
+        samples: 3,
+        seed: 1,
+        ..Default::default()
+    };
+    let data = TrainData::new(
+        &workload.train,
+        &workload.train_t,
+        workload.global_mean,
+        &workload.test,
+    );
     let runner = EngineKind::Static.build(1);
     let mut sampler = GibbsSampler::new(cfg, data);
     sampler.attach_user_side_info(FeatureSideInfo::new(workload.features.clone(), 4, 1.0));
@@ -127,9 +156,16 @@ fn link_matrix_is_sampled_and_finite() {
 #[should_panic(expected = "one feature row per user")]
 fn wrong_feature_row_count_is_rejected() {
     let workload = cold_start_workload(3);
-    let cfg = BpmfConfig { num_latent: 4, ..Default::default() };
-    let data =
-        TrainData::new(&workload.train, &workload.train_t, workload.global_mean, &workload.test);
+    let cfg = BpmfConfig {
+        num_latent: 4,
+        ..Default::default()
+    };
+    let data = TrainData::new(
+        &workload.train,
+        &workload.train_t,
+        workload.global_mean,
+        &workload.test,
+    );
     let mut sampler = GibbsSampler::new(cfg, data);
     sampler.attach_user_side_info(FeatureSideInfo::new(Mat::zeros(3, 2), 4, 1.0));
 }

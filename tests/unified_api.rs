@@ -1,0 +1,207 @@
+//! Integration tests of the unified Recommender API: one builder, one
+//! trait, one report across Gibbs/ALS/SGD, exercised from outside the
+//! crates exactly as the CLI and examples use it.
+
+use bpmf::{
+    Algorithm, Bpmf, BpmfError, EngineKind, FitControl, IterStats, NoCallback, TrainData, Trainer,
+};
+use bpmf_baselines::make_trainer;
+use bpmf_dataset::{chembl_like, movielens_like};
+
+fn spec(algorithm: Algorithm, seed: u64) -> Bpmf {
+    Bpmf::builder()
+        .algorithm(algorithm)
+        .latent(8)
+        .burnin(4)
+        .samples(8)
+        .sweeps(8)
+        .epochs(10)
+        .seed(seed)
+        .engine(EngineKind::Static)
+        .threads(2)
+        .kernel_threads(1)
+        .build()
+        .expect("valid spec")
+}
+
+#[test]
+fn builder_rejects_bad_configs_with_the_right_variants() {
+    assert!(matches!(
+        Bpmf::builder().latent(0).build(),
+        Err(BpmfError::InvalidLatentDim(0))
+    ));
+    assert!(matches!(
+        Bpmf::builder().alpha(f64::NAN).build(),
+        Err(BpmfError::InvalidAlpha(_))
+    ));
+    assert!(matches!(
+        Bpmf::builder().kernel_threads(0).build(),
+        Err(BpmfError::InvalidThreads(0))
+    ));
+    assert!(matches!(
+        Bpmf::builder().rating_bounds(2.0, 2.0).build(),
+        Err(BpmfError::InvalidRatingBounds { .. })
+    ));
+    assert!(matches!(
+        Bpmf::builder().lambda(f64::INFINITY).build(),
+        Err(BpmfError::InvalidLambda(_))
+    ));
+    assert!(matches!(
+        Bpmf::builder().learning_rate(-0.1).build(),
+        Err(BpmfError::InvalidLearningRate(_))
+    ));
+}
+
+#[test]
+fn try_new_train_data_returns_typed_errors() {
+    let ds = chembl_like(0.002, 3);
+    // Non-transpose second matrix.
+    let err = TrainData::try_new(&ds.train, &ds.train, ds.global_mean, &ds.test).unwrap_err();
+    assert!(matches!(err, BpmfError::NotTranspose { .. }));
+    // Out-of-range test point.
+    let bad_test = vec![(u32::MAX, 0u32, 1.0)];
+    let err = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &bad_test).unwrap_err();
+    assert!(matches!(
+        err,
+        BpmfError::TestPointOutOfRange { index: 0, .. }
+    ));
+}
+
+#[test]
+fn every_algorithm_trains_to_finite_rmse_through_one_code_path() {
+    let ds = chembl_like(0.004, 9);
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test).unwrap();
+    for algorithm in Algorithm::all() {
+        let s = spec(algorithm, 11);
+        let runner = s.runner();
+        let mut trainer = make_trainer(&s);
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap();
+        assert_eq!(report.algorithm, algorithm.to_string());
+        assert!(
+            report.final_rmse().is_finite(),
+            "{algorithm}: non-finite RMSE"
+        );
+        assert!(report.total_seconds >= 0.0);
+        // The fitted model serves predictions and batch predictions.
+        let rec = trainer.recommender().expect("model after fit");
+        let preds = rec.predict_batch(&[(0, 0), (1, 1)]);
+        assert!(preds.iter().all(|p| p.is_finite()), "{algorithm}");
+        assert!(rec.rmse(&ds.test).is_finite(), "{algorithm}");
+        // Every model exposes its factor matrices for export.
+        let (u, v) = rec.factors().expect("factors available");
+        assert_eq!(u.rows(), ds.nrows());
+        assert_eq!(v.rows(), ds.ncols());
+    }
+}
+
+#[test]
+fn fit_is_deterministic_per_seed_through_the_trait() {
+    let ds = chembl_like(0.003, 4);
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test).unwrap();
+    for algorithm in Algorithm::all() {
+        let run = |seed: u64| {
+            let s = spec(algorithm, seed);
+            let runner = s.runner();
+            let mut trainer = make_trainer(&s);
+            trainer
+                .fit(&data, runner.as_ref(), &mut NoCallback)
+                .unwrap()
+                .final_rmse()
+        };
+        assert_eq!(
+            run(21).to_bits(),
+            run(21).to_bits(),
+            "{algorithm}: same seed must reproduce bit-identically"
+        );
+    }
+}
+
+#[test]
+fn iter_callback_streams_stats_and_early_stops_all_algorithms() {
+    let ds = chembl_like(0.003, 6);
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test).unwrap();
+    for algorithm in Algorithm::all() {
+        let s = spec(algorithm, 2);
+        let runner = s.runner();
+        let mut trainer = make_trainer(&s);
+        let stop_at = 3usize;
+        let mut seen: Vec<usize> = Vec::new();
+        let mut cb = |stats: &IterStats| {
+            seen.push(stats.iter);
+            if seen.len() >= stop_at {
+                FitControl::Stop
+            } else {
+                FitControl::Continue
+            }
+        };
+        let report = trainer.fit(&data, runner.as_ref(), &mut cb).unwrap();
+        assert_eq!(seen.len(), stop_at, "{algorithm}: callback count");
+        assert_eq!(report.iters.len(), stop_at, "{algorithm}: report length");
+        assert!(report.early_stopped, "{algorithm}");
+        // Even an early-stopped trainer leaves a usable model behind.
+        assert!(trainer.recommender().is_some(), "{algorithm}");
+    }
+}
+
+#[test]
+fn rating_bounds_clamp_and_do_not_hurt_rmse_on_a_bounded_scale() {
+    // MovieLens-like data lives on a 0.5–5 star scale; clamping predictions
+    // into the scale is standard practice and must not make RMSE worse.
+    let ds = movielens_like(0.004, 31);
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test).unwrap();
+    let run = |bounds: Option<(f64, f64)>| {
+        let mut builder = Bpmf::builder()
+            .latent(8)
+            .burnin(4)
+            .samples(8)
+            .seed(13)
+            .engine(EngineKind::Static)
+            .threads(2)
+            .kernel_threads(1);
+        if let Some((lo, hi)) = bounds {
+            builder = builder.rating_bounds(lo, hi);
+        }
+        let s = builder.build().unwrap();
+        let runner = s.runner();
+        let mut trainer = s.gibbs_trainer();
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap();
+        let rec_rmse = trainer.recommender().unwrap().rmse(&ds.test);
+        (report.final_rmse(), rec_rmse)
+    };
+    let (unclamped, _) = run(None);
+    let (clamped, clamped_rec) = run(Some((0.5, 5.0)));
+    assert!(
+        clamped <= unclamped + 1e-9,
+        "clamping to the rating scale must not hurt: {unclamped} -> {clamped}"
+    );
+    assert!(clamped_rec.is_finite());
+}
+
+#[test]
+fn fit_report_timing_curves_are_comparable_across_algorithms() {
+    let ds = chembl_like(0.003, 15);
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test).unwrap();
+    for algorithm in Algorithm::all() {
+        let s = spec(algorithm, 8);
+        let runner = s.runner();
+        let mut trainer = make_trainer(&s);
+        let report = trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap();
+        for it in &report.iters {
+            assert!(it.sweep_seconds >= 0.0, "{algorithm}");
+            assert!(it.items_per_sec >= 0.0, "{algorithm}");
+            assert!(it.rmse_sample.is_finite(), "{algorithm}");
+        }
+        // Every algorithm's report answers the same summary questions.
+        assert!(
+            report.best_rmse() <= report.iters[0].rmse_sample + 1e-9,
+            "{algorithm}"
+        );
+        assert!(report.mean_items_per_sec() > 0.0, "{algorithm}");
+    }
+}
