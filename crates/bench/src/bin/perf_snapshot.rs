@@ -1,0 +1,223 @@
+//! **Perf snapshot** — machine-readable timing of the Gibbs hot path,
+//! written to `BENCH_gibbs.json` so the performance trajectory is tracked
+//! across PRs.
+//!
+//! Times, on a fixed synthetic dataset and fixed kernel shapes:
+//!
+//! * the three item-update kernels (rank-one / serial Cholesky / parallel
+//!   Cholesky) at representative light/mid/heavy rating counts,
+//! * blocked panel accumulation (gather + `syrk_ld_lower` + `gemv_t_acc`)
+//!   against the naive per-rating accumulation (`syrk_lower` + `axpy` per
+//!   rating) it replaced — the headline blocked-vs-per-rating speedup,
+//! * one full Gibbs sweep through the public sampler,
+//! * the measured rank-one/serial crossover (what `rank_one_max` should be
+//!   on this host).
+//!
+//! Usage: `cargo run --release -p bpmf-bench --bin perf_snapshot`
+//! (`-- --smoke` shrinks every measurement for CI smoke runs; `BPMF_K`
+//! overrides the latent dimension, default 32).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData, UpdateMethod};
+use bpmf_bench::calibrate::{calibrate_rank_one_max, time_item_update};
+use bpmf_dataset::chembl_like;
+use bpmf_linalg::{gemv_t_acc, syrk_ld_lower, vecops, Mat, PANEL_BLOCK};
+use bpmf_stats::{normal, Xoshiro256pp};
+
+#[derive(serde::Serialize)]
+struct AccumulationRow {
+    d: usize,
+    per_rating_ns: f64,
+    blocked_ns: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct KernelRow {
+    method: &'static str,
+    d: usize,
+    update_ns: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Snapshot {
+    k: usize,
+    panel_block: usize,
+    available_parallelism: usize,
+    smoke: bool,
+    /// Blocked panel accumulation vs naive per-rating accumulation of the
+    /// same `(Λ*, b)` build, mid and heavy rating counts.
+    accumulation: Vec<AccumulationRow>,
+    /// Full `update_item` draws per kernel at representative shapes.
+    kernels: Vec<KernelRow>,
+    /// One full Gibbs sweep (users + movies) on the fixed dataset.
+    gibbs_sweep_ms: f64,
+    gibbs_nnz: usize,
+    /// Largest d where rank-one still beats blocked serial Cholesky here.
+    rank_one_crossover: usize,
+}
+
+/// Time `f` averaged over `reps` runs after `warmup` runs.
+fn avg_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..reps.min(3) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// Naive vs blocked accumulation of `Λ* = Λ + α Σ v vᵀ`, `b = Λμ + α Σ w v`.
+fn accumulation_row(k: usize, d: usize, reps: usize) -> AccumulationRow {
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    let other = Mat::from_fn(d, k, |_, _| normal(&mut rng, 0.0, 0.5));
+    let cols: Vec<u32> = (0..d as u32).collect();
+    let vals: Vec<f64> = (0..d).map(|i| 3.0 + (i as f64).sin()).collect();
+    let alpha = 2.0;
+    let mean = 3.0;
+
+    let mut prec = Mat::zeros(k, k);
+    let mut rhs = vec![0.0; k];
+    let per_rating_ns = avg_ns(reps, || {
+        prec.fill(0.0);
+        rhs.fill(0.0);
+        for (&j, &r) in cols.iter().zip(&vals) {
+            let v = other.row(j as usize);
+            prec.syrk_lower(alpha, v);
+            vecops::axpy(alpha * (r - mean), v, &mut rhs);
+        }
+        std::hint::black_box(&prec);
+    });
+
+    let mut panel: Vec<f64> = Vec::with_capacity(PANEL_BLOCK * k);
+    let mut weights: Vec<f64> = Vec::with_capacity(PANEL_BLOCK);
+    let blocked_ns = avg_ns(reps, || {
+        prec.fill(0.0);
+        rhs.fill(0.0);
+        for (cblock, vblock) in cols.chunks(PANEL_BLOCK).zip(vals.chunks(PANEL_BLOCK)) {
+            panel.clear();
+            weights.clear();
+            for (&j, &r) in cblock.iter().zip(vblock) {
+                panel.extend_from_slice(other.row(j as usize));
+                weights.push(alpha * (r - mean));
+            }
+            syrk_ld_lower(&mut prec, alpha, &panel, k);
+            gemv_t_acc(&mut rhs, &panel, &weights);
+        }
+        std::hint::black_box(&prec);
+    });
+
+    AccumulationRow {
+        d,
+        per_rating_ns,
+        blocked_ns,
+        speedup: per_rating_ns / blocked_ns,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let k = bpmf_bench::env_scale("BPMF_K", 32.0) as usize;
+    let scale = if smoke { 10 } else { 1 };
+
+    println!(
+        "perf snapshot (K = {k}{})",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let mid_heavy: &[usize] = if smoke {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 8192]
+    };
+    let accumulation: Vec<AccumulationRow> = mid_heavy
+        .iter()
+        .map(|&d| {
+            let row = accumulation_row(k, d, (200_000 / d).clamp(5, 2000) / scale + 5);
+            println!(
+                "  accumulate d={:>5}: per-rating {:>10.0} ns  blocked {:>10.0} ns  speedup {:.2}x",
+                row.d, row.per_rating_ns, row.blocked_ns, row.speedup
+            );
+            row
+        })
+        .collect();
+
+    let shapes = [
+        ("rank_one", UpdateMethod::RankOne, k / 4),
+        ("chol_serial", UpdateMethod::CholSerial, 512),
+        ("chol_parallel", UpdateMethod::CholParallel, 4096),
+    ];
+    let kernels: Vec<KernelRow> = shapes
+        .iter()
+        .map(|&(name, method, d)| {
+            let d = d.max(1);
+            let reps = (100_000 / d).clamp(5, 500) / scale + 5;
+            let secs = time_item_update(method, k, d, reps, 2);
+            println!("  update_item {name:>13} d={d:>5}: {:>10.0} ns", secs * 1e9);
+            KernelRow {
+                method: name,
+                d,
+                update_ns: secs * 1e9,
+            }
+        })
+        .collect();
+
+    // One full Gibbs sweep (both sides) on a fixed synthetic dataset.
+    let ds = chembl_like(if smoke { 0.001 } else { 0.003 }, 8);
+    let cfg = BpmfConfig {
+        num_latent: k.min(32),
+        seed: 1,
+        kernel_threads: 1,
+        ..Default::default()
+    };
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let runner = EngineKind::WorkStealing.build(1);
+    let mut sampler = GibbsSampler::new(cfg, data);
+    sampler.step(runner.as_ref()); // warm-up sweep
+    let t0 = Instant::now();
+    let sweeps = if smoke { 1 } else { 3 };
+    for _ in 0..sweeps {
+        sampler.step(runner.as_ref());
+    }
+    let gibbs_sweep_ms = t0.elapsed().as_secs_f64() * 1e3 / sweeps as f64;
+    println!("  gibbs sweep ({} nnz): {:.1} ms", ds.nnz(), gibbs_sweep_ms);
+
+    let rank_one_crossover = if smoke { 0 } else { calibrate_rank_one_max(k) };
+    if !smoke {
+        println!("  rank-one/serial crossover: d = {rank_one_crossover}");
+    }
+
+    let snapshot = Snapshot {
+        k,
+        panel_block: PANEL_BLOCK,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        smoke,
+        accumulation,
+        kernels,
+        gibbs_sweep_ms,
+        gibbs_nnz: ds.nnz(),
+        rank_one_crossover,
+    };
+
+    // Full runs write the tracked artifact in the current directory (the
+    // repo root under `cargo run`) so the perf trajectory is version
+    // controlled; smoke runs only mirror to target/bench-results — their
+    // shrunken measurements must not clobber the committed snapshot.
+    if smoke {
+        println!("  [smoke] skipping BENCH_gibbs.json (tracked artifact keeps full-run numbers)");
+    } else {
+        let json = serde_json::to_string_pretty(&snapshot).unwrap();
+        match std::fs::File::create("BENCH_gibbs.json") {
+            Ok(mut f) => {
+                writeln!(f, "{json}").unwrap();
+                println!("  [artifact] BENCH_gibbs.json");
+            }
+            Err(e) => eprintln!("  could not write BENCH_gibbs.json: {e}"),
+        }
+    }
+    bpmf_bench::write_json("BENCH_gibbs", &snapshot);
+}

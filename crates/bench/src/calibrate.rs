@@ -71,6 +71,32 @@ pub fn time_item_update(
     t0.elapsed().as_secs_f64() / reps as f64
 }
 
+/// Measure the light/mid kernel crossover at latent dimension `k`: the
+/// largest rating count at which the rank-one kernel still beats the
+/// blocked serial Cholesky kernel on this host.
+///
+/// This is how the `rank_one_max` default should be picked on new hardware
+/// (`BpmfConfig::rank_one_max` / `Bpmf::builder().rank_one_max(..)`); the
+/// stock default (`K/8`) was measured with this function after the
+/// accumulation moved to blocked panel kernels — blocked accumulation
+/// lowered the crossover from the old `K/2`, since the mid-item kernel got
+/// faster while the rank-one kernel was unchanged.
+pub fn calibrate_rank_one_max(k: usize) -> usize {
+    let mut last_rank_one_win = 0;
+    let mut d = 1usize;
+    while d <= 2 * k.max(8) {
+        let reps = (20_000 / d.max(1)).clamp(20, 2_000);
+        let t_r1 = time_item_update(UpdateMethod::RankOne, k, d, reps, 1);
+        let t_cs = time_item_update(UpdateMethod::CholSerial, k, d, reps, 1);
+        if t_r1 < t_cs {
+            last_rank_one_win = d;
+        }
+        // ~1.5x steps: dense enough near the crossover, cheap on the tail.
+        d = (d * 3).div_ceil(2);
+    }
+    last_rank_one_win
+}
+
 /// Fit the linear workload model on this host and return a [`ComputeModel`]
 /// whose per-unit costs are measured, with the machine-shape constants
 /// (cache size, thread efficiency, message overhead) kept at the BG/Q-era

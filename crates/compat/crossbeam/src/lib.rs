@@ -4,14 +4,26 @@
 //!
 //! Provides the work-stealing deque API surface (`deque::{Injector, Worker,
 //! Stealer, Steal}`) and `utils::CachePadded` that `bpmf-sched` uses. The
-//! implementation favors simplicity over lock-freedom: each deque is a
-//! mutex-guarded `VecDeque`, which preserves the semantics (LIFO owner pops,
-//! FIFO steals, exactly-once delivery) the scheduler's correctness proofs
-//! rely on, at some cost in contention relative to the real crate.
+//! deques are lock-free Chase–Lev deques (Chase & Lev, *Dynamic Circular
+//! Work-Stealing Deque*, with the memory orderings of Lê et al., *Correct
+//! and Efficient Work-Stealing for Weak Memory Models*): the owner pushes
+//! and pops at the bottom without synchronization beyond fences, thieves
+//! race a single CAS on the top index, and the ring buffer grows
+//! geometrically. Retired buffers are kept alive until the deque drops
+//! (bounded by geometric growth: all retired buffers together are smaller
+//! than the final one), which sidesteps epoch-based reclamation while
+//! keeping every steal path lock-free — the property the scheduler needs,
+//! since steals are the contended operation during a sweep.
+//!
+//! The semantics the scheduler's correctness relies on are unchanged from
+//! the earlier mutex-backed stand-in: LIFO owner pops, FIFO steals,
+//! exactly-once delivery.
 
 /// Work-stealing deques.
 pub mod deque {
-    use std::collections::VecDeque;
+    use std::cell::UnsafeCell;
+    use std::mem::{ManuallyDrop, MaybeUninit};
+    use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, Ordering};
     use std::sync::{Arc, Mutex};
 
     /// Result of a steal attempt.
@@ -25,41 +37,228 @@ pub mod deque {
         Retry,
     }
 
-    fn locked<T, R>(m: &Mutex<VecDeque<T>>, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
-        f(&mut m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    /// Power-of-two ring buffer. Slots are `MaybeUninit`: liveness is
+    /// tracked entirely by the `top`/`bottom` indices of the owning deque,
+    /// and dropping a buffer never drops slot contents (the deque's `Drop`
+    /// reads out the live range first).
+    struct RingBuffer<T> {
+        mask: usize,
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    }
+
+    impl<T> RingBuffer<T> {
+        fn alloc(cap: usize) -> *mut RingBuffer<T> {
+            debug_assert!(cap.is_power_of_two());
+            let slots = (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            Box::into_raw(Box::new(RingBuffer {
+                mask: cap - 1,
+                slots,
+            }))
+        }
+
+        fn cap(&self) -> usize {
+            self.mask + 1
+        }
+
+        /// Write `v` into the slot for logical index `i`.
+        ///
+        /// # Safety
+        /// Caller must be the unique owner-end writer and the slot must not
+        /// hold a live value.
+        unsafe fn write(&self, i: isize, v: T) {
+            let slot = self.slots[(i as usize) & self.mask].get();
+            unsafe { slot.write(MaybeUninit::new(v)) };
+        }
+
+        /// Read the slot for logical index `i` by bitwise copy.
+        ///
+        /// # Safety
+        /// The logical index must be inside the live `top..bottom` range at
+        /// some point during the call; the caller must ensure at most one
+        /// reader ultimately *keeps* the value (thieves discard their copy
+        /// when the top CAS fails).
+        unsafe fn read(&self, i: isize) -> T {
+            let slot = self.slots[(i as usize) & self.mask].get();
+            unsafe { (*slot).assume_init_read() }
+        }
+    }
+
+    /// The shared state of one Chase–Lev deque.
+    struct Inner<T> {
+        /// Steal end. Only ever advanced by a successful CAS.
+        top: AtomicIsize,
+        /// Owner end. Written only by the owner side.
+        bottom: AtomicIsize,
+        buffer: AtomicPtr<RingBuffer<T>>,
+        /// Buffers replaced by growth, kept alive until drop so a thief
+        /// holding a stale buffer pointer can still read (and then fail its
+        /// CAS and discard).
+        retired: Mutex<Vec<*mut RingBuffer<T>>>,
+    }
+
+    impl<T> Inner<T> {
+        fn new() -> Self {
+            Inner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(RingBuffer::alloc(32)),
+                retired: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Owner-end push. Caller must guarantee owner exclusivity.
+        unsafe fn push_bottom(&self, task: T) {
+            let b = self.bottom.load(Ordering::Relaxed);
+            let t = self.top.load(Ordering::Acquire);
+            let mut buf = self.buffer.load(Ordering::Relaxed);
+            if b - t >= unsafe { (*buf).cap() } as isize {
+                self.grow(t, b);
+                buf = self.buffer.load(Ordering::Relaxed);
+            }
+            unsafe { (*buf).write(b, task) };
+            // Publish the slot before publishing the new bottom.
+            self.bottom.store(b + 1, Ordering::Release);
+        }
+
+        /// Owner-end pop (LIFO). Caller must guarantee owner exclusivity.
+        unsafe fn pop_bottom(&self) -> Option<T> {
+            let b = self.bottom.load(Ordering::Relaxed) - 1;
+            let buf = self.buffer.load(Ordering::Relaxed);
+            self.bottom.store(b, Ordering::Relaxed);
+            // The SeqCst fence orders this bottom write against the top
+            // read below, pairing with the fence in `steal_top`.
+            fence(Ordering::SeqCst);
+            let t = self.top.load(Ordering::Relaxed);
+            if t <= b {
+                if t == b {
+                    // Single element left: race thieves for it.
+                    let won = self
+                        .top
+                        .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok();
+                    self.bottom.store(b + 1, Ordering::Relaxed);
+                    won.then(|| unsafe { (*buf).read(b) })
+                } else {
+                    Some(unsafe { (*buf).read(b) })
+                }
+            } else {
+                // Already empty; restore bottom.
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                None
+            }
+        }
+
+        /// Thief-end steal (FIFO). Safe to call from any thread.
+        fn steal_top(&self) -> Steal<T> {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return Steal::Empty;
+            }
+            let buf = self.buffer.load(Ordering::Acquire);
+            // Copy the task out *before* the CAS; the copy is kept only if
+            // the CAS wins, otherwise it is discarded without dropping
+            // (another thread owns the value).
+            let task = ManuallyDrop::new(unsafe { (*buf).read(t) });
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(ManuallyDrop::into_inner(task))
+            } else {
+                Steal::Retry
+            }
+        }
+
+        fn is_empty(&self) -> bool {
+            let t = self.top.load(Ordering::Acquire);
+            let b = self.bottom.load(Ordering::Acquire);
+            b <= t
+        }
+
+        /// Double the buffer, moving the live range. Owner-end only.
+        fn grow(&self, t: isize, b: isize) {
+            let old = self.buffer.load(Ordering::Relaxed);
+            let new = RingBuffer::alloc(unsafe { (*old).cap() } * 2);
+            for i in t..b {
+                // Bitwise move; the old buffer's copies are never read
+                // again (top can only advance past them via CASes that now
+                // see the new buffer's range).
+                unsafe { (*new).write(i, (*old).read(i)) };
+            }
+            self.buffer.store(new, Ordering::Release);
+            self.retired
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(old);
+        }
+    }
+
+    impl<T> Drop for Inner<T> {
+        fn drop(&mut self) {
+            let t = *self.top.get_mut();
+            let b = *self.bottom.get_mut();
+            let buf = *self.buffer.get_mut();
+            for i in t..b {
+                drop(unsafe { (*buf).read(i) });
+            }
+            drop(unsafe { Box::from_raw(buf) });
+            for old in self
+                .retired
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .drain(..)
+            {
+                drop(unsafe { Box::from_raw(old) });
+            }
+        }
     }
 
     /// Owner side of a worker deque.
+    ///
+    /// `Worker` is `Send` but deliberately not `Sync`: all bottom-end
+    /// operations assume a single owner thread, which the type system
+    /// enforces by keeping `&Worker` on one thread at a time.
     pub struct Worker<T> {
-        inner: Arc<Mutex<VecDeque<T>>>,
+        inner: Arc<Inner<T>>,
     }
+
+    unsafe impl<T: Send> Send for Worker<T> {}
 
     impl<T> Worker<T> {
         /// New LIFO worker deque (owner pops what it pushed last).
         pub fn new_lifo() -> Self {
             Worker {
-                inner: Arc::new(Mutex::new(VecDeque::new())),
+                inner: Arc::new(Inner::new()),
             }
         }
 
-        /// New FIFO worker deque.
+        /// New FIFO worker deque. The stand-in keeps LIFO owner order
+        /// (thieves always take the opposite, oldest end either way).
         pub fn new_fifo() -> Self {
             Self::new_lifo()
         }
 
         /// Push a task onto the owner end.
         pub fn push(&self, task: T) {
-            locked(&self.inner, |q| q.push_back(task));
+            // SAFETY: `Worker` is !Sync, so this thread is the only owner.
+            unsafe { self.inner.push_bottom(task) }
         }
 
         /// Pop from the owner end (LIFO).
         pub fn pop(&self) -> Option<T> {
-            locked(&self.inner, |q| q.pop_back())
+            // SAFETY: `Worker` is !Sync, so this thread is the only owner.
+            unsafe { self.inner.pop_bottom() }
         }
 
         /// Whether the deque is currently empty.
         pub fn is_empty(&self) -> bool {
-            locked(&self.inner, |q| q.is_empty())
+            self.inner.is_empty()
         }
 
         /// Handle other threads use to steal from this deque.
@@ -73,21 +272,21 @@ pub mod deque {
     /// Thief side of a worker deque. Steals from the opposite end the owner
     /// pops from.
     pub struct Stealer<T> {
-        inner: Arc<Mutex<VecDeque<T>>>,
+        inner: Arc<Inner<T>>,
     }
+
+    unsafe impl<T: Send> Send for Stealer<T> {}
+    unsafe impl<T: Send> Sync for Stealer<T> {}
 
     impl<T> Stealer<T> {
         /// Attempt to steal the oldest task.
         pub fn steal(&self) -> Steal<T> {
-            match locked(&self.inner, |q| q.pop_front()) {
-                Some(t) => Steal::Success(t),
-                None => Steal::Empty,
-            }
+            self.inner.steal_top()
         }
 
         /// Whether the deque is currently empty.
         pub fn is_empty(&self) -> bool {
-            locked(&self.inner, |q| q.is_empty())
+            self.inner.is_empty()
         }
     }
 
@@ -100,54 +299,71 @@ pub mod deque {
     }
 
     /// Global injector queue all workers can push to and steal from.
+    ///
+    /// Implemented as a Chase–Lev deque whose owner end is serialized by a
+    /// spinlock (pushes can come from any thread, unlike a `Worker`'s).
+    /// Steals — the operation workers hammer during a sweep — stay
+    /// lock-free and never touch the spinlock.
     pub struct Injector<T> {
-        inner: Mutex<VecDeque<T>>,
+        inner: Inner<T>,
+        push_lock: AtomicBool,
     }
+
+    unsafe impl<T: Send> Send for Injector<T> {}
+    unsafe impl<T: Send> Sync for Injector<T> {}
 
     impl<T> Injector<T> {
         /// New empty injector.
         pub fn new() -> Self {
             Injector {
-                inner: Mutex::new(VecDeque::new()),
+                inner: Inner::new(),
+                push_lock: AtomicBool::new(false),
             }
         }
 
         /// Push a task.
         pub fn push(&self, task: T) {
-            locked(&self.inner, |q| q.push_back(task));
+            while self
+                .push_lock
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                std::hint::spin_loop();
+            }
+            // SAFETY: the spinlock serializes all owner-end operations.
+            unsafe { self.inner.push_bottom(task) };
+            self.push_lock.store(false, Ordering::Release);
         }
 
-        /// Steal one task, optionally moving a batch into `dest` first so
+        /// Steal one task, moving a small batch into `dest` first so
         /// subsequent owner pops hit the local deque.
         pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-            let mut batch = locked(&self.inner, |q| {
-                let take = (q.len() / 2).clamp(usize::from(!q.is_empty()), 8);
-                q.drain(..take).collect::<Vec<_>>()
-            });
-            if batch.is_empty() {
-                return Steal::Empty;
+            let first = match self.inner.steal_top() {
+                Steal::Success(t) => t,
+                other => return other,
+            };
+            // Move up to half the remainder (capped) into the destination;
+            // any contention just ends the batch early.
+            let b = self.inner.bottom.load(Ordering::Acquire);
+            let t = self.inner.top.load(Ordering::Acquire);
+            let extra = ((b - t).max(0) as usize / 2).min(7);
+            for _ in 0..extra {
+                match self.inner.steal_top() {
+                    Steal::Success(task) => dest.push(task),
+                    Steal::Empty | Steal::Retry => break,
+                }
             }
-            // The drained batch is oldest-first; the caller gets the oldest
-            // (matching real crossbeam's FIFO injector) and the rest land in
-            // its local deque.
-            let popped = batch.remove(0);
-            for t in batch {
-                dest.push(t);
-            }
-            Steal::Success(popped)
+            Steal::Success(first)
         }
 
         /// Steal one task directly.
         pub fn steal(&self) -> Steal<T> {
-            match locked(&self.inner, |q| q.pop_front()) {
-                Some(t) => Steal::Success(t),
-                None => Steal::Empty,
-            }
+            self.inner.steal_top()
         }
 
         /// Whether the injector is currently empty.
         pub fn is_empty(&self) -> bool {
-            locked(&self.inner, |q| q.is_empty())
+            self.inner.is_empty()
         }
     }
 
@@ -199,6 +415,7 @@ pub mod utils {
 #[cfg(test)]
 mod tests {
     use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     #[test]
     fn owner_pops_lifo_thief_steals_fifo() {
@@ -233,6 +450,181 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn buffer_growth_preserves_contents() {
+        // Push far past the initial capacity, interleaving pops, and check
+        // exactly-once delivery through growth.
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        let mut seen = vec![0u32; 10_000];
+        for i in 0..10_000u32 {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Steal::Success(t) = s.steal() {
+                    seen[t as usize] += 1;
+                }
+            }
+        }
+        while let Some(t) = w.pop() {
+            seen[t as usize] += 1;
+        }
+        while let Steal::Success(t) = s.steal() {
+            seen[t as usize] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Chase–Lev stress: one owner interleaving pushes and pops, several
+    /// concurrent thieves. Every task must be delivered exactly once, to
+    /// exactly one side.
+    #[test]
+    fn concurrent_steals_deliver_exactly_once() {
+        const N: usize = 40_000;
+        const THIEVES: usize = 3;
+        let w: Worker<usize> = Worker::new_lifo();
+        let counts: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                let stealer = w.stealer();
+                let counts = &counts;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut idle = 0u32;
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(t) => {
+                                counts[t].fetch_add(1, Ordering::Relaxed);
+                                idle = 0;
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) && stealer.is_empty() {
+                                    return;
+                                }
+                                idle += 1;
+                                if idle.is_multiple_of(64) {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Owner: bursts of pushes with interleaved pops.
+            let mut next = 0usize;
+            while next < N {
+                let burst = (next % 7) + 1;
+                for _ in 0..burst {
+                    if next == N {
+                        break;
+                    }
+                    w.push(next);
+                    next += 1;
+                }
+                if next.is_multiple_of(3) {
+                    if let Some(t) = w.pop() {
+                        counts[t].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(t) = w.pop() {
+                counts[t].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        let bad: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Relaxed) != 1)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(bad.is_empty(), "lost or duplicated tasks: {bad:?}");
+    }
+
+    /// Injector stress: concurrent pushers racing concurrent batch-stealers.
+    #[test]
+    fn injector_concurrent_push_steal_exactly_once() {
+        const PER_PUSHER: usize = 10_000;
+        const PUSHERS: usize = 2;
+        const THIEVES: usize = 2;
+        let inj = Injector::new();
+        let n = PER_PUSHER * PUSHERS;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pushers_done = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for p in 0..PUSHERS {
+                let inj = &inj;
+                let pushers_done = &pushers_done;
+                scope.spawn(move || {
+                    for i in 0..PER_PUSHER {
+                        inj.push(p * PER_PUSHER + i);
+                    }
+                    pushers_done.fetch_add(1, Ordering::Release);
+                });
+            }
+            for _ in 0..THIEVES {
+                let inj = &inj;
+                let counts = &counts;
+                let pushers_done = &pushers_done;
+                scope.spawn(move || {
+                    let local: Worker<usize> = Worker::new_lifo();
+                    loop {
+                        while let Some(t) = local.pop() {
+                            counts[t].fetch_add(1, Ordering::Relaxed);
+                        }
+                        match inj.steal_batch_and_pop(&local) {
+                            Steal::Success(t) => {
+                                counts[t].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if pushers_done.load(Ordering::Acquire) == PUSHERS && inj.is_empty()
+                                {
+                                    // Drain anything batch-moved locally.
+                                    while let Some(t) = local.pop() {
+                                        counts[t].fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    return;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let delivered: usize = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(delivered, n, "lost or duplicated injector tasks");
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dropping_nonempty_deque_drops_tasks() {
+        // Drop-counting tokens make lost (leaked) or double-freed tasks
+        // observable.
+        struct Token<'a>(&'a AtomicUsize);
+        impl Drop for Token<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = AtomicUsize::new(0);
+        {
+            let w = Worker::new_lifo();
+            for _ in 0..10 {
+                w.push(Token(&drops));
+            }
+            let _ = w.pop(); // one popped and dropped here
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 10);
     }
 
     #[test]

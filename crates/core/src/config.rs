@@ -21,8 +21,10 @@ pub struct BpmfConfig {
     /// kernel (the paper's ≈1000).
     pub parallel_threshold: usize,
     /// Ratings count at or below which an item uses the rank-one update
-    /// kernel; `None` selects `K/2` (the measured Fig. 2 crossover scales
-    /// with K).
+    /// kernel; `None` selects `K/8`, the measured crossover against the
+    /// blocked serial kernel (re-measure on new hardware with
+    /// `bpmf_bench::calibrate::calibrate_rank_one_max` or
+    /// `cargo run --release -p bpmf-bench --bin perf_snapshot`).
     pub rank_one_max: Option<usize>,
     /// Threads used *inside* one parallel-kernel item update.
     pub kernel_threads: usize,
@@ -58,9 +60,12 @@ impl BpmfConfig {
         self.burnin + self.samples
     }
 
-    /// Effective rank-one/serial-Cholesky crossover.
+    /// Effective rank-one/serial-Cholesky crossover. The `K/8` default was
+    /// measured with the blocked panel kernels (the old `K/2` predates
+    /// them: blocked accumulation made the serial kernel faster while the
+    /// rank-one kernel was unchanged, pushing the crossover down).
     pub fn rank_one_threshold(&self) -> usize {
-        self.rank_one_max.unwrap_or(self.num_latent / 2)
+        self.rank_one_max.unwrap_or((self.num_latent / 8).max(1))
     }
 
     /// Clamp a prediction to the configured rating bounds (identity when
@@ -112,7 +117,7 @@ mod tests {
         let cfg = BpmfConfig::default();
         cfg.validate();
         assert_eq!(cfg.iterations(), cfg.burnin + cfg.samples);
-        assert_eq!(cfg.rank_one_threshold(), cfg.num_latent / 2);
+        assert_eq!(cfg.rank_one_threshold(), (cfg.num_latent / 8).max(1));
     }
 
     #[test]

@@ -4,25 +4,53 @@
 //!
 //! ```text
 //! Λ* = Λ + α Σ_j v_j v_jᵀ          (precision)
-//! b  = Λμ + α Σ_j r_j v_j          (information vector)
+//! b  = Λμ + α Σ_j (r_j − m) v_j    (information vector)
 //! item ~ N(Λ*⁻¹ b, Λ*⁻¹)
 //! ```
 //!
-//! and they differ only in how the Cholesky factor of `Λ*` is obtained:
+//! and they differ in how the sums are accumulated and how the Cholesky
+//! factor of `Λ*` is obtained:
 //!
 //! * **rank-one** — start from `chol(Λ)` and fold each rating in with a
 //!   rank-one Cholesky update: `O(d·K²)` with no final `O(K³)` factorization;
-//!   cheapest for items with few ratings.
-//! * **serial Cholesky** — accumulate `Λ*` with SYRK, factor once serially:
-//!   the workhorse for mid-sized items.
-//! * **parallel Cholesky** — split the accumulation across threads and use
-//!   the blocked parallel factorization: pays thread coordination, wins only
-//!   for the heavy items (the paper routes items with ≳1000 ratings here,
-//!   which also breaks those items into stealable sub-tasks).
+//!   cheapest for items with few ratings (the light-item path — it never
+//!   materializes `Λ*`, so it keeps the per-rating formulation).
+//! * **serial Cholesky** — the mid-item workhorse. Counterpart rows are
+//!   *gathered* into a contiguous `d × K` panel, [`bpmf_linalg::PANEL_BLOCK`]
+//!   rows at a time, and folded in as one rank-d update
+//!   ([`bpmf_linalg::syrk_ld_lower`]) plus one fused transposed
+//!   panel-vector product ([`bpmf_linalg::gemv_t_acc`]) — BLAS-3-style
+//!   blocked accumulation (after Vander Aa et al.'s D-BPMF), which streams
+//!   the `K × K` accumulator once per panel instead of once per rating and
+//!   keeps independent FMA chains in flight. One serial factorization at
+//!   the end.
+//! * **parallel Cholesky** — the same panel accumulation split into chunks
+//!   executed on the persistent [`bpmf_linalg::kernel_pool`] (no OS threads
+//!   are spawned per item: the pool's workers are parked between heavy
+//!   items), then the blocked parallel factorization. Wins only for the
+//!   heavy items — the paper routes items with ≳1000 ratings here.
+//!
+//! # Choosing the thresholds on new hardware
+//!
+//! `rank_one_max` (the light/mid crossover) and `parallel_threshold` (the
+//! mid/heavy crossover) are machine-dependent. The defaults (`K/8`, 1000)
+//! were measured with the blocked kernels via the calibration harness; to
+//! re-pick them on new hardware run
+//!
+//! ```text
+//! cargo run --release -p bpmf-bench --bin perf_snapshot
+//! ```
+//!
+//! and read the reported `rank_one_crossover` (set `rank_one_max` there) and
+//! the per-method timings at large `d` (raise `parallel_threshold` until
+//! CholParallel actually beats CholSerial at that rating count — on few-core
+//! hosts it may never, in which case leave it at `usize::MAX`-ish values).
+//! `bpmf_bench::calibrate::calibrate_rank_one_max` does the same search
+//! programmatically.
 
 use bpmf_linalg::{
-    cholesky_in_place, cholesky_in_place_parallel, solve_lower, solve_lower_transpose, vecops,
-    Cholesky, Mat,
+    cholesky_in_place, cholesky_in_place_parallel, gemv_t_acc, kernel_pool, solve_lower,
+    solve_lower_transpose, syrk_ld_lower, vecops, Cholesky, Mat, PANEL_BLOCK,
 };
 use bpmf_stats::{fill_standard_normal, Xoshiro256pp};
 
@@ -55,13 +83,41 @@ pub fn choose_method(
     }
 }
 
-/// Reusable per-worker buffers: one item update allocates nothing.
+/// Reusable per-worker buffers: one item update allocates nothing (the
+/// gather panel and the parallel path's partial accumulators grow on first
+/// use and are reused across items and sweeps).
 #[derive(Clone, Debug)]
 pub struct UpdateScratch {
     prec: Mat,
     rhs: Vec<f64>,
     noise: Vec<f64>,
     vec_k: Vec<f64>,
+    /// Gather buffer: up to `PANEL_BLOCK` counterpart rows, contiguous.
+    panel: Vec<f64>,
+    /// One weight `α (r − m)` per gathered row.
+    weights: Vec<f64>,
+    /// Per-chunk accumulators for the parallel path.
+    partials: Vec<Partial>,
+}
+
+/// One parallel chunk's private accumulation state.
+#[derive(Clone, Debug)]
+struct Partial {
+    prec: Mat,
+    rhs: Vec<f64>,
+    panel: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl Partial {
+    fn new(k: usize) -> Self {
+        Partial {
+            prec: Mat::zeros(k, k),
+            rhs: vec![0.0; k],
+            panel: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
 }
 
 impl UpdateScratch {
@@ -72,6 +128,9 @@ impl UpdateScratch {
             rhs: vec![0.0; k],
             noise: vec![0.0; k],
             vec_k: vec![0.0; k],
+            panel: Vec::new(),
+            weights: Vec::new(),
+            partials: Vec::new(),
         }
     }
 }
@@ -165,6 +224,35 @@ fn seed_rhs(prior: &SidePrior<'_>, offset: Option<&[f64]>, scratch: &mut UpdateS
     }
 }
 
+/// Gather counterpart rows into `panel` (with their weights `α (r − m)` in
+/// `weights`), `PANEL_BLOCK` rows at a time, and fold each panel into
+/// `(prec, rhs)` as one rank-d update plus one fused transposed
+/// panel-vector product.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_panels(
+    prec: &mut Mat,
+    rhs: &mut [f64],
+    alpha: f64,
+    mean_offset: f64,
+    cols: &[u32],
+    vals: &[f64],
+    other: &Mat,
+    panel: &mut Vec<f64>,
+    weights: &mut Vec<f64>,
+) {
+    let k = prec.rows();
+    for (cblock, vblock) in cols.chunks(PANEL_BLOCK).zip(vals.chunks(PANEL_BLOCK)) {
+        panel.clear();
+        weights.clear();
+        for (&j, &r) in cblock.iter().zip(vblock) {
+            panel.extend_from_slice(other.row(j as usize));
+            weights.push(alpha * (r - mean_offset));
+        }
+        syrk_ld_lower(prec, alpha, panel, k);
+        gemv_t_acc(rhs, panel, weights);
+    }
+}
+
 fn accumulate_serial(
     prior: &SidePrior<'_>,
     offset: Option<&[f64]>,
@@ -175,16 +263,38 @@ fn accumulate_serial(
 ) {
     scratch.prec.copy_from(prior.lambda);
     seed_rhs(prior, offset, scratch);
-    for (&j, &r) in cols.iter().zip(vals) {
-        let v = other.row(j as usize);
-        scratch.prec.syrk_lower(prior.alpha, v);
-        vecops::axpy(prior.alpha * (r - prior.mean_offset), v, &mut scratch.rhs);
-    }
+    accumulate_panels(
+        &mut scratch.prec,
+        &mut scratch.rhs,
+        prior.alpha,
+        prior.mean_offset,
+        cols,
+        vals,
+        other,
+        &mut scratch.panel,
+        &mut scratch.weights,
+    );
 }
 
-/// Threaded accumulation: each thread builds a partial `(Λ_t, b_t)` over a
-/// contiguous rating chunk; partials are reduced serially (K² work,
-/// negligible next to the per-rating K² accumulation it parallelizes).
+/// Hands out disjoint `partials` entries to kernel-pool chunks by index.
+struct PartialsWriter {
+    ptr: *mut Partial,
+}
+
+// SAFETY: the kernel pool delivers each chunk index exactly once, and chunk
+// `c` touches only `partials[c]`, so concurrent accesses are disjoint.
+unsafe impl Sync for PartialsWriter {}
+
+/// Chunked accumulation on the persistent kernel pool: each chunk gathers
+/// its contiguous rating range into a private panel and builds a partial
+/// `(Λ_c, b_c)`; partials are reduced serially (K² work, negligible next to
+/// the per-rating K² accumulation it parallelizes). No OS threads are
+/// spawned here — the pool's workers are parked between heavy items.
+///
+/// The pool runs one job at a time, so heavy items hitting this path from
+/// *different* scheduler workers simultaneously serialize their
+/// accumulations (each still spanning all cores) instead of
+/// oversubscribing the machine — see `KernelPool::run` for the trade-off.
 fn accumulate_parallel(
     prior: &SidePrior<'_>,
     offset: Option<&[f64]>,
@@ -200,35 +310,48 @@ fn accumulate_parallel(
         accumulate_serial(prior, offset, cols, vals, other, scratch);
         return;
     }
-    let chunk = cols.len().div_ceil(threads);
-    let partials: Vec<(Mat, Vec<f64>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = cols
-            .chunks(chunk)
-            .zip(vals.chunks(chunk))
-            .map(|(cchunk, vchunk)| {
-                scope.spawn(move || {
-                    let mut prec = Mat::zeros(k, k);
-                    let mut rhs = vec![0.0; k];
-                    for (&j, &r) in cchunk.iter().zip(vchunk) {
-                        let v = other.row(j as usize);
-                        prec.syrk_lower(prior.alpha, v);
-                        vecops::axpy(prior.alpha * (r - prior.mean_offset), v, &mut rhs);
-                    }
-                    (prec, rhs)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("accumulation thread panicked"))
-            .collect()
-    });
-
     scratch.prec.copy_from(prior.lambda);
     seed_rhs(prior, offset, scratch);
-    for (prec, rhs) in &partials {
-        scratch.prec.add_assign_scaled(prec, 1.0);
-        vecops::axpy(1.0, rhs, &mut scratch.rhs);
+    if scratch.partials.len() < threads {
+        scratch.partials.resize_with(threads, || Partial::new(k));
+    }
+    let partials = &mut scratch.partials[..threads];
+    for p in partials.iter_mut() {
+        debug_assert_eq!(p.prec.rows(), k, "scratch reused across dimensions");
+        p.prec.fill(0.0);
+        p.rhs.fill(0.0);
+    }
+    let chunk = cols.len().div_ceil(threads);
+    let alpha = prior.alpha;
+    let mean_offset = prior.mean_offset;
+    let writer = PartialsWriter {
+        ptr: partials.as_mut_ptr(),
+    };
+    // Captured whole (`&writer`), not by field: disjoint closure capture
+    // would otherwise grab the bare `*mut`, which is not `Sync`.
+    let writer = &writer;
+    kernel_pool().run(threads, &|c| {
+        // SAFETY: chunk indices are delivered exactly once (see
+        // `PartialsWriter`), so this partial is unaliased.
+        let p = unsafe { &mut *writer.ptr.add(c) };
+        let lo = (c * chunk).min(cols.len());
+        let hi = (lo + chunk).min(cols.len());
+        accumulate_panels(
+            &mut p.prec,
+            &mut p.rhs,
+            alpha,
+            mean_offset,
+            &cols[lo..hi],
+            &vals[lo..hi],
+            other,
+            &mut p.panel,
+            &mut p.weights,
+        );
+    });
+
+    for p in partials.iter() {
+        scratch.prec.add_assign_scaled(&p.prec, 1.0);
+        vecops::axpy(1.0, &p.rhs, &mut scratch.rhs);
     }
 }
 

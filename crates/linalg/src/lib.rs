@@ -14,6 +14,11 @@
 //!   for items with very many ratings (paper, Fig. 2),
 //! * rank-one Cholesky update/downdate ([`chol_update`], [`chol_downdate`])
 //!   used by the cheap per-rating update kernel,
+//! * blocked panel kernels ([`syrk_ld_lower`], [`gemv_t_acc`]) that fold a
+//!   gathered `d × K` panel of counterpart rows into the item precision and
+//!   information vector as one rank-d update (the mid/heavy item hot path),
+//! * a persistent fork-join pool ([`kernel_pool`]) for intra-item
+//!   parallelism without per-item thread spawns,
 //! * triangular solves and the vector helpers ([`vecops`]) the sampler's hot
 //!   loops use.
 //!
@@ -43,7 +48,9 @@ mod cholupdate;
 mod error;
 mod mat;
 mod matwriter;
+mod panel;
 mod par;
+mod pool;
 mod tri;
 pub mod vecops;
 
@@ -54,5 +61,7 @@ pub use cholupdate::{chol_downdate, chol_update};
 pub use error::LinalgError;
 pub use mat::Mat;
 pub use matwriter::MatWriter;
+pub use panel::{gemv_t_acc, syrk_ld_lower, PANEL_BLOCK};
 pub use par::par_row_chunks;
+pub use pool::{kernel_pool, KernelPool};
 pub use tri::{solve_lower, solve_lower_transpose};

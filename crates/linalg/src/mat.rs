@@ -164,10 +164,41 @@ impl Mat {
     }
 
     /// Matrix-vector product written into `y` (no allocation).
+    ///
+    /// Four rows are processed per pass so `x` is streamed once for four
+    /// independent dot-product chains (the same unrolling discipline as
+    /// `vecops::dot`, applied across rows).
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output mismatch");
-        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+        let c = self.cols;
+        if c == 0 {
+            y.fill(0.0);
+            return;
+        }
+        let mut rows = self.data.chunks_exact(4 * c);
+        let mut outs = y.chunks_exact_mut(4);
+        for (quad, yq) in rows.by_ref().zip(outs.by_ref()) {
+            let (r0, rest) = quad.split_at(c);
+            let (r1, rest) = rest.split_at(c);
+            let (r2, r3) = rest.split_at(c);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+            for ((((&xj, a), b), e), f) in x.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+                s0 += xj * a;
+                s1 += xj * b;
+                s2 += xj * e;
+                s3 += xj * f;
+            }
+            yq[0] = s0;
+            yq[1] = s1;
+            yq[2] = s2;
+            yq[3] = s3;
+        }
+        for (yi, row) in outs
+            .into_remainder()
+            .iter_mut()
+            .zip(rows.remainder().chunks_exact(c))
+        {
             *yi = vecops::dot(row, x);
         }
     }

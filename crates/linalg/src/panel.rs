@@ -1,0 +1,246 @@
+//! Blocked panel kernels for the item-update hot path.
+//!
+//! The Gibbs item update builds `Λ* = Λ + α Σ_j v_j v_jᵀ` and
+//! `b = Λμ + α Σ_j (r_j − m) v_j` from the counterpart rows `v_j` of an
+//! item's ratings. Folding ratings in one at a time (d rank-1 `syrk_lower`
+//! calls + d `axpy` calls) touches the whole `K × K` accumulator once per
+//! rating and gives the CPU a single dependent accumulation chain per
+//! element. The D-BPMF implementation (Vander Aa et al.) instead gathers the
+//! counterpart rows into a contiguous row-major `d × K` *panel* and performs
+//! one rank-d update — BLAS-3 shape, so the panel is streamed once per
+//! output tile and the accumulator element is computed with independent FMA
+//! chains held in registers.
+//!
+//! Two kernels live here:
+//!
+//! * [`syrk_ld_lower`] — `C[lower] += α · PᵀP` for a row-major `d × K`
+//!   panel `P`: 2×2 register tiles over the output, two independent FMA
+//!   chains down the panel, cache-blocked over `d` so the streamed panel
+//!   block stays L1/L2-resident across output tiles.
+//! * [`gemv_t_acc`] — `y += Pᵀ w`: the information-vector accumulation,
+//!   processing four panel rows per pass so each output element gets four
+//!   independent products per iteration.
+//!
+//! Both kernels are exact re-associations of the per-rating loop; the
+//! property tests in `tests/panel_properties.rs` pin them to the naive
+//! reference within 1e-12 across shapes (including `d = 0, 1` and sizes
+//! that are not multiples of any block).
+
+use crate::mat::Mat;
+
+/// Row count of one cache block of the panel. `PANEL_BLOCK · K` doubles are
+/// streamed per output tile pass; at `K = 128` a 64-row block is 64 KiB —
+/// L2-resident, and re-read once per 2-column output tile.
+pub const PANEL_BLOCK: usize = 64;
+
+/// Symmetric rank-`d` accumulation on the **lower** triangle from a
+/// row-major panel: `c[lower] += alpha * panelᵀ · panel`.
+///
+/// `panel` holds `d = panel.len() / k` rows of length `k`, where `k` must
+/// equal the order of `c`. Only the lower triangle of `c` is written (the
+/// Cholesky kernels read only the lower triangle). `d = 0` is a no-op.
+///
+/// Panics if `c` is not square, `k` does not match its order, or
+/// `panel.len()` is not a multiple of `k`.
+pub fn syrk_ld_lower(c: &mut Mat, alpha: f64, panel: &[f64], k: usize) {
+    let n = c.rows();
+    assert_eq!(n, c.cols(), "syrk_ld_lower requires a square matrix");
+    assert_eq!(n, k, "syrk_ld_lower panel width must match matrix order");
+    if k == 0 {
+        return;
+    }
+    assert_eq!(
+        panel.len() % k,
+        0,
+        "syrk_ld_lower panel length must be a multiple of k"
+    );
+    // Cache-block over the panel rows: every output tile re-reads the
+    // current block, so keep it small enough to stay resident.
+    for block in panel.chunks(PANEL_BLOCK * k) {
+        syrk_block(c, alpha, block, k);
+    }
+}
+
+/// One cache block of the rank-d update: 2×2 register tiles over the lower
+/// triangle of `c`, two independent accumulation chains down the block.
+fn syrk_block(c: &mut Mat, alpha: f64, p: &[f64], k: usize) {
+    let k_even = k & !1;
+    let mut i = 0;
+    while i < k_even {
+        let mut j = 0;
+        while j <= i {
+            // Tile rows {i, i+1} × cols {j, j+1}. Two chains (even/odd
+            // panel rows) per element keep eight FMAs in flight.
+            let (mut a00, mut a01, mut a10, mut a11) = (0.0f64, 0.0, 0.0, 0.0);
+            let (mut b00, mut b01, mut b10, mut b11) = (0.0f64, 0.0, 0.0, 0.0);
+            let mut rows = p.chunks_exact(2 * k);
+            for pair in rows.by_ref() {
+                let (r0, r1) = pair.split_at(k);
+                let (x0, x1, y0, y1) = (r0[i], r0[i + 1], r0[j], r0[j + 1]);
+                a00 += x0 * y0;
+                a01 += x0 * y1;
+                a10 += x1 * y0;
+                a11 += x1 * y1;
+                let (x0, x1, y0, y1) = (r1[i], r1[i + 1], r1[j], r1[j + 1]);
+                b00 += x0 * y0;
+                b01 += x0 * y1;
+                b10 += x1 * y0;
+                b11 += x1 * y1;
+            }
+            let r0 = rows.remainder();
+            if !r0.is_empty() {
+                let (x0, x1, y0, y1) = (r0[i], r0[i + 1], r0[j], r0[j + 1]);
+                a00 += x0 * y0;
+                a01 += x0 * y1;
+                a10 += x1 * y0;
+                a11 += x1 * y1;
+            }
+            c[(i, j)] += alpha * (a00 + b00);
+            c[(i + 1, j)] += alpha * (a10 + b10);
+            c[(i + 1, j + 1)] += alpha * (a11 + b11);
+            if j < i {
+                // On the diagonal tile (j == i) this element is strictly
+                // upper-triangular; everywhere else it belongs to row i.
+                c[(i, j + 1)] += alpha * (a01 + b01);
+            }
+            j += 2;
+        }
+        i += 2;
+    }
+    if k_even < k {
+        // Odd k: the last row of C, computed as plain dots down the block.
+        let i = k - 1;
+        for j in 0..=i {
+            let mut s0 = 0.0f64;
+            let mut s1 = 0.0f64;
+            let mut rows = p.chunks_exact(2 * k);
+            for pair in rows.by_ref() {
+                let (r0, r1) = pair.split_at(k);
+                s0 += r0[i] * r0[j];
+                s1 += r1[i] * r1[j];
+            }
+            let rem = rows.remainder();
+            if !rem.is_empty() {
+                s0 += rem[i] * rem[j];
+            }
+            c[(i, j)] += alpha * (s0 + s1);
+        }
+    }
+}
+
+/// Fused transposed panel–vector accumulation: `y += panelᵀ · w`.
+///
+/// `panel` is row-major with rows of length `y.len()`; `w` has one weight
+/// per panel row. This is the information-vector update `b += Σ_l w_l v_l`
+/// done four rows per pass, so each element of `y` receives four
+/// independent products per iteration instead of one dependent `axpy`
+/// chain per rating.
+///
+/// Panics if `panel.len() != w.len() * y.len()`.
+pub fn gemv_t_acc(y: &mut [f64], panel: &[f64], w: &[f64]) {
+    let k = y.len();
+    assert_eq!(
+        panel.len(),
+        w.len() * k,
+        "gemv_t_acc panel/weight shape mismatch"
+    );
+    if k == 0 {
+        return;
+    }
+    let mut rows = panel.chunks_exact(4 * k);
+    let mut weights = w.chunks_exact(4);
+    for (quad, wq) in rows.by_ref().zip(weights.by_ref()) {
+        let (r0, rest) = quad.split_at(k);
+        let (r1, rest) = rest.split_at(k);
+        let (r2, r3) = rest.split_at(k);
+        let (w0, w1, w2, w3) = (wq[0], wq[1], wq[2], wq[3]);
+        for ((((yi, a), b), c), d) in y.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+            *yi += (w0 * a + w1 * b) + (w2 * c + w3 * d);
+        }
+    }
+    for (row, &wl) in rows.remainder().chunks_exact(k).zip(weights.remainder()) {
+        for (yi, &v) in y.iter_mut().zip(row) {
+            *yi += wl * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_syrk(c: &mut Mat, alpha: f64, panel: &[f64], k: usize) {
+        for row in panel.chunks_exact(k) {
+            c.syrk_lower(alpha, row);
+        }
+    }
+
+    fn panel_of(d: usize, k: usize, seed: u64) -> Vec<f64> {
+        (0..d * k)
+            .map(|i| {
+                let h = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15 ^ seed);
+                ((h >> 12) as f64 / (1u64 << 52) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_syrk_matches_per_rating_reference() {
+        for &k in &[1usize, 2, 3, 4, 7, 8, 16, 17] {
+            for &d in &[0usize, 1, 2, 3, 5, 63, 64, 65, 130, 200] {
+                let p = panel_of(d, k, 11);
+                let mut blocked = Mat::zeros(k, k);
+                syrk_ld_lower(&mut blocked, 1.7, &p, k);
+                let mut naive = Mat::zeros(k, k);
+                naive_syrk(&mut naive, 1.7, &p, k);
+                assert!(
+                    blocked.max_abs_diff(&naive) < 1e-12,
+                    "k={k} d={d}: {:?}",
+                    blocked.max_abs_diff(&naive)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_syrk_leaves_upper_triangle_untouched() {
+        let k = 6;
+        let p = panel_of(10, k, 3);
+        let mut c = Mat::from_fn(k, k, |i, j| if j > i { 99.0 } else { 0.0 });
+        syrk_ld_lower(&mut c, 2.0, &p, k);
+        for i in 0..k {
+            for j in i + 1..k {
+                assert_eq!(c[(i, j)], 99.0, "upper ({i},{j}) was written");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_t_matches_axpy_loop() {
+        for &k in &[1usize, 3, 8, 16, 17] {
+            for &d in &[0usize, 1, 2, 3, 4, 5, 8, 63, 100] {
+                let p = panel_of(d, k, 77);
+                let w: Vec<f64> = (0..d).map(|i| (i as f64 * 0.3).cos()).collect();
+                let mut fused = vec![0.5; k];
+                gemv_t_acc(&mut fused, &p, &w);
+                let mut naive = vec![0.5; k];
+                for (row, &wl) in p.chunks_exact(k).zip(&w) {
+                    crate::vecops::axpy(wl, row, &mut naive);
+                }
+                for (a, b) in fused.iter().zip(&naive) {
+                    assert!((a - b).abs() < 1e-12, "k={k} d={d}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_are_noops() {
+        let mut c = Mat::identity(4);
+        syrk_ld_lower(&mut c, 3.0, &[], 4);
+        assert_eq!(c, Mat::identity(4));
+        let mut y = vec![1.0; 4];
+        gemv_t_acc(&mut y, &[], &[]);
+        assert_eq!(y, vec![1.0; 4]);
+    }
+}

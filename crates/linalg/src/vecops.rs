@@ -33,8 +33,20 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
+    // Same four-chain unroll as `dot`: the explicit 4-element chunks erase
+    // the bounds checks and give LLVM four independent FMA lanes per
+    // iteration instead of one serial load-fma-store chain.
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let xi = &x[i * 4..i * 4 + 4];
+        let yi = &mut y[i * 4..i * 4 + 4];
+        yi[0] += a * xi[0];
+        yi[1] += a * xi[1];
+        yi[2] += a * xi[2];
+        yi[3] += a * xi[3];
+    }
+    for i in chunks * 4..x.len() {
+        y[i] += a * x[i];
     }
 }
 

@@ -1,0 +1,87 @@
+//! Property-based agreement between the blocked panel kernels and the
+//! naive per-rating reference.
+//!
+//! The blocked kernels are pure re-associations of the per-rating loops, so
+//! they must agree to near machine precision (1e-12) for every shape —
+//! including the degenerate `d = 0` and `d = 1` panels, single-column
+//! matrices, and row counts that are not a multiple of any internal block
+//! or unroll factor.
+
+use bpmf_linalg::{gemv_t_acc, syrk_ld_lower, vecops, Mat, PANEL_BLOCK};
+use proptest::prelude::*;
+
+/// A random `(k, d, panel, weights)` tuple. `d` deliberately straddles the
+/// cache block: 0, 1, tiny, just-below/above `PANEL_BLOCK`, and several
+/// blocks plus an odd remainder.
+fn panel_case() -> impl Strategy<Value = (usize, Vec<f64>, Vec<f64>)> {
+    (1usize..=17, 0usize..=(3 * PANEL_BLOCK + 5)).prop_flat_map(|(k, d)| {
+        (
+            Just(k),
+            proptest::collection::vec(-2.0f64..2.0, k * d),
+            proptest::collection::vec(-3.0f64..3.0, d),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn blocked_syrk_matches_per_rating((k, panel, _w) in panel_case()) {
+        let mut blocked = Mat::from_fn(k, k, |i, j| ((i * 31 + j) as f64).sin());
+        let mut naive = blocked.clone();
+        syrk_ld_lower(&mut blocked, 1.3, &panel, k);
+        for row in panel.chunks_exact(k) {
+            naive.syrk_lower(1.3, row);
+        }
+        prop_assert!(
+            blocked.max_abs_diff(&naive) < 1e-12,
+            "k={k} d={} diff={}",
+            panel.len() / k,
+            blocked.max_abs_diff(&naive)
+        );
+    }
+
+    #[test]
+    fn fused_gemv_t_matches_per_rating((k, panel, w) in panel_case()) {
+        let mut fused: Vec<f64> = (0..k).map(|i| i as f64 * 0.25 - 1.0).collect();
+        let mut naive = fused.clone();
+        gemv_t_acc(&mut fused, &panel, &w);
+        for (row, &wl) in panel.chunks_exact(k).zip(&w) {
+            vecops::axpy(wl, row, &mut naive);
+        }
+        for (a, b) in fused.iter().zip(&naive) {
+            prop_assert!((a - b).abs() < 1e-12, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unrolled_axpy_matches_scalar((k, _p, w) in panel_case()) {
+        // The 4-chain axpy must be exact (same operations, same order per
+        // element) for any length, including lengths < 4.
+        let x: Vec<f64> = (0..w.len()).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut fast: Vec<f64> = (0..w.len()).map(|i| i as f64).collect();
+        let mut slow = fast.clone();
+        vecops::axpy(1.75, &x, &mut fast);
+        for (yi, xi) in slow.iter_mut().zip(&x) {
+            *yi += 1.75 * xi;
+        }
+        prop_assert_eq!(fast, slow);
+        let _ = k;
+    }
+
+    #[test]
+    fn blocked_matvec_matches_per_row((k, panel, w) in panel_case()) {
+        // `matvec_into`'s four-row blocking against the one-dot-per-row
+        // reference, over non-multiple-of-4 row counts.
+        let d = w.len();
+        let m = Mat::from_row_major(d, k, panel);
+        let x: Vec<f64> = (0..k).map(|i| (i as f64 * 1.3).sin()).collect();
+        let mut blocked = vec![0.0; d];
+        m.matvec_into(&x, &mut blocked);
+        for (i, yi) in blocked.iter().enumerate() {
+            let naive = vecops::dot(m.row(i), &x);
+            prop_assert!((yi - naive).abs() < 1e-12, "row {i}: {yi} vs {naive}");
+        }
+    }
+}

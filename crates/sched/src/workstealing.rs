@@ -411,17 +411,28 @@ mod tests {
 
     #[test]
     fn imbalanced_items_get_stolen() {
-        // One item is 1000× the cost of the rest; with 4 workers the cheap
-        // items must flow to other workers while one grinds the big item.
+        // Item 0 blocks its worker until some *other* worker has executed
+        // an item — i.e. until a steal has observably happened — with a
+        // generous timeout so a broken scheduler still fails rather than
+        // hangs. This is deterministic on any core count (a pure
+        // cost-imbalance version is timing luck on single-core hosts: one
+        // worker can drain every chunk before the others are scheduled).
         let pool = WorkStealingPool::new(4);
         let n = 4096;
-        let stats = pool.run_with_grain(n, 16, |_, i| {
-            let iters = if i == 0 { 200_000 } else { 200 };
-            let mut acc = 0u64;
-            for k in 0..iters {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+        let big_worker = AtomicUsize::new(usize::MAX);
+        let other_ran = AtomicBool::new(false);
+        let stats = pool.run_with_grain(n, 16, |worker, i| {
+            if i == 0 {
+                big_worker.store(worker, Ordering::SeqCst);
+                let t0 = Instant::now();
+                while !other_ran.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(10) {
+                    std::thread::yield_now();
+                }
+            } else if big_worker.load(Ordering::SeqCst) != usize::MAX
+                && worker != big_worker.load(Ordering::SeqCst)
+            {
+                other_ran.store(true, Ordering::SeqCst);
             }
-            std::hint::black_box(acc);
         });
         assert_eq!(stats.total_items(), n as u64);
         // More than one worker must have executed items.
