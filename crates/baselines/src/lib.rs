@@ -53,6 +53,6 @@ mod unified;
 pub use als::{AlsConfig, AlsTrainer};
 pub use metrics::{mae, rmse};
 pub use model::MfModel;
-pub use ranking::{evaluate_ranking, RankingReport};
+pub use ranking::{evaluate_ranking, evaluate_ranking_model, RankingReport};
 pub use sgd::{SgdConfig, SgdTrainer};
 pub use unified::{make_trainer, AlsRecommenderTrainer, SgdRecommenderTrainer};

@@ -10,7 +10,14 @@
 //! ratings, score every item the user has *not* rated in training, take
 //! the top `k`, and compare against the held-out items the user rated at
 //! or above `relevance_threshold`.
+//!
+//! Candidate generation, batched scoring, and top-k selection all go
+//! through [`bpmf::serve::RecommendService`] — offline ranking evaluation
+//! and online serving share one code path, so a metric measured here is a
+//! metric of exactly what production would return.
 
+use bpmf::serve::RecommendService;
+use bpmf::Recommender;
 use bpmf_sparse::Csr;
 
 /// Aggregated ranking quality over all evaluable users.
@@ -46,10 +53,41 @@ pub fn evaluate_ranking(
     test: &[(u32, u32, f64)],
     k: usize,
     relevance_threshold: f64,
-    mut score: impl FnMut(usize, usize) -> f64,
+    score: impl FnMut(usize, usize) -> f64,
+) -> RankingReport {
+    /// A bare scoring function seen through the serving trait. The
+    /// `RefCell` adapts the historical `FnMut` contract (stateful scorers
+    /// are allowed) to `Recommender::predict`'s `&self`; evaluation is
+    /// single-threaded and never re-enters the scorer.
+    struct FnScorer<F>(std::cell::RefCell<F>);
+
+    impl<F: FnMut(usize, usize) -> f64> Recommender for FnScorer<F> {
+        fn predict(&self, user: usize, movie: usize) -> f64 {
+            (self.0.borrow_mut())(user, movie)
+        }
+    }
+
+    evaluate_ranking_model(
+        train,
+        test,
+        k,
+        relevance_threshold,
+        &FnScorer(std::cell::RefCell::new(score)),
+    )
+}
+
+/// [`evaluate_ranking`] for a fitted model: every user's top-k comes from
+/// a [`RecommendService`] (batched scoring, exclude-seen filtering), the
+/// exact machinery online serving uses.
+pub fn evaluate_ranking_model(
+    train: &Csr,
+    test: &[(u32, u32, f64)],
+    k: usize,
+    relevance_threshold: f64,
+    model: &dyn Recommender,
 ) -> RankingReport {
     assert!(k > 0, "top-k needs k >= 1");
-    let ncols = train.ncols();
+    let mut service = RecommendService::new(model, train.ncols()).exclude_seen(train);
 
     // Group the held-out relevant items per user.
     let mut relevant: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
@@ -66,26 +104,17 @@ pub fn evaluate_ranking(
     let mut users = 0usize;
 
     for (&user, rel_items) in &relevant {
-        let u = user as usize;
-        let (seen, _) = train.row(u);
-        let seen: std::collections::HashSet<u32> = seen.iter().copied().collect();
-        // Candidates: everything unseen in training. Held-out items are by
-        // construction unseen, so they compete against the full catalogue.
-        let mut candidates: Vec<(u32, f64)> = (0..ncols as u32)
-            .filter(|m| !seen.contains(m))
-            .map(|m| (m, score(u, m as usize)))
-            .collect();
-        if candidates.is_empty() {
+        // The user's top-k over everything unseen in training (held-out
+        // items are by construction unseen, so they compete against the
+        // full catalogue). Users whose candidate set is empty are skipped
+        // — every metric would be undefined for them.
+        let topk = service.top_n(user as usize, k);
+        if topk.is_empty() {
             continue;
         }
-        let cut = k.min(candidates.len());
-        // Top-k by score (descending), ties broken by item id for
-        // determinism.
-        candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let topk = &candidates[..cut];
 
         let rel: std::collections::HashSet<u32> = rel_items.iter().copied().collect();
-        let hit_count = topk.iter().filter(|(m, _)| rel.contains(m)).count();
+        let hit_count = topk.iter().filter(|r| rel.contains(&r.item)).count();
 
         sum_precision += hit_count as f64 / k as f64;
         sum_recall += hit_count as f64 / rel.len() as f64;
@@ -99,7 +128,7 @@ pub fn evaluate_ranking(
         let dcg: f64 = topk
             .iter()
             .enumerate()
-            .filter(|(_, (m, _))| rel.contains(m))
+            .filter(|(_, r)| rel.contains(&r.item))
             .map(|(rank, _)| 1.0 / ((rank as f64 + 2.0).log2()))
             .sum();
         let ideal: f64 = (0..k.min(rel.len()))

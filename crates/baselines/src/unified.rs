@@ -35,14 +35,41 @@
 use std::time::Instant;
 
 use bpmf::{
-    Algorithm, Bpmf, BpmfError, FitControl, FitReport, IterCallback, IterStats, NoSnapshot,
-    Recommender, TrainData, Trainer,
+    Algorithm, Bpmf, BpmfError, DistributedTrainer, FitControl, FitReport, IterCallback, IterStats,
+    NoSnapshot, Recommender, TrainData, Trainer,
 };
 use bpmf_sched::ItemRunner;
 
 use crate::als::{AlsConfig, AlsTrainer};
 use crate::model::MfModel;
 use crate::sgd::{SgdConfig, SgdTrainer};
+
+/// Shared serving epilogue: turn raw `u · v` dot products into predictions
+/// in place (global mean + biases + clip), exactly as `MfModel::predict`
+/// does per pair. `movie_of` maps a buffer slot to its movie id.
+fn finish_mf_scores(
+    model: &MfModel,
+    user: usize,
+    out: &mut [f64],
+    movie_of: impl Fn(usize) -> usize,
+) {
+    let base = model.global_mean
+        + if model.user_bias.is_empty() {
+            0.0
+        } else {
+            model.user_bias[user]
+        };
+    for (i, s) in out.iter_mut().enumerate() {
+        let mut p = base + *s;
+        if !model.movie_bias.is_empty() {
+            p += model.movie_bias[movie_of(i)];
+        }
+        if let Some((lo, hi)) = model.clip {
+            p = p.clamp(lo, hi);
+        }
+        *s = p;
+    }
+}
 
 impl Recommender for MfModel {
     fn predict(&self, user: usize, movie: usize) -> f64 {
@@ -55,6 +82,23 @@ impl Recommender for MfModel {
 
     fn factors(&self) -> Option<(&bpmf_linalg::Mat, &bpmf_linalg::Mat)> {
         Some((&self.user_factors, &self.movie_factors))
+    }
+
+    /// Whole-catalogue scan as one blocked matrix–vector product, with the
+    /// bias/clamp epilogue applied per item — the serving fast path behind
+    /// `bpmf::serve::RecommendService` and the offline ranking evaluation.
+    fn score_all(&self, user: usize, scores: &mut [f64]) {
+        assert_eq!(scores.len(), self.movie_factors.rows(), "score buffer size");
+        self.movie_factors
+            .matvec_into(self.user_factors.row(user), scores);
+        finish_mf_scores(self, user, scores, |i| i);
+    }
+
+    /// Candidate-set scoring via the gathered four-row kernel.
+    fn score_batch(&self, user: usize, items: &[u32], out: &mut [f64]) {
+        self.movie_factors
+            .gather_matvec_into(items, self.user_factors.row(user), out);
+        finish_mf_scores(self, user, out, |i| items[i] as usize);
     }
 }
 
@@ -273,12 +317,14 @@ impl Trainer for SgdRecommenderTrainer {
 // ---------------------------------------------------------------------------
 
 /// One trainer for any [`Algorithm`]: the dispatch point behind which the
-/// CLI, bench binaries, and examples treat Gibbs, ALS, and SGD uniformly.
+/// CLI, bench binaries, and examples treat Gibbs, ALS, SGD, and the
+/// paper's distributed sampler uniformly.
 pub fn make_trainer(spec: &Bpmf) -> Box<dyn Trainer> {
     match spec.algorithm {
         Algorithm::Gibbs => Box::new(spec.gibbs_trainer()),
         Algorithm::Als => Box::new(AlsRecommenderTrainer::new(spec.clone())),
         Algorithm::Sgd => Box::new(SgdRecommenderTrainer::new(spec.clone())),
+        Algorithm::Distributed => Box::new(DistributedTrainer::new(spec.clone())),
     }
 }
 

@@ -11,7 +11,11 @@
 //!   rating) it replaced — the headline blocked-vs-per-rating speedup,
 //! * one full Gibbs sweep through the public sampler,
 //! * the measured rank-one/serial crossover (what `rank_one_max` should be
-//!   on this host).
+//!   on this host),
+//! * the serving layer (written to `BENCH_serve.json`): batched scoring
+//!   throughput (`Recommender::score_all` / `score_batch`) against the
+//!   per-pair `predict` loop it replaces, and `RecommendService::top_n`
+//!   latency with exclude-seen filtering.
 //!
 //! Usage: `cargo run --release -p bpmf-bench --bin perf_snapshot`
 //! (`-- --smoke` shrinks every measurement for CI smoke runs; `BPMF_K`
@@ -20,10 +24,14 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData, UpdateMethod};
+use bpmf::serve::{RankPolicy, RecommendService};
+use bpmf::{
+    BpmfConfig, EngineKind, GibbsSampler, PosteriorModel, Recommender, TrainData, UpdateMethod,
+};
 use bpmf_bench::calibrate::{calibrate_rank_one_max, time_item_update};
 use bpmf_dataset::chembl_like;
 use bpmf_linalg::{gemv_t_acc, syrk_ld_lower, vecops, Mat, PANEL_BLOCK};
+use bpmf_sparse::{Coo, Csr};
 use bpmf_stats::{normal, Xoshiro256pp};
 
 #[derive(serde::Serialize)]
@@ -57,6 +65,131 @@ struct Snapshot {
     gibbs_nnz: usize,
     /// Largest d where rank-one still beats blocked serial Cholesky here.
     rank_one_crossover: usize,
+}
+
+#[derive(serde::Serialize)]
+struct ServeSnapshot {
+    n_users: usize,
+    n_items: usize,
+    k: usize,
+    smoke: bool,
+    /// Per-pair `Recommender::predict` through the trait object — the
+    /// serving path `score_all` replaces.
+    per_pair_scores_per_sec: f64,
+    /// Whole-catalogue `score_all` (blocked matvec kernel).
+    batch_scores_per_sec: f64,
+    /// `score_batch` over a strided candidate subset (gathered kernel).
+    subset_scores_per_sec: f64,
+    /// Headline: batch vs per-pair throughput (acceptance floor: 2×).
+    batch_vs_per_pair_speedup: f64,
+    /// `RecommendService::top_n(…, 10)` with exclude-seen, mean policy.
+    top10_mean_us: f64,
+    /// Same with UCB (adds a per-candidate uncertainty lookup).
+    top10_ucb_us: f64,
+}
+
+/// Synthetic fitted posterior over a `n_users × n_items` catalogue, plus a
+/// training matrix with ~32 seen items per user for the exclude-seen path.
+fn synthetic_serving_world(n_users: usize, n_items: usize, k: usize) -> (PosteriorModel, Csr) {
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    let u = Mat::from_fn(n_users, k, |_, _| normal(&mut rng, 0.0, 0.4));
+    let v = Mat::from_fn(n_items, k, |_, _| normal(&mut rng, 0.0, 0.4));
+    let u2 = Mat::from_fn(n_users, k, |i, j| {
+        let m = u[(i, j)];
+        m * m + 0.05
+    });
+    let v2 = Mat::from_fn(n_items, k, |i, j| {
+        let m = v[(i, j)];
+        m * m + 0.05
+    });
+    let model = PosteriorModel::from_factors(u, v, Some((u2, v2)), 3.5, Some((0.5, 5.0)), 16);
+    let mut coo = Coo::new(n_users, n_items);
+    for user in 0..n_users {
+        for s in 0..32 {
+            let item = (user * 131 + s * 97) % n_items;
+            coo.push(user, item, 4.0);
+        }
+    }
+    (model, Csr::from_coo_owned(coo))
+}
+
+/// Serving-throughput section: batch kernels vs the per-pair loop, plus
+/// filtered top-N latency through `RecommendService`.
+fn serve_section(smoke: bool, k: usize) -> ServeSnapshot {
+    // Full shape keeps the transposed factor panel (n_items × k doubles)
+    // L2-resident — the scan is compute-bound there; past L2 both the
+    // batch and per-pair paths degrade together into memory streaming.
+    let (n_users, n_items) = if smoke { (256, 1024) } else { (4096, 4096) };
+    let (model, train) = synthetic_serving_world(n_users, n_items, k);
+    let dyn_model: &dyn Recommender = &model;
+    let user_reps = if smoke { 64 } else { 512 };
+
+    // Per-pair: one virtual predict per (user, item). (One warmup user
+    // before each timed section faults the factor pages in.)
+    let mut sink = 0.0;
+    for item in 0..n_items {
+        sink += dyn_model.predict(0, item);
+    }
+    let t0 = Instant::now();
+    for user in 0..user_reps {
+        for item in 0..n_items {
+            sink += dyn_model.predict(user % n_users, item);
+        }
+    }
+    let per_pair = (user_reps * n_items) as f64 / t0.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+
+    // Batch: one score_all per user.
+    let mut scores = vec![0.0; n_items];
+    dyn_model.score_all(0, &mut scores);
+    let t0 = Instant::now();
+    for user in 0..user_reps {
+        dyn_model.score_all(user % n_users, &mut scores);
+        std::hint::black_box(&scores);
+    }
+    let batch = (user_reps * n_items) as f64 / t0.elapsed().as_secs_f64();
+
+    // Subset: gathered kernel over a strided candidate list (a quarter of
+    // the catalogue, deliberately non-contiguous).
+    let candidates: Vec<u32> = (0..n_items as u32).step_by(4).collect();
+    let mut out = vec![0.0; candidates.len()];
+    dyn_model.score_batch(0, &candidates, &mut out);
+    let t0 = Instant::now();
+    for user in 0..user_reps {
+        dyn_model.score_batch(user % n_users, &candidates, &mut out);
+        std::hint::black_box(&out);
+    }
+    let subset = (user_reps * candidates.len()) as f64 / t0.elapsed().as_secs_f64();
+
+    // Top-10 latency with exclude-seen, mean and UCB policies.
+    let mut service = RecommendService::new(dyn_model, n_items).exclude_seen(&train);
+    let t0 = Instant::now();
+    for user in 0..user_reps {
+        std::hint::black_box(service.top_n(user, 10));
+    }
+    let top10_mean_us = t0.elapsed().as_secs_f64() * 1e6 / user_reps as f64;
+
+    let mut service = RecommendService::new(dyn_model, n_items)
+        .exclude_seen(&train)
+        .policy(RankPolicy::Ucb { beta: 1.0 });
+    let t0 = Instant::now();
+    for user in 0..user_reps {
+        std::hint::black_box(service.top_n(user, 10));
+    }
+    let top10_ucb_us = t0.elapsed().as_secs_f64() * 1e6 / user_reps as f64;
+
+    ServeSnapshot {
+        n_users,
+        n_items,
+        k,
+        smoke,
+        per_pair_scores_per_sec: per_pair,
+        batch_scores_per_sec: batch,
+        subset_scores_per_sec: subset,
+        batch_vs_per_pair_speedup: batch / per_pair,
+        top10_mean_us,
+        top10_ucb_us,
+    }
 }
 
 /// Time `f` averaged over `reps` runs after `warmup` runs.
@@ -191,6 +324,22 @@ fn main() {
         println!("  rank-one/serial crossover: d = {rank_one_crossover}");
     }
 
+    // Serving throughput (batch kernels vs per-pair predict, top-N latency).
+    let serve = serve_section(smoke, k.min(32));
+    println!(
+        "  serve {}x{}: per-pair {:.2}M/s  batch {:.2}M/s ({:.2}x)  subset {:.2}M/s",
+        serve.n_users,
+        serve.n_items,
+        serve.per_pair_scores_per_sec / 1e6,
+        serve.batch_scores_per_sec / 1e6,
+        serve.batch_vs_per_pair_speedup,
+        serve.subset_scores_per_sec / 1e6,
+    );
+    println!(
+        "  serve top-10 (exclude-seen): mean {:.0} us  ucb {:.0} us",
+        serve.top10_mean_us, serve.top10_ucb_us
+    );
+
     let snapshot = Snapshot {
         k,
         panel_block: PANEL_BLOCK,
@@ -203,21 +352,35 @@ fn main() {
         rank_one_crossover,
     };
 
-    // Full runs write the tracked artifact in the current directory (the
+    // Full runs write the tracked artifacts in the current directory (the
     // repo root under `cargo run`) so the perf trajectory is version
     // controlled; smoke runs only mirror to target/bench-results — their
-    // shrunken measurements must not clobber the committed snapshot.
+    // shrunken measurements must not clobber the committed snapshots.
     if smoke {
-        println!("  [smoke] skipping BENCH_gibbs.json (tracked artifact keeps full-run numbers)");
+        println!(
+            "  [smoke] skipping BENCH_gibbs.json / BENCH_serve.json \
+             (tracked artifacts keep full-run numbers)"
+        );
     } else {
-        let json = serde_json::to_string_pretty(&snapshot).unwrap();
-        match std::fs::File::create("BENCH_gibbs.json") {
-            Ok(mut f) => {
-                writeln!(f, "{json}").unwrap();
-                println!("  [artifact] BENCH_gibbs.json");
+        for (name, json) in [
+            (
+                "BENCH_gibbs.json",
+                serde_json::to_string_pretty(&snapshot).unwrap(),
+            ),
+            (
+                "BENCH_serve.json",
+                serde_json::to_string_pretty(&serve).unwrap(),
+            ),
+        ] {
+            match std::fs::File::create(name) {
+                Ok(mut f) => {
+                    writeln!(f, "{json}").unwrap();
+                    println!("  [artifact] {name}");
+                }
+                Err(e) => eprintln!("  could not write {name}: {e}"),
             }
-            Err(e) => eprintln!("  could not write BENCH_gibbs.json: {e}"),
         }
     }
     bpmf_bench::write_json("BENCH_gibbs", &snapshot);
+    bpmf_bench::write_json("BENCH_serve", &serve);
 }

@@ -13,16 +13,25 @@ use bpmf_linalg::Mat;
 
 /// Usage text.
 pub const USAGE: &str = "\
-bpmf-train — matrix-factorization trainer (BPMF Gibbs / ALS-WR / SGD)
+bpmf-train — matrix-factorization trainer (BPMF Gibbs / ALS-WR / SGD /
+distributed BPMF) with a posterior-serving mode
 
 USAGE:
   bpmf-train --train FILE.mtx [OPTIONS]
+  bpmf-train recommend --train FILE.mtx [OPTIONS] [RECOMMEND OPTIONS]
+
+The `recommend` subcommand trains exactly as above, then serves top-N
+recommendations through the RecommendService layer:
+  --user N            user to recommend for (repeatable) [default: 0]
+  --top-n N           list length [default 10]
+  --exclude-seen      skip items the user already rated in training
+  --policy NAME       mean | ucb[:beta] | thompson[:seed] [default mean]
 
 OPTIONS:
   --train FILE        MatrixMarket training ratings (required)
   --test FILE         MatrixMarket held-out ratings (same dimensions)
   --test-fraction F   split F of --train off as the test set [default 0.1]
-  --algorithm NAME    gibbs | als | sgd [default gibbs]
+  --algorithm NAME    gibbs | als | sgd | distributed [default gibbs]
   --k N               latent dimension [default 16]
   --burnin N          burn-in iterations (gibbs) [default 8]
   --samples N         averaged sampling iterations (gibbs) [default 24]
@@ -47,9 +56,47 @@ OPTIONS:
   --help              show this text
 ";
 
+/// Which mode the binary runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Command {
+    /// Train and report (the default).
+    #[default]
+    Train,
+    /// Train, then serve top-N recommendations through `RecommendService`.
+    Recommend,
+}
+
+/// Options of the `recommend` subcommand.
+#[derive(Clone, Debug)]
+pub struct RecommendOptions {
+    /// Users to recommend for (empty = user 0).
+    pub users: Vec<usize>,
+    /// Recommendation list length.
+    pub top_n: usize,
+    /// Skip items the user already rated in training.
+    pub exclude_seen: bool,
+    /// Ranking policy (`mean` | `ucb[:beta]` | `thompson[:seed]`).
+    pub policy: String,
+}
+
+impl Default for RecommendOptions {
+    fn default() -> Self {
+        RecommendOptions {
+            users: Vec::new(),
+            top_n: 10,
+            exclude_seen: false,
+            policy: "mean".to_string(),
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Clone, Debug)]
 pub struct Options {
+    /// Selected subcommand.
+    pub command: Command,
+    /// `recommend` subcommand options.
+    pub recommend: RecommendOptions,
     /// Path to the MatrixMarket training ratings.
     pub train: String,
     /// Optional path to a held-out MatrixMarket test set.
@@ -132,6 +179,8 @@ impl From<bpmf::BpmfError> for CliError {
 /// Parse arguments; `Ok(None)` means `--help` was requested.
 pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let mut opts = Options {
+        command: Command::Train,
+        recommend: RecommendOptions::default(),
         train: String::new(),
         test: None,
         test_fraction: 0.1,
@@ -156,6 +205,12 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         resume: None,
         diagnostics: false,
     };
+    let mut args = args;
+    if args.first().map(String::as_str) == Some("recommend") {
+        opts.command = Command::Recommend;
+        args = &args[1..];
+    }
+    let mut recommend_flag: Option<&String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -196,6 +251,29 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     return Err(CliError::new("--lambda-beta must be positive"));
                 }
             }
+            "--user" => {
+                recommend_flag = Some(flag);
+                opts.recommend.users.push(parse_num(flag, value()?)?);
+            }
+            "--top-n" => {
+                recommend_flag = Some(flag);
+                opts.recommend.top_n = parse_num(flag, value()?)?;
+                if opts.recommend.top_n == 0 {
+                    return Err(CliError::new("--top-n must be positive"));
+                }
+            }
+            "--exclude-seen" => {
+                recommend_flag = Some(flag);
+                opts.recommend.exclude_seen = true;
+            }
+            "--policy" => {
+                recommend_flag = Some(flag);
+                opts.recommend.policy = value()?.clone();
+                opts.recommend
+                    .policy
+                    .parse::<bpmf::serve::RankPolicy>()
+                    .map_err(|e| CliError::new(e.to_string()))?;
+            }
             "--checkpoint" => opts.checkpoint = Some(value()?.clone()),
             "--checkpoint-every" => opts.checkpoint_every = Some(parse_num(flag, value()?)?),
             "--resume" => opts.resume = Some(value()?.clone()),
@@ -213,6 +291,13 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                 };
             }
             other => return Err(CliError::new(format!("unknown flag '{other}'"))),
+        }
+    }
+    if opts.command != Command::Recommend {
+        if let Some(flag) = recommend_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `recommend` subcommand"
+            )));
         }
     }
     if opts.train.is_empty() {
@@ -414,6 +499,57 @@ mod tests {
         .unwrap();
         let err = read_features_tsv(path.to_str().unwrap()).unwrap_err();
         assert!(err.to_string().contains("expected 3 columns"));
+    }
+
+    #[test]
+    fn recommend_subcommand_parses() {
+        let opts = parse_args(&argv(
+            "recommend --train a.mtx --algorithm als --user 3 --user 7 --top-n 5 \
+             --exclude-seen --policy ucb:0.5",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.command, Command::Recommend);
+        assert_eq!(opts.recommend.users, vec![3, 7]);
+        assert_eq!(opts.recommend.top_n, 5);
+        assert!(opts.recommend.exclude_seen);
+        assert_eq!(opts.recommend.policy, "ucb:0.5");
+        assert_eq!(opts.algorithm, Algorithm::Als);
+    }
+
+    #[test]
+    fn recommend_defaults_are_sane() {
+        let opts = parse_args(&argv("recommend --train a.mtx"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.command, Command::Recommend);
+        assert!(opts.recommend.users.is_empty());
+        assert_eq!(opts.recommend.top_n, 10);
+        assert!(!opts.recommend.exclude_seen);
+        assert_eq!(opts.recommend.policy, "mean");
+    }
+
+    #[test]
+    fn recommend_flags_require_the_subcommand() {
+        assert!(parse_args(&argv("--train a.mtx --top-n 5")).is_err());
+        assert!(parse_args(&argv("--train a.mtx --exclude-seen")).is_err());
+        assert!(parse_args(&argv("--train a.mtx --policy ucb")).is_err());
+    }
+
+    #[test]
+    fn bad_policy_and_zero_top_n_are_errors() {
+        assert!(parse_args(&argv("recommend --train a.mtx --policy argmax")).is_err());
+        assert!(parse_args(&argv("recommend --train a.mtx --policy ucb:x")).is_err());
+        assert!(parse_args(&argv("recommend --train a.mtx --top-n 0")).is_err());
+    }
+
+    #[test]
+    fn distributed_algorithm_parses() {
+        let opts = parse_args(&argv("--train a.mtx --algorithm distributed --threads 3"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.algorithm, Algorithm::Distributed);
+        assert_eq!(opts.threads, 3);
     }
 
     #[test]

@@ -1,30 +1,38 @@
-//! `bpmf-train` — train a recommender on a MatrixMarket rating matrix.
+//! `bpmf-train` — train (and serve) a recommender on a MatrixMarket
+//! rating matrix.
 //!
-//! One binary, three algorithms: BPMF Gibbs sampling (default), ALS-WR,
-//! and biased SGD, all dispatched through the unified
+//! One binary, four algorithms: BPMF Gibbs sampling (default), ALS-WR,
+//! biased SGD, and the paper's distributed BPMF (`--algorithm
+//! distributed`, ranks = `--threads`), all dispatched through the unified
 //! `Bpmf::builder()` → `Trainer` → `Recommender` facade. Prints
 //! per-iteration RMSE as training streams through an `IterCallback` and
-//! can write the fitted factors for downstream ranking.
+//! can write the fitted factors for downstream ranking. The `recommend`
+//! subcommand additionally serves filtered top-N lists through
+//! `bpmf::serve::RecommendService`.
 //!
 //! ```text
-//! bpmf-train --train ratings.mtx [--test held_out.mtx | --test-fraction 0.1]
-//!            [--algorithm gibbs|als|sgd] [--k 16] [--burnin 8] [--samples 24]
-//!            [--sweeps 20] [--epochs 30] [--lambda X] [--learning-rate X]
-//!            [--min-rating X --max-rating Y] [--threads N]
-//!            [--engine ws|static|graphlab] [--seed 42]
+//! bpmf-train [recommend] --train ratings.mtx
+//!            [--test held_out.mtx | --test-fraction 0.1]
+//!            [--algorithm gibbs|als|sgd|distributed] [--k 16] [--burnin 8]
+//!            [--samples 24] [--sweeps 20] [--epochs 30] [--lambda X]
+//!            [--learning-rate X] [--min-rating X --max-rating Y]
+//!            [--threads N] [--engine ws|static|graphlab] [--seed 42]
 //!            [--save-factors PREFIX]
 //!            [--user-features F.tsv [--lambda-beta 1.0]]
 //!            [--checkpoint C.json [--checkpoint-every N]] [--resume C.json]
 //!            [--diagnostics]
+//!            [--user U]... [--top-n 10] [--exclude-seen]
+//!            [--policy mean|ucb[:beta]|thompson[:seed]]
 //! ```
 
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
 use bpmf::checkpoint::SamplerCheckpoint;
+use bpmf::serve::{RankPolicy, RecommendService};
 use bpmf::{Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats};
 use bpmf_baselines::make_trainer;
-use bpmf_cli::{parse_args, CliError, Options};
+use bpmf_cli::{parse_args, CliError, Command, Options};
 use bpmf_sparse::read_matrix_market;
 
 fn main() -> ExitCode {
@@ -190,7 +198,7 @@ fn run(opts: &Options) -> Result<(), CliError> {
     let runner = spec.runner();
     let mut trainer = make_trainer(&spec);
     let total_iterations = match opts.algorithm {
-        Algorithm::Gibbs => spec.burnin + spec.samples,
+        Algorithm::Gibbs | Algorithm::Distributed => spec.burnin + spec.samples,
         Algorithm::Als => spec.sweeps.unwrap_or(20),
         Algorithm::Sgd => spec.epochs.unwrap_or(30),
     };
@@ -234,7 +242,7 @@ fn run(opts: &Options) -> Result<(), CliError> {
 
     if opts.diagnostics && !trace.is_empty() {
         let burn = match opts.algorithm {
-            Algorithm::Gibbs => opts.burnin.min(trace.len()),
+            Algorithm::Gibbs | Algorithm::Distributed => opts.burnin.min(trace.len()),
             _ => 0,
         };
         let post = &trace[burn..];
@@ -252,6 +260,52 @@ fn run(opts: &Options) -> Result<(), CliError> {
             );
         } else {
             eprintln!("diagnostics: not enough post-burn-in draws (increase --samples)");
+        }
+    }
+
+    if opts.command == Command::Recommend {
+        let rec = trainer
+            .recommender()
+            .ok_or_else(|| CliError::new("training produced no model to recommend from"))?;
+        let policy: RankPolicy = opts.recommend.policy.parse()?;
+        let mut service = RecommendService::new(rec, train.ncols()).policy(policy);
+        if opts.recommend.exclude_seen {
+            service = service.exclude_seen(&train);
+        }
+        let users = if opts.recommend.users.is_empty() {
+            vec![0usize]
+        } else {
+            opts.recommend.users.clone()
+        };
+        // Validate every requested user before printing anything, so a bad
+        // one cannot leave a scripted consumer with partial output.
+        for &user in &users {
+            if user >= train.nrows() {
+                return Err(CliError::new(format!(
+                    "--user {user} is out of range ({} users)",
+                    train.nrows()
+                )));
+            }
+        }
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for &user in &users {
+            writeln!(
+                out,
+                "top-{} for user {user} (policy {}):",
+                opts.recommend.top_n, opts.recommend.policy
+            )
+            .ok();
+            for (rank, r) in service.top_n(user, opts.recommend.top_n).iter().enumerate() {
+                writeln!(
+                    out,
+                    "  {:2}. item {:6}  score {:.4}",
+                    rank + 1,
+                    r.item,
+                    r.score
+                )
+                .ok();
+            }
         }
     }
 

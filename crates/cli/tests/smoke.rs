@@ -60,6 +60,107 @@ fn trains_from_matrix_market_and_writes_factors() {
 }
 
 #[test]
+fn recommend_subcommand_serves_top_n_for_each_policy() {
+    let dir = std::env::temp_dir().join(format!("bpmf_cli_rec_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("ratings.mtx");
+
+    let ds = bpmf_dataset::chembl_like(0.003, 31);
+    let mut buf = Vec::new();
+    bpmf_sparse::write_matrix_market(&mut buf, &ds.train).unwrap();
+    std::fs::write(&mtx, &buf).unwrap();
+
+    for policy in ["mean", "ucb:0.5", "thompson:7"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+            .args([
+                "recommend",
+                "--train",
+                mtx.to_str().unwrap(),
+                "--k",
+                "4",
+                "--burnin",
+                "2",
+                "--samples",
+                "4",
+                "--threads",
+                "1",
+                "--user",
+                "0",
+                "--user",
+                "2",
+                "--top-n",
+                "5",
+                "--exclude-seen",
+                "--policy",
+                policy,
+            ])
+            .output()
+            .expect("binary should run");
+        assert!(
+            output.status.success(),
+            "policy {policy} stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(&format!("top-5 for user 0 (policy {policy})")),
+            "{stdout}"
+        );
+        assert!(stdout.contains("top-5 for user 2"), "{stdout}");
+        // Two users × (1 header + 5 items), after the training trace.
+        let rec_lines = stdout
+            .lines()
+            .skip_while(|l| !l.starts_with("top-5"))
+            .count();
+        assert_eq!(rec_lines, 12, "{stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn distributed_algorithm_trains_from_the_cli() {
+    let dir = std::env::temp_dir().join(format!("bpmf_cli_dist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("ratings.mtx");
+
+    let ds = bpmf_dataset::chembl_like(0.003, 47);
+    let mut buf = Vec::new();
+    bpmf_sparse::write_matrix_market(&mut buf, &ds.train).unwrap();
+    std::fs::write(&mtx, &buf).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args([
+            "--train",
+            mtx.to_str().unwrap(),
+            "--algorithm",
+            "distributed",
+            "--k",
+            "4",
+            "--burnin",
+            "2",
+            "--samples",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("binary should run");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("fitted distributed via distributed"),
+        "{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(stdout.lines().count(), 1 + 5, "header + 5 iters: {stdout}");
+}
+
+#[test]
 fn help_and_error_paths() {
     let help = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
         .arg("--help")

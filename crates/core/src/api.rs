@@ -64,7 +64,9 @@ use crate::sideinfo::FeatureSideInfo;
 // Algorithm selection
 // ---------------------------------------------------------------------------
 
-/// The three factorization algorithms of the paper's introduction.
+/// The three factorization algorithms of the paper's introduction, plus
+/// the paper's own contribution — the distributed Gibbs sampler of §IV —
+/// behind the same dispatch point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Algorithm {
     /// Bayesian PMF via Gibbs sampling (the paper's subject).
@@ -74,12 +76,22 @@ pub enum Algorithm {
     Als,
     /// Biased stochastic gradient descent (ref \[3\]).
     Sgd,
+    /// Distributed BPMF over the message-passing runtime (§IV): the spec's
+    /// `threads` become ranks of a simulated universe, each running
+    /// [`crate::distributed::run_rank`].
+    Distributed,
 }
 
 impl Algorithm {
-    /// All algorithms, in the order the paper introduces them.
-    pub fn all() -> [Algorithm; 3] {
-        [Algorithm::Als, Algorithm::Sgd, Algorithm::Gibbs]
+    /// All algorithms, in the order the paper introduces them (the
+    /// baselines of §I, shared-memory BPMF, then §IV's distributed BPMF).
+    pub fn all() -> [Algorithm; 4] {
+        [
+            Algorithm::Als,
+            Algorithm::Sgd,
+            Algorithm::Gibbs,
+            Algorithm::Distributed,
+        ]
     }
 
     /// Human-readable name used in tables and reports.
@@ -88,6 +100,7 @@ impl Algorithm {
             Algorithm::Gibbs => "BPMF (Gibbs)",
             Algorithm::Als => "ALS-WR",
             Algorithm::Sgd => "SGD",
+            Algorithm::Distributed => "BPMF (distributed)",
         }
     }
 }
@@ -98,6 +111,7 @@ impl fmt::Display for Algorithm {
             Algorithm::Gibbs => "gibbs",
             Algorithm::Als => "als",
             Algorithm::Sgd => "sgd",
+            Algorithm::Distributed => "distributed",
         })
     }
 }
@@ -110,6 +124,7 @@ impl FromStr for Algorithm {
             "gibbs" | "bpmf" => Ok(Algorithm::Gibbs),
             "als" | "als-wr" => Ok(Algorithm::Als),
             "sgd" => Ok(Algorithm::Sgd),
+            "distributed" | "dist" | "mpi" => Ok(Algorithm::Distributed),
             other => Err(BpmfError::UnknownAlgorithm(other.to_string())),
         }
     }
@@ -240,6 +255,59 @@ pub trait Recommender {
         None
     }
 
+    /// Number of items this model can score, when it knows its catalogue
+    /// (serving layers size their score buffers from this).
+    fn num_items(&self) -> Option<usize> {
+        self.factors().map(|(_, v)| v.rows())
+    }
+
+    /// Score `user` against the whole catalogue: `scores[m] = predict(user,
+    /// m)` for every `m` in `0..scores.len()`, written into the caller's
+    /// buffer.
+    ///
+    /// The default loops over [`Recommender::predict`]; factor models
+    /// override it with one blocked matrix–vector product
+    /// ([`bpmf_linalg::Mat::matvec_into`]) — the fast path behind
+    /// [`crate::serve::RecommendService`] and the offline ranking
+    /// evaluation.
+    fn score_all(&self, user: usize, scores: &mut [f64]) {
+        for (m, s) in scores.iter_mut().enumerate() {
+            *s = self.predict(user, m);
+        }
+    }
+
+    /// Score `user` against an arbitrary candidate set: `out[i] =
+    /// predict(user, items[i])`, written into the caller's buffer.
+    ///
+    /// The default loops over [`Recommender::predict`]; factor models
+    /// override it with the gathered four-row kernel
+    /// ([`bpmf_linalg::Mat::gather_matvec_into`]).
+    fn score_batch(&self, user: usize, items: &[u32], out: &mut [f64]) {
+        assert_eq!(items.len(), out.len(), "score_batch buffer mismatch");
+        for (&m, s) in items.iter().zip(out.iter_mut()) {
+            *s = self.predict(user, m as usize);
+        }
+    }
+
+    /// Posterior predictive standard deviations for `user` against the
+    /// whole catalogue, written into `stds` (len = item count). Returns
+    /// `false` — leaving the buffer unspecified — when the model carries
+    /// no posterior.
+    ///
+    /// The batch companion of [`Recommender::predict_with_uncertainty`]
+    /// for uncertainty-aware ranking (UCB/Thompson): the default loops
+    /// per pair and recomputes each mean only to discard it; the Gibbs
+    /// posterior overrides it with one std-only scan.
+    fn uncertainty_all(&self, user: usize, stds: &mut [f64]) -> bool {
+        for (m, s) in stds.iter_mut().enumerate() {
+            match self.predict_with_uncertainty(user, m) {
+                Some(p) => *s = p.std,
+                None => return false,
+            }
+        }
+        true
+    }
+
     /// The underlying `(user, movie)` factor matrices, for models that
     /// expose them (posterior means for Gibbs, point estimates for
     /// ALS/SGD). Powers factor export regardless of algorithm.
@@ -267,6 +335,11 @@ pub struct PosteriorModel {
     global_mean: f64,
     rating_bounds: Option<(f64, f64)>,
     samples: usize,
+    /// Movie factors in transposed (`K × N`) layout, built on the first
+    /// whole-catalogue scan: the lane-parallel layout `score_all` needs to
+    /// vectorize without a floating-point reduction. (`OnceLock` clones
+    /// carry the cached value along.)
+    movie_means_t: std::sync::OnceLock<Mat>,
 }
 
 impl PosteriorModel {
@@ -289,6 +362,38 @@ impl PosteriorModel {
             global_mean: s.global_mean(),
             rating_bounds: s.cfg().rating_bounds,
             samples,
+            movie_means_t: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Assemble a posterior model from already-averaged factors — the path
+    /// the distributed trainer takes after gathering per-rank posterior
+    /// means, also handy for serving factors loaded from disk.
+    ///
+    /// `samples` is the number of post-burn-in draws the means average
+    /// over; second moments are only honored when `samples >= 2` (below
+    /// that a spread estimate would be meaningless).
+    pub fn from_factors(
+        user_means: Mat,
+        movie_means: Mat,
+        second_moments: Option<(Mat, Mat)>,
+        global_mean: f64,
+        rating_bounds: Option<(f64, f64)>,
+        samples: usize,
+    ) -> Self {
+        let (user_second, movie_second) = match second_moments {
+            Some((u2, v2)) if samples >= 2 => (Some(u2), Some(v2)),
+            _ => (None, None),
+        };
+        PosteriorModel {
+            user_means,
+            movie_means,
+            user_second,
+            movie_second,
+            global_mean,
+            rating_bounds,
+            samples,
+            movie_means_t: std::sync::OnceLock::new(),
         }
     }
 
@@ -312,6 +417,24 @@ impl PosteriorModel {
         match self.rating_bounds {
             Some((lo, hi)) => p.clamp(lo, hi),
             None => p,
+        }
+    }
+
+    /// Turn raw `u · v` dot products into served predictions in place:
+    /// add the global mean, clamp to the rating bounds — the batch
+    /// counterpart of what [`PosteriorModel::predict`] does per pair.
+    fn finish_scores(&self, out: &mut [f64]) {
+        match self.rating_bounds {
+            Some((lo, hi)) => {
+                for s in out.iter_mut() {
+                    *s = (self.global_mean + *s).clamp(lo, hi);
+                }
+            }
+            None => {
+                for s in out.iter_mut() {
+                    *s += self.global_mean;
+                }
+            }
         }
     }
 }
@@ -341,6 +464,28 @@ impl Recommender for PosteriorModel {
         })
     }
 
+    /// Std-only catalogue scan: the same per-coordinate arithmetic (and
+    /// order) as [`PosteriorModel::predict_with_uncertainty`], minus the
+    /// per-item mean recomputation that scan would throw away.
+    fn uncertainty_all(&self, user: usize, stds: &mut [f64]) -> bool {
+        let (Some(u2m), Some(v2m)) = (self.user_second.as_ref(), self.movie_second.as_ref()) else {
+            return false;
+        };
+        assert_eq!(stds.len(), self.movie_means.rows(), "std buffer size");
+        let u = self.user_means.row(user);
+        let u2 = u2m.row(user);
+        for (movie, s) in stds.iter_mut().enumerate() {
+            let v = self.movie_means.row(movie);
+            let v2 = v2m.row(movie);
+            let mut var = 0.0;
+            for k in 0..u.len() {
+                var += u2[k] * v2[k] - (u[k] * v[k]) * (u[k] * v[k]);
+            }
+            *s = var.max(0.0).sqrt();
+        }
+        true
+    }
+
     /// `None` when no post-burn-in samples were accumulated: the fallback
     /// factors are a single raw MCMC draw, which would masquerade as
     /// posterior means if exported.
@@ -349,6 +494,32 @@ impl Recommender for PosteriorModel {
             return None;
         }
         Some((&self.user_means, &self.movie_means))
+    }
+
+    /// Always known — even the `samples == 0` fallback factors can score
+    /// the catalogue (they just aren't exportable as posterior means).
+    fn num_items(&self) -> Option<usize> {
+        Some(self.movie_means.rows())
+    }
+
+    /// One lane-parallel scan through the transposed movie factors
+    /// (`K × N`, built once on first use) instead of a `predict` call per
+    /// item — the layout lets the compiler vectorize the scan, where the
+    /// row-major dot products are reduction-bound.
+    fn score_all(&self, user: usize, scores: &mut [f64]) {
+        assert_eq!(scores.len(), self.movie_means.rows(), "score buffer size");
+        let vt = self
+            .movie_means_t
+            .get_or_init(|| self.movie_means.transposed());
+        vt.matvec_t_into(self.user_means.row(user), scores);
+        self.finish_scores(scores);
+    }
+
+    /// Gathered four-row dot kernel over the candidate set.
+    fn score_batch(&self, user: usize, items: &[u32], out: &mut [f64]) {
+        self.movie_means
+            .gather_matvec_into(items, self.user_means.row(user), out);
+        self.finish_scores(out);
     }
 }
 

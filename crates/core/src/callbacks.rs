@@ -1,0 +1,232 @@
+//! Reusable [`IterCallback`] policies: early stopping on held-out RMSE
+//! patience and on a wall-clock budget.
+//!
+//! PR 1 made every trainer stream [`IterStats`] through one observer
+//! hook; these are the two stock policies the roadmap called for, so
+//! examples and services no longer hand-roll stop conditions inside ad-hoc
+//! closures. Both compose with any algorithm behind the [`crate::Trainer`]
+//! trait (Gibbs iteration, ALS sweep, SGD epoch, distributed replay).
+
+use std::time::{Duration, Instant};
+
+use crate::api::{FitControl, FitSnapshot, IterCallback};
+use crate::report::IterStats;
+
+/// The held-out RMSE an iteration is judged by: the posterior-mean RMSE
+/// once averaging has started, the current-sample RMSE before that.
+fn iteration_rmse(stats: &IterStats) -> f64 {
+    if stats.rmse_mean.is_finite() {
+        stats.rmse_mean
+    } else {
+        stats.rmse_sample
+    }
+}
+
+/// Stop when held-out RMSE has not improved by at least `min_delta` for
+/// `patience` consecutive iterations.
+///
+/// ```
+/// use bpmf::{FitControl, IterCallback, NoSnapshot, Patience};
+/// # use bpmf::IterStats;
+/// # fn stats(iter: usize, rmse: f64) -> IterStats {
+/// #     IterStats { iter, rmse_sample: rmse, rmse_mean: f64::NAN,
+/// #         items_per_sec: 0.0, sweep_seconds: 0.0, busy_fraction: 1.0, steals: 0 }
+/// # }
+/// let mut cb = Patience::new(2, 0.0);
+/// assert_eq!(cb.on_iteration(&stats(0, 1.0), &NoSnapshot), FitControl::Continue);
+/// assert_eq!(cb.on_iteration(&stats(1, 0.9), &NoSnapshot), FitControl::Continue);
+/// assert_eq!(cb.on_iteration(&stats(2, 0.95), &NoSnapshot), FitControl::Continue);
+/// assert_eq!(cb.on_iteration(&stats(3, 0.91), &NoSnapshot), FitControl::Stop);
+/// ```
+pub struct Patience {
+    patience: usize,
+    min_delta: f64,
+    best: f64,
+    stale: usize,
+}
+
+impl Patience {
+    /// Stop after `patience` iterations without an improvement of at least
+    /// `min_delta` over the best RMSE seen so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience` is zero (the very first iteration could never
+    /// "improve" on anything and training would stop immediately).
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        assert!(patience > 0, "patience must be at least 1");
+        Patience {
+            patience,
+            min_delta,
+            best: f64::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Best held-out RMSE observed so far.
+    pub fn best_rmse(&self) -> f64 {
+        self.best
+    }
+}
+
+impl IterCallback for Patience {
+    fn on_iteration(&mut self, stats: &IterStats, _snapshot: &dyn FitSnapshot) -> FitControl {
+        let rmse = iteration_rmse(stats);
+        // No held-out metric (e.g. training with an empty test set) means
+        // progress cannot be judged — never stop on an undefined RMSE.
+        if rmse.is_nan() {
+            return FitControl::Continue;
+        }
+        if rmse < self.best - self.min_delta {
+            self.best = rmse;
+            self.stale = 0;
+            return FitControl::Continue;
+        }
+        self.best = self.best.min(rmse);
+        self.stale += 1;
+        if self.stale >= self.patience {
+            FitControl::Stop
+        } else {
+            FitControl::Continue
+        }
+    }
+}
+
+/// Stop when training has consumed its wall-clock budget.
+///
+/// The clock starts at construction, so the budget covers the whole fit
+/// (including setup); training stops after the first iteration that
+/// finishes past the deadline.
+pub struct WallClockBudget {
+    deadline: Instant,
+}
+
+impl WallClockBudget {
+    /// Budget of `budget` wall time starting now.
+    pub fn new(budget: Duration) -> Self {
+        WallClockBudget {
+            deadline: Instant::now() + budget,
+        }
+    }
+
+    /// Remaining budget (zero once exhausted).
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+}
+
+impl IterCallback for WallClockBudget {
+    fn on_iteration(&mut self, _stats: &IterStats, _snapshot: &dyn FitSnapshot) -> FitControl {
+        if Instant::now() >= self.deadline {
+            FitControl::Stop
+        } else {
+            FitControl::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NoSnapshot;
+
+    fn stats(iter: usize, rmse_sample: f64, rmse_mean: f64) -> IterStats {
+        IterStats {
+            iter,
+            rmse_sample,
+            rmse_mean,
+            items_per_sec: 1.0,
+            sweep_seconds: 0.1,
+            busy_fraction: 1.0,
+            steals: 0,
+        }
+    }
+
+    #[test]
+    fn patience_tolerates_plateaus_up_to_the_limit() {
+        let mut cb = Patience::new(3, 0.0);
+        let seq = [1.0, 0.8, 0.81, 0.82, 0.79, 0.80, 0.80, 0.80];
+        let mut stopped_at = None;
+        for (i, &r) in seq.iter().enumerate() {
+            if cb.on_iteration(&stats(i, r, f64::NAN), &NoSnapshot) == FitControl::Stop {
+                stopped_at = Some(i);
+                break;
+            }
+        }
+        // 0.79 at index 4 resets the counter; 0.80 ×3 exhausts it at 7.
+        assert_eq!(stopped_at, Some(7));
+        assert_eq!(cb.best_rmse(), 0.79);
+    }
+
+    #[test]
+    fn patience_min_delta_counts_marginal_gains_as_stale() {
+        let mut cb = Patience::new(2, 0.05);
+        assert_eq!(
+            cb.on_iteration(&stats(0, 1.0, f64::NAN), &NoSnapshot),
+            FitControl::Continue
+        );
+        // 0.97 improves by < min_delta: stale.
+        assert_eq!(
+            cb.on_iteration(&stats(1, 0.97, f64::NAN), &NoSnapshot),
+            FitControl::Continue
+        );
+        assert_eq!(
+            cb.on_iteration(&stats(2, 0.96, f64::NAN), &NoSnapshot),
+            FitControl::Stop
+        );
+        // The best tracker still records the marginal gains.
+        assert_eq!(cb.best_rmse(), 0.96);
+    }
+
+    #[test]
+    fn patience_prefers_posterior_mean_rmse() {
+        let mut cb = Patience::new(1, 0.0);
+        // Sample RMSE improves but the posterior-mean RMSE (the one that
+        // matters) does not → stop.
+        cb.on_iteration(&stats(0, 2.0, 0.5), &NoSnapshot);
+        assert_eq!(
+            cb.on_iteration(&stats(1, 1.0, 0.6), &NoSnapshot),
+            FitControl::Stop
+        );
+    }
+
+    #[test]
+    fn undefined_rmse_never_stops_training() {
+        // No test set → both RMSE fields are NaN forever; patience must
+        // not mistake "no metric" for "no progress".
+        let mut cb = Patience::new(1, 0.0);
+        for i in 0..20 {
+            assert_eq!(
+                cb.on_iteration(&stats(i, f64::NAN, f64::NAN), &NoSnapshot),
+                FitControl::Continue,
+                "iteration {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_stops_immediately() {
+        let mut cb = WallClockBudget::new(Duration::ZERO);
+        assert_eq!(
+            cb.on_iteration(&stats(0, 1.0, f64::NAN), &NoSnapshot),
+            FitControl::Stop
+        );
+        assert_eq!(cb.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn generous_budget_continues() {
+        let mut cb = WallClockBudget::new(Duration::from_secs(3600));
+        assert_eq!(
+            cb.on_iteration(&stats(0, 1.0, f64::NAN), &NoSnapshot),
+            FitControl::Continue
+        );
+        assert!(cb.remaining() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be at least 1")]
+    fn zero_patience_is_rejected() {
+        let _ = Patience::new(0, 0.0);
+    }
+}

@@ -24,7 +24,9 @@ pub struct FlatMat {
 }
 
 impl FlatMat {
-    pub(crate) fn from_mat(m: &Mat) -> Self {
+    /// Snapshot a dense matrix (also used by the distributed driver to
+    /// ship gathered posterior factors inside its serializable outcome).
+    pub fn from_mat(m: &Mat) -> Self {
         FlatMat {
             rows: m.rows(),
             cols: m.cols(),
@@ -32,7 +34,8 @@ impl FlatMat {
         }
     }
 
-    pub(crate) fn to_mat(&self) -> Mat {
+    /// Rebuild the dense matrix.
+    pub fn to_mat(&self) -> Mat {
         Mat::from_row_major(self.rows, self.cols, self.data.clone())
     }
 }

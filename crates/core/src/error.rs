@@ -74,6 +74,8 @@ pub enum BpmfError {
     },
     /// An algorithm name failed to parse.
     UnknownAlgorithm(String),
+    /// A ranking-policy name failed to parse.
+    UnknownPolicy(String),
 }
 
 impl fmt::Display for BpmfError {
@@ -138,7 +140,16 @@ impl fmt::Display for BpmfError {
                 write!(f, "{feature} is not supported by the {algorithm} algorithm")
             }
             BpmfError::UnknownAlgorithm(name) => {
-                write!(f, "unknown algorithm '{name}' (expected gibbs | als | sgd)")
+                write!(
+                    f,
+                    "unknown algorithm '{name}' (expected gibbs | als | sgd | distributed)"
+                )
+            }
+            BpmfError::UnknownPolicy(name) => {
+                write!(
+                    f,
+                    "unknown ranking policy '{name}' (expected mean | ucb[:beta] | thompson[:seed])"
+                )
             }
         }
     }

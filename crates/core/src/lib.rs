@@ -29,7 +29,13 @@
 //! * the distributed driver ([`distributed`]) over the message-passing
 //!   runtime: workload-model partitioning, cross-rank item exchange with
 //!   buffered asynchronous sends, barrier-free phase alignment via
-//!   per-source quotas, and Fig. 5 overlap accounting;
+//!   per-source quotas, Fig. 5 overlap accounting, and the
+//!   [`DistributedTrainer`] facade adapter ([`Algorithm::Distributed`])
+//!   with end-of-run posterior-factor gathering for serving;
+//! * the serving layer ([`serve`]) — [`serve::RecommendService`]: batched
+//!   scoring through the blocked linalg kernels, top-N recommendation with
+//!   candidate filtering (exclude-seen, allow/deny lists, min-support),
+//!   and uncertainty-aware ranking policies (mean / UCB / Thompson);
 //! * [`FeatureSideInfo`] — Macau-style side information (the paper's
 //!   reference \[6\]): per-item features shift the prior mean through a
 //!   Gibbs-sampled link matrix, closing the ChEMBL cold-start gap;
@@ -75,21 +81,37 @@
 //! let model = trainer.recommender().expect("fitted");
 //! let p = model.predict(1, 1);
 //! assert!((1.0..=5.0).contains(&p));
+//!
+//! // …and serve it: batched scoring + filtered top-N through the
+//! // `serve::RecommendService` front-end (exclude already-rated items,
+//! // rank by posterior mean / UCB / Thompson sampling).
+//! use bpmf::serve::{RankPolicy, RecommendService};
+//! let mut service = RecommendService::for_train_data(model, &data)
+//!     .policy(RankPolicy::Ucb { beta: 0.5 });
+//! for rec in service.top_n(1, 2) {
+//!     assert_ne!(rec.item, 0, "user 1 already rated movie 0");
+//! }
 //! # Ok::<(), bpmf::BpmfError>(())
 //! ```
 //!
 //! The same `fit` call trains ALS or SGD instead: pick the algorithm with
 //! `.algorithm(Algorithm::Als)` and dispatch through
 //! `bpmf_baselines::make_trainer(&spec)` — the CLI, benchmark tables, and
-//! examples all go through that one `Box<dyn Trainer>` path. To observe
-//! training live (or stop it early), pass an [`IterCallback`] closure
-//! instead of [`NoCallback`].
+//! examples all go through that one `Box<dyn Trainer>` path. The paper's
+//! distributed sampler is behind the same facade:
+//! `.algorithm(Algorithm::Distributed)` trains over a message-passing
+//! universe with `threads` ranks ([`DistributedTrainer`]) and leaves the
+//! same [`PosteriorModel`] behind for serving. To observe training live
+//! (or stop it early), pass an [`IterCallback`] closure instead of
+//! [`NoCallback`] — or the stock [`Patience`] / [`WallClockBudget`]
+//! early-stop policies.
 //!
 //! The legacy entry points ([`GibbsSampler::new`] + [`BpmfConfig`] struct
 //! literals, panic-based validation) still work and now delegate to the
 //! `try_*` variants internally.
 
 mod api;
+mod callbacks;
 pub mod checkpoint;
 mod config;
 pub mod diagnostics;
@@ -99,6 +121,7 @@ mod error;
 mod model;
 mod report;
 mod sampler;
+pub mod serve;
 mod sideinfo;
 mod update;
 
@@ -106,7 +129,9 @@ pub use api::{
     Algorithm, Bpmf, BpmfBuilder, FitControl, FitSnapshot, GibbsTrainer, IterCallback, NoCallback,
     NoSnapshot, PosteriorModel, Recommender, SideInfoSpec, Trainer,
 };
+pub use callbacks::{Patience, WallClockBudget};
 pub use config::BpmfConfig;
+pub use distributed::DistributedTrainer;
 pub use engine::EngineKind;
 pub use error::BpmfError;
 pub use report::{FitReport, IterStats, TrainReport};

@@ -72,8 +72,8 @@ proptest! {
 
     #[test]
     fn blocked_matvec_matches_per_row((k, panel, w) in panel_case()) {
-        // `matvec_into`'s four-row blocking against the one-dot-per-row
-        // reference, over non-multiple-of-4 row counts.
+        // `matvec_into`'s eight-row blocking against the one-dot-per-row
+        // reference, over non-multiple-of-8 row counts.
         let d = w.len();
         let m = Mat::from_row_major(d, k, panel);
         let x: Vec<f64> = (0..k).map(|i| (i as f64 * 1.3).sin()).collect();
@@ -82,6 +82,38 @@ proptest! {
         for (i, yi) in blocked.iter().enumerate() {
             let naive = vecops::dot(m.row(i), &x);
             prop_assert!((yi - naive).abs() < 1e-12, "row {i}: {yi} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn transposed_matvec_matches_per_row((k, panel, w) in panel_case()) {
+        // The lane-parallel serving scan (`transposed` + `matvec_t_into`)
+        // against the one-dot-per-row reference, over non-multiple-of-4
+        // inner dimensions (k) and arbitrary row counts.
+        let d = w.len();
+        let m = Mat::from_row_major(d, k, panel);
+        let x: Vec<f64> = (0..k).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut scanned = vec![0.0; d];
+        m.transposed().matvec_t_into(&x, &mut scanned);
+        for (i, yi) in scanned.iter().enumerate() {
+            let naive = vecops::dot(m.row(i), &x);
+            prop_assert!((yi - naive).abs() < 1e-12, "row {i}: {yi} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn gathered_matvec_matches_per_row((k, panel, w) in panel_case()) {
+        // `gather_matvec_into` over an arbitrary (duplicating, reversed)
+        // index set against per-row dots, including remainder lanes.
+        let d = w.len();
+        let m = Mat::from_row_major(d, k, panel);
+        let x: Vec<f64> = (0..k).map(|i| (i as f64 * 1.1).sin()).collect();
+        let idx: Vec<u32> = (0..d as u32).rev().chain(0..d.min(3) as u32).collect();
+        let mut gathered = vec![0.0; idx.len()];
+        m.gather_matvec_into(&idx, &x, &mut gathered);
+        for (slot, (&i, yi)) in idx.iter().zip(&gathered).enumerate() {
+            let naive = vecops::dot(m.row(i as usize), &x);
+            prop_assert!((yi - naive).abs() < 1e-12, "slot {slot} row {i}: {yi} vs {naive}");
         }
     }
 }

@@ -6,7 +6,8 @@
 //! more robust to data-overfitting and released from cross-validation …
 //! Yet BPMF is more computational intensive." (§I)
 //!
-//! All three algorithms run through ONE code path: `Bpmf::builder()`
+//! All algorithms — the two baselines, shared-memory BPMF, and the
+//! paper's distributed BPMF — run through ONE code path: `Bpmf::builder()`
 //! selects the algorithm, `make_trainer` hands back a `Box<dyn Trainer>`,
 //! and fitting/serving is identical from the caller's side — the exact
 //! "one builder, one trait, one report" the unified API exists for.
@@ -67,11 +68,13 @@ fn main() {
             Algorithm::Als => "ALS-WR (20 sweeps)".to_string(),
             Algorithm::Sgd => "SGD (30 epochs)".to_string(),
             Algorithm::Gibbs => "BPMF (32 iters)".to_string(),
+            Algorithm::Distributed => format!("BPMF dist ({threads} ranks)"),
         };
         let extras = match algorithm {
             Algorithm::Als => "needs λ tuning",
             Algorithm::Sgd => "needs λ,η tuning",
             Algorithm::Gibbs => "no tuning + CI",
+            Algorithm::Distributed => "scales out + CI",
         };
         println!(
             "{:<22} {:>10.4} {:>11.2}s {:>16}",

@@ -1,11 +1,14 @@
 //! Movie recommendation on a MovieLens-ml-20m-shaped workload: train BPMF
 //! through the unified builder — with predictions clamped to the 0.5–5
-//! star scale via `.rating_bounds(...)` — then produce top-N
-//! recommendations from the fitted `Recommender`.
+//! star scale via `.rating_bounds(...)` and training stopped by the stock
+//! `Patience` callback — then serve top-N recommendations through
+//! `bpmf::serve::RecommendService` (the same batch-scored, filtered path
+//! the offline ranking evaluation measures).
 //!
 //! Run with: `cargo run --release -p bpmf --example movielens_recommender`
 
-use bpmf::{Bpmf, NoCallback, TrainData, Trainer};
+use bpmf::serve::{RankPolicy, RecommendService};
+use bpmf::{Bpmf, Patience, TrainData, Trainer};
 use bpmf_dataset::movielens_like;
 
 fn main() {
@@ -35,50 +38,68 @@ fn main() {
         .expect("well-formed dataset");
     let runner = spec.runner();
     let mut trainer = spec.gibbs_trainer();
+    // The stock patience policy replaces the ad-hoc early-stop closure:
+    // stop after 4 iterations without held-out improvement.
+    let mut early_stop = Patience::new(4, 1e-4);
     let report = trainer
-        .fit(&data, runner.as_ref(), &mut NoCallback)
+        .fit(&data, runner.as_ref(), &mut early_stop)
         .expect("training succeeds");
     println!(
-        "final RMSE: {:.4} (oracle floor {:.4})",
+        "final RMSE: {:.4} (oracle floor {:.4}){}",
         report.final_rmse(),
-        ds.oracle_rmse().unwrap()
+        ds.oracle_rmse().unwrap(),
+        if report.early_stopped {
+            " — stopped early by patience"
+        } else {
+            ""
+        }
     );
 
     let rec = trainer.recommender().expect("fitted model");
 
     // Recommend for the most active user: unseen movies, ranked by
-    // predicted rating (already clamped to the star scale by the model).
+    // predicted rating (already clamped to the star scale by the model),
+    // all through the serving layer.
     let user = (0..ds.nrows())
         .max_by_key(|&u| ds.train.row_nnz(u))
         .unwrap();
-    let (seen, _) = ds.train.row(user);
-    let seen: std::collections::HashSet<u32> = seen.iter().copied().collect();
     println!(
         "\nuser {user} has rated {} movies; scoring the {} unseen ones...",
-        seen.len(),
-        ds.ncols() - seen.len()
+        ds.train.row_nnz(user),
+        ds.ncols() - ds.train.row_nnz(user)
     );
 
-    let mut recs: Vec<(usize, f64)> = (0..ds.ncols())
-        .filter(|m| !seen.contains(&(*m as u32)))
-        .map(|m| (m, rec.predict(user, m)))
-        .collect();
-    recs.sort_by(|a, b| b.1.total_cmp(&a.1));
-
+    let mut service = RecommendService::for_train_data(rec, &data).policy(RankPolicy::Mean);
     println!("top-10 recommendations for user {user}:");
-    for (rank, (movie, stars)) in recs.iter().take(10).enumerate() {
+    for (rank, r) in service.top_n(user, 10).iter().enumerate() {
         println!(
-            "  {:2}. movie {movie:5}  predicted {stars:.2} stars",
-            rank + 1
+            "  {:2}. movie {:5}  predicted {:.2} stars",
+            rank + 1,
+            r.item,
+            r.score
+        );
+    }
+
+    // The posterior turns the same list into an explore/exploit dial: UCB
+    // boosts movies the posterior is still uncertain about.
+    let mut explore =
+        RecommendService::for_train_data(rec, &data).policy(RankPolicy::Ucb { beta: 1.0 });
+    println!("top-5 under UCB (mean + 1.0·std):");
+    for (rank, r) in explore.top_n(user, 5).iter().enumerate() {
+        println!(
+            "  {:2}. movie {:5}  ucb score {:.2}",
+            rank + 1,
+            r.item,
+            r.score
         );
     }
 
     // Ranking quality over all users with relevant (>= 4 star) held-out
     // ratings: the deployment metric behind the paper's "suggestions for
-    // movies on Netflix" motivation.
+    // movies on Netflix" motivation — measured through the very same
+    // RecommendService path that served the lists above.
     for k in [5usize, 10, 20] {
-        let report =
-            bpmf_baselines::evaluate_ranking(&ds.train, &ds.test, k, 4.0, |u, m| rec.predict(u, m));
+        let report = bpmf_baselines::evaluate_ranking_model(&ds.train, &ds.test, k, 4.0, rec);
         println!(
             "top-{k:2}: precision {:.3}  recall {:.3}  NDCG {:.3}  hit-rate {:.3}  ({} users)",
             report.precision, report.recall, report.ndcg, report.hit_rate, report.users_evaluated

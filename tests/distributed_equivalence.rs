@@ -3,7 +3,11 @@
 //! ranks.
 
 use bpmf::distributed::{run_rank, DistConfig};
-use bpmf::{BpmfConfig, EngineKind, GibbsSampler, TrainData};
+use bpmf::{
+    Algorithm, Bpmf, BpmfConfig, DistributedTrainer, EngineKind, FitControl, GibbsSampler,
+    IterStats, NoCallback, Recommender, TrainData,
+};
+use bpmf_baselines::make_trainer;
 use bpmf_dataset::{movielens_like, Dataset};
 use bpmf_mpisim::{NetModel, Universe};
 
@@ -158,6 +162,121 @@ fn buffer_size_does_not_change_results() {
         );
     }
     assert_eq!(traces[0], traces[1], "send-buffer size leaked into results");
+}
+
+#[test]
+fn unified_distributed_trainer_is_bit_identical_to_direct_run_rank() {
+    // `Bpmf::builder().algorithm(Algorithm::Distributed)` through
+    // `make_trainer` must be the *same program* as calling run_rank
+    // directly: identical RMSE traces (bitwise) and identical gathered
+    // posterior factors.
+    let ds = dataset();
+    let ranks = 3usize;
+    let spec = Bpmf::builder()
+        .algorithm(Algorithm::Distributed)
+        .latent(8)
+        .burnin(5)
+        .samples(12)
+        .seed(5)
+        .threads(ranks)
+        .kernel_threads(1)
+        .build()
+        .unwrap();
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test).unwrap();
+
+    let runner = spec.runner();
+    let mut trainer = make_trainer(&spec);
+    assert_eq!(trainer.algorithm(), Algorithm::Distributed);
+    let report = trainer
+        .fit(&data, runner.as_ref(), &mut NoCallback)
+        .unwrap();
+    assert_eq!(report.algorithm, "distributed");
+    assert_eq!(report.parallelism, ranks);
+
+    let cfg = DistributedTrainer::dist_config(&spec);
+    let direct = Universe::run(ranks, None, |comm| {
+        run_rank(comm, &ds.train, &ds.train_t, ds.global_mean, &ds.test, &cfg)
+    });
+
+    assert_eq!(report.iters.len(), direct[0].rmse_sample_trace.len());
+    for (it, (s, m)) in report.iters.iter().zip(
+        direct[0]
+            .rmse_sample_trace
+            .iter()
+            .zip(&direct[0].rmse_mean_trace),
+    ) {
+        assert_eq!(it.rmse_sample.to_bits(), s.to_bits(), "sample trace");
+        assert_eq!(it.rmse_mean.to_bits(), m.to_bits(), "mean trace");
+    }
+
+    // The unified trainer's served model is the direct outcome's gathered
+    // factors, bit for bit.
+    let rec = trainer.recommender().expect("distributed model after fit");
+    let direct_model = bpmf::PosteriorModel::from_factors(
+        direct[0].user_factors.as_ref().unwrap().to_mat(),
+        direct[0].movie_factors.as_ref().unwrap().to_mat(),
+        match (&direct[0].user_second, &direct[0].movie_second) {
+            (Some(u2), Some(v2)) => Some((u2.to_mat(), v2.to_mat())),
+            _ => None,
+        },
+        ds.global_mean,
+        None,
+        direct[0].factor_samples,
+    );
+    for &(u, m, _) in ds.test.iter().take(50) {
+        let a = rec.predict(u as usize, m as usize);
+        let b = direct_model.predict(u as usize, m as usize);
+        assert_eq!(a.to_bits(), b.to_bits(), "({u},{m}): {a} vs {b}");
+        // And the posterior second moments survived the gather: both
+        // sides report the same uncertainty.
+        let ua = rec
+            .predict_with_uncertainty(u as usize, m as usize)
+            .unwrap();
+        let ub = direct_model
+            .predict_with_uncertainty(u as usize, m as usize)
+            .unwrap();
+        assert_eq!(ua.std.to_bits(), ub.std.to_bits());
+    }
+
+    // Factor export works through the trait (original row order, full
+    // dimensions).
+    let (uf, vf) = rec.factors().expect("gathered factors exported");
+    assert_eq!(uf.rows(), ds.nrows());
+    assert_eq!(vf.rows(), ds.ncols());
+}
+
+#[test]
+fn distributed_trainer_replays_callbacks_and_truncates_on_stop() {
+    let ds = dataset();
+    let spec = Bpmf::builder()
+        .algorithm(Algorithm::Distributed)
+        .latent(6)
+        .burnin(3)
+        .samples(6)
+        .seed(9)
+        .threads(2)
+        .kernel_threads(1)
+        .build()
+        .unwrap();
+    let data = TrainData::try_new(&ds.train, &ds.train_t, ds.global_mean, &ds.test).unwrap();
+    let runner = spec.runner();
+    let mut trainer = make_trainer(&spec);
+    let mut seen = 0usize;
+    let mut cb = |s: &IterStats| {
+        assert!(s.rmse_sample.is_finite());
+        seen += 1;
+        if s.iter + 1 >= 4 {
+            FitControl::Stop
+        } else {
+            FitControl::Continue
+        }
+    };
+    let report = trainer.fit(&data, runner.as_ref(), &mut cb).unwrap();
+    assert_eq!(seen, 4);
+    assert_eq!(report.iters.len(), 4);
+    assert!(report.early_stopped);
+    // The underlying SPMD run completed, so the model is still available.
+    assert!(trainer.recommender().is_some());
 }
 
 #[test]
