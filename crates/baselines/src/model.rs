@@ -22,6 +22,13 @@ pub struct MfModel {
     pub global_mean: f64,
     /// Optional rating-scale clamp applied to predictions.
     pub clip: Option<(f64, f64)>,
+    /// Transposed movie factors in the GEMM's cache-blocked packed layout
+    /// (`bpmf_linalg::PackedB`), built on the first micro-batch scoring
+    /// call — the `B` operand behind `Recommender::score_block`. Built
+    /// lazily from `movie_factors`; code that mutates `movie_factors`
+    /// after a scoring call must call [`MfModel::invalidate_packed_cache`]
+    /// or block scores will keep serving the stale factors.
+    movie_factors_packed: std::sync::OnceLock<bpmf_linalg::PackedB>,
 }
 
 impl MfModel {
@@ -34,12 +41,33 @@ impl MfModel {
             movie_bias: Vec::new(),
             global_mean,
             clip: None,
+            movie_factors_packed: std::sync::OnceLock::new(),
         }
     }
 
     /// Number of latent dimensions.
     pub fn k(&self) -> usize {
         self.user_factors.cols()
+    }
+
+    /// Transposed movie factors in the GEMM's packed layout, cached after
+    /// the first call.
+    pub fn movie_factors_packed(&self) -> &bpmf_linalg::PackedB {
+        self.movie_factors_packed
+            .get_or_init(|| bpmf_linalg::PackedB::pack_transposed_from(&self.movie_factors))
+    }
+
+    /// Drop the packed-factor cache so the next scoring call rebuilds it.
+    ///
+    /// The fields of this model are public for the baseline trainers'
+    /// convenience; anything that mutates `movie_factors` after a scoring
+    /// call (another ALS sweep, a hot factor swap) must call this, or
+    /// `score_block` — and everything on it, like
+    /// `RecommendService::recommend_batch` — will keep scoring against
+    /// the factors as they were when the cache was built, silently
+    /// diverging from `predict`/`score_all`.
+    pub fn invalidate_packed_cache(&mut self) {
+        self.movie_factors_packed = std::sync::OnceLock::new();
     }
 
     /// Predicted rating for `(user, movie)`.

@@ -78,7 +78,10 @@ pub fn evaluate_ranking(
 
 /// [`evaluate_ranking`] for a fitted model: every user's top-k comes from
 /// a [`RecommendService`] (batched scoring, exclude-seen filtering), the
-/// exact machinery online serving uses.
+/// exact machinery online serving uses — including the multi-user
+/// micro-batch path: all evaluable users go through
+/// [`RecommendService::recommend_batch`], so the evaluation pays one GEMM
+/// catalogue pass per 64-user block exactly like production block serving.
 pub fn evaluate_ranking_model(
     train: &Csr,
     test: &[(u32, u32, f64)],
@@ -96,6 +99,10 @@ pub fn evaluate_ranking_model(
             relevant.entry(u).or_default().push(m);
         }
     }
+    // Ascending user order: the metrics are order-independent sums, but a
+    // deterministic block layout keeps the batched scoring reproducible.
+    let mut eval_users: Vec<u32> = relevant.keys().copied().collect();
+    eval_users.sort_unstable();
 
     let mut sum_precision = 0.0;
     let mut sum_recall = 0.0;
@@ -103,39 +110,47 @@ pub fn evaluate_ranking_model(
     let mut hits = 0usize;
     let mut users = 0usize;
 
-    for (&user, rel_items) in &relevant {
-        // The user's top-k over everything unseen in training (held-out
-        // items are by construction unseen, so they compete against the
-        // full catalogue). Users whose candidate set is empty are skipped
-        // — every metric would be undefined for them.
-        let topk = service.top_n(user as usize, k);
-        if topk.is_empty() {
-            continue;
+    // One micro-batch at a time: each chunk pays a single GEMM catalogue
+    // pass, and peak memory stays O(MICRO_BATCH · k) lists rather than
+    // one materialized top-k per evaluable user.
+    for (chunk, lists) in eval_users
+        .chunks(bpmf::serve::MICRO_BATCH)
+        .map(|chunk| (chunk, service.recommend_batch(chunk, k)))
+    {
+        for (&user, topk) in chunk.iter().zip(&lists) {
+            let rel_items = &relevant[&user];
+            // The user's top-k over everything unseen in training (held-out
+            // items are by construction unseen, so they compete against the
+            // full catalogue). Users whose candidate set is empty are skipped
+            // — every metric would be undefined for them.
+            if topk.is_empty() {
+                continue;
+            }
+
+            let rel: std::collections::HashSet<u32> = rel_items.iter().copied().collect();
+            let hit_count = topk.iter().filter(|r| rel.contains(&r.item)).count();
+
+            sum_precision += hit_count as f64 / k as f64;
+            sum_recall += hit_count as f64 / rel.len() as f64;
+            if hit_count > 0 {
+                hits += 1;
+            }
+
+            // Binary-gain NDCG: DCG = Σ 1/log2(rank+1) over relevant hits,
+            // ideal DCG = the same sum when all of the first min(k, |rel|)
+            // slots are relevant.
+            let dcg: f64 = topk
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| rel.contains(&r.item))
+                .map(|(rank, _)| 1.0 / ((rank as f64 + 2.0).log2()))
+                .sum();
+            let ideal: f64 = (0..k.min(rel.len()))
+                .map(|rank| 1.0 / ((rank as f64 + 2.0).log2()))
+                .sum();
+            sum_ndcg += dcg / ideal;
+            users += 1;
         }
-
-        let rel: std::collections::HashSet<u32> = rel_items.iter().copied().collect();
-        let hit_count = topk.iter().filter(|r| rel.contains(&r.item)).count();
-
-        sum_precision += hit_count as f64 / k as f64;
-        sum_recall += hit_count as f64 / rel.len() as f64;
-        if hit_count > 0 {
-            hits += 1;
-        }
-
-        // Binary-gain NDCG: DCG = Σ 1/log2(rank+1) over relevant hits,
-        // ideal DCG = the same sum when all of the first min(k, |rel|)
-        // slots are relevant.
-        let dcg: f64 = topk
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| rel.contains(&r.item))
-            .map(|(rank, _)| 1.0 / ((rank as f64 + 2.0).log2()))
-            .sum();
-        let ideal: f64 = (0..k.min(rel.len()))
-            .map(|rank| 1.0 / ((rank as f64 + 2.0).log2()))
-            .sum();
-        sum_ndcg += dcg / ideal;
-        users += 1;
     }
 
     if users == 0 {

@@ -100,6 +100,27 @@ impl Recommender for MfModel {
             .gather_matvec_into(items, self.user_factors.row(user), out);
         finish_mf_scores(self, user, out, |i| items[i] as usize);
     }
+
+    /// Micro-batch scoring as one register-tiled GEMM: the gathered user
+    /// rows (`B × K`) times the transposed movie factors (cached in the
+    /// GEMM's packed layout) stream the catalogue once for the whole
+    /// block, then the bias/clamp epilogue runs per score row.
+    fn score_block(&self, users: &[u32], out: &mut [f64]) {
+        let n = self.movie_factors.rows();
+        assert_eq!(out.len(), users.len() * n, "score_block buffer mismatch");
+        if n == 0 {
+            return;
+        }
+        bpmf_linalg::gemm_gathered_rows_packed(
+            &self.user_factors,
+            users,
+            self.movie_factors_packed(),
+            out,
+        );
+        for (&u, row) in users.iter().zip(out.chunks_exact_mut(n)) {
+            finish_mf_scores(self, u as usize, row, |i| i);
+        }
+    }
 }
 
 /// Reject spec features the point estimators cannot honor.

@@ -30,7 +30,10 @@ use bpmf::{
 };
 use bpmf_bench::calibrate::{calibrate_rank_one_max, time_item_update};
 use bpmf_dataset::chembl_like;
-use bpmf_linalg::{gemv_t_acc, syrk_ld_lower, vecops, Mat, PANEL_BLOCK};
+use bpmf_linalg::{
+    gemm_into, gemm_into_scalar, gemv_t_acc, gemv_t_acc_scalar, simd_enabled, syrk_ld_lower,
+    syrk_ld_lower_scalar, vecops, Mat, PANEL_BLOCK,
+};
 use bpmf_sparse::{Coo, Csr};
 use bpmf_stats::{normal, Xoshiro256pp};
 
@@ -50,6 +53,22 @@ struct KernelRow {
 }
 
 #[derive(serde::Serialize)]
+struct SimdKernelRow {
+    kernel: &'static str,
+    d: usize,
+    scalar_ns: f64,
+    dispatched_ns: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BlockRow {
+    block: usize,
+    scores_per_sec: f64,
+    speedup_vs_score_all: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Snapshot {
     k: usize,
     panel_block: usize,
@@ -65,6 +84,12 @@ struct Snapshot {
     gibbs_nnz: usize,
     /// Largest d where rank-one still beats blocked serial Cholesky here.
     rank_one_crossover: usize,
+    /// Whether the AVX2+FMA dispatch arm was live for this run
+    /// (`BPMF_NO_SIMD` unset and hardware support present).
+    simd_enabled: bool,
+    /// Dispatched (SIMD when live) vs forced-scalar panel kernels — the
+    /// Gibbs item-update hot loop's `syrk_ld_lower`/`gemv_t_acc`.
+    simd_kernels: Vec<SimdKernelRow>,
 }
 
 #[derive(serde::Serialize)]
@@ -86,6 +111,18 @@ struct ServeSnapshot {
     top10_mean_us: f64,
     /// Same with UCB (adds a per-candidate uncertainty lookup).
     top10_ucb_us: f64,
+    /// Whether the AVX2+FMA dispatch arm was live for this run.
+    simd_enabled: bool,
+    /// Micro-batch `score_block` throughput across block sizes, against
+    /// the looped per-user `score_all` scan (`batch_scores_per_sec`).
+    gemm_block: Vec<BlockRow>,
+    /// Headline: 64-user micro-batch vs looped `score_all` (acceptance
+    /// floor: 2× at 4096×4096, k = 32).
+    block64_vs_score_all_speedup: f64,
+    /// Dispatched vs forced-scalar `gemm_into` on a serial (below the
+    /// pool fan-out threshold) 8 × 2048 × k block — isolates the vector
+    /// micro-kernel from core-count parallelism.
+    gemm_simd_vs_scalar: f64,
 }
 
 /// Synthetic fitted posterior over a `n_users × n_items` catalogue, plus a
@@ -178,6 +215,71 @@ fn serve_section(smoke: bool, k: usize) -> ServeSnapshot {
     }
     let top10_ucb_us = t0.elapsed().as_secs_f64() * 1e6 / user_reps as f64;
 
+    // Micro-batch GEMM: `score_block` throughput per block size against a
+    // looped per-user `score_all` over the *same* user windows, the two
+    // timed back-to-back per row so clock/cache drift between sections
+    // cannot skew the ratio.
+    let block_sizes: &[usize] = if smoke { &[1, 8, 64] } else { &[1, 8, 64, 256] };
+    let mut gemm_block = Vec::new();
+    let mut block64 = 0.0;
+    for &bs in block_sizes {
+        let reps = (user_reps / bs).max(4);
+        let users_of = |rep: usize| -> Vec<u32> {
+            (0..bs).map(|i| ((rep * bs + i) % n_users) as u32).collect()
+        };
+        let mut out = vec![0.0; bs * n_items];
+        dyn_model.score_block(&users_of(0), &mut out);
+        let t0 = Instant::now();
+        for rep in 0..reps {
+            dyn_model.score_block(&users_of(rep), &mut out);
+            std::hint::black_box(&out);
+        }
+        let per_sec = (reps * bs * n_items) as f64 / t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        for rep in 0..reps {
+            for (i, &u) in users_of(rep).iter().enumerate() {
+                dyn_model.score_all(u as usize, &mut out[i * n_items..(i + 1) * n_items]);
+            }
+            std::hint::black_box(&out);
+        }
+        let looped_per_sec = (reps * bs * n_items) as f64 / t0.elapsed().as_secs_f64();
+
+        if bs == 64 {
+            block64 = per_sec / looped_per_sec;
+        }
+        gemm_block.push(BlockRow {
+            block: bs,
+            scores_per_sec: per_sec,
+            speedup_vs_score_all: per_sec / looped_per_sec,
+        });
+    }
+
+    // Dispatched GEMM vs the forced-scalar reference. The shape is chosen
+    // to stay BELOW the kernel-pool fan-out threshold (2·m·n·k <
+    // GEMM_PAR_FLOPS) so both arms run serially and the ratio isolates
+    // the vector micro-kernel — the dispatched arm would otherwise also
+    // count core-count parallelism on multi-core hosts. m = 8 still
+    // exercises the full-height AVX-512 row strip.
+    let (bm, bn, bk) = (8usize.min(n_users), 2048usize.min(n_items), k);
+    assert!(
+        2 * bm * bn * bk < bpmf_linalg::gemm::GEMM_PAR_FLOPS,
+        "simd-vs-scalar shape must stay serial"
+    );
+    let mut rng = Xoshiro256pp::seed_from_u64(21);
+    let a: Vec<f64> = (0..bm * bk).map(|_| normal(&mut rng, 0.0, 0.4)).collect();
+    let bmat: Vec<f64> = (0..bk * bn).map(|_| normal(&mut rng, 0.0, 0.4)).collect();
+    let mut c = vec![0.0; bm * bn];
+    let gemm_reps = if smoke { 16 } else { 256 };
+    let dispatched_ns = avg_ns(gemm_reps, || {
+        gemm_into(bm, bn, bk, &a, &bmat, &mut c);
+        std::hint::black_box(&c);
+    });
+    let scalar_ns = avg_ns(gemm_reps, || {
+        gemm_into_scalar(bm, bn, bk, &a, &bmat, &mut c);
+        std::hint::black_box(&c);
+    });
+
     ServeSnapshot {
         n_users,
         n_items,
@@ -189,7 +291,61 @@ fn serve_section(smoke: bool, k: usize) -> ServeSnapshot {
         batch_vs_per_pair_speedup: batch / per_pair,
         top10_mean_us,
         top10_ucb_us,
+        simd_enabled: simd_enabled(),
+        gemm_block,
+        block64_vs_score_all_speedup: block64,
+        gemm_simd_vs_scalar: scalar_ns / dispatched_ns,
     }
+}
+
+/// Dispatched-vs-scalar ratio for the Gibbs panel kernels at mid/heavy
+/// rating counts.
+fn simd_kernel_rows(k: usize, smoke: bool) -> Vec<SimdKernelRow> {
+    let mut rows = Vec::new();
+    let shapes: &[usize] = if smoke { &[256] } else { &[256, 1024] };
+    for &d in shapes {
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let panel: Vec<f64> = (0..d * k).map(|_| normal(&mut rng, 0.0, 0.5)).collect();
+        let weights: Vec<f64> = (0..d).map(|i| 1.0 + (i as f64 * 0.3).sin()).collect();
+        let reps = (200_000 / d).clamp(10, 2000);
+        let mut prec = Mat::zeros(k, k);
+        let syrk_dispatched = avg_ns(reps, || {
+            prec.fill(0.0);
+            syrk_ld_lower(&mut prec, 2.0, &panel, k);
+            std::hint::black_box(&prec);
+        });
+        let syrk_scalar = avg_ns(reps, || {
+            prec.fill(0.0);
+            syrk_ld_lower_scalar(&mut prec, 2.0, &panel, k);
+            std::hint::black_box(&prec);
+        });
+        rows.push(SimdKernelRow {
+            kernel: "syrk_ld_lower",
+            d,
+            scalar_ns: syrk_scalar,
+            dispatched_ns: syrk_dispatched,
+            speedup: syrk_scalar / syrk_dispatched,
+        });
+        let mut rhs = vec![0.0; k];
+        let gemv_dispatched = avg_ns(reps, || {
+            rhs.fill(0.0);
+            gemv_t_acc(&mut rhs, &panel, &weights);
+            std::hint::black_box(&rhs);
+        });
+        let gemv_scalar = avg_ns(reps, || {
+            rhs.fill(0.0);
+            gemv_t_acc_scalar(&mut rhs, &panel, &weights);
+            std::hint::black_box(&rhs);
+        });
+        rows.push(SimdKernelRow {
+            kernel: "gemv_t_acc",
+            d,
+            scalar_ns: gemv_scalar,
+            dispatched_ns: gemv_dispatched,
+            speedup: gemv_scalar / gemv_dispatched,
+        });
+    }
+    rows
 }
 
 /// Time `f` averaged over `reps` runs after `warmup` runs.
@@ -324,6 +480,16 @@ fn main() {
         println!("  rank-one/serial crossover: d = {rank_one_crossover}");
     }
 
+    // SIMD-vs-scalar ratio for the panel kernels (1.0x when the dispatch
+    // falls back, e.g. under BPMF_NO_SIMD=1 or off x86-64).
+    let simd_kernels = simd_kernel_rows(k, smoke);
+    for row in &simd_kernels {
+        println!(
+            "  simd {:>13} d={:>5}: scalar {:>9.0} ns  dispatched {:>9.0} ns  speedup {:.2}x",
+            row.kernel, row.d, row.scalar_ns, row.dispatched_ns, row.speedup
+        );
+    }
+
     // Serving throughput (batch kernels vs per-pair predict, top-N latency).
     let serve = serve_section(smoke, k.min(32));
     println!(
@@ -339,6 +505,18 @@ fn main() {
         "  serve top-10 (exclude-seen): mean {:.0} us  ucb {:.0} us",
         serve.top10_mean_us, serve.top10_ucb_us
     );
+    for row in &serve.gemm_block {
+        println!(
+            "  serve micro-batch B={:>3}: {:.2}M scores/s ({:.2}x score_all)",
+            row.block,
+            row.scores_per_sec / 1e6,
+            row.speedup_vs_score_all
+        );
+    }
+    println!(
+        "  serve gemm simd-vs-scalar: {:.2}x",
+        serve.gemm_simd_vs_scalar
+    );
 
     let snapshot = Snapshot {
         k,
@@ -350,6 +528,8 @@ fn main() {
         gibbs_sweep_ms,
         gibbs_nnz: ds.nnz(),
         rank_one_crossover,
+        simd_enabled: simd_enabled(),
+        simd_kernels,
     };
 
     // Full runs write the tracked artifacts in the current directory (the

@@ -22,7 +22,9 @@ USAGE:
 
 The `recommend` subcommand trains exactly as above, then serves top-N
 recommendations through the RecommendService layer:
-  --user N            user to recommend for (repeatable) [default: 0]
+  --user N            user to recommend for (repeatable; two or more users
+                      are served as one micro-batch — a single GEMM
+                      catalogue pass per 64-user block) [default: 0]
   --top-n N           list length [default 10]
   --exclude-seen      skip items the user already rated in training
   --policy NAME       mean | ucb[:beta] | thompson[:seed] [default mean]

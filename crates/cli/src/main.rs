@@ -287,16 +287,27 @@ fn run(opts: &Options) -> Result<(), CliError> {
                 )));
             }
         }
+        // Two or more users take the micro-batch path: one GEMM catalogue
+        // pass per 64-user block instead of a per-user scan each.
+        let lists: Vec<Vec<bpmf::serve::Recommendation>> = if users.len() >= 2 {
+            let block: Vec<u32> = users.iter().map(|&u| u as u32).collect();
+            service.recommend_batch(&block, opts.recommend.top_n)
+        } else {
+            users
+                .iter()
+                .map(|&u| service.top_n(u, opts.recommend.top_n))
+                .collect()
+        };
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
-        for &user in &users {
+        for (&user, list) in users.iter().zip(&lists) {
             writeln!(
                 out,
                 "top-{} for user {user} (policy {}):",
                 opts.recommend.top_n, opts.recommend.policy
             )
             .ok();
-            for (rank, r) in service.top_n(user, opts.recommend.top_n).iter().enumerate() {
+            for (rank, r) in list.iter().enumerate() {
                 writeln!(
                     out,
                     "  {:2}. item {:6}  score {:.4}",

@@ -289,6 +289,34 @@ pub trait Recommender {
         }
     }
 
+    /// Score a **block** of users against the whole catalogue: row `i` of
+    /// `out` — `out[i·N .. (i+1)·N]`, `N` the catalogue size — receives
+    /// what [`Recommender::score_all`] would write for `users[i]`.
+    ///
+    /// The default loops `score_all` per user. Factor models override it
+    /// with one register-tiled GEMM ([`bpmf_linalg::gemm_into`]) against
+    /// their cached transposed item factors, so a block of users pays a
+    /// single streaming pass over the catalogue instead of `users.len()`
+    /// per-user scans — the multi-user micro-batch serving path behind
+    /// [`crate::serve::RecommendService::recommend_batch`].
+    fn score_block(&self, users: &[u32], out: &mut [f64]) {
+        if users.is_empty() {
+            assert!(out.is_empty(), "score_block buffer mismatch");
+            return;
+        }
+        assert_eq!(out.len() % users.len(), 0, "score_block buffer mismatch");
+        let n = out.len() / users.len();
+        if let Some(items) = self.num_items() {
+            assert_eq!(n, items, "score_block buffer mismatch");
+        }
+        if n == 0 {
+            return;
+        }
+        for (&u, row) in users.iter().zip(out.chunks_exact_mut(n)) {
+            self.score_all(u as usize, row);
+        }
+    }
+
     /// Posterior predictive standard deviations for `user` against the
     /// whole catalogue, written into `stds` (len = item count). Returns
     /// `false` — leaving the buffer unspecified — when the model carries
@@ -340,6 +368,9 @@ pub struct PosteriorModel {
     /// vectorize without a floating-point reduction. (`OnceLock` clones
     /// carry the cached value along.)
     movie_means_t: std::sync::OnceLock<Mat>,
+    /// Transposed movie factors in the GEMM's cache-blocked packed layout,
+    /// built on the first micro-batch scan (`score_block`).
+    movie_means_packed: std::sync::OnceLock<bpmf_linalg::PackedB>,
 }
 
 impl PosteriorModel {
@@ -363,6 +394,7 @@ impl PosteriorModel {
             rating_bounds: s.cfg().rating_bounds,
             samples,
             movie_means_t: std::sync::OnceLock::new(),
+            movie_means_packed: std::sync::OnceLock::new(),
         }
     }
 
@@ -394,6 +426,7 @@ impl PosteriorModel {
             rating_bounds,
             samples,
             movie_means_t: std::sync::OnceLock::new(),
+            movie_means_packed: std::sync::OnceLock::new(),
         }
     }
 
@@ -519,6 +552,23 @@ impl Recommender for PosteriorModel {
     fn score_batch(&self, user: usize, items: &[u32], out: &mut [f64]) {
         self.movie_means
             .gather_matvec_into(items, self.user_means.row(user), out);
+        self.finish_scores(out);
+    }
+
+    /// One register-tiled GEMM for the whole block: the gathered user rows
+    /// (`B × K`) times the transposed movie factors, cached in the GEMM's
+    /// packed layout ([`bpmf_linalg::PackedB`], built once), streamed over
+    /// the catalogue once for all `B` users
+    /// ([`bpmf_linalg::gemm_packed_into`] — AVX2+FMA when available,
+    /// column panels fanned out over the kernel pool). The per-pair
+    /// epilogue (global mean, rating clamp) is applied to the whole block.
+    fn score_block(&self, users: &[u32], out: &mut [f64]) {
+        let n = self.movie_means.rows();
+        assert_eq!(out.len(), users.len() * n, "score_block buffer mismatch");
+        let packed = self
+            .movie_means_packed
+            .get_or_init(|| bpmf_linalg::PackedB::pack_transposed_from(&self.movie_means));
+        bpmf_linalg::gemm_gathered_rows_packed(&self.user_means, users, packed, out);
         self.finish_scores(out);
     }
 }

@@ -91,6 +91,15 @@
 //! for rec in service.top_n(1, 2) {
 //!     assert_ne!(rec.item, 0, "user 1 already rated movie 0");
 //! }
+//!
+//! // Heavy traffic? Serve whole request blocks: `recommend_batch` scores
+//! // a block of users with one register-tiled GEMM per 64-user
+//! // micro-batch (one streaming pass over the catalogue for the whole
+//! // block) and returns each user's list, identical to per-user `top_n`.
+//! let lists = service.recommend_batch(&[0, 1, 2], 2);
+//! assert_eq!(lists.len(), 3);
+//! let direct = service.top_n(1, 2);
+//! assert!(lists[1].iter().zip(&direct).all(|(a, b)| a.item == b.item));
 //! # Ok::<(), bpmf::BpmfError>(())
 //! ```
 //!

@@ -11,6 +11,15 @@
 //!   the blocked [`bpmf_linalg::Mat::matvec_into`] /
 //!   [`bpmf_linalg::Mat::gather_matvec_into`] kernels (one virtual call
 //!   per *request*, not per pair);
+//! * **multi-user micro-batching** — [`RecommendService::recommend_batch`]
+//!   serves a block of users through one `Recommender::score_block` call
+//!   per [`MICRO_BATCH`] users: factor models turn that into a single
+//!   register-tiled GEMM ([`bpmf_linalg::gemm_packed_into`]) against the
+//!   transposed item factors, packed once into the kernel's blocked
+//!   layout ([`bpmf_linalg::PackedB`]), so the catalogue is streamed once
+//!   per block instead of once per user — the difference between
+//!   compute-bound and memory-streaming once the factor panel falls out
+//!   of L2;
 //! * **candidate filtering** — exclude already-rated items straight from
 //!   the training matrix, allowlists/denylists, and a minimum training
 //!   support (long-tail items with fewer ratings than `min_support` are
@@ -113,6 +122,14 @@ impl FromStr for RankPolicy {
     }
 }
 
+/// Users scored per `Recommender::score_block` call inside
+/// [`RecommendService::recommend_batch`]. Bounds the block-score scratch at
+/// `MICRO_BATCH × n_items` doubles (2 MiB per million items) while keeping
+/// the GEMM's catalogue pass amortized over enough users to beat per-user
+/// scans — the `perf_snapshot` GEMM section measures throughput across
+/// block sizes if this needs re-picking on new hardware.
+pub const MICRO_BATCH: usize = 64;
+
 /// One ranked recommendation out of [`RecommendService::top_n`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Recommendation {
@@ -144,6 +161,9 @@ pub struct RecommendService<'a> {
     rng: Xoshiro256pp,
     scores: Vec<f64>,
     stds: Vec<f64>,
+    /// Micro-batch scratch: up to [`MICRO_BATCH`] score rows, grown on the
+    /// first `recommend_batch` call and reused afterwards.
+    block_scores: Vec<f64>,
 }
 
 impl<'a> RecommendService<'a> {
@@ -172,6 +192,7 @@ impl<'a> RecommendService<'a> {
             rng: Xoshiro256pp::seed_from_u64(42),
             scores: vec![0.0; n_items],
             stds: Vec::new(),
+            block_scores: Vec::new(),
         }
     }
 
@@ -294,7 +315,50 @@ impl<'a> RecommendService<'a> {
     /// does no full sort.
     pub fn top_n(&mut self, user: usize, n: usize) -> Vec<Recommendation> {
         assert!(n > 0, "top-n needs n >= 1");
-        self.model.score_all(user, &mut self.scores);
+        // The scratch is taken out for the duration of the scan so the
+        // selection pass can borrow the service mutably (policy RNG, std
+        // buffer) alongside the scores.
+        let mut scores = std::mem::take(&mut self.scores);
+        self.model.score_all(user, &mut scores);
+        let top = self.select_top_n(user, n, &scores);
+        self.scores = scores;
+        top
+    }
+
+    /// Top-`n` lists for a **block** of users — the multi-user micro-batch
+    /// serving path of the roadmap's heavy-traffic north star.
+    ///
+    /// Users are scored [`MICRO_BATCH`] at a time through one
+    /// `Recommender::score_block` call per block (factor models: one
+    /// register-tiled GEMM streaming the catalogue once for the whole
+    /// block), then each user's list is selected under the same policy
+    /// and filters as [`RecommendService::top_n`], consuming the Thompson
+    /// draw stream in the same per-user order. Rankings match per-user
+    /// `top_n` calls up to floating-point rounding: the block path scores
+    /// through the GEMM while `top_n` scores through the transposed scan,
+    /// which re-associate sums differently, so two candidates whose
+    /// scores agree to ~1e-13 relative could in principle swap ranks.
+    /// Results come back in `users` order.
+    pub fn recommend_batch(&mut self, users: &[u32], n: usize) -> Vec<Vec<Recommendation>> {
+        assert!(n > 0, "top-n needs n >= 1");
+        let n_items = self.n_items;
+        let mut block = std::mem::take(&mut self.block_scores);
+        let mut out = Vec::with_capacity(users.len());
+        for chunk in users.chunks(MICRO_BATCH) {
+            block.resize(chunk.len() * n_items, 0.0);
+            self.model.score_block(chunk, &mut block);
+            for (i, &user) in chunk.iter().enumerate() {
+                let row = &block[i * n_items..(i + 1) * n_items];
+                out.push(self.select_top_n(user as usize, n, row));
+            }
+        }
+        self.block_scores = block;
+        out
+    }
+
+    /// Policy scoring + filtering + bounded top-`n` selection over an
+    /// already-computed whole-catalogue score row.
+    fn select_top_n(&mut self, user: usize, n: usize, scores: &[f64]) -> Vec<Recommendation> {
         // Uncertainty-aware policies take one batched std scan up front
         // instead of a per-candidate `predict_with_uncertainty` round trip
         // (which would recompute every mean only to discard it).
@@ -312,14 +376,13 @@ impl<'a> RecommendService<'a> {
         // Bounded selection: `heap` holds the current top candidates,
         // worst-first (entry 0 is the weakest of the kept set).
         let mut heap: Vec<Recommendation> = Vec::with_capacity(n + 1);
-        for item in 0..self.n_items {
+        for (item, &mean) in scores.iter().enumerate().take(self.n_items) {
             if !self.passes_static_filters(item) {
                 continue;
             }
             if !seen.is_empty() && seen.binary_search(&(item as u32)).is_ok() {
                 continue;
             }
-            let mean = self.scores[item];
             let std = if has_std { self.stds[item] } else { 0.0 };
             let score = match self.policy {
                 RankPolicy::Mean => mean,

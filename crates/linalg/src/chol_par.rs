@@ -14,11 +14,27 @@
 //!
 //! Threads only ever write rows they own; the panel is snapshotted before the
 //! trailing update so cross-row reads never alias a write.
+//!
+//! Both parallel phases run on the persistent [`crate::kernel_pool`] —
+//! the same parked workers the item-update accumulation uses — instead of
+//! spawning scoped OS threads per factorization. A heavy Gibbs sweep
+//! calls this once per heavy item, so per-call `std::thread` spawns were
+//! a measurable fixed cost; with the pool the only per-call overhead is
+//! one condvar wake. `nthreads` still bounds the chunk count, so a caller
+//! budgeting `kernel_threads` gets at most that much concurrency.
 
 use crate::chol::cholesky_in_place;
 use crate::error::LinalgError;
 use crate::mat::Mat;
+use crate::pool::kernel_pool;
 use crate::vecops;
+
+/// Shares the trailing-rows base pointer with pool chunks that each write
+/// a disjoint row range.
+struct RowsPtr(*mut f64);
+
+// SAFETY: every chunk writes a disjoint row range (see the call sites).
+unsafe impl Sync for RowsPtr {}
 
 /// Default block size; 32 keeps the diagonal factor in L1 while giving the
 /// trailing update enough arithmetic per row to amortize thread handoff.
@@ -86,37 +102,49 @@ fn factor_diag_block(m: &mut Mat, k0: usize, kb: usize) -> Result<(), LinalgErro
 }
 
 /// Solve `L[i, k0..k0+kb] · Ldᵀ = A[i, k0..k0+kb]` for every trailing row `i`,
-/// in parallel over contiguous row chunks.
+/// in parallel over contiguous row chunks on the kernel pool. A single
+/// chunk runs inline — no point broadcast-waking parked workers for a job
+/// the caller would execute alone anyway.
 fn panel_solve(m: &mut Mat, k0: usize, kb: usize, nthreads: usize) {
     let n = m.cols();
     let split = (k0 + kb) * n;
     let (head, tail) = m.as_mut_slice().split_at_mut(split);
     let diag: &[f64] = head;
     let trailing_rows = tail.len() / n;
-    let threads = nthreads.min(trailing_rows).max(1);
-    let rows_per = trailing_rows.div_ceil(threads);
+    let chunks = nthreads.min(trailing_rows).max(1);
+    if chunks <= 1 {
+        panel_solve_rows(tail, diag, n, k0, kb);
+        return;
+    }
+    let rows_per = trailing_rows.div_ceil(chunks);
+    let rows = RowsPtr(tail.as_mut_ptr());
+    let rows = &rows;
 
-    std::thread::scope(|scope| {
-        let mut rest = tail;
-        while !rest.is_empty() {
-            let take = (rows_per * n).min(rest.len());
-            let (chunk, next) = rest.split_at_mut(take);
-            rest = next;
-            scope.spawn(move || {
-                for row in chunk.chunks_exact_mut(n) {
-                    for c in 0..kb {
-                        let mut s = row[k0 + c];
-                        let ld_row = &diag[(k0 + c) * n + k0..(k0 + c) * n + k0 + c];
-                        // Σ_{t<c} L[i][k0+t] · Ld[c][t]
-                        for (t, &ld) in ld_row.iter().enumerate() {
-                            s -= row[k0 + t] * ld;
-                        }
-                        row[k0 + c] = s / diag[(k0 + c) * n + k0 + c];
-                    }
-                }
-            });
-        }
+    kernel_pool().run(chunks, &|c| {
+        let lo = (c * rows_per).min(trailing_rows);
+        let hi = (lo + rows_per).min(trailing_rows);
+        // SAFETY: the pool delivers each chunk index exactly once, and
+        // chunk `c` writes only rows [lo, hi) of the trailing block —
+        // disjoint ranges of `tail`; `run` returns before the borrow ends.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(rows.0.add(lo * n), (hi - lo) * n) };
+        panel_solve_rows(chunk, diag, n, k0, kb);
     });
+}
+
+/// The per-chunk body of [`panel_solve`]: forward-substitute every row of
+/// `chunk` against the factored diagonal block.
+fn panel_solve_rows(chunk: &mut [f64], diag: &[f64], n: usize, k0: usize, kb: usize) {
+    for row in chunk.chunks_exact_mut(n) {
+        for c in 0..kb {
+            let mut s = row[k0 + c];
+            let ld_row = &diag[(k0 + c) * n + k0..(k0 + c) * n + k0 + c];
+            // Σ_{t<c} L[i][k0+t] · Ld[c][t]
+            for (t, &ld) in ld_row.iter().enumerate() {
+                s -= row[k0 + t] * ld;
+            }
+            row[k0 + c] = s / diag[(k0 + c) * n + k0 + c];
+        }
+    }
 }
 
 /// Copy the solved panel (trailing rows × `kb` columns) into `panel`, a
@@ -134,7 +162,7 @@ fn snapshot_panel(m: &Mat, k0: usize, kb: usize, panel: &mut Vec<f64>) {
 }
 
 /// `A[i, j] -= P[i] · P[j]` for all trailing `i ≥ j`, parallel over row
-/// chunks whose boundaries balance the triangular work.
+/// chunks whose boundaries balance the triangular work, on the kernel pool.
 fn trailing_update(m: &mut Mat, k0: usize, kb: usize, panel: &[f64], nthreads: usize) {
     let n = m.cols();
     let first = k0 + kb;
@@ -147,38 +175,61 @@ fn trailing_update(m: &mut Mat, k0: usize, kb: usize, panel: &[f64], nthreads: u
     // the triangle area so every chunk holds ~equal flops.
     let total: f64 = (trailing as f64) * (trailing as f64 + 1.0) / 2.0;
     let per = total / threads as f64;
-
-    std::thread::scope(|scope| {
-        let mut rest = tail;
-        let mut row0 = 0usize;
-        let mut acc = 0.0f64;
-        let mut target = per;
-        while row0 < trailing {
-            // Extend this chunk until its accumulated weight crosses `target`.
-            let mut row_end = row0;
-            while row_end < trailing && (acc <= target || row_end == row0) {
-                acc += (row_end + 1) as f64;
-                row_end += 1;
-            }
-            target = acc + per;
-            let take = (row_end - row0) * n;
-            let (chunk, next) = rest.split_at_mut(take);
-            rest = next;
-            let base = row0;
-            row0 = row_end;
-            scope.spawn(move || {
-                for (r, row) in chunk.chunks_exact_mut(n).enumerate() {
-                    let i = base + r;
-                    let pi = &panel[i * kb..(i + 1) * kb];
-                    let out = &mut row[first..first + i + 1];
-                    for (j, o) in out.iter_mut().enumerate() {
-                        let pj = &panel[j * kb..(j + 1) * kb];
-                        *o -= vecops::dot(pi, pj);
-                    }
-                }
-            });
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(threads);
+    let mut row0 = 0usize;
+    let mut acc = 0.0f64;
+    let mut target = per;
+    while row0 < trailing {
+        // Extend this chunk until its accumulated weight crosses `target`.
+        let mut row_end = row0;
+        while row_end < trailing && (acc <= target || row_end == row0) {
+            acc += (row_end + 1) as f64;
+            row_end += 1;
         }
+        target = acc + per;
+        ranges.push((row0, row_end));
+        row0 = row_end;
+    }
+
+    // A single range runs inline — no point broadcast-waking parked
+    // workers for a job the caller would execute alone anyway.
+    if ranges.len() <= 1 {
+        trailing_update_rows(tail, panel, n, first, kb, 0);
+        return;
+    }
+    let rows = RowsPtr(tail.as_mut_ptr());
+    let rows = &rows;
+    let ranges = &ranges;
+    kernel_pool().run(ranges.len(), &|c| {
+        let (base, end) = ranges[c];
+        // SAFETY: the pool delivers each chunk index exactly once and the
+        // `ranges` row spans are disjoint by construction, so chunk `c`'s
+        // rows are unaliased; `run` returns before the borrow ends.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(rows.0.add(base * n), (end - base) * n) };
+        trailing_update_rows(chunk, panel, n, first, kb, base);
     });
+}
+
+/// The per-chunk body of [`trailing_update`]: rank-`kb` downdate of the
+/// chunk's rows (trailing rows `base..`) against the snapshotted panel.
+fn trailing_update_rows(
+    chunk: &mut [f64],
+    panel: &[f64],
+    n: usize,
+    first: usize,
+    kb: usize,
+    base: usize,
+) {
+    for (r, row) in chunk.chunks_exact_mut(n).enumerate() {
+        let i = base + r;
+        let pi = &panel[i * kb..(i + 1) * kb];
+        let out = &mut row[first..first + i + 1];
+        for (j, o) in out.iter_mut().enumerate() {
+            let pj = &panel[j * kb..(j + 1) * kb];
+            *o -= vecops::dot(pi, pj);
+        }
+    }
 }
 
 #[cfg(test)]

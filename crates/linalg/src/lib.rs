@@ -17,6 +17,13 @@
 //! * blocked panel kernels ([`syrk_ld_lower`], [`gemv_t_acc`]) that fold a
 //!   gathered `d × K` panel of counterpart rows into the item precision and
 //!   information vector as one rank-d update (the mid/heavy item hot path),
+//! * a register-tiled, cache-blocked GEMM ([`gemm_into`], module
+//!   [`gemm`]) — the multi-user micro-batch serving engine behind
+//!   `Recommender::score_block`,
+//! * one shared runtime SIMD dispatch layer ([`simd`]): every explicitly
+//!   vectorized kernel (GEMM, the panel kernels, `Mat::matvec_t_into`)
+//!   gates its AVX2+FMA arm on [`simd::simd_enabled`], and
+//!   `BPMF_NO_SIMD=1` forces the scalar arms process-wide,
 //! * a persistent fork-join pool ([`kernel_pool`]) for intra-item
 //!   parallelism without per-item thread spawns,
 //! * triangular solves and the vector helpers ([`vecops`]) the sampler's hot
@@ -46,11 +53,13 @@ mod chol;
 mod chol_par;
 mod cholupdate;
 mod error;
+pub mod gemm;
 mod mat;
 mod matwriter;
 mod panel;
 mod par;
 mod pool;
+pub mod simd;
 mod tri;
 pub mod vecops;
 
@@ -59,9 +68,11 @@ pub use chol::Cholesky;
 pub use chol_par::{cholesky_in_place_parallel, DEFAULT_BLOCK};
 pub use cholupdate::{chol_downdate, chol_update};
 pub use error::LinalgError;
+pub use gemm::{gemm_gathered_rows_packed, gemm_into, gemm_into_scalar, gemm_packed_into, PackedB};
 pub use mat::Mat;
 pub use matwriter::MatWriter;
-pub use panel::{gemv_t_acc, syrk_ld_lower, PANEL_BLOCK};
+pub use panel::{gemv_t_acc, gemv_t_acc_scalar, syrk_ld_lower, syrk_ld_lower_scalar, PANEL_BLOCK};
 pub use par::par_row_chunks;
 pub use pool::{kernel_pool, KernelPool};
+pub use simd::simd_enabled;
 pub use tri::{solve_lower, solve_lower_transpose};

@@ -222,8 +222,9 @@ impl Mat {
     /// — no floating-point reduction — so it vectorizes without
     /// reassociation. Eight rows are fused per pass so `y` is read+written
     /// once per eight coefficients instead of once per one; on x86-64 with
-    /// AVX2+FMA (checked once at runtime) an explicit 4-lane FMA kernel
-    /// takes over.
+    /// AVX2+FMA an explicit 4-lane FMA kernel takes over (gated on the
+    /// shared [`crate::simd::simd_enabled`] dispatch, so `BPMF_NO_SIMD=1`
+    /// pins the portable arm).
     pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         assert_eq!(y.len(), self.cols, "matvec_t output mismatch");
@@ -231,12 +232,13 @@ impl Mat {
         if self.cols == 0 {
             return;
         }
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-        {
-            // SAFETY: the feature check above guarantees AVX2+FMA.
-            unsafe { self.matvec_t_into_avx2(x, y) };
-            return;
+        if crate::simd::simd_enabled() {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: `simd_enabled` guarantees AVX2+FMA.
+                unsafe { self.matvec_t_into_avx2(x, y) };
+                return;
+            }
         }
         self.matvec_t_into_scalar(x, y);
     }

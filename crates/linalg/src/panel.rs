@@ -25,8 +25,18 @@
 //! property tests in `tests/panel_properties.rs` pin them to the naive
 //! reference within 1e-12 across shapes (including `d = 0, 1` and sizes
 //! that are not multiples of any block).
+//!
+//! Both dispatch through the shared [`crate::simd`] layer: on AVX2+FMA
+//! hardware an explicit 4-lane kernel takes over (two output rows share
+//! every loaded panel vector in `syrk`, eight broadcast rows fold into the
+//! information vector at once in `gemv`), and `BPMF_NO_SIMD=1` — or any
+//! non-x86_64 target — pins the portable arms
+//! ([`syrk_ld_lower_scalar`]/[`gemv_t_acc_scalar`], also the references
+//! the property tests compare against).
 
 use crate::mat::Mat;
+use crate::simd;
+use crate::vecops;
 
 /// Row count of one cache block of the panel. `PANEL_BLOCK · K` doubles are
 /// streamed per output tile pass; at `K = 128` a 64-row block is 64 KiB —
@@ -43,22 +53,52 @@ pub const PANEL_BLOCK: usize = 64;
 /// Panics if `c` is not square, `k` does not match its order, or
 /// `panel.len()` is not a multiple of `k`.
 pub fn syrk_ld_lower(c: &mut Mat, alpha: f64, panel: &[f64], k: usize) {
+    if !syrk_check(c, panel, k) {
+        return;
+    }
+    if simd::simd_enabled() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Cache-block over the panel rows: every output tile re-reads
+            // the current block, so keep it small enough to stay resident.
+            for block in panel.chunks(PANEL_BLOCK * k) {
+                // SAFETY: `simd_enabled` guarantees AVX2+FMA; shapes were
+                // validated by `syrk_check`.
+                unsafe { syrk_block_avx2(c, alpha, block, k) };
+            }
+            return;
+        }
+    }
+    for block in panel.chunks(PANEL_BLOCK * k) {
+        syrk_block(c, alpha, block, k);
+    }
+}
+
+/// [`syrk_ld_lower`] pinned to the portable scalar arm — the reference the
+/// property tests and the `perf_snapshot` SIMD-ratio section run against.
+pub fn syrk_ld_lower_scalar(c: &mut Mat, alpha: f64, panel: &[f64], k: usize) {
+    if !syrk_check(c, panel, k) {
+        return;
+    }
+    for block in panel.chunks(PANEL_BLOCK * k) {
+        syrk_block(c, alpha, block, k);
+    }
+}
+
+/// Shared shape validation; returns false for the `k = 0` no-op.
+fn syrk_check(c: &Mat, panel: &[f64], k: usize) -> bool {
     let n = c.rows();
     assert_eq!(n, c.cols(), "syrk_ld_lower requires a square matrix");
     assert_eq!(n, k, "syrk_ld_lower panel width must match matrix order");
     if k == 0 {
-        return;
+        return false;
     }
     assert_eq!(
         panel.len() % k,
         0,
         "syrk_ld_lower panel length must be a multiple of k"
     );
-    // Cache-block over the panel rows: every output tile re-reads the
-    // current block, so keep it small enough to stay resident.
-    for block in panel.chunks(PANEL_BLOCK * k) {
-        syrk_block(c, alpha, block, k);
-    }
+    true
 }
 
 /// One cache block of the rank-d update: 2×2 register tiles over the lower
@@ -128,6 +168,171 @@ fn syrk_block(c: &mut Mat, alpha: f64, p: &[f64], k: usize) {
     }
 }
 
+/// Scalar dots `c[row][j0..=jmax] += alpha · Σ_r p[r][row]·p[r][j]` — the
+/// ragged columns at the triangle edge the vector tiles cannot cover.
+/// Two accumulation chains (even/odd panel rows) per element, as in
+/// [`syrk_block`].
+fn syrk_tail_cols(
+    c: &mut Mat,
+    alpha: f64,
+    p: &[f64],
+    k: usize,
+    row: usize,
+    j0: usize,
+    jmax: usize,
+) {
+    for j in j0..=jmax {
+        let mut s0 = 0.0f64;
+        let mut s1 = 0.0f64;
+        let mut rows = p.chunks_exact(2 * k);
+        for pair in rows.by_ref() {
+            let (r0, r1) = pair.split_at(k);
+            s0 += r0[row] * r0[j];
+            s1 += r1[row] * r1[j];
+        }
+        let rem = rows.remainder();
+        if !rem.is_empty() {
+            s0 += rem[row] * rem[j];
+        }
+        c[(row, j)] += alpha * (s0 + s1);
+    }
+}
+
+/// AVX2+FMA arm of one cache block of the rank-d update.
+///
+/// Output rows are walked in pairs so every loaded 4-lane panel segment
+/// feeds two rows of `C`; panel rows are consumed two at a time into
+/// disjoint (even/odd) accumulator sets, keeping eight independent FMA
+/// chains in flight per 2×8 tile. Columns the 8- and 4-wide tiles cannot
+/// reach (the ragged triangle edge, at most seven per row pair) fall back
+/// to [`syrk_tail_cols`].
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA support and `syrk_check`-validated shapes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn syrk_block_avx2(c: &mut Mat, alpha: f64, p: &[f64], k: usize) {
+    use std::arch::x86_64::*;
+    let d = p.len() / k;
+    let pp = p.as_ptr();
+    let av = _mm256_set1_pd(alpha);
+    let k_even = k & !1;
+    let mut i = 0;
+    while i < k_even {
+        // Rows {i, i+1} of C. Vector tiles stop at column i (row i's
+        // triangle edge); the tail helper finishes both rows. The raw
+        // output pointer is re-derived per pair so the `&mut Mat` reborrow
+        // inside `syrk_tail_cols` never overlaps its lifetime.
+        let cp = c.as_mut_slice().as_mut_ptr();
+        let mut j = 0usize;
+        while j + 8 <= i + 1 {
+            let mut a0l = _mm256_setzero_pd();
+            let mut a0h = _mm256_setzero_pd();
+            let mut a1l = _mm256_setzero_pd();
+            let mut a1h = _mm256_setzero_pd();
+            let mut b0l = _mm256_setzero_pd();
+            let mut b0h = _mm256_setzero_pd();
+            let mut b1l = _mm256_setzero_pd();
+            let mut b1h = _mm256_setzero_pd();
+            let mut r = 0usize;
+            while r + 2 <= d {
+                let e = pp.add(r * k);
+                let o = pp.add((r + 1) * k);
+                let x0 = _mm256_set1_pd(*e.add(i));
+                let x1 = _mm256_set1_pd(*e.add(i + 1));
+                let pl = _mm256_loadu_pd(e.add(j));
+                let ph = _mm256_loadu_pd(e.add(j + 4));
+                a0l = _mm256_fmadd_pd(x0, pl, a0l);
+                a0h = _mm256_fmadd_pd(x0, ph, a0h);
+                a1l = _mm256_fmadd_pd(x1, pl, a1l);
+                a1h = _mm256_fmadd_pd(x1, ph, a1h);
+                let y0 = _mm256_set1_pd(*o.add(i));
+                let y1 = _mm256_set1_pd(*o.add(i + 1));
+                let ql = _mm256_loadu_pd(o.add(j));
+                let qh = _mm256_loadu_pd(o.add(j + 4));
+                b0l = _mm256_fmadd_pd(y0, ql, b0l);
+                b0h = _mm256_fmadd_pd(y0, qh, b0h);
+                b1l = _mm256_fmadd_pd(y1, ql, b1l);
+                b1h = _mm256_fmadd_pd(y1, qh, b1h);
+                r += 2;
+            }
+            if r < d {
+                let e = pp.add(r * k);
+                let x0 = _mm256_set1_pd(*e.add(i));
+                let x1 = _mm256_set1_pd(*e.add(i + 1));
+                let pl = _mm256_loadu_pd(e.add(j));
+                let ph = _mm256_loadu_pd(e.add(j + 4));
+                a0l = _mm256_fmadd_pd(x0, pl, a0l);
+                a0h = _mm256_fmadd_pd(x0, ph, a0h);
+                a1l = _mm256_fmadd_pd(x1, pl, a1l);
+                a1h = _mm256_fmadd_pd(x1, ph, a1h);
+            }
+            let c0 = cp.add(i * k + j);
+            let c1 = cp.add((i + 1) * k + j);
+            _mm256_storeu_pd(
+                c0,
+                _mm256_fmadd_pd(av, _mm256_add_pd(a0l, b0l), _mm256_loadu_pd(c0)),
+            );
+            _mm256_storeu_pd(
+                c0.add(4),
+                _mm256_fmadd_pd(av, _mm256_add_pd(a0h, b0h), _mm256_loadu_pd(c0.add(4))),
+            );
+            _mm256_storeu_pd(
+                c1,
+                _mm256_fmadd_pd(av, _mm256_add_pd(a1l, b1l), _mm256_loadu_pd(c1)),
+            );
+            _mm256_storeu_pd(
+                c1.add(4),
+                _mm256_fmadd_pd(av, _mm256_add_pd(a1h, b1h), _mm256_loadu_pd(c1.add(4))),
+            );
+            j += 8;
+        }
+        if j + 4 <= i + 1 {
+            let mut a0 = _mm256_setzero_pd();
+            let mut a1 = _mm256_setzero_pd();
+            let mut b0 = _mm256_setzero_pd();
+            let mut b1 = _mm256_setzero_pd();
+            let mut r = 0usize;
+            while r + 2 <= d {
+                let e = pp.add(r * k);
+                let o = pp.add((r + 1) * k);
+                let pl = _mm256_loadu_pd(e.add(j));
+                a0 = _mm256_fmadd_pd(_mm256_set1_pd(*e.add(i)), pl, a0);
+                a1 = _mm256_fmadd_pd(_mm256_set1_pd(*e.add(i + 1)), pl, a1);
+                let ql = _mm256_loadu_pd(o.add(j));
+                b0 = _mm256_fmadd_pd(_mm256_set1_pd(*o.add(i)), ql, b0);
+                b1 = _mm256_fmadd_pd(_mm256_set1_pd(*o.add(i + 1)), ql, b1);
+                r += 2;
+            }
+            if r < d {
+                let e = pp.add(r * k);
+                let pl = _mm256_loadu_pd(e.add(j));
+                a0 = _mm256_fmadd_pd(_mm256_set1_pd(*e.add(i)), pl, a0);
+                a1 = _mm256_fmadd_pd(_mm256_set1_pd(*e.add(i + 1)), pl, a1);
+            }
+            let c0 = cp.add(i * k + j);
+            let c1 = cp.add((i + 1) * k + j);
+            _mm256_storeu_pd(
+                c0,
+                _mm256_fmadd_pd(av, _mm256_add_pd(a0, b0), _mm256_loadu_pd(c0)),
+            );
+            _mm256_storeu_pd(
+                c1,
+                _mm256_fmadd_pd(av, _mm256_add_pd(a1, b1), _mm256_loadu_pd(c1)),
+            );
+            j += 4;
+        }
+        syrk_tail_cols(c, alpha, p, k, i, j, i);
+        syrk_tail_cols(c, alpha, p, k, i + 1, j, i + 1);
+        i += 2;
+    }
+    if k_even < k {
+        // Odd k: the last row, ragged by construction.
+        syrk_tail_cols(c, alpha, p, k, k - 1, 0, k - 1);
+    }
+}
+
 /// Fused transposed panel–vector accumulation: `y += panelᵀ · w`.
 ///
 /// `panel` is row-major with rows of length `y.len()`; `w` has one weight
@@ -147,6 +352,36 @@ pub fn gemv_t_acc(y: &mut [f64], panel: &[f64], w: &[f64]) {
     if k == 0 {
         return;
     }
+    if simd::simd_enabled() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: `simd_enabled` guarantees AVX2+FMA; shapes were
+            // validated above.
+            unsafe { gemv_t_acc_avx2(y, panel, w) };
+            return;
+        }
+    }
+    gemv_t_scalar(y, panel, w);
+}
+
+/// [`gemv_t_acc`] pinned to the portable scalar arm — the reference the
+/// property tests and the `perf_snapshot` SIMD-ratio section run against.
+pub fn gemv_t_acc_scalar(y: &mut [f64], panel: &[f64], w: &[f64]) {
+    let k = y.len();
+    assert_eq!(
+        panel.len(),
+        w.len() * k,
+        "gemv_t_acc panel/weight shape mismatch"
+    );
+    if k == 0 {
+        return;
+    }
+    gemv_t_scalar(y, panel, w);
+}
+
+/// Portable arm: four panel rows fused per pass (see [`gemv_t_acc`]).
+fn gemv_t_scalar(y: &mut [f64], panel: &[f64], w: &[f64]) {
+    let k = y.len();
     let mut rows = panel.chunks_exact(4 * k);
     let mut weights = w.chunks_exact(4);
     for (quad, wq) in rows.by_ref().zip(weights.by_ref()) {
@@ -162,6 +397,61 @@ pub fn gemv_t_acc(y: &mut [f64], panel: &[f64], w: &[f64]) {
         for (yi, &v) in y.iter_mut().zip(row) {
             *yi += wl * v;
         }
+    }
+}
+
+/// AVX2+FMA arm: eight broadcast weights folded into `y` in 32-element
+/// blocks (8 × 4-lane accumulators — the same discipline as
+/// `Mat::matvec_t_into`'s serving scan, reused here for the Gibbs
+/// information-vector accumulation).
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA support and `panel.len() == w.len() * y.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemv_t_acc_avx2(y: &mut [f64], panel: &[f64], w: &[f64]) {
+    use std::arch::x86_64::*;
+    let k = y.len();
+    let mut octs = panel.chunks_exact(8 * k);
+    let mut weights = w.chunks_exact(8);
+    for (oct, wo) in octs.by_ref().zip(weights.by_ref()) {
+        let base = oct.as_ptr();
+        let xv: [__m256d; 8] = std::array::from_fn(|r| _mm256_set1_pd(wo[r]));
+        let yp = y.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 32 <= k {
+            let mut acc: [__m256d; 8] = std::array::from_fn(|l| _mm256_loadu_pd(yp.add(i + 4 * l)));
+            for (r, xr) in xv.iter().enumerate() {
+                let rp = base.add(r * k + i);
+                for (l, a) in acc.iter_mut().enumerate() {
+                    *a = _mm256_fmadd_pd(*xr, _mm256_loadu_pd(rp.add(4 * l)), *a);
+                }
+            }
+            for (l, a) in acc.iter().enumerate() {
+                _mm256_storeu_pd(yp.add(i + 4 * l), *a);
+            }
+            i += 32;
+        }
+        while i + 4 <= k {
+            let mut a = _mm256_loadu_pd(yp.add(i));
+            for (r, xr) in xv.iter().enumerate() {
+                a = _mm256_fmadd_pd(*xr, _mm256_loadu_pd(base.add(r * k + i)), a);
+            }
+            _mm256_storeu_pd(yp.add(i), a);
+            i += 4;
+        }
+        while i < k {
+            let mut s = *y.get_unchecked(i);
+            for (r, &xr) in wo.iter().enumerate() {
+                s += xr * *base.add(r * k + i);
+            }
+            *y.get_unchecked_mut(i) = s;
+            i += 1;
+        }
+    }
+    for (row, &wl) in octs.remainder().chunks_exact(k).zip(weights.remainder()) {
+        vecops::axpy(wl, row, y);
     }
 }
 

@@ -20,11 +20,21 @@
 //! where tasks are small and contention is the point, are lock-free — see
 //! `crossbeam::deque`.)
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = &'static (dyn Fn(usize) + Sync);
+
+thread_local! {
+    /// True while this thread is executing a pool chunk. A nested
+    /// `KernelPool::run` from inside a chunk would deadlock on the single
+    /// job slot (the outer job cannot finish while the nested call waits,
+    /// and the nested call cannot start until it does), so `run` checks
+    /// this and falls back to executing the nested job inline.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
 
 struct State {
     /// Incremented per `run`; workers use it to detect fresh jobs.
@@ -94,6 +104,16 @@ impl KernelPool {
     /// re-raised on the caller after the remaining chunks finish.
     pub fn run(&self, nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
         if nchunks == 0 {
+            return;
+        }
+        if IN_POOL_JOB.with(Cell::get) {
+            // Re-entrant call from inside a pool chunk (e.g. a pool-backed
+            // kernel invoked from another kernel's chunk closure): execute
+            // inline rather than deadlocking on the job slot. A panic
+            // propagates directly off the calling chunk.
+            for c in 0..nchunks {
+                f(c);
+            }
             return;
         }
         // SAFETY: executors re-read the job slot under the same lock in
@@ -188,7 +208,9 @@ fn run_chunks(shared: &Shared) {
             st.next += 1;
             (c, job)
         };
+        IN_POOL_JOB.with(|flag| flag.set(true));
         let ok = catch_unwind(AssertUnwindSafe(|| job(c))).is_ok();
+        IN_POOL_JOB.with(|flag| flag.set(false));
         let mut st = lock(&shared.state);
         if !ok {
             st.panicked = true;
@@ -265,6 +287,23 @@ mod tests {
     fn zero_chunks_is_a_noop() {
         let pool = KernelPool::with_workers(2);
         pool.run(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn nested_run_from_inside_a_chunk_executes_inline() {
+        // A pool-backed kernel invoked from another kernel's chunk must
+        // complete (inline) instead of deadlocking on the job slot.
+        let pool = KernelPool::with_workers(2);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            pool.run(3, &|_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+        assert_eq!(inner.load(Ordering::Relaxed), 4 * 3);
     }
 
     #[test]

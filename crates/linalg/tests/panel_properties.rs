@@ -7,7 +7,9 @@
 //! matrices, and row counts that are not a multiple of any internal block
 //! or unroll factor.
 
-use bpmf_linalg::{gemv_t_acc, syrk_ld_lower, vecops, Mat, PANEL_BLOCK};
+use bpmf_linalg::{
+    gemv_t_acc, gemv_t_acc_scalar, syrk_ld_lower, syrk_ld_lower_scalar, vecops, Mat, PANEL_BLOCK,
+};
 use proptest::prelude::*;
 
 /// A random `(k, d, panel, weights)` tuple. `d` deliberately straddles the
@@ -51,6 +53,35 @@ proptest! {
             vecops::axpy(wl, row, &mut naive);
         }
         for (a, b) in fused.iter().zip(&naive) {
+            prop_assert!((a - b).abs() < 1e-12, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dispatched_syrk_matches_forced_scalar((k, panel, _w) in panel_case()) {
+        // The runtime-dispatched kernel (AVX2 when available, or whatever
+        // BPMF_NO_SIMD leaves live) against the pinned scalar arm: both are
+        // re-associations of the same sum, so 1e-12 agreement must hold for
+        // every shape including the ragged triangle edges.
+        let mut dispatched = Mat::from_fn(k, k, |i, j| ((i * 17 + j) as f64).cos());
+        let mut scalar = dispatched.clone();
+        syrk_ld_lower(&mut dispatched, 0.7, &panel, k);
+        syrk_ld_lower_scalar(&mut scalar, 0.7, &panel, k);
+        prop_assert!(
+            dispatched.max_abs_diff(&scalar) < 1e-12,
+            "k={k} d={} diff={}",
+            panel.len() / k,
+            dispatched.max_abs_diff(&scalar)
+        );
+    }
+
+    #[test]
+    fn dispatched_gemv_t_matches_forced_scalar((k, panel, w) in panel_case()) {
+        let mut dispatched: Vec<f64> = (0..k).map(|i| (i as f64 * 0.4).sin()).collect();
+        let mut scalar = dispatched.clone();
+        gemv_t_acc(&mut dispatched, &panel, &w);
+        gemv_t_acc_scalar(&mut scalar, &panel, &w);
+        for (a, b) in dispatched.iter().zip(&scalar) {
             prop_assert!((a - b).abs() < 1e-12, "k={k}: {a} vs {b}");
         }
     }

@@ -244,6 +244,93 @@ fn overridden_score_batch_and_score_all_match_the_trait_default() {
 }
 
 #[test]
+fn score_block_matches_per_user_score_all_for_every_algorithm() {
+    /// Strips a model down to `predict`, so the trait *defaults* run.
+    struct DefaultOnly<'a>(&'a dyn Recommender);
+    impl Recommender for DefaultOnly<'_> {
+        fn predict(&self, user: usize, movie: usize) -> f64 {
+            self.0.predict(user, movie)
+        }
+    }
+
+    let ds = dataset();
+    // Deliberately awkward block: repeated users, non-multiple of every
+    // register-tile height, reverse order.
+    let users: Vec<u32> = vec![5, 0, 3, 3, 11, 2, 9];
+    for algorithm in [Algorithm::Gibbs, Algorithm::Als, Algorithm::Sgd] {
+        let trainer = fit(algorithm, &ds);
+        let model = trainer.recommender().unwrap();
+        let n = ds.ncols();
+        let mut block = vec![f64::NAN; users.len() * n];
+        model.score_block(&users, &mut block);
+        let mut row = vec![0.0; n];
+        for (i, &u) in users.iter().enumerate() {
+            model.score_all(u as usize, &mut row);
+            for (m, (a, b)) in block[i * n..(i + 1) * n].iter().zip(&row).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "{algorithm} user {u} item {m}: block {a} vs score_all {b}"
+                );
+            }
+        }
+        // The trait default (per-user loop over `predict`) agrees too.
+        let default_path = DefaultOnly(model);
+        let mut default_block = vec![f64::NAN; users.len() * n];
+        default_path.score_block(&users, &mut default_block);
+        for (i, (a, b)) in block.iter().zip(&default_block).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-12,
+                "{algorithm} slot {i}: GEMM {a} vs default {b}"
+            );
+        }
+        // Degenerate block.
+        model.score_block(&[], &mut []);
+    }
+}
+
+#[test]
+fn recommend_batch_matches_per_user_top_n_for_every_policy() {
+    let ds = dataset();
+    let trainer = fit(Algorithm::Gibbs, &ds);
+    let model = trainer.recommender().unwrap();
+    // More users than one MICRO_BATCH block, out of order, with repeats.
+    let users: Vec<u32> = (0..ds.nrows() as u32).rev().chain([3, 3, 7]).collect();
+    for policy in [
+        RankPolicy::Mean,
+        RankPolicy::Ucb { beta: 0.8 },
+        RankPolicy::Thompson { seed: 99 },
+    ] {
+        let mut batch_service = RecommendService::new(model, ds.ncols())
+            .exclude_seen(&ds.train)
+            .policy(policy);
+        let lists = batch_service.recommend_batch(&users, 9);
+        assert_eq!(lists.len(), users.len());
+
+        let mut single_service = RecommendService::new(model, ds.ncols())
+            .exclude_seen(&ds.train)
+            .policy(policy);
+        for (&u, list) in users.iter().zip(&lists) {
+            let direct = single_service.top_n(u as usize, 9);
+            assert_eq!(
+                items(list),
+                items(&direct),
+                "policy {policy:?}, user {u}: batch and per-user rankings differ"
+            );
+            // Scores agree to rounding (the block path scores through the
+            // GEMM, the per-user path through the transposed scan).
+            for (a, b) in list.iter().zip(&direct) {
+                assert!(
+                    (a.score - b.score).abs() < 1e-9,
+                    "policy {policy:?} user {u}: {} vs {}",
+                    a.score,
+                    b.score
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn patience_stops_training_and_wall_clock_budget_is_respected() {
     let ds = dataset();
     let spec = Bpmf::builder()
