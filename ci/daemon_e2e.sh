@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end serving gate: train a small checkpoint, start the serving
+# daemon from it, fire 16 concurrent clients per ranking policy, assert
+# every response is byte-identical to the offline `recommend` output for
+# the same model, then shut the daemon down cleanly (exit code 0).
+#
+# Run from the repo root after `cargo build --release --workspace`.
+# Honors BPMF_NO_SIMD=1, so CI runs it once per dispatch arm.
+set -euo pipefail
+
+BIN=target/release/bpmf-train
+GEN=target/release/gen_mtx
+[ -x "$BIN" ] && [ -x "$GEN" ] || {
+    echo "release binaries missing; run: cargo build --release --workspace" >&2
+    exit 1
+}
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$GEN" --out "$WORK/ratings.mtx" --kind chembl --scale 0.003 --seed 31
+
+TRAIN_ARGS=(--train "$WORK/ratings.mtx" --k 6 --burnin 2 --samples 4 --threads 1 --seed 9)
+
+echo "== train + checkpoint"
+"$BIN" "${TRAIN_ARGS[@]}" --checkpoint "$WORK/model.json" >/dev/null
+
+# Every later invocation resumes the checkpoint (zero further
+# iterations), so offline and daemon serve the bit-identical model.
+RESUME=(--resume "$WORK/model.json")
+
+USERS=()
+for u in $(seq 0 15); do USERS+=(--user "$u"); done
+POLICIES=("mean" "ucb:0.5" "thompson:9")
+
+echo "== offline references (RecommendService through the recommend subcommand)"
+for p in "${POLICIES[@]}"; do
+    "$BIN" recommend "${TRAIN_ARGS[@]}" "${RESUME[@]}" \
+        "${USERS[@]}" --top-n 5 --exclude-seen --policy "$p" \
+        | grep -v '^iter' >"$WORK/offline-$p.txt"
+    [ -s "$WORK/offline-$p.txt" ]
+done
+
+echo "== start daemon"
+"$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" \
+    --addr 127.0.0.1:0 --batch-window 5 --workers 2 --exclude-seen --top-n 5 \
+    >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
+DAEMON_PID=$!
+
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's/^serving on //p' "$WORK/daemon.out" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || {
+    echo "daemon never announced an address" >&2
+    cat "$WORK/daemon.err" >&2
+    exit 1
+}
+echo "   daemon at $ADDR (pid $DAEMON_PID)"
+
+echo "== 16 concurrent clients per policy, diff against offline"
+for p in "${POLICIES[@]}"; do
+    "$BIN" serve-client --addr "$ADDR" "${USERS[@]}" \
+        --top-n 5 --exclude-seen --policy "$p" >"$WORK/online-$p.txt"
+    diff -u "$WORK/offline-$p.txt" "$WORK/online-$p.txt" || {
+        echo "daemon rankings diverge from offline RecommendService ($p)" >&2
+        exit 1
+    }
+    echo "   $p: 16/16 match"
+done
+
+echo "== typed error replies for bad requests"
+"$BIN" serve-client --addr "$ADDR" --user 99999 >/dev/null 2>"$WORK/client.err" && {
+    echo "out-of-range user should fail the client" >&2
+    exit 1
+}
+grep -q "out of range" "$WORK/client.err"
+
+echo "== graceful shutdown"
+"$BIN" serve-client --addr "$ADDR" --shutdown
+wait "$DAEMON_PID" # exit code 0 or set -e aborts here
+DAEMON_PID=""
+
+echo "daemon e2e OK (BPMF_NO_SIMD=${BPMF_NO_SIMD:-unset})"

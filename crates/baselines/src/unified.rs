@@ -235,6 +235,10 @@ impl Trainer for AlsRecommenderTrainer {
     fn recommender(&self) -> Option<&dyn Recommender> {
         self.model.as_ref().map(|m| m as &dyn Recommender)
     }
+
+    fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
+        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -330,6 +334,10 @@ impl Trainer for SgdRecommenderTrainer {
 
     fn recommender(&self) -> Option<&dyn Recommender> {
         self.model.as_ref().map(|m| m as &dyn Recommender)
+    }
+
+    fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
+        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
     }
 }
 

@@ -22,9 +22,14 @@
 //! overrides the latent dimension, default 32).
 
 use std::io::Write as _;
-use std::time::Instant;
+use std::io::{BufRead as _, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::time::{Duration, Instant};
 
-use bpmf::serve::{RankPolicy, RecommendService};
+use bpmf::serve::coalesce::CoalesceConfig;
+use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+use bpmf::serve::{wire, RankPolicy, RecommendService};
 use bpmf::{
     BpmfConfig, EngineKind, GibbsSampler, PosteriorModel, Recommender, TrainData, UpdateMethod,
 };
@@ -66,6 +71,34 @@ struct BlockRow {
     block: usize,
     scores_per_sec: f64,
     speedup_vs_score_all: f64,
+}
+
+#[derive(serde::Serialize)]
+struct DaemonRow {
+    /// `coalesced` (64-request blocks, batch window) or `per_request`
+    /// (batch-window 0, single worker, max_batch 1).
+    mode: &'static str,
+    clients: usize,
+    requests: usize,
+    requests_per_sec: f64,
+    p50_latency_us: f64,
+    p95_latency_us: f64,
+    /// `recommend_each` batches the daemon executed (requests/batches =
+    /// realized coalescing factor).
+    batches: u64,
+    largest_batch: u64,
+}
+
+#[derive(serde::Serialize)]
+struct DaemonSnapshot {
+    top_n: usize,
+    batch_window_ms: f64,
+    workers: usize,
+    rows: Vec<DaemonRow>,
+    /// Headline: coalesced vs per-request throughput at the highest
+    /// client count (acceptance floor: 1.5× at 64 clients, 4096×4096
+    /// k = 32).
+    coalesced_vs_per_request: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -123,6 +156,10 @@ struct ServeSnapshot {
     /// pool fan-out threshold) 8 × 2048 × k block — isolates the vector
     /// micro-kernel from core-count parallelism.
     gemm_simd_vs_scalar: f64,
+    /// The persistent serving daemon over real TCP: requests/sec and
+    /// latency under concurrent closed-loop clients, coalesced vs
+    /// per-request serving.
+    daemon: DaemonSnapshot,
 }
 
 /// Synthetic fitted posterior over a `n_users × n_items` catalogue, plus a
@@ -280,6 +317,9 @@ fn serve_section(smoke: bool, k: usize) -> ServeSnapshot {
         std::hint::black_box(&c);
     });
 
+    // The persistent daemon over real TCP: coalesced vs per-request.
+    let daemon = daemon_section(&model, &train, n_users, n_items, smoke);
+
     ServeSnapshot {
         n_users,
         n_items,
@@ -295,7 +335,221 @@ fn serve_section(smoke: bool, k: usize) -> ServeSnapshot {
         gemm_block,
         block64_vs_score_all_speedup: block64,
         gemm_simd_vs_scalar: scalar_ns / dispatched_ns,
+        daemon,
     }
+}
+
+/// Serving-daemon throughput/latency: closed-loop concurrent clients over
+/// real loopback TCP, the coalescing configuration (64-request blocks,
+/// 2 ms window) against per-request serving (window 0, single worker,
+/// batch size 1) — the configuration the daemon degenerates to without a
+/// coalescer. Any panic in here (daemon error, malformed reply, failed
+/// request) fails the whole snapshot run loudly.
+fn daemon_section(
+    model: &bpmf::PosteriorModel,
+    train: &Csr,
+    n_users: usize,
+    n_items: usize,
+    smoke: bool,
+) -> DaemonSnapshot {
+    let top_n = 10;
+    let batch_window_ms = 2.0;
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+    let client_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 8, 64] };
+    let max_clients = *client_counts.last().unwrap();
+    let requests_for = |clients: usize| {
+        if smoke {
+            16
+        } else {
+            // Bound the wall clock: the 1-client coalesced row pays the
+            // full window per round trip by design.
+            (2048 / clients).clamp(32, 512)
+        }
+    };
+
+    let coalesced = DaemonConfig {
+        coalesce: CoalesceConfig {
+            max_batch: bpmf::serve::MICRO_BATCH,
+            batch_window: Duration::from_secs_f64(batch_window_ms / 1e3),
+            queue_cap: 1024,
+        },
+        workers,
+        default_top_n: top_n,
+        ..DaemonConfig::default()
+    };
+    let per_request = DaemonConfig {
+        coalesce: CoalesceConfig {
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+            queue_cap: 1024,
+        },
+        workers: 1,
+        default_top_n: top_n,
+        ..DaemonConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        rows.push(daemon_bench(
+            "coalesced",
+            model,
+            train,
+            n_users,
+            n_items,
+            clients,
+            requests_for(clients),
+            &coalesced,
+        ));
+    }
+    let per_req_row = daemon_bench(
+        "per_request",
+        model,
+        train,
+        n_users,
+        n_items,
+        max_clients,
+        requests_for(max_clients),
+        &per_request,
+    );
+    let coalesced_vs_per_request =
+        rows.last().unwrap().requests_per_sec / per_req_row.requests_per_sec;
+    rows.push(per_req_row);
+
+    DaemonSnapshot {
+        top_n,
+        batch_window_ms,
+        workers,
+        rows,
+        coalesced_vs_per_request,
+    }
+}
+
+/// One daemon configuration under `clients` closed-loop clients, each
+/// firing `requests` synchronous round trips on its own connection.
+#[allow(clippy::too_many_arguments)]
+fn daemon_bench(
+    mode: &'static str,
+    model: &bpmf::PosteriorModel,
+    train: &Csr,
+    n_users: usize,
+    n_items: usize,
+    clients: usize,
+    requests: usize,
+    cfg: &DaemonConfig,
+) -> DaemonRow {
+    let world = ServingModel {
+        model,
+        train: Some(train),
+        n_users,
+        n_items,
+    };
+    let shutdown = AtomicBool::new(false);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut wall = 0.0f64;
+    let mut report = None;
+    std::thread::scope(|s| {
+        let daemon_handle = s.spawn(|| daemon::serve(&world, listener, cfg, &shutdown));
+        // If a client panics, the scope join would otherwise wait forever
+        // for a daemon that nobody asked to stop; the guard flips the
+        // flag during unwinding so the panic surfaces (loudly) instead of
+        // hanging the snapshot run.
+        let _stop_guard = ShutdownOnDrop(&shutdown);
+        let t0 = Instant::now();
+        let per_client: Vec<Vec<f64>> = std::thread::scope(|cs| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| cs.spawn(move || client_loop(addr, c, n_users, requests)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        wall = t0.elapsed().as_secs_f64();
+        shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+        report = Some(
+            daemon_handle
+                .join()
+                .expect("daemon thread")
+                .expect("daemon io"),
+        );
+        latencies = per_client.into_iter().flatten().collect();
+    });
+    let report = report.unwrap();
+    let total = clients * requests;
+    assert_eq!(report.requests as usize, total, "every request answered");
+    latencies.sort_by(f64::total_cmp);
+    DaemonRow {
+        mode,
+        clients,
+        requests: total,
+        requests_per_sec: total as f64 / wall,
+        p50_latency_us: percentile(&latencies, 0.50),
+        p95_latency_us: percentile(&latencies, 0.95),
+        batches: report.batches,
+        largest_batch: report.largest_batch,
+    }
+}
+
+/// Requests each bench client keeps in flight on its connection: the
+/// multiplexed-frontend traffic shape (not a lock-step ping-pong), and
+/// identical for both daemon configurations so the comparison is fair.
+const CLIENT_PIPELINE: usize = 8;
+
+/// One closed-loop client with a bounded pipeline: keep up to
+/// [`CLIENT_PIPELINE`] requests outstanding, record each request's
+/// send-to-reply latency in microseconds.
+fn client_loop(addr: SocketAddr, client: usize, n_users: usize, requests: usize) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone socket"));
+    let mut reader = BufReader::new(stream);
+    let mut sent_at = vec![Instant::now(); requests];
+    let mut lats = vec![0.0f64; requests];
+    let mut line = String::new();
+    let (mut sent, mut received) = (0usize, 0usize);
+    while received < requests {
+        while sent < requests && sent - received < CLIENT_PIPELINE {
+            let user = ((client * 131 + sent * 37) % n_users) as u32;
+            let req = wire::Request::recommend(sent as u64, user);
+            sent_at[sent] = Instant::now();
+            writeln!(writer, "{}", wire::encode(&req)).expect("send");
+            sent += 1;
+        }
+        writer.flush().expect("flush requests");
+        line.clear();
+        reader.read_line(&mut line).expect("reply");
+        let resp = wire::decode_response(&line).expect("reply parses");
+        assert!(
+            resp.error.is_none(),
+            "daemon rejected request: {:?}",
+            resp.error
+        );
+        let id = resp.id as usize;
+        assert!(id < requests && lats[id] == 0.0, "duplicate reply {id}");
+        assert!(!resp.items.is_empty());
+        lats[id] = sent_at[id].elapsed().as_secs_f64() * 1e6;
+        received += 1;
+    }
+    lats
+}
+
+/// Sets the daemon shutdown flag when dropped — including during panic
+/// unwinding, where it keeps the scoped daemon thread joinable.
+struct ShutdownOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for ShutdownOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
 }
 
 /// Dispatched-vs-scalar ratio for the Gibbs panel kernels at mid/heavy
@@ -516,6 +770,24 @@ fn main() {
     println!(
         "  serve gemm simd-vs-scalar: {:.2}x",
         serve.gemm_simd_vs_scalar
+    );
+    for row in &serve.daemon.rows {
+        println!(
+            "  daemon {:>11} C={:>3}: {:>8.0} req/s  p50 {:>7.0} us  p95 {:>7.0} us  \
+             ({} batches, largest {})",
+            row.mode,
+            row.clients,
+            row.requests_per_sec,
+            row.p50_latency_us,
+            row.p95_latency_us,
+            row.batches,
+            row.largest_batch
+        );
+    }
+    println!(
+        "  daemon coalesced vs per-request at {} clients: {:.2}x",
+        serve.daemon.rows.last().map_or(0, |r| r.clients),
+        serve.daemon.coalesced_vs_per_request
     );
 
     let snapshot = Snapshot {

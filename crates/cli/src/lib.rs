@@ -14,20 +14,46 @@ use bpmf_linalg::Mat;
 /// Usage text.
 pub const USAGE: &str = "\
 bpmf-train — matrix-factorization trainer (BPMF Gibbs / ALS-WR / SGD /
-distributed BPMF) with a posterior-serving mode
+distributed BPMF) with a posterior-serving mode and a serving daemon
 
 USAGE:
   bpmf-train --train FILE.mtx [OPTIONS]
   bpmf-train recommend --train FILE.mtx [OPTIONS] [RECOMMEND OPTIONS]
+  bpmf-train serve-daemon --train FILE.mtx [OPTIONS] [SERVE OPTIONS]
+  bpmf-train serve-client --addr HOST:PORT [CLIENT OPTIONS]
 
 The `recommend` subcommand trains exactly as above, then serves top-N
-recommendations through the RecommendService layer:
-  --user N            user to recommend for (repeatable; two or more users
-                      are served as one micro-batch — a single GEMM
-                      catalogue pass per 64-user block) [default: 0]
+recommendations through the RecommendService layer (results stream out
+as each 64-user micro-batch completes):
+  --user N            user to recommend for (repeatable; users are served
+                      in micro-batches — a single GEMM catalogue pass per
+                      64-user block) [default: 0]
   --top-n N           list length [default 10]
   --exclude-seen      skip items the user already rated in training
   --policy NAME       mean | ucb[:beta] | thompson[:seed] [default mean]
+
+The `serve-daemon` subcommand trains (or resumes a checkpoint), then
+serves recommend requests forever over TCP: newline-delimited JSON
+requests are coalesced into GEMM micro-batches (flush at 64 pending or
+the batch window, whichever first). --top-n/--exclude-seen/--policy
+set the daemon's per-request defaults (--user is not accepted: clients
+name users per request). Prints `serving on HOST:PORT` to stdout
+once ready; stops gracefully on ctrl-c/SIGTERM or a {\"cmd\":\"shutdown\"}
+request, draining everything already accepted:
+  --addr HOST:PORT    listen address (port 0 = ephemeral)
+                      [default 127.0.0.1:7878]
+  --batch-window MS   coalescing deadline in milliseconds; 0 disables
+                      coalescing (per-request serving) [default 2]
+  --workers N         batch-executing worker threads [default: cores, max 4]
+  --queue-cap N       bounded request queue; full = backpressure
+                      [default 1024]
+
+The `serve-client` subcommand talks to a running daemon (no training):
+one concurrent connection per --user, printed in request order in the
+same format as `recommend` — so the two outputs diff cleanly:
+  --addr HOST:PORT    daemon address [default 127.0.0.1:7878]
+  --user/--top-n/--exclude-seen/--policy   as above, sent per request
+  --shutdown          after any requests, ask the daemon to shut down
 
 OPTIONS:
   --train FILE        MatrixMarket training ratings (required)
@@ -66,6 +92,10 @@ pub enum Command {
     Train,
     /// Train, then serve top-N recommendations through `RecommendService`.
     Recommend,
+    /// Train, then run the persistent TCP serving daemon.
+    ServeDaemon,
+    /// Talk to a running daemon (no training).
+    ServeClient,
 }
 
 /// Options of the `recommend` subcommand.
@@ -92,13 +122,43 @@ impl Default for RecommendOptions {
     }
 }
 
+/// Options of the `serve-daemon` / `serve-client` subcommands.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen (daemon) or connect (client) address.
+    pub addr: String,
+    /// Coalescing deadline in milliseconds (0 = per-request serving).
+    pub batch_window_ms: f64,
+    /// Batch-executing worker threads.
+    pub workers: usize,
+    /// Bounded request-queue capacity.
+    pub queue_cap: usize,
+    /// Client: ask the daemon to shut down after any requests.
+    pub shutdown: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            batch_window_ms: 2.0,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
+            queue_cap: 1024,
+            shutdown: false,
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Clone, Debug)]
 pub struct Options {
     /// Selected subcommand.
     pub command: Command,
-    /// `recommend` subcommand options.
+    /// `recommend` subcommand options (also the serving daemon's
+    /// per-request defaults and the client's request parameters).
     pub recommend: RecommendOptions,
+    /// `serve-daemon` / `serve-client` subcommand options.
+    pub serve: ServeOptions,
     /// Path to the MatrixMarket training ratings.
     pub train: String,
     /// Optional path to a held-out MatrixMarket test set.
@@ -183,6 +243,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let mut opts = Options {
         command: Command::Train,
         recommend: RecommendOptions::default(),
+        serve: ServeOptions::default(),
         train: String::new(),
         test: None,
         test_fraction: 0.1,
@@ -208,13 +269,48 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         diagnostics: false,
     };
     let mut args = args;
-    if args.first().map(String::as_str) == Some("recommend") {
-        opts.command = Command::Recommend;
-        args = &args[1..];
+    match args.first().map(String::as_str) {
+        Some("recommend") => {
+            opts.command = Command::Recommend;
+            args = &args[1..];
+        }
+        Some("serve-daemon") => {
+            opts.command = Command::ServeDaemon;
+            args = &args[1..];
+        }
+        Some("serve-client") => {
+            opts.command = Command::ServeClient;
+            args = &args[1..];
+        }
+        _ => {}
     }
     let mut recommend_flag: Option<&String> = None;
+    let mut daemon_flag: Option<&String> = None;
+    let mut client_flag: Option<&String> = None;
+    let mut serve_flag: Option<&String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        // The client never trains: accepting (and ignoring) training
+        // flags would be a silent no-op, unlike every other misplaced
+        // flag, so reject anything outside its small vocabulary up front.
+        if opts.command == Command::ServeClient
+            && !matches!(
+                flag.as_str(),
+                "--help"
+                    | "-h"
+                    | "--addr"
+                    | "--shutdown"
+                    | "--user"
+                    | "--top-n"
+                    | "--exclude-seen"
+                    | "--policy"
+            )
+        {
+            return Err(CliError::new(format!(
+                "{flag} is not valid with `serve-client` (valid flags: --addr --user \
+                 --top-n --exclude-seen --policy --shutdown)"
+            )));
+        }
         let mut value = || {
             it.next()
                 .ok_or_else(|| CliError::new(format!("{flag} requires a value")))
@@ -276,6 +372,35 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     .parse::<bpmf::serve::RankPolicy>()
                     .map_err(|e| CliError::new(e.to_string()))?;
             }
+            "--addr" => {
+                serve_flag = Some(flag);
+                opts.serve.addr = value()?.clone();
+            }
+            "--batch-window" => {
+                daemon_flag = Some(flag);
+                opts.serve.batch_window_ms = parse_num(flag, value()?)?;
+                if !opts.serve.batch_window_ms.is_finite() || opts.serve.batch_window_ms < 0.0 {
+                    return Err(CliError::new("--batch-window must be >= 0 milliseconds"));
+                }
+            }
+            "--workers" => {
+                daemon_flag = Some(flag);
+                opts.serve.workers = parse_num(flag, value()?)?;
+                if opts.serve.workers == 0 {
+                    return Err(CliError::new("--workers must be positive"));
+                }
+            }
+            "--queue-cap" => {
+                daemon_flag = Some(flag);
+                opts.serve.queue_cap = parse_num(flag, value()?)?;
+                if opts.serve.queue_cap == 0 {
+                    return Err(CliError::new("--queue-cap must be positive"));
+                }
+            }
+            "--shutdown" => {
+                client_flag = Some(flag);
+                opts.serve.shutdown = true;
+            }
             "--checkpoint" => opts.checkpoint = Some(value()?.clone()),
             "--checkpoint-every" => opts.checkpoint_every = Some(parse_num(flag, value()?)?),
             "--resume" => opts.resume = Some(value()?.clone()),
@@ -295,14 +420,49 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             other => return Err(CliError::new(format!("unknown flag '{other}'"))),
         }
     }
-    if opts.command != Command::Recommend {
+    // The recommend knobs double as the daemon's request defaults and the
+    // client's request parameters.
+    if !matches!(
+        opts.command,
+        Command::Recommend | Command::ServeDaemon | Command::ServeClient
+    ) {
         if let Some(flag) = recommend_flag {
             return Err(CliError::new(format!(
-                "{flag} is only valid with the `recommend` subcommand"
+                "{flag} is only valid with the `recommend`, `serve-daemon`, \
+                 or `serve-client` subcommands"
             )));
         }
     }
-    if opts.train.is_empty() {
+    if !matches!(opts.command, Command::ServeDaemon | Command::ServeClient) {
+        if let Some(flag) = serve_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `serve-daemon` or `serve-client` subcommands"
+            )));
+        }
+    }
+    if opts.command != Command::ServeDaemon {
+        if let Some(flag) = daemon_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `serve-daemon` subcommand"
+            )));
+        }
+    }
+    if opts.command != Command::ServeClient {
+        if let Some(flag) = client_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `serve-client` subcommand"
+            )));
+        }
+    }
+    // The daemon serves whatever users clients request; a --user on its
+    // command line would be silently meaningless.
+    if opts.command == Command::ServeDaemon && !opts.recommend.users.is_empty() {
+        return Err(CliError::new(
+            "--user is not valid with `serve-daemon` (clients name users per request)",
+        ));
+    }
+    // The client never trains; everything else needs data.
+    if opts.train.is_empty() && opts.command != Command::ServeClient {
         return Err(CliError::new("--train is required"));
     }
     if opts.k == 0 {
@@ -324,6 +484,24 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, CliError> {
     s.parse()
         .map_err(|_| CliError::new(format!("invalid value '{s}' for {flag}")))
+}
+
+/// Render one top-N recommendation list in the canonical CLI format —
+/// the single definition shared by the offline `recommend` path and the
+/// daemon's `serve-client`, so their outputs stay byte-identical (the CI
+/// daemon e2e gate diffs one against the other).
+pub fn write_top_n_list(
+    out: &mut impl Write,
+    top_n: usize,
+    user: u64,
+    policy: &str,
+    items: &[(u32, f64)],
+) -> std::io::Result<()> {
+    writeln!(out, "top-{top_n} for user {user} (policy {policy}):")?;
+    for (rank, (item, score)) in items.iter().enumerate() {
+        writeln!(out, "  {:2}. item {item:6}  score {score:.4}", rank + 1)?;
+    }
+    Ok(())
 }
 
 /// Write a factor matrix as TSV (one item per line, K columns).
@@ -543,6 +721,70 @@ mod tests {
         assert!(parse_args(&argv("recommend --train a.mtx --policy argmax")).is_err());
         assert!(parse_args(&argv("recommend --train a.mtx --policy ucb:x")).is_err());
         assert!(parse_args(&argv("recommend --train a.mtx --top-n 0")).is_err());
+    }
+
+    #[test]
+    fn serve_daemon_subcommand_parses() {
+        let opts = parse_args(&argv(
+            "serve-daemon --train a.mtx --addr 127.0.0.1:0 --batch-window 5 \
+             --workers 2 --queue-cap 32 --policy ucb:0.5 --top-n 7 --exclude-seen",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.command, Command::ServeDaemon);
+        assert_eq!(opts.serve.addr, "127.0.0.1:0");
+        assert_eq!(opts.serve.batch_window_ms, 5.0);
+        assert_eq!(opts.serve.workers, 2);
+        assert_eq!(opts.serve.queue_cap, 32);
+        assert_eq!(opts.recommend.policy, "ucb:0.5");
+        assert_eq!(opts.recommend.top_n, 7);
+        assert!(opts.recommend.exclude_seen);
+    }
+
+    #[test]
+    fn serve_client_parses_without_train() {
+        let opts = parse_args(&argv(
+            "serve-client --addr 127.0.0.1:4000 --user 3 --user 9 --top-n 2 \
+             --policy thompson:7 --shutdown",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.command, Command::ServeClient);
+        assert_eq!(opts.serve.addr, "127.0.0.1:4000");
+        assert_eq!(opts.recommend.users, vec![3, 9]);
+        assert!(opts.serve.shutdown);
+        assert!(opts.train.is_empty());
+        // A zero batch window (per-request serving) is legal for daemons.
+        let zero = parse_args(&argv("serve-daemon --train a.mtx --batch-window 0"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(zero.serve.batch_window_ms, 0.0);
+    }
+
+    #[test]
+    fn serve_flags_require_their_subcommands() {
+        // Daemon-only knobs rejected elsewhere.
+        assert!(parse_args(&argv("--train a.mtx --batch-window 5")).is_err());
+        assert!(parse_args(&argv("serve-client --workers 2")).is_err());
+        // --shutdown is client-only.
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --shutdown")).is_err());
+        // --addr needs one of the serve subcommands.
+        assert!(parse_args(&argv("recommend --train a.mtx --addr 1.2.3.4:5")).is_err());
+        // The trainer modes still require --train.
+        assert!(parse_args(&argv("serve-daemon --addr 127.0.0.1:0")).is_err());
+        // The daemon doesn't take --user (clients name users per request)…
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --user 3")).is_err());
+        // …and the client rejects training flags instead of ignoring them.
+        assert!(parse_args(&argv("serve-client --addr 1.2.3.4:5 --k 8")).is_err());
+        assert!(parse_args(&argv("serve-client --train a.mtx --user 1")).is_err());
+    }
+
+    #[test]
+    fn bad_serve_values_are_errors() {
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --batch-window -1")).is_err());
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --workers 0")).is_err());
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --queue-cap 0")).is_err());
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --policy argmax")).is_err());
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! per-iteration RMSE as training streams through an `IterCallback` and
 //! can write the fitted factors for downstream ranking. The `recommend`
 //! subcommand additionally serves filtered top-N lists through
-//! `bpmf::serve::RecommendService`.
+//! `bpmf::serve::RecommendService`; `serve-daemon` keeps the fitted model
+//! resident and serves request-coalesced traffic over TCP
+//! (`bpmf::serve::daemon`); `serve-client` is the matching test/ops
+//! client.
 //!
 //! ```text
-//! bpmf-train [recommend] --train ratings.mtx
+//! bpmf-train [recommend|serve-daemon|serve-client] --train ratings.mtx
 //!            [--test held_out.mtx | --test-fraction 0.1]
 //!            [--algorithm gibbs|als|sgd|distributed] [--k 16] [--burnin 8]
 //!            [--samples 24] [--sweeps 20] [--epochs 30] [--lambda X]
@@ -23,17 +26,24 @@
 //!            [--diagnostics]
 //!            [--user U]... [--top-n 10] [--exclude-seen]
 //!            [--policy mean|ucb[:beta]|thompson[:seed]]
+//!            [--addr 127.0.0.1:7878] [--batch-window 2] [--workers N]
+//!            [--queue-cap 1024] [--shutdown]
 //! ```
 
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use bpmf::checkpoint::SamplerCheckpoint;
-use bpmf::serve::{RankPolicy, RecommendService};
-use bpmf::{Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats};
+use bpmf::serve::coalesce::CoalesceConfig;
+use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+use bpmf::serve::{wire, RankPolicy, RecommendService, ServeRequest, MICRO_BATCH};
+use bpmf::{Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats, Trainer};
 use bpmf_baselines::make_trainer;
 use bpmf_cli::{parse_args, CliError, Command, Options};
-use bpmf_sparse::read_matrix_market;
+use bpmf_sparse::{read_matrix_market, Csr};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +59,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&opts) {
+    let result = if opts.command == Command::ServeClient {
+        run_client(&opts)
+    } else {
+        run(&opts)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -268,7 +283,7 @@ fn run(opts: &Options) -> Result<(), CliError> {
             .recommender()
             .ok_or_else(|| CliError::new("training produced no model to recommend from"))?;
         let policy: RankPolicy = opts.recommend.policy.parse()?;
-        let mut service = RecommendService::new(rec, train.ncols()).policy(policy);
+        let mut service = RecommendService::new(rec, train.ncols());
         if opts.recommend.exclude_seen {
             service = service.exclude_seen(&train);
         }
@@ -277,8 +292,8 @@ fn run(opts: &Options) -> Result<(), CliError> {
         } else {
             opts.recommend.users.clone()
         };
-        // Validate every requested user before printing anything, so a bad
-        // one cannot leave a scripted consumer with partial output.
+        // Validate every requested user before printing anything: a bad id
+        // is a hard error (nonzero exit), never a silent clamp or skip.
         for &user in &users {
             if user >= train.nrows() {
                 return Err(CliError::new(format!(
@@ -287,36 +302,34 @@ fn run(opts: &Options) -> Result<(), CliError> {
                 )));
             }
         }
-        // Two or more users take the micro-batch path: one GEMM catalogue
-        // pass per 64-user block instead of a per-user scan each.
-        let lists: Vec<Vec<bpmf::serve::Recommendation>> = if users.len() >= 2 {
-            let block: Vec<u32> = users.iter().map(|&u| u as u32).collect();
-            service.recommend_batch(&block, opts.recommend.top_n)
-        } else {
-            users
-                .iter()
-                .map(|&u| service.top_n(u, opts.recommend.top_n))
-                .collect()
-        };
+        let reqs: Vec<ServeRequest> = users
+            .iter()
+            .map(|&u| ServeRequest {
+                user: u as u32,
+                top_n: opts.recommend.top_n,
+                policy,
+                exclude_seen: opts.recommend.exclude_seen,
+            })
+            .collect();
+        // Stream results out as each 64-user micro-batch completes (one
+        // GEMM catalogue pass per block) instead of buffering the whole
+        // run; per-request Thompson streams make each list identical to a
+        // single-user invocation regardless of batching.
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
-        for (&user, list) in users.iter().zip(&lists) {
-            writeln!(
-                out,
-                "top-{} for user {user} (policy {}):",
-                opts.recommend.top_n, opts.recommend.policy
-            )
-            .ok();
-            for (rank, r) in list.iter().enumerate() {
-                writeln!(
-                    out,
-                    "  {:2}. item {:6}  score {:.4}",
-                    rank + 1,
-                    r.item,
-                    r.score
-                )
-                .ok();
+        for chunk in reqs.chunks(MICRO_BATCH) {
+            let lists = service.recommend_each(chunk);
+            for (req, list) in chunk.iter().zip(&lists) {
+                let items: Vec<(u32, f64)> = list.iter().map(|r| (r.item, r.score)).collect();
+                bpmf_cli::write_top_n_list(
+                    &mut out,
+                    req.top_n,
+                    req.user as u64,
+                    &opts.recommend.policy,
+                    &items,
+                )?;
             }
+            out.flush().ok();
         }
     }
 
@@ -333,6 +346,180 @@ fn run(opts: &Options) -> Result<(), CliError> {
         bpmf_cli::write_factors(&format!("{prefix}_users.tsv"), u)?;
         bpmf_cli::write_factors(&format!("{prefix}_movies.tsv"), v)?;
         eprintln!("wrote {prefix}_users.tsv and {prefix}_movies.tsv");
+    }
+
+    // Last, because it blocks until shutdown: every other requested
+    // artifact (checkpoints, factors) is already on disk by the time the
+    // daemon starts serving.
+    if opts.command == Command::ServeDaemon {
+        run_daemon(opts, trainer.as_ref(), &train)?;
+    }
+    Ok(())
+}
+
+/// Process-wide graceful-shutdown flag: flipped by SIGINT/SIGTERM (and by
+/// a client's `shutdown` command, via the daemon).
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Route SIGINT (ctrl-c) and SIGTERM to the shutdown flag so the daemon
+/// drains in-flight batches instead of dying mid-reply. Raw `signal(2)`
+/// against the platform libc std already links — the store is
+/// async-signal-safe, and no crate dependency is needed.
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+/// The `serve-daemon` subcommand, once training has finished: wrap the
+/// fitted model in the coalescing TCP daemon and block until shutdown.
+fn run_daemon(opts: &Options, trainer: &dyn Trainer, train: &Csr) -> Result<(), CliError> {
+    let model = trainer
+        .shared_recommender()
+        .ok_or_else(|| CliError::new("training produced no model to serve"))?;
+    let default_policy: RankPolicy = opts.recommend.policy.parse()?;
+    let world = ServingModel {
+        model,
+        train: Some(train),
+        n_users: train.nrows(),
+        n_items: train.ncols(),
+    };
+    let cfg = DaemonConfig {
+        coalesce: CoalesceConfig {
+            max_batch: MICRO_BATCH,
+            batch_window: Duration::from_secs_f64(opts.serve.batch_window_ms / 1e3),
+            queue_cap: opts.serve.queue_cap,
+        },
+        workers: opts.serve.workers,
+        default_policy,
+        default_top_n: opts.recommend.top_n,
+        exclude_seen: opts.recommend.exclude_seen,
+    };
+    let listener = TcpListener::bind(&opts.serve.addr)
+        .map_err(|e| CliError::new(format!("cannot bind {}: {e}", opts.serve.addr)))?;
+    let addr = listener.local_addr()?;
+    install_shutdown_handler();
+    // Scripts (and the CI e2e harness) discover an ephemeral port from
+    // this line, so it goes to stdout and is flushed before serving.
+    println!("serving on {addr}");
+    std::io::stdout().flush()?;
+    eprintln!(
+        "serve-daemon: batch window {} ms, {} worker(s), queue cap {}, \
+         default policy {}; stop with ctrl-c or a {{\"cmd\":\"shutdown\"}} request",
+        opts.serve.batch_window_ms, opts.serve.workers, opts.serve.queue_cap, opts.recommend.policy
+    );
+    let report = daemon::serve(&world, listener, &cfg, &SHUTDOWN)
+        .map_err(|e| CliError::new(format!("daemon failed: {e}")))?;
+    eprintln!(
+        "daemon drained: {} requests in {} batches (largest {}) over {} connections, \
+         {} rejected",
+        report.requests, report.batches, report.largest_batch, report.connections, report.rejected
+    );
+    Ok(())
+}
+
+/// One synchronous request round trip on its own connection.
+fn client_request(addr: &str, req: &wire::Request) -> Result<wire::Response, CliError> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| CliError::new(format!("cannot connect to {addr}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut write_half = stream
+        .try_clone()
+        .map_err(|e| CliError::new(format!("socket clone failed: {e}")))?;
+    writeln!(write_half, "{}", wire::encode(req))?;
+    write_half.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(CliError::new(
+            "daemon closed the connection without replying",
+        ));
+    }
+    wire::decode_response(&line).map_err(CliError::new)
+}
+
+/// The `serve-client` subcommand: one concurrent connection per `--user`
+/// (CI fires 16+ at once through this), results printed in request order
+/// in exactly the `recommend` output format, then an optional shutdown.
+fn run_client(opts: &Options) -> Result<(), CliError> {
+    let addr = opts.serve.addr.as_str();
+    let users = &opts.recommend.users;
+    if users.is_empty() && !opts.serve.shutdown {
+        return Err(CliError::new(
+            "serve-client needs at least one --user (or --shutdown)",
+        ));
+    }
+    let results: Vec<Result<wire::Response, CliError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = users
+            .iter()
+            .map(|&user| {
+                s.spawn(move || {
+                    let req = wire::Request {
+                        id: user as u64,
+                        cmd: String::new(),
+                        user: Some(user as u32),
+                        top_n: opts.recommend.top_n,
+                        policy: opts.recommend.policy.clone(),
+                        exclude_seen: Some(opts.recommend.exclude_seen),
+                    };
+                    client_request(addr, &req)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    // Validate every reply before printing anything — the same
+    // no-partial-output invariant the `recommend` subcommand keeps, so
+    // the two outputs stay diffable even on mixed-validity request sets.
+    let mut replies = Vec::with_capacity(users.len());
+    for (&user, result) in users.iter().zip(results) {
+        let resp = result?;
+        if let Some(err) = resp.error {
+            return Err(CliError::new(format!("user {user}: daemon replied: {err}")));
+        }
+        replies.push(resp);
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (&user, resp) in users.iter().zip(&replies) {
+        let items: Vec<(u32, f64)> = resp.items.iter().map(|i| (i.item, i.score)).collect();
+        bpmf_cli::write_top_n_list(
+            &mut out,
+            opts.recommend.top_n,
+            user as u64,
+            &opts.recommend.policy,
+            &items,
+        )?;
+    }
+    out.flush()?;
+    drop(out);
+    if opts.serve.shutdown {
+        let req = wire::Request {
+            cmd: wire::CMD_SHUTDOWN.to_string(),
+            ..wire::Request::default()
+        };
+        let resp = client_request(addr, &req)?;
+        if let Some(err) = resp.error {
+            return Err(CliError::new(format!("shutdown refused: {err}")));
+        }
+        eprintln!("daemon acknowledged shutdown");
     }
     Ok(())
 }

@@ -227,6 +227,215 @@ fn distributed_algorithm_trains_from_the_cli() {
 }
 
 #[test]
+fn recommend_rejects_out_of_range_user_with_nonzero_exit_and_no_partial_output() {
+    let dir = std::env::temp_dir().join(format!("bpmf_cli_oor_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("ratings.mtx");
+
+    let ds = bpmf_dataset::chembl_like(0.003, 13);
+    let mut buf = Vec::new();
+    bpmf_sparse::write_matrix_market(&mut buf, &ds.train).unwrap();
+    std::fs::write(&mtx, &buf).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args([
+            "recommend",
+            "--train",
+            mtx.to_str().unwrap(),
+            "--k",
+            "4",
+            "--burnin",
+            "1",
+            "--samples",
+            "2",
+            "--threads",
+            "1",
+            "--user",
+            "0",
+            "--user",
+            "1000000",
+        ])
+        .output()
+        .expect("binary should run");
+    assert!(!output.status.success(), "out-of-range user must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("out of range"), "{stderr}");
+    // The bad id is rejected before any list is printed: scripted
+    // consumers never see partial output.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(!stdout.contains("top-"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_daemon_binary_end_to_end_matches_offline_recommend() {
+    let dir = std::env::temp_dir().join(format!("bpmf_cli_daemon_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mtx = dir.join("ratings.mtx");
+    let ckpt = dir.join("model.json");
+
+    let ds = bpmf_dataset::chembl_like(0.003, 31);
+    let mut buf = Vec::new();
+    bpmf_sparse::write_matrix_market(&mut buf, &ds.train).unwrap();
+    std::fs::write(&mtx, &buf).unwrap();
+
+    let train_args = |extra: &[&str]| {
+        let mut v = vec![
+            "--train".to_string(),
+            mtx.to_str().unwrap().to_string(),
+            "--k".into(),
+            "4".into(),
+            "--burnin".into(),
+            "2".into(),
+            "--samples".into(),
+            "4".into(),
+            "--threads".into(),
+            "1".into(),
+            "--seed".into(),
+            "9".into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+
+    // Train once, checkpoint the chain; every later invocation resumes it
+    // (zero further iterations), so daemon and offline serve the
+    // bit-identical model.
+    let trained = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args(train_args(&["--checkpoint", ckpt.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(
+        trained.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&trained.stderr)
+    );
+
+    let users: Vec<String> = (0..8).map(|u| u.to_string()).collect();
+    let user_flags: Vec<String> = users
+        .iter()
+        .flat_map(|u| ["--user".to_string(), u.clone()])
+        .collect();
+    let policies = ["mean", "ucb:0.5", "thompson:9"];
+
+    // Offline references through the plain `recommend` subcommand.
+    let mut offline = Vec::new();
+    for policy in policies {
+        let mut args = vec!["recommend".to_string()];
+        args.extend(train_args(&["--resume", ckpt.to_str().unwrap()]));
+        args.extend(user_flags.clone());
+        args.extend(["--top-n".into(), "5".into(), "--exclude-seen".into()]);
+        args.extend(["--policy".into(), policy.to_string()]);
+        let out = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+            .args(&args)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "offline {policy} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let lists: Vec<String> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .skip_while(|l| !l.starts_with("top-"))
+            .map(str::to_string)
+            .collect();
+        assert_eq!(lists.len(), 8 * 6, "8 users × (header + 5 items)");
+        offline.push(lists);
+    }
+
+    // Daemon on an ephemeral port, resumed from the same checkpoint.
+    let mut daemon_args = vec!["serve-daemon".to_string()];
+    daemon_args.extend(train_args(&["--resume", ckpt.to_str().unwrap()]));
+    daemon_args.extend([
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--batch-window".into(),
+        "5".into(),
+        "--workers".into(),
+        "2".into(),
+    ]);
+    // Kill the daemon even when an assertion below panics, so a failing
+    // test run never leaks a listening bpmf-train process.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+    let mut daemon = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+            .args(&daemon_args)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("daemon spawns"),
+    );
+    // The daemon announces its bound address on stdout once ready.
+    let mut daemon_stdout = std::io::BufReader::new(daemon.0.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        use std::io::BufRead as _;
+        assert!(
+            daemon_stdout.read_line(&mut line).unwrap() > 0,
+            "daemon exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("serving on ") {
+            break rest.to_string();
+        }
+    };
+
+    // 8 concurrent clients per policy; output format matches `recommend`.
+    for (policy, offline_lists) in policies.iter().zip(&offline) {
+        let mut args = vec![
+            "serve-client".to_string(),
+            "--addr".into(),
+            addr.clone(),
+            "--top-n".into(),
+            "5".into(),
+            "--exclude-seen".into(),
+            "--policy".into(),
+            policy.to_string(),
+        ];
+        args.extend(user_flags.clone());
+        let out = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+            .args(&args)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "client {policy} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let got: Vec<String> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(
+            &got, offline_lists,
+            "daemon must serve exactly the offline rankings ({policy})"
+        );
+    }
+
+    // Graceful shutdown: ack + daemon exit code 0.
+    let shut = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
+        .args(["serve-client", "--addr", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(
+        shut.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&shut.stderr)
+    );
+    let status = daemon.0.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_and_error_paths() {
     let help = Command::new(env!("CARGO_BIN_EXE_bpmf-train"))
         .arg("--help")

@@ -218,6 +218,14 @@ pub trait Trainer {
 
     /// The fitted model, once [`Trainer::fit`] has succeeded.
     fn recommender(&self) -> Option<&dyn Recommender>;
+
+    /// The fitted model as a thread-shareable reference, for concurrent
+    /// serving (the daemon's worker pool needs `Sync` to share one model
+    /// across workers). Every built-in trainer overrides this; the
+    /// default conservatively says "not shareable".
+    fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
+        None
+    }
 }
 
 /// A fitted model that scores user–item pairs.
@@ -1032,6 +1040,10 @@ impl Trainer for GibbsTrainer {
 
     fn recommender(&self) -> Option<&dyn Recommender> {
         self.model.as_ref().map(|m| m as &dyn Recommender)
+    }
+
+    fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
+        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
     }
 }
 

@@ -943,6 +943,10 @@ impl Trainer for DistributedTrainer {
     fn recommender(&self) -> Option<&dyn Recommender> {
         self.model.as_ref().map(|m| m as &dyn Recommender)
     }
+
+    fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
+        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+    }
 }
 
 /// Rank-local squared error over owned test points, then a deterministic

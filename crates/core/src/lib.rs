@@ -35,7 +35,10 @@
 //! * the serving layer ([`serve`]) — [`serve::RecommendService`]: batched
 //!   scoring through the blocked linalg kernels, top-N recommendation with
 //!   candidate filtering (exclude-seen, allow/deny lists, min-support),
-//!   and uncertainty-aware ranking policies (mean / UCB / Thompson);
+//!   uncertainty-aware ranking policies (mean / UCB / Thompson), and the
+//!   persistent serving daemon ([`serve::daemon`]): concurrent TCP
+//!   requests coalesced ([`serve::coalesce`]) into GEMM micro-batches
+//!   behind a newline-delimited JSON protocol ([`serve::wire`]);
 //! * [`FeatureSideInfo`] — Macau-style side information (the paper's
 //!   reference \[6\]): per-item features shift the prior mean through a
 //!   Gibbs-sampled link matrix, closing the ChEMBL cold-start gap;
@@ -100,6 +103,38 @@
 //! assert_eq!(lists.len(), 3);
 //! let direct = service.top_n(1, 2);
 //! assert!(lists[1].iter().zip(&direct).all(|(a, b)| a.item == b.item));
+//!
+//! // Genuinely concurrent traffic? Keep the model resident behind the
+//! // serving daemon: requests arriving over TCP (newline-delimited JSON)
+//! // are *coalesced* into those same GEMM micro-batches — flush at 64
+//! // pending or the batch window, whichever first — and each reply is
+//! // routed back to its connection. `bpmf-train serve-daemon` wraps
+//! // exactly this; see `serve::daemon` for the architecture.
+//! use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+//! use bpmf::serve::wire;
+//! use std::io::{BufRead as _, BufReader, Write as _};
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//!
+//! let world = ServingModel {
+//!     model: trainer.shared_recommender().expect("fitted"),
+//!     train: Some(&r),
+//!     n_users: r.nrows(),
+//!     n_items: r.ncols(),
+//! };
+//! let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! let addr = listener.local_addr().unwrap();
+//! let stop = AtomicBool::new(false);
+//! std::thread::scope(|s| {
+//!     let daemon = s.spawn(|| daemon::serve(&world, listener, &DaemonConfig::default(), &stop));
+//!     let mut conn = std::net::TcpStream::connect(addr).unwrap();
+//!     writeln!(conn, "{}", wire::encode(&wire::Request::recommend(7, 1))).unwrap();
+//!     let mut reply = String::new();
+//!     BufReader::new(conn.try_clone().unwrap()).read_line(&mut reply).unwrap();
+//!     let resp = wire::decode_response(&reply).unwrap();
+//!     assert!(resp.error.is_none() && resp.id == 7);
+//!     stop.store(true, Ordering::Relaxed); // SIGINT in the CLI
+//!     daemon.join().unwrap().unwrap(); // drains in-flight batches
+//! });
 //! # Ok::<(), bpmf::BpmfError>(())
 //! ```
 //!

@@ -28,7 +28,52 @@
 //!   mean, by UCB (`mean + β·std`), or by Thompson sampling, the latter
 //!   two driven by [`Recommender::predict_with_uncertainty`] — the
 //!   exploration/exploitation knob BPMF's posterior provides "for free"
-//!   (point estimators degrade gracefully to the mean).
+//!   (point estimators degrade gracefully to the mean);
+//! * **the serving daemon** ([`daemon`]) — a persistent TCP process that
+//!   turns micro-batching from an offline trick into a serving
+//!   architecture by *coalescing* genuinely concurrent traffic.
+//!
+//! # Daemon architecture
+//!
+//! The daemon decouples request arrival from batched computation (the
+//! asynchronous-communication idea of the paper's follow-up, applied to
+//! serving):
+//!
+//! ```text
+//!  client conns          bounded MPSC            worker pool
+//!  ┌──────────┐  submit  ┌───────────┐  batch   ┌─────────────────────┐
+//!  │ reader 0 ├───────┐  │ coalesce  │ ≤64 reqs │ RecommendService #0 │
+//!  │ reader 1 ├───────┼─▶│  ::Queue  ├─────────▶│ RecommendService #1 │
+//!  │ reader N ├───────┘  │ (deadline │          │   … recommend_each  │
+//!  └──────────┘          │  │ size)  │          │   one GEMM / block  │
+//!        ▲               └───────────┘          └──────────┬──────────┘
+//!        └────────────── per-connection writer ◀───────────┘
+//! ```
+//!
+//! * Every connection reader parses newline-delimited JSON ([`wire`]),
+//!   resolves per-request policy/filters against the daemon defaults, and
+//!   submits to one **bounded** queue ([`coalesce::Queue`]) — a full
+//!   queue blocks the reader, which is the backpressure that keeps a
+//!   traffic spike from ballooning memory.
+//! * Workers drain the queue in **blocks**: a batch flushes when
+//!   [`MICRO_BATCH`] requests are pending *or* the oldest request has
+//!   waited `batch_window`, whichever comes first. The window is the
+//!   latency/efficiency knob: `0` serves every request alone (lowest
+//!   possible queueing delay, one catalogue pass per request); a few
+//!   milliseconds lets concurrent requests share one packed-GEMM
+//!   catalogue pass ([`RecommendService::recommend_each`] →
+//!   [`Recommender::score_block`]) at the cost of at most that much
+//!   added latency under light load.
+//! * Each worker owns a [`RecommendService`] over the *shared* model, so
+//!   the transposed/packed factor caches (`OnceLock`) are built once per
+//!   process and shared by every worker, and each user's reply is routed
+//!   back to its originating connection through the per-connection
+//!   writer.
+//!
+//! Results are **arrival-order independent**: scoring is per-row
+//! deterministic regardless of batch composition, and Thompson draws use
+//! a fresh per-request stream (see [`RecommendService::recommend_each`]),
+//! so coalescing never changes what any individual client receives.
 //!
 //! ```
 //! use bpmf::serve::{RankPolicy, RecommendService};
@@ -53,6 +98,10 @@
 //! assert!(top.len() <= 3);
 //! assert!(top.iter().all(|rec| rec.item != 0 && rec.item != 1), "seen items filtered");
 //! ```
+
+pub mod coalesce;
+pub mod daemon;
+pub mod wire;
 
 use std::str::FromStr;
 
@@ -138,6 +187,24 @@ pub struct Recommendation {
     /// The policy's ranking score (posterior-mean prediction under
     /// [`RankPolicy::Mean`]; includes the exploration term otherwise).
     pub score: f64,
+}
+
+/// One fully-resolved serving request inside a coalesced batch — the unit
+/// the daemon's workers execute through
+/// [`RecommendService::recommend_each`]. Per-request knobs (policy,
+/// exclude-seen) have already been resolved against the daemon defaults by
+/// the time one of these exists.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeRequest {
+    /// User to recommend for.
+    pub user: u32,
+    /// List length (must be ≥ 1).
+    pub top_n: usize,
+    /// Ranking policy for this request.
+    pub policy: RankPolicy,
+    /// Skip the user's already-rated items (no-op when the service has no
+    /// training matrix attached).
+    pub exclude_seen: bool,
 }
 
 /// A serving front-end over any fitted [`Recommender`].
@@ -325,6 +392,47 @@ impl<'a> RecommendService<'a> {
         top
     }
 
+    /// Serve a batch of heterogeneous requests — each with its own policy
+    /// and exclude-seen choice — scoring [`MICRO_BATCH`] users per
+    /// `Recommender::score_block` call exactly like
+    /// [`RecommendService::recommend_batch`]. This is the execution path
+    /// of the serving daemon's coalesced batches.
+    ///
+    /// Unlike `recommend_batch`, Thompson requests draw from a **fresh
+    /// stream seeded from the request's own policy seed**, so every
+    /// request's result is exactly what a fresh service would return from
+    /// a single [`RecommendService::top_n`] call — independent of arrival
+    /// order, batch composition, and whatever the service served before.
+    /// (That per-request determinism is what lets the daemon coalesce
+    /// traffic without changing any client's answer.) Results come back
+    /// in `reqs` order.
+    pub fn recommend_each(&mut self, reqs: &[ServeRequest]) -> Vec<Vec<Recommendation>> {
+        let n_items = self.n_items;
+        let mut block = std::mem::take(&mut self.block_scores);
+        let mut users = Vec::with_capacity(MICRO_BATCH.min(reqs.len()));
+        let mut out = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(MICRO_BATCH) {
+            block.resize(chunk.len() * n_items, 0.0);
+            users.clear();
+            users.extend(chunk.iter().map(|r| r.user));
+            self.model.score_block(&users, &mut block);
+            for (i, req) in chunk.iter().enumerate() {
+                assert!(req.top_n > 0, "top-n needs n >= 1");
+                let row = &block[i * n_items..(i + 1) * n_items];
+                out.push(self.select_for(
+                    req.user as usize,
+                    req.top_n,
+                    row,
+                    req.policy,
+                    req.exclude_seen,
+                    StreamMode::Fresh,
+                ));
+            }
+        }
+        self.block_scores = block;
+        out
+    }
+
     /// Top-`n` lists for a **block** of users — the multi-user micro-batch
     /// serving path of the roadmap's heavy-traffic north star.
     ///
@@ -357,18 +465,43 @@ impl<'a> RecommendService<'a> {
     }
 
     /// Policy scoring + filtering + bounded top-`n` selection over an
-    /// already-computed whole-catalogue score row.
+    /// already-computed whole-catalogue score row, under the service-wide
+    /// policy and filters (shared Thompson stream).
     fn select_top_n(&mut self, user: usize, n: usize, scores: &[f64]) -> Vec<Recommendation> {
+        let (policy, exclude_seen) = (self.policy, self.exclude_seen);
+        self.select_for(user, n, scores, policy, exclude_seen, StreamMode::Shared)
+    }
+
+    /// Selection under explicit per-request policy and filters. With
+    /// [`StreamMode::Fresh`], Thompson draws come from a stream freshly
+    /// seeded from the request's policy seed (arrival-order independent);
+    /// with [`StreamMode::Shared`], they consume the service's persistent
+    /// stream (the historical `top_n`/`recommend_batch` behaviour).
+    fn select_for(
+        &mut self,
+        user: usize,
+        n: usize,
+        scores: &[f64],
+        policy: RankPolicy,
+        exclude_seen: bool,
+        stream: StreamMode,
+    ) -> Vec<Recommendation> {
         // Uncertainty-aware policies take one batched std scan up front
         // instead of a per-candidate `predict_with_uncertainty` round trip
         // (which would recompute every mean only to discard it).
-        let has_std = if self.policy == RankPolicy::Mean {
+        let has_std = if policy == RankPolicy::Mean {
             false
         } else {
             self.stds.resize(self.n_items, 0.0);
             self.model.uncertainty_all(user, &mut self.stds)
         };
-        let seen: &[u32] = match (self.exclude_seen, self.train) {
+        let mut fresh_rng = match (stream, policy) {
+            (StreamMode::Fresh, RankPolicy::Thompson { seed }) => {
+                Some(Xoshiro256pp::seed_from_u64(seed))
+            }
+            _ => None,
+        };
+        let seen: &[u32] = match (exclude_seen, self.train) {
             (true, Some(train)) => train.row(user).0,
             _ => &[],
         };
@@ -384,10 +517,13 @@ impl<'a> RecommendService<'a> {
                 continue;
             }
             let std = if has_std { self.stds[item] } else { 0.0 };
-            let score = match self.policy {
+            let score = match policy {
                 RankPolicy::Mean => mean,
                 RankPolicy::Ucb { beta } => mean + beta * std,
-                RankPolicy::Thompson { .. } => normal(&mut self.rng, mean, std),
+                RankPolicy::Thompson { .. } => {
+                    let rng = fresh_rng.as_mut().unwrap_or(&mut self.rng);
+                    normal(rng, mean, std)
+                }
             };
             let cand = Recommendation {
                 item: item as u32,
@@ -409,6 +545,15 @@ impl<'a> RecommendService<'a> {
         });
         heap
     }
+}
+
+/// Where Thompson draws come from during one selection pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum StreamMode {
+    /// The service's persistent stream (stateful across calls).
+    Shared,
+    /// A stream freshly seeded from the request's policy seed.
+    Fresh,
 }
 
 /// `a` outranks `b`: higher score wins, ties go to the smaller item id.

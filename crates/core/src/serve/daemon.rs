@@ -1,0 +1,481 @@
+//! The persistent serving daemon: a TCP front-end over the request
+//! coalescer (see the [`crate::serve`] module docs for the architecture
+//! diagram).
+//!
+//! [`serve`] blocks the calling thread until shutdown is requested —
+//! either by flipping the caller-owned `shutdown` flag (the CLI wires
+//! SIGINT/ctrl-c to it) or by a client sending the
+//! [`wire::CMD_SHUTDOWN`] command — then drains every request accepted
+//! before the signal and returns a [`DaemonReport`]. All threads (worker
+//! pool, one reader + one writer per connection) live inside one
+//! [`std::thread::scope`], so the model is borrowed, not `Arc`ed: any
+//! fitted [`crate::Recommender`] that is `Sync` can be served without
+//! changing how it is owned.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use bpmf_sparse::Csr;
+
+use crate::api::Recommender;
+use crate::serve::coalesce::{CoalesceConfig, Queue};
+use crate::serve::{wire, RankPolicy, RecommendService, ServeRequest};
+
+/// How often the accept loop re-checks the shutdown flag. Short, because
+/// it is also the worst-case wait before a new connection is picked up —
+/// accept latency lands on the client's first request.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// How often connection readers re-check the shutdown flag while blocked
+/// on a quiet socket (pure shutdown responsiveness; data arriving wakes
+/// the read immediately regardless).
+const POLL: Duration = Duration::from_millis(25);
+
+/// A protocol line longer than this kills the connection (typed error
+/// first): past it the stream is more likely desynchronized garbage than
+/// a request.
+const MAX_LINE: usize = 1 << 20;
+
+/// Everything the daemon serves from: the fitted model plus the training
+/// matrix for exclude-seen filtering and the catalogue/user-count bounds
+/// requests are validated against.
+pub struct ServingModel<'a> {
+    /// The fitted model, shareable across the worker pool.
+    pub model: &'a (dyn Recommender + Sync),
+    /// Training ratings; enables per-request exclude-seen.
+    pub train: Option<&'a Csr>,
+    /// Number of users requests may address (`user < n_users`).
+    pub n_users: usize,
+    /// Catalogue size (score-row width).
+    pub n_items: usize,
+}
+
+/// Daemon knobs. `Default` is a coalescing configuration: 64-request
+/// blocks, 2 ms window, one worker.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Batching rules for the request queue.
+    pub coalesce: CoalesceConfig,
+    /// Worker threads executing batches (each owns a
+    /// [`RecommendService`] over the shared model).
+    pub workers: usize,
+    /// Policy for requests that don't name one.
+    pub default_policy: RankPolicy,
+    /// List length for requests that don't give one.
+    pub default_top_n: usize,
+    /// Exclude-seen for requests that don't say (needs `train`).
+    pub exclude_seen: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            coalesce: CoalesceConfig::default(),
+            workers: 1,
+            default_policy: RankPolicy::Mean,
+            default_top_n: 10,
+            exclude_seen: false,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned by [`serve`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered with a ranking.
+    pub requests: u64,
+    /// `recommend_each` batches executed (`requests / batches` is the
+    /// realized coalescing factor).
+    pub batches: u64,
+    /// Largest single batch.
+    pub largest_batch: u64,
+    /// Lines answered with a typed error (malformed, validation, or
+    /// refused during shutdown).
+    pub rejected: u64,
+    /// Worker panics survived (a panicking scorer loses its current
+    /// batch but never wedges the daemon; persistent panics trigger a
+    /// fail-fast shutdown).
+    pub worker_panics: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+    rejected: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// One queued request: the resolved work plus the way home.
+struct Job {
+    id: u64,
+    req: ServeRequest,
+    reply: mpsc::Sender<wire::Response>,
+}
+
+/// Run the daemon on `listener` until shutdown, then drain and report.
+///
+/// The listener may be bound to port 0; read the real address off
+/// `listener.local_addr()` before calling. `shutdown` is observed within
+/// [`POLL`] and may be flipped by a signal handler, another thread, or a
+/// client's `shutdown` command (the daemon flips it itself in that case).
+pub fn serve(
+    world: &ServingModel<'_>,
+    listener: TcpListener,
+    cfg: &DaemonConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<DaemonReport> {
+    listener.set_nonblocking(true)?;
+    let queue: Queue<Job> = Queue::new(cfg.coalesce);
+    let counters = Counters::default();
+
+    std::thread::scope(|s| {
+        for _ in 0..cfg.workers.max(1) {
+            s.spawn(|| worker_loop(world, &queue, &counters, shutdown));
+        }
+        while !shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    counters.connections.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|| handle_connection(stream, world, cfg, &queue, shutdown, &counters));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Accept failure is fatal for new traffic; drain what
+                    // we have and surface the error.
+                    shutdown.store(true, Ordering::Relaxed);
+                    queue.shutdown();
+                    return Err(e);
+                }
+            }
+        }
+        // Stop accepting, drain everything already queued, let every
+        // in-flight reply reach its socket (scope join waits for the
+        // per-connection writers).
+        queue.shutdown();
+        Ok(())
+    })?;
+
+    Ok(DaemonReport {
+        connections: counters.connections.load(Ordering::Relaxed),
+        requests: counters.requests.load(Ordering::Relaxed),
+        batches: counters.batches.load(Ordering::Relaxed),
+        largest_batch: counters.largest_batch.load(Ordering::Relaxed),
+        rejected: counters.rejected.load(Ordering::Relaxed),
+        worker_panics: counters.worker_panics.load(Ordering::Relaxed),
+    })
+}
+
+/// Consecutive worker panics tolerated before the worker declares the
+/// model unservable and fail-fasts the daemon.
+const MAX_WORKER_PANICS: u64 = 3;
+
+/// Worker: pull coalesced batches, execute them through one owned
+/// [`RecommendService`], route each reply to its connection.
+///
+/// A panicking scorer must not wedge the daemon: if nobody drains the
+/// queue, queued jobs keep their reply senders alive, writers block on
+/// them, readers block joining writers, and the scope join never
+/// completes. So the serving loop runs under `catch_unwind`: a panic
+/// loses the batch in hand (its jobs drop unanswered, which unblocks
+/// their writers) and the worker restarts with a fresh service; after
+/// [`MAX_WORKER_PANICS`] the worker initiates shutdown and drains the
+/// queue with typed error replies instead.
+fn worker_loop(
+    world: &ServingModel<'_>,
+    queue: &Queue<Job>,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+) {
+    let mut panics = 0;
+    while panics < MAX_WORKER_PANICS {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_batches(world, queue, counters)
+        }));
+        match run {
+            Ok(()) => return, // queue drained and shut down
+            Err(_) => {
+                counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                panics += 1;
+            }
+        }
+    }
+    // The model itself is broken (e.g. a scorer that always panics):
+    // stop accepting, fail everything still queued, keep the join clean.
+    shutdown.store(true, Ordering::Relaxed);
+    queue.shutdown();
+    while let Some(batch) = queue.next_batch() {
+        counters
+            .rejected
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for job in batch {
+            let _ = job.reply.send(wire::Response::failure(
+                job.id,
+                job.req.user,
+                "internal error: serving worker failed",
+            ));
+        }
+    }
+}
+
+/// The actual serving loop (split out so [`worker_loop`] can restart it
+/// after a panic with a freshly built service).
+fn serve_batches(world: &ServingModel<'_>, queue: &Queue<Job>, counters: &Counters) {
+    let mut service = RecommendService::new(world.model, world.n_items);
+    if let Some(train) = world.train {
+        service = service.exclude_seen(train);
+    }
+    let mut reqs: Vec<ServeRequest> = Vec::new();
+    while let Some(batch) = queue.next_batch() {
+        reqs.clear();
+        reqs.extend(batch.iter().map(|j| j.req));
+        let lists = service.recommend_each(&reqs);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .largest_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        counters
+            .requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for (job, list) in batch.into_iter().zip(lists) {
+            // A send error just means the connection died first.
+            let _ = job
+                .reply
+                .send(wire::Response::success(job.id, job.req.user, &list));
+        }
+    }
+}
+
+/// Connection reader: split the byte stream into lines, answer each, and
+/// keep the writer alive until every in-flight reply has been delivered.
+fn handle_connection(
+    stream: TcpStream,
+    world: &ServingModel<'_>,
+    cfg: &DaemonConfig,
+    queue: &Queue<Job>,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+) {
+    stream.set_nodelay(true).ok();
+    // Whether an accepted socket inherits the listener's nonblocking mode
+    // is platform-dependent (BSD inherits it, Linux does not). The reader
+    // relies on the read *timeout* below for shutdown polling — an
+    // inherited O_NONBLOCK would turn it into a busy-spin — so clear it
+    // explicitly.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    // The timeout is how a blocked reader notices shutdown.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<wire::Response>();
+    // The writer owns its half outright ('static), so a plain thread
+    // works; the reader joins it on the way out, which keeps the scope's
+    // join honest about undelivered replies.
+    let writer = std::thread::spawn(move || writer_loop(write_half, rx));
+
+    let mut stream = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // When shutdown lands, the reader doesn't quit cold: requests whose
+    // bytes already reached this socket may not have been parsed yet, and
+    // "drain what was accepted" should include them. One bounded drain
+    // pass picks them up; the deadline keeps a client that streams
+    // through shutdown from pinning the daemon open.
+    let mut drain_deadline: Option<std::time::Instant> = None;
+    'conn: loop {
+        if shutdown.load(Ordering::Relaxed) {
+            match drain_deadline {
+                None => drain_deadline = Some(std::time::Instant::now() + 4 * POLL),
+                Some(d) if std::time::Instant::now() >= d => break,
+                Some(_) => {}
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF: client hung up
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if !process_line(&line, world, cfg, queue, shutdown, counters, &tx) {
+                        break 'conn;
+                    }
+                }
+                if pending.len() > MAX_LINE {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(wire::Response::failure(0, 0, "request line too long"));
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // A quiet socket during the drain pass means nothing left
+                // to pick up.
+                if drain_deadline.is_some() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Answer one protocol line. Returns `false` when the connection should
+/// close (shutdown command).
+fn process_line(
+    line: &str,
+    world: &ServingModel<'_>,
+    cfg: &DaemonConfig,
+    queue: &Queue<Job>,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+    tx: &mpsc::Sender<wire::Response>,
+) -> bool {
+    let req = match wire::decode_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(wire::Response::failure(0, 0, e));
+            return true;
+        }
+    };
+    match req.cmd.as_str() {
+        wire::CMD_PING => {
+            let _ = tx.send(wire::Response::ack(req.id));
+            true
+        }
+        wire::CMD_SHUTDOWN => {
+            let _ = tx.send(wire::Response::ack(req.id));
+            shutdown.store(true, Ordering::Relaxed);
+            false
+        }
+        "" | wire::CMD_RECOMMEND => {
+            let user = req.user.unwrap_or(0);
+            match resolve(&req, world, cfg) {
+                Err(msg) => {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(wire::Response::failure(req.id, user, msg));
+                }
+                Ok(resolved) => {
+                    let job = Job {
+                        id: req.id,
+                        req: resolved,
+                        reply: tx.clone(),
+                    };
+                    if let Err(job) = queue.submit(job) {
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(wire::Response::failure(
+                            job.id,
+                            job.req.user,
+                            "daemon is shutting down",
+                        ));
+                    }
+                }
+            }
+            true
+        }
+        other => {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(wire::Response::failure(
+                req.id,
+                req.user.unwrap_or(0),
+                format!("unknown cmd `{other}`"),
+            ));
+            true
+        }
+    }
+}
+
+/// Validate a recommend request and resolve its blanks against the daemon
+/// defaults. Every rejection here becomes a typed error reply.
+fn resolve(
+    req: &wire::Request,
+    world: &ServingModel<'_>,
+    cfg: &DaemonConfig,
+) -> Result<ServeRequest, String> {
+    let user = req.user.ok_or_else(|| "missing field `user`".to_string())?;
+    if (user as usize) >= world.n_users {
+        return Err(format!(
+            "user {user} out of range ({} users)",
+            world.n_users
+        ));
+    }
+    // Clamp to the catalogue: a list can't be longer than the catalogue
+    // anyway, and an absurd network-supplied value must not size the
+    // selection heap (that would be a one-request memory DoS).
+    let top_n = if req.top_n == 0 {
+        cfg.default_top_n
+    } else {
+        req.top_n
+    }
+    .min(world.n_items)
+    .max(1);
+    let policy = if req.policy.is_empty() {
+        cfg.default_policy
+    } else {
+        req.policy
+            .parse::<RankPolicy>()
+            .map_err(|e| e.to_string())?
+    };
+    let exclude_seen = req.exclude_seen.unwrap_or(cfg.exclude_seen);
+    if exclude_seen && world.train.is_none() {
+        return Err("exclude_seen unavailable: daemon has no training matrix".to_string());
+    }
+    Ok(ServeRequest {
+        user,
+        top_n,
+        policy,
+        exclude_seen,
+    })
+}
+
+/// Connection writer: serialize replies in completion order, stop on a
+/// dead socket. Flushes are **batched**: when a coalesced batch (or a
+/// pipelining client) completes several replies for this connection at
+/// once, they leave in one syscall — the channel is drained before the
+/// flush, and only then does the writer block again.
+fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<wire::Response>) {
+    let mut out = std::io::BufWriter::new(stream);
+    'live: while let Ok(first) = rx.recv() {
+        let mut resp = first;
+        loop {
+            if writeln!(out, "{}", wire::encode(&resp)).is_err() {
+                break 'live;
+            }
+            match rx.try_recv() {
+                Ok(next) => resp = next,
+                Err(_) => break,
+            }
+        }
+        if out.flush().is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The daemon's wire protocol: newline-delimited JSON, one message per
+//! line, shared by the server ([`crate::serve::daemon`]), the CLI client
+//! mode, and the benchmark harness.
+//!
+//! Decoding is deliberately tolerant — every field is optional on the
+//! wire (`#[serde(default)]`), unknown fields are ignored, and a request
+//! that cannot be parsed or validated gets a **typed error reply**
+//! ([`Response::failure`]) on the same connection instead of a dropped
+//! socket, so a buggy client can observe *what* it sent wrong. Requests
+//! carry a client-chosen `id` that is echoed verbatim in the reply, which
+//! is what lets a client pipeline many requests on one connection and
+//! match the replies back up (batch completion order is not arrival
+//! order).
+//!
+//! ```text
+//! → {"id":1,"user":42,"top_n":3,"policy":"ucb:0.5","exclude_seen":true}
+//! ← {"id":1,"user":42,"items":[{"item":7,"score":4.31},…],"error":null}
+//! → not json
+//! ← {"id":0,"user":0,"items":[],"error":"malformed request: …"}
+//! → {"cmd":"shutdown"}
+//! ← {"id":0,"user":0,"items":[],"error":null}        (ack, then drain+exit)
+//! ```
+
+use crate::serve::Recommendation;
+
+/// Ask for recommendations (the default when `cmd` is empty).
+pub const CMD_RECOMMEND: &str = "recommend";
+/// Liveness probe; replied to immediately, bypassing the coalescer.
+pub const CMD_PING: &str = "ping";
+/// Begin graceful shutdown: ack, drain queued requests, exit 0.
+pub const CMD_SHUTDOWN: &str = "shutdown";
+
+/// One client request line. Everything is optional on the wire; the
+/// daemon resolves blanks against its configured defaults.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the reply.
+    #[serde(default)]
+    pub id: u64,
+    /// `""`/`"recommend"`, `"ping"`, or `"shutdown"`.
+    #[serde(default)]
+    pub cmd: String,
+    /// User to recommend for. Required for recommend requests; its
+    /// absence is a typed error, not a silent user 0.
+    #[serde(default)]
+    pub user: Option<u32>,
+    /// List length; 0 means the daemon default.
+    #[serde(default)]
+    pub top_n: usize,
+    /// Ranking policy (`mean` | `ucb[:beta]` | `thompson[:seed]`); empty
+    /// means the daemon default.
+    #[serde(default)]
+    pub policy: String,
+    /// Override the daemon's exclude-seen default for this request.
+    #[serde(default)]
+    pub exclude_seen: Option<bool>,
+}
+
+impl Request {
+    /// A plain recommend request for `user` with daemon-default knobs.
+    pub fn recommend(id: u64, user: u32) -> Self {
+        Request {
+            id,
+            user: Some(user),
+            ..Request::default()
+        }
+    }
+}
+
+/// One ranked item inside a [`Response`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankedItem {
+    /// Item (movie) id.
+    pub item: u32,
+    /// Policy score (see [`Recommendation::score`]).
+    pub score: f64,
+}
+
+impl From<Recommendation> for RankedItem {
+    fn from(r: Recommendation) -> Self {
+        RankedItem {
+            item: r.item,
+            score: r.score,
+        }
+    }
+}
+
+/// One server reply line. `error` is `None` on success; on failure it
+/// explains what was wrong with the request and `items` is empty.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Response {
+    /// The request's correlation id (0 for unparseable lines).
+    #[serde(default)]
+    pub id: u64,
+    /// The request's user (0 when unknown).
+    #[serde(default)]
+    pub user: u32,
+    /// Ranked best-first recommendations.
+    #[serde(default)]
+    pub items: Vec<RankedItem>,
+    /// What went wrong, when something did.
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A successful reply carrying a ranked list.
+    pub fn success(id: u64, user: u32, recs: &[Recommendation]) -> Self {
+        Response {
+            id,
+            user,
+            items: recs.iter().copied().map(RankedItem::from).collect(),
+            error: None,
+        }
+    }
+
+    /// A typed error reply.
+    pub fn failure(id: u64, user: u32, error: impl Into<String>) -> Self {
+        Response {
+            id,
+            user,
+            items: Vec::new(),
+            error: Some(error.into()),
+        }
+    }
+
+    /// An empty acknowledgement (ping/shutdown).
+    pub fn ack(id: u64) -> Self {
+        Response {
+            id,
+            ..Response::default()
+        }
+    }
+}
+
+/// Serialize one message as a single JSON line (no trailing newline; the
+/// writer adds it).
+pub fn encode<T: serde::Serialize>(msg: &T) -> String {
+    // The value-tree serializer is infallible for these derive shapes.
+    serde_json::to_string(msg).expect("wire messages serialize")
+}
+
+/// Parse one request line.
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("malformed request: {e}"))
+}
+
+/// Parse one response line.
+pub fn decode_response(line: &str) -> Result<Response, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("malformed response: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_with_every_field() {
+        let req = Request {
+            id: 9,
+            cmd: CMD_RECOMMEND.to_string(),
+            user: Some(42),
+            top_n: 5,
+            policy: "ucb:0.5".to_string(),
+            exclude_seen: Some(true),
+        };
+        let line = encode(&req);
+        assert!(!line.contains('\n'), "one message, one line");
+        assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn sparse_requests_fill_defaults() {
+        // Only `user` on the wire: everything else defaults.
+        let req = decode_request("{\"user\": 3}").unwrap();
+        assert_eq!(req.user, Some(3));
+        assert_eq!(req.id, 0);
+        assert_eq!(req.cmd, "");
+        assert_eq!(req.top_n, 0);
+        assert_eq!(req.policy, "");
+        assert_eq!(req.exclude_seen, None);
+        // Empty object is a parseable (if useless) request.
+        assert_eq!(decode_request("{}").unwrap().user, None);
+        // Unknown fields are ignored, not fatal.
+        let fwd = decode_request("{\"user\": 1, \"future_field\": [1,2]}").unwrap();
+        assert_eq!(fwd.user, Some(1));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_with_context() {
+        for bad in ["", "not json", "[1,2,3]", "{\"user\": \"forty-two\"}"] {
+            let err = decode_request(bad).unwrap_err();
+            assert!(err.starts_with("malformed request:"), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_success_and_failure() {
+        let ok = Response::success(
+            7,
+            2,
+            &[
+                Recommendation {
+                    item: 11,
+                    score: 4.25,
+                },
+                Recommendation {
+                    item: 3,
+                    score: 4.0,
+                },
+            ],
+        );
+        let back = decode_response(&encode(&ok)).unwrap();
+        assert_eq!(back, ok);
+        assert_eq!(back.items[0].item, 11);
+        assert_eq!(back.items[0].score, 4.25);
+
+        let err = Response::failure(8, 0, "user 99 out of range");
+        let back = decode_response(&encode(&err)).unwrap();
+        assert_eq!(back.error.as_deref(), Some("user 99 out of range"));
+        assert!(back.items.is_empty());
+    }
+
+    #[test]
+    fn scores_survive_the_wire_bit_exactly() {
+        let r = Response::success(
+            1,
+            0,
+            &[Recommendation {
+                item: 0,
+                score: 0.1 + 0.2, // a classic non-representable sum
+            }],
+        );
+        let back = decode_response(&encode(&r)).unwrap();
+        assert_eq!(back.items[0].score.to_bits(), (0.1f64 + 0.2).to_bits());
+    }
+}
