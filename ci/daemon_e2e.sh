@@ -23,6 +23,35 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Launch a server command in the background with stdout on a FIFO and
+# block — no sleep polling — until it announces `serving on HOST:PORT`.
+# Sets LAUNCH_PID / LAUNCH_ADDR. No further readiness wait is needed:
+# serve-client retries connects with exponential backoff.
+launch_server() {
+    local err=$1 fifo fd line
+    shift
+    fifo=$(mktemp -u "$WORK/port.XXXXXX")
+    mkfifo "$fifo"
+    "$@" >"$fifo" 2>"$err" &
+    LAUNCH_PID=$!
+    LAUNCH_ADDR=""
+    exec {fd}<"$fifo"
+    while IFS= read -r -t 120 -u "$fd" line; do
+        case "$line" in
+        "serving on "*)
+            LAUNCH_ADDR=${line#serving on }
+            break
+            ;;
+        esac
+    done
+    # fd stays open for the server's lifetime (it owns the write end).
+    [ -n "$LAUNCH_ADDR" ] || {
+        echo "server never announced an address ($*)" >&2
+        cat "$err" >&2
+        exit 1
+    }
+}
+
 "$GEN" --out "$WORK/ratings.mtx" --kind chembl --scale 0.003 --seed 31
 
 TRAIN_ARGS=(--train "$WORK/ratings.mtx" --k 6 --burnin 2 --samples 4 --threads 1 --seed 9)
@@ -47,23 +76,11 @@ for p in "${POLICIES[@]}"; do
 done
 
 echo "== start daemon"
-"$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" \
-    --addr 127.0.0.1:0 --batch-window 5 --workers 2 --exclude-seen --top-n 5 \
-    >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
-DAEMON_PID=$!
-
-ADDR=""
-for _ in $(seq 1 300); do
-    ADDR=$(sed -n 's/^serving on //p' "$WORK/daemon.out" | head -n 1)
-    [ -n "$ADDR" ] && break
-    kill -0 "$DAEMON_PID" 2>/dev/null || break
-    sleep 0.1
-done
-[ -n "$ADDR" ] || {
-    echo "daemon never announced an address" >&2
-    cat "$WORK/daemon.err" >&2
-    exit 1
-}
+launch_server "$WORK/daemon.err" \
+    "$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" \
+    --addr 127.0.0.1:0 --batch-window 5 --workers 2 --exclude-seen --top-n 5
+DAEMON_PID=$LAUNCH_PID
+ADDR=$LAUNCH_ADDR
 echo "   daemon at $ADDR (pid $DAEMON_PID)"
 
 echo "== 16 concurrent clients per policy, diff against offline"
@@ -83,6 +100,13 @@ echo "== typed error replies for bad requests"
     exit 1
 }
 grep -q "out of range" "$WORK/client.err"
+
+echo "== structured health/stats"
+"$BIN" serve-client --addr "$ADDR" --health >"$WORK/health.json"
+grep -q '"role":"daemon"' "$WORK/health.json"
+grep -q '"status":"ok"' "$WORK/health.json"
+"$BIN" serve-client --addr "$ADDR" --stats >"$WORK/stats.json"
+grep -q '"requests":' "$WORK/stats.json"
 
 echo "== graceful shutdown"
 "$BIN" serve-client --addr "$ADDR" --shutdown

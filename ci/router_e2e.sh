@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# End-to-end sharded-serving gate: train one checkpoint, serve it both as
+# a single-process daemon and as 4 `--shard i/4` daemons behind the
+# scatter-gather router, and assert the router's answers are
+# byte-identical for 16 concurrent clients under every ranking policy.
+# Then kill one shard with SIGKILL and assert the degradation is *typed*
+# (partial_result replies, degraded health with a shard_down diagnostic)
+# — never a hang — before shutting the surviving fleet down cleanly
+# (exit code 0).
+#
+# Run from the repo root after `cargo build --release --workspace`.
+# Honors BPMF_NO_SIMD=1, so CI runs it once per dispatch arm.
+set -euo pipefail
+
+BIN=target/release/bpmf-train
+GEN=target/release/gen_mtx
+[ -x "$BIN" ] && [ -x "$GEN" ] || {
+    echo "release binaries missing; run: cargo build --release --workspace" >&2
+    exit 1
+}
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Launch a server command in the background with stdout on a FIFO and
+# block — no sleep polling — until it announces `serving on HOST:PORT`.
+# Sets LAUNCH_PID / LAUNCH_ADDR. No further readiness wait is needed:
+# serve-client (and the router's shard links) retry connects with
+# exponential backoff.
+launch_server() {
+    local err=$1 fifo fd line
+    shift
+    fifo=$(mktemp -u "$WORK/port.XXXXXX")
+    mkfifo "$fifo"
+    "$@" >"$fifo" 2>"$err" &
+    LAUNCH_PID=$!
+    PIDS+=("$LAUNCH_PID")
+    LAUNCH_ADDR=""
+    exec {fd}<"$fifo"
+    while IFS= read -r -t 120 -u "$fd" line; do
+        case "$line" in
+        "serving on "*)
+            LAUNCH_ADDR=${line#serving on }
+            break
+            ;;
+        esac
+    done
+    # fd stays open for the server's lifetime (it owns the write end).
+    [ -n "$LAUNCH_ADDR" ] || {
+        echo "server never announced an address ($*)" >&2
+        cat "$err" >&2
+        exit 1
+    }
+}
+
+# MovieLens-shaped so the catalogue spans several GEMM panels: ~1k items
+# is 5 NC blocks, enough for 4 non-empty shards.
+"$GEN" --out "$WORK/ratings.mtx" --kind movielens --scale 0.04 --seed 31
+
+TRAIN_ARGS=(--train "$WORK/ratings.mtx" --k 6 --burnin 2 --samples 4 --threads 1 --seed 9)
+
+echo "== train + checkpoint"
+"$BIN" "${TRAIN_ARGS[@]}" --checkpoint "$WORK/model.json" >/dev/null
+
+# Every serving process resumes the same checkpoint (zero further
+# iterations), so all of them hold the bit-identical posterior.
+RESUME=(--resume "$WORK/model.json")
+SERVE=(--batch-window 5 --workers 2 --exclude-seen --top-n 5)
+
+USERS=()
+for u in $(seq 0 15); do USERS+=(--user "$u"); done
+POLICIES=("mean" "ucb:0.5" "thompson:9")
+
+echo "== single-process reference daemon"
+launch_server "$WORK/ref.err" \
+    "$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" --addr 127.0.0.1:0 "${SERVE[@]}"
+REF_PID=$LAUNCH_PID
+REF_ADDR=$LAUNCH_ADDR
+for p in "${POLICIES[@]}"; do
+    "$BIN" serve-client --addr "$REF_ADDR" "${USERS[@]}" \
+        --top-n 5 --exclude-seen --policy "$p" >"$WORK/single-$p.txt"
+    [ -s "$WORK/single-$p.txt" ]
+done
+"$BIN" serve-client --addr "$REF_ADDR" --shutdown
+wait "$REF_PID"
+
+echo "== 4 shard daemons + router"
+SHARD_PIDS=()
+SHARD_ADDRS=()
+ROUTER_SHARDS=()
+for i in 0 1 2 3; do
+    launch_server "$WORK/shard-$i.err" \
+        "$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" \
+        --addr 127.0.0.1:0 --shard "$i/4" "${SERVE[@]}"
+    SHARD_PIDS+=("$LAUNCH_PID")
+    SHARD_ADDRS+=("$LAUNCH_ADDR")
+    ROUTER_SHARDS+=(--shard-addr "$LAUNCH_ADDR")
+    echo "   shard $i/4 at $LAUNCH_ADDR (pid $LAUNCH_PID)"
+done
+launch_server "$WORK/router.err" \
+    "$BIN" serve-router --addr 127.0.0.1:0 "${ROUTER_SHARDS[@]}" --top-n 5
+ROUTER_PID=$LAUNCH_PID
+ROUTER_ADDR=$LAUNCH_ADDR
+echo "   router at $ROUTER_ADDR (pid $ROUTER_PID)"
+
+echo "== health: every shard up, same epoch"
+"$BIN" serve-client --addr "$ROUTER_ADDR" --health >"$WORK/health-ok.json"
+grep -q '"role":"router"' "$WORK/health-ok.json"
+grep -q '"status":"ok"' "$WORK/health-ok.json"
+! grep -q 'shard_down' "$WORK/health-ok.json"
+! grep -q 'epoch_mismatch' "$WORK/health-ok.json"
+
+echo "== 16 concurrent clients per policy, byte-identical to the single daemon"
+for p in "${POLICIES[@]}"; do
+    "$BIN" serve-client --addr "$ROUTER_ADDR" "${USERS[@]}" \
+        --top-n 5 --exclude-seen --policy "$p" >"$WORK/routed-$p.txt"
+    diff -u "$WORK/single-$p.txt" "$WORK/routed-$p.txt" || {
+        echo "router rankings diverge from the single-process daemon ($p)" >&2
+        exit 1
+    }
+    echo "   $p: 16/16 match"
+done
+
+echo "== kill shard 2 (SIGKILL): degradation must be typed, never a hang"
+kill -9 "${SHARD_PIDS[2]}"
+# The first request after the kill may still be answered (it raced the
+# router noticing the drop); loop until a typed partial_result refusal
+# arrives. A hang is impossible by construction — every reply path is
+# bounded by the router's request timeout.
+DEGRADED=""
+for _ in $(seq 1 100); do
+    if "$BIN" serve-client --addr "$ROUTER_ADDR" --user 3 --top-n 5 \
+        >/dev/null 2>"$WORK/degraded.err"; then
+        continue
+    fi
+    if grep -q 'partial_result' "$WORK/degraded.err"; then
+        DEGRADED=yes
+        break
+    fi
+    # timeout while the link teardown is in flight is also typed; retry
+    grep -Eq 'partial_result|timeout' "$WORK/degraded.err" || {
+        echo "unexpected failure class after shard kill:" >&2
+        cat "$WORK/degraded.err" >&2
+        exit 1
+    }
+done
+[ -n "$DEGRADED" ] || {
+    echo "router never surfaced a typed partial_result after the kill" >&2
+    exit 1
+}
+echo "   typed refusal: $(cat "$WORK/degraded.err")"
+
+"$BIN" serve-client --addr "$ROUTER_ADDR" --health >"$WORK/health-degraded.json"
+grep -q '"status":"degraded"' "$WORK/health-degraded.json"
+grep -q 'shard_down' "$WORK/health-degraded.json"
+"$BIN" serve-client --addr "$ROUTER_ADDR" --stats >"$WORK/stats.json"
+grep -q '"shard_failures":' "$WORK/stats.json"
+
+echo "== graceful shutdown of the surviving fleet"
+"$BIN" serve-client --addr "$ROUTER_ADDR" --shutdown
+wait "$ROUTER_PID" # exit code 0 or set -e aborts here
+for i in 0 1 3; do
+    "$BIN" serve-client --addr "${SHARD_ADDRS[$i]}" --shutdown
+    wait "${SHARD_PIDS[$i]}"
+done
+PIDS=()
+
+echo "router e2e OK (BPMF_NO_SIMD=${BPMF_NO_SIMD:-unset})"

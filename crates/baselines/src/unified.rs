@@ -121,6 +121,30 @@ impl Recommender for MfModel {
             finish_mf_scores(self, u as usize, row, |i| i);
         }
     }
+
+    /// Sharded micro-batch scoring: the same GEMM against a range-packed
+    /// slice of the movie factors, with the bias/clamp epilogue indexed by
+    /// the *global* item id. Point models have no persistent shard cache —
+    /// the slice is packed per call (sharding primarily serves the Gibbs
+    /// posterior; this keeps ALS/SGD correct behind the same facade).
+    fn score_block_range(&self, users: &[u32], lo: usize, hi: usize, out: &mut [f64]) {
+        let n = self.movie_factors.rows();
+        assert!(lo <= hi && hi <= n, "item range [{lo}, {hi}) out of 0..{n}");
+        let w = hi - lo;
+        assert_eq!(
+            out.len(),
+            users.len() * w,
+            "score_block_range buffer mismatch"
+        );
+        if w == 0 {
+            return;
+        }
+        let packed = bpmf_linalg::PackedB::pack_transposed_range_from(&self.movie_factors, lo, hi);
+        bpmf_linalg::gemm_gathered_rows_packed(&self.user_factors, users, &packed, out);
+        for (&u, row) in users.iter().zip(out.chunks_exact_mut(w)) {
+            finish_mf_scores(self, u as usize, row, |i| lo + i);
+        }
+    }
 }
 
 /// Reject spec features the point estimators cannot honor.

@@ -14,8 +14,10 @@
 //!   on this host),
 //! * the serving layer (written to `BENCH_serve.json`): batched scoring
 //!   throughput (`Recommender::score_all` / `score_batch`) against the
-//!   per-pair `predict` loop it replaces, and `RecommendService::top_n`
-//!   latency with exclude-seen filtering.
+//!   per-pair `predict` loop it replaces, `RecommendService::top_n`
+//!   latency with exclude-seen filtering, the TCP daemon under
+//!   concurrent clients, and the sharded tier — 1/2/4 shard daemons
+//!   behind the scatter-gather router at 1/8/64 clients.
 //!
 //! Usage: `cargo run --release -p bpmf-bench --bin perf_snapshot`
 //! (`-- --smoke` shrinks every measurement for CI smoke runs; `BPMF_K`
@@ -29,6 +31,8 @@ use std::time::{Duration, Instant};
 
 use bpmf::serve::coalesce::CoalesceConfig;
 use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+use bpmf::serve::router::{self, RouterConfig};
+use bpmf::serve::shard::{slice_train_columns, ShardSpec, ShardView};
 use bpmf::serve::{wire, RankPolicy, RecommendService};
 use bpmf::{
     BpmfConfig, EngineKind, GibbsSampler, PosteriorModel, Recommender, TrainData, UpdateMethod,
@@ -87,6 +91,26 @@ struct DaemonRow {
     /// realized coalescing factor).
     batches: u64,
     largest_batch: u64,
+}
+
+#[derive(serde::Serialize)]
+struct RouterRow {
+    shards: usize,
+    clients: usize,
+    requests: usize,
+    requests_per_sec: f64,
+    p50_latency_us: f64,
+    p95_latency_us: f64,
+}
+
+#[derive(serde::Serialize)]
+struct RouterSnapshot {
+    top_n: usize,
+    rows: Vec<RouterRow>,
+    /// Scatter-gather cost at the highest client count: req/s behind the
+    /// router over the most shards vs over a single shard (the extra fan
+    /// out, k-way merge, and one more socket hop per request).
+    max_shards_vs_one_shard: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -160,6 +184,10 @@ struct ServeSnapshot {
     /// latency under concurrent closed-loop clients, coalesced vs
     /// per-request serving.
     daemon: DaemonSnapshot,
+    /// The sharded tier over real TCP: shard daemons behind the
+    /// scatter-gather router, requests/sec and latency per (shard count,
+    /// client count) cell.
+    router: RouterSnapshot,
 }
 
 /// Synthetic fitted posterior over a `n_users × n_items` catalogue, plus a
@@ -320,6 +348,9 @@ fn serve_section(smoke: bool, k: usize) -> ServeSnapshot {
     // The persistent daemon over real TCP: coalesced vs per-request.
     let daemon = daemon_section(&model, &train, n_users, n_items, smoke);
 
+    // The sharded tier: shard daemons behind the scatter-gather router.
+    let router = router_section(&model, &train, n_users, n_items, smoke);
+
     ServeSnapshot {
         n_users,
         n_items,
@@ -336,6 +367,190 @@ fn serve_section(smoke: bool, k: usize) -> ServeSnapshot {
         block64_vs_score_all_speedup: block64,
         gemm_simd_vs_scalar: scalar_ns / dispatched_ns,
         daemon,
+        router,
+    }
+}
+
+/// Sharded-tier throughput/latency: the catalogue split into 1/2/4 shard
+/// daemons behind one `router::serve` instance, closed-loop concurrent
+/// clients over real loopback TCP — the same traffic shape as
+/// [`daemon_section`], so the per-cell numbers are comparable. The
+/// single-shard row isolates the router's own overhead (one extra socket
+/// hop plus a trivial merge); extra shards add fan-out and k-way merging.
+fn router_section(
+    model: &bpmf::PosteriorModel,
+    train: &Csr,
+    n_users: usize,
+    n_items: usize,
+    smoke: bool,
+) -> RouterSnapshot {
+    let top_n = 10;
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let client_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 8, 64] };
+    let max_clients = *client_counts.last().unwrap();
+    let requests_for = |clients: usize| {
+        if smoke {
+            16
+        } else {
+            (2048 / clients).clamp(32, 512)
+        }
+    };
+    let daemon_cfg = DaemonConfig {
+        coalesce: CoalesceConfig {
+            max_batch: bpmf::serve::MICRO_BATCH,
+            batch_window: Duration::from_millis(2),
+            queue_cap: 1024,
+        },
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
+        default_top_n: top_n,
+        ..DaemonConfig::default()
+    };
+    let router_cfg = RouterConfig {
+        default_top_n: top_n,
+        // Admission control is off the table here: the bench measures
+        // throughput, so the cap must clear the peak offered load (every
+        // client keeps CLIENT_PIPELINE requests outstanding).
+        inflight_cap: max_clients * CLIENT_PIPELINE,
+        ..RouterConfig::default()
+    };
+
+    let mut rows: Vec<RouterRow> = Vec::new();
+    for &num_shards in shard_counts {
+        // Fleet state lives outside the scope so the spawned daemon and
+        // router threads can borrow it.
+        let specs: Vec<ShardSpec> = (0..num_shards)
+            .map(|i| ShardSpec::for_shard(i as u32, num_shards as u32, n_items, 1))
+            .collect();
+        let views: Vec<ShardView> = specs
+            .iter()
+            .map(|sp| ShardView::new(model, sp.item_lo as usize, sp.item_hi as usize))
+            .collect();
+        let locals: Vec<Csr> = specs
+            .iter()
+            .map(|sp| slice_train_columns(train, sp.item_lo as usize, sp.item_hi as usize))
+            .collect();
+        let worlds: Vec<ServingModel> = (0..num_shards)
+            .map(|i| ServingModel {
+                model: &views[i],
+                train: Some(&locals[i]),
+                n_users,
+                n_items: specs[i].width(),
+                shard: Some(specs[i]),
+            })
+            .collect();
+        let shard_listeners: Vec<TcpListener> = (0..num_shards)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind shard"))
+            .collect();
+        let shard_addrs: Vec<String> = shard_listeners
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect();
+        let router_listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+        let router_addr = router_listener.local_addr().unwrap();
+        let shard_shutdown = AtomicBool::new(false);
+        let router_shutdown = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let shard_handles: Vec<_> = worlds
+                .iter()
+                .zip(shard_listeners)
+                .map(|(world, listener)| {
+                    let cfg = &daemon_cfg;
+                    let stop = &shard_shutdown;
+                    s.spawn(move || daemon::serve(world, listener, cfg, stop))
+                })
+                .collect();
+            let shard_addrs = &shard_addrs;
+            let rcfg = &router_cfg;
+            let rstop = &router_shutdown;
+            let router_handle =
+                s.spawn(move || router::serve(router_listener, shard_addrs, rcfg, rstop));
+            // A panicking client must still flip both flags or the scope
+            // join would hang on servers nobody asked to stop.
+            let _router_guard = ShutdownOnDrop(&router_shutdown);
+            let _shard_guard = ShutdownOnDrop(&shard_shutdown);
+
+            // The shard links dial in the background; requests are refused
+            // typed until every link is live.
+            wait_router_ready(router_addr);
+
+            let mut expected = 0u64;
+            for &clients in client_counts {
+                let requests = requests_for(clients);
+                let t0 = Instant::now();
+                let per_client: Vec<Vec<f64>> = std::thread::scope(|cs| {
+                    let handles: Vec<_> = (0..clients)
+                        .map(|c| cs.spawn(move || client_loop(router_addr, c, n_users, requests)))
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let wall = t0.elapsed().as_secs_f64();
+                let mut lats: Vec<f64> = per_client.into_iter().flatten().collect();
+                lats.sort_by(f64::total_cmp);
+                let total = clients * requests;
+                expected += total as u64;
+                rows.push(RouterRow {
+                    shards: num_shards,
+                    clients,
+                    requests: total,
+                    requests_per_sec: total as f64 / wall,
+                    p50_latency_us: percentile(&lats, 0.50),
+                    p95_latency_us: percentile(&lats, 0.95),
+                });
+            }
+
+            router_shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+            let report = router_handle
+                .join()
+                .expect("router thread")
+                .expect("router io");
+            // +1: the readiness probe's successful request. (Probes sent
+            // before every shard link was up count as shard_failures, so
+            // that counter is not asserted here.)
+            assert_eq!(report.requests, expected + 1, "every request answered");
+            shard_shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+            for h in shard_handles {
+                h.join().expect("shard thread").expect("shard io");
+            }
+        });
+    }
+
+    let rps = |shards: usize| {
+        rows.iter()
+            .find(|r| r.shards == shards && r.clients == max_clients)
+            .map_or(f64::NAN, |r| r.requests_per_sec)
+    };
+    let max_shards_vs_one_shard = rps(*shard_counts.last().unwrap()) / rps(1);
+    RouterSnapshot {
+        top_n,
+        rows,
+        max_shards_vs_one_shard,
+    }
+}
+
+/// Block until the router answers a recommend request without error —
+/// i.e. until every shard link has dialed in.
+fn wait_router_ready(addr: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+            let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone socket"));
+            let mut reader = BufReader::new(stream);
+            writeln!(writer, "{}", wire::encode(&wire::Request::recommend(0, 0))).ok();
+            writer.flush().ok();
+            let mut line = String::new();
+            if reader.read_line(&mut line).is_ok() {
+                if let Ok(resp) = wire::decode_response(&line) {
+                    if resp.error.is_none() {
+                        return;
+                    }
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "router never became ready");
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -442,6 +657,7 @@ fn daemon_bench(
         train: Some(train),
         n_users,
         n_items,
+        shard: None,
     };
     let shutdown = AtomicBool::new(false);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
@@ -788,6 +1004,16 @@ fn main() {
         "  daemon coalesced vs per-request at {} clients: {:.2}x",
         serve.daemon.rows.last().map_or(0, |r| r.clients),
         serve.daemon.coalesced_vs_per_request
+    );
+    for row in &serve.router.rows {
+        println!(
+            "  router S={} C={:>3}: {:>8.0} req/s  p50 {:>7.0} us  p95 {:>7.0} us",
+            row.shards, row.clients, row.requests_per_sec, row.p50_latency_us, row.p95_latency_us
+        );
+    }
+    println!(
+        "  router max-shards vs 1 shard at max clients: {:.2}x",
+        serve.router.max_shards_vs_one_shard
     );
 
     let snapshot = Snapshot {

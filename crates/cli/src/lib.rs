@@ -20,6 +20,7 @@ USAGE:
   bpmf-train --train FILE.mtx [OPTIONS]
   bpmf-train recommend --train FILE.mtx [OPTIONS] [RECOMMEND OPTIONS]
   bpmf-train serve-daemon --train FILE.mtx [OPTIONS] [SERVE OPTIONS]
+  bpmf-train serve-router --shard-addr HOST:PORT... [ROUTER OPTIONS]
   bpmf-train serve-client --addr HOST:PORT [CLIENT OPTIONS]
 
 The `recommend` subcommand trains exactly as above, then serves top-N
@@ -47,13 +48,39 @@ request, draining everything already accepted:
   --workers N         batch-executing worker threads [default: cores, max 4]
   --queue-cap N       bounded request queue; full = backpressure
                       [default 1024]
+  --shard I/N         serve only shard I of an N-way catalogue partition
+                      (contiguous, GEMM-aligned item ranges; replies carry
+                      global item ids). Pair with `serve-router` over all
+                      N shards for transparent scatter-gather serving
 
-The `serve-client` subcommand talks to a running daemon (no training):
-one concurrent connection per --user, printed in request order in the
-same format as `recommend` — so the two outputs diff cleanly:
-  --addr HOST:PORT    daemon address [default 127.0.0.1:7878]
+The `serve-router` subcommand runs the scatter-gather front-end over a
+fleet of shard daemons (no training): it speaks the daemon wire protocol
+to clients, fans each request out to every shard, and k-way-merges the
+per-shard top-N lists — bit-identical to one whole-catalogue daemon.
+Prints `serving on HOST:PORT` once ready; stops like the daemon does:
+  --addr HOST:PORT    listen address (port 0 = ephemeral)
+                      [default 127.0.0.1:7878]
+  --shard-addr H:P    one shard daemon's address, in shard order
+                      (repeat once per shard; required)
+  --inflight-cap N    admission control: max requests in flight; over
+                      budget replies a typed `overloaded` error
+                      [default 256]
+  --request-timeout MS  patience for shard replies before a typed
+                      `timeout` error [default 5000]
+  --top-n N           fill-in list length for requests that omit n
+                      [default 10]
+
+The `serve-client` subcommand talks to a running daemon or router (no
+training): one concurrent connection per --user, printed in request
+order in the same format as `recommend` — so the two outputs diff
+cleanly. Connections retry with exponential backoff while the server
+starts up:
+  --addr HOST:PORT    daemon/router address [default 127.0.0.1:7878]
   --user/--top-n/--exclude-seen/--policy   as above, sent per request
-  --shutdown          after any requests, ask the daemon to shut down
+  --health            print the server's structured health report (one
+                      JSON line; a router nests per-shard reports)
+  --stats             print the server's counter snapshot (one JSON line)
+  --shutdown          after any requests, ask the server to shut down
 
 OPTIONS:
   --train FILE        MatrixMarket training ratings (required)
@@ -94,7 +121,9 @@ pub enum Command {
     Recommend,
     /// Train, then run the persistent TCP serving daemon.
     ServeDaemon,
-    /// Talk to a running daemon (no training).
+    /// Run the scatter-gather router over shard daemons (no training).
+    ServeRouter,
+    /// Talk to a running daemon or router (no training).
     ServeClient,
 }
 
@@ -133,6 +162,18 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Bounded request-queue capacity.
     pub queue_cap: usize,
+    /// Daemon: serve only shard `(i, n)` of an n-way catalogue partition.
+    pub shard: Option<(u32, u32)>,
+    /// Router: shard daemon addresses, in shard order.
+    pub shard_addrs: Vec<String>,
+    /// Router: admission-control in-flight budget.
+    pub inflight_cap: usize,
+    /// Router: patience for shard replies, in milliseconds.
+    pub request_timeout_ms: f64,
+    /// Client: print the server's structured health report.
+    pub health: bool,
+    /// Client: print the server's counter snapshot.
+    pub stats: bool,
     /// Client: ask the daemon to shut down after any requests.
     pub shutdown: bool,
 }
@@ -144,6 +185,12 @@ impl Default for ServeOptions {
             batch_window_ms: 2.0,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
             queue_cap: 1024,
+            shard: None,
+            shard_addrs: Vec::new(),
+            inflight_cap: 256,
+            request_timeout_ms: 5000.0,
+            health: false,
+            stats: false,
             shutdown: false,
         }
     }
@@ -278,6 +325,10 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             opts.command = Command::ServeDaemon;
             args = &args[1..];
         }
+        Some("serve-router") => {
+            opts.command = Command::ServeRouter;
+            args = &args[1..];
+        }
         Some("serve-client") => {
             opts.command = Command::ServeClient;
             args = &args[1..];
@@ -287,6 +338,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let mut recommend_flag: Option<&String> = None;
     let mut daemon_flag: Option<&String> = None;
     let mut client_flag: Option<&String> = None;
+    let mut router_flag: Option<&String> = None;
     let mut serve_flag: Option<&String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -304,11 +356,31 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     | "--top-n"
                     | "--exclude-seen"
                     | "--policy"
+                    | "--health"
+                    | "--stats"
             )
         {
             return Err(CliError::new(format!(
                 "{flag} is not valid with `serve-client` (valid flags: --addr --user \
-                 --top-n --exclude-seen --policy --shutdown)"
+                 --top-n --exclude-seen --policy --health --stats --shutdown)"
+            )));
+        }
+        // The router never trains either: same up-front rejection.
+        if opts.command == Command::ServeRouter
+            && !matches!(
+                flag.as_str(),
+                "--help"
+                    | "-h"
+                    | "--addr"
+                    | "--shard-addr"
+                    | "--inflight-cap"
+                    | "--request-timeout"
+                    | "--top-n"
+            )
+        {
+            return Err(CliError::new(format!(
+                "{flag} is not valid with `serve-router` (valid flags: --addr \
+                 --shard-addr --inflight-cap --request-timeout --top-n)"
             )));
         }
         let mut value = || {
@@ -397,6 +469,40 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     return Err(CliError::new("--queue-cap must be positive"));
                 }
             }
+            "--shard" => {
+                daemon_flag = Some(flag);
+                opts.serve.shard = Some(parse_shard(value()?)?);
+            }
+            "--shard-addr" => {
+                router_flag = Some(flag);
+                opts.serve.shard_addrs.push(value()?.clone());
+            }
+            "--inflight-cap" => {
+                router_flag = Some(flag);
+                opts.serve.inflight_cap = parse_num(flag, value()?)?;
+                if opts.serve.inflight_cap == 0 {
+                    return Err(CliError::new("--inflight-cap must be positive"));
+                }
+            }
+            "--request-timeout" => {
+                router_flag = Some(flag);
+                opts.serve.request_timeout_ms = parse_num(flag, value()?)?;
+                if !opts.serve.request_timeout_ms.is_finite()
+                    || opts.serve.request_timeout_ms <= 0.0
+                {
+                    return Err(CliError::new(
+                        "--request-timeout must be positive milliseconds",
+                    ));
+                }
+            }
+            "--health" => {
+                client_flag = Some(flag);
+                opts.serve.health = true;
+            }
+            "--stats" => {
+                client_flag = Some(flag);
+                opts.serve.stats = true;
+            }
             "--shutdown" => {
                 client_flag = Some(flag);
                 opts.serve.shutdown = true;
@@ -421,10 +527,12 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         }
     }
     // The recommend knobs double as the daemon's request defaults and the
-    // client's request parameters.
+    // client's request parameters. The router only takes --top-n (its
+    // fill-in default for requests that omit n) — the up-front whitelist
+    // above already rejected the rest for serve-router.
     if !matches!(
         opts.command,
-        Command::Recommend | Command::ServeDaemon | Command::ServeClient
+        Command::Recommend | Command::ServeDaemon | Command::ServeClient | Command::ServeRouter
     ) {
         if let Some(flag) = recommend_flag {
             return Err(CliError::new(format!(
@@ -433,10 +541,14 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             )));
         }
     }
-    if !matches!(opts.command, Command::ServeDaemon | Command::ServeClient) {
+    if !matches!(
+        opts.command,
+        Command::ServeDaemon | Command::ServeRouter | Command::ServeClient
+    ) {
         if let Some(flag) = serve_flag {
             return Err(CliError::new(format!(
-                "{flag} is only valid with the `serve-daemon` or `serve-client` subcommands"
+                "{flag} is only valid with the `serve-daemon`, `serve-router`, \
+                 or `serve-client` subcommands"
             )));
         }
     }
@@ -446,6 +558,18 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                 "{flag} is only valid with the `serve-daemon` subcommand"
             )));
         }
+    }
+    if opts.command != Command::ServeRouter {
+        if let Some(flag) = router_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `serve-router` subcommand"
+            )));
+        }
+    }
+    if opts.command == Command::ServeRouter && opts.serve.shard_addrs.is_empty() {
+        return Err(CliError::new(
+            "serve-router needs at least one --shard-addr (one per shard, in shard order)",
+        ));
     }
     if opts.command != Command::ServeClient {
         if let Some(flag) = client_flag {
@@ -461,8 +585,9 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--user is not valid with `serve-daemon` (clients name users per request)",
         ));
     }
-    // The client never trains; everything else needs data.
-    if opts.train.is_empty() && opts.command != Command::ServeClient {
+    // The client and router never train; everything else needs data.
+    if opts.train.is_empty() && !matches!(opts.command, Command::ServeClient | Command::ServeRouter)
+    {
         return Err(CliError::new("--train is required"));
     }
     if opts.k == 0 {
@@ -484,6 +609,24 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, CliError> {
     s.parse()
         .map_err(|_| CliError::new(format!("invalid value '{s}' for {flag}")))
+}
+
+/// Parse a `--shard I/N` value (shard index / total shards).
+fn parse_shard(s: &str) -> Result<(u32, u32), CliError> {
+    let bad = || {
+        CliError::new(format!(
+            "invalid value '{s}' for --shard (expected I/N, e.g. 0/4)"
+        ))
+    };
+    let (i, n) = s.split_once('/').ok_or_else(bad)?;
+    let i: u32 = i.trim().parse().map_err(|_| bad())?;
+    let n: u32 = n.trim().parse().map_err(|_| bad())?;
+    if n == 0 || i >= n {
+        return Err(CliError::new(format!(
+            "--shard {s}: shard index must satisfy 0 <= I < N"
+        )));
+    }
+    Ok((i, n))
 }
 
 /// Render one top-N recommendation list in the canonical CLI format —
@@ -785,6 +928,73 @@ mod tests {
         assert!(parse_args(&argv("serve-daemon --train a.mtx --workers 0")).is_err());
         assert!(parse_args(&argv("serve-daemon --train a.mtx --queue-cap 0")).is_err());
         assert!(parse_args(&argv("serve-daemon --train a.mtx --policy argmax")).is_err());
+    }
+
+    #[test]
+    fn serve_daemon_shard_parses() {
+        let opts = parse_args(&argv("serve-daemon --train a.mtx --shard 1/4"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.serve.shard, Some((1, 4)));
+        // Unsharded by default.
+        let plain = parse_args(&argv("serve-daemon --train a.mtx"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain.serve.shard, None);
+        // Malformed or out-of-range specs are errors.
+        for bad in ["4", "1:4", "4/4", "5/4", "x/4", "1/0", "1/x"] {
+            assert!(
+                parse_args(&argv(&format!("serve-daemon --train a.mtx --shard {bad}"))).is_err(),
+                "--shard {bad} should be rejected"
+            );
+        }
+        // --shard is daemon-only.
+        assert!(parse_args(&argv("--train a.mtx --shard 0/2")).is_err());
+        assert!(parse_args(&argv("serve-client --addr a:1 --shard 0/2")).is_err());
+    }
+
+    #[test]
+    fn serve_router_subcommand_parses() {
+        let opts = parse_args(&argv(
+            "serve-router --addr 127.0.0.1:0 --shard-addr 127.0.0.1:1 \
+             --shard-addr 127.0.0.1:2 --inflight-cap 8 --request-timeout 1500 --top-n 7",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.command, Command::ServeRouter);
+        assert_eq!(opts.serve.addr, "127.0.0.1:0");
+        assert_eq!(opts.serve.shard_addrs, vec!["127.0.0.1:1", "127.0.0.1:2"]);
+        assert_eq!(opts.serve.inflight_cap, 8);
+        assert_eq!(opts.serve.request_timeout_ms, 1500.0);
+        // --top-n is the router's fill-in default for requests that omit n.
+        assert_eq!(opts.recommend.top_n, 7);
+        // No training: --train is neither required nor accepted.
+        assert!(opts.train.is_empty());
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --train a.mtx")).is_err());
+        // At least one shard address is required.
+        assert!(parse_args(&argv("serve-router --addr 127.0.0.1:0")).is_err());
+        // The rest of the recommend knobs stay client/daemon-only.
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --user 3")).is_err());
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --policy mean")).is_err());
+        // Router-only flags are rejected elsewhere.
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --shard-addr a:1")).is_err());
+        assert!(parse_args(&argv("--train a.mtx --inflight-cap 8")).is_err());
+        // Bad values are errors.
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --inflight-cap 0")).is_err());
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --request-timeout 0")).is_err());
+    }
+
+    #[test]
+    fn serve_client_health_and_stats_parse() {
+        let opts = parse_args(&argv("serve-client --addr 127.0.0.1:9 --health --stats"))
+            .unwrap()
+            .unwrap();
+        assert!(opts.serve.health);
+        assert!(opts.serve.stats);
+        assert!(opts.recommend.users.is_empty());
+        // Client-only flags are rejected elsewhere.
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --health")).is_err());
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --stats")).is_err());
     }
 
     #[test]

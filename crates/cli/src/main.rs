@@ -10,7 +10,9 @@
 //! subcommand additionally serves filtered top-N lists through
 //! `bpmf::serve::RecommendService`; `serve-daemon` keeps the fitted model
 //! resident and serves request-coalesced traffic over TCP
-//! (`bpmf::serve::daemon`); `serve-client` is the matching test/ops
+//! (`bpmf::serve::daemon`); `serve-router` scatter-gathers the same wire
+//! protocol across a fleet of `--shard i/N` daemons
+//! (`bpmf::serve::router`); `serve-client` is the matching test/ops
 //! client.
 //!
 //! ```text
@@ -27,18 +29,24 @@
 //!            [--user U]... [--top-n 10] [--exclude-seen]
 //!            [--policy mean|ucb[:beta]|thompson[:seed]]
 //!            [--addr 127.0.0.1:7878] [--batch-window 2] [--workers N]
-//!            [--queue-cap 1024] [--shutdown]
+//!            [--queue-cap 1024] [--shard I/N] [--health] [--stats]
+//!            [--shutdown]
+//! bpmf-train serve-router --addr 127.0.0.1:7900
+//!            --shard-addr HOST:PORT [--shard-addr HOST:PORT]...
+//!            [--inflight-cap 256] [--request-timeout 5000] [--top-n 10]
 //! ```
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bpmf::checkpoint::SamplerCheckpoint;
 use bpmf::serve::coalesce::CoalesceConfig;
 use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+use bpmf::serve::router::{self, RouterConfig};
+use bpmf::serve::shard::{slice_train_columns, ShardSpec, ShardView};
 use bpmf::serve::{wire, RankPolicy, RecommendService, ServeRequest, MICRO_BATCH};
 use bpmf::{Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats, Trainer};
 use bpmf_baselines::make_trainer;
@@ -59,10 +67,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if opts.command == Command::ServeClient {
-        run_client(&opts)
-    } else {
-        run(&opts)
+    let result = match opts.command {
+        Command::ServeClient => run_client(&opts),
+        Command::ServeRouter => run_router(&opts),
+        _ => run(&opts),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -200,13 +208,29 @@ fn run(opts: &Options) -> Result<(), CliError> {
         eprintln!("side information: {} features per user", features.cols());
         builder = builder.user_side_info(features, opts.lambda_beta);
     }
+    let mut resumed_iter: Option<usize> = None;
+    let mut resumed_shard: Option<ShardSpec> = None;
     if let Some(path) = &opts.resume {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
         let ckpt: SamplerCheckpoint = serde_json::from_str(&text)
             .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
         eprintln!("resuming from {path} at iteration {}", ckpt.iter);
+        resumed_iter = Some(ckpt.iter);
+        resumed_shard = ckpt.shard;
         builder = builder.resume(ckpt);
+    }
+    // A checkpoint stamped for one catalogue slice must not silently serve
+    // another (or the whole catalogue).
+    if let Some(saved) = resumed_shard {
+        let matches = opts.command == Command::ServeDaemon
+            && opts.serve.shard == Some((saved.shard_id, saved.num_shards));
+        if !matches {
+            return Err(CliError::new(format!(
+                "checkpoint is stamped for shard {saved}; pass `serve-daemon --shard {}/{}`",
+                saved.shard_id, saved.num_shards
+            )));
+        }
     }
     let spec = builder.build()?;
 
@@ -220,6 +244,7 @@ fn run(opts: &Options) -> Result<(), CliError> {
 
     let report;
     let trace;
+    let final_iter;
     {
         let stdout = std::io::stdout();
         let mut cb = CliCallback {
@@ -241,10 +266,18 @@ fn run(opts: &Options) -> Result<(), CliError> {
         if let Some(e) = cb.error {
             return Err(e);
         }
-        if let (Some(path), Some(ckpt)) = (&opts.checkpoint, &cb.final_checkpoint) {
+        if let (Some(path), Some(ckpt)) = (&opts.checkpoint, &mut cb.final_checkpoint) {
+            // A checkpoint written by a sharded daemon carries its slice so
+            // a later `--resume` cannot silently serve the wrong range.
+            if opts.command == Command::ServeDaemon {
+                if let Some((i, n)) = opts.serve.shard {
+                    ckpt.shard = Some(ShardSpec::for_shard(i, n, train.ncols(), ckpt.iter as u64));
+                }
+            }
             write_checkpoint(path, ckpt)?;
             eprintln!("final checkpoint written to {path}");
         }
+        final_iter = cb.final_checkpoint.as_ref().map(|c| c.iter);
         trace = cb.trace;
     }
     eprintln!(
@@ -352,7 +385,10 @@ fn run(opts: &Options) -> Result<(), CliError> {
     // artifact (checkpoints, factors) is already on disk by the time the
     // daemon starts serving.
     if opts.command == Command::ServeDaemon {
-        run_daemon(opts, trainer.as_ref(), &train)?;
+        // Epoch tag for the served factors: the exact iteration count they
+        // correspond to, so the router can flag mixed-epoch shard fleets.
+        let epoch = final_iter.unwrap_or(total_iterations.max(resumed_iter.unwrap_or(0))) as u64;
+        run_daemon(opts, trainer.as_ref(), &train, epoch)?;
     }
     Ok(())
 }
@@ -386,16 +422,46 @@ fn install_shutdown_handler() {}
 
 /// The `serve-daemon` subcommand, once training has finished: wrap the
 /// fitted model in the coalescing TCP daemon and block until shutdown.
-fn run_daemon(opts: &Options, trainer: &dyn Trainer, train: &Csr) -> Result<(), CliError> {
+fn run_daemon(
+    opts: &Options,
+    trainer: &dyn Trainer,
+    train: &Csr,
+    epoch: u64,
+) -> Result<(), CliError> {
     let model = trainer
         .shared_recommender()
         .ok_or_else(|| CliError::new("training produced no model to serve"))?;
     let default_policy: RankPolicy = opts.recommend.policy.parse()?;
-    let world = ServingModel {
-        model,
-        train: Some(train),
-        n_users: train.nrows(),
-        n_items: train.ncols(),
+    // With `--shard i/N`, serve only our contiguous column slice: the
+    // ShardView narrows every scoring path to [item_lo, item_hi) — bit-
+    // identical to those columns of a whole-catalogue pass — and the
+    // sliced training matrix keeps exclude-seen local. The daemon rebases
+    // reply item ids back to global via the spec's `item_lo`.
+    let sharded = opts.serve.shard.map(|(i, n)| {
+        let spec = ShardSpec::for_shard(i, n, train.ncols(), epoch);
+        let local = slice_train_columns(train, spec.item_lo as usize, spec.item_hi as usize);
+        (spec, local)
+    });
+    let view;
+    let world = match &sharded {
+        Some((spec, local_train)) => {
+            eprintln!("serving shard {spec}");
+            view = ShardView::new(model, spec.item_lo as usize, spec.item_hi as usize);
+            ServingModel {
+                model: &view,
+                train: Some(local_train),
+                n_users: train.nrows(),
+                n_items: spec.width(),
+                shard: Some(*spec),
+            }
+        }
+        None => ServingModel {
+            model,
+            train: Some(train),
+            n_users: train.nrows(),
+            n_items: train.ncols(),
+            shard: None,
+        },
     };
     let cfg = DaemonConfig {
         coalesce: CoalesceConfig {
@@ -431,10 +497,76 @@ fn run_daemon(opts: &Options, trainer: &dyn Trainer, train: &Csr) -> Result<(), 
     Ok(())
 }
 
+/// The `serve-router` subcommand: scatter-gather front end over a fleet
+/// of shard daemons, speaking the same newline-JSON wire protocol on both
+/// sides so `serve-client` (and any PR-5 client) works unchanged.
+fn run_router(opts: &Options) -> Result<(), CliError> {
+    let listener = TcpListener::bind(&opts.serve.addr)
+        .map_err(|e| CliError::new(format!("cannot bind {}: {e}", opts.serve.addr)))?;
+    let addr = listener.local_addr()?;
+    install_shutdown_handler();
+    // Same port-discovery line as the daemon so scripts treat both alike.
+    println!("serving on {addr}");
+    std::io::stdout().flush()?;
+    let cfg = RouterConfig {
+        inflight_cap: opts.serve.inflight_cap,
+        request_timeout: Duration::from_secs_f64(opts.serve.request_timeout_ms / 1e3),
+        default_top_n: opts.recommend.top_n,
+        ..RouterConfig::default()
+    };
+    eprintln!(
+        "serve-router: {} shard(s), in-flight cap {}, request timeout {} ms; \
+         stop with ctrl-c or a {{\"cmd\":\"shutdown\"}} request",
+        opts.serve.shard_addrs.len(),
+        opts.serve.inflight_cap,
+        opts.serve.request_timeout_ms
+    );
+    let report = router::serve(listener, &opts.serve.shard_addrs, &cfg, &SHUTDOWN)
+        .map_err(|e| CliError::new(format!("router failed: {e}")))?;
+    eprintln!(
+        "router drained: {} requests over {} connections, {} rejected \
+         ({} overload), {} shard failures, {} reconnects",
+        report.requests,
+        report.connections,
+        report.rejected,
+        report.overload_rejected,
+        report.shard_failures,
+        report.reconnects
+    );
+    Ok(())
+}
+
+/// Connect with retry and exponential backoff (10 ms doubling to 500 ms,
+/// ~10 s budget) so scripts can launch a daemon or router and immediately
+/// fire clients, with no sleep-based startup synchronization. Only
+/// "not up yet" failures are retried; anything else fails fast.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, CliError> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut backoff = Duration::from_millis(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                let transient = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::TimedOut
+                );
+                if !transient || Instant::now() + backoff >= deadline {
+                    return Err(CliError::new(format!("cannot connect to {addr}: {e}")));
+                }
+            }
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(500));
+    }
+}
+
 /// One synchronous request round trip on its own connection.
 fn client_request(addr: &str, req: &wire::Request) -> Result<wire::Response, CliError> {
-    let stream = TcpStream::connect(addr)
-        .map_err(|e| CliError::new(format!("cannot connect to {addr}: {e}")))?;
+    let stream = connect_with_retry(addr)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
     let mut write_half = stream
@@ -458,9 +590,9 @@ fn client_request(addr: &str, req: &wire::Request) -> Result<wire::Response, Cli
 fn run_client(opts: &Options) -> Result<(), CliError> {
     let addr = opts.serve.addr.as_str();
     let users = &opts.recommend.users;
-    if users.is_empty() && !opts.serve.shutdown {
+    if users.is_empty() && !opts.serve.shutdown && !opts.serve.health && !opts.serve.stats {
         return Err(CliError::new(
-            "serve-client needs at least one --user (or --shutdown)",
+            "serve-client needs at least one --user (or --health/--stats/--shutdown)",
         ));
     }
     let results: Vec<Result<wire::Response, CliError>> = std::thread::scope(|s| {
@@ -469,6 +601,7 @@ fn run_client(opts: &Options) -> Result<(), CliError> {
             .map(|&user| {
                 s.spawn(move || {
                     let req = wire::Request {
+                        v: wire::WIRE_VERSION,
                         id: user as u64,
                         cmd: String::new(),
                         user: Some(user as u32),
@@ -492,7 +625,11 @@ fn run_client(opts: &Options) -> Result<(), CliError> {
     for (&user, result) in users.iter().zip(results) {
         let resp = result?;
         if let Some(err) = resp.error {
-            return Err(CliError::new(format!("user {user}: daemon replied: {err}")));
+            // Surface the stable failure class too; scripts grep for it.
+            let code = resp.code.map(|c| format!(" [{c}]")).unwrap_or_default();
+            return Err(CliError::new(format!(
+                "user {user}: daemon replied: {err}{code}"
+            )));
         }
         replies.push(resp);
     }
@@ -510,6 +647,28 @@ fn run_client(opts: &Options) -> Result<(), CliError> {
     }
     out.flush()?;
     drop(out);
+    // Diagnostics print the structured report verbatim (one JSON line per
+    // command) so ops tooling can pipe them straight into a parser.
+    if opts.serve.health {
+        let resp = command_roundtrip(addr, wire::CMD_HEALTH)?;
+        let report = resp
+            .health
+            .ok_or_else(|| CliError::new("health reply carried no report"))?;
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| CliError::new(e.to_string()))?
+        );
+    }
+    if opts.serve.stats {
+        let resp = command_roundtrip(addr, wire::CMD_STATS)?;
+        let report = resp
+            .stats
+            .ok_or_else(|| CliError::new("stats reply carried no report"))?;
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| CliError::new(e.to_string()))?
+        );
+    }
     if opts.serve.shutdown {
         let req = wire::Request {
             cmd: wire::CMD_SHUTDOWN.to_string(),
@@ -522,6 +681,22 @@ fn run_client(opts: &Options) -> Result<(), CliError> {
         eprintln!("daemon acknowledged shutdown");
     }
     Ok(())
+}
+
+/// One command-only round trip (health/stats/shutdown-style requests),
+/// converting an error reply into a hard CLI error.
+fn command_roundtrip(addr: &str, cmd: &str) -> Result<wire::Response, CliError> {
+    let req = wire::Request {
+        v: wire::WIRE_VERSION,
+        cmd: cmd.to_string(),
+        ..wire::Request::default()
+    };
+    let resp = client_request(addr, &req)?;
+    if let Some(err) = resp.error {
+        let code = resp.code.map(|c| format!(" [{c}]")).unwrap_or_default();
+        return Err(CliError::new(format!("{cmd} failed: {err}{code}")));
+    }
+    Ok(resp)
 }
 
 fn write_checkpoint(path: &str, ckpt: &SamplerCheckpoint) -> Result<(), CliError> {

@@ -325,6 +325,37 @@ pub trait Recommender {
         }
     }
 
+    /// Score a block of users against the contiguous item range
+    /// `[lo, hi)`: row `i` of `out` (width `hi − lo`) receives what
+    /// [`Recommender::score_block`] would write for `users[i]` at columns
+    /// `lo..hi` — the sharded-serving path, where one process packs and
+    /// scores only its slice of the catalogue
+    /// ([`crate::serve::shard`]).
+    ///
+    /// The default loops over [`Recommender::predict`]. Factor models
+    /// override it with a range-packed GEMM
+    /// ([`bpmf_linalg::PackedB::pack_transposed_range_from`]) whose
+    /// per-item arithmetic is **bit-identical** to the full-catalogue
+    /// `score_block` whenever `lo` sits on a `GEMM_NC` block boundary —
+    /// the invariant the sharded router's byte-identity gate rests on.
+    fn score_block_range(&self, users: &[u32], lo: usize, hi: usize, out: &mut [f64]) {
+        assert!(lo <= hi, "bad item range [{lo}, {hi})");
+        let w = hi - lo;
+        assert_eq!(
+            out.len(),
+            users.len() * w,
+            "score_block_range buffer mismatch"
+        );
+        if w == 0 {
+            return;
+        }
+        for (&u, row) in users.iter().zip(out.chunks_exact_mut(w)) {
+            for (j, s) in row.iter_mut().enumerate() {
+                *s = self.predict(u as usize, lo + j);
+            }
+        }
+    }
+
     /// Posterior predictive standard deviations for `user` against the
     /// whole catalogue, written into `stds` (len = item count). Returns
     /// `false` — leaving the buffer unspecified — when the model carries
@@ -337,6 +368,23 @@ pub trait Recommender {
     fn uncertainty_all(&self, user: usize, stds: &mut [f64]) -> bool {
         for (m, s) in stds.iter_mut().enumerate() {
             match self.predict_with_uncertainty(user, m) {
+                Some(p) => *s = p.std,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// [`Recommender::uncertainty_all`] restricted to the item range
+    /// `[lo, hi)` (`stds.len() == hi − lo`) — the sharded-serving
+    /// companion of [`Recommender::score_block_range`]. Same contract:
+    /// returns `false`, leaving the buffer unspecified, when the model
+    /// carries no posterior.
+    fn uncertainty_range(&self, user: usize, lo: usize, hi: usize, stds: &mut [f64]) -> bool {
+        assert!(lo <= hi, "bad item range [{lo}, {hi})");
+        assert_eq!(stds.len(), hi - lo, "uncertainty_range buffer mismatch");
+        for (j, s) in stds.iter_mut().enumerate() {
+            match self.predict_with_uncertainty(user, lo + j) {
                 Some(p) => *s = p.std,
                 None => return false,
             }
@@ -379,6 +427,11 @@ pub struct PosteriorModel {
     /// Transposed movie factors in the GEMM's cache-blocked packed layout,
     /// built on the first micro-batch scan (`score_block`).
     movie_means_packed: std::sync::OnceLock<bpmf_linalg::PackedB>,
+    /// One range-packed slice of the movie factors, built on the first
+    /// `score_block_range` call and keyed by its `(lo, hi)` — a shard
+    /// process only ever serves one range, so one slot is a full cache
+    /// (other ranges fall back to packing per call).
+    movie_means_range_packed: std::sync::OnceLock<(usize, usize, bpmf_linalg::PackedB)>,
 }
 
 impl PosteriorModel {
@@ -403,6 +456,7 @@ impl PosteriorModel {
             samples,
             movie_means_t: std::sync::OnceLock::new(),
             movie_means_packed: std::sync::OnceLock::new(),
+            movie_means_range_packed: std::sync::OnceLock::new(),
         }
     }
 
@@ -435,6 +489,7 @@ impl PosteriorModel {
             samples,
             movie_means_t: std::sync::OnceLock::new(),
             movie_means_packed: std::sync::OnceLock::new(),
+            movie_means_range_packed: std::sync::OnceLock::new(),
         }
     }
 
@@ -578,6 +633,67 @@ impl Recommender for PosteriorModel {
             .get_or_init(|| bpmf_linalg::PackedB::pack_transposed_from(&self.movie_means));
         bpmf_linalg::gemm_gathered_rows_packed(&self.user_means, users, packed, out);
         self.finish_scores(out);
+    }
+
+    /// The sharded-serving scan: the same register-tiled GEMM as
+    /// [`PosteriorModel::score_block`], against a *range-packed* slice of
+    /// the item factors
+    /// ([`bpmf_linalg::PackedB::pack_transposed_range_from`]). With a
+    /// `GEMM_NC`-aligned `lo`, the packed slice is byte-identical to the
+    /// matching range of the full packed buffer, so every score here is
+    /// **bit-identical** to the corresponding column of the
+    /// full-catalogue block scan. The first range requested is cached for
+    /// the life of the model (a shard process serves exactly one range);
+    /// other ranges pack per call.
+    fn score_block_range(&self, users: &[u32], lo: usize, hi: usize, out: &mut [f64]) {
+        let n = self.movie_means.rows();
+        assert!(lo <= hi && hi <= n, "item range [{lo}, {hi}) out of 0..{n}");
+        let w = hi - lo;
+        assert_eq!(
+            out.len(),
+            users.len() * w,
+            "score_block_range buffer mismatch"
+        );
+        if w == 0 {
+            return;
+        }
+        let cached = self.movie_means_range_packed.get_or_init(|| {
+            let packed =
+                bpmf_linalg::PackedB::pack_transposed_range_from(&self.movie_means, lo, hi);
+            (lo, hi, packed)
+        });
+        if (cached.0, cached.1) == (lo, hi) {
+            bpmf_linalg::gemm_gathered_rows_packed(&self.user_means, users, &cached.2, out);
+        } else {
+            let packed =
+                bpmf_linalg::PackedB::pack_transposed_range_from(&self.movie_means, lo, hi);
+            bpmf_linalg::gemm_gathered_rows_packed(&self.user_means, users, &packed, out);
+        }
+        self.finish_scores(out);
+    }
+
+    /// [`PosteriorModel::uncertainty_all`] restricted to `[lo, hi)`: the
+    /// identical per-item arithmetic (and order), so a shard's stds are
+    /// bit-identical to the matching slice of the full scan.
+    fn uncertainty_range(&self, user: usize, lo: usize, hi: usize, stds: &mut [f64]) -> bool {
+        let (Some(u2m), Some(v2m)) = (self.user_second.as_ref(), self.movie_second.as_ref()) else {
+            return false;
+        };
+        assert!(lo <= hi, "bad item range [{lo}, {hi})");
+        assert_eq!(stds.len(), hi - lo, "uncertainty_range buffer mismatch");
+        let u = self.user_means.row(user);
+        let u2 = u2m.row(user);
+        for (j, s) in stds.iter_mut().enumerate() {
+            let movie = lo + j;
+            let v = self.movie_means.row(movie);
+            let v2 = v2m.row(movie);
+            let mut var = 0.0;
+            for k in 0..u.len() {
+                var += u2[k] * v2[k] - (u[k] * v[k]) * (u[k] * v[k]);
+            }
+            *s = var.max(0.0).sqrt();
+        }
+        true
     }
 }
 

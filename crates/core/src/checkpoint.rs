@@ -108,6 +108,12 @@ pub struct SamplerCheckpoint {
     /// Movie-side Macau link state `(β, λ_β)`.
     #[serde(default)]
     pub movie_link: Option<(FlatMat, f64)>,
+    /// Which catalogue slice these factors are being served as, stamped by
+    /// `serve-daemon --shard i/N` when it writes a serving checkpoint and
+    /// validated on load so a shard cannot silently serve the wrong
+    /// slice. Absent (and ignored) on training checkpoints.
+    #[serde(default)]
+    pub shard: Option<crate::serve::shard::ShardSpec>,
 }
 
 #[cfg(test)]
@@ -119,6 +125,49 @@ mod tests {
         let m = Mat::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.5);
         let rt = FlatMat::from_mat(&m).to_mat();
         assert_eq!(rt, m);
+    }
+
+    #[test]
+    fn checkpoints_without_shard_field_still_parse() {
+        let ckpt = SamplerCheckpoint {
+            num_latent: 2,
+            iter: 7,
+            acc_count: 0,
+            users: FlatMat::from_mat(&Mat::identity(2)),
+            movies: FlatMat::from_mat(&Mat::identity(2)),
+            users_mu: vec![0.0; 2],
+            users_lambda: FlatMat::from_mat(&Mat::identity(2)),
+            movies_mu: vec![0.0; 2],
+            movies_lambda: FlatMat::from_mat(&Mat::identity(2)),
+            hyper_rng: RngState {
+                words: [1, 2, 3, 4],
+                spare_normal: None,
+            },
+            worker_rngs: vec![],
+            predict_acc: vec![],
+            predict_sq_acc: vec![],
+            factor_acc: None,
+            factor_sq_acc: None,
+            user_link: None,
+            movie_link: None,
+            shard: Some(crate::serve::shard::ShardSpec::for_shard(0, 2, 512, 7)),
+        };
+        // A stamped spec survives the roundtrip…
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: SamplerCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shard, ckpt.shard);
+        assert_eq!(back.shard.unwrap().item_hi, 256);
+        // …and a pre-sharding checkpoint (no `shard` key at all, as PR-5
+        // wrote them) still parses, defaulting to None.
+        let mut val = serde_json::parse_value(&json).unwrap();
+        let serde::Value::Obj(fields) = &mut val else {
+            panic!("checkpoint serializes as an object");
+        };
+        fields.retain(|(k, _)| k != "shard");
+        let stripped = serde_json::to_string(&val).unwrap();
+        let legacy: SamplerCheckpoint = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(legacy.shard, None);
+        assert_eq!(legacy.iter, 7);
     }
 
     #[test]

@@ -120,6 +120,7 @@
 //!     train: Some(&r),
 //!     n_users: r.nrows(),
 //!     n_items: r.ncols(),
+//!     shard: None,
 //! };
 //! let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
 //! let addr = listener.local_addr().unwrap();
@@ -135,6 +136,37 @@
 //!     stop.store(true, Ordering::Relaxed); // SIGINT in the CLI
 //!     daemon.join().unwrap().unwrap(); // drains in-flight batches
 //! });
+//!
+//! // Catalogue outgrew one process? Shard it: each `ShardView` serves a
+//! // contiguous GEMM-panel-aligned item range (global ids in replies),
+//! // and `merge_top_n` k-way-merges the per-shard lists with the exact
+//! // tie-break order of the single-process ranking — so the sharded
+//! // answer is bit-identical to the whole-catalogue one. `bpmf-train
+//! // serve-daemon --shard i/N` plus `serve-router` run exactly this
+//! // split over TCP; see `serve::router` for the scatter-gather side.
+//! use bpmf::serve::shard::{merge_top_n, shard_ranges, slice_train_columns, ShardView};
+//! use bpmf::serve::wire::RankedItem;
+//! let whole = service.top_n(1, 2);
+//! let model = trainer.shared_recommender().expect("fitted");
+//! let per_shard: Vec<Vec<RankedItem>> = shard_ranges(r.ncols(), 2)
+//!     .into_iter()
+//!     .map(|(lo, hi)| {
+//!         let view = ShardView::new(model, lo, hi);
+//!         let local = slice_train_columns(&r, lo, hi);
+//!         RecommendService::new(&view, hi - lo)
+//!             .exclude_seen(&local)
+//!             .policy(RankPolicy::Ucb { beta: 0.5 })
+//!             .item_base(lo as u32)
+//!             .top_n(1, 2)
+//!             .into_iter()
+//!             .map(RankedItem::from)
+//!             .collect()
+//!     })
+//!     .collect();
+//! let merged = merge_top_n(&per_shard, 2);
+//! assert!(whole.iter().zip(&merged).all(|(a, b)| {
+//!     a.item == b.item && a.score.to_bits() == b.score.to_bits()
+//! }));
 //! # Ok::<(), bpmf::BpmfError>(())
 //! ```
 //!

@@ -381,6 +381,8 @@ impl<'a> GibbsSampler<'a> {
                 .movie_side
                 .as_ref()
                 .map(|si| (FlatMat::from_mat(si.beta()), si.lambda_beta())),
+            // Training state is whole-catalogue; serving stamps a spec.
+            shard: None,
         }
     }
 

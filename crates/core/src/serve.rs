@@ -71,9 +71,44 @@
 //!   writer.
 //!
 //! Results are **arrival-order independent**: scoring is per-row
-//! deterministic regardless of batch composition, and Thompson draws use
-//! a fresh per-request stream (see [`RecommendService::recommend_each`]),
-//! so coalescing never changes what any individual client receives.
+//! deterministic regardless of batch composition, and Thompson draws are
+//! stateless per `(seed, item)` (see [`thompson_draw`]), so coalescing —
+//! and catalogue sharding — never changes what any client receives.
+//!
+//! # Sharded tier
+//!
+//! When one catalogue outgrows one process, [`shard`] partitions it into
+//! contiguous GEMM-panel-aligned column ranges and [`router`] puts a
+//! scatter-gather front end over the per-shard daemons. The router
+//! speaks the same [`wire`] protocol on both sides, so clients cannot
+//! tell it from a single whole-catalogue daemon — down to the bit
+//! pattern of every score:
+//!
+//! ```text
+//!              clients (same newline-JSON wire protocol)
+//!                 │ recommend / health / stats / ping
+//!                 ▼
+//!  ┌─────────────────────────────┐   admission control (inflight cap),
+//!  │        router::serve        │   typed errors: overloaded,
+//!  │  scatter ─► every shard     │   partial_result, timeout,
+//!  │  gather  ─► k-way merge     │   unsupported_version
+//!  └──┬─────────┬─────────┬─────┘
+//!     │ persistent, pipelined, reconnect-with-backoff links
+//!     ▼         ▼         ▼
+//!  ┌───────┐ ┌───────┐ ┌───────┐   each daemon serves one contiguous
+//!  │shard 0│ │shard 1│ │shard 2│   GEMM_NC-aligned item range
+//!  │ [0,n₀)│ │[n₀,n₁)│ │[n₁,N) │   (ShardView; global ids on the wire)
+//!  └───────┘ └───────┘ └───────┘
+//! ```
+//!
+//! The alignment is what buys bit-identity: a shard's packed factor
+//! panel is byte-identical to the corresponding slice of the full
+//! catalogue's packed panel, and [`shard::merge_top_n`] uses the exact
+//! total order of the single-process ranking (score descending, ties to
+//! the lower item id). A dead shard yields a typed
+//! [`wire::CODE_PARTIAL_RESULT`] refusal — never a silently truncated
+//! ranking and never a hang — while `health`/`stats` aggregate
+//! per-shard reports (flagging epoch skew) for diagnostics.
 //!
 //! ```
 //! use bpmf::serve::{RankPolicy, RecommendService};
@@ -101,6 +136,8 @@
 
 pub mod coalesce;
 pub mod daemon;
+pub mod router;
+pub mod shard;
 pub mod wire;
 
 use std::str::FromStr;
@@ -126,10 +163,12 @@ pub enum RankPolicy {
         beta: f64,
     },
     /// Thompson sampling: one draw from `Normal(mean, std)` per candidate,
-    /// ranked by the draw. Deterministic given the seed; models without
-    /// uncertainty degrade to the mean.
+    /// ranked by the draw. Draws are stateless per `(seed, item)` — see
+    /// [`thompson_draw`] — so rankings are deterministic given the seed
+    /// and independent of batch composition or catalogue partitioning;
+    /// models without uncertainty degrade to the mean.
     Thompson {
-        /// Seed of the sampling stream (one stream per service).
+        /// Seed keying every candidate's draw.
         seed: u64,
     },
 }
@@ -225,7 +264,11 @@ pub struct RecommendService<'a> {
     min_support: u32,
     support: Option<Vec<u32>>,
     policy: RankPolicy,
-    rng: Xoshiro256pp,
+    /// Global id of the service's first item: recommendations come back
+    /// as `item_base + local index`, and Thompson draws are keyed by the
+    /// global id. 0 except when serving one shard of a partitioned
+    /// catalogue (see [`shard`]).
+    item_base: u32,
     scores: Vec<f64>,
     stds: Vec<f64>,
     /// Micro-batch scratch: up to [`MICRO_BATCH`] score rows, grown on the
@@ -256,7 +299,7 @@ impl<'a> RecommendService<'a> {
             min_support: 0,
             support: None,
             policy: RankPolicy::Mean,
-            rng: Xoshiro256pp::seed_from_u64(42),
+            item_base: 0,
             scores: vec![0.0; n_items],
             stds: Vec::new(),
             block_scores: Vec::new(),
@@ -319,12 +362,18 @@ impl<'a> RecommendService<'a> {
         self
     }
 
-    /// Select the ranking policy (resets the Thompson stream to its seed).
+    /// Select the ranking policy.
     pub fn policy(mut self, policy: RankPolicy) -> Self {
         self.policy = policy;
-        if let RankPolicy::Thompson { seed } = policy {
-            self.rng = Xoshiro256pp::seed_from_u64(seed);
-        }
+        self
+    }
+
+    /// Serve a *shard*: the model's local item 0 is global item `base`.
+    /// Recommendations come back with global ids, and Thompson draws are
+    /// keyed by the global id, so a shard's lists splice bit-exactly into
+    /// the whole-catalogue ranking (see [`shard`]).
+    pub fn item_base(mut self, base: u32) -> Self {
+        self.item_base = base;
         self
     }
 
@@ -398,14 +447,13 @@ impl<'a> RecommendService<'a> {
     /// [`RecommendService::recommend_batch`]. This is the execution path
     /// of the serving daemon's coalesced batches.
     ///
-    /// Unlike `recommend_batch`, Thompson requests draw from a **fresh
-    /// stream seeded from the request's own policy seed**, so every
-    /// request's result is exactly what a fresh service would return from
-    /// a single [`RecommendService::top_n`] call — independent of arrival
-    /// order, batch composition, and whatever the service served before.
-    /// (That per-request determinism is what lets the daemon coalesce
-    /// traffic without changing any client's answer.) Results come back
-    /// in `reqs` order.
+    /// Every request's result is exactly what a fresh service would
+    /// return from a single [`RecommendService::top_n`] call — Thompson
+    /// draws are stateless per `(seed, item)` ([`thompson_draw`]), so
+    /// results are independent of arrival order, batch composition, and
+    /// whatever the service served before. (That per-request determinism
+    /// is what lets the daemon coalesce traffic without changing any
+    /// client's answer.) Results come back in `reqs` order.
     pub fn recommend_each(&mut self, reqs: &[ServeRequest]) -> Vec<Vec<Recommendation>> {
         let n_items = self.n_items;
         let mut block = std::mem::take(&mut self.block_scores);
@@ -425,7 +473,6 @@ impl<'a> RecommendService<'a> {
                     row,
                     req.policy,
                     req.exclude_seen,
-                    StreamMode::Fresh,
                 ));
             }
         }
@@ -440,9 +487,9 @@ impl<'a> RecommendService<'a> {
     /// `Recommender::score_block` call per block (factor models: one
     /// register-tiled GEMM streaming the catalogue once for the whole
     /// block), then each user's list is selected under the same policy
-    /// and filters as [`RecommendService::top_n`], consuming the Thompson
-    /// draw stream in the same per-user order. Rankings match per-user
-    /// `top_n` calls up to floating-point rounding: the block path scores
+    /// and filters as [`RecommendService::top_n`]. Rankings match
+    /// per-user `top_n` calls up to floating-point rounding: the block
+    /// path scores
     /// through the GEMM while `top_n` scores through the transposed scan,
     /// which re-associate sums differently, so two candidates whose
     /// scores agree to ~1e-13 relative could in principle swap ranks.
@@ -466,17 +513,13 @@ impl<'a> RecommendService<'a> {
 
     /// Policy scoring + filtering + bounded top-`n` selection over an
     /// already-computed whole-catalogue score row, under the service-wide
-    /// policy and filters (shared Thompson stream).
+    /// policy and filters.
     fn select_top_n(&mut self, user: usize, n: usize, scores: &[f64]) -> Vec<Recommendation> {
         let (policy, exclude_seen) = (self.policy, self.exclude_seen);
-        self.select_for(user, n, scores, policy, exclude_seen, StreamMode::Shared)
+        self.select_for(user, n, scores, policy, exclude_seen)
     }
 
-    /// Selection under explicit per-request policy and filters. With
-    /// [`StreamMode::Fresh`], Thompson draws come from a stream freshly
-    /// seeded from the request's policy seed (arrival-order independent);
-    /// with [`StreamMode::Shared`], they consume the service's persistent
-    /// stream (the historical `top_n`/`recommend_batch` behaviour).
+    /// Selection under explicit per-request policy and filters.
     fn select_for(
         &mut self,
         user: usize,
@@ -484,7 +527,6 @@ impl<'a> RecommendService<'a> {
         scores: &[f64],
         policy: RankPolicy,
         exclude_seen: bool,
-        stream: StreamMode,
     ) -> Vec<Recommendation> {
         // Uncertainty-aware policies take one batched std scan up front
         // instead of a per-candidate `predict_with_uncertainty` round trip
@@ -494,12 +536,6 @@ impl<'a> RecommendService<'a> {
         } else {
             self.stds.resize(self.n_items, 0.0);
             self.model.uncertainty_all(user, &mut self.stds)
-        };
-        let mut fresh_rng = match (stream, policy) {
-            (StreamMode::Fresh, RankPolicy::Thompson { seed }) => {
-                Some(Xoshiro256pp::seed_from_u64(seed))
-            }
-            _ => None,
         };
         let seen: &[u32] = match (exclude_seen, self.train) {
             (true, Some(train)) => train.row(user).0,
@@ -517,16 +553,14 @@ impl<'a> RecommendService<'a> {
                 continue;
             }
             let std = if has_std { self.stds[item] } else { 0.0 };
+            let global = self.item_base + item as u32;
             let score = match policy {
                 RankPolicy::Mean => mean,
                 RankPolicy::Ucb { beta } => mean + beta * std,
-                RankPolicy::Thompson { .. } => {
-                    let rng = fresh_rng.as_mut().unwrap_or(&mut self.rng);
-                    normal(rng, mean, std)
-                }
+                RankPolicy::Thompson { seed } => thompson_draw(seed, global as u64, mean, std),
             };
             let cand = Recommendation {
-                item: item as u32,
+                item: global,
                 score,
             };
             if heap.len() < n {
@@ -547,13 +581,23 @@ impl<'a> RecommendService<'a> {
     }
 }
 
-/// Where Thompson draws come from during one selection pass.
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum StreamMode {
-    /// The service's persistent stream (stateful across calls).
-    Shared,
-    /// A stream freshly seeded from the request's policy seed.
-    Fresh,
+/// The Thompson score for one candidate: a single draw from
+/// `Normal(mean, std)` on a stream keyed by `(seed, item)`.
+///
+/// Draws are **stateless per item**: each candidate's stream is derived
+/// from the policy seed and the item's *global* id, never from how many
+/// candidates were scored before it. This is what makes Thompson
+/// rankings independent of batch composition, arrival order, *and
+/// catalogue partitioning* — a shard scoring items `[lo, hi)` produces
+/// for item `j` exactly the draw the whole-catalogue daemon produces,
+/// which the sharded serving tier's byte-identity gate rests on.
+///
+/// The item id is mixed with the 64-bit golden ratio before keying, so
+/// neighbouring items land on well-separated seeds (which the seeding
+/// splitmix then expands to full state).
+pub fn thompson_draw(seed: u64, item: u64, mean: f64, std: f64) -> f64 {
+    let key = seed ^ item.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    normal(&mut Xoshiro256pp::seed_from_u64(key), mean, std)
 }
 
 /// `a` outranks `b`: higher score wins, ties go to the smaller item id.

@@ -22,6 +22,7 @@ use bpmf_sparse::Csr;
 
 use crate::api::Recommender;
 use crate::serve::coalesce::{CoalesceConfig, Queue};
+use crate::serve::shard::ShardSpec;
 use crate::serve::{wire, RankPolicy, RecommendService, ServeRequest};
 
 /// How often the accept loop re-checks the shutdown flag. Short, because
@@ -49,8 +50,14 @@ pub struct ServingModel<'a> {
     pub train: Option<&'a Csr>,
     /// Number of users requests may address (`user < n_users`).
     pub n_users: usize,
-    /// Catalogue size (score-row width).
+    /// Catalogue size (score-row width). When sharded this is the local
+    /// slice width, not the global catalogue.
     pub n_items: usize,
+    /// When serving one slice of a partitioned catalogue, the slice this
+    /// daemon owns. Item ids in replies are offset to global ids, and
+    /// `health`/`stats` replies carry the spec so a router can check
+    /// coverage and epoch agreement.
+    pub shard: Option<ShardSpec>,
 }
 
 /// Daemon knobs. `Default` is a coalescing configuration: 64-request
@@ -219,11 +226,14 @@ fn worker_loop(
             .rejected
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         for job in batch {
-            let _ = job.reply.send(wire::Response::failure(
-                job.id,
-                job.req.user,
-                "internal error: serving worker failed",
-            ));
+            let _ = job.reply.send(
+                wire::Response::failure(
+                    job.id,
+                    job.req.user,
+                    "internal error: serving worker failed",
+                )
+                .with_code(wire::CODE_INTERNAL),
+            );
         }
     }
 }
@@ -234,6 +244,12 @@ fn serve_batches(world: &ServingModel<'_>, queue: &Queue<Job>, counters: &Counte
     let mut service = RecommendService::new(world.model, world.n_items);
     if let Some(train) = world.train {
         service = service.exclude_seen(train);
+    }
+    if let Some(spec) = world.shard {
+        // Local item `i` is global item `item_lo + i`: replies carry
+        // global ids, and Thompson draws are keyed on them, so a sharded
+        // reply splices bit-exactly into a full-catalogue ranking.
+        service = service.item_base(spec.item_lo);
     }
     let mut reqs: Vec<ServeRequest> = Vec::new();
     while let Some(batch) = queue.next_batch() {
@@ -366,9 +382,39 @@ fn process_line(
             return true;
         }
     };
+    // Unversioned (`v` absent → 0) requests are the PR-5 wire dialect and
+    // stay accepted; a request from the *future* is refused rather than
+    // half-understood.
+    if req.v > wire::WIRE_VERSION {
+        counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            wire::Response::failure(
+                req.id,
+                req.user.unwrap_or(0),
+                format!(
+                    "unsupported protocol version {} (daemon speaks <= {})",
+                    req.v,
+                    wire::WIRE_VERSION
+                ),
+            )
+            .with_code(wire::CODE_UNSUPPORTED_VERSION),
+        );
+        return true;
+    }
     match req.cmd.as_str() {
         wire::CMD_PING => {
             let _ = tx.send(wire::Response::ack(req.id));
+            true
+        }
+        wire::CMD_HEALTH => {
+            let _ = tx.send(wire::Response::health(
+                req.id,
+                health_report(world, counters),
+            ));
+            true
+        }
+        wire::CMD_STATS => {
+            let _ = tx.send(wire::Response::stats(req.id, stats_report(world, counters)));
             true
         }
         wire::CMD_SHUTDOWN => {
@@ -391,11 +437,14 @@ fn process_line(
                     };
                     if let Err(job) = queue.submit(job) {
                         counters.rejected.fetch_add(1, Ordering::Relaxed);
-                        let _ = tx.send(wire::Response::failure(
-                            job.id,
-                            job.req.user,
-                            "daemon is shutting down",
-                        ));
+                        let _ = tx.send(
+                            wire::Response::failure(
+                                job.id,
+                                job.req.user,
+                                "daemon is shutting down",
+                            )
+                            .with_code(wire::CODE_SHUTTING_DOWN),
+                        );
                     }
                 }
             }
@@ -454,6 +503,52 @@ fn resolve(
         policy,
         exclude_seen,
     })
+}
+
+/// Snapshot the daemon's health. Surviving worker panics degrade the
+/// status (the model panicked at least once on real traffic) without
+/// taking the daemon out of rotation; `down` is never self-reported — a
+/// daemon that can answer `health` is by definition not down.
+fn health_report(world: &ServingModel<'_>, counters: &Counters) -> wire::HealthReport {
+    let panics = counters.worker_panics.load(Ordering::Relaxed);
+    let mut report = wire::HealthReport {
+        v: wire::WIRE_VERSION,
+        role: wire::ROLE_DAEMON.to_string(),
+        status: if panics > 0 {
+            wire::STATUS_DEGRADED.to_string()
+        } else {
+            wire::STATUS_OK.to_string()
+        },
+        n_users: world.n_users as u64,
+        n_items: world.n_items as u64,
+        shard: world.shard,
+        ..wire::HealthReport::default()
+    };
+    if panics > 0 {
+        report.diagnostics.push(wire::Diagnostic::new(
+            wire::SEV_WARNING,
+            wire::CODE_INTERNAL,
+            format!("survived {panics} worker panic(s); batches in hand were lost"),
+        ));
+    }
+    report
+}
+
+/// Snapshot the live counters (the same numbers [`serve`] returns as its
+/// final [`DaemonReport`], observable mid-flight over the wire).
+fn stats_report(world: &ServingModel<'_>, counters: &Counters) -> wire::StatsReport {
+    wire::StatsReport {
+        v: wire::WIRE_VERSION,
+        role: wire::ROLE_DAEMON.to_string(),
+        connections: counters.connections.load(Ordering::Relaxed),
+        requests: counters.requests.load(Ordering::Relaxed),
+        rejected: counters.rejected.load(Ordering::Relaxed),
+        batches: counters.batches.load(Ordering::Relaxed),
+        largest_batch: counters.largest_batch.load(Ordering::Relaxed),
+        worker_panics: counters.worker_panics.load(Ordering::Relaxed),
+        shard: world.shard,
+        ..wire::StatsReport::default()
+    }
 }
 
 /// Connection writer: serialize replies in completion order, stop on a

@@ -1,0 +1,879 @@
+//! The scatter-gather router: one TCP front-end over a fleet of shard
+//! daemons, speaking the same [`wire`] protocol on both sides.
+//!
+//! Clients talk to [`serve`] exactly as they would to a single
+//! [`crate::serve::daemon`] — same newline-JSON requests, same replies —
+//! so the PR-5 client works unchanged against a sharded deployment. For
+//! every recommend request the router:
+//!
+//! 1. **admits** it against a bounded in-flight budget
+//!    ([`RouterConfig::inflight_cap`]; over budget →
+//!    [`wire::CODE_OVERLOADED`], nothing scattered),
+//! 2. **scatters** one copy to every shard over persistent, pipelined
+//!    connections (one writer + one reader thread per shard),
+//! 3. **gathers** the per-shard top-N replies and k-way-merges them
+//!    ([`merge_top_n`]) into the global top-N — bit-identical to the
+//!    single-process daemon because shard boundaries are GEMM-aligned and
+//!    Thompson draws key on global item ids (see [`crate::serve::shard`]).
+//!
+//! Failure is always *typed*, never a hang: a shard that is down at
+//! scatter time or dies mid-flight fails the affected requests with
+//! [`wire::CODE_PARTIAL_RESULT`]; a reply that never arrives is reaped by
+//! the timeout sweep as [`wire::CODE_TIMEOUT`]. Dead shard links
+//! reconnect with exponential backoff. `health`/`stats` are answered by
+//! probing every shard and nesting their reports under the router's own,
+//! with cross-shard findings (dead shards → [`wire::SEV_ERROR`], mixed
+//! training epochs → [`wire::SEV_WARNING`]) as structured
+//! [`wire::Diagnostic`]s.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::serve::shard::merge_top_n;
+use crate::serve::wire;
+
+/// How often the accept loop re-checks the shutdown flag (also the cadence
+/// of the request-timeout sweep).
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// How often blocked readers (client and shard) re-check the shutdown
+/// flag on a quiet socket.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A protocol line longer than this kills the connection (typed error
+/// first).
+const MAX_LINE: usize = 1 << 20;
+
+/// Router knobs. `Default`: 256 requests in flight, 5 s shard patience,
+/// 50 ms–2 s reconnect backoff, top-10 lists.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Admission-control budget: recommend requests allowed in flight at
+    /// once across all client connections. Over budget replies
+    /// [`wire::CODE_OVERLOADED`] immediately.
+    pub inflight_cap: usize,
+    /// How long to wait for every shard's reply before reaping the
+    /// request as [`wire::CODE_TIMEOUT`].
+    pub request_timeout: Duration,
+    /// First retry delay after a shard connection fails.
+    pub reconnect_base: Duration,
+    /// Backoff ceiling for shard reconnection attempts.
+    pub reconnect_max: Duration,
+    /// List length for requests that don't give one. The router resolves
+    /// this *before* scattering so every shard answers with the same N
+    /// and the merge width is pinned.
+    pub default_top_n: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            inflight_cap: 256,
+            request_timeout: Duration::from_secs(5),
+            reconnect_base: Duration::from_millis(50),
+            reconnect_max: Duration::from_secs(2),
+            default_top_n: 10,
+        }
+    }
+}
+
+/// What the router did over its lifetime, returned by [`serve`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouterReport {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Requests answered with a merged ranking.
+    pub requests: u64,
+    /// Lines answered with a typed error (malformed, validation, shard
+    /// failure, timeout, overload).
+    pub rejected: u64,
+    /// Requests refused by admission control (subset of `rejected`).
+    pub overload_rejected: u64,
+    /// Requests failed because a shard was down at scatter time or died
+    /// mid-flight (subset of `rejected`).
+    pub shard_failures: u64,
+    /// Successful shard reconnections after a drop or failed attempt.
+    pub reconnects: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    overload_rejected: AtomicU64,
+    shard_failures: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+/// One request scattered and awaiting its gather.
+struct Pending {
+    /// The client's correlation id, echoed in the merged reply.
+    client_id: u64,
+    user: u32,
+    top_n: usize,
+    /// The way home: the owning client connection's writer channel.
+    reply: mpsc::Sender<wire::Response>,
+    /// Per-shard top-N lists, filled as replies arrive.
+    parts: Vec<Option<Vec<wire::RankedItem>>>,
+    /// Shards still owing a reply.
+    remaining: usize,
+    /// Reaped as [`wire::CODE_TIMEOUT`] past this instant.
+    deadline: Instant,
+}
+
+/// One shard link: where it lives, whether it is up, and the live writer
+/// channel when connected.
+struct ShardSlot {
+    addr: String,
+    /// `Some` while connected; taken (and thereby closing the writer)
+    /// when the link drops. Scatter sends fail cleanly either way.
+    tx: Mutex<Option<mpsc::Sender<String>>>,
+    up: AtomicBool,
+}
+
+/// Everything the router's threads share.
+struct Router<'a> {
+    cfg: RouterConfig,
+    shards: Vec<ShardSlot>,
+    counters: Counters,
+    /// Admission gauge: recommend requests currently in flight.
+    inflight: AtomicUsize,
+    /// Router-assigned scatter ids (clients' own ids may collide across
+    /// connections; these cannot).
+    next_id: AtomicU64,
+    pending: Mutex<HashMap<u64, Pending>>,
+    shutdown: &'a AtomicBool,
+}
+
+/// Run the router on `listener`, scattering to the shard daemons at
+/// `shard_addrs` (in shard order), until shutdown. Returns after draining
+/// in-flight requests.
+///
+/// The listener may be bound to port 0; read the real address off
+/// `listener.local_addr()` before calling. Shards need not be up yet —
+/// links connect (and reconnect) with backoff in the background — but
+/// recommend requests are refused with a typed error until every shard
+/// link is live.
+pub fn serve(
+    listener: TcpListener,
+    shard_addrs: &[String],
+    cfg: &RouterConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<RouterReport> {
+    assert!(!shard_addrs.is_empty(), "router needs at least one shard");
+    listener.set_nonblocking(true)?;
+    let router = Router {
+        cfg: *cfg,
+        shards: shard_addrs
+            .iter()
+            .map(|addr| ShardSlot {
+                addr: addr.clone(),
+                tx: Mutex::new(None),
+                up: AtomicBool::new(false),
+            })
+            .collect(),
+        counters: Counters::default(),
+        inflight: AtomicUsize::new(0),
+        next_id: AtomicU64::new(0),
+        pending: Mutex::new(HashMap::new()),
+        shutdown,
+    };
+
+    let router = &router;
+    std::thread::scope(|s| {
+        for shard in 0..router.shards.len() {
+            s.spawn(move || shard_link_loop(router, shard));
+        }
+        let mut last_sweep = Instant::now();
+        while !shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    router.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|| handle_client(router, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shutdown.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+            if last_sweep.elapsed() >= POLL {
+                sweep_timeouts(router);
+                last_sweep = Instant::now();
+            }
+        }
+        Ok(())
+    })?;
+
+    // The scope join waited for every client connection to drain; anything
+    // still pending lost its shard link and was already failed typed.
+    Ok(RouterReport {
+        connections: router.counters.connections.load(Ordering::Relaxed),
+        requests: router.counters.requests.load(Ordering::Relaxed),
+        rejected: router.counters.rejected.load(Ordering::Relaxed),
+        overload_rejected: router.counters.overload_rejected.load(Ordering::Relaxed),
+        shard_failures: router.counters.shard_failures.load(Ordering::Relaxed),
+        reconnects: router.counters.reconnects.load(Ordering::Relaxed),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shard links
+// ---------------------------------------------------------------------------
+
+/// Own one shard link for the router's lifetime: connect (with
+/// exponential backoff), pump replies, and on any drop fail the requests
+/// the dead shard still owed before reconnecting.
+fn shard_link_loop(router: &Router<'_>, shard: usize) {
+    let slot = &router.shards[shard];
+    let mut backoff = router.cfg.reconnect_base;
+    let mut reconnecting = false;
+    while !router.shutdown.load(Ordering::Relaxed) {
+        match TcpStream::connect(&slot.addr) {
+            Ok(stream) => {
+                if reconnecting {
+                    router.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                reconnecting = true;
+                backoff = router.cfg.reconnect_base;
+                run_shard_link(router, shard, stream);
+                slot.up.store(false, Ordering::Relaxed);
+                *slot.tx.lock().unwrap() = None;
+                // Whatever was awaiting this shard will never arrive.
+                fail_pending_for_shard(router, shard);
+            }
+            Err(_) => {
+                slot.up.store(false, Ordering::Relaxed);
+                reconnecting = true;
+            }
+        }
+        if router.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(router.cfg.reconnect_max);
+    }
+}
+
+/// Drive one live shard connection until it drops or shutdown.
+fn run_shard_link(router: &Router<'_>, shard: usize, stream: TcpStream) {
+    let slot = &router.shards[shard];
+    stream.set_nodelay(true).ok();
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || shard_writer_loop(write_half, rx));
+    *slot.tx.lock().unwrap() = Some(tx);
+    slot.up.store(true, Ordering::Relaxed);
+
+    shard_reader_loop(router, shard, stream);
+
+    slot.up.store(false, Ordering::Relaxed);
+    *slot.tx.lock().unwrap() = None; // drops the sender → writer exits
+    let _ = writer.join();
+}
+
+/// Pump one shard's replies into the pending table until the connection
+/// drops or shutdown (with a bounded drain pass so in-flight replies land
+/// before a graceful exit).
+fn shard_reader_loop(router: &Router<'_>, shard: usize, mut stream: TcpStream) {
+    let mut pending_bytes: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        if router.shutdown.load(Ordering::Relaxed) {
+            match drain_deadline {
+                None => drain_deadline = Some(Instant::now() + 4 * POLL),
+                Some(d) if Instant::now() >= d => return,
+                Some(_) => {}
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // shard hung up
+            Ok(n) => {
+                pending_bytes.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending_bytes.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending_bytes.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if let Ok(resp) = wire::decode_response(&line) {
+                        gather(router, shard, resp);
+                    }
+                }
+                if pending_bytes.len() > MAX_LINE {
+                    return; // desynchronized stream; drop the link
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if drain_deadline.is_some() {
+                    return; // quiet during drain: nothing left to land
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Shard-link writer: forward scatter lines, batched flushes.
+fn shard_writer_loop(stream: TcpStream, rx: mpsc::Receiver<String>) {
+    let mut out = std::io::BufWriter::new(stream);
+    'live: while let Ok(first) = rx.recv() {
+        let mut line = first;
+        loop {
+            if writeln!(out, "{line}").is_err() {
+                break 'live;
+            }
+            match rx.try_recv() {
+                Ok(next) => line = next,
+                Err(_) => break,
+            }
+        }
+        if out.flush().is_err() {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gather and failure paths
+// ---------------------------------------------------------------------------
+
+/// Land one shard reply: record the part, and when the last shard
+/// answers, merge and send the client's reply.
+fn gather(router: &Router<'_>, shard: usize, resp: wire::Response) {
+    let mut pending = router.pending.lock().unwrap();
+    let Some(entry) = pending.get_mut(&resp.id) else {
+        return; // already failed/timed out/answered — late reply, drop it
+    };
+    if let Some(err) = resp.error {
+        // A shard refused this request (bad policy, user out of range,
+        // shutting down, …): the whole request fails with the shard's own
+        // typed error. Later replies from other shards find no entry.
+        let entry = pending.remove(&resp.id).unwrap();
+        drop(pending);
+        finish_one(router);
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let mut reply = wire::Response::failure(entry.client_id, entry.user, err);
+        reply.code = resp.code.or(reply.code);
+        // A shard draining for shutdown is an availability failure of the
+        // *tier*, not of this request: the client sees the same class as a
+        // shard that already died.
+        if reply.code.as_deref() == Some(wire::CODE_SHUTTING_DOWN) {
+            reply = reply.with_code(wire::CODE_PARTIAL_RESULT);
+            router
+                .counters
+                .shard_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = entry.reply.send(reply);
+        return;
+    }
+    if entry.parts[shard].is_none() {
+        entry.parts[shard] = Some(resp.items);
+        entry.remaining -= 1;
+    }
+    if entry.remaining > 0 {
+        return;
+    }
+    let entry = pending.remove(&resp.id).unwrap();
+    drop(pending);
+    finish_one(router);
+    let lists: Vec<Vec<wire::RankedItem>> = entry.parts.into_iter().flatten().collect();
+    let items = merge_top_n(&lists, entry.top_n);
+    router.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let _ = entry.reply.send(wire::Response {
+        v: wire::WIRE_VERSION,
+        id: entry.client_id,
+        user: entry.user,
+        items,
+        ..wire::Response::default()
+    });
+}
+
+/// Fail every pending request still owed a reply by `shard` with a typed
+/// partial-result error (the shard link just dropped).
+fn fail_pending_for_shard(router: &Router<'_>, shard: usize) {
+    let failed: Vec<Pending> = {
+        let mut pending = router.pending.lock().unwrap();
+        let ids: Vec<u64> = pending
+            .iter()
+            .filter(|(_, e)| e.parts[shard].is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| pending.remove(&id))
+            .collect()
+    };
+    for entry in failed {
+        finish_one(router);
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        router
+            .counters
+            .shard_failures
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = entry.reply.send(
+            wire::Response::failure(
+                entry.client_id,
+                entry.user,
+                format!(
+                    "shard {shard} at {} dropped before answering",
+                    router.shards[shard].addr
+                ),
+            )
+            .with_code(wire::CODE_PARTIAL_RESULT),
+        );
+    }
+}
+
+/// Reap requests whose deadline passed without every shard answering.
+fn sweep_timeouts(router: &Router<'_>) {
+    let now = Instant::now();
+    let expired: Vec<Pending> = {
+        let mut pending = router.pending.lock().unwrap();
+        let ids: Vec<u64> = pending
+            .iter()
+            .filter(|(_, e)| e.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| pending.remove(&id))
+            .collect()
+    };
+    for entry in expired {
+        finish_one(router);
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let waited = entry.remaining;
+        let _ = entry.reply.send(
+            wire::Response::failure(
+                entry.client_id,
+                entry.user,
+                format!("timed out waiting for {waited} shard reply/replies"),
+            )
+            .with_code(wire::CODE_TIMEOUT),
+        );
+    }
+}
+
+/// One in-flight request finished (answered or failed): release its
+/// admission slot.
+fn finish_one(router: &Router<'_>) {
+    router.inflight.fetch_sub(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Client connections
+// ---------------------------------------------------------------------------
+
+/// Client connection reader: split lines, answer each (scattering
+/// recommend requests), keep the writer alive until every in-flight reply
+/// has been delivered.
+fn handle_client(router: &Router<'_>, stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<wire::Response>();
+    let writer = std::thread::spawn(move || client_writer_loop(write_half, rx));
+
+    let mut stream = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut drain_deadline: Option<Instant> = None;
+    'conn: loop {
+        if router.shutdown.load(Ordering::Relaxed) {
+            match drain_deadline {
+                None => drain_deadline = Some(Instant::now() + 4 * POLL),
+                Some(d) if Instant::now() >= d => break,
+                Some(_) => {}
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if !process_line(router, &line, &tx) {
+                        break 'conn;
+                    }
+                }
+                if pending.len() > MAX_LINE {
+                    router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(wire::Response::failure(0, 0, "request line too long"));
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if drain_deadline.is_some() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    // The writer exits once every clone of `tx` held by pending entries
+    // is gone — i.e. after each outstanding scatter has been answered,
+    // failed, or reaped by the timeout sweep. Never a silent hang.
+    let _ = writer.join();
+}
+
+/// Answer one client line. Returns `false` when the connection should
+/// close (shutdown command).
+fn process_line(router: &Router<'_>, line: &str, tx: &mpsc::Sender<wire::Response>) -> bool {
+    let req = match wire::decode_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(wire::Response::failure(0, 0, e));
+            return true;
+        }
+    };
+    if req.v > wire::WIRE_VERSION {
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            wire::Response::failure(
+                req.id,
+                req.user.unwrap_or(0),
+                format!(
+                    "unsupported protocol version {} (router speaks <= {})",
+                    req.v,
+                    wire::WIRE_VERSION
+                ),
+            )
+            .with_code(wire::CODE_UNSUPPORTED_VERSION),
+        );
+        return true;
+    }
+    match req.cmd.as_str() {
+        wire::CMD_PING => {
+            let _ = tx.send(wire::Response::ack(req.id));
+            true
+        }
+        wire::CMD_SHUTDOWN => {
+            // Shuts down the *router*; the shard daemons are owned by
+            // whoever launched them and keep serving.
+            let _ = tx.send(wire::Response::ack(req.id));
+            router.shutdown.store(true, Ordering::Relaxed);
+            false
+        }
+        wire::CMD_HEALTH => {
+            let _ = tx.send(wire::Response::health(req.id, router_health(router)));
+            true
+        }
+        wire::CMD_STATS => {
+            let _ = tx.send(wire::Response::stats(req.id, router_stats(router)));
+            true
+        }
+        "" | wire::CMD_RECOMMEND => {
+            scatter(router, &req, tx);
+            true
+        }
+        other => {
+            router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(wire::Response::failure(
+                req.id,
+                req.user.unwrap_or(0),
+                format!("unknown cmd `{other}`"),
+            ));
+            true
+        }
+    }
+}
+
+/// Admit, scatter, and register one recommend request. Every refusal is
+/// an immediate typed reply; nothing is scattered unless all shards are
+/// up and the budget has room.
+fn scatter(router: &Router<'_>, req: &wire::Request, tx: &mpsc::Sender<wire::Response>) {
+    let Some(user) = req.user else {
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(wire::Response::failure(req.id, 0, "missing field `user`"));
+        return;
+    };
+    // Admission control: claim a slot, give it back on refusal.
+    if router.inflight.fetch_add(1, Ordering::Relaxed) >= router.cfg.inflight_cap {
+        finish_one(router);
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        router
+            .counters
+            .overload_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            wire::Response::failure(
+                req.id,
+                user,
+                format!(
+                    "over capacity ({} requests in flight); retry later",
+                    router.cfg.inflight_cap
+                ),
+            )
+            .with_code(wire::CODE_OVERLOADED),
+        );
+        return;
+    }
+    // A complete ranking needs every shard: refuse up front rather than
+    // reply with silently-missing catalogue ranges.
+    if let Some(down) =
+        (0..router.shards.len()).find(|&s| !router.shards[s].up.load(Ordering::Relaxed))
+    {
+        finish_one(router);
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        router
+            .counters
+            .shard_failures
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            wire::Response::failure(
+                req.id,
+                user,
+                format!(
+                    "shard {down} at {} is down; cannot assemble a complete ranking",
+                    router.shards[down].addr
+                ),
+            )
+            .with_code(wire::CODE_PARTIAL_RESULT),
+        );
+        return;
+    }
+    let top_n = if req.top_n == 0 {
+        router.cfg.default_top_n
+    } else {
+        req.top_n
+    };
+    let rid = router.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let fwd = wire::Request {
+        v: wire::WIRE_VERSION,
+        id: rid,
+        cmd: wire::CMD_RECOMMEND.to_string(),
+        user: Some(user),
+        top_n,
+        policy: req.policy.clone(),
+        exclude_seen: req.exclude_seen,
+    };
+    let line = wire::encode(&fwd);
+    // Register before sending: a fast shard may answer instantly.
+    router.pending.lock().unwrap().insert(
+        rid,
+        Pending {
+            client_id: req.id,
+            user,
+            top_n,
+            reply: tx.clone(),
+            parts: vec![None; router.shards.len()],
+            remaining: router.shards.len(),
+            deadline: Instant::now() + router.cfg.request_timeout,
+        },
+    );
+    for (s, slot) in router.shards.iter().enumerate() {
+        let sent = match &*slot.tx.lock().unwrap() {
+            Some(link) => link.send(line.clone()).is_ok(),
+            None => false,
+        };
+        if !sent {
+            // The link dropped between the up-check and the send. Fail
+            // this request now; shards that already got the line will
+            // answer into a missing entry, which is dropped.
+            if let Some(entry) = router.pending.lock().unwrap().remove(&rid) {
+                finish_one(router);
+                router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                router
+                    .counters
+                    .shard_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = entry.reply.send(
+                    wire::Response::failure(
+                        entry.client_id,
+                        entry.user,
+                        format!("shard {s} at {} went down mid-scatter", slot.addr),
+                    )
+                    .with_code(wire::CODE_PARTIAL_RESULT),
+                );
+            }
+            return;
+        }
+    }
+}
+
+/// Client-connection writer: serialize replies in completion order,
+/// batched flushes, stop on a dead socket.
+fn client_writer_loop(stream: TcpStream, rx: mpsc::Receiver<wire::Response>) {
+    let mut out = std::io::BufWriter::new(stream);
+    'live: while let Ok(first) = rx.recv() {
+        let mut resp = first;
+        loop {
+            if writeln!(out, "{}", wire::encode(&resp)).is_err() {
+                break 'live;
+            }
+            match rx.try_recv() {
+                Ok(next) => resp = next,
+                Err(_) => break,
+            }
+        }
+        if out.flush().is_err() {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health and stats aggregation
+// ---------------------------------------------------------------------------
+
+/// How long a health/stats probe waits for a shard before declaring it
+/// unreachable.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One short-lived probe connection: send `cmd`, read one reply line.
+/// Probes bypass the pipelined links so an admin query never competes
+/// with (or is reordered against) recommend traffic.
+fn probe_shard(addr: &str, cmd: &str) -> Option<wire::Response> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(PROBE_TIMEOUT)).ok()?;
+    stream.set_nodelay(true).ok();
+    let req = wire::Request {
+        v: wire::WIRE_VERSION,
+        cmd: cmd.to_string(),
+        ..wire::Request::default()
+    };
+    let mut write_half = stream.try_clone().ok()?;
+    writeln!(write_half, "{}", wire::encode(&req)).ok()?;
+    write_half.flush().ok()?;
+    let mut line = String::new();
+    std::io::BufReader::new(stream).read_line(&mut line).ok()?;
+    wire::decode_response(&line).ok()
+}
+
+/// Probe every shard's `health` and aggregate: nested per-shard reports,
+/// cross-shard diagnostics, and an overall status (`ok` when everything
+/// answers clean, `degraded` when some shard is down, skewed, or
+/// degraded, `down` when no shard can serve).
+fn router_health(router: &Router<'_>) -> wire::HealthReport {
+    let mut shards = Vec::with_capacity(router.shards.len());
+    let mut diagnostics = Vec::new();
+    let mut down = 0usize;
+    for (s, slot) in router.shards.iter().enumerate() {
+        match probe_shard(&slot.addr, wire::CMD_HEALTH).and_then(|r| r.health) {
+            Some(report) => shards.push(report),
+            None => {
+                down += 1;
+                diagnostics.push(wire::Diagnostic::new(
+                    wire::SEV_ERROR,
+                    wire::CODE_SHARD_DOWN,
+                    format!("shard {s} at {} is unreachable", slot.addr),
+                ));
+                shards.push(wire::HealthReport {
+                    v: wire::WIRE_VERSION,
+                    role: wire::ROLE_DAEMON.to_string(),
+                    status: wire::STATUS_DOWN.to_string(),
+                    ..wire::HealthReport::default()
+                });
+            }
+        }
+    }
+    // Mixed training epochs: every live shard must serve factors from the
+    // same sampler iteration or rankings straddle two posteriors.
+    let mut epochs: Vec<u64> = shards
+        .iter()
+        .filter_map(|h| h.shard.as_ref().map(|spec| spec.epoch))
+        .collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    if epochs.len() > 1 {
+        diagnostics.push(wire::Diagnostic::new(
+            wire::SEV_WARNING,
+            wire::CODE_EPOCH_MISMATCH,
+            format!(
+                "shards serve factors from {} different epochs: {epochs:?}",
+                epochs.len()
+            ),
+        ));
+    }
+    let degraded_child = shards.iter().any(|h| h.status != wire::STATUS_OK);
+    let status = if down == router.shards.len() {
+        wire::STATUS_DOWN
+    } else if down > 0 || degraded_child || !diagnostics.is_empty() {
+        wire::STATUS_DEGRADED
+    } else {
+        wire::STATUS_OK
+    };
+    wire::HealthReport {
+        v: wire::WIRE_VERSION,
+        role: wire::ROLE_ROUTER.to_string(),
+        status: status.to_string(),
+        n_users: shards.iter().map(|h| h.n_users).max().unwrap_or(0),
+        // The router serves the union of the slices: the catalogue ends
+        // where the last shard's range does.
+        n_items: shards
+            .iter()
+            .filter_map(|h| h.shard.as_ref().map(|spec| spec.item_hi as u64))
+            .max()
+            .unwrap_or_else(|| shards.iter().map(|h| h.n_items).sum()),
+        shard: None,
+        diagnostics,
+        shards,
+    }
+}
+
+/// Probe every shard's `stats` and nest the answers under the router's
+/// own counter snapshot (unreachable shards are simply absent; `health`
+/// names them).
+fn router_stats(router: &Router<'_>) -> wire::StatsReport {
+    let shards: Vec<wire::StatsReport> = router
+        .shards
+        .iter()
+        .filter_map(|slot| probe_shard(&slot.addr, wire::CMD_STATS).and_then(|r| r.stats))
+        .collect();
+    wire::StatsReport {
+        v: wire::WIRE_VERSION,
+        role: wire::ROLE_ROUTER.to_string(),
+        connections: router.counters.connections.load(Ordering::Relaxed),
+        requests: router.counters.requests.load(Ordering::Relaxed),
+        rejected: router.counters.rejected.load(Ordering::Relaxed),
+        inflight: router.inflight.load(Ordering::Relaxed) as u64,
+        overload_rejected: router.counters.overload_rejected.load(Ordering::Relaxed),
+        shard_failures: router.counters.shard_failures.load(Ordering::Relaxed),
+        reconnects: router.counters.reconnects.load(Ordering::Relaxed),
+        shards,
+        ..wire::StatsReport::default()
+    }
+}

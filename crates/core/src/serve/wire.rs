@@ -16,12 +16,37 @@
 //! → {"id":1,"user":42,"top_n":3,"policy":"ucb:0.5","exclude_seen":true}
 //! ← {"id":1,"user":42,"items":[{"item":7,"score":4.31},…],"error":null}
 //! → not json
-//! ← {"id":0,"user":0,"items":[],"error":"malformed request: …"}
+//! ← {"id":0,"user":0,"items":[],"error":"malformed request: …","code":"bad_request"}
+//! → {"cmd":"health"}
+//! ← {"id":0,…,"health":{"v":1,"role":"daemon","status":"ok",…}}
 //! → {"cmd":"shutdown"}
 //! ← {"id":0,"user":0,"items":[],"error":null}        (ack, then drain+exit)
 //! ```
+//!
+//! # Versioning and the diagnostics taxonomy
+//!
+//! Requests and responses carry a protocol version `v`
+//! ([`WIRE_VERSION`]); it defaults to 0 on decode, so pre-versioning
+//! clients keep working, while a request from the *future*
+//! (`v > WIRE_VERSION`) is refused with a typed
+//! [`CODE_UNSUPPORTED_VERSION`] error instead of being half-understood.
+//!
+//! Error replies are *typed twice*: `error` is the human-readable
+//! explanation, `code` a stable machine-readable slug (the `CODE_*`
+//! constants) clients and the router branch on. The `health`/`stats`
+//! commands return structured payloads ([`HealthReport`] /
+//! [`StatsReport`]) whose findings are [`Diagnostic`]s — a severity from
+//! the fixed ladder ([`SEV_INFO`] < [`SEV_WARNING`] < [`SEV_ERROR`] <
+//! [`SEV_FATAL`]) plus a `CODE_*` slug — and which nest: the router
+//! aggregates its shards' reports under its own.
 
+use crate::serve::shard::ShardSpec;
 use crate::serve::Recommendation;
+
+/// Protocol version spoken by this build. Bump when a request field
+/// changes meaning; fields may be *added* freely (decode ignores unknown
+/// fields and defaults missing ones).
+pub const WIRE_VERSION: u32 = 1;
 
 /// Ask for recommendations (the default when `cmd` is empty).
 pub const CMD_RECOMMEND: &str = "recommend";
@@ -29,11 +54,68 @@ pub const CMD_RECOMMEND: &str = "recommend";
 pub const CMD_PING: &str = "ping";
 /// Begin graceful shutdown: ack, drain queued requests, exit 0.
 pub const CMD_SHUTDOWN: &str = "shutdown";
+/// Structured liveness report ([`HealthReport`]); the router aggregates
+/// across shards.
+pub const CMD_HEALTH: &str = "health";
+/// Structured counter snapshot ([`StatsReport`]); the router aggregates
+/// across shards.
+pub const CMD_STATS: &str = "stats";
+
+/// The request could not be parsed or failed validation.
+pub const CODE_BAD_REQUEST: &str = "bad_request";
+/// The request declared a wire version newer than this server speaks.
+pub const CODE_UNSUPPORTED_VERSION: &str = "unsupported_version";
+/// Admission control refused the request (in-flight budget exhausted).
+/// Retry later; nothing was scattered.
+pub const CODE_OVERLOADED: &str = "overloaded";
+/// One or more shards could not answer, so a complete ranking cannot be
+/// assembled. The reply is an error (never silently-partial items).
+pub const CODE_PARTIAL_RESULT: &str = "partial_result";
+/// A shard connection is down (health diagnostic / scatter failure).
+pub const CODE_SHARD_DOWN: &str = "shard_down";
+/// Shards report factors from different training epochs.
+pub const CODE_EPOCH_MISMATCH: &str = "epoch_mismatch";
+/// The server is draining for shutdown and refuses new work.
+pub const CODE_SHUTTING_DOWN: &str = "shutting_down";
+/// A serving worker failed while computing this request.
+pub const CODE_INTERNAL: &str = "internal";
+/// The request waited longer than the router's patience for a shard
+/// reply.
+pub const CODE_TIMEOUT: &str = "timeout";
+
+/// Diagnostic severity: informational only.
+pub const SEV_INFO: &str = "info";
+/// Diagnostic severity: degraded but serving.
+pub const SEV_WARNING: &str = "warning";
+/// Diagnostic severity: some requests will fail.
+pub const SEV_ERROR: &str = "error";
+/// Diagnostic severity: the process cannot serve.
+pub const SEV_FATAL: &str = "fatal";
+
+/// `role` of a single-model serving daemon (whole catalogue or one
+/// shard).
+pub const ROLE_DAEMON: &str = "daemon";
+/// `role` of the scatter-gather router.
+pub const ROLE_ROUTER: &str = "router";
+
+/// Aggregate health `status`: everything answering.
+pub const STATUS_OK: &str = "ok";
+/// Aggregate health `status`: serving, but something is wrong (dead
+/// shard, mixed epochs, worker panics).
+pub const STATUS_DEGRADED: &str = "degraded";
+/// Aggregate health `status`: unable to serve recommendations at all.
+pub const STATUS_DOWN: &str = "down";
 
 /// One client request line. Everything is optional on the wire; the
 /// daemon resolves blanks against its configured defaults.
 #[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Request {
+    /// Wire version the client speaks. Absent (0) on requests from
+    /// pre-versioning clients, which remain accepted; a value greater
+    /// than [`WIRE_VERSION`] is refused with
+    /// [`CODE_UNSUPPORTED_VERSION`].
+    #[serde(default)]
+    pub v: u32,
     /// Client-chosen correlation id, echoed in the reply.
     #[serde(default)]
     pub id: u64,
@@ -86,9 +168,14 @@ impl From<Recommendation> for RankedItem {
 }
 
 /// One server reply line. `error` is `None` on success; on failure it
-/// explains what was wrong with the request and `items` is empty.
+/// explains what was wrong with the request, `code` names the failure
+/// class (a `CODE_*` slug), and `items` is empty.
 #[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Response {
+    /// Wire version of the replying server (0 from pre-versioning
+    /// daemons).
+    #[serde(default)]
+    pub v: u32,
     /// The request's correlation id (0 for unparseable lines).
     #[serde(default)]
     pub id: u64,
@@ -98,39 +185,192 @@ pub struct Response {
     /// Ranked best-first recommendations.
     #[serde(default)]
     pub items: Vec<RankedItem>,
-    /// What went wrong, when something did.
+    /// What went wrong, when something did (human-readable).
     #[serde(default)]
     pub error: Option<String>,
+    /// Stable machine-readable failure class (a `CODE_*` slug), set
+    /// whenever `error` is.
+    #[serde(default)]
+    pub code: Option<String>,
+    /// Structured payload of a [`CMD_HEALTH`] reply.
+    #[serde(default)]
+    pub health: Option<HealthReport>,
+    /// Structured payload of a [`CMD_STATS`] reply.
+    #[serde(default)]
+    pub stats: Option<StatsReport>,
 }
 
 impl Response {
     /// A successful reply carrying a ranked list.
     pub fn success(id: u64, user: u32, recs: &[Recommendation]) -> Self {
         Response {
+            v: WIRE_VERSION,
             id,
             user,
             items: recs.iter().copied().map(RankedItem::from).collect(),
-            error: None,
+            ..Response::default()
         }
     }
 
-    /// A typed error reply.
+    /// A typed error reply, classed [`CODE_BAD_REQUEST`] — chain
+    /// [`Response::with_code`] for any other failure class.
     pub fn failure(id: u64, user: u32, error: impl Into<String>) -> Self {
         Response {
+            v: WIRE_VERSION,
             id,
             user,
-            items: Vec::new(),
             error: Some(error.into()),
+            code: Some(CODE_BAD_REQUEST.to_string()),
+            ..Response::default()
         }
+    }
+
+    /// Reclassify a failure reply under a different `CODE_*` slug.
+    pub fn with_code(mut self, code: &str) -> Self {
+        self.code = Some(code.to_string());
+        self
     }
 
     /// An empty acknowledgement (ping/shutdown).
     pub fn ack(id: u64) -> Self {
         Response {
+            v: WIRE_VERSION,
             id,
             ..Response::default()
         }
     }
+
+    /// A [`CMD_HEALTH`] reply.
+    pub fn health(id: u64, report: HealthReport) -> Self {
+        Response {
+            v: WIRE_VERSION,
+            id,
+            health: Some(report),
+            ..Response::default()
+        }
+    }
+
+    /// A [`CMD_STATS`] reply.
+    pub fn stats(id: u64, report: StatsReport) -> Self {
+        Response {
+            v: WIRE_VERSION,
+            id,
+            stats: Some(report),
+            ..Response::default()
+        }
+    }
+}
+
+/// One structured finding inside a [`HealthReport`]: a severity from the
+/// fixed ladder, a stable `CODE_*` slug to branch on, and a
+/// human-readable detail.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Diagnostic {
+    /// [`SEV_INFO`] | [`SEV_WARNING`] | [`SEV_ERROR`] | [`SEV_FATAL`].
+    #[serde(default)]
+    pub severity: String,
+    /// Stable machine-readable slug (a `CODE_*` constant).
+    #[serde(default)]
+    pub code: String,
+    /// Human-readable explanation.
+    #[serde(default)]
+    pub detail: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the given severity, code, and detail.
+    pub fn new(severity: &str, code: &str, detail: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: severity.to_string(),
+            code: code.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Structured, versioned [`CMD_HEALTH`] payload. A daemon reports
+/// itself; the router reports itself with its shards' reports nested
+/// under `shards` and cross-shard findings (dead shards, epoch skew) as
+/// `diagnostics`.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HealthReport {
+    /// Payload schema version (= [`WIRE_VERSION`] at emission).
+    #[serde(default)]
+    pub v: u32,
+    /// [`ROLE_DAEMON`] or [`ROLE_ROUTER`].
+    #[serde(default)]
+    pub role: String,
+    /// [`STATUS_OK`], [`STATUS_DEGRADED`], or [`STATUS_DOWN`].
+    #[serde(default)]
+    pub status: String,
+    /// Users the serving model covers.
+    #[serde(default)]
+    pub n_users: u64,
+    /// Items served *by this process* (a shard reports its slice width;
+    /// the router reports the full catalogue).
+    #[serde(default)]
+    pub n_items: u64,
+    /// Which catalogue slice this process serves, when sharded.
+    #[serde(default)]
+    pub shard: Option<ShardSpec>,
+    /// Findings, ordered worst-first by the emitter.
+    #[serde(default)]
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-shard reports (router only), in shard order; a dead shard
+    /// contributes a stub report with status [`STATUS_DOWN`].
+    #[serde(default)]
+    pub shards: Vec<HealthReport>,
+}
+
+/// Structured, versioned [`CMD_STATS`] payload: a snapshot of the live
+/// serving counters. Router-only fields are zero on daemon reports and
+/// vice versa.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsReport {
+    /// Payload schema version (= [`WIRE_VERSION`] at emission).
+    #[serde(default)]
+    pub v: u32,
+    /// [`ROLE_DAEMON`] or [`ROLE_ROUTER`].
+    #[serde(default)]
+    pub role: String,
+    /// Connections accepted since start.
+    #[serde(default)]
+    pub connections: u64,
+    /// Requests answered successfully.
+    #[serde(default)]
+    pub requests: u64,
+    /// Requests refused with a typed error.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Coalesced batches executed (daemon).
+    #[serde(default)]
+    pub batches: u64,
+    /// Largest coalesced batch seen (daemon).
+    #[serde(default)]
+    pub largest_batch: u64,
+    /// Worker panics caught (daemon).
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Requests currently in flight (router admission gauge).
+    #[serde(default)]
+    pub inflight: u64,
+    /// Requests refused by admission control (router).
+    #[serde(default)]
+    pub overload_rejected: u64,
+    /// Requests failed because a shard died mid-flight or was down at
+    /// scatter time (router).
+    #[serde(default)]
+    pub shard_failures: u64,
+    /// Successful shard reconnections (router).
+    #[serde(default)]
+    pub reconnects: u64,
+    /// Which catalogue slice this process serves, when sharded.
+    #[serde(default)]
+    pub shard: Option<ShardSpec>,
+    /// Per-shard snapshots (router only), in shard order; dead shards
+    /// are omitted here (see the health report for their status).
+    #[serde(default)]
+    pub shards: Vec<StatsReport>,
 }
 
 /// Serialize one message as a single JSON line (no trailing newline; the
@@ -157,6 +397,7 @@ mod tests {
     #[test]
     fn request_roundtrips_with_every_field() {
         let req = Request {
+            v: WIRE_VERSION,
             id: 9,
             cmd: CMD_RECOMMEND.to_string(),
             user: Some(42),
@@ -219,6 +460,104 @@ mod tests {
         let back = decode_response(&encode(&err)).unwrap();
         assert_eq!(back.error.as_deref(), Some("user 99 out of range"));
         assert!(back.items.is_empty());
+    }
+
+    #[test]
+    fn version_defaults_to_zero_and_roundtrips() {
+        // A PR-5 request (no `v` on the wire) parses as v = 0: accepted.
+        let legacy = decode_request("{\"user\": 3}").unwrap();
+        assert_eq!(legacy.v, 0);
+        // A versioned request roundtrips.
+        let req = Request {
+            v: WIRE_VERSION,
+            ..Request::recommend(1, 2)
+        };
+        assert_eq!(decode_request(&encode(&req)).unwrap().v, WIRE_VERSION);
+        // Replies carry the server's version.
+        assert_eq!(Response::ack(1).v, WIRE_VERSION);
+        // And a PR-5 *response* (no v/code fields) still parses.
+        let old = decode_response("{\"id\":1,\"user\":2,\"items\":[],\"error\":null}").unwrap();
+        assert_eq!((old.v, old.code), (0, None));
+    }
+
+    #[test]
+    fn failures_carry_a_stable_code() {
+        let plain = Response::failure(1, 0, "user 99 out of range");
+        assert_eq!(plain.code.as_deref(), Some(CODE_BAD_REQUEST));
+        let typed = Response::failure(1, 0, "shard 2/4 unavailable").with_code(CODE_PARTIAL_RESULT);
+        let back = decode_response(&encode(&typed)).unwrap();
+        assert_eq!(back.code.as_deref(), Some(CODE_PARTIAL_RESULT));
+        assert_eq!(back.error.as_deref(), Some("shard 2/4 unavailable"));
+    }
+
+    #[test]
+    fn health_reports_roundtrip_with_nested_shards() {
+        let shard0 = HealthReport {
+            v: WIRE_VERSION,
+            role: ROLE_DAEMON.to_string(),
+            status: STATUS_OK.to_string(),
+            n_users: 48,
+            n_items: 256,
+            shard: Some(ShardSpec {
+                shard_id: 0,
+                num_shards: 2,
+                item_lo: 0,
+                item_hi: 256,
+                epoch: 6,
+            }),
+            ..HealthReport::default()
+        };
+        let router = HealthReport {
+            v: WIRE_VERSION,
+            role: ROLE_ROUTER.to_string(),
+            status: STATUS_DEGRADED.to_string(),
+            n_users: 48,
+            n_items: 400,
+            diagnostics: vec![Diagnostic::new(
+                SEV_ERROR,
+                CODE_SHARD_DOWN,
+                "shard 1/2 at 127.0.0.1:9 is down",
+            )],
+            shards: vec![
+                shard0,
+                HealthReport {
+                    status: STATUS_DOWN.to_string(),
+                    ..HealthReport::default()
+                },
+            ],
+            ..HealthReport::default()
+        };
+        let reply = Response::health(7, router.clone());
+        let back = decode_response(&encode(&reply)).unwrap();
+        assert_eq!(back.health.as_ref(), Some(&router));
+        let h = back.health.unwrap();
+        assert_eq!(h.shards.len(), 2);
+        assert_eq!(h.shards[0].shard.unwrap().item_hi, 256);
+        assert_eq!(h.diagnostics[0].code, CODE_SHARD_DOWN);
+        assert_eq!(h.diagnostics[0].severity, SEV_ERROR);
+    }
+
+    #[test]
+    fn stats_reports_roundtrip() {
+        let stats = StatsReport {
+            v: WIRE_VERSION,
+            role: ROLE_ROUTER.to_string(),
+            connections: 3,
+            requests: 100,
+            inflight: 2,
+            overload_rejected: 5,
+            shard_failures: 1,
+            reconnects: 4,
+            shards: vec![StatsReport {
+                role: ROLE_DAEMON.to_string(),
+                batches: 9,
+                largest_batch: 64,
+                ..StatsReport::default()
+            }],
+            ..StatsReport::default()
+        };
+        let back = decode_response(&encode(&Response::stats(1, stats.clone()))).unwrap();
+        assert_eq!(back.stats, Some(stats));
     }
 
     #[test]

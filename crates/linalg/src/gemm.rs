@@ -145,6 +145,33 @@ impl PackedB {
         PackedB { data, k, n }
     }
 
+    /// Pack `vᵀ` for the contiguous column range `[lo, hi)` of a
+    /// row-major `n × k` factor matrix — the sharded-serving path. `lo`
+    /// must sit on a [`GEMM_NC`] block boundary; the resulting buffer is
+    /// then exactly the `[k·lo, k·hi)` slice of the full
+    /// [`PackedB::pack_transposed_from`] buffer, so every column block is
+    /// tiled into the same panels with the same ragged edges and the
+    /// micro-kernel arithmetic per column is **bit-identical** to the
+    /// full-catalogue pack — the property the sharded serving tier's
+    /// byte-identity gate rests on.
+    pub fn pack_transposed_range_from(v: &crate::mat::Mat, lo: usize, hi: usize) -> PackedB {
+        let (n, k) = (v.rows(), v.cols());
+        assert!(lo <= hi && hi <= n, "pack range [{lo}, {hi}) out of 0..{n}");
+        assert_eq!(lo % GEMM_NC, 0, "range start must be GEMM_NC-aligned");
+        let vs = v.as_slice();
+        let w = hi - lo;
+        let mut data = Vec::with_capacity(k * w);
+        for jb in (lo..hi).step_by(GEMM_NC) {
+            let jb1 = (jb + GEMM_NC).min(hi);
+            for kb in KBlocks::new(k) {
+                for l in kb.k0..kb.k0 + kb.kc {
+                    data.extend((jb..jb1).map(|j| vs[j * k + l]));
+                }
+            }
+        }
+        PackedB { data, k, n: w }
+    }
+
     /// Inner (reduction) dimension `k`.
     pub fn k(&self) -> usize {
         self.k
@@ -791,6 +818,59 @@ mod tests {
             let mut got_t = vec![f64::NAN; m * n];
             gemm_packed_into(m, &a, &pb_t, &mut got_t);
             assert_eq!(got_t, want, "m={m} n={n} k={k}: transposed pack");
+        }
+    }
+
+    #[test]
+    fn range_pack_is_a_slice_of_the_full_pack() {
+        // Catalogue spanning several NC blocks with a ragged tail.
+        let (n, k) = (3 * GEMM_NC + 77, 9);
+        let v = crate::mat::Mat::from_fn(n, k, |j, l| (j * k + l) as f64 * 0.5 - 3.0);
+        let full = PackedB::pack_transposed_from(&v);
+        for (lo, hi) in [
+            (0, n),
+            (0, GEMM_NC),
+            (GEMM_NC, 3 * GEMM_NC),
+            (2 * GEMM_NC, n),
+            (3 * GEMM_NC, n),   // ragged final block
+            (GEMM_NC, GEMM_NC), // empty shard
+        ] {
+            let part = PackedB::pack_transposed_range_from(&v, lo, hi);
+            assert_eq!((part.k(), part.n()), (k, hi - lo));
+            assert_eq!(
+                part.data,
+                full.data[k * lo..k * hi],
+                "[{lo}, {hi}) is not the matching byte range of the full pack"
+            );
+        }
+    }
+
+    #[test]
+    fn range_packed_gemm_is_bit_identical_to_full_gemm_columns() {
+        // The sharded-serving invariant: scoring a GEMM_NC-aligned column
+        // range must reproduce the full catalogue's scores *bit for bit*
+        // (same panels, same fma chains), on whichever kernel arm is live.
+        let (m, n, k) = (7, 2 * GEMM_NC + 190, 13);
+        let a = fill(m * k, 21);
+        let v = crate::mat::Mat::from_fn(n, k, |j, l| fill(1, (j * k + l) as u64)[0]);
+        let full = PackedB::pack_transposed_from(&v);
+        let mut want = vec![f64::NAN; m * n];
+        gemm_packed_into(m, &a, &full, &mut want);
+        for (lo, hi) in [(0usize, GEMM_NC), (GEMM_NC, 2 * GEMM_NC), (2 * GEMM_NC, n)] {
+            let part = PackedB::pack_transposed_range_from(&v, lo, hi);
+            let w = hi - lo;
+            let mut got = vec![f64::NAN; m * w];
+            gemm_packed_into(m, &a, &part, &mut got);
+            for i in 0..m {
+                for j in 0..w {
+                    assert_eq!(
+                        got[i * w + j].to_bits(),
+                        want[i * n + lo + j].to_bits(),
+                        "row {i} col {} not bit-identical for range [{lo}, {hi})",
+                        lo + j
+                    );
+                }
+            }
         }
     }
 

@@ -68,7 +68,9 @@ pub use chol::Cholesky;
 pub use chol_par::{cholesky_in_place_parallel, DEFAULT_BLOCK};
 pub use cholupdate::{chol_downdate, chol_update};
 pub use error::LinalgError;
-pub use gemm::{gemm_gathered_rows_packed, gemm_into, gemm_into_scalar, gemm_packed_into, PackedB};
+pub use gemm::{
+    gemm_gathered_rows_packed, gemm_into, gemm_into_scalar, gemm_packed_into, PackedB, GEMM_NC,
+};
 pub use mat::Mat;
 pub use matwriter::MatWriter;
 pub use panel::{gemv_t_acc, gemv_t_acc_scalar, syrk_ld_lower, syrk_ld_lower_scalar, PANEL_BLOCK};

@@ -3,13 +3,12 @@
 //! and the batched scoring entry points agree with per-pair prediction
 //! for every algorithm behind the unified trait.
 
-use bpmf::serve::{RankPolicy, RecommendService, Recommendation};
+use bpmf::serve::{thompson_draw, RankPolicy, RecommendService, Recommendation};
 use bpmf::{
     Algorithm, Bpmf, NoCallback, Patience, Recommender, TrainData, Trainer, WallClockBudget,
 };
 use bpmf_baselines::make_trainer;
 use bpmf_dataset::{movielens_like, Dataset};
-use bpmf_stats::{normal, Xoshiro256pp};
 
 fn dataset() -> Dataset {
     movielens_like(0.01, 77)
@@ -155,7 +154,7 @@ fn ucb_top_n_matches_brute_force_reference() {
 }
 
 #[test]
-fn thompson_top_n_matches_a_replayed_rng_reference() {
+fn thompson_top_n_matches_a_per_item_draw_reference() {
     let ds = dataset();
     let trainer = fit(Algorithm::Gibbs, &ds);
     let model = trainer.recommender().unwrap();
@@ -167,9 +166,9 @@ fn thompson_top_n_matches_a_replayed_rng_reference() {
         .policy(RankPolicy::Thompson { seed });
     let got = service.top_n(user, 10);
 
-    // Replay: identical candidate order (ascending item id over the same
-    // filter), identical draws from the same stream.
-    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    // Replay: draws are stateless per (seed, item) — `thompson_draw` —
+    // so the reference scores each candidate independently, in any
+    // order, and still reproduces the service's ranking.
     let (seen, _) = ds.train.row(user);
     let mut scored: Vec<(u32, f64)> = (0..ds.ncols() as u32)
         .filter(|m| seen.binary_search(m).is_err())
@@ -178,7 +177,7 @@ fn thompson_top_n_matches_a_replayed_rng_reference() {
             let std = model
                 .predict_with_uncertainty(user, m as usize)
                 .map_or(0.0, |s| s.std);
-            (m, normal(&mut rng, mean, std))
+            (m, thompson_draw(seed, m as u64, mean, std))
         })
         .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));

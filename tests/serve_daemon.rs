@@ -51,6 +51,7 @@ fn with_daemon(cfg: DaemonConfig, f: impl FnOnce(SocketAddr)) -> DaemonReport {
         train: Some(&train),
         n_users: N_USERS,
         n_items: N_ITEMS,
+        shard: None,
     };
     let shutdown = AtomicBool::new(false);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
@@ -170,6 +171,7 @@ fn concurrent_clients_match_offline_top_n_for_every_policy() {
                                 top_n: 5,
                                 policy: name.to_string(),
                                 exclude_seen: Some(*exclude),
+                                v: wire::WIRE_VERSION,
                             },
                         )
                     })
@@ -369,6 +371,7 @@ fn panicking_scorer_cannot_wedge_the_daemon() {
         train: None,
         n_users: 8,
         n_items: 4,
+        shard: None,
     };
     let cfg = DaemonConfig::default();
     let shutdown = AtomicBool::new(false);
