@@ -1,0 +1,265 @@
+#!/usr/bin/env bash
+# Chaos gate for the replicated serving tier: train one checkpoint, serve
+# it as 2 ranges x 2 replicas behind the scatter-gather router, and drill
+# the failure ladder under live traffic:
+#
+#   1. SIGKILL one replica mid-traffic  -> ZERO client-visible failures,
+#      every reply byte-identical to the single-process daemon, and the
+#      router's stats show nonzero failovers/retries.
+#   2. SIGKILL its twin (range fully down) -> typed `partial_result`
+#      refusals — never a hang — and degraded health naming `shard_down`.
+#   3. Restart both replicas on their ORIGINAL ports (SO_REUSEADDR makes
+#      the crashed addresses reclaimable immediately) -> health recovers
+#      to `ok` and traffic is byte-identical again.
+#   4. Graceful shutdown of the whole fleet, exit code 0.
+#
+# Run from the repo root after `cargo build --release --workspace`.
+# Honors BPMF_NO_SIMD=1, so CI runs it once per dispatch arm.
+set -euo pipefail
+
+BIN=target/release/bpmf-train
+GEN=target/release/gen_mtx
+[ -x "$BIN" ] && [ -x "$GEN" ] || {
+    echo "release binaries missing; run: cargo build --release --workspace" >&2
+    exit 1
+}
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Launch a server command in the background with stdout on a FIFO and
+# block — no sleep polling — until it announces `serving on HOST:PORT`.
+# Sets LAUNCH_PID / LAUNCH_ADDR. Waits on the FIFO *and* the child PID:
+# a server that crashes at startup aborts the run immediately with its
+# stderr, instead of wedging the gate until the readiness timeout.
+launch_server() {
+    local err=$1 fifo fd line waited=0
+    shift
+    fifo=$(mktemp -u "$WORK/port.XXXXXX")
+    mkfifo "$fifo"
+    "$@" >"$fifo" 2>"$err" &
+    LAUNCH_PID=$!
+    PIDS+=("$LAUNCH_PID")
+    LAUNCH_ADDR=""
+    exec {fd}<"$fifo"
+    while [ "$waited" -lt 120 ]; do
+        if IFS= read -r -t 2 -u "$fd" line; then
+            case "$line" in
+            "serving on "*)
+                LAUNCH_ADDR=${line#serving on }
+                break
+                ;;
+            esac
+            continue
+        elif [ $? -le 128 ]; then
+            break # EOF: the server closed stdout (crashed) pre-announce
+        fi
+        kill -0 "$LAUNCH_PID" 2>/dev/null || break
+        waited=$((waited + 2))
+    done
+    # fd stays open for the server's lifetime (it owns the write end).
+    [ -n "$LAUNCH_ADDR" ] || {
+        echo "server exited or never announced an address ($*)" >&2
+        cat "$err" >&2
+        exit 1
+    }
+}
+
+# Poll the router's health until it reports the wanted status (or fail
+# after ~30 s). Replica links come up asynchronously, so readiness and
+# recovery are both "eventually" assertions with a hard deadline.
+await_health() {
+    local addr=$1 want=$2 tries
+    for tries in $(seq 1 150); do
+        "$BIN" serve-client --addr "$addr" --health >"$WORK/health-poll.json" 2>/dev/null || true
+        if grep -q "\"status\":\"$want\"" "$WORK/health-poll.json"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "router health never reached '$want':" >&2
+    cat "$WORK/health-poll.json" >&2
+    return 1
+}
+
+# MovieLens-shaped so the catalogue spans several GEMM panels: ~1k items
+# gives both ranges real work.
+"$GEN" --out "$WORK/ratings.mtx" --kind movielens --scale 0.04 --seed 31
+
+TRAIN_ARGS=(--train "$WORK/ratings.mtx" --k 6 --burnin 2 --samples 4 --threads 1 --seed 9)
+
+echo "== train + checkpoint"
+"$BIN" "${TRAIN_ARGS[@]}" --checkpoint "$WORK/model.json" >/dev/null
+
+# Every serving process resumes the same checkpoint (zero further
+# iterations), so all of them hold the bit-identical posterior.
+RESUME=(--resume "$WORK/model.json")
+SERVE=(--batch-window 5 --workers 2 --exclude-seen --top-n 5)
+
+USERS=()
+for u in $(seq 0 15); do USERS+=(--user "$u"); done
+POLICIES=("mean" "ucb:0.5" "thompson:9")
+
+echo "== single-process reference daemon"
+launch_server "$WORK/ref.err" \
+    "$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" --addr 127.0.0.1:0 "${SERVE[@]}"
+REF_PID=$LAUNCH_PID
+for p in "${POLICIES[@]}"; do
+    "$BIN" serve-client --addr "$LAUNCH_ADDR" "${USERS[@]}" \
+        --top-n 5 --exclude-seen --policy "$p" >"$WORK/single-$p.txt"
+    [ -s "$WORK/single-$p.txt" ]
+done
+"$BIN" serve-client --addr "$LAUNCH_ADDR" --shutdown
+wait "$REF_PID"
+
+echo "== replicated fleet: 2 ranges x 2 replicas"
+ROUTER_SHARDS=()
+for g in 0 1; do
+    for r in 0 1; do
+        launch_server "$WORK/shard-$g-$r.err" \
+            "$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" \
+            --addr 127.0.0.1:0 --shard "$g/2" "${SERVE[@]}"
+        eval "PID_$g$r=$LAUNCH_PID"
+        eval "ADDR_$g$r=$LAUNCH_ADDR"
+        ROUTER_SHARDS+=(--shard-addr "$g/2@$LAUNCH_ADDR")
+        echo "   range $g replica $r at $LAUNCH_ADDR (pid $LAUNCH_PID)"
+    done
+done
+launch_server "$WORK/router.err" \
+    "$BIN" serve-router --addr 127.0.0.1:0 "${ROUTER_SHARDS[@]}" \
+    --retry-budget 3 --request-timeout 2000 --top-n 5
+ROUTER_PID=$LAUNCH_PID
+ROUTER_ADDR=$LAUNCH_ADDR
+echo "   router at $ROUTER_ADDR (pid $ROUTER_PID)"
+
+echo "== all four replicas up: health ok, replies byte-identical"
+await_health "$ROUTER_ADDR" ok
+for p in "${POLICIES[@]}"; do
+    "$BIN" serve-client --addr "$ROUTER_ADDR" "${USERS[@]}" \
+        --top-n 5 --exclude-seen --policy "$p" >"$WORK/routed-$p.txt"
+    diff -u "$WORK/single-$p.txt" "$WORK/routed-$p.txt" || {
+        echo "replicated router rankings diverge from the single daemon ($p)" >&2
+        exit 1
+    }
+    echo "   $p: 16/16 match"
+done
+
+echo "== drill 1: SIGKILL one replica of range 0 under live traffic"
+TRAFFIC_N=120
+(
+    for i in $(seq 1 "$TRAFFIC_N"); do
+        if ! "$BIN" serve-client --addr "$ROUTER_ADDR" "${USERS[@]}" \
+            --top-n 5 --exclude-seen --policy "ucb:0.5" \
+            >"$WORK/traffic-$i.txt" 2>"$WORK/traffic-$i.err"; then
+            echo "$i" >>"$WORK/traffic-failures"
+        fi
+    done
+) &
+TRAFFIC_PID=$!
+# Kill only once traffic is demonstrably flowing (batch 5 underway), so
+# the victim dies with most of the drill still ahead of it — a timer
+# here would race the loop and could land after the last batch.
+for _ in $(seq 1 400); do
+    [ -f "$WORK/traffic-5.txt" ] && break
+    sleep 0.05
+done
+[ -f "$WORK/traffic-5.txt" ] || {
+    echo "traffic never started flowing" >&2
+    exit 1
+}
+# Freeze the victim first so requests pile up on it mid-flight, then
+# SIGKILL: the router must move every stranded request to the twin.
+kill -STOP "$PID_01"
+sleep 0.4
+kill -9 "$PID_01"
+wait "$TRAFFIC_PID"
+[ ! -e "$WORK/traffic-failures" ] || {
+    echo "client-visible failures while one replica died:" >&2
+    while read -r i; do cat "$WORK/traffic-$i.err" >&2; done <"$WORK/traffic-failures"
+    exit 1
+}
+for i in $(seq 1 "$TRAFFIC_N"); do
+    diff -u "$WORK/single-ucb:0.5.txt" "$WORK/traffic-$i.txt" >/dev/null || {
+        echo "traffic batch $i diverged during the replica kill" >&2
+        diff -u "$WORK/single-ucb:0.5.txt" "$WORK/traffic-$i.txt" >&2 || true
+        exit 1
+    }
+done
+echo "   $TRAFFIC_N/$TRAFFIC_N traffic batches clean and byte-identical"
+
+"$BIN" serve-client --addr "$ROUTER_ADDR" --stats >"$WORK/stats-drill1.json"
+grep -Eq '"failovers":[1-9]' "$WORK/stats-drill1.json" || {
+    echo "no failovers recorded — the drill never exercised failover:" >&2
+    cat "$WORK/stats-drill1.json" >&2
+    exit 1
+}
+grep -Eq '"retries":[1-9]' "$WORK/stats-drill1.json"
+echo "   stats: $(grep -oE '"(failovers|retries)":[0-9]+' "$WORK/stats-drill1.json" | tr '\n' ' ')"
+
+echo "== drill 2: SIGKILL the twin — range 0 fully down, refusals typed"
+kill -9 "$PID_00"
+DEGRADED=""
+for _ in $(seq 1 100); do
+    if "$BIN" serve-client --addr "$ROUTER_ADDR" --user 3 --top-n 5 \
+        >/dev/null 2>"$WORK/degraded.err"; then
+        continue
+    fi
+    if grep -q 'partial_result' "$WORK/degraded.err"; then
+        DEGRADED=yes
+        break
+    fi
+    # a timeout while the link teardown is in flight is also typed; retry
+    grep -Eq 'partial_result|timeout' "$WORK/degraded.err" || {
+        echo "unexpected failure class after killing both replicas:" >&2
+        cat "$WORK/degraded.err" >&2
+        exit 1
+    }
+done
+[ -n "$DEGRADED" ] || {
+    echo "router never surfaced a typed partial_result after the kills" >&2
+    exit 1
+}
+echo "   typed refusal: $(cat "$WORK/degraded.err")"
+
+"$BIN" serve-client --addr "$ROUTER_ADDR" --health >"$WORK/health-degraded.json"
+grep -q '"status":"degraded"\|"status":"down"' "$WORK/health-degraded.json"
+grep -q 'shard_down' "$WORK/health-degraded.json"
+grep -q 'replica_down' "$WORK/health-degraded.json"
+
+echo "== drill 3: restart both replicas on their original ports"
+for r in 0 1; do
+    eval "addr=\$ADDR_0$r"
+    launch_server "$WORK/shard-0-$r-reborn.err" \
+        "$BIN" serve-daemon "${TRAIN_ARGS[@]}" "${RESUME[@]}" \
+        --addr "$addr" --shard "0/2" "${SERVE[@]}"
+    eval "PID_0$r=$LAUNCH_PID"
+    echo "   range 0 replica $r reborn at $LAUNCH_ADDR (pid $LAUNCH_PID)"
+done
+await_health "$ROUTER_ADDR" ok
+for p in "${POLICIES[@]}"; do
+    "$BIN" serve-client --addr "$ROUTER_ADDR" "${USERS[@]}" \
+        --top-n 5 --exclude-seen --policy "$p" >"$WORK/recovered-$p.txt"
+    diff -u "$WORK/single-$p.txt" "$WORK/recovered-$p.txt" || {
+        echo "rankings diverge after recovery ($p)" >&2
+        exit 1
+    }
+done
+echo "   health ok, replies byte-identical after recovery"
+
+echo "== graceful shutdown of the whole fleet"
+"$BIN" serve-client --addr "$ROUTER_ADDR" --shutdown
+wait "$ROUTER_PID" # exit code 0 or set -e aborts here
+for gr in 00 01 10 11; do
+    eval "addr=\$ADDR_$gr"
+    eval "pid=\$PID_$gr"
+    "$BIN" serve-client --addr "$addr" --shutdown
+    wait "$pid"
+done
+PIDS=()
+
+echo "chaos e2e OK (BPMF_NO_SIMD=${BPMF_NO_SIMD:-unset})"

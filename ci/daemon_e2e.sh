@@ -26,9 +26,12 @@ trap cleanup EXIT
 # Launch a server command in the background with stdout on a FIFO and
 # block — no sleep polling — until it announces `serving on HOST:PORT`.
 # Sets LAUNCH_PID / LAUNCH_ADDR. No further readiness wait is needed:
-# serve-client retries connects with exponential backoff.
+# serve-client retries connects with exponential backoff. Waits on the
+# FIFO *and* the child PID: a server that crashes at startup aborts the
+# run immediately with its stderr, instead of wedging the gate until the
+# readiness timeout.
 launch_server() {
-    local err=$1 fifo fd line
+    local err=$1 fifo fd line waited=0
     shift
     fifo=$(mktemp -u "$WORK/port.XXXXXX")
     mkfifo "$fifo"
@@ -36,17 +39,26 @@ launch_server() {
     LAUNCH_PID=$!
     LAUNCH_ADDR=""
     exec {fd}<"$fifo"
-    while IFS= read -r -t 120 -u "$fd" line; do
-        case "$line" in
-        "serving on "*)
-            LAUNCH_ADDR=${line#serving on }
-            break
-            ;;
-        esac
+    while [ "$waited" -lt 120 ]; do
+        if IFS= read -r -t 2 -u "$fd" line; then
+            case "$line" in
+            "serving on "*)
+                LAUNCH_ADDR=${line#serving on }
+                break
+                ;;
+            esac
+            continue
+        elif [ $? -le 128 ]; then
+            break # EOF: the server closed stdout (crashed) pre-announce
+        fi
+        # read timed out; fail fast if the child already exited (bash has
+        # reaped it, so `kill -0` is a clean liveness probe).
+        kill -0 "$LAUNCH_PID" 2>/dev/null || break
+        waited=$((waited + 2))
     done
     # fd stays open for the server's lifetime (it owns the write end).
     [ -n "$LAUNCH_ADDR" ] || {
-        echo "server never announced an address ($*)" >&2
+        echo "server exited or never announced an address ($*)" >&2
         cat "$err" >&2
         exit 1
     }

@@ -111,6 +111,27 @@ struct RouterSnapshot {
     /// router over the most shards vs over a single shard (the extra fan
     /// out, k-way merge, and one more socket hop per request).
     max_shards_vs_one_shard: f64,
+    /// Before/after record for batching scatter writes per shard link
+    /// (one buffered flush per fan-out instead of one write+flush per
+    /// range). `None` in smoke mode, where the request counts are too
+    /// small to compare against the full-run baseline.
+    scatter_batching: Option<ScatterBatchingRow>,
+}
+
+/// The unbatched-scatter router's req/s at the heaviest cell (most
+/// shards, most clients), measured on this machine immediately before
+/// write batching landed — the fixed "before" the full run compares its
+/// own measurement against.
+const UNBATCHED_RPS_4SHARDS_64CLIENTS: f64 = 6157.0;
+
+#[derive(serde::Serialize)]
+struct ScatterBatchingRow {
+    /// Pre-batching baseline (see [`UNBATCHED_RPS_4SHARDS_64CLIENTS`]).
+    unbatched_rps_4shards_64clients: f64,
+    /// This run's req/s at the same (4 shards, 64 clients) cell.
+    batched_rps_4shards_64clients: f64,
+    /// after / before.
+    speedup: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -441,9 +462,11 @@ fn router_section(
         let shard_listeners: Vec<TcpListener> = (0..num_shards)
             .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind shard"))
             .collect();
-        let shard_addrs: Vec<String> = shard_listeners
+        // One single-replica group per range: the bench measures scatter
+        // throughput, not failover.
+        let shard_groups: Vec<Vec<String>> = shard_listeners
             .iter()
-            .map(|l| l.local_addr().unwrap().to_string())
+            .map(|l| vec![l.local_addr().unwrap().to_string()])
             .collect();
         let router_listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
         let router_addr = router_listener.local_addr().unwrap();
@@ -460,11 +483,11 @@ fn router_section(
                     s.spawn(move || daemon::serve(world, listener, cfg, stop))
                 })
                 .collect();
-            let shard_addrs = &shard_addrs;
+            let shard_groups = &shard_groups;
             let rcfg = &router_cfg;
             let rstop = &router_shutdown;
             let router_handle =
-                s.spawn(move || router::serve(router_listener, shard_addrs, rcfg, rstop));
+                s.spawn(move || router::serve(router_listener, shard_groups, rcfg, rstop));
             // A panicking client must still flip both flags or the scope
             // join would hang on servers nobody asked to stop.
             let _router_guard = ShutdownOnDrop(&router_shutdown);
@@ -521,10 +544,19 @@ fn router_section(
             .map_or(f64::NAN, |r| r.requests_per_sec)
     };
     let max_shards_vs_one_shard = rps(*shard_counts.last().unwrap()) / rps(1);
+    let scatter_batching = (!smoke).then(|| {
+        let after = rps(4);
+        ScatterBatchingRow {
+            unbatched_rps_4shards_64clients: UNBATCHED_RPS_4SHARDS_64CLIENTS,
+            batched_rps_4shards_64clients: after,
+            speedup: after / UNBATCHED_RPS_4SHARDS_64CLIENTS,
+        }
+    });
     RouterSnapshot {
         top_n,
         rows,
         max_shards_vs_one_shard,
+        scatter_batching,
     }
 }
 

@@ -55,20 +55,38 @@ request, draining everything already accepted:
 
 The `serve-router` subcommand runs the scatter-gather front-end over a
 fleet of shard daemons (no training): it speaks the daemon wire protocol
-to clients, fans each request out to every shard, and k-way-merges the
-per-shard top-N lists — bit-identical to one whole-catalogue daemon.
+to clients, fans each request out to the least-loaded replica of every
+shard range, and k-way-merges the per-range top-N lists — bit-identical
+to one whole-catalogue daemon. A request is transparently retried on a
+surviving replica when a link dies mid-flight, so `partial_result`
+surfaces only when every replica of a range is down.
 Prints `serving on HOST:PORT` once ready; stops like the daemon does:
   --addr HOST:PORT    listen address (port 0 = ephemeral)
                       [default 127.0.0.1:7878]
-  --shard-addr H:P    one shard daemon's address, in shard order
-                      (repeat once per shard; required)
+  --shard-addr SPEC   one shard daemon. Either HOST:PORT repeated once
+                      per range in shard order (one replica each), or
+                      I/N@HOST:PORT naming the range it replicates
+                      (repeatable per range; all N must agree, every
+                      range 0..N must be covered; forms cannot be mixed)
   --inflight-cap N    admission control: max requests in flight; over
                       budget replies a typed `overloaded` error
                       [default 256]
-  --request-timeout MS  patience for shard replies before a typed
-                      `timeout` error [default 5000]
+  --request-timeout MS  patience for shard replies before a retry (budget
+                      permitting) or a typed `timeout` error [default 5000]
+  --retry-budget N    re-scatters one request may spend across replica
+                      failures and timeouts; 0 disables failover
+                      [default 2]
   --top-n N           fill-in list length for requests that omit n
                       [default 10]
+
+Both serving processes accept a deterministic fault-injection plan for
+chaos drills (also via the BPMF_FAULT_PLAN env var; off when absent):
+  --fault-plan SPEC   comma-separated KIND@TRIGGER rules, e.g.
+                      'close@3' (sever a link at the 3rd request),
+                      'drop@2%5,seed=7' (drop reply at request 2 then
+                      every 5th), 'delay:20@p0.5' (20 ms delay, seeded
+                      coin per request). KIND: delay:MS|drop|close|panic;
+                      TRIGGER: N | N%M | pP
 
 The `serve-client` subcommand talks to a running daemon or router (no
 training): one concurrent connection per --user, printed in request
@@ -164,12 +182,21 @@ pub struct ServeOptions {
     pub queue_cap: usize,
     /// Daemon: serve only shard `(i, n)` of an n-way catalogue partition.
     pub shard: Option<(u32, u32)>,
-    /// Router: shard daemon addresses, in shard order.
+    /// Router: raw `--shard-addr` values in the order given.
     pub shard_addrs: Vec<String>,
+    /// Router: replica addresses grouped by shard range (derived from
+    /// `shard_addrs` by [`group_shard_addrs`] at parse time).
+    pub shard_groups: Vec<Vec<String>>,
     /// Router: admission-control in-flight budget.
     pub inflight_cap: usize,
     /// Router: patience for shard replies, in milliseconds.
     pub request_timeout_ms: f64,
+    /// Router: re-scatters one request may spend across replica failures
+    /// and timeouts (0 disables failover).
+    pub retry_budget: u32,
+    /// Daemon/router: validated fault-injection spec (`--fault-plan`),
+    /// parsed into a `FaultPlan` at launch.
+    pub fault_plan: Option<String>,
     /// Client: print the server's structured health report.
     pub health: bool,
     /// Client: print the server's counter snapshot.
@@ -187,8 +214,11 @@ impl Default for ServeOptions {
             queue_cap: 1024,
             shard: None,
             shard_addrs: Vec::new(),
+            shard_groups: Vec::new(),
             inflight_cap: 256,
             request_timeout_ms: 5000.0,
+            retry_budget: 2,
+            fault_plan: None,
             health: false,
             stats: false,
             shutdown: false,
@@ -340,6 +370,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let mut client_flag: Option<&String> = None;
     let mut router_flag: Option<&String> = None;
     let mut serve_flag: Option<&String> = None;
+    let mut fault_flag: Option<&String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         // The client never trains: accepting (and ignoring) training
@@ -375,12 +406,15 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     | "--shard-addr"
                     | "--inflight-cap"
                     | "--request-timeout"
+                    | "--retry-budget"
+                    | "--fault-plan"
                     | "--top-n"
             )
         {
             return Err(CliError::new(format!(
                 "{flag} is not valid with `serve-router` (valid flags: --addr \
-                 --shard-addr --inflight-cap --request-timeout --top-n)"
+                 --shard-addr --inflight-cap --request-timeout --retry-budget \
+                 --fault-plan --top-n)"
             )));
         }
         let mut value = || {
@@ -495,6 +529,19 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     ));
                 }
             }
+            "--retry-budget" => {
+                router_flag = Some(flag);
+                opts.serve.retry_budget = parse_num(flag, value()?)?;
+            }
+            "--fault-plan" => {
+                fault_flag = Some(flag);
+                let spec = value()?.clone();
+                // Validate at parse time: a chaos drill with a typo'd
+                // plan must die here, not run vacuously.
+                spec.parse::<bpmf::serve::faults::FaultPlan>()
+                    .map_err(|e| CliError::new(format!("--fault-plan: {e}")))?;
+                opts.serve.fault_plan = Some(spec);
+            }
             "--health" => {
                 client_flag = Some(flag);
                 opts.serve.health = true;
@@ -571,6 +618,16 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "serve-router needs at least one --shard-addr (one per shard, in shard order)",
         ));
     }
+    if opts.command == Command::ServeRouter {
+        opts.serve.shard_groups = group_shard_addrs(&opts.serve.shard_addrs)?;
+    }
+    if !matches!(opts.command, Command::ServeDaemon | Command::ServeRouter) {
+        if let Some(flag) = fault_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `serve-daemon` or `serve-router` subcommands"
+            )));
+        }
+    }
     if opts.command != Command::ServeClient {
         if let Some(flag) = client_flag {
             return Err(CliError::new(format!(
@@ -609,6 +666,68 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, CliError> {
     s.parse()
         .map_err(|_| CliError::new(format!("invalid value '{s}' for {flag}")))
+}
+
+/// Group `--shard-addr` values into per-range replica lists.
+///
+/// Two forms, never mixed:
+/// * legacy `HOST:PORT` — each address is its own range, in the order
+///   given (one replica per range, exactly the pre-replication CLI);
+/// * replicated `I/N@HOST:PORT` — the address replicates range `I` of
+///   `N`. Every entry must agree on `N`, and every range `0..N` must be
+///   covered by at least one replica: a silently missing range would
+///   turn every request into a typed failure.
+pub fn group_shard_addrs(addrs: &[String]) -> Result<Vec<Vec<String>>, CliError> {
+    let replicated = addrs.iter().filter(|a| a.contains('@')).count();
+    if replicated == 0 {
+        return Ok(addrs.iter().map(|a| vec![a.clone()]).collect());
+    }
+    if replicated != addrs.len() {
+        return Err(CliError::new(
+            "--shard-addr forms cannot be mixed: use either HOST:PORT for every \
+             shard or I/N@HOST:PORT for every replica",
+        ));
+    }
+    let mut num_shards: Option<u32> = None;
+    let mut groups: Vec<Vec<String>> = Vec::new();
+    for spec in addrs {
+        let (range, addr) = spec.split_once('@').expect("checked above");
+        let (i, n) = parse_shard(range).map_err(|_| {
+            CliError::new(format!(
+                "invalid value '{spec}' for --shard-addr (expected I/N@HOST:PORT, \
+                 e.g. 0/2@127.0.0.1:7878)"
+            ))
+        })?;
+        if addr.trim().is_empty() {
+            return Err(CliError::new(format!(
+                "invalid value '{spec}' for --shard-addr: empty address after '@'"
+            )));
+        }
+        match num_shards {
+            None => {
+                num_shards = Some(n);
+                groups.resize(n as usize, Vec::new());
+            }
+            Some(expect) if expect != n => {
+                return Err(CliError::new(format!(
+                    "--shard-addr {spec}: declares {n} shard range(s) but an earlier \
+                     replica declared {expect}"
+                )));
+            }
+            Some(_) => {}
+        }
+        groups[i as usize].push(addr.to_string());
+    }
+    for (i, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            return Err(CliError::new(format!(
+                "--shard-addr: range {i}/{} has no replica; every range needs at \
+                 least one",
+                num_shards.unwrap_or(0)
+            )));
+        }
+    }
+    Ok(groups)
 }
 
 /// Parse a `--shard I/N` value (shard index / total shards).
@@ -964,6 +1083,14 @@ mod tests {
         assert_eq!(opts.command, Command::ServeRouter);
         assert_eq!(opts.serve.addr, "127.0.0.1:0");
         assert_eq!(opts.serve.shard_addrs, vec!["127.0.0.1:1", "127.0.0.1:2"]);
+        // Legacy form: each address is its own single-replica range.
+        assert_eq!(
+            opts.serve.shard_groups,
+            vec![
+                vec!["127.0.0.1:1".to_string()],
+                vec!["127.0.0.1:2".to_string()]
+            ]
+        );
         assert_eq!(opts.serve.inflight_cap, 8);
         assert_eq!(opts.serve.request_timeout_ms, 1500.0);
         // --top-n is the router's fill-in default for requests that omit n.
@@ -982,6 +1109,67 @@ mod tests {
         // Bad values are errors.
         assert!(parse_args(&argv("serve-router --shard-addr a:1 --inflight-cap 0")).is_err());
         assert!(parse_args(&argv("serve-router --shard-addr a:1 --request-timeout 0")).is_err());
+    }
+
+    #[test]
+    fn replicated_shard_addrs_group_by_range() {
+        let opts = parse_args(&argv(
+            "serve-router --shard-addr 0/2@127.0.0.1:1 --shard-addr 1/2@127.0.0.1:2 \
+             --shard-addr 0/2@127.0.0.1:3 --retry-budget 5",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            opts.serve.shard_groups,
+            vec![
+                vec!["127.0.0.1:1".to_string(), "127.0.0.1:3".to_string()],
+                vec!["127.0.0.1:2".to_string()],
+            ]
+        );
+        assert_eq!(opts.serve.retry_budget, 5);
+        // Default budget without the flag.
+        let plain = parse_args(&argv("serve-router --shard-addr 127.0.0.1:1"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain.serve.retry_budget, 2);
+        // Mixing the forms, disagreeing on N, leaving a range uncovered,
+        // and malformed range specs are all errors.
+        for bad in [
+            "serve-router --shard-addr 0/2@a:1 --shard-addr b:2",
+            "serve-router --shard-addr 0/2@a:1 --shard-addr 1/3@b:2",
+            "serve-router --shard-addr 0/2@a:1 --shard-addr 0/2@b:2",
+            "serve-router --shard-addr 2/2@a:1",
+            "serve-router --shard-addr x/2@a:1",
+            "serve-router --shard-addr 0/2@",
+        ] {
+            assert!(parse_args(&argv(bad)).is_err(), "{bad} should be rejected");
+        }
+        // --retry-budget is router-only.
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --retry-budget 1")).is_err());
+    }
+
+    #[test]
+    fn fault_plan_flag_parses_and_validates() {
+        let opts = parse_args(&argv(
+            "serve-router --shard-addr 127.0.0.1:1 --fault-plan close@3,seed=7",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.serve.fault_plan.as_deref(), Some("close@3,seed=7"));
+        let daemon = parse_args(&argv(
+            "serve-daemon --train a.mtx --fault-plan delay:20@p0.5",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(daemon.serve.fault_plan.as_deref(), Some("delay:20@p0.5"));
+        // A malformed plan dies at parse time, not silently at runtime.
+        assert!(parse_args(&argv(
+            "serve-router --shard-addr a:1 --fault-plan explode@3"
+        ))
+        .is_err());
+        // Serving-only flag.
+        assert!(parse_args(&argv("--train a.mtx --fault-plan drop@1")).is_err());
+        assert!(parse_args(&argv("serve-client --addr a:1 --fault-plan drop@1")).is_err());
     }
 
     #[test]

@@ -32,12 +32,18 @@
 //!            [--queue-cap 1024] [--shard I/N] [--health] [--stats]
 //!            [--shutdown]
 //! bpmf-train serve-router --addr 127.0.0.1:7900
-//!            --shard-addr HOST:PORT [--shard-addr HOST:PORT]...
-//!            [--inflight-cap 256] [--request-timeout 5000] [--top-n 10]
+//!            --shard-addr HOST:PORT... | --shard-addr I/N@HOST:PORT...
+//!            [--inflight-cap 256] [--request-timeout 5000]
+//!            [--retry-budget 2] [--top-n 10] [--fault-plan SPEC]
 //! ```
+//!
+//! With `I/N@HOST:PORT` shard addresses, several replicas may serve the
+//! same catalogue range; the router balances across them and fails over
+//! transparently when one dies. `--fault-plan` (or the `BPMF_FAULT_PLAN`
+//! env var) arms deterministic fault injection for chaos drills.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -45,6 +51,8 @@ use std::time::{Duration, Instant};
 use bpmf::checkpoint::SamplerCheckpoint;
 use bpmf::serve::coalesce::CoalesceConfig;
 use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+use bpmf::serve::faults::FaultPlan;
+use bpmf::serve::net;
 use bpmf::serve::router::{self, RouterConfig};
 use bpmf::serve::shard::{slice_train_columns, ShardSpec, ShardView};
 use bpmf::serve::{wire, RankPolicy, RecommendService, ServeRequest, MICRO_BATCH};
@@ -420,6 +428,20 @@ fn install_shutdown_handler() {
 #[cfg(not(unix))]
 fn install_shutdown_handler() {}
 
+/// Resolve the fault-injection plan for a serving process: an explicit
+/// `--fault-plan` wins, else the `BPMF_FAULT_PLAN` env var, else off. A
+/// malformed plan from either source is fatal — a chaos drill that thinks
+/// it is injecting faults but isn't would pass vacuously.
+fn resolve_fault_plan(opts: &Options) -> Result<Option<FaultPlan>, CliError> {
+    if let Some(spec) = &opts.serve.fault_plan {
+        let plan = spec
+            .parse::<FaultPlan>()
+            .map_err(|e| CliError::new(format!("--fault-plan: {e}")))?;
+        return Ok(Some(plan));
+    }
+    FaultPlan::from_env().map_err(|e| CliError::new(format!("BPMF_FAULT_PLAN: {e}")))
+}
+
 /// The `serve-daemon` subcommand, once training has finished: wrap the
 /// fitted model in the coalescing TCP daemon and block until shutdown.
 fn run_daemon(
@@ -463,6 +485,10 @@ fn run_daemon(
             shard: None,
         },
     };
+    let faults = resolve_fault_plan(opts)?;
+    if faults.is_some() {
+        eprintln!("serve-daemon: FAULT INJECTION ARMED (drill mode, not production)");
+    }
     let cfg = DaemonConfig {
         coalesce: CoalesceConfig {
             max_batch: MICRO_BATCH,
@@ -473,8 +499,12 @@ fn run_daemon(
         default_policy,
         default_top_n: opts.recommend.top_n,
         exclude_seen: opts.recommend.exclude_seen,
+        faults,
     };
-    let listener = TcpListener::bind(&opts.serve.addr)
+    // SO_REUSEADDR so a replacement replica can reclaim a crashed
+    // predecessor's address without waiting out TIME_WAIT — the router's
+    // replica list is fixed at startup, so restarts must reuse the port.
+    let listener = net::bind_reuseaddr(opts.serve.addr.as_str())
         .map_err(|e| CliError::new(format!("cannot bind {}: {e}", opts.serve.addr)))?;
     let addr = listener.local_addr()?;
     install_shutdown_handler();
@@ -501,37 +531,51 @@ fn run_daemon(
 /// of shard daemons, speaking the same newline-JSON wire protocol on both
 /// sides so `serve-client` (and any PR-5 client) works unchanged.
 fn run_router(opts: &Options) -> Result<(), CliError> {
-    let listener = TcpListener::bind(&opts.serve.addr)
+    let listener = net::bind_reuseaddr(opts.serve.addr.as_str())
         .map_err(|e| CliError::new(format!("cannot bind {}: {e}", opts.serve.addr)))?;
     let addr = listener.local_addr()?;
     install_shutdown_handler();
     // Same port-discovery line as the daemon so scripts treat both alike.
     println!("serving on {addr}");
     std::io::stdout().flush()?;
+    let faults = resolve_fault_plan(opts)?;
+    if faults.is_some() {
+        eprintln!("serve-router: FAULT INJECTION ARMED (drill mode, not production)");
+    }
     let cfg = RouterConfig {
         inflight_cap: opts.serve.inflight_cap,
         request_timeout: Duration::from_secs_f64(opts.serve.request_timeout_ms / 1e3),
+        retry_budget: opts.serve.retry_budget,
         default_top_n: opts.recommend.top_n,
+        faults,
         ..RouterConfig::default()
     };
+    let groups = &opts.serve.shard_groups;
+    let replicas: usize = groups.iter().map(Vec::len).sum();
     eprintln!(
-        "serve-router: {} shard(s), in-flight cap {}, request timeout {} ms; \
-         stop with ctrl-c or a {{\"cmd\":\"shutdown\"}} request",
-        opts.serve.shard_addrs.len(),
+        "serve-router: {} range(s) x {} replica(s), in-flight cap {}, request \
+         timeout {} ms, retry budget {}; stop with ctrl-c or a \
+         {{\"cmd\":\"shutdown\"}} request",
+        groups.len(),
+        replicas,
         opts.serve.inflight_cap,
-        opts.serve.request_timeout_ms
+        opts.serve.request_timeout_ms,
+        opts.serve.retry_budget
     );
-    let report = router::serve(listener, &opts.serve.shard_addrs, &cfg, &SHUTDOWN)
+    let report = router::serve(listener, groups, &cfg, &SHUTDOWN)
         .map_err(|e| CliError::new(format!("router failed: {e}")))?;
     eprintln!(
         "router drained: {} requests over {} connections, {} rejected \
-         ({} overload), {} shard failures, {} reconnects",
+         ({} overload), {} shard failures, {} reconnects, {} failovers, \
+         {} retries",
         report.requests,
         report.connections,
         report.rejected,
         report.overload_rejected,
         report.shard_failures,
-        report.reconnects
+        report.reconnects,
+        report.failovers,
+        report.retries
     );
     Ok(())
 }

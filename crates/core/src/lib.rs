@@ -167,6 +167,55 @@
 //! assert!(whole.iter().zip(&merged).all(|(a, b)| {
 //!     a.item == b.item && a.score.to_bits() == b.score.to_bits()
 //! }));
+//!
+//! // Shards crash. Give each range a *replica group* instead of a single
+//! // daemon: the router scatters each request to the least-loaded healthy
+//! // replica and — because scoring is a pure read over an immutable
+//! // posterior — transparently retries on the twin when a link dies
+//! // mid-flight. Clients see zero errors and bit-identical rankings; a
+//! // typed `partial_result` refusal appears only when EVERY replica of a
+//! // range is down. `bpmf-train serve-router --shard-addr i/N@HOST:PORT`
+//! // (repeated per replica) runs this fleet-side, and `serve::faults`
+//! // scripts deterministic link failures for chaos drills.
+//! use bpmf::serve::router::{self, RouterConfig};
+//! use bpmf::serve::shard::ShardSpec;
+//! let range = ServingModel {
+//!     shard: Some(ShardSpec::for_shard(0, 1, r.ncols(), 1)),
+//!     ..world
+//! };
+//! let twin_a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! let twin_b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! let group = vec![vec![
+//!     twin_a.local_addr().unwrap().to_string(),
+//!     twin_b.local_addr().unwrap().to_string(),
+//! ]];
+//! let front = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! let front_addr = front.local_addr().unwrap();
+//! let stop_a = AtomicBool::new(false);
+//! let stop_b = AtomicBool::new(false);
+//! let halt = AtomicBool::new(false);
+//! std::thread::scope(|s| {
+//!     s.spawn(|| daemon::serve(&range, twin_a, &DaemonConfig::default(), &stop_a));
+//!     s.spawn(|| daemon::serve(&range, twin_b, &DaemonConfig::default(), &stop_b));
+//!     let rt = s.spawn(|| router::serve(front, &group, &RouterConfig::default(), &halt));
+//!     let ask = |user: u64| {
+//!         let mut conn = std::net::TcpStream::connect(front_addr).unwrap();
+//!         writeln!(conn, "{}", wire::encode(&wire::Request::recommend(user, user as u32))).unwrap();
+//!         let mut reply = String::new();
+//!         BufReader::new(conn).read_line(&mut reply).unwrap();
+//!         wire::decode_response(&reply).unwrap()
+//!     };
+//!     // Replica links dial in asynchronously; recommends are refused
+//!     // with a typed error until the range has a live replica.
+//!     while ask(0).error.is_some() {
+//!         std::thread::sleep(std::time::Duration::from_millis(10));
+//!     }
+//!     stop_a.store(true, Ordering::Relaxed); // one replica dies...
+//!     assert!(ask(1).error.is_none()); // ...and no client notices
+//!     halt.store(true, Ordering::Relaxed);
+//!     rt.join().unwrap().unwrap();
+//!     stop_b.store(true, Ordering::Relaxed);
+//! });
 //! # Ok::<(), bpmf::BpmfError>(())
 //! ```
 //!

@@ -105,10 +105,44 @@
 //! panel is byte-identical to the corresponding slice of the full
 //! catalogue's packed panel, and [`shard::merge_top_n`] uses the exact
 //! total order of the single-process ranking (score descending, ties to
-//! the lower item id). A dead shard yields a typed
+//! the lower item id).
+//!
+//! # Replicated groups and failover
+//!
+//! Each shard range can be served by a **replica group** — several
+//! daemons holding the same slice of the same checkpoint — and the
+//! router then routes each scatter to one healthy replica per range
+//! (least-loaded, ties to the lowest index: a pure function, so drills
+//! reproduce):
+//!
+//! ```text
+//!                         router::serve
+//!        range 0 ────────────┐        range 1 ──────────┐
+//!        ▼                   ▼        ▼                 ▼
+//!  ┌───────────┐      ┌───────────┐  ┌───────────┐ ┌───────────┐
+//!  │ replica 0 │      │ replica 1 │  │ replica 0 │ │ replica 1 │
+//!  │  [0, n₀)  │      │  [0, n₀)  │  │ [n₀, N)   │ │ [n₀, N)   │
+//!  └───────────┘      └───────────┘  └───────────┘ └───────────┘
+//!     twin daemons, same slice + epoch; scatter goes to ONE of them
+//! ```
+//!
+//! Scoring is a pure, deterministic read, so a request whose link dies
+//! mid-flight (or times out) is **transparently retried** on a surviving
+//! replica of the same range under a bounded per-request retry budget —
+//! duplicate replies carry identical bits, the first one wins. A typed
 //! [`wire::CODE_PARTIAL_RESULT`] refusal — never a silently truncated
-//! ranking and never a hang — while `health`/`stats` aggregate
-//! per-shard reports (flagging epoch skew) for diagnostics.
+//! ranking and never a hang — surfaces only when *every* replica of a
+//! range is down. Replicas of a group must serve the same checkpoint
+//! epoch: a divergent replica is quarantined (typed
+//! [`wire::CODE_EPOCH_MISMATCH`] diagnostics, `epoch_refusals` counter)
+//! rather than allowed to mix factors from two trainings into one
+//! ranking, and the pin resets when a whole group goes down so a
+//! rolling restart onto a new checkpoint recovers. `health`/`stats`
+//! aggregate per-replica reports (dead replicas, dead ranges, epoch
+//! skew, failover/retry counters) for diagnostics, and [`faults`]
+//! provides the seeded fault-injection layer (`delay` / `drop` /
+//! `close` / `panic` at scripted request ordinals) that makes the
+//! failover paths deterministically testable — off in release paths.
 //!
 //! ```
 //! use bpmf::serve::{RankPolicy, RecommendService};
@@ -136,6 +170,8 @@
 
 pub mod coalesce;
 pub mod daemon;
+pub mod faults;
+pub mod net;
 pub mod router;
 pub mod shard;
 pub mod wire;

@@ -22,6 +22,7 @@ use bpmf_sparse::Csr;
 
 use crate::api::Recommender;
 use crate::serve::coalesce::{CoalesceConfig, Queue};
+use crate::serve::faults::{FaultKind, FaultPlan};
 use crate::serve::shard::ShardSpec;
 use crate::serve::{wire, RankPolicy, RecommendService, ServeRequest};
 
@@ -61,8 +62,8 @@ pub struct ServingModel<'a> {
 }
 
 /// Daemon knobs. `Default` is a coalescing configuration: 64-request
-/// blocks, 2 ms window, one worker.
-#[derive(Clone, Copy, Debug)]
+/// blocks, 2 ms window, one worker, no fault injection.
+#[derive(Clone, Debug)]
 pub struct DaemonConfig {
     /// Batching rules for the request queue.
     pub coalesce: CoalesceConfig,
@@ -75,6 +76,10 @@ pub struct DaemonConfig {
     pub default_top_n: usize,
     /// Exclude-seen for requests that don't say (needs `train`).
     pub exclude_seen: bool,
+    /// Scripted fault injection (`None` in production: the release path
+    /// pays one `Option` check per recommend request). See
+    /// [`crate::serve::faults`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DaemonConfig {
@@ -85,6 +90,7 @@ impl Default for DaemonConfig {
             default_policy: RankPolicy::Mean,
             default_top_n: 10,
             exclude_seen: false,
+            faults: None,
         }
     }
 }
@@ -108,6 +114,8 @@ pub struct DaemonReport {
     /// batch but never wedges the daemon; persistent panics trigger a
     /// fail-fast shutdown).
     pub worker_panics: u64,
+    /// Scripted faults fired by [`DaemonConfig::faults`].
+    pub faults_injected: u64,
 }
 
 #[derive(Default)]
@@ -118,6 +126,7 @@ struct Counters {
     largest_batch: AtomicU64,
     rejected: AtomicU64,
     worker_panics: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 /// One queued request: the resolved work plus the way home.
@@ -125,6 +134,10 @@ struct Job {
     id: u64,
     req: ServeRequest,
     reply: mpsc::Sender<wire::Response>,
+    /// Fault injection: a poisoned job makes the worker panic before
+    /// scoring its batch, exercising the `catch_unwind` recovery path on
+    /// demand.
+    poison: bool,
 }
 
 /// Run the daemon on `listener` until shutdown, then drain and report.
@@ -180,6 +193,7 @@ pub fn serve(
         largest_batch: counters.largest_batch.load(Ordering::Relaxed),
         rejected: counters.rejected.load(Ordering::Relaxed),
         worker_panics: counters.worker_panics.load(Ordering::Relaxed),
+        faults_injected: counters.faults_injected.load(Ordering::Relaxed),
     })
 }
 
@@ -253,6 +267,12 @@ fn serve_batches(world: &ServingModel<'_>, queue: &Queue<Job>, counters: &Counte
     }
     let mut reqs: Vec<ServeRequest> = Vec::new();
     while let Some(batch) = queue.next_batch() {
+        if batch.iter().any(|j| j.poison) {
+            // Scripted panic-worker fault: dying *before* scoring loses
+            // the batch in hand, exactly like a real scorer panic, and
+            // `worker_loop`'s catch_unwind recovery takes it from there.
+            panic!("fault injection: poisoned batch");
+        }
         reqs.clear();
         reqs.extend(batch.iter().map(|j| j.req));
         let lists = service.recommend_each(&reqs);
@@ -424,6 +444,24 @@ fn process_line(
         }
         "" | wire::CMD_RECOMMEND => {
             let user = req.user.unwrap_or(0);
+            // Scripted fault, claimed per recommend request so ordinals
+            // in a FaultPlan count client-visible traffic.
+            let fault = cfg.faults.as_ref().and_then(FaultPlan::next);
+            if fault.is_some() {
+                counters.faults_injected.fetch_add(1, Ordering::Relaxed);
+            }
+            match fault {
+                Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                // The reply is "lost on the wire": nothing is queued and
+                // nothing answered — a router's timeout sweep must
+                // notice.
+                Some(FaultKind::DropReply) => return true,
+                // The connection dies mid-request, unanswered — on a
+                // router link this tears the link down and drives the
+                // failover path.
+                Some(FaultKind::CloseConnection) => return false,
+                Some(FaultKind::PanicWorker) | None => {}
+            }
             match resolve(&req, world, cfg) {
                 Err(msg) => {
                     counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -434,6 +472,7 @@ fn process_line(
                         id: req.id,
                         req: resolved,
                         reply: tx.clone(),
+                        poison: fault == Some(FaultKind::PanicWorker),
                     };
                     if let Err(job) = queue.submit(job) {
                         counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -546,6 +585,7 @@ fn stats_report(world: &ServingModel<'_>, counters: &Counters) -> wire::StatsRep
         batches: counters.batches.load(Ordering::Relaxed),
         largest_batch: counters.largest_batch.load(Ordering::Relaxed),
         worker_panics: counters.worker_panics.load(Ordering::Relaxed),
+        faults_injected: counters.faults_injected.load(Ordering::Relaxed),
         shard: world.shard,
         ..wire::StatsReport::default()
     }

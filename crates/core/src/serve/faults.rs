@@ -1,0 +1,325 @@
+//! Deterministic fault injection for the serving tier.
+//!
+//! Failover logic is impossible to test honestly with wall-clock races
+//! ("kill the process and hope a request was in flight"). A [`FaultPlan`]
+//! makes the failure *part of the schedule*: it counts the recommend
+//! requests a daemon or router processes and fires a scripted
+//! [`FaultKind`] at exact request ordinals, so "the link dies on the 3rd
+//! scatter" is a reproducible test, not a timing lottery.
+//!
+//! Plans are parsed from a compact spec string (CLI `--fault-plan` or the
+//! `BPMF_FAULT_PLAN` environment variable) and are **off by default**:
+//! release paths carry only an `Option` check per request. The spec is a
+//! comma-separated list of rules, each `KIND@TRIGGER`:
+//!
+//! ```text
+//! kinds     drop        swallow the request, send no reply
+//!           close       close the connection (daemon) / kill the chosen
+//!                       shard link (router)
+//!           panic       poison the request so the scoring worker panics
+//!                       (daemon; the router treats it as `close`)
+//!           delay:MS    sleep MS milliseconds before serving
+//! triggers  @N          exactly the Nth recommend request (1-based)
+//!           @N%M        the Nth, then every M thereafter
+//!           @pP         each request with probability P, decided by a
+//!                       deterministic hash of (seed, rule, ordinal)
+//! extras    seed=S      seed for the @p triggers [default 0]
+//! ```
+//!
+//! `"drop@3,delay:50@8%16,close@p0.01,seed=7"` drops the 3rd request,
+//! delays the 8th/24th/40th/… by 50 ms, and closes the connection on a
+//! seeded 1% coin flip. Two plans built from the same spec produce the
+//! same schedule — the property the failover tests lean on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What to do to the request that tripped a rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Sleep before serving (exercises timeout/retry paths).
+    Delay(Duration),
+    /// Serve nothing and reply nothing (the reply is "lost on the wire").
+    DropReply,
+    /// Close the connection the request arrived on (the router sees a
+    /// dead link and must fail over mid-flight).
+    CloseConnection,
+    /// Poison the request so the scoring worker panics on its batch
+    /// (exercises the daemon's `catch_unwind` containment).
+    PanicWorker,
+}
+
+/// When a rule fires, in terms of the plan's request ordinal (1-based).
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Trigger {
+    /// Exactly ordinal `n`.
+    At(u64),
+    /// Ordinal `start`, then every `period` requests after it.
+    Every { start: u64, period: u64 },
+    /// Probability `p` per request, via a deterministic (seed, rule,
+    /// ordinal) hash — reproducible noise, not `rand`.
+    Prob(f64),
+}
+
+/// One scripted fault: a kind and the ordinals it fires at.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct FaultRule {
+    kind: FaultKind,
+    trigger: Trigger,
+}
+
+/// A seeded, counter-driven fault schedule. Thread-safe: the request
+/// counter is atomic, so concurrent connections share one global ordinal
+/// sequence (the order concurrent requests claim ordinals is the one
+/// nondeterminism left — single-connection tests have none).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    counter: AtomicU64,
+}
+
+impl Clone for FaultPlan {
+    /// Cloning restarts the schedule: the clone counts from request 1.
+    fn clone(&self) -> Self {
+        FaultPlan {
+            seed: self.seed,
+            rules: self.rules.clone(),
+            counter: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.rules == other.rules
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        FaultPlan::parse(s)
+    }
+}
+
+impl FaultPlan {
+    /// Parse a spec string (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut rules = Vec::new();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(s) = token.strip_prefix("seed=") {
+                seed = s
+                    .parse()
+                    .map_err(|_| format!("fault plan: bad seed `{s}`"))?;
+                continue;
+            }
+            let (kind_s, trig_s) = token
+                .split_once('@')
+                .ok_or_else(|| format!("fault plan: rule `{token}` has no `@TRIGGER`"))?;
+            let kind = match kind_s.split_once(':') {
+                Some(("delay", ms)) => {
+                    let ms: f64 = ms
+                        .parse()
+                        .map_err(|_| format!("fault plan: bad delay `{kind_s}`"))?;
+                    if !ms.is_finite() || ms < 0.0 {
+                        return Err(format!("fault plan: delay must be >= 0 ms, got `{kind_s}`"));
+                    }
+                    FaultKind::Delay(Duration::from_secs_f64(ms / 1e3))
+                }
+                None => match kind_s {
+                    "drop" => FaultKind::DropReply,
+                    "close" => FaultKind::CloseConnection,
+                    "panic" => FaultKind::PanicWorker,
+                    other => {
+                        return Err(format!(
+                            "fault plan: unknown kind `{other}` (drop | close | panic | delay:MS)"
+                        ))
+                    }
+                },
+                Some(_) => return Err(format!("fault plan: unknown kind `{kind_s}`")),
+            };
+            let trigger = if let Some(p) = trig_s.strip_prefix('p') {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| format!("fault plan: bad probability `@{trig_s}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault plan: probability `@{trig_s}` not in [0, 1]"));
+                }
+                Trigger::Prob(p)
+            } else if let Some((start, period)) = trig_s.split_once('%') {
+                let start: u64 = start
+                    .parse()
+                    .map_err(|_| format!("fault plan: bad trigger `@{trig_s}`"))?;
+                let period: u64 = period
+                    .parse()
+                    .map_err(|_| format!("fault plan: bad trigger `@{trig_s}`"))?;
+                if start == 0 || period == 0 {
+                    return Err(format!(
+                        "fault plan: trigger `@{trig_s}` needs start and period >= 1"
+                    ));
+                }
+                Trigger::Every { start, period }
+            } else {
+                let n: u64 = trig_s
+                    .parse()
+                    .map_err(|_| format!("fault plan: bad trigger `@{trig_s}`"))?;
+                if n == 0 {
+                    return Err("fault plan: request ordinals are 1-based".to_string());
+                }
+                Trigger::At(n)
+            };
+            rules.push(FaultRule { kind, trigger });
+        }
+        if rules.is_empty() {
+            return Err("fault plan: no rules (expected e.g. `drop@3`)".to_string());
+        }
+        Ok(FaultPlan {
+            seed,
+            rules,
+            counter: AtomicU64::new(0),
+        })
+    }
+
+    /// Read a plan from `BPMF_FAULT_PLAN`. `Ok(None)` when unset/empty;
+    /// a set-but-malformed plan is a hard error, never silently ignored
+    /// (a chaos drill that thinks it is injecting faults but isn't would
+    /// pass vacuously).
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var("BPMF_FAULT_PLAN") {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Claim the next request ordinal and return the fault scheduled for
+    /// it, if any (first matching rule wins).
+    pub fn next(&self) -> Option<FaultKind> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.rules.iter().enumerate().find_map(|(i, rule)| {
+            let hit = match rule.trigger {
+                Trigger::At(k) => n == k,
+                Trigger::Every { start, period } => {
+                    n >= start && (n - start).is_multiple_of(period)
+                }
+                Trigger::Prob(p) => coin(self.seed ^ (i as u64) << 32, n) < p,
+            };
+            hit.then_some(rule.kind)
+        })
+    }
+
+    /// Requests counted so far (how far the schedule has advanced).
+    pub fn requests_seen(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Deterministic uniform draw in [0, 1) from (seed, ordinal) — a
+/// splitmix64 finalizer, so `@p` triggers replay identically across runs.
+fn coin(seed: u64, n: u64) -> f64 {
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind_and_trigger() {
+        let plan = FaultPlan::parse("drop@3,close@5,panic@7,delay:50@2%4,seed=9").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].kind, FaultKind::DropReply);
+        assert_eq!(plan.rules[1].kind, FaultKind::CloseConnection);
+        assert_eq!(plan.rules[2].kind, FaultKind::PanicWorker);
+        assert_eq!(
+            plan.rules[3].kind,
+            FaultKind::Delay(Duration::from_millis(50))
+        );
+        assert_eq!(
+            plan.rules[3].trigger,
+            Trigger::Every {
+                start: 2,
+                period: 4
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_fires_at_exact_ordinals() {
+        let plan = FaultPlan::parse("drop@3,delay:1@5%10").unwrap();
+        let fired: Vec<Option<FaultKind>> = (1..=25).map(|_| plan.next()).collect();
+        for (i, f) in fired.iter().enumerate() {
+            let n = i as u64 + 1;
+            let want = if n == 3 {
+                Some(FaultKind::DropReply)
+            } else if n == 5 || n == 15 || n == 25 {
+                Some(FaultKind::Delay(Duration::from_millis(1)))
+            } else {
+                None
+            };
+            assert_eq!(f, &want, "ordinal {n}");
+        }
+        assert_eq!(plan.requests_seen(), 25);
+    }
+
+    #[test]
+    fn probabilistic_triggers_replay_identically() {
+        let a = FaultPlan::parse("drop@p0.3,seed=42").unwrap();
+        let b = FaultPlan::parse("drop@p0.3,seed=42").unwrap();
+        let sa: Vec<_> = (0..200).map(|_| a.next()).collect();
+        let sb: Vec<_> = (0..200).map(|_| b.next()).collect();
+        assert_eq!(sa, sb, "same seed, same schedule");
+        let hits = sa.iter().filter(|f| f.is_some()).count();
+        assert!(hits > 20 && hits < 110, "p=0.3 over 200: got {hits}");
+        // A different seed produces a different schedule.
+        let c = FaultPlan::parse("drop@p0.3,seed=43").unwrap();
+        let sc: Vec<_> = (0..200).map(|_| c.next()).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn clone_restarts_the_schedule() {
+        let plan = FaultPlan::parse("drop@1").unwrap();
+        assert_eq!(plan.next(), Some(FaultKind::DropReply));
+        assert_eq!(plan.next(), None);
+        let fresh = plan.clone();
+        assert_eq!(fresh.next(), Some(FaultKind::DropReply));
+    }
+
+    #[test]
+    fn malformed_specs_are_errors_with_context() {
+        for bad in [
+            "",
+            "drop",
+            "drop@0",
+            "drop@x",
+            "explode@3",
+            "delay@3",
+            "delay:-1@3",
+            "drop@p1.5",
+            "drop@0%4",
+            "drop@4%0",
+            "seed=x,drop@1",
+        ] {
+            let err = FaultPlan::parse(bad);
+            assert!(err.is_err(), "`{bad}` should be rejected");
+            assert!(
+                err.unwrap_err().starts_with("fault plan:"),
+                "`{bad}` error lacks context"
+            );
+        }
+    }
+
+    #[test]
+    fn env_roundtrip_and_absence() {
+        // No variable set in the test environment → no plan, no error.
+        std::env::remove_var("BPMF_FAULT_PLAN");
+        assert_eq!(FaultPlan::from_env().unwrap(), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Listener binding with `SO_REUSEADDR`, for crash-replacement restarts.
+//!
+//! A SIGKILLed daemon leaves its accepted connections in `TIME_WAIT`,
+//! and a plain [`std::net::TcpListener::bind`] on the same port then
+//! fails with `EADDRINUSE` for up to a minute — exactly the window in
+//! which a supervisor (or the chaos drill in `ci/chaos_e2e.sh`) wants to
+//! start the replacement replica *on the same address*, because the
+//! router's replica list is fixed at startup. `SO_REUSEADDR` waives the
+//! `TIME_WAIT` conflict for listening sockets; it does **not** allow
+//! hijacking a port another live process is actually listening on.
+//!
+//! std offers no way to set socket options before `bind`, and the
+//! container is offline (no `socket2`/`libc` crates), so on Unix this
+//! talks to the C library directly — the same symbols std itself links.
+//! Non-IPv4 addresses and non-Unix targets fall back to the std path.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Bind a listener with `SO_REUSEADDR` set, so a crashed replica's
+/// address can be reclaimed immediately instead of after `TIME_WAIT`.
+pub fn bind_reuseaddr<A: ToSocketAddrs + Copy>(addr: A) -> io::Result<TcpListener> {
+    let mut last_err = None;
+    for sock_addr in addr.to_socket_addrs()? {
+        match bind_one(sock_addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match last_err {
+        Some(e) => Err(e),
+        None => TcpListener::bind(addr),
+    }
+}
+
+#[cfg(unix)]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    let SocketAddr::V4(v4) = addr else {
+        // The serving tier binds loopback/IPv4 everywhere; anything else
+        // takes the std path and simply lacks the fast-rebind guarantee.
+        return TcpListener::bind(addr);
+    };
+
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` as the kernel expects it.
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    // SAFETY: plain C socket calls; the fd is closed on every error path
+    // and otherwise handed to `TcpListener`, which owns it from then on.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let yes: i32 = 1;
+        let sa = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        if setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &yes,
+            std::mem::size_of::<i32>() as u32,
+        ) != 0
+            || bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) != 0
+            || listen(fd, 128) != 0
+        {
+            let err = io::Error::last_os_error();
+            close(fd);
+            return Err(err);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(unix))]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn binds_and_accepts_like_a_std_listener() {
+        let listener = bind_reuseaddr("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let join = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 4];
+            conn.read_exact(&mut buf).expect("read");
+            conn.write_all(&buf).expect("write");
+        });
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(b"ping").expect("send");
+        let mut echo = [0u8; 4];
+        client.read_exact(&mut echo).expect("echo");
+        assert_eq!(&echo, b"ping");
+        join.join().expect("server thread");
+    }
+
+    #[test]
+    fn rebinds_an_address_with_residual_connection_state() {
+        // Close a connection through the listener's port and immediately
+        // rebind the same port: with SO_REUSEADDR this must not hit
+        // EADDRINUSE even while the old connection drains.
+        let listener = bind_reuseaddr("127.0.0.1:0").expect("first bind");
+        let addr = listener.local_addr().expect("local addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (conn, _) = listener.accept().expect("accept");
+        drop(conn);
+        drop(client);
+        drop(listener);
+        let again = bind_reuseaddr(addr).expect("rebind after close");
+        assert_eq!(again.local_addr().expect("addr").port(), addr.port());
+    }
+}

@@ -1,30 +1,54 @@
 //! The scatter-gather router: one TCP front-end over a fleet of shard
-//! daemons, speaking the same [`wire`] protocol on both sides.
+//! daemons organised into **replica groups**, speaking the same [`wire`]
+//! protocol on both sides.
 //!
 //! Clients talk to [`serve`] exactly as they would to a single
 //! [`crate::serve::daemon`] — same newline-JSON requests, same replies —
-//! so the PR-5 client works unchanged against a sharded deployment. For
-//! every recommend request the router:
+//! so the PR-5 client works unchanged against a sharded deployment. The
+//! catalogue is split into shard *ranges*; each range is served by one or
+//! more interchangeable *replicas* (daemons resuming the same
+//! checkpoint). For every recommend request the router:
 //!
 //! 1. **admits** it against a bounded in-flight budget
 //!    ([`RouterConfig::inflight_cap`]; over budget →
 //!    [`wire::CODE_OVERLOADED`], nothing scattered),
-//! 2. **scatters** one copy to every shard over persistent, pipelined
-//!    connections (one writer + one reader thread per shard),
-//! 3. **gathers** the per-shard top-N replies and k-way-merges them
+//! 2. **scatters** one copy per range to the least-loaded live replica of
+//!    that range (deterministic tie-break: lowest replica index) over
+//!    persistent, pipelined connections — the whole fan-out leaves in one
+//!    buffered flush per link, not one write syscall per request,
+//! 3. **gathers** the per-range top-N replies and k-way-merges them
 //!    ([`merge_top_n`]) into the global top-N — bit-identical to the
 //!    single-process daemon because shard boundaries are GEMM-aligned and
 //!    Thompson draws key on global item ids (see [`crate::serve::shard`]).
 //!
-//! Failure is always *typed*, never a hang: a shard that is down at
-//! scatter time or dies mid-flight fails the affected requests with
-//! [`wire::CODE_PARTIAL_RESULT`]; a reply that never arrives is reaped by
-//! the timeout sweep as [`wire::CODE_TIMEOUT`]. Dead shard links
-//! reconnect with exponential backoff. `health`/`stats` are answered by
-//! probing every shard and nesting their reports under the router's own,
-//! with cross-shard findings (dead shards → [`wire::SEV_ERROR`], mixed
-//! training epochs → [`wire::SEV_WARNING`]) as structured
-//! [`wire::Diagnostic`]s.
+//! # Failover
+//!
+//! Scoring is a pure, deterministic read, so a request may be re-executed
+//! on any replica of the same range without changing a byte of the
+//! answer. When a replica link dies mid-flight (or a reply times out),
+//! the router therefore **retries** the affected requests on a surviving
+//! replica of the same range — transparently, under a bounded per-request
+//! budget ([`RouterConfig::retry_budget`]) — and a client only ever sees
+//! a typed [`wire::CODE_PARTIAL_RESULT`] when *every* replica of a range
+//! is down. A replica whose checkpoint epoch diverges from its group's is
+//! refused outright (quarantined, [`wire::CODE_EPOCH_MISMATCH`]): a
+//! failover that silently straddled two posteriors would break
+//! bit-identity, the tier's headline guarantee.
+//!
+//! Failure stays *typed*, never a hang: a range with no live replica at
+//! scatter time fails with [`wire::CODE_PARTIAL_RESULT`]; a reply that
+//! never arrives and exhausts its retries is reaped by the timeout sweep
+//! as [`wire::CODE_TIMEOUT`]. Dead links reconnect with exponential
+//! backoff. `health`/`stats` are answered by probing every replica and
+//! nesting their reports under the router's own, with fleet findings
+//! (dead ranges → [`wire::SEV_ERROR`]/[`wire::CODE_SHARD_DOWN`], lost
+//! redundancy → [`wire::SEV_WARNING`]/[`wire::CODE_REPLICA_DOWN`],
+//! quarantined or mixed epochs → [`wire::CODE_EPOCH_MISMATCH`]) as
+//! structured [`wire::Diagnostic`]s, plus live failover/retry counters.
+//!
+//! A seeded [`FaultPlan`] ([`RouterConfig::faults`]) can script
+//! delay/drop/link-kill faults at exact request ordinals, which is how
+//! the failover paths are tested without wall-clock races.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Read, Write};
@@ -33,6 +57,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::serve::faults::{FaultKind, FaultPlan};
 use crate::serve::shard::merge_top_n;
 use crate::serve::wire;
 
@@ -49,16 +74,22 @@ const POLL: Duration = Duration::from_millis(25);
 const MAX_LINE: usize = 1 << 20;
 
 /// Router knobs. `Default`: 256 requests in flight, 5 s shard patience,
-/// 50 ms–2 s reconnect backoff, top-10 lists.
-#[derive(Clone, Copy, Debug)]
+/// 2 retries per request, 50 ms–2 s reconnect backoff, top-10 lists, no
+/// fault injection.
+#[derive(Clone, Debug)]
 pub struct RouterConfig {
     /// Admission-control budget: recommend requests allowed in flight at
     /// once across all client connections. Over budget replies
     /// [`wire::CODE_OVERLOADED`] immediately.
     pub inflight_cap: usize,
-    /// How long to wait for every shard's reply before reaping the
-    /// request as [`wire::CODE_TIMEOUT`].
+    /// How long to wait for every range's reply before the timeout sweep
+    /// retries (budget permitting) or reaps the request as
+    /// [`wire::CODE_TIMEOUT`].
     pub request_timeout: Duration,
+    /// Re-scatters a single request may spend across all causes (replica
+    /// death, drained replica, timeout) before failing typed. 0 disables
+    /// failover entirely.
+    pub retry_budget: u32,
     /// First retry delay after a shard connection fails.
     pub reconnect_base: Duration,
     /// Backoff ceiling for shard reconnection attempts.
@@ -67,6 +98,9 @@ pub struct RouterConfig {
     /// this *before* scattering so every shard answers with the same N
     /// and the merge width is pinned.
     pub default_top_n: usize,
+    /// Scripted fault injection (`None` in production: the release path
+    /// pays one `Option` check per request). See [`crate::serve::faults`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RouterConfig {
@@ -74,9 +108,11 @@ impl Default for RouterConfig {
         RouterConfig {
             inflight_cap: 256,
             request_timeout: Duration::from_secs(5),
+            retry_budget: 2,
             reconnect_base: Duration::from_millis(50),
             reconnect_max: Duration::from_secs(2),
             default_top_n: 10,
+            faults: None,
         }
     }
 }
@@ -93,11 +129,22 @@ pub struct RouterReport {
     pub rejected: u64,
     /// Requests refused by admission control (subset of `rejected`).
     pub overload_rejected: u64,
-    /// Requests failed because a shard was down at scatter time or died
-    /// mid-flight (subset of `rejected`).
+    /// Requests failed because a whole range was down at scatter time or
+    /// lost its last replica mid-flight (subset of `rejected`).
     pub shard_failures: u64,
     /// Successful shard reconnections after a drop or failed attempt.
     pub reconnects: u64,
+    /// Requests moved off a dead or draining replica onto a surviving
+    /// twin (each was at risk of failing; none did).
+    pub failovers: u64,
+    /// Scatter lines re-sent to a replica, for any reason (failovers plus
+    /// timeout-triggered re-scatters).
+    pub retries: u64,
+    /// Replica connections refused because their checkpoint epoch
+    /// diverged from their group's.
+    pub epoch_refusals: u64,
+    /// Scripted faults fired by [`RouterConfig::faults`].
+    pub faults_injected: u64,
 }
 
 #[derive(Default)]
@@ -108,6 +155,10 @@ struct Counters {
     overload_rejected: AtomicU64,
     shard_failures: AtomicU64,
     reconnects: AtomicU64,
+    failovers: AtomicU64,
+    retries: AtomicU64,
+    epoch_refusals: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 /// One request scattered and awaiting its gather.
@@ -118,28 +169,60 @@ struct Pending {
     top_n: usize,
     /// The way home: the owning client connection's writer channel.
     reply: mpsc::Sender<wire::Response>,
-    /// Per-shard top-N lists, filled as replies arrive.
+    /// The forwarded request line (router-assigned id, no newline) —
+    /// re-sent verbatim on failover, which is sound because scoring is a
+    /// deterministic read: any replica of the range returns the same
+    /// bytes, and a duplicated execution is merely wasted work.
+    line: String,
+    /// Per-range top-N lists, filled as replies arrive.
     parts: Vec<Option<Vec<wire::RankedItem>>>,
-    /// Shards still owing a reply.
+    /// Which replica of each range currently owes `parts[g]` (the one
+    /// charged on that replica's load gauge).
+    assigned: Vec<usize>,
+    /// Ranges still owing a reply.
     remaining: usize,
-    /// Reaped as [`wire::CODE_TIMEOUT`] past this instant.
+    /// Past this instant the timeout sweep retries or reaps the request.
     deadline: Instant,
+    /// Re-scatters this request may still spend.
+    retries_left: u32,
 }
 
-/// One shard link: where it lives, whether it is up, and the live writer
-/// channel when connected.
-struct ShardSlot {
+/// One replica link: where it lives, whether it is usable, and how much
+/// work it currently owes.
+struct Replica {
     addr: String,
     /// `Some` while connected; taken (and thereby closing the writer)
     /// when the link drops. Scatter sends fail cleanly either way.
     tx: Mutex<Option<mpsc::Sender<String>>>,
     up: AtomicBool,
+    /// Refused for serving a checkpoint epoch that diverges from the
+    /// group's; never routed to while set.
+    quarantined: AtomicBool,
+    /// Requests currently assigned to this replica — the least-loaded
+    /// selection key.
+    load: AtomicUsize,
+    /// Last epoch this replica reported, for diagnostics.
+    epoch_seen: Mutex<Option<u64>>,
+    /// A handle on the live socket so fault injection can sever the link
+    /// deterministically.
+    kill: Mutex<Option<TcpStream>>,
+}
+
+/// The replicas serving one shard range, plus the epoch the group is
+/// pinned to.
+struct Group {
+    replicas: Vec<Replica>,
+    /// Pinned by the first admitted replica; later replicas must match or
+    /// are quarantined. Reset when the whole group is down, so a fleet
+    /// coherently restarted at a new epoch re-pins instead of being
+    /// locked out forever.
+    epoch: Mutex<Option<u64>>,
 }
 
 /// Everything the router's threads share.
 struct Router<'a> {
     cfg: RouterConfig,
-    shards: Vec<ShardSlot>,
+    groups: Vec<Group>,
     counters: Counters,
     /// Admission gauge: recommend requests currently in flight.
     inflight: AtomicUsize,
@@ -150,31 +233,76 @@ struct Router<'a> {
     shutdown: &'a AtomicBool,
 }
 
-/// Run the router on `listener`, scattering to the shard daemons at
-/// `shard_addrs` (in shard order), until shutdown. Returns after draining
-/// in-flight requests.
+/// Pure replica-selection core, exposed for property tests: given each
+/// replica's `(healthy, load)`, pick the healthy replica with the least
+/// load, ties broken to the lowest index. Total and deterministic: the
+/// same states always select the same replica.
+pub fn select_replica(states: &[(bool, usize)]) -> Option<usize> {
+    states
+        .iter()
+        .enumerate()
+        .filter(|(_, &(healthy, _))| healthy)
+        .min_by_key(|&(r, &(_, load))| (load, r))
+        .map(|(r, _)| r)
+}
+
+/// Pick the live replica of `group` to route to, excluding `exclude`
+/// (the one that just failed), via [`select_replica`].
+fn pick_replica(group: &Group, exclude: Option<usize>) -> Option<usize> {
+    let states: Vec<(bool, usize)> = group
+        .replicas
+        .iter()
+        .enumerate()
+        .map(|(r, rep)| {
+            let healthy = Some(r) != exclude
+                && rep.up.load(Ordering::Relaxed)
+                && !rep.quarantined.load(Ordering::Relaxed);
+            (healthy, rep.load.load(Ordering::Relaxed))
+        })
+        .collect();
+    select_replica(&states)
+}
+
+/// Run the router on `listener`, scattering to the shard fleet described
+/// by `groups` — one entry per shard range, each listing the addresses of
+/// that range's interchangeable replicas — until shutdown. Returns after
+/// draining in-flight requests.
 ///
 /// The listener may be bound to port 0; read the real address off
-/// `listener.local_addr()` before calling. Shards need not be up yet —
+/// `listener.local_addr()` before calling. Replicas need not be up yet —
 /// links connect (and reconnect) with backoff in the background — but
-/// recommend requests are refused with a typed error until every shard
-/// link is live.
+/// recommend requests are refused with a typed error until every range
+/// has at least one live replica.
 pub fn serve(
     listener: TcpListener,
-    shard_addrs: &[String],
+    groups: &[Vec<String>],
     cfg: &RouterConfig,
     shutdown: &AtomicBool,
 ) -> std::io::Result<RouterReport> {
-    assert!(!shard_addrs.is_empty(), "router needs at least one shard");
+    assert!(!groups.is_empty(), "router needs at least one shard range");
+    assert!(
+        groups.iter().all(|g| !g.is_empty()),
+        "every shard range needs at least one replica address"
+    );
     listener.set_nonblocking(true)?;
     let router = Router {
-        cfg: *cfg,
-        shards: shard_addrs
+        cfg: cfg.clone(),
+        groups: groups
             .iter()
-            .map(|addr| ShardSlot {
-                addr: addr.clone(),
-                tx: Mutex::new(None),
-                up: AtomicBool::new(false),
+            .map(|addrs| Group {
+                replicas: addrs
+                    .iter()
+                    .map(|addr| Replica {
+                        addr: addr.clone(),
+                        tx: Mutex::new(None),
+                        up: AtomicBool::new(false),
+                        quarantined: AtomicBool::new(false),
+                        load: AtomicUsize::new(0),
+                        epoch_seen: Mutex::new(None),
+                        kill: Mutex::new(None),
+                    })
+                    .collect(),
+                epoch: Mutex::new(None),
             })
             .collect(),
         counters: Counters::default(),
@@ -186,8 +314,10 @@ pub fn serve(
 
     let router = &router;
     std::thread::scope(|s| {
-        for shard in 0..router.shards.len() {
-            s.spawn(move || shard_link_loop(router, shard));
+        for g in 0..router.groups.len() {
+            for r in 0..router.groups[g].replicas.len() {
+                s.spawn(move || shard_link_loop(router, g, r));
+            }
         }
         let mut last_sweep = Instant::now();
         while !shutdown.load(Ordering::Relaxed) {
@@ -214,7 +344,7 @@ pub fn serve(
     })?;
 
     // The scope join waited for every client connection to drain; anything
-    // still pending lost its shard link and was already failed typed.
+    // still pending lost its last replica and was already failed typed.
     Ok(RouterReport {
         connections: router.counters.connections.load(Ordering::Relaxed),
         requests: router.counters.requests.load(Ordering::Relaxed),
@@ -222,37 +352,54 @@ pub fn serve(
         overload_rejected: router.counters.overload_rejected.load(Ordering::Relaxed),
         shard_failures: router.counters.shard_failures.load(Ordering::Relaxed),
         reconnects: router.counters.reconnects.load(Ordering::Relaxed),
+        failovers: router.counters.failovers.load(Ordering::Relaxed),
+        retries: router.counters.retries.load(Ordering::Relaxed),
+        epoch_refusals: router.counters.epoch_refusals.load(Ordering::Relaxed),
+        faults_injected: router.counters.faults_injected.load(Ordering::Relaxed),
     })
 }
 
 // ---------------------------------------------------------------------------
-// Shard links
+// Replica links
 // ---------------------------------------------------------------------------
 
-/// Own one shard link for the router's lifetime: connect (with
-/// exponential backoff), pump replies, and on any drop fail the requests
-/// the dead shard still owed before reconnecting.
-fn shard_link_loop(router: &Router<'_>, shard: usize) {
-    let slot = &router.shards[shard];
+/// Own one replica link for the router's lifetime: connect (with
+/// exponential backoff), gate on epoch agreement, pump replies, and on
+/// any drop move the requests the dead replica still owed onto a
+/// surviving twin (or fail them typed).
+fn shard_link_loop(router: &Router<'_>, g: usize, r: usize) {
+    let slot = &router.groups[g].replicas[r];
     let mut backoff = router.cfg.reconnect_base;
     let mut reconnecting = false;
     while !router.shutdown.load(Ordering::Relaxed) {
         match TcpStream::connect(&slot.addr) {
             Ok(stream) => {
+                if !epoch_admits(router, g, r) {
+                    // Divergent checkpoint: serving through it would break
+                    // bit-identity. Keep it out of rotation and re-probe at
+                    // the backoff ceiling (an operator fix re-admits it).
+                    drop(stream);
+                    std::thread::sleep(router.cfg.reconnect_max);
+                    continue;
+                }
                 if reconnecting {
                     router.counters.reconnects.fetch_add(1, Ordering::Relaxed);
                 }
                 reconnecting = true;
                 backoff = router.cfg.reconnect_base;
-                run_shard_link(router, shard, stream);
+                run_shard_link(router, g, r, stream);
                 slot.up.store(false, Ordering::Relaxed);
                 *slot.tx.lock().unwrap() = None;
-                // Whatever was awaiting this shard will never arrive.
-                fail_pending_for_shard(router, shard);
+                *slot.kill.lock().unwrap() = None;
+                // Whatever was awaiting this replica will never arrive:
+                // fail over to a surviving twin, or fail typed.
+                fail_or_failover(router, g, r);
+                maybe_unpin_epoch(router, g);
             }
             Err(_) => {
                 slot.up.store(false, Ordering::Relaxed);
                 reconnecting = true;
+                maybe_unpin_epoch(router, g);
             }
         }
         if router.shutdown.load(Ordering::Relaxed) {
@@ -263,9 +410,49 @@ fn shard_link_loop(router: &Router<'_>, shard: usize) {
     }
 }
 
-/// Drive one live shard connection until it drops or shutdown.
-fn run_shard_link(router: &Router<'_>, shard: usize, stream: TcpStream) {
-    let slot = &router.shards[shard];
+/// Probe the replica's checkpoint epoch and admit it only if it matches
+/// the group's pinned epoch (pinning it when the group has none).
+/// Unsharded daemons carry no epoch and are admitted as-is.
+fn epoch_admits(router: &Router<'_>, g: usize, r: usize) -> bool {
+    let slot = &router.groups[g].replicas[r];
+    let epoch = probe_shard(&slot.addr, wire::CMD_HEALTH)
+        .and_then(|resp| resp.health)
+        .and_then(|h| h.shard.map(|spec| spec.epoch));
+    *slot.epoch_seen.lock().unwrap() = epoch;
+    let Some(epoch) = epoch else {
+        slot.quarantined.store(false, Ordering::Relaxed);
+        return true;
+    };
+    let mut pinned = router.groups[g].epoch.lock().unwrap();
+    match *pinned {
+        Some(e) if e != epoch => {
+            slot.quarantined.store(true, Ordering::Relaxed);
+            router
+                .counters
+                .epoch_refusals
+                .fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        _ => {
+            *pinned = Some(epoch);
+            slot.quarantined.store(false, Ordering::Relaxed);
+            true
+        }
+    }
+}
+
+/// When every replica of a group is unreachable, forget the pinned epoch:
+/// whichever replica of the restarted fleet connects first re-pins it.
+fn maybe_unpin_epoch(router: &Router<'_>, g: usize) {
+    let group = &router.groups[g];
+    if group.replicas.iter().all(|r| !r.up.load(Ordering::Relaxed)) {
+        *group.epoch.lock().unwrap() = None;
+    }
+}
+
+/// Drive one live replica connection until it drops or shutdown.
+fn run_shard_link(router: &Router<'_>, g: usize, r: usize, stream: TcpStream) {
+    let slot = &router.groups[g].replicas[r];
     stream.set_nodelay(true).ok();
     if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
         return;
@@ -274,22 +461,23 @@ fn run_shard_link(router: &Router<'_>, shard: usize, stream: TcpStream) {
         Ok(s) => s,
         Err(_) => return,
     };
+    *slot.kill.lock().unwrap() = stream.try_clone().ok();
     let (tx, rx) = mpsc::channel::<String>();
     let writer = std::thread::spawn(move || shard_writer_loop(write_half, rx));
     *slot.tx.lock().unwrap() = Some(tx);
     slot.up.store(true, Ordering::Relaxed);
 
-    shard_reader_loop(router, shard, stream);
+    shard_reader_loop(router, g, r, stream);
 
     slot.up.store(false, Ordering::Relaxed);
     *slot.tx.lock().unwrap() = None; // drops the sender → writer exits
     let _ = writer.join();
 }
 
-/// Pump one shard's replies into the pending table until the connection
+/// Pump one replica's replies into the pending table until the connection
 /// drops or shutdown (with a bounded drain pass so in-flight replies land
 /// before a graceful exit).
-fn shard_reader_loop(router: &Router<'_>, shard: usize, mut stream: TcpStream) {
+fn shard_reader_loop(router: &Router<'_>, g: usize, r: usize, mut stream: TcpStream) {
     let mut pending_bytes: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut drain_deadline: Option<Instant> = None;
@@ -302,7 +490,7 @@ fn shard_reader_loop(router: &Router<'_>, shard: usize, mut stream: TcpStream) {
             }
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return, // shard hung up
+            Ok(0) => return, // replica hung up
             Ok(n) => {
                 pending_bytes.extend_from_slice(&chunk[..n]);
                 while let Some(pos) = pending_bytes.iter().position(|&b| b == b'\n') {
@@ -312,7 +500,7 @@ fn shard_reader_loop(router: &Router<'_>, shard: usize, mut stream: TcpStream) {
                         continue;
                     }
                     if let Ok(resp) = wire::decode_response(&line) {
-                        gather(router, shard, resp);
+                        gather(router, g, r, resp);
                     }
                 }
                 if pending_bytes.len() > MAX_LINE {
@@ -336,17 +524,19 @@ fn shard_reader_loop(router: &Router<'_>, shard: usize, mut stream: TcpStream) {
     }
 }
 
-/// Shard-link writer: forward scatter lines, batched flushes.
+/// Replica-link writer: forward scatter buffers (each one or more
+/// newline-terminated lines — a whole client fan-out batch leaves as one
+/// write), with batched flushes.
 fn shard_writer_loop(stream: TcpStream, rx: mpsc::Receiver<String>) {
     let mut out = std::io::BufWriter::new(stream);
     'live: while let Ok(first) = rx.recv() {
-        let mut line = first;
+        let mut buf = first;
         loop {
-            if writeln!(out, "{line}").is_err() {
+            if out.write_all(buf.as_bytes()).is_err() {
                 break 'live;
             }
             match rx.try_recv() {
-                Ok(next) => line = next,
+                Ok(next) => buf = next,
                 Err(_) => break,
             }
         }
@@ -356,42 +546,85 @@ fn shard_writer_loop(stream: TcpStream, rx: mpsc::Receiver<String>) {
     }
 }
 
+/// Queue `line` (newline appended) on replica `(g, r)`'s link. `false`
+/// when the link is gone.
+fn send_to(router: &Router<'_>, g: usize, r: usize, line: &str) -> bool {
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    match &*router.groups[g].replicas[r].tx.lock().unwrap() {
+        Some(link) => link.send(buf).is_ok(),
+        None => false,
+    }
+}
+
+/// Sever replica `(g, r)`'s live socket (fault injection): the reader
+/// sees EOF, the link tears down, and the failover path runs for real.
+fn kill_link(router: &Router<'_>, g: usize, r: usize) {
+    if let Some(stream) = &*router.groups[g].replicas[r].kill.lock().unwrap() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
 // ---------------------------------------------------------------------------
-// Gather and failure paths
+// Gather, failover, and failure paths
 // ---------------------------------------------------------------------------
 
-/// Land one shard reply: record the part, and when the last shard
+/// Land one replica reply: record the part, and when the last range
 /// answers, merge and send the client's reply.
-fn gather(router: &Router<'_>, shard: usize, resp: wire::Response) {
+fn gather(router: &Router<'_>, g: usize, r: usize, resp: wire::Response) {
     let mut pending = router.pending.lock().unwrap();
     let Some(entry) = pending.get_mut(&resp.id) else {
         return; // already failed/timed out/answered — late reply, drop it
     };
     if let Some(err) = resp.error {
-        // A shard refused this request (bad policy, user out of range,
-        // shutting down, …): the whole request fails with the shard's own
-        // typed error. Later replies from other shards find no entry.
-        let entry = pending.remove(&resp.id).unwrap();
-        drop(pending);
-        finish_one(router);
-        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
-        let mut reply = wire::Response::failure(entry.client_id, entry.user, err);
-        reply.code = resp.code.or(reply.code);
-        // A shard draining for shutdown is an availability failure of the
-        // *tier*, not of this request: the client sees the same class as a
-        // shard that already died.
-        if reply.code.as_deref() == Some(wire::CODE_SHUTTING_DOWN) {
-            reply = reply.with_code(wire::CODE_PARTIAL_RESULT);
+        if resp.code.as_deref() == Some(wire::CODE_SHUTTING_DOWN) {
+            // The replica is draining: for this request it is as good as
+            // dead, but its twins are not — fail over under budget.
+            if entry.parts[g].is_some() || entry.assigned[g] != r {
+                return; // stale refusal; the assigned replica will answer
+            }
+            if try_failover_entry(router, g, r, entry) {
+                router.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let entry = pending.remove(&resp.id).unwrap();
+            drop(pending);
+            release_unanswered(router, &entry);
+            finish_one(router);
+            router.counters.rejected.fetch_add(1, Ordering::Relaxed);
             router
                 .counters
                 .shard_failures
                 .fetch_add(1, Ordering::Relaxed);
+            let _ = entry.reply.send(
+                wire::Response::failure(entry.client_id, entry.user, err)
+                    .with_code(wire::CODE_PARTIAL_RESULT),
+            );
+            return;
         }
+        // A deterministic refusal (bad policy, user out of range, …):
+        // every replica would answer the same, so the whole request fails
+        // with the replica's own typed error. Later replies from other
+        // ranges find no entry.
+        let entry = pending.remove(&resp.id).unwrap();
+        drop(pending);
+        release_unanswered(router, &entry);
+        finish_one(router);
+        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let mut reply = wire::Response::failure(entry.client_id, entry.user, err);
+        reply.code = resp.code.or(reply.code);
         let _ = entry.reply.send(reply);
         return;
     }
-    if entry.parts[shard].is_none() {
-        entry.parts[shard] = Some(resp.items);
+    if entry.parts[g].is_none() {
+        // Release the charge this entry holds for range g. A duplicated
+        // reply (a stale replica answering after a timeout re-scatter)
+        // carries identical bytes, so whichever lands first is the part.
+        router.groups[g].replicas[entry.assigned[g]]
+            .load
+            .fetch_sub(1, Ordering::Relaxed);
+        entry.parts[g] = Some(resp.items);
         entry.remaining -= 1;
     }
     if entry.remaining > 0 {
@@ -412,21 +645,55 @@ fn gather(router: &Router<'_>, shard: usize, resp: wire::Response) {
     });
 }
 
-/// Fail every pending request still owed a reply by `shard` with a typed
-/// partial-result error (the shard link just dropped).
-fn fail_pending_for_shard(router: &Router<'_>, shard: usize) {
-    let failed: Vec<Pending> = {
+/// Move one pending entry's range-`g` assignment off `dead` onto a
+/// surviving replica, spending one retry. Returns `false` when the budget
+/// is spent or no twin is live (caller fails the entry typed). The
+/// pending lock must be held.
+fn try_failover_entry(router: &Router<'_>, g: usize, dead: usize, entry: &mut Pending) -> bool {
+    if entry.retries_left == 0 {
+        return false;
+    }
+    let Some(twin) = pick_replica(&router.groups[g], Some(dead)) else {
+        return false;
+    };
+    entry.retries_left -= 1;
+    let reps = &router.groups[g].replicas;
+    reps[dead].load.fetch_sub(1, Ordering::Relaxed);
+    reps[twin].load.fetch_add(1, Ordering::Relaxed);
+    entry.assigned[g] = twin;
+    router.counters.retries.fetch_add(1, Ordering::Relaxed);
+    // A failed send means the twin died in the same instant; its own link
+    // teardown (or the timeout sweep) moves the entry again or fails it.
+    let _ = send_to(router, g, twin, &entry.line);
+    true
+}
+
+/// The link to replica `(g, dead)` just dropped: every pending request it
+/// still owed either fails over to a surviving twin or — when the budget
+/// is spent or the whole range is down — fails with a typed
+/// partial-result error.
+fn fail_or_failover(router: &Router<'_>, g: usize, dead: usize) {
+    let doomed: Vec<Pending> = {
         let mut pending = router.pending.lock().unwrap();
         let ids: Vec<u64> = pending
             .iter()
-            .filter(|(_, e)| e.parts[shard].is_none())
+            .filter(|(_, e)| e.parts[g].is_none() && e.assigned[g] == dead)
             .map(|(&id, _)| id)
             .collect();
-        ids.into_iter()
-            .filter_map(|id| pending.remove(&id))
-            .collect()
+        let mut doomed = Vec::new();
+        for id in ids {
+            let entry = pending.get_mut(&id).expect("id collected under lock");
+            if try_failover_entry(router, g, dead, entry) {
+                router.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            } else {
+                doomed.push(pending.remove(&id).unwrap());
+            }
+        }
+        doomed
     };
-    for entry in failed {
+    let replicas = router.groups[g].replicas.len();
+    for entry in doomed {
+        release_unanswered(router, &entry);
         finish_one(router);
         router.counters.rejected.fetch_add(1, Ordering::Relaxed);
         router
@@ -438,8 +705,9 @@ fn fail_pending_for_shard(router: &Router<'_>, shard: usize) {
                 entry.client_id,
                 entry.user,
                 format!(
-                    "shard {shard} at {} dropped before answering",
-                    router.shards[shard].addr
+                    "range {g}: replica at {} dropped before answering and no live \
+                     replica (of {replicas}) or retry budget remains",
+                    router.groups[g].replicas[dead].addr
                 ),
             )
             .with_code(wire::CODE_PARTIAL_RESULT),
@@ -447,7 +715,10 @@ fn fail_pending_for_shard(router: &Router<'_>, shard: usize) {
     }
 }
 
-/// Reap requests whose deadline passed without every shard answering.
+/// Reap or retry requests whose deadline passed without every range
+/// answering: budget permitting, the unanswered ranges are re-scattered
+/// (preferring a different replica — the original may have dropped the
+/// reply) with a fresh deadline; otherwise the request fails typed.
 fn sweep_timeouts(router: &Router<'_>) {
     let now = Instant::now();
     let expired: Vec<Pending> = {
@@ -457,11 +728,39 @@ fn sweep_timeouts(router: &Router<'_>) {
             .filter(|(_, e)| e.deadline <= now)
             .map(|(&id, _)| id)
             .collect();
-        ids.into_iter()
-            .filter_map(|id| pending.remove(&id))
-            .collect()
+        let mut doomed = Vec::new();
+        for id in ids {
+            let entry = pending.get_mut(&id).expect("id collected under lock");
+            let unanswered: Vec<usize> = (0..entry.parts.len())
+                .filter(|&g| entry.parts[g].is_none())
+                .collect();
+            let retryable = entry.retries_left > 0
+                && unanswered
+                    .iter()
+                    .all(|&g| pick_replica(&router.groups[g], None).is_some());
+            if retryable {
+                entry.retries_left -= 1;
+                for &g in &unanswered {
+                    let old = entry.assigned[g];
+                    let next = pick_replica(&router.groups[g], Some(old))
+                        .or_else(|| pick_replica(&router.groups[g], None))
+                        .expect("checked retryable above");
+                    let reps = &router.groups[g].replicas;
+                    reps[old].load.fetch_sub(1, Ordering::Relaxed);
+                    reps[next].load.fetch_add(1, Ordering::Relaxed);
+                    entry.assigned[g] = next;
+                    router.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let _ = send_to(router, g, next, &entry.line);
+                }
+                entry.deadline = now + router.cfg.request_timeout;
+            } else {
+                doomed.push(pending.remove(&id).unwrap());
+            }
+        }
+        doomed
     };
     for entry in expired {
+        release_unanswered(router, &entry);
         finish_one(router);
         router.counters.rejected.fetch_add(1, Ordering::Relaxed);
         let waited = entry.remaining;
@@ -469,10 +768,22 @@ fn sweep_timeouts(router: &Router<'_>) {
             wire::Response::failure(
                 entry.client_id,
                 entry.user,
-                format!("timed out waiting for {waited} shard reply/replies"),
+                format!("timed out waiting for {waited} range reply/replies (retries exhausted)"),
             )
             .with_code(wire::CODE_TIMEOUT),
         );
+    }
+}
+
+/// Release the load charges a finished (answered/failed/reaped) entry
+/// still holds on its unanswered ranges' assigned replicas.
+fn release_unanswered(router: &Router<'_>, entry: &Pending) {
+    for (g, part) in entry.parts.iter().enumerate() {
+        if part.is_none() {
+            router.groups[g].replicas[entry.assigned[g]]
+                .load
+                .fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -485,6 +796,39 @@ fn finish_one(router: &Router<'_>) {
 // ---------------------------------------------------------------------------
 // Client connections
 // ---------------------------------------------------------------------------
+
+/// The per-connection scatter accumulator: lines bound for each replica
+/// link, buffered while a read chunk's worth of pipelined requests is
+/// processed and handed to each link in **one** channel send (one write +
+/// flush on the wire) — one buffered flush per fan-out, not one write
+/// syscall per request.
+#[derive(Default)]
+struct ScatterBatch {
+    buffers: HashMap<(usize, usize), String>,
+}
+
+impl ScatterBatch {
+    fn push(&mut self, g: usize, r: usize, line: &str) {
+        let buf = self.buffers.entry((g, r)).or_default();
+        buf.push_str(line);
+        buf.push('\n');
+    }
+}
+
+/// Hand each link its accumulated batch. A send that fails means the
+/// replica died between pick and flush: its requests fail over
+/// immediately rather than waiting for the timeout sweep.
+fn flush_batch(router: &Router<'_>, batch: &mut ScatterBatch) {
+    for ((g, r), buf) in batch.buffers.drain() {
+        let sent = match &*router.groups[g].replicas[r].tx.lock().unwrap() {
+            Some(link) => link.send(buf).is_ok(),
+            None => false,
+        };
+        if !sent {
+            fail_or_failover(router, g, r);
+        }
+    }
+}
 
 /// Client connection reader: split lines, answer each (scattering
 /// recommend requests), keep the writer alive until every in-flight reply
@@ -507,8 +851,9 @@ fn handle_client(router: &Router<'_>, stream: TcpStream) {
     let mut stream = stream;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut batch = ScatterBatch::default();
     let mut drain_deadline: Option<Instant> = None;
-    'conn: loop {
+    loop {
         if router.shutdown.load(Ordering::Relaxed) {
             match drain_deadline {
                 None => drain_deadline = Some(Instant::now() + 4 * POLL),
@@ -520,15 +865,23 @@ fn handle_client(router: &Router<'_>, stream: TcpStream) {
             Ok(0) => break,
             Ok(n) => {
                 pending.extend_from_slice(&chunk[..n]);
+                let mut close = false;
                 while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = pending.drain(..=pos).collect();
                     let line = String::from_utf8_lossy(&line);
                     if line.trim().is_empty() {
                         continue;
                     }
-                    if !process_line(router, &line, &tx) {
-                        break 'conn;
+                    if !process_line(router, &line, &tx, &mut batch) {
+                        close = true;
+                        break;
                     }
+                }
+                // One flush per read chunk: every request the client
+                // pipelined into it fans out in a single write per link.
+                flush_batch(router, &mut batch);
+                if close {
+                    break;
                 }
                 if pending.len() > MAX_LINE {
                     router.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -560,7 +913,12 @@ fn handle_client(router: &Router<'_>, stream: TcpStream) {
 
 /// Answer one client line. Returns `false` when the connection should
 /// close (shutdown command).
-fn process_line(router: &Router<'_>, line: &str, tx: &mpsc::Sender<wire::Response>) -> bool {
+fn process_line(
+    router: &Router<'_>,
+    line: &str,
+    tx: &mpsc::Sender<wire::Response>,
+    batch: &mut ScatterBatch,
+) -> bool {
     let req = match wire::decode_request(line) {
         Ok(req) => req,
         Err(e) => {
@@ -606,7 +964,7 @@ fn process_line(router: &Router<'_>, line: &str, tx: &mpsc::Sender<wire::Respons
             true
         }
         "" | wire::CMD_RECOMMEND => {
-            scatter(router, &req, tx);
+            scatter(router, &req, tx, batch);
             true
         }
         other => {
@@ -621,15 +979,33 @@ fn process_line(router: &Router<'_>, line: &str, tx: &mpsc::Sender<wire::Respons
     }
 }
 
-/// Admit, scatter, and register one recommend request. Every refusal is
-/// an immediate typed reply; nothing is scattered unless all shards are
-/// up and the budget has room.
-fn scatter(router: &Router<'_>, req: &wire::Request, tx: &mpsc::Sender<wire::Response>) {
+/// Admit, assign, and register one recommend request; the forwarded lines
+/// land in `batch` for a per-fan-out flush. Every refusal is an immediate
+/// typed reply; nothing is scattered unless every range has a live
+/// replica and the budget has room.
+fn scatter(
+    router: &Router<'_>,
+    req: &wire::Request,
+    tx: &mpsc::Sender<wire::Response>,
+    batch: &mut ScatterBatch,
+) {
     let Some(user) = req.user else {
         router.counters.rejected.fetch_add(1, Ordering::Relaxed);
         let _ = tx.send(wire::Response::failure(req.id, 0, "missing field `user`"));
         return;
     };
+    // Scripted fault, claimed before admission so ordinals count every
+    // recommend request the router sees.
+    let fault = router.cfg.faults.as_ref().and_then(FaultPlan::next);
+    if fault.is_some() {
+        router
+            .counters
+            .faults_injected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(FaultKind::Delay(d)) = fault {
+        std::thread::sleep(d);
+    }
     // Admission control: claim a slot, give it back on refusal.
     if router.inflight.fetch_add(1, Ordering::Relaxed) >= router.cfg.inflight_cap {
         finish_one(router);
@@ -651,30 +1027,9 @@ fn scatter(router: &Router<'_>, req: &wire::Request, tx: &mpsc::Sender<wire::Res
         );
         return;
     }
-    // A complete ranking needs every shard: refuse up front rather than
-    // reply with silently-missing catalogue ranges.
-    if let Some(down) =
-        (0..router.shards.len()).find(|&s| !router.shards[s].up.load(Ordering::Relaxed))
-    {
-        finish_one(router);
-        router.counters.rejected.fetch_add(1, Ordering::Relaxed);
-        router
-            .counters
-            .shard_failures
-            .fetch_add(1, Ordering::Relaxed);
-        let _ = tx.send(
-            wire::Response::failure(
-                req.id,
-                user,
-                format!(
-                    "shard {down} at {} is down; cannot assemble a complete ranking",
-                    router.shards[down].addr
-                ),
-            )
-            .with_code(wire::CODE_PARTIAL_RESULT),
-        );
-        return;
-    }
+    // A complete ranking needs every range: refuse up front rather than
+    // reply with silently-missing catalogue ranges. One live replica per
+    // range suffices — that is the whole point of the groups.
     let top_n = if req.top_n == 0 {
         router.cfg.default_top_n
     } else {
@@ -691,7 +1046,40 @@ fn scatter(router: &Router<'_>, req: &wire::Request, tx: &mpsc::Sender<wire::Res
         exclude_seen: req.exclude_seen,
     };
     let line = wire::encode(&fwd);
-    // Register before sending: a fast shard may answer instantly.
+    // Pick a replica per range and register before queueing any send: a
+    // fast replica may answer the instant its batch flushes.
+    let mut picks = Vec::with_capacity(router.groups.len());
+    for (g, group) in router.groups.iter().enumerate() {
+        match pick_replica(group, None) {
+            Some(r) => picks.push(r),
+            None => {
+                finish_one(router);
+                router.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                router
+                    .counters
+                    .shard_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(
+                    wire::Response::failure(
+                        req.id,
+                        user,
+                        format!(
+                            "range {g}: all {} replica(s) down; cannot assemble a \
+                             complete ranking",
+                            group.replicas.len()
+                        ),
+                    )
+                    .with_code(wire::CODE_PARTIAL_RESULT),
+                );
+                return;
+            }
+        }
+    }
+    for (g, &r) in picks.iter().enumerate() {
+        router.groups[g].replicas[r]
+            .load
+            .fetch_add(1, Ordering::Relaxed);
+    }
     router.pending.lock().unwrap().insert(
         rid,
         Pending {
@@ -699,38 +1087,31 @@ fn scatter(router: &Router<'_>, req: &wire::Request, tx: &mpsc::Sender<wire::Res
             user,
             top_n,
             reply: tx.clone(),
-            parts: vec![None; router.shards.len()],
-            remaining: router.shards.len(),
+            line: line.clone(),
+            parts: vec![None; router.groups.len()],
+            assigned: picks.clone(),
+            remaining: router.groups.len(),
             deadline: Instant::now() + router.cfg.request_timeout,
+            retries_left: router.cfg.retry_budget,
         },
     );
-    for (s, slot) in router.shards.iter().enumerate() {
-        let sent = match &*slot.tx.lock().unwrap() {
-            Some(link) => link.send(line.clone()).is_ok(),
-            None => false,
-        };
-        if !sent {
-            // The link dropped between the up-check and the send. Fail
-            // this request now; shards that already got the line will
-            // answer into a missing entry, which is dropped.
-            if let Some(entry) = router.pending.lock().unwrap().remove(&rid) {
-                finish_one(router);
-                router.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                router
-                    .counters
-                    .shard_failures
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = entry.reply.send(
-                    wire::Response::failure(
-                        entry.client_id,
-                        entry.user,
-                        format!("shard {s} at {} went down mid-scatter", slot.addr),
-                    )
-                    .with_code(wire::CODE_PARTIAL_RESULT),
-                );
-            }
-            return;
+    for (g, &r) in picks.iter().enumerate() {
+        // drop-reply fault: range 0's line is "lost on the wire" — the
+        // timeout sweep must notice and re-scatter it.
+        if g == 0 && fault == Some(FaultKind::DropReply) {
+            continue;
         }
+        batch.push(g, r, &line);
+    }
+    if matches!(
+        fault,
+        Some(FaultKind::CloseConnection | FaultKind::PanicWorker)
+    ) {
+        // Flush so this request is genuinely in flight on the doomed
+        // link, then sever it: the mid-flight failover path runs for
+        // real, at a deterministic request ordinal.
+        flush_batch(router, batch);
+        kill_link(router, 0, picks[0]);
     }
 }
 
@@ -759,7 +1140,7 @@ fn client_writer_loop(stream: TcpStream, rx: mpsc::Receiver<wire::Response>) {
 // Health and stats aggregation
 // ---------------------------------------------------------------------------
 
-/// How long a health/stats probe waits for a shard before declaring it
+/// How long a health/stats probe waits for a replica before declaring it
 /// unreachable.
 const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
 
@@ -783,35 +1164,75 @@ fn probe_shard(addr: &str, cmd: &str) -> Option<wire::Response> {
     wire::decode_response(&line).ok()
 }
 
-/// Probe every shard's `health` and aggregate: nested per-shard reports,
-/// cross-shard diagnostics, and an overall status (`ok` when everything
-/// answers clean, `degraded` when some shard is down, skewed, or
-/// degraded, `down` when no shard can serve).
+/// Probe every replica's `health` and aggregate: nested per-replica
+/// reports (group-major order), fleet diagnostics, and an overall status
+/// (`ok` when everything answers clean, `degraded` when redundancy is
+/// lost, a range is dark, a replica is quarantined or skewed, `down` when
+/// no range can serve).
 fn router_health(router: &Router<'_>) -> wire::HealthReport {
-    let mut shards = Vec::with_capacity(router.shards.len());
+    let total_replicas: usize = router.groups.iter().map(|g| g.replicas.len()).sum();
+    let mut shards = Vec::with_capacity(total_replicas);
     let mut diagnostics = Vec::new();
-    let mut down = 0usize;
-    for (s, slot) in router.shards.iter().enumerate() {
-        match probe_shard(&slot.addr, wire::CMD_HEALTH).and_then(|r| r.health) {
-            Some(report) => shards.push(report),
-            None => {
-                down += 1;
-                diagnostics.push(wire::Diagnostic::new(
-                    wire::SEV_ERROR,
-                    wire::CODE_SHARD_DOWN,
-                    format!("shard {s} at {} is unreachable", slot.addr),
-                ));
-                shards.push(wire::HealthReport {
-                    v: wire::WIRE_VERSION,
-                    role: wire::ROLE_DAEMON.to_string(),
-                    status: wire::STATUS_DOWN.to_string(),
-                    ..wire::HealthReport::default()
-                });
+    let mut ranges_down = 0usize;
+    let mut replicas_out = 0usize;
+    for (g, group) in router.groups.iter().enumerate() {
+        let mut live = 0usize;
+        for (r, rep) in group.replicas.iter().enumerate() {
+            let quarantined = rep.quarantined.load(Ordering::Relaxed);
+            match probe_shard(&rep.addr, wire::CMD_HEALTH).and_then(|x| x.health) {
+                Some(report) if !quarantined => {
+                    live += 1;
+                    shards.push(report);
+                }
+                Some(report) => {
+                    // Reachable, but refused for a divergent checkpoint:
+                    // out of rotation until it matches the group again.
+                    replicas_out += 1;
+                    let pinned = *group.epoch.lock().unwrap();
+                    let seen = *rep.epoch_seen.lock().unwrap();
+                    diagnostics.push(wire::Diagnostic::new(
+                        wire::SEV_ERROR,
+                        wire::CODE_EPOCH_MISMATCH,
+                        format!(
+                            "range {g} replica {r} at {} quarantined: serves epoch \
+                             {seen:?} but the group is pinned at {pinned:?}",
+                            rep.addr
+                        ),
+                    ));
+                    shards.push(report);
+                }
+                None => {
+                    replicas_out += 1;
+                    diagnostics.push(wire::Diagnostic::new(
+                        wire::SEV_WARNING,
+                        wire::CODE_REPLICA_DOWN,
+                        format!("range {g} replica {r} at {} is unreachable", rep.addr),
+                    ));
+                    shards.push(wire::HealthReport {
+                        v: wire::WIRE_VERSION,
+                        role: wire::ROLE_DAEMON.to_string(),
+                        status: wire::STATUS_DOWN.to_string(),
+                        ..wire::HealthReport::default()
+                    });
+                }
             }
         }
+        if live == 0 {
+            ranges_down += 1;
+            diagnostics.push(wire::Diagnostic::new(
+                wire::SEV_ERROR,
+                wire::CODE_SHARD_DOWN,
+                format!(
+                    "range {g}: all {} replica(s) down; requests for this range fail",
+                    group.replicas.len()
+                ),
+            ));
+        }
     }
-    // Mixed training epochs: every live shard must serve factors from the
-    // same sampler iteration or rankings straddle two posteriors.
+    // Mixed training epochs across the fleet: every live replica must
+    // serve factors from the same sampler iteration or rankings straddle
+    // two posteriors. (Divergence *within* a group is already an error
+    // diagnostic above; this catches skew *between* ranges.)
     let mut epochs: Vec<u64> = shards
         .iter()
         .filter_map(|h| h.shard.as_ref().map(|spec| spec.epoch))
@@ -829,9 +1250,9 @@ fn router_health(router: &Router<'_>) -> wire::HealthReport {
         ));
     }
     let degraded_child = shards.iter().any(|h| h.status != wire::STATUS_OK);
-    let status = if down == router.shards.len() {
+    let status = if ranges_down == router.groups.len() {
         wire::STATUS_DOWN
-    } else if down > 0 || degraded_child || !diagnostics.is_empty() {
+    } else if ranges_down > 0 || replicas_out > 0 || degraded_child || !diagnostics.is_empty() {
         wire::STATUS_DEGRADED
     } else {
         wire::STATUS_OK
@@ -842,27 +1263,35 @@ fn router_health(router: &Router<'_>) -> wire::HealthReport {
         status: status.to_string(),
         n_users: shards.iter().map(|h| h.n_users).max().unwrap_or(0),
         // The router serves the union of the slices: the catalogue ends
-        // where the last shard's range does.
+        // where the last range does.
         n_items: shards
             .iter()
             .filter_map(|h| h.shard.as_ref().map(|spec| spec.item_hi as u64))
             .max()
-            .unwrap_or_else(|| shards.iter().map(|h| h.n_items).sum()),
+            .unwrap_or_else(|| shards.iter().map(|h| h.n_items).max().unwrap_or(0)),
         shard: None,
         diagnostics,
         shards,
     }
 }
 
-/// Probe every shard's `stats` and nest the answers under the router's
-/// own counter snapshot (unreachable shards are simply absent; `health`
+/// Probe every replica's `stats` and nest the answers under the router's
+/// own counter snapshot (unreachable replicas are simply absent; `health`
 /// names them).
 fn router_stats(router: &Router<'_>) -> wire::StatsReport {
     let shards: Vec<wire::StatsReport> = router
-        .shards
+        .groups
         .iter()
-        .filter_map(|slot| probe_shard(&slot.addr, wire::CMD_STATS).and_then(|r| r.stats))
+        .flat_map(|g| &g.replicas)
+        .filter_map(|rep| probe_shard(&rep.addr, wire::CMD_STATS).and_then(|r| r.stats))
         .collect();
+    let replicas = router.groups.iter().map(|g| g.replicas.len() as u64).sum();
+    let replicas_up = router
+        .groups
+        .iter()
+        .flat_map(|g| &g.replicas)
+        .filter(|rep| rep.up.load(Ordering::Relaxed) && !rep.quarantined.load(Ordering::Relaxed))
+        .count() as u64;
     wire::StatsReport {
         v: wire::WIRE_VERSION,
         role: wire::ROLE_ROUTER.to_string(),
@@ -873,6 +1302,12 @@ fn router_stats(router: &Router<'_>) -> wire::StatsReport {
         overload_rejected: router.counters.overload_rejected.load(Ordering::Relaxed),
         shard_failures: router.counters.shard_failures.load(Ordering::Relaxed),
         reconnects: router.counters.reconnects.load(Ordering::Relaxed),
+        failovers: router.counters.failovers.load(Ordering::Relaxed),
+        retries: router.counters.retries.load(Ordering::Relaxed),
+        epoch_refusals: router.counters.epoch_refusals.load(Ordering::Relaxed),
+        faults_injected: router.counters.faults_injected.load(Ordering::Relaxed),
+        replicas,
+        replicas_up,
         shards,
         ..wire::StatsReport::default()
     }

@@ -71,8 +71,12 @@ pub const CODE_OVERLOADED: &str = "overloaded";
 /// One or more shards could not answer, so a complete ranking cannot be
 /// assembled. The reply is an error (never silently-partial items).
 pub const CODE_PARTIAL_RESULT: &str = "partial_result";
-/// A shard connection is down (health diagnostic / scatter failure).
+/// A shard range has no live replica at all (health diagnostic / scatter
+/// failure).
 pub const CODE_SHARD_DOWN: &str = "shard_down";
+/// One replica of a range is unreachable but a twin still serves it
+/// (health diagnostic: redundancy lost, no requests failing).
+pub const CODE_REPLICA_DOWN: &str = "replica_down";
 /// Shards report factors from different training epochs.
 pub const CODE_EPOCH_MISMATCH: &str = "epoch_mismatch";
 /// The server is draining for shutdown and refuses new work.
@@ -364,6 +368,28 @@ pub struct StatsReport {
     /// Successful shard reconnections (router).
     #[serde(default)]
     pub reconnects: u64,
+    /// Requests moved off a dead or draining replica onto a surviving
+    /// twin of the same range (router).
+    #[serde(default)]
+    pub failovers: u64,
+    /// Scatter lines re-sent to a replica for any reason — failovers
+    /// plus timeout-triggered re-scatters (router).
+    #[serde(default)]
+    pub retries: u64,
+    /// Replica connections refused for a divergent checkpoint epoch
+    /// (router).
+    #[serde(default)]
+    pub epoch_refusals: u64,
+    /// Scripted faults fired by the process's `FaultPlan` (zero unless a
+    /// fault-injection drill is running).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Replica links configured across all ranges (router).
+    #[serde(default)]
+    pub replicas: u64,
+    /// Replica links currently connected and in rotation (router).
+    #[serde(default)]
+    pub replicas_up: u64,
     /// Which catalogue slice this process serves, when sharded.
     #[serde(default)]
     pub shard: Option<ShardSpec>,
@@ -548,6 +574,12 @@ mod tests {
             overload_rejected: 5,
             shard_failures: 1,
             reconnects: 4,
+            failovers: 6,
+            retries: 7,
+            epoch_refusals: 2,
+            faults_injected: 3,
+            replicas: 4,
+            replicas_up: 3,
             shards: vec![StatsReport {
                 role: ROLE_DAEMON.to_string(),
                 batches: 9,
@@ -558,6 +590,16 @@ mod tests {
         };
         let back = decode_response(&encode(&Response::stats(1, stats.clone()))).unwrap();
         assert_eq!(back.stats, Some(stats));
+        // A pre-replication stats payload (no failover fields) still
+        // parses, with the new counters defaulting to zero.
+        let old =
+            decode_response("{\"id\":1,\"stats\":{\"v\":1,\"role\":\"router\",\"requests\":5}}")
+                .unwrap();
+        let old = old.stats.unwrap();
+        assert_eq!(
+            (old.requests, old.failovers, old.retries, old.replicas),
+            (5, 0, 0, 0)
+        );
     }
 
     #[test]

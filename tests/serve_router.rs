@@ -6,10 +6,19 @@
 //! produces — same items, same score bits, every policy. The k-way merge
 //! must agree with a brute-force argsort over the concatenated shard
 //! lists (property-tested, ties included). Failure must always be typed:
-//! a dead shard yields `partial_result`, an exhausted admission budget
+//! a dead range yields `partial_result`, an exhausted admission budget
 //! `overloaded`, a future protocol version `unsupported_version` — and
-//! never a hang. `health`/`stats` aggregate per-shard reports under the
-//! router's own, flagging dead shards and mixed training epochs.
+//! never a hang. `health`/`stats` aggregate per-replica reports under the
+//! router's own, flagging dead ranges and mixed training epochs.
+//!
+//! With **replica groups** the guarantee strengthens: killing one replica
+//! of a range mid-traffic must cause *zero* client-visible failures —
+//! every affected request fails over to the surviving twin and the output
+//! stays bit-identical — and `partial_result` surfaces only when every
+//! replica of a range is down. Replica selection is a pure function
+//! (property-tested deterministic) and the failover paths are driven
+//! deterministically by scripted `FaultPlan`s instead of wall-clock
+//! races.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -18,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use bpmf::serve::coalesce::CoalesceConfig;
 use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+use bpmf::serve::faults::FaultPlan;
 use bpmf::serve::router::{self, RouterConfig, RouterReport};
 use bpmf::serve::shard::{merge_top_n, shard_ranges, slice_train_columns, ShardSpec, ShardView};
 use bpmf::serve::{wire, RankPolicy, RecommendService, ServeRequest};
@@ -94,66 +104,103 @@ fn shard_daemon_cfg() -> DaemonConfig {
     }
 }
 
-/// Run `f` against a live sharded cluster: `epochs.len()` shard daemons
-/// (each serving its NC-aligned slice, stamped with its epoch) behind one
-/// router. `f` gets the router's address, the shard addresses, and each
-/// shard's shutdown flag (so tests can kill one mid-run). Returns the
-/// router's report after a drained shutdown.
-fn with_cluster(
-    epochs: &[u64],
+/// Run `f` against a live replicated cluster: one replica group per entry
+/// of `group_epochs`, each inner slice spawning one shard daemon per
+/// replica (all replicas of a range serve the same NC-aligned slice,
+/// each stamped with its own epoch so tests can manufacture divergence).
+/// `f` gets the router's address, the per-group replica addresses, and
+/// each replica's shutdown flag (so tests can kill one mid-run). An
+/// optional per-(group, replica) `FaultPlan` scripts daemon-side chaos.
+/// Returns the router's report after a drained shutdown.
+fn with_replicated_cluster(
+    group_epochs: &[&[u64]],
     cfg: RouterConfig,
-    f: impl FnOnce(SocketAddr, &[SocketAddr], &[AtomicBool]),
+    daemon_faults: &dyn Fn(usize, usize) -> Option<FaultPlan>,
+    f: impl FnOnce(SocketAddr, &[Vec<SocketAddr>], &[Vec<AtomicBool>]),
 ) -> RouterReport {
-    let num_shards = epochs.len();
+    let num_ranges = group_epochs.len();
     let (model, train) = world_fixture();
-    let specs: Vec<ShardSpec> = (0..num_shards)
-        .map(|i| ShardSpec::for_shard(i as u32, num_shards as u32, N_ITEMS, epochs[i]))
+    // One catalogue slice per *range*; replicas of a range share it.
+    let range_specs: Vec<ShardSpec> = (0..num_ranges)
+        .map(|g| ShardSpec::for_shard(g as u32, num_ranges as u32, N_ITEMS, 0))
         .collect();
-    let views: Vec<ShardView<'_>> = specs
+    let views: Vec<ShardView<'_>> = range_specs
         .iter()
         .map(|s| ShardView::new(&model, s.item_lo as usize, s.item_hi as usize))
         .collect();
-    let trains: Vec<Csr> = specs
+    let trains: Vec<Csr> = range_specs
         .iter()
         .map(|s| slice_train_columns(&train, s.item_lo as usize, s.item_hi as usize))
         .collect();
-    let worlds: Vec<ServingModel<'_>> = specs
+    let worlds: Vec<Vec<ServingModel<'_>>> = group_epochs
         .iter()
-        .zip(&views)
-        .zip(&trains)
-        .map(|((spec, view), local)| ServingModel {
-            model: view,
-            train: Some(local),
-            n_users: N_USERS,
-            n_items: spec.width(),
-            shard: Some(*spec),
+        .enumerate()
+        .map(|(g, eps)| {
+            eps.iter()
+                .map(|&epoch| ServingModel {
+                    model: &views[g],
+                    train: Some(&trains[g]),
+                    n_users: N_USERS,
+                    n_items: range_specs[g].width(),
+                    shard: Some(ShardSpec {
+                        epoch,
+                        ..range_specs[g]
+                    }),
+                })
+                .collect()
         })
         .collect();
-    let listeners: Vec<TcpListener> = (0..num_shards)
-        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind shard"))
+    let listeners: Vec<Vec<TcpListener>> = group_epochs
+        .iter()
+        .map(|eps| {
+            eps.iter()
+                .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind shard"))
+                .collect()
+        })
         .collect();
-    let shard_addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+    let shard_addrs: Vec<Vec<SocketAddr>> = listeners
+        .iter()
+        .map(|row| row.iter().map(|l| l.local_addr().unwrap()).collect())
+        .collect();
+    let groups: Vec<Vec<String>> = shard_addrs
+        .iter()
+        .map(|row| row.iter().map(|a| a.to_string()).collect())
+        .collect();
     let router_listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
     let router_addr = router_listener.local_addr().unwrap();
-    let shard_stops: Vec<AtomicBool> = (0..num_shards).map(|_| AtomicBool::new(false)).collect();
+    let shard_stops: Vec<Vec<AtomicBool>> = group_epochs
+        .iter()
+        .map(|eps| eps.iter().map(|_| AtomicBool::new(false)).collect())
+        .collect();
     let router_stop = AtomicBool::new(false);
-    let daemon_cfg = shard_daemon_cfg();
-    let shard_strings: Vec<String> = shard_addrs.iter().map(|a| a.to_string()).collect();
+    let daemon_cfgs: Vec<Vec<DaemonConfig>> = (0..num_ranges)
+        .map(|g| {
+            (0..group_epochs[g].len())
+                .map(|r| DaemonConfig {
+                    faults: daemon_faults(g, r),
+                    ..shard_daemon_cfg()
+                })
+                .collect()
+        })
+        .collect();
 
     let mut report = None;
     std::thread::scope(|s| {
         let _guards: Vec<StopOnDrop<'_>> = shard_stops
             .iter()
+            .flatten()
             .chain(std::iter::once(&router_stop))
             .map(StopOnDrop)
             .collect();
-        for ((world, listener), stop) in worlds.iter().zip(listeners).zip(&shard_stops) {
-            let daemon_cfg = &daemon_cfg;
-            s.spawn(move || daemon::serve(world, listener, daemon_cfg, stop));
+        for (g, listener_row) in listeners.into_iter().enumerate() {
+            for (r, listener) in listener_row.into_iter().enumerate() {
+                let (world, dcfg, stop) = (&worlds[g][r], &daemon_cfgs[g][r], &shard_stops[g][r]);
+                s.spawn(move || daemon::serve(world, listener, dcfg, stop));
+            }
         }
         let router_handle = {
-            let (shard_strings, cfg, router_stop) = (&shard_strings, &cfg, &router_stop);
-            s.spawn(move || router::serve(router_listener, shard_strings, cfg, router_stop))
+            let (groups, cfg, router_stop) = (&groups, &cfg, &router_stop);
+            s.spawn(move || router::serve(router_listener, groups, cfg, router_stop))
         };
         f(router_addr, &shard_addrs, &shard_stops);
         router_stop.store(true, Ordering::Relaxed);
@@ -163,11 +210,26 @@ fn with_cluster(
                 .expect("router thread")
                 .expect("router io"),
         );
-        for stop in &shard_stops {
+        for stop in shard_stops.iter().flatten() {
             stop.store(true, Ordering::Relaxed);
         }
     });
     report.unwrap()
+}
+
+/// The single-replica-per-range cluster the pre-replication tests were
+/// written against: `epochs.len()` shard daemons behind one router.
+fn with_cluster(
+    epochs: &[u64],
+    cfg: RouterConfig,
+    f: impl FnOnce(SocketAddr, &[SocketAddr], &[&AtomicBool]),
+) -> RouterReport {
+    let groups: Vec<&[u64]> = epochs.iter().map(std::slice::from_ref).collect();
+    with_replicated_cluster(&groups, cfg, &|_, _| None, |router, addrs, stops| {
+        let flat_addrs: Vec<SocketAddr> = addrs.iter().map(|row| row[0]).collect();
+        let flat_stops: Vec<&AtomicBool> = stops.iter().map(|row| &row[0]).collect();
+        f(router, &flat_addrs, &flat_stops);
+    })
 }
 
 /// Wait until the router has every shard link up (it refuses recommend
@@ -539,4 +601,279 @@ fn health_and_stats_aggregate_across_shards_and_flag_epoch_skew() {
         assert_eq!(skew.severity, wire::SEV_WARNING);
         assert!(skew.detail.contains('3') && skew.detail.contains('9'));
     });
+}
+
+// ---------------------------------------------------------------------------
+// Replica groups: failover, retry budgets, scripted faults
+// ---------------------------------------------------------------------------
+
+fn stats_at(router: SocketAddr) -> wire::StatsReport {
+    round_trip(
+        router,
+        &wire::Request {
+            cmd: wire::CMD_STATS.to_string(),
+            ..wire::Request::default()
+        },
+    )
+    .stats
+    .expect("stats payload")
+}
+
+fn health_at(router: SocketAddr) -> wire::HealthReport {
+    round_trip(
+        router,
+        &wire::Request {
+            cmd: wire::CMD_HEALTH.to_string(),
+            ..wire::Request::default()
+        },
+    )
+    .health
+    .expect("health payload")
+}
+
+/// The kill-one-replica drill: 2 ranges x 2 replicas, a replica of range
+/// 0 dies mid-pipeline, and every single client reply must still be
+/// error-free and bit-identical to the offline full-catalogue reference.
+/// This is the replication contract: one death is invisible.
+#[test]
+fn killed_replica_fails_over_with_zero_client_errors() {
+    let (model, train) = world_fixture();
+    let mut full = RecommendService::new(&model, N_ITEMS).exclude_seen(&train);
+
+    let report = with_replicated_cluster(
+        &[&[4, 4], &[4, 4]],
+        RouterConfig::default(),
+        &|_, _| None,
+        |router, _, stops| {
+            wait_ready(router);
+            let baseline = stats_at(router).shard_failures;
+
+            let (mut stream, mut reader) = connect(router);
+            let total = 60usize;
+            for i in 0..total {
+                let req = wire::Request {
+                    v: wire::WIRE_VERSION,
+                    id: i as u64 + 1,
+                    cmd: wire::CMD_RECOMMEND.to_string(),
+                    user: Some((i % N_USERS) as u32),
+                    top_n: 7,
+                    policy: "ucb:0.5".to_string(),
+                    exclude_seen: Some(true),
+                };
+                writeln!(stream, "{}", wire::encode(&req)).expect("pipeline request");
+                if i == 10 {
+                    // Kill replica 1 of range 0 with a third of the
+                    // pipeline still unanswered.
+                    stops[0][1].store(true, Ordering::Relaxed);
+                }
+            }
+            for _ in 0..total {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("read reply");
+                assert!(!line.is_empty(), "router closed mid-drill");
+                let resp = wire::decode_response(&line).expect("parseable reply");
+                assert_eq!(
+                    resp.error, None,
+                    "client-visible failure during single-replica death: {resp:?}"
+                );
+                let req = ServeRequest {
+                    user: resp.user,
+                    top_n: 7,
+                    policy: RankPolicy::Ucb { beta: 0.5 },
+                    exclude_seen: true,
+                };
+                let want = full.recommend_each(std::slice::from_ref(&req)).remove(0);
+                assert_eq!(resp.items.len(), want.len(), "user {}", resp.user);
+                for (g, w) in resp.items.iter().zip(&want) {
+                    assert_eq!(g.item, w.item, "user {}", resp.user);
+                    assert_eq!(
+                        g.score.to_bits(),
+                        w.score.to_bits(),
+                        "user {}: {} vs {}",
+                        resp.user,
+                        g.score,
+                        w.score
+                    );
+                }
+            }
+            // Failed-over requests are not failures: nothing was refused.
+            assert_eq!(stats_at(router).shard_failures, baseline);
+        },
+    );
+    assert!(
+        report.requests >= 61,
+        "router answered {} requests",
+        report.requests
+    );
+}
+
+/// When *every* replica of a range is gone the retry budget runs dry and
+/// the refusal is typed `partial_result` — never a hang, never items from
+/// half a catalogue. Health then reports the whole tier down (this was
+/// its only range) with both `replica_down` and `shard_down` on record.
+#[test]
+fn all_replicas_down_exhausts_the_retry_budget_into_typed_partial_result() {
+    let cfg = RouterConfig {
+        request_timeout: Duration::from_millis(800),
+        ..RouterConfig::default()
+    };
+    let report = with_replicated_cluster(&[&[2, 2]], cfg, &|_, _| None, |router, _, stops| {
+        wait_ready(router);
+        stops[0][0].store(true, Ordering::Relaxed);
+        stops[0][1].store(true, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(15);
+        let failure = loop {
+            let resp = round_trip(router, &wire::Request::recommend(4, 4));
+            if resp.error.is_some() {
+                break resp;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "router kept answering after every replica died"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert_eq!(
+            failure.code.as_deref(),
+            Some(wire::CODE_PARTIAL_RESULT),
+            "error: {:?}",
+            failure.error
+        );
+        assert!(failure.items.is_empty());
+
+        let health = health_at(router);
+        assert_eq!(health.status, wire::STATUS_DOWN, "its only range is gone");
+        assert!(health
+            .diagnostics
+            .iter()
+            .any(|d| d.code == wire::CODE_SHARD_DOWN && d.severity == wire::SEV_ERROR));
+        assert!(health
+            .diagnostics
+            .iter()
+            .any(|d| d.code == wire::CODE_REPLICA_DOWN));
+    });
+    assert!(report.shard_failures >= 1);
+}
+
+/// A scripted daemon-side fault (`close@2%2`: sever the connection on
+/// every second recommend) forces genuine mid-flight link deaths, and the
+/// router must absorb every one of them by retrying on the clean twin —
+/// zero client-visible errors, nonzero failover/retry/fault counters.
+#[test]
+fn scripted_link_kills_drive_transparent_failover() {
+    let report = with_replicated_cluster(
+        &[&[6, 6]],
+        RouterConfig::default(),
+        &|g, r| {
+            // Only replica 0 misbehaves; its twin stays clean so every
+            // severed request has somewhere to go.
+            (g == 0 && r == 0).then(|| FaultPlan::parse("close@2%2").expect("valid plan"))
+        },
+        |router, _, _| {
+            wait_ready(router);
+            for i in 0..30u64 {
+                let resp = round_trip(router, &wire::Request::recommend(100 + i, (i % 7) as u32));
+                assert_eq!(resp.error, None, "request {i} leaked a fault to the client");
+                assert!(!resp.items.is_empty());
+            }
+            let stats = stats_at(router);
+            assert_eq!(stats.replicas, 2);
+            assert!(stats.failovers >= 1, "stats: {stats:?}");
+            assert!(stats.retries >= 1, "stats: {stats:?}");
+            let daemon_faults: u64 = stats.shards.iter().map(|s| s.faults_injected).sum();
+            assert!(daemon_faults >= 1, "the plan never fired");
+        },
+    );
+    assert!(report.failovers >= 1);
+    assert!(report.retries >= 1);
+}
+
+/// Router-side fault hooks are live and counted: a `delay` plan on every
+/// request injects without ever surfacing to clients.
+#[test]
+fn router_fault_plan_injects_and_counts_without_client_impact() {
+    let cfg = RouterConfig {
+        faults: Some(FaultPlan::parse("delay:1@1%1").expect("valid plan")),
+        ..RouterConfig::default()
+    };
+    let report = with_replicated_cluster(&[&[1]], cfg, &|_, _| None, |router, _, _| {
+        wait_ready(router);
+        for i in 0..5u64 {
+            let resp = round_trip(router, &wire::Request::recommend(200 + i, 3));
+            assert_eq!(resp.error, None);
+        }
+        let stats = stats_at(router);
+        assert!(stats.faults_injected >= 6, "stats: {stats:?}");
+    });
+    assert!(report.faults_injected >= 6);
+}
+
+/// A replica whose checkpoint epoch diverges from its group is
+/// quarantined, not served: requests keep flowing through the pinned
+/// replica, health degrades with a typed `epoch_mismatch`, and the
+/// refusal is counted.
+#[test]
+fn divergent_replica_epoch_is_quarantined_not_served() {
+    with_replicated_cluster(
+        &[&[3, 9]],
+        RouterConfig::default(),
+        &|_, _| None,
+        |router, _, _| {
+            wait_ready(router);
+            let resp = round_trip(router, &wire::Request::recommend(1, 5));
+            assert_eq!(resp.error, None, "the pinned replica still serves");
+
+            // The divergent twin's refusal lands on the sweep schedule;
+            // poll until it is on the books.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let stats = loop {
+                let stats = stats_at(router);
+                if stats.epoch_refusals >= 1 {
+                    break stats;
+                }
+                assert!(Instant::now() < deadline, "divergent replica never refused");
+                std::thread::sleep(Duration::from_millis(20));
+            };
+            assert_eq!(stats.replicas, 2);
+            assert_eq!(
+                stats.replicas_up, 1,
+                "the divergent twin is out of rotation"
+            );
+
+            let health = health_at(router);
+            assert_eq!(health.status, wire::STATUS_DEGRADED);
+            assert!(health
+                .diagnostics
+                .iter()
+                .any(|d| d.code == wire::CODE_EPOCH_MISMATCH && d.severity == wire::SEV_ERROR));
+        },
+    );
+}
+
+proptest! {
+    /// Replica selection is a pure function: same health/load snapshot in,
+    /// same pick out — least-loaded wins, ties break to the lowest index,
+    /// and `None` exactly when nothing is healthy. This is what makes the
+    /// failover drills reproducible under fixed seeds.
+    #[test]
+    fn replica_selection_is_deterministic_and_least_loaded(
+        states in proptest::collection::vec((any::<bool>(), 0usize..100), 0..12),
+    ) {
+        let pick = router::select_replica(&states);
+        prop_assert_eq!(pick, router::select_replica(&states), "must be deterministic");
+        match pick {
+            None => prop_assert!(states.iter().all(|&(healthy, _)| !healthy)),
+            Some(r) => {
+                prop_assert!(states[r].0);
+                let best = states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.0)
+                    .map(|(i, s)| (s.1, i))
+                    .min()
+                    .expect("some healthy replica");
+                prop_assert_eq!((states[r].1, r), best);
+            }
+        }
+    }
 }
