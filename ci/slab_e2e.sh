@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Out-of-core gate: pack a MatrixMarket file into an mmap'd CSR slab, then
+# prove the slab path is a transparent stand-in for the in-RAM path —
+# bit-identical training traces, working checkpoint/resume, a mini-batch
+# SG-MCMC smoke run, and a serving daemon whose rankings match the
+# offline in-RAM reference byte for byte.
+#
+# Run from the repo root after `cargo build --release --workspace`.
+# Honors BPMF_NO_SIMD=1, so CI runs it once per dispatch arm.
+set -euo pipefail
+
+BIN=target/release/bpmf-train
+GEN=target/release/gen_mtx
+[ -x "$BIN" ] && [ -x "$GEN" ] || {
+    echo "release binaries missing; run: cargo build --release --workspace" >&2
+    exit 1
+}
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Same launch helper as ci/daemon_e2e.sh: background the server with
+# stdout on a FIFO and block until it announces `serving on HOST:PORT`.
+launch_server() {
+    local err=$1 fifo fd line waited=0
+    shift
+    fifo=$(mktemp -u "$WORK/port.XXXXXX")
+    mkfifo "$fifo"
+    "$@" >"$fifo" 2>"$err" &
+    LAUNCH_PID=$!
+    LAUNCH_ADDR=""
+    exec {fd}<"$fifo"
+    while [ "$waited" -lt 120 ]; do
+        if IFS= read -r -t 2 -u "$fd" line; then
+            case "$line" in
+            "serving on "*)
+                LAUNCH_ADDR=${line#serving on }
+                break
+                ;;
+            esac
+            continue
+        elif [ $? -le 128 ]; then
+            break # EOF: the server closed stdout (crashed) pre-announce
+        fi
+        kill -0 "$LAUNCH_PID" 2>/dev/null || break
+        waited=$((waited + 2))
+    done
+    [ -n "$LAUNCH_ADDR" ] || {
+        echo "server exited or never announced an address ($*)" >&2
+        cat "$err" >&2
+        exit 1
+    }
+}
+
+"$GEN" --out "$WORK/ratings.mtx" --kind chembl --scale 0.003 --seed 31
+
+echo "== pack: MatrixMarket -> slab (+ held-out split)"
+"$BIN" pack --train "$WORK/ratings.mtx" --out "$WORK/ratings.slab" \
+    --blocks 4 --test-out "$WORK/test.mtx" --test-fraction 0.2 --seed 9
+[ -s "$WORK/ratings.slab" ] && [ -s "$WORK/test.mtx" ]
+
+# Pack's split uses the same seed derivation as in-process splitting, so
+# an in-RAM run on the raw .mtx with the same --seed/--test-fraction
+# trains on exactly the ratings the slab holds.
+SLAB_ARGS=(--train "$WORK/ratings.slab" --test "$WORK/test.mtx")
+RAM_ARGS=(--train "$WORK/ratings.mtx" --test-fraction 0.2)
+FIT_ARGS=(--k 6 --burnin 2 --samples 4 --threads 1 --seed 9)
+
+echo "== slab-trained Gibbs chain is bit-identical to in-RAM"
+"$BIN" "${SLAB_ARGS[@]}" "${FIT_ARGS[@]}" | cut -f1-3 >"$WORK/slab.trace"
+"$BIN" "${RAM_ARGS[@]}" "${FIT_ARGS[@]}" | cut -f1-3 >"$WORK/ram.trace"
+diff -u "$WORK/ram.trace" "$WORK/slab.trace" || {
+    echo "slab training diverged from the in-RAM reference" >&2
+    exit 1
+}
+grep -q "^5	" "$WORK/slab.trace" # all 6 iterations actually ran
+
+echo "== checkpoint + resume straight off the slab"
+"$BIN" "${SLAB_ARGS[@]}" "${FIT_ARGS[@]}" \
+    --checkpoint "$WORK/model.json" --checkpoint-every 2 >/dev/null
+[ -s "$WORK/model.json" ]
+"$BIN" "${SLAB_ARGS[@]}" --k 6 --burnin 2 --samples 6 --threads 1 --seed 9 \
+    --resume "$WORK/model.json" >"$WORK/resumed.trace"
+# Resuming a 6-iteration checkpoint with --samples 6 runs exactly the two
+# extra iterations (6 and 7).
+grep -q "^7	" "$WORK/resumed.trace"
+[ "$(grep -c "^[0-9]" "$WORK/resumed.trace")" -eq 2 ]
+
+echo "== mini-batch SG-MCMC smoke run on the slab"
+"$BIN" "${SLAB_ARGS[@]}" --algorithm sgmcmc --k 6 --burnin 3 --samples 5 \
+    --minibatch 512 --step-size 0.1 --step-decay 0.05 --seed 9 \
+    >"$WORK/sgld.trace" 2>"$WORK/sgld.err"
+grep -q "fitted sgmcmc via sgld-serial" "$WORK/sgld.err"
+grep -q "^7	" "$WORK/sgld.trace"
+# Burn-in rows print NaN for the (not yet started) posterior mean, so
+# only the final row — sample and mean both live — must be finite.
+if tail -n 1 "$WORK/sgld.trace" | grep -qiE "nan|inf"; then
+    echo "sgmcmc produced a non-finite final RMSE" >&2
+    exit 1
+fi
+
+echo "== offline in-RAM reference rankings (same checkpointed model)"
+USERS=()
+for u in $(seq 0 15); do USERS+=(--user "$u"); done
+# Zero further iterations after --resume, so offline (in-RAM) and the
+# slab-backed daemon serve the bit-identical model.
+"$BIN" recommend "${RAM_ARGS[@]}" "${FIT_ARGS[@]}" --resume "$WORK/model.json" \
+    "${USERS[@]}" --top-n 5 --policy mean \
+    | grep -v '^iter' >"$WORK/offline.txt"
+[ -s "$WORK/offline.txt" ]
+
+echo "== daemon trained from the slab serves the same rankings"
+launch_server "$WORK/daemon.err" \
+    "$BIN" serve-daemon "${SLAB_ARGS[@]}" "${FIT_ARGS[@]}" --resume "$WORK/model.json" \
+    --addr 127.0.0.1:0 --batch-window 5 --workers 2 --top-n 5
+DAEMON_PID=$LAUNCH_PID
+ADDR=$LAUNCH_ADDR
+echo "   daemon at $ADDR (pid $DAEMON_PID)"
+
+"$BIN" serve-client --addr "$ADDR" "${USERS[@]}" --top-n 5 --policy mean \
+    >"$WORK/online.txt"
+diff -u "$WORK/offline.txt" "$WORK/online.txt" || {
+    echo "slab-backed daemon rankings diverge from the in-RAM reference" >&2
+    exit 1
+}
+echo "   mean: 16/16 match"
+
+echo "== graceful shutdown"
+"$BIN" serve-client --addr "$ADDR" --shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "slab e2e OK (BPMF_NO_SIMD=${BPMF_NO_SIMD:-unset})"

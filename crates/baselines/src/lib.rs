@@ -55,4 +55,6 @@ pub use metrics::{mae, rmse};
 pub use model::MfModel;
 pub use ranking::{evaluate_ranking, evaluate_ranking_model, RankingReport};
 pub use sgd::{SgdConfig, SgdTrainer};
-pub use unified::{make_trainer, AlsRecommenderTrainer, SgdRecommenderTrainer};
+pub use unified::{
+    make_trainer, AlsRecommenderTrainer, SgdRecommenderTrainer, SgmcmcRecommenderTrainer,
+};

@@ -81,7 +81,8 @@ pub fn evaluate_ranking(
 /// exact machinery online serving uses — including the multi-user
 /// micro-batch path: all evaluable users go through
 /// [`RecommendService::recommend_batch`], so the evaluation pays one GEMM
-/// catalogue pass per 64-user block exactly like production block serving.
+/// catalogue pass per `MICRO_BATCH`-user block exactly like production
+/// block serving.
 pub fn evaluate_ranking_model(
     train: &Csr,
     test: &[(u32, u32, f64)],

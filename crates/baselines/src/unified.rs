@@ -36,9 +36,10 @@ use std::time::Instant;
 
 use bpmf::{
     Algorithm, Bpmf, BpmfError, DistributedTrainer, FitControl, FitReport, IterCallback, IterStats,
-    NoSnapshot, Recommender, TrainData, Trainer,
+    NoSnapshot, Recommender, SgldConfig, SgldSampler, TrainData, Trainer,
 };
 use bpmf_sched::ItemRunner;
+use bpmf_sparse::Csr;
 
 use crate::als::{AlsConfig, AlsTrainer};
 use crate::model::MfModel;
@@ -164,6 +165,22 @@ fn reject_unsupported(spec: &Bpmf, algorithm: Algorithm) -> Result<(), BpmfError
     Ok(())
 }
 
+/// The resident CSR pair behind a [`TrainData`], or a typed refusal: the
+/// point estimators shuffle or sweep the whole matrix and cannot stream
+/// it from an out-of-core store.
+fn require_resident<'a>(
+    data: &TrainData<'a>,
+    algorithm: Algorithm,
+) -> Result<(&'a Csr, &'a Csr), BpmfError> {
+    match (data.r.as_csr(), data.rt.as_csr()) {
+        (Some(r), Some(rt)) => Ok((r, rt)),
+        _ => Err(BpmfError::Unsupported {
+            algorithm,
+            feature: "out-of-core rating stores",
+        }),
+    }
+}
+
 fn baseline_iter_stats(iter: usize, rmse: f64, secs: f64, items: usize) -> IterStats {
     IterStats {
         iter,
@@ -225,9 +242,10 @@ impl Trainer for AlsRecommenderTrainer {
         callback: &mut dyn IterCallback,
     ) -> Result<FitReport, BpmfError> {
         reject_unsupported(&self.spec, Algorithm::Als)?;
+        let (r, rt) = require_resident(data, Algorithm::Als)?;
         let cfg = self.config();
         let sweeps = cfg.sweeps;
-        let mut trainer = AlsTrainer::new(cfg, data.r, data.rt);
+        let mut trainer = AlsTrainer::new(cfg, r, rt);
         let items_per_sweep = data.r.nrows() + data.r.ncols();
         let mut iters = Vec::with_capacity(sweeps);
         let mut early_stopped = false;
@@ -316,10 +334,11 @@ impl Trainer for SgdRecommenderTrainer {
         callback: &mut dyn IterCallback,
     ) -> Result<FitReport, BpmfError> {
         reject_unsupported(&self.spec, Algorithm::Sgd)?;
+        let (r, _) = require_resident(data, Algorithm::Sgd)?;
         let cfg = self.config();
         let epochs = cfg.epochs;
         let threads = runner.threads().max(1);
-        let mut trainer = SgdTrainer::new(cfg, data.r);
+        let mut trainer = SgdTrainer::new(cfg, r);
         let items_per_epoch = data.r.nrows() + data.r.ncols();
         let mut iters = Vec::with_capacity(epochs);
         let mut early_stopped = false;
@@ -366,17 +385,128 @@ impl Trainer for SgdRecommenderTrainer {
 }
 
 // ---------------------------------------------------------------------------
+// SG-MCMC (SGLD)
+// ---------------------------------------------------------------------------
+
+/// [`Trainer`] adapter over [`bpmf::SgldSampler`]: mini-batch
+/// stochastic-gradient Langevin sampling, at home on out-of-core
+/// [`bpmf::RatingStore`]s (it draws mini-batches instead of sweeping the
+/// matrix), traced epoch-equivalent by epoch-equivalent through the
+/// callback. Leaves an [`MfModel`] of posterior-mean factors behind, so
+/// serving, sharding, and replication work unchanged.
+pub struct SgmcmcRecommenderTrainer {
+    spec: Bpmf,
+    model: Option<MfModel>,
+}
+
+impl SgmcmcRecommenderTrainer {
+    /// Trainer for a validated spec.
+    pub fn new(spec: Bpmf) -> Self {
+        SgmcmcRecommenderTrainer { spec, model: None }
+    }
+
+    /// The fitted model, once `fit` has run.
+    pub fn model(&self) -> Option<&MfModel> {
+        self.model.as_ref()
+    }
+
+    fn config(&self) -> SgldConfig {
+        let d = SgldConfig::default();
+        SgldConfig {
+            num_latent: self.spec.num_latent,
+            alpha: self.spec.alpha,
+            lambda: self.spec.lambda.unwrap_or(d.lambda),
+            step_size: self.spec.sgld_step_size.unwrap_or(d.step_size),
+            step_decay: self.spec.sgld_step_decay.unwrap_or(d.step_decay),
+            minibatch: self.spec.minibatch.unwrap_or(d.minibatch),
+            burnin: self.spec.burnin,
+            samples: self.spec.samples,
+            init_sd: self.spec.init_sd.unwrap_or(d.init_sd),
+            seed: self.spec.seed,
+            rating_bounds: self.spec.rating_bounds,
+        }
+    }
+}
+
+impl Trainer for SgmcmcRecommenderTrainer {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Sgmcmc
+    }
+
+    fn fit(
+        &mut self,
+        data: &TrainData<'_>,
+        _runner: &dyn ItemRunner,
+        callback: &mut dyn IterCallback,
+    ) -> Result<FitReport, BpmfError> {
+        reject_unsupported(&self.spec, Algorithm::Sgmcmc)?;
+        let cfg = self.config();
+        let total = cfg.burnin + cfg.samples;
+        let mut sampler = SgldSampler::try_new(cfg, *data)?;
+        let items_per_epoch = data.r.nrows() + data.r.ncols();
+        let mut iters = Vec::with_capacity(total);
+        let mut early_stopped = false;
+        let t0 = Instant::now();
+        for epoch in 0..total {
+            let e0 = Instant::now();
+            let (rmse_sample, rmse_mean) = sampler.step_epoch();
+            let secs = e0.elapsed().as_secs_f64();
+            let stats = IterStats {
+                iter: epoch,
+                rmse_sample,
+                rmse_mean,
+                items_per_sec: if secs > 0.0 {
+                    items_per_epoch as f64 / secs
+                } else {
+                    0.0
+                },
+                sweep_seconds: secs,
+                busy_fraction: 1.0,
+                steals: 0,
+            };
+            let control = callback.on_iteration(&stats, &NoSnapshot);
+            iters.push(stats);
+            if control == FitControl::Stop {
+                early_stopped = true;
+                break;
+            }
+        }
+        let (u, v) = sampler.posterior_factors();
+        let mut model = MfModel::new(u, v, data.global_mean);
+        model.clip = self.spec.rating_bounds;
+        self.model = Some(model);
+        Ok(FitReport {
+            algorithm: Algorithm::Sgmcmc.to_string(),
+            engine: "sgld-serial".to_string(),
+            parallelism: 1,
+            iters,
+            total_seconds: t0.elapsed().as_secs_f64(),
+            early_stopped,
+        })
+    }
+
+    fn recommender(&self) -> Option<&dyn Recommender> {
+        self.model.as_ref().map(|m| m as &dyn Recommender)
+    }
+
+    fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
+        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
 /// One trainer for any [`Algorithm`]: the dispatch point behind which the
-/// CLI, bench binaries, and examples treat Gibbs, ALS, SGD, and the
-/// paper's distributed sampler uniformly.
+/// CLI, bench binaries, and examples treat Gibbs, ALS, SGD, SG-MCMC, and
+/// the paper's distributed sampler uniformly.
 pub fn make_trainer(spec: &Bpmf) -> Box<dyn Trainer> {
     match spec.algorithm {
         Algorithm::Gibbs => Box::new(spec.gibbs_trainer()),
         Algorithm::Als => Box::new(AlsRecommenderTrainer::new(spec.clone())),
         Algorithm::Sgd => Box::new(SgdRecommenderTrainer::new(spec.clone())),
+        Algorithm::Sgmcmc => Box::new(SgmcmcRecommenderTrainer::new(spec.clone())),
         Algorithm::Distributed => Box::new(DistributedTrainer::new(spec.clone())),
     }
 }

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p bpmf-bench --bin gen_mtx -- \
 //!   --out ratings.mtx [--kind chembl|movielens] [--scale 0.003] [--seed 31]`
 
-use std::io::Write as _;
+use std::io::{BufWriter, Write as _};
 
 fn main() {
     let mut out_path = None;
@@ -33,11 +33,13 @@ fn main() {
         "movielens" => bpmf_dataset::movielens_like(scale, seed),
         other => panic!("unknown kind `{other}` (chembl | movielens)"),
     };
-    let mut buf = Vec::new();
-    bpmf_sparse::write_matrix_market(&mut buf, &ds.train).expect("serialize matrix");
-    let mut file = std::fs::File::create(&out_path)
+    // Stream straight to disk: buffering the whole serialization in RAM
+    // defeats the point of generating out-of-core-sized matrices.
+    let file = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
-    file.write_all(&buf).expect("write matrix");
+    let mut w = BufWriter::new(file);
+    bpmf_sparse::write_matrix_market(&mut w, &ds.train).expect("write matrix");
+    w.flush().expect("flush matrix");
     eprintln!(
         "wrote {out_path}: {} x {}, {} ratings ({kind}, scale {scale}, seed {seed})",
         ds.nrows(),

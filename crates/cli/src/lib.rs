@@ -14,29 +14,50 @@ use bpmf_linalg::Mat;
 /// Usage text.
 pub const USAGE: &str = "\
 bpmf-train — matrix-factorization trainer (BPMF Gibbs / ALS-WR / SGD /
-distributed BPMF) with a posterior-serving mode and a serving daemon
+SG-MCMC / distributed BPMF) with a posterior-serving mode, a serving
+daemon, and an out-of-core slab pipeline
 
 USAGE:
-  bpmf-train --train FILE.mtx [OPTIONS]
-  bpmf-train recommend --train FILE.mtx [OPTIONS] [RECOMMEND OPTIONS]
-  bpmf-train serve-daemon --train FILE.mtx [OPTIONS] [SERVE OPTIONS]
+  bpmf-train --train FILE.mtx|FILE.slab [OPTIONS]
+  bpmf-train pack --train FILE.mtx --out FILE.slab [PACK OPTIONS]
+  bpmf-train recommend --train FILE [OPTIONS] [RECOMMEND OPTIONS]
+  bpmf-train serve-daemon --train FILE [OPTIONS] [SERVE OPTIONS]
   bpmf-train serve-router --shard-addr HOST:PORT... [ROUTER OPTIONS]
   bpmf-train serve-client --addr HOST:PORT [CLIENT OPTIONS]
 
+A `--train` path ending in `.slab` is opened as a packed rating slab and
+memory-mapped instead of parsed: training streams rating blocks from the
+page cache and the matrix never materializes in heap RAM. Slab training
+requires an explicit --test file (the held-out split happens at pack
+time) and cannot serve --exclude-seen or `--shard` (both need the in-RAM
+matrix).
+
+The `pack` subcommand converts a MatrixMarket file into that slab format
+once, so every later run mmaps it in O(1):
+  --out FILE.slab     slab file to write (required)
+  --blocks N          partition extents to precompute (aligns streamed
+                      row ranges with the sampler's scheduler blocks)
+                      [default 8]
+  --test-out T.mtx    also split a held-out set off the input (seeded by
+                      --seed, sized by --test-fraction) and write it as
+                      MatrixMarket; the slab then holds only the training
+                      ratings — pass `--test T.mtx` when training
+
 The `recommend` subcommand trains exactly as above, then serves top-N
 recommendations through the RecommendService layer (results stream out
-as each 64-user micro-batch completes):
+as each micro-batch completes):
   --user N            user to recommend for (repeatable; users are served
                       in micro-batches — a single GEMM catalogue pass per
-                      64-user block) [default: 0]
+                      MICRO_BATCH-user block, sized from the kernel's
+                      cache geometry) [default: 0]
   --top-n N           list length [default 10]
   --exclude-seen      skip items the user already rated in training
   --policy NAME       mean | ucb[:beta] | thompson[:seed] [default mean]
 
 The `serve-daemon` subcommand trains (or resumes a checkpoint), then
 serves recommend requests forever over TCP: newline-delimited JSON
-requests are coalesced into GEMM micro-batches (flush at 64 pending or
-the batch window, whichever first). --top-n/--exclude-seen/--policy
+requests are coalesced into GEMM micro-batches (flush at MICRO_BATCH
+pending or the batch window, whichever first). --top-n/--exclude-seen/--policy
 set the daemon's per-request defaults (--user is not accepted: clients
 name users per request). Prints `serving on HOST:PORT` to stdout
 once ready; stops gracefully on ctrl-c/SIGTERM or a {\"cmd\":\"shutdown\"}
@@ -101,17 +122,25 @@ starts up:
   --shutdown          after any requests, ask the server to shut down
 
 OPTIONS:
-  --train FILE        MatrixMarket training ratings (required)
-  --test FILE         MatrixMarket held-out ratings (same dimensions)
+  --train FILE        MatrixMarket (.mtx) or packed slab (.slab) training
+                      ratings (required)
+  --test FILE         MatrixMarket held-out ratings (same dimensions;
+                      required when --train is a .slab)
   --test-fraction F   split F of --train off as the test set [default 0.1]
-  --algorithm NAME    gibbs | als | sgd | distributed [default gibbs]
+  --algorithm NAME    gibbs | als | sgd | sgmcmc | distributed
+                      [default gibbs]
   --k N               latent dimension [default 16]
-  --burnin N          burn-in iterations (gibbs) [default 8]
-  --samples N         averaged sampling iterations (gibbs) [default 24]
+  --burnin N          burn-in iterations (gibbs/sgmcmc) [default 8]
+  --samples N         averaged sampling iterations (gibbs/sgmcmc)
+                      [default 24]
   --sweeps N          full U+V sweeps (als) [default 20]
   --epochs N          epochs (sgd) [default 30]
-  --lambda X          ridge strength (als/sgd) [algorithm default]
+  --lambda X          ridge strength (als/sgd/sgmcmc) [algorithm default]
   --learning-rate X   initial learning rate (sgd) [default 0.01]
+  --minibatch N       ratings per SGLD mini-batch (sgmcmc) [default 1024]
+  --step-size X       initial SGLD step size (sgmcmc) [default 0.1]
+  --step-decay X      inverse-time SGLD step decay per epoch-equivalent
+                      (sgmcmc) [default 0.05]
   --min-rating X      clamp predictions below X (use with --max-rating)
   --max-rating X      clamp predictions above X (use with --min-rating)
   --threads N         worker threads [default: all cores]
@@ -135,6 +164,8 @@ pub enum Command {
     /// Train and report (the default).
     #[default]
     Train,
+    /// Pack a MatrixMarket file into the mmap-able slab format.
+    Pack,
     /// Train, then serve top-N recommendations through `RecommendService`.
     Recommend,
     /// Train, then run the persistent TCP serving daemon.
@@ -254,10 +285,22 @@ pub struct Options {
     pub sweeps: Option<usize>,
     /// Epochs (SGD), if overridden.
     pub epochs: Option<usize>,
-    /// Ridge strength (ALS/SGD), if overridden.
+    /// Ridge strength (ALS/SGD/SG-MCMC), if overridden.
     pub lambda: Option<f64>,
     /// Initial learning rate (SGD), if overridden.
     pub learning_rate: Option<f64>,
+    /// Ratings per SGLD mini-batch (SG-MCMC), if overridden.
+    pub minibatch: Option<usize>,
+    /// Initial SGLD step size (SG-MCMC), if overridden.
+    pub step_size: Option<f64>,
+    /// Inverse-time SGLD step decay (SG-MCMC), if overridden.
+    pub step_decay: Option<f64>,
+    /// `pack`: slab file to write.
+    pub pack_out: Option<String>,
+    /// `pack`: partition extents to precompute in the slab.
+    pub pack_blocks: usize,
+    /// `pack`: also write a held-out MatrixMarket split here.
+    pub test_out: Option<String>,
     /// Lower rating clamp.
     pub min_rating: Option<f64>,
     /// Upper rating clamp.
@@ -332,6 +375,12 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         epochs: None,
         lambda: None,
         learning_rate: None,
+        minibatch: None,
+        step_size: None,
+        step_decay: None,
+        pack_out: None,
+        pack_blocks: 8,
+        test_out: None,
         min_rating: None,
         max_rating: None,
         threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
@@ -347,6 +396,10 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     };
     let mut args = args;
     match args.first().map(String::as_str) {
+        Some("pack") => {
+            opts.command = Command::Pack;
+            args = &args[1..];
+        }
         Some("recommend") => {
             opts.command = Command::Recommend;
             args = &args[1..];
@@ -366,6 +419,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         _ => {}
     }
     let mut recommend_flag: Option<&String> = None;
+    let mut pack_flag: Option<&String> = None;
     let mut daemon_flag: Option<&String> = None;
     let mut client_flag: Option<&String> = None;
     let mut router_flag: Option<&String> = None;
@@ -394,6 +448,27 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             return Err(CliError::new(format!(
                 "{flag} is not valid with `serve-client` (valid flags: --addr --user \
                  --top-n --exclude-seen --policy --health --stats --shutdown)"
+            )));
+        }
+        // `pack` is a pure format conversion: a training or serving flag
+        // here would be a silent no-op, so reject anything outside its
+        // small vocabulary up front.
+        if opts.command == Command::Pack
+            && !matches!(
+                flag.as_str(),
+                "--help"
+                    | "-h"
+                    | "--train"
+                    | "--out"
+                    | "--blocks"
+                    | "--test-out"
+                    | "--test-fraction"
+                    | "--seed"
+            )
+        {
+            return Err(CliError::new(format!(
+                "{flag} is not valid with `pack` (valid flags: --train --out \
+                 --blocks --test-out --test-fraction --seed)"
             )));
         }
         // The router never trains either: same up-front rejection.
@@ -443,6 +518,29 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--epochs" => opts.epochs = Some(parse_num(flag, value()?)?),
             "--lambda" => opts.lambda = Some(parse_num(flag, value()?)?),
             "--learning-rate" => opts.learning_rate = Some(parse_num(flag, value()?)?),
+            "--minibatch" => {
+                opts.minibatch = Some(parse_num(flag, value()?)?);
+                if opts.minibatch == Some(0) {
+                    return Err(CliError::new("--minibatch must be positive"));
+                }
+            }
+            "--step-size" => opts.step_size = Some(parse_num(flag, value()?)?),
+            "--step-decay" => opts.step_decay = Some(parse_num(flag, value()?)?),
+            "--out" => {
+                pack_flag = Some(flag);
+                opts.pack_out = Some(value()?.clone());
+            }
+            "--blocks" => {
+                pack_flag = Some(flag);
+                opts.pack_blocks = parse_num(flag, value()?)?;
+                if opts.pack_blocks == 0 {
+                    return Err(CliError::new("--blocks must be positive"));
+                }
+            }
+            "--test-out" => {
+                pack_flag = Some(flag);
+                opts.test_out = Some(value()?.clone());
+            }
             "--min-rating" => opts.min_rating = Some(parse_num(flag, value()?)?),
             "--max-rating" => opts.max_rating = Some(parse_num(flag, value()?)?),
             "--threads" => opts.threads = parse_num(flag, value()?)?,
@@ -634,6 +732,16 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                 "{flag} is only valid with the `serve-client` subcommand"
             )));
         }
+    }
+    if opts.command != Command::Pack {
+        if let Some(flag) = pack_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `pack` subcommand"
+            )));
+        }
+    }
+    if opts.command == Command::Pack && opts.pack_out.is_none() {
+        return Err(CliError::new("pack requires --out FILE.slab"));
     }
     // The daemon serves whatever users clients request; a --user on its
     // command line would be silently meaningless.
@@ -1183,6 +1291,47 @@ mod tests {
         // Client-only flags are rejected elsewhere.
         assert!(parse_args(&argv("serve-daemon --train a.mtx --health")).is_err());
         assert!(parse_args(&argv("serve-router --shard-addr a:1 --stats")).is_err());
+    }
+
+    #[test]
+    fn pack_subcommand_parses() {
+        let opts = parse_args(&argv(
+            "pack --train r.mtx --out r.slab --blocks 4 --test-out t.mtx \
+             --test-fraction 0.2 --seed 9",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.command, Command::Pack);
+        assert_eq!(opts.pack_out.as_deref(), Some("r.slab"));
+        assert_eq!(opts.pack_blocks, 4);
+        assert_eq!(opts.test_out.as_deref(), Some("t.mtx"));
+        assert_eq!(opts.test_fraction, 0.2);
+        assert_eq!(opts.seed, 9);
+        // --out is required, --blocks must be positive, and training or
+        // serving flags are rejected rather than silently ignored.
+        assert!(parse_args(&argv("pack --train r.mtx")).is_err());
+        assert!(parse_args(&argv("pack --train r.mtx --out r.slab --blocks 0")).is_err());
+        assert!(parse_args(&argv("pack --train r.mtx --out r.slab --k 8")).is_err());
+        assert!(parse_args(&argv("pack --train r.mtx --out r.slab --addr a:1")).is_err());
+        // Pack-only flags need the subcommand.
+        assert!(parse_args(&argv("--train r.mtx --out r.slab")).is_err());
+        assert!(parse_args(&argv("--train r.mtx --blocks 4")).is_err());
+        assert!(parse_args(&argv("--train r.mtx --test-out t.mtx")).is_err());
+    }
+
+    #[test]
+    fn sgmcmc_flags_parse() {
+        let opts = parse_args(&argv(
+            "--train a.slab --test t.mtx --algorithm sgmcmc --minibatch 512 \
+             --step-size 0.05 --step-decay 0.1",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.algorithm, Algorithm::Sgmcmc);
+        assert_eq!(opts.minibatch, Some(512));
+        assert_eq!(opts.step_size, Some(0.05));
+        assert_eq!(opts.step_decay, Some(0.1));
+        assert!(parse_args(&argv("--train a.mtx --minibatch 0")).is_err());
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! `bpmf-train` — train (and serve) a recommender on a MatrixMarket
 //! rating matrix.
 //!
-//! One binary, four algorithms: BPMF Gibbs sampling (default), ALS-WR,
-//! biased SGD, and the paper's distributed BPMF (`--algorithm
-//! distributed`, ranks = `--threads`), all dispatched through the unified
-//! `Bpmf::builder()` → `Trainer` → `Recommender` facade. Prints
-//! per-iteration RMSE as training streams through an `IterCallback` and
-//! can write the fitted factors for downstream ranking. The `recommend`
-//! subcommand additionally serves filtered top-N lists through
-//! `bpmf::serve::RecommendService`; `serve-daemon` keeps the fitted model
-//! resident and serves request-coalesced traffic over TCP
+//! One binary, five algorithms: BPMF Gibbs sampling (default), ALS-WR,
+//! biased SGD, mini-batch SG-MCMC (`--algorithm sgmcmc`, SGLD), and the
+//! paper's distributed BPMF (`--algorithm distributed`, ranks =
+//! `--threads`), all dispatched through the unified `Bpmf::builder()` →
+//! `Trainer` → `Recommender` facade. Prints per-iteration RMSE as
+//! training streams through an `IterCallback` and can write the fitted
+//! factors for downstream ranking. The `pack` subcommand converts a
+//! MatrixMarket file into the mmap-ready CSR slab format; passing
+//! `--train FILE.slab` afterwards trains out-of-core off the mapping
+//! (`bpmf::store::MappedSlab`), bit-identical to the in-RAM run. The
+//! `recommend` subcommand additionally serves filtered top-N lists
+//! through `bpmf::serve::RecommendService`; `serve-daemon` keeps the
+//! fitted model resident and serves request-coalesced traffic over TCP
 //! (`bpmf::serve::daemon`); `serve-router` scatter-gathers the same wire
 //! protocol across a fleet of `--shard i/N` daemons
 //! (`bpmf::serve::router`); `serve-client` is the matching test/ops
@@ -48,7 +52,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use bpmf::checkpoint::SamplerCheckpoint;
+use bpmf::checkpoint::{AsyncCheckpointWriter, SamplerCheckpoint};
 use bpmf::serve::coalesce::CoalesceConfig;
 use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
 use bpmf::serve::faults::FaultPlan;
@@ -56,10 +60,13 @@ use bpmf::serve::net;
 use bpmf::serve::router::{self, RouterConfig};
 use bpmf::serve::shard::{slice_train_columns, ShardSpec, ShardView};
 use bpmf::serve::{wire, RankPolicy, RecommendService, ServeRequest, MICRO_BATCH};
-use bpmf::{Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats, Trainer};
+use bpmf::{
+    Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats, MappedSlab, RatingStore,
+    Trainer,
+};
 use bpmf_baselines::make_trainer;
 use bpmf_cli::{parse_args, CliError, Command, Options};
-use bpmf_sparse::{read_matrix_market, Csr};
+use bpmf_sparse::{read_matrix_market, slab_extents, write_matrix_market, write_slab, Csr};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +83,7 @@ fn main() -> ExitCode {
         }
     };
     let result = match opts.command {
+        Command::Pack => run_pack(&opts),
         Command::ServeClient => run_client(&opts),
         Command::ServeRouter => run_router(&opts),
         _ => run(&opts),
@@ -90,8 +98,9 @@ fn main() -> ExitCode {
 }
 
 /// Streams per-iteration stats to stdout, collects the RMSE trace for
-/// diagnostics, and writes periodic + final checkpoints from the trainer's
-/// snapshots.
+/// diagnostics, and hands periodic checkpoints to the background
+/// [`AsyncCheckpointWriter`] (training never stalls on checkpoint I/O; the
+/// final checkpoint is still written synchronously after the run).
 struct CliCallback<'a> {
     out: std::io::StdoutLock<'a>,
     trace: Vec<f64>,
@@ -99,6 +108,7 @@ struct CliCallback<'a> {
     total_iterations: usize,
     checkpoint: Option<&'a str>,
     checkpoint_every: Option<usize>,
+    checkpoint_writer: Option<&'a AsyncCheckpointWriter>,
     final_checkpoint: Option<SamplerCheckpoint>,
     error: Option<CliError>,
 }
@@ -123,11 +133,16 @@ impl IterCallback for CliCallback<'_> {
                     if last {
                         // Written (with a log line) after the run completes.
                         self.final_checkpoint = Some(ckpt);
-                    } else if let Err(e) = write_checkpoint(path, &ckpt) {
-                        self.error = Some(e);
-                        return FitControl::Stop;
-                    } else {
-                        eprintln!("checkpoint written to {path} (iteration {})", s.iter);
+                    } else if let Some(writer) = self.checkpoint_writer {
+                        if writer.submit(path, ckpt) {
+                            eprintln!("checkpoint queued for {path} (iteration {})", s.iter);
+                        } else {
+                            // The writer thread already failed; the I/O
+                            // error surfaces from finish() below.
+                            self.error =
+                                Some(CliError::new("checkpoint writer stopped; aborting run"));
+                            return FitControl::Stop;
+                        }
                     }
                 }
             }
@@ -136,49 +151,125 @@ impl IterCallback for CliCallback<'_> {
     }
 }
 
-fn run(opts: &Options) -> Result<(), CliError> {
-    let file = std::fs::File::open(&opts.train)
-        .map_err(|e| CliError::new(format!("cannot open {}: {e}", opts.train)))?;
-    let full = read_matrix_market(BufReader::new(file))
-        .map_err(|e| CliError::new(format!("cannot parse {}: {e}", opts.train)))?;
-    eprintln!(
-        "loaded {}: {} x {}, {} ratings",
-        opts.train,
-        full.nrows(),
-        full.ncols(),
-        full.nnz()
-    );
+/// Where the training ratings live for this run: materialized CSR pairs
+/// parsed from MatrixMarket text, or an mmap'd slab packed ahead of time.
+/// Everything downstream sees `&dyn RatingStore`, so the sampler code path
+/// is byte-for-byte the same either way.
+enum TrainSource {
+    InRam { train: Csr, train_t: Csr },
+    Slab(MappedSlab),
+}
 
-    // Held-out set: explicit file, or a split of the training matrix.
-    let (train, test) = match &opts.test {
-        Some(path) => {
-            let f = std::fs::File::open(path)
-                .map_err(|e| CliError::new(format!("cannot open {path}: {e}")))?;
-            let t = read_matrix_market(BufReader::new(f))
-                .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
-            if t.nrows() != full.nrows() || t.ncols() != full.ncols() {
-                return Err(CliError::new(
-                    "test matrix dimensions do not match training matrix",
-                ));
-            }
-            let test: Vec<(u32, u32, f64)> = t.iter().map(|(i, j, v)| (i as u32, j, v)).collect();
-            (full, test)
+/// Read a held-out `.mtx` file and flatten it to test triples, validating
+/// its shape against the training matrix.
+fn read_test_mtx(path: &str, nrows: usize, ncols: usize) -> Result<Vec<(u32, u32, f64)>, CliError> {
+    let f =
+        std::fs::File::open(path).map_err(|e| CliError::new(format!("cannot open {path}: {e}")))?;
+    let t = read_matrix_market(BufReader::new(f))
+        .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
+    if t.nrows() != nrows || t.ncols() != ncols {
+        return Err(CliError::new(
+            "test matrix dimensions do not match training matrix",
+        ));
+    }
+    Ok(t.iter().map(|(i, j, v)| (i as u32, j, v)).collect())
+}
+
+fn run(opts: &Options) -> Result<(), CliError> {
+    let (source, test, global_mean) = if opts.train.ends_with(".slab") {
+        // Out-of-core path: map the packed slab and train straight off the
+        // page cache. The split already happened at pack time, so a test
+        // file is mandatory — re-splitting here would need the ratings
+        // resident, which is exactly what this mode avoids.
+        let test_path = opts.test.as_deref().ok_or_else(|| {
+            CliError::new(
+                "slab training requires --test FILE.mtx \
+                 (split at pack time with `pack --test-out`)",
+            )
+        })?;
+        if opts.recommend.exclude_seen {
+            return Err(CliError::new(
+                "--exclude-seen needs the training matrix resident; \
+                 it is not available when training from a .slab",
+            ));
         }
-        None => {
-            let mut coo = bpmf_sparse::Coo::with_capacity(full.nrows(), full.ncols(), full.nnz());
-            for (i, j, v) in full.iter() {
-                coo.push(i, j as usize, v);
-            }
-            bpmf_dataset::split_train_test(&coo, opts.test_fraction, opts.seed ^ 0xBEEF)
+        if opts.serve.shard.is_some() {
+            return Err(CliError::new(
+                "--shard slices the resident training matrix; \
+                 it is not available when training from a .slab",
+            ));
         }
-    };
-    let train_t = train.transpose();
-    let global_mean = if train.nnz() == 0 {
-        0.0
+        let slab = MappedSlab::open(std::path::Path::new(&opts.train))
+            .map_err(|e| CliError::new(format!("cannot map {}: {e}", opts.train)))?;
+        eprintln!(
+            "mapped {}: {} x {}, {} ratings in {} extents ({} B resident vs {} B in-RAM)",
+            opts.train,
+            slab.r().nrows(),
+            slab.r().ncols(),
+            slab.r().nnz(),
+            slab.extents().len(),
+            slab.heap_bytes(),
+            slab.in_ram_matrix_bytes(),
+        );
+        let test = read_test_mtx(test_path, slab.r().nrows(), slab.r().ncols())?;
+        let global_mean = slab.global_mean();
+        (TrainSource::Slab(slab), test, global_mean)
     } else {
-        train.iter().map(|(_, _, v)| v).sum::<f64>() / train.nnz() as f64
+        let file = std::fs::File::open(&opts.train)
+            .map_err(|e| CliError::new(format!("cannot open {}: {e}", opts.train)))?;
+        let full = read_matrix_market(BufReader::new(file))
+            .map_err(|e| CliError::new(format!("cannot parse {}: {e}", opts.train)))?;
+        eprintln!(
+            "loaded {}: {} x {}, {} ratings",
+            opts.train,
+            full.nrows(),
+            full.ncols(),
+            full.nnz()
+        );
+
+        // Held-out set: explicit file, or a split of the training matrix.
+        let (train, test) = match &opts.test {
+            Some(path) => {
+                let test = read_test_mtx(path, full.nrows(), full.ncols())?;
+                (full, test)
+            }
+            None => {
+                let mut coo =
+                    bpmf_sparse::Coo::with_capacity(full.nrows(), full.ncols(), full.nnz());
+                for (i, j, v) in full.iter() {
+                    coo.push(i, j as usize, v);
+                }
+                bpmf_dataset::split_train_test(&coo, opts.test_fraction, opts.seed ^ 0xBEEF)
+            }
+        };
+        let train_t = train.transpose();
+        let global_mean = if train.nnz() == 0 {
+            0.0
+        } else {
+            train.iter().map(|(_, _, v)| v).sum::<f64>() / train.nnz() as f64
+        };
+        (TrainSource::InRam { train, train_t }, test, global_mean)
     };
-    eprintln!("train {} / test {} observations", train.nnz(), test.len());
+
+    // Uniform view over both sources. `train_csr` is the resident matrix
+    // when we have one — exclude-seen and shard slicing need it, and both
+    // were rejected above in slab mode.
+    let slab_views = match &source {
+        TrainSource::Slab(slab) => Some((slab.r(), slab.rt())),
+        TrainSource::InRam { .. } => None,
+    };
+    let (r_store, rt_store): (&dyn RatingStore, &dyn RatingStore) = match (&source, &slab_views) {
+        (TrainSource::InRam { train, train_t }, _) => (train, train_t),
+        (TrainSource::Slab(_), Some((sr, srt))) => (sr, srt),
+        (TrainSource::Slab(_), None) => unreachable!(),
+    };
+    let train_csr: Option<&Csr> = match &source {
+        TrainSource::InRam { train, .. } => Some(train),
+        TrainSource::Slab(_) => None,
+    };
+    let n_users = r_store.nrows();
+    let n_items = r_store.ncols();
+    eprintln!("train {} / test {} observations", r_store.nnz(), test.len());
 
     // One builder for every algorithm.
     let mut builder = Bpmf::builder()
@@ -204,13 +295,22 @@ fn run(opts: &Options) -> Result<(), CliError> {
     if let (Some(lo), Some(hi)) = (opts.min_rating, opts.max_rating) {
         builder = builder.rating_bounds(lo, hi);
     }
+    if let Some(n) = opts.minibatch {
+        builder = builder.minibatch(n);
+    }
+    if let Some(s) = opts.step_size {
+        builder = builder.sgld_step_size(s);
+    }
+    if let Some(d) = opts.step_decay {
+        builder = builder.sgld_step_decay(d);
+    }
     if let Some(path) = &opts.user_features {
         let features = bpmf_cli::read_features_tsv(path)?;
-        if features.rows() != train.nrows() {
+        if features.rows() != n_users {
             return Err(CliError::new(format!(
                 "{path}: {} feature rows but {} users in the rating matrix",
                 features.rows(),
-                train.nrows()
+                n_users
             )));
         }
         eprintln!("side information: {} features per user", features.cols());
@@ -245,14 +345,21 @@ fn run(opts: &Options) -> Result<(), CliError> {
     let runner = spec.runner();
     let mut trainer = make_trainer(&spec);
     let total_iterations = match opts.algorithm {
-        Algorithm::Gibbs | Algorithm::Distributed => spec.burnin + spec.samples,
+        Algorithm::Gibbs | Algorithm::Distributed | Algorithm::Sgmcmc => spec.burnin + spec.samples,
         Algorithm::Als => spec.sweeps.unwrap_or(20),
         Algorithm::Sgd => spec.epochs.unwrap_or(30),
     };
 
+    // Periodic checkpoints go through a background writer thread so the
+    // sampler never stalls on serialization + fsync-ish I/O; the final
+    // checkpoint is still written synchronously after the run below.
+    let ckpt_writer = opts
+        .checkpoint
+        .as_ref()
+        .map(|_| AsyncCheckpointWriter::spawn());
     let report;
     let trace;
-    let final_iter;
+    let final_checkpoint;
     {
         let stdout = std::io::stdout();
         let mut cb = CliCallback {
@@ -262,31 +369,44 @@ fn run(opts: &Options) -> Result<(), CliError> {
             total_iterations,
             checkpoint: opts.checkpoint.as_deref(),
             checkpoint_every: opts.checkpoint_every,
+            checkpoint_writer: ckpt_writer.as_ref(),
             final_checkpoint: None,
             error: None,
         };
         writeln!(cb.out, "iter\trmse_sample\trmse_mean\titems_per_sec").ok();
         report = trainer.fit(
-            &bpmf::TrainData::try_new(&train, &train_t, global_mean, &test)?,
+            &bpmf::TrainData::try_new(r_store, rt_store, global_mean, &test)?,
             runner.as_ref(),
             &mut cb,
         )?;
         if let Some(e) = cb.error {
             return Err(e);
         }
-        if let (Some(path), Some(ckpt)) = (&opts.checkpoint, &mut cb.final_checkpoint) {
-            // A checkpoint written by a sharded daemon carries its slice so
-            // a later `--resume` cannot silently serve the wrong range.
-            if opts.command == Command::ServeDaemon {
-                if let Some((i, n)) = opts.serve.shard {
-                    ckpt.shard = Some(ShardSpec::for_shard(i, n, train.ncols(), ckpt.iter as u64));
-                }
-            }
-            write_checkpoint(path, ckpt)?;
-            eprintln!("final checkpoint written to {path}");
-        }
-        final_iter = cb.final_checkpoint.as_ref().map(|c| c.iter);
+        final_checkpoint = cb.final_checkpoint;
         trace = cb.trace;
+    }
+    // Drain the async writer before the final synchronous write, so a
+    // still-queued periodic checkpoint can never land after (and clobber)
+    // the final one.
+    if let Some(writer) = ckpt_writer {
+        let flushed = writer
+            .finish()
+            .map_err(|e| CliError::new(format!("periodic checkpoint write failed: {e}")))?;
+        if flushed > 0 {
+            eprintln!("{flushed} periodic checkpoint(s) written in the background");
+        }
+    }
+    let final_iter = final_checkpoint.as_ref().map(|c| c.iter);
+    if let (Some(path), Some(mut ckpt)) = (&opts.checkpoint, final_checkpoint) {
+        // A checkpoint written by a sharded daemon carries its slice so
+        // a later `--resume` cannot silently serve the wrong range.
+        if opts.command == Command::ServeDaemon {
+            if let Some((i, n)) = opts.serve.shard {
+                ckpt.shard = Some(ShardSpec::for_shard(i, n, n_items, ckpt.iter as u64));
+            }
+        }
+        write_checkpoint(path, &ckpt)?;
+        eprintln!("final checkpoint written to {path}");
     }
     eprintln!(
         "fitted {} via {} in {:.2}s (final RMSE {:.6})",
@@ -324,9 +444,12 @@ fn run(opts: &Options) -> Result<(), CliError> {
             .recommender()
             .ok_or_else(|| CliError::new("training produced no model to recommend from"))?;
         let policy: RankPolicy = opts.recommend.policy.parse()?;
-        let mut service = RecommendService::new(rec, train.ncols());
+        let mut service = RecommendService::new(rec, n_items);
         if opts.recommend.exclude_seen {
-            service = service.exclude_seen(&train);
+            // Unreachable in slab mode: --exclude-seen was rejected above.
+            let train = train_csr
+                .ok_or_else(|| CliError::new("--exclude-seen requires a resident matrix"))?;
+            service = service.exclude_seen(train);
         }
         let users = if opts.recommend.users.is_empty() {
             vec![0usize]
@@ -336,10 +459,9 @@ fn run(opts: &Options) -> Result<(), CliError> {
         // Validate every requested user before printing anything: a bad id
         // is a hard error (nonzero exit), never a silent clamp or skip.
         for &user in &users {
-            if user >= train.nrows() {
+            if user >= n_users {
                 return Err(CliError::new(format!(
-                    "--user {user} is out of range ({} users)",
-                    train.nrows()
+                    "--user {user} is out of range ({n_users} users)"
                 )));
             }
         }
@@ -352,7 +474,7 @@ fn run(opts: &Options) -> Result<(), CliError> {
                 exclude_seen: opts.recommend.exclude_seen,
             })
             .collect();
-        // Stream results out as each 64-user micro-batch completes (one
+        // Stream results out as each MICRO_BATCH-user block completes (one
         // GEMM catalogue pass per block) instead of buffering the whole
         // run; per-request Thompson streams make each list identical to a
         // single-user invocation regardless of batching.
@@ -396,7 +518,7 @@ fn run(opts: &Options) -> Result<(), CliError> {
         // Epoch tag for the served factors: the exact iteration count they
         // correspond to, so the router can flag mixed-epoch shard fleets.
         let epoch = final_iter.unwrap_or(total_iterations.max(resumed_iter.unwrap_or(0))) as u64;
-        run_daemon(opts, trainer.as_ref(), &train, epoch)?;
+        run_daemon(opts, trainer.as_ref(), train_csr, n_users, n_items, epoch)?;
     }
     Ok(())
 }
@@ -442,12 +564,87 @@ fn resolve_fault_plan(opts: &Options) -> Result<Option<FaultPlan>, CliError> {
     FaultPlan::from_env().map_err(|e| CliError::new(format!("BPMF_FAULT_PLAN: {e}")))
 }
 
+/// The `pack` subcommand: parse a MatrixMarket file once, optionally carve
+/// off a held-out split, and write both CSR orientations as an mmap-ready
+/// slab. Training then opens the slab with `--train FILE.slab` and never
+/// pays the text-parse (or full-residency) cost again.
+fn run_pack(opts: &Options) -> Result<(), CliError> {
+    let out = opts
+        .pack_out
+        .as_deref()
+        .expect("parser guarantees --out for pack");
+    let file = std::fs::File::open(&opts.train)
+        .map_err(|e| CliError::new(format!("cannot open {}: {e}", opts.train)))?;
+    let full = read_matrix_market(BufReader::new(file))
+        .map_err(|e| CliError::new(format!("cannot parse {}: {e}", opts.train)))?;
+    eprintln!(
+        "loaded {}: {} x {}, {} ratings",
+        opts.train,
+        full.nrows(),
+        full.ncols(),
+        full.nnz()
+    );
+
+    // With --test-out, split here (same seed derivation as `run`, so a
+    // pack + slab-train reproduces an in-RAM train on the same flags) and
+    // persist the held-out triples as MatrixMarket next to the slab.
+    let train = match &opts.test_out {
+        Some(test_path) => {
+            let mut coo = bpmf_sparse::Coo::with_capacity(full.nrows(), full.ncols(), full.nnz());
+            for (i, j, v) in full.iter() {
+                coo.push(i, j as usize, v);
+            }
+            let (train, test) =
+                bpmf_dataset::split_train_test(&coo, opts.test_fraction, opts.seed ^ 0xBEEF);
+            let mut tcoo = bpmf_sparse::Coo::with_capacity(full.nrows(), full.ncols(), test.len());
+            for &(i, j, v) in &test {
+                tcoo.push(i as usize, j as usize, v);
+            }
+            let tcsr = Csr::from_coo_owned(tcoo);
+            let f = std::fs::File::create(test_path)
+                .map_err(|e| CliError::new(format!("cannot create {test_path}: {e}")))?;
+            let mut w = std::io::BufWriter::new(f);
+            write_matrix_market(&mut w, &tcsr)
+                .map_err(|e| CliError::new(format!("cannot write {test_path}: {e}")))?;
+            w.flush()?;
+            eprintln!("wrote {} held-out observations to {test_path}", test.len());
+            train
+        }
+        None => full,
+    };
+
+    let train_t = train.transpose();
+    let global_mean = if train.nnz() == 0 {
+        0.0
+    } else {
+        train.iter().map(|(_, _, v)| v).sum::<f64>() / train.nnz() as f64
+    };
+    let extents = slab_extents(&train, opts.pack_blocks);
+    let f = std::fs::File::create(out)
+        .map_err(|e| CliError::new(format!("cannot create {out}: {e}")))?;
+    let mut w = std::io::BufWriter::new(f);
+    write_slab(&mut w, &train, &train_t, global_mean, &extents)
+        .map_err(|e| CliError::new(format!("cannot write {out}: {e}")))?;
+    w.flush()?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "packed {out}: {} x {}, {} ratings in {} extents ({bytes} bytes, mean {global_mean:.6})",
+        train.nrows(),
+        train.ncols(),
+        train.nnz(),
+        extents.len(),
+    );
+    Ok(())
+}
+
 /// The `serve-daemon` subcommand, once training has finished: wrap the
 /// fitted model in the coalescing TCP daemon and block until shutdown.
 fn run_daemon(
     opts: &Options,
     trainer: &dyn Trainer,
-    train: &Csr,
+    train: Option<&Csr>,
+    n_users: usize,
+    n_items: usize,
     epoch: u64,
 ) -> Result<(), CliError> {
     let model = trainer
@@ -458,12 +655,18 @@ fn run_daemon(
     // ShardView narrows every scoring path to [item_lo, item_hi) — bit-
     // identical to those columns of a whole-catalogue pass — and the
     // sliced training matrix keeps exclude-seen local. The daemon rebases
-    // reply item ids back to global via the spec's `item_lo`.
-    let sharded = opts.serve.shard.map(|(i, n)| {
-        let spec = ShardSpec::for_shard(i, n, train.ncols(), epoch);
-        let local = slice_train_columns(train, spec.item_lo as usize, spec.item_hi as usize);
-        (spec, local)
-    });
+    // reply item ids back to global via the spec's `item_lo`. Sharding
+    // needs the resident matrix, so slab-trained runs rejected it up front.
+    let sharded = match opts.serve.shard {
+        Some((i, n)) => {
+            let train = train
+                .ok_or_else(|| CliError::new("--shard requires a resident training matrix"))?;
+            let spec = ShardSpec::for_shard(i, n, n_items, epoch);
+            let local = slice_train_columns(train, spec.item_lo as usize, spec.item_hi as usize);
+            Some((spec, local))
+        }
+        None => None,
+    };
     let view;
     let world = match &sharded {
         Some((spec, local_train)) => {
@@ -472,16 +675,16 @@ fn run_daemon(
             ServingModel {
                 model: &view,
                 train: Some(local_train),
-                n_users: train.nrows(),
+                n_users,
                 n_items: spec.width(),
                 shard: Some(*spec),
             }
         }
         None => ServingModel {
             model,
-            train: Some(train),
-            n_users: train.nrows(),
-            n_items: train.ncols(),
+            train,
+            n_users,
+            n_items,
             shard: None,
         },
     };
@@ -744,12 +947,8 @@ fn command_roundtrip(addr: &str, cmd: &str) -> Result<wire::Response, CliError> 
 }
 
 fn write_checkpoint(path: &str, ckpt: &SamplerCheckpoint) -> Result<(), CliError> {
-    let json = serde_json::to_string(ckpt)
-        .map_err(|e| CliError::new(format!("cannot serialize checkpoint: {e}")))?;
-    // Write-then-rename so an interrupt mid-write cannot corrupt the
-    // previous checkpoint.
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, json)?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    // Write-then-rename (inside the library helper) so an interrupt
+    // mid-write cannot corrupt the previous checkpoint.
+    bpmf::checkpoint::write_checkpoint_sync(std::path::Path::new(path), ckpt)
+        .map_err(|e| CliError::new(format!("cannot write checkpoint {path}: {e}")))
 }

@@ -76,6 +76,11 @@ pub enum Algorithm {
     Als,
     /// Biased stochastic gradient descent (ref \[3\]).
     Sgd,
+    /// Stochastic-gradient MCMC (SGLD after Ahn et al.): posterior
+    /// sampling from mini-batch rating draws, built for rating stores too
+    /// large to sweep in full — the out-of-core companion of the Gibbs
+    /// chain ([`crate::SgldSampler`]).
+    Sgmcmc,
     /// Distributed BPMF over the message-passing runtime (§IV): the spec's
     /// `threads` become ranks of a simulated universe, each running
     /// [`crate::distributed::run_rank`].
@@ -84,12 +89,14 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All algorithms, in the order the paper introduces them (the
-    /// baselines of §I, shared-memory BPMF, then §IV's distributed BPMF).
-    pub fn all() -> [Algorithm; 4] {
+    /// baselines of §I, shared-memory BPMF, then §IV's distributed BPMF),
+    /// plus the mini-batch SG-MCMC sampler.
+    pub fn all() -> [Algorithm; 5] {
         [
             Algorithm::Als,
             Algorithm::Sgd,
             Algorithm::Gibbs,
+            Algorithm::Sgmcmc,
             Algorithm::Distributed,
         ]
     }
@@ -100,6 +107,7 @@ impl Algorithm {
             Algorithm::Gibbs => "BPMF (Gibbs)",
             Algorithm::Als => "ALS-WR",
             Algorithm::Sgd => "SGD",
+            Algorithm::Sgmcmc => "BPMF (SG-MCMC)",
             Algorithm::Distributed => "BPMF (distributed)",
         }
     }
@@ -111,6 +119,7 @@ impl fmt::Display for Algorithm {
             Algorithm::Gibbs => "gibbs",
             Algorithm::Als => "als",
             Algorithm::Sgd => "sgd",
+            Algorithm::Sgmcmc => "sgmcmc",
             Algorithm::Distributed => "distributed",
         })
     }
@@ -124,6 +133,7 @@ impl FromStr for Algorithm {
             "gibbs" | "bpmf" => Ok(Algorithm::Gibbs),
             "als" | "als-wr" => Ok(Algorithm::Als),
             "sgd" => Ok(Algorithm::Sgd),
+            "sgmcmc" | "sgld" | "sg-mcmc" => Ok(Algorithm::Sgmcmc),
             "distributed" | "dist" | "mpi" => Ok(Algorithm::Distributed),
             other => Err(BpmfError::UnknownAlgorithm(other.to_string())),
         }
@@ -781,6 +791,13 @@ pub struct Bpmf {
     pub learning_rate: Option<f64>,
     /// Inverse-time learning-rate decay (SGD).
     pub decay: Option<f64>,
+    /// Initial SGLD step size ε₀ (SG-MCMC; per-algorithm default when
+    /// `None`).
+    pub sgld_step_size: Option<f64>,
+    /// Inverse-time SGLD step-size decay (SG-MCMC).
+    pub sgld_step_decay: Option<f64>,
+    /// Ratings per SGLD mini-batch draw (SG-MCMC).
+    pub minibatch: Option<usize>,
     /// Fit additive per-user/per-movie biases (SGD).
     pub use_biases: bool,
     /// Scale the ALS ridge by each item's rating count (ALS-WR).
@@ -858,6 +875,9 @@ impl Default for BpmfBuilder {
                 epochs: None,
                 learning_rate: None,
                 decay: None,
+                sgld_step_size: None,
+                sgld_step_decay: None,
+                minibatch: None,
                 use_biases: true,
                 weighted_regularization: true,
                 init_sd: None,
@@ -973,6 +993,25 @@ impl BpmfBuilder {
         self
     }
 
+    /// Initial SGLD step size ε₀ (SG-MCMC).
+    pub fn sgld_step_size(mut self, eps: f64) -> Self {
+        self.spec.sgld_step_size = Some(eps);
+        self
+    }
+
+    /// Inverse-time SGLD step-size decay (SG-MCMC): step `t` uses
+    /// ε₀ / (1 + decay · t).
+    pub fn sgld_step_decay(mut self, d: f64) -> Self {
+        self.spec.sgld_step_decay = Some(d);
+        self
+    }
+
+    /// Ratings per SGLD mini-batch draw (SG-MCMC).
+    pub fn minibatch(mut self, n: usize) -> Self {
+        self.spec.minibatch = Some(n);
+        self
+    }
+
     /// Fit additive biases (SGD; default true).
     pub fn biases(mut self, on: bool) -> Self {
         self.spec.use_biases = on;
@@ -1033,6 +1072,22 @@ impl BpmfBuilder {
             if lr <= 0.0 || !lr.is_finite() {
                 return Err(BpmfError::InvalidLearningRate(lr));
             }
+        }
+        if let Some(eps) = s.sgld_step_size {
+            if eps <= 0.0 || !eps.is_finite() {
+                return Err(BpmfError::InvalidLearningRate(eps));
+            }
+        }
+        if let Some(d) = s.sgld_step_decay {
+            if d < 0.0 || !d.is_finite() {
+                return Err(BpmfError::InvalidLearningRate(d));
+            }
+        }
+        if s.minibatch == Some(0) {
+            return Err(BpmfError::Unsupported {
+                algorithm: Algorithm::Sgmcmc,
+                feature: "an empty mini-batch",
+            });
         }
         for (side, si) in [("user", &s.user_side_info), ("movie", &s.movie_side_info)] {
             if let Some(si) = si {

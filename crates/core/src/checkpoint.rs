@@ -8,6 +8,16 @@
 //! a resumed run continues the exact chain: with a deterministic runtime
 //! (the static engine, or one worker) the RMSE trace after resume is
 //! bit-identical to an uninterrupted run.
+//!
+//! Periodic checkpoints used to stall the sampler for the whole
+//! serialize-and-write; [`AsyncCheckpointWriter`] moves that off the
+//! training thread — the sampler hands the state over and keeps sampling
+//! while a dedicated writer thread serializes and write-then-renames it.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
 
 use bpmf_linalg::Mat;
 use serde::{Deserialize, Serialize};
@@ -116,6 +126,88 @@ pub struct SamplerCheckpoint {
     pub shard: Option<crate::serve::shard::ShardSpec>,
 }
 
+/// Serialize `ckpt` as JSON and write it atomically: the bytes land in a
+/// sibling `*.tmp` file first and are renamed over `path`, so an interrupt
+/// mid-write can never corrupt the previous checkpoint.
+pub fn write_checkpoint_sync(path: &Path, ckpt: &SamplerCheckpoint) -> io::Result<()> {
+    let json = serde_json::to_string(ckpt)
+        .map_err(|e| io::Error::other(format!("cannot serialize checkpoint: {e}")))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// A dedicated checkpoint-writer thread.
+///
+/// [`submit`](AsyncCheckpointWriter::submit) hands a snapshot over a
+/// channel and returns immediately; the writer thread serializes it and
+/// performs the atomic write-then-rename of [`write_checkpoint_sync`] in
+/// the background, overlapping checkpoint I/O with the next sampling
+/// iterations. On the first I/O failure the thread stops; the error
+/// surfaces from [`finish`](AsyncCheckpointWriter::finish) (and `submit`
+/// starts returning `false`). Submissions are written in order, and
+/// `finish` drains everything still queued before returning.
+#[derive(Debug)]
+pub struct AsyncCheckpointWriter {
+    tx: Option<mpsc::Sender<(PathBuf, Box<SamplerCheckpoint>)>>,
+    handle: Option<thread::JoinHandle<io::Result<usize>>>,
+}
+
+impl AsyncCheckpointWriter {
+    /// Start the writer thread.
+    pub fn spawn() -> Self {
+        let (tx, rx) = mpsc::channel::<(PathBuf, Box<SamplerCheckpoint>)>();
+        let handle = thread::Builder::new()
+            .name("bpmf-ckpt-writer".to_string())
+            .spawn(move || {
+                let mut written = 0usize;
+                for (path, ckpt) in rx {
+                    write_checkpoint_sync(&path, &ckpt)?;
+                    written += 1;
+                }
+                Ok(written)
+            })
+            .expect("spawn checkpoint writer thread");
+        AsyncCheckpointWriter {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Queue one checkpoint for background writing. Returns `false` when
+    /// the writer thread has already failed (call
+    /// [`finish`](AsyncCheckpointWriter::finish) for the error).
+    pub fn submit(&self, path: impl Into<PathBuf>, ckpt: SamplerCheckpoint) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send((path.into(), Box::new(ckpt))).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Close the queue, wait for every pending write, and report the
+    /// number of checkpoints written (or the first I/O error).
+    pub fn finish(mut self) -> io::Result<usize> {
+        self.tx = None; // close the channel so the thread drains and exits
+        match self.handle.take() {
+            Some(handle) => handle
+                .join()
+                .map_err(|_| io::Error::other("checkpoint writer thread panicked"))?,
+            None => Ok(0),
+        }
+    }
+}
+
+impl Drop for AsyncCheckpointWriter {
+    fn drop(&mut self) {
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +260,58 @@ mod tests {
         let legacy: SamplerCheckpoint = serde_json::from_str(&stripped).unwrap();
         assert_eq!(legacy.shard, None);
         assert_eq!(legacy.iter, 7);
+    }
+
+    fn tiny_checkpoint(iter: usize) -> SamplerCheckpoint {
+        SamplerCheckpoint {
+            num_latent: 2,
+            iter,
+            acc_count: 0,
+            users: FlatMat::from_mat(&Mat::identity(2)),
+            movies: FlatMat::from_mat(&Mat::identity(2)),
+            users_mu: vec![0.0; 2],
+            users_lambda: FlatMat::from_mat(&Mat::identity(2)),
+            movies_mu: vec![0.0; 2],
+            movies_lambda: FlatMat::from_mat(&Mat::identity(2)),
+            hyper_rng: RngState {
+                words: [1, 2, 3, 4],
+                spare_normal: None,
+            },
+            worker_rngs: vec![],
+            predict_acc: vec![],
+            predict_sq_acc: vec![],
+            factor_acc: None,
+            factor_sq_acc: None,
+            user_link: None,
+            movie_link: None,
+            shard: None,
+        }
+    }
+
+    #[test]
+    fn async_writer_writes_every_submission_in_order() {
+        let path =
+            std::env::temp_dir().join(format!("bpmf-async-ckpt-{}.json", std::process::id()));
+        let writer = AsyncCheckpointWriter::spawn();
+        for iter in 0..5 {
+            assert!(writer.submit(&path, tiny_checkpoint(iter)));
+        }
+        assert_eq!(writer.finish().expect("all writes succeed"), 5);
+        let back: SamplerCheckpoint =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // Last submission wins: writes are ordered.
+        assert_eq!(back.iter, 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn async_writer_surfaces_io_errors_at_finish() {
+        let missing = std::env::temp_dir()
+            .join(format!("bpmf-no-such-dir-{}", std::process::id()))
+            .join("ckpt.json");
+        let writer = AsyncCheckpointWriter::spawn();
+        writer.submit(&missing, tiny_checkpoint(0));
+        assert!(writer.finish().is_err());
     }
 
     #[test]

@@ -881,11 +881,20 @@ impl Trainer for DistributedTrainer {
                 feature: "checkpoint resume",
             });
         }
+        // The distributed driver partitions and exchanges whole regions of
+        // the matrix across ranks; it needs the resident CSR, not a
+        // streaming store.
+        let (Some(r), Some(rt)) = (data.r.as_csr(), data.rt.as_csr()) else {
+            return Err(BpmfError::Unsupported {
+                algorithm: Algorithm::Distributed,
+                feature: "out-of-core rating stores",
+            });
+        };
         let cfg = Self::dist_config(&self.spec);
         let ranks = Self::ranks(&self.spec);
         let t0 = Instant::now();
         let outcome = Universe::run(ranks, None, |comm| {
-            run_rank(comm, data.r, data.rt, data.global_mean, data.test, &cfg)
+            run_rank(comm, r, rt, data.global_mean, data.test, &cfg)
         })
         .into_iter()
         .next()

@@ -72,6 +72,8 @@ pub enum BpmfError {
         /// The requested feature.
         feature: &'static str,
     },
+    /// An out-of-core rating store failed to open, parse, or validate.
+    Store(String),
     /// An algorithm name failed to parse.
     UnknownAlgorithm(String),
     /// A ranking-policy name failed to parse.
@@ -139,10 +141,11 @@ impl fmt::Display for BpmfError {
             BpmfError::Unsupported { algorithm, feature } => {
                 write!(f, "{feature} is not supported by the {algorithm} algorithm")
             }
+            BpmfError::Store(msg) => write!(f, "rating store error: {msg}"),
             BpmfError::UnknownAlgorithm(name) => {
                 write!(
                     f,
-                    "unknown algorithm '{name}' (expected gibbs | als | sgd | distributed)"
+                    "unknown algorithm '{name}' (expected gibbs | als | sgd | sgmcmc | distributed)"
                 )
             }
             BpmfError::UnknownPolicy(name) => {

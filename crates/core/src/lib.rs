@@ -96,7 +96,7 @@
 //! }
 //!
 //! // Heavy traffic? Serve whole request blocks: `recommend_batch` scores
-//! // a block of users with one register-tiled GEMM per 64-user
+//! // a block of users with one register-tiled GEMM per [`serve::MICRO_BATCH`]-user
 //! // micro-batch (one streaming pass over the catalogue for the whole
 //! // block) and returns each user's list, identical to per-user `top_n`.
 //! let lists = service.recommend_batch(&[0, 1, 2], 2);
@@ -106,9 +106,10 @@
 //!
 //! // Genuinely concurrent traffic? Keep the model resident behind the
 //! // serving daemon: requests arriving over TCP (newline-delimited JSON)
-//! // are *coalesced* into those same GEMM micro-batches — flush at 64
-//! // pending or the batch window, whichever first — and each reply is
-//! // routed back to its connection. `bpmf-train serve-daemon` wraps
+//! // are *coalesced* into those same GEMM micro-batches — flush at
+//! // `serve::MICRO_BATCH` pending or the batch window, whichever first —
+//! // and each reply is routed back to its connection. `bpmf-train
+//! // serve-daemon` wraps
 //! // exactly this; see `serve::daemon` for the architecture.
 //! use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
 //! use bpmf::serve::wire;
@@ -234,6 +235,67 @@
 //! The legacy entry points ([`GibbsSampler::new`] + [`BpmfConfig`] struct
 //! literals, panic-based validation) still work and now delegate to the
 //! `try_*` variants internally.
+//!
+//! ## Out-of-core: pack → mmap → train → serve
+//!
+//! When the rating matrix outgrows RAM, pack it once into an on-disk CSR
+//! slab (`bpmf-train pack --train r.mtx --out r.slab --test-out t.mtx`
+//! wraps exactly this) and train straight off a read-only memory map.
+//! [`TrainData`] holds `&dyn` [`RatingStore`], so the swap is invisible
+//! to the samplers — the slab-backed Gibbs chain is **bit-identical** to
+//! the in-RAM chain — and only the row-pointer tables live on the heap:
+//! column indices and values stream through the page cache, which the
+//! kernel can reclaim under memory pressure.
+//!
+//! ```
+//! use bpmf::{BpmfConfig, EngineKind, GibbsSampler, MappedSlab, TrainData};
+//! use bpmf_sparse::{slab_extents, write_slab, Coo, Csr};
+//!
+//! let mut coo = Coo::new(4, 3);
+//! for (u, m, r) in [(0, 0, 5.0), (0, 1, 3.0), (1, 0, 4.0), (2, 2, 1.0), (3, 1, 2.0)] {
+//!     coo.push(u, m, r);
+//! }
+//! let r = Csr::from_coo_owned(coo);
+//! let rt = r.transpose();
+//!
+//! // `bpmf-train pack` writes this file format (both CSR orientations,
+//! // 8-byte-aligned little-endian sections; see `bpmf_sparse::slab`).
+//! let path = std::env::temp_dir().join(format!("bpmf-doc-{}.slab", std::process::id()));
+//! let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+//! write_slab(&mut w, &r, &rt, 3.0, &slab_extents(&r, 2)).unwrap();
+//! drop(w);
+//!
+//! // `bpmf-train --train r.slab --test t.mtx` opens it like this: two
+//! // zero-copy CSR views (rating rows mmap'd, paged in on demand).
+//! let slab = MappedSlab::open(&path).unwrap();
+//! let (sr, srt) = (slab.r(), slab.rt());
+//! let test = vec![(1u32, 1u32, 3.0)];
+//! let data = TrainData::try_new(&sr, &srt, slab.global_mean(), &test).unwrap();
+//! let cfg = BpmfConfig {
+//!     num_latent: 4,
+//!     burnin: 2,
+//!     samples: 3,
+//!     seed: 7,
+//!     kernel_threads: 1,
+//!     ..Default::default()
+//! };
+//! let runner = EngineKind::WorkStealing.build(1);
+//! let mut sampler = GibbsSampler::new(cfg.clone(), data);
+//! let report = sampler.run(runner.as_ref(), cfg.iterations());
+//! assert!(report.final_rmse().is_finite());
+//! // The posterior is an ordinary in-RAM model: checkpoint it, serve it
+//! // through `RecommendService` or the daemon exactly as above.
+//! # drop(slab);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+//!
+//! Mini-batch SG-MCMC rides the same store abstraction: Stochastic
+//! Gradient Langevin Dynamics ([`SgldSampler`]) draws rating mini-batches
+//! from whichever store backs the run, trading the Gibbs sweep's
+//! full-conditional pass for constant-size epochs. Select it through the
+//! facade with `.algorithm(Algorithm::Sgmcmc).minibatch(10_000)` (CLI:
+//! `--algorithm sgmcmc`), tune with `.sgld_step_size(…)` /
+//! `.sgld_step_decay(…)`.
 
 mod api;
 mod callbacks;
@@ -247,7 +309,9 @@ mod model;
 mod report;
 mod sampler;
 pub mod serve;
+mod sgld;
 mod sideinfo;
+pub mod store;
 mod update;
 
 pub use api::{
@@ -261,5 +325,7 @@ pub use engine::EngineKind;
 pub use error::BpmfError;
 pub use report::{FitReport, IterStats, TrainReport};
 pub use sampler::{GibbsSampler, PredictionSummary, TrainData};
+pub use sgld::{SgldConfig, SgldSampler};
 pub use sideinfo::FeatureSideInfo;
+pub use store::{store_row_weights, MappedSlab, RatingStore, SlabCsr};
 pub use update::{choose_method, update_item, SidePrior, UpdateMethod, UpdateScratch};

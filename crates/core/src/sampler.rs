@@ -1,40 +1,60 @@
 //! The Gibbs sampler (Algorithm 1 of the paper) over a pluggable runtime.
 
+use std::fmt;
 use std::sync::Mutex;
 
 use bpmf_linalg::{vecops, Mat};
 use bpmf_sched::{Adjacency, ItemRunner, RunStats};
-use bpmf_sparse::{Csr, WorkModel};
+use bpmf_sparse::WorkModel;
 use bpmf_stats::Xoshiro256pp;
 
 use crate::config::BpmfConfig;
 use crate::model::SideState;
 use crate::report::{IterStats, TrainReport};
 use crate::sideinfo::FeatureSideInfo;
+use crate::store::{store_row_weights, RatingStore};
 use crate::update::{choose_method, update_item, SidePrior, UpdateScratch};
 use bpmf_linalg::MatWriter;
 use bpmf_stats::SuffStats;
 
 /// Borrowed training inputs: the rating matrix in both orientations, its
 /// global mean, and the held-out test points.
-#[derive(Clone, Copy, Debug)]
+///
+/// The matrix sides are [`RatingStore`]s, not concrete [`Csr`]s
+/// (`bpmf_sparse::Csr`): an in-RAM `&Csr` coerces here unchanged, and a
+/// memory-mapped [`crate::MappedSlab`] plugs in its [`crate::SlabCsr`]
+/// orientations for out-of-core training.
+#[derive(Clone, Copy)]
 pub struct TrainData<'a> {
     /// Ratings, users × movies.
-    pub r: &'a Csr,
+    pub r: &'a dyn RatingStore,
     /// Ratings transposed, movies × users.
-    pub rt: &'a Csr,
+    pub rt: &'a dyn RatingStore,
     /// Mean rating (the sampler models residuals around it).
     pub global_mean: f64,
     /// Held-out `(user, movie, rating)` triples for RMSE tracking.
     pub test: &'a [(u32, u32, f64)],
 }
 
+impl fmt::Debug for TrainData<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrainData")
+            .field("nrows", &self.r.nrows())
+            .field("ncols", &self.r.ncols())
+            .field("nnz", &self.r.nnz())
+            .field("resident", &self.r.as_csr().is_some())
+            .field("global_mean", &self.global_mean)
+            .field("test_points", &self.test.len())
+            .finish()
+    }
+}
+
 impl<'a> TrainData<'a> {
     /// Validate and bundle the inputs: `rt` must be shaped as the transpose
     /// of `r` and every test point must index inside the matrix.
     pub fn try_new(
-        r: &'a Csr,
-        rt: &'a Csr,
+        r: &'a dyn RatingStore,
+        rt: &'a dyn RatingStore,
         global_mean: f64,
         test: &'a [(u32, u32, f64)],
     ) -> Result<Self, crate::BpmfError> {
@@ -66,7 +86,12 @@ impl<'a> TrainData<'a> {
 
     /// Validate and bundle the inputs, panicking on invalid shapes. Legacy
     /// entry point; library code should prefer [`TrainData::try_new`].
-    pub fn new(r: &'a Csr, rt: &'a Csr, global_mean: f64, test: &'a [(u32, u32, f64)]) -> Self {
+    pub fn new(
+        r: &'a dyn RatingStore,
+        rt: &'a dyn RatingStore,
+        global_mean: f64,
+        test: &'a [(u32, u32, f64)],
+    ) -> Self {
         match Self::try_new(r, rt, global_mean, test) {
             Ok(data) => data,
             Err(e) => panic!("{e}"),
@@ -169,8 +194,8 @@ impl<'a> GibbsSampler<'a> {
             hyper_rng: Xoshiro256pp::seed_from_u64(cfg.seed ^ 0x9E37_79B9),
             worker_rngs: Vec::new(),
             scratches: Vec::new(),
-            user_weights: wm.row_weights(data.r),
-            movie_weights: wm.row_weights(data.rt),
+            user_weights: store_row_weights(&wm, data.r),
+            movie_weights: store_row_weights(&wm, data.rt),
             predict_acc: vec![0.0; data.test.len()],
             predict_sq_acc: vec![0.0; data.test.len()],
             factor_acc: None,
@@ -449,8 +474,8 @@ impl<'a> GibbsSampler<'a> {
                 .iter()
                 .map(|_| Mutex::new(UpdateScratch::new(k)))
                 .collect(),
-            user_weights: wm.row_weights(data.r),
-            movie_weights: wm.row_weights(data.rt),
+            user_weights: store_row_weights(&wm, data.r),
+            movie_weights: store_row_weights(&wm, data.rt),
             predict_acc: ckpt.predict_acc.clone(),
             predict_sq_acc: ckpt.predict_sq_acc.clone(),
             factor_acc: ckpt
@@ -573,6 +598,10 @@ impl<'a> GibbsSampler<'a> {
         };
         let other_items = &other.items;
         let writer = MatWriter::new(&mut state.items);
+        // Out-of-core stores: tell the kernel the whole orientation is
+        // about to be swept so read-ahead starts before workers block on
+        // page faults. A no-op for resident matrices.
+        matrix.prefetch_rows(0, matrix.nrows());
         let (offsets, indices, _) = matrix.raw_parts();
         let adj = Adjacency {
             offsets,
@@ -716,7 +745,7 @@ impl<'a> GibbsSampler<'a> {
 mod tests {
     use super::*;
     use crate::engine::EngineKind;
-    use bpmf_sparse::Coo;
+    use bpmf_sparse::{Coo, Csr};
 
     /// A small planted dataset the sampler must crack: rank-2 structure,
     /// mild noise.

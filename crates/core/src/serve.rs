@@ -247,12 +247,28 @@ impl FromStr for RankPolicy {
 }
 
 /// Users scored per `Recommender::score_block` call inside
-/// [`RecommendService::recommend_batch`]. Bounds the block-score scratch at
-/// `MICRO_BATCH × n_items` doubles (2 MiB per million items) while keeping
-/// the GEMM's catalogue pass amortized over enough users to beat per-user
-/// scans — the `perf_snapshot` GEMM section measures throughput across
-/// block sizes if this needs re-picking on new hardware.
-pub const MICRO_BATCH: usize = 64;
+/// [`RecommendService::recommend_batch`], derived from the GEMM kernel's
+/// cache geometry rather than hand-picked: with the `KC × NC` B-panel
+/// pinned in L2 by the kernel, the rest of a nominal 1 MiB L2 budget is
+/// split between the user-factor panel (`B × KC` doubles) and the score
+/// panel (`B × NC` doubles), giving
+/// `B = (L2 − KC·NC·8) / ((KC + NC)·8)`, rounded down to a multiple of 8
+/// for the kernel's row tiles. At KC = NC = 256 that lands on 128 users —
+/// double the old hardcoded 64, and it now tracks any retuning of
+/// [`bpmf_linalg::GEMM_KC`]/[`bpmf_linalg::GEMM_NC`] automatically. The
+/// `perf_snapshot` serve section records the measured B = 64 vs B = 256
+/// throughput delta if this needs re-checking on new hardware.
+pub const MICRO_BATCH: usize = {
+    const L2_BUDGET_BYTES: usize = 1 << 20;
+    const B: usize = (L2_BUDGET_BYTES - bpmf_linalg::GEMM_KC * bpmf_linalg::GEMM_NC * 8)
+        / ((bpmf_linalg::GEMM_KC + bpmf_linalg::GEMM_NC) * 8);
+    let aligned = B / 8 * 8;
+    if aligned < 8 {
+        8
+    } else {
+        aligned
+    }
+};
 
 /// One ranked recommendation out of [`RecommendService::top_n`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -344,8 +360,16 @@ impl<'a> RecommendService<'a> {
 
     /// Service wired to the training data: catalogue size from the rating
     /// matrix, exclude-seen on, min-support counts available.
+    ///
+    /// Exclude-seen needs the resident rating matrix; when the data was
+    /// trained out-of-core (no backing [`Csr`]), the service comes up
+    /// without the seen-item filter — pair it with an explicit
+    /// [`RecommendService::exclude_seen`] if the matrix is loadable.
     pub fn for_train_data(model: &'a dyn Recommender, data: &TrainData<'a>) -> Self {
-        Self::new(model, data.r.ncols()).exclude_seen(data.r)
+        match data.r.as_csr() {
+            Some(train) => Self::new(model, data.r.ncols()).exclude_seen(train),
+            None => Self::new(model, data.r.ncols()),
+        }
     }
 
     /// Exclude each user's already-rated items (rows of `train`) from

@@ -69,7 +69,8 @@ pub use chol_par::{cholesky_in_place_parallel, DEFAULT_BLOCK};
 pub use cholupdate::{chol_downdate, chol_update};
 pub use error::LinalgError;
 pub use gemm::{
-    gemm_gathered_rows_packed, gemm_into, gemm_into_scalar, gemm_packed_into, PackedB, GEMM_NC,
+    gemm_gathered_rows_packed, gemm_into, gemm_into_scalar, gemm_packed_into, PackedB, GEMM_KC,
+    GEMM_NC,
 };
 pub use mat::Mat;
 pub use matwriter::MatWriter;

@@ -16,7 +16,11 @@
 //! * the workload model and contiguous weighted partitioner of §IV-B
 //!   ([`WorkModel`], [`BlockPartition`]), plus the communication-plan
 //!   analysis ([`CommPlan`]) that tells each rank where updated items must
-//!   be sent.
+//!   be sent,
+//! * the on-disk CSR slab format for out-of-core training
+//!   ([`write_slab`], [`SlabView`], [`slab_extents`]): both orientations of
+//!   the matrix in one 8-byte-aligned file that memory-mapped stores read
+//!   without parsing.
 //!
 //! Column indices are `u32`: the largest paper workload (483 500 compounds)
 //! fits with room to spare, and halving index bytes measurably helps the
@@ -27,9 +31,13 @@ mod csr;
 mod io;
 mod partition;
 mod reorder;
+mod slab;
 
 pub use coo::Coo;
 pub use csr::Csr;
 pub use io::{read_matrix_market, write_matrix_market, SparseIoError};
 pub use partition::{comm_volume, BlockPartition, CommPlan, WorkModel};
 pub use reorder::{degree_sort_permutation, max_row_span, rcm_bipartite, Permutation};
+pub use slab::{
+    slab_extents, write_slab, SlabCsrView, SlabError, SlabView, SLAB_MAGIC, SLAB_VERSION,
+};

@@ -1,6 +1,9 @@
 //! Property tests for the sparse structures.
 
-use bpmf_sparse::{comm_volume, BlockPartition, CommPlan, Coo, Csr, Permutation, WorkModel};
+use bpmf_sparse::{
+    comm_volume, slab_extents, write_slab, BlockPartition, CommPlan, Coo, Csr, Permutation,
+    SlabView, WorkModel,
+};
 use proptest::prelude::*;
 
 /// Random small sparse matrix as raw triplets (duplicates possible).
@@ -114,6 +117,52 @@ proptest! {
         for i in 0..nr {
             let owner = rows.part_of(i) as u32;
             prop_assert!(!plan.destinations(i).contains(&owner));
+        }
+    }
+
+    #[test]
+    fn slab_roundtrip_is_bit_identical((nr, nc, entries) in triplets(), nblocks in 1usize..6) {
+        // In-memory CSR -> packed slab bytes -> parsed view must preserve
+        // every array bit-for-bit, including degenerate empty rows/blocks.
+        let m = build(nr, nc, &entries);
+        let t = m.transpose();
+        let mean = if m.nnz() == 0 {
+            0.0
+        } else {
+            m.raw_parts().2.iter().sum::<f64>() / m.nnz() as f64
+        };
+        let extents = slab_extents(&m, nblocks);
+        let mut bytes = Vec::new();
+        let written = write_slab(&mut bytes, &m, &t, mean, &extents).unwrap();
+        prop_assert_eq!(written as usize, bytes.len());
+
+        // Re-home the bytes in a u64 allocation so the parse sees the same
+        // 8-byte base alignment a memory map guarantees.
+        let mut aligned = vec![0u64; bytes.len().div_ceil(8)];
+        // SAFETY: byte view of an owned u64 buffer; copy fills its prefix.
+        let view_bytes = unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                aligned.as_mut_ptr() as *mut u8,
+                bytes.len(),
+            );
+            std::slice::from_raw_parts(aligned.as_ptr() as *const u8, bytes.len())
+        };
+        let view = SlabView::parse(view_bytes).unwrap();
+
+        prop_assert_eq!(view.nrows, m.nrows());
+        prop_assert_eq!(view.ncols, m.ncols());
+        prop_assert_eq!(view.nnz, m.nnz());
+        prop_assert_eq!(view.global_mean.to_bits(), mean.to_bits());
+        prop_assert_eq!(&view.extents, &extents);
+        for (orient, csr) in [(&view.r, &m), (&view.rt, &t)] {
+            let (ptr, col, val) = csr.raw_parts();
+            let ptr_u64: Vec<u64> = ptr.iter().map(|&p| p as u64).collect();
+            prop_assert_eq!(orient.row_ptr, &ptr_u64[..]);
+            prop_assert_eq!(orient.col_idx, col);
+            let got: Vec<u64> = orient.values.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = val.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want);
         }
     }
 

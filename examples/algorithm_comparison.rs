@@ -68,12 +68,14 @@ fn main() {
             Algorithm::Als => "ALS-WR (20 sweeps)".to_string(),
             Algorithm::Sgd => "SGD (30 epochs)".to_string(),
             Algorithm::Gibbs => "BPMF (32 iters)".to_string(),
+            Algorithm::Sgmcmc => "BPMF SGLD (32 iters)".to_string(),
             Algorithm::Distributed => format!("BPMF dist ({threads} ranks)"),
         };
         let extras = match algorithm {
             Algorithm::Als => "needs λ tuning",
             Algorithm::Sgd => "needs λ,η tuning",
             Algorithm::Gibbs => "no tuning + CI",
+            Algorithm::Sgmcmc => "mini-batch + CI",
             Algorithm::Distributed => "scales out + CI",
         };
         println!(
