@@ -21,11 +21,32 @@ GEN=target/release/gen_mtx
 
 WORK=$(mktemp -d)
 PIDS=()
+WATCHDOG_PID=""
 cleanup() {
+    if [ -n "$WATCHDOG_PID" ]; then
+        # Kill the watchdog's `sleep` too: orphaned, it would hold the
+        # script's stdout/stderr pipe open long after the gate exits.
+        pkill -P "$WATCHDOG_PID" 2>/dev/null || true
+        kill "$WATCHDOG_PID" 2>/dev/null || true
+    fi
     for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
+trap 'exit 124' TERM
+
+# Wall-clock watchdog: a wedged shard or router must FAIL the gate, not
+# stall CI until the runner's global timeout. SIGTERM first so the EXIT
+# trap still reaps the fleet; SIGKILL backstop.
+WATCHDOG_LIMIT=${BPMF_E2E_TIMEOUT:-600}
+(
+    sleep "$WATCHDOG_LIMIT"
+    echo "watchdog: router e2e exceeded ${WATCHDOG_LIMIT}s wall clock; aborting" >&2
+    kill -TERM $$ 2>/dev/null
+    sleep 10
+    kill -KILL $$ 2>/dev/null
+) &
+WATCHDOG_PID=$!
 
 # Launch a server command in the background with stdout on a FIFO and
 # block — no sleep polling — until it announces `serving on HOST:PORT`.

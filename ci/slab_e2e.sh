@@ -18,11 +18,32 @@ GEN=target/release/gen_mtx
 
 WORK=$(mktemp -d)
 DAEMON_PID=""
+WATCHDOG_PID=""
 cleanup() {
+    if [ -n "$WATCHDOG_PID" ]; then
+        # Kill the watchdog's `sleep` too: orphaned, it would hold the
+        # script's stdout/stderr pipe open long after the gate exits.
+        pkill -P "$WATCHDOG_PID" 2>/dev/null || true
+        kill "$WATCHDOG_PID" 2>/dev/null || true
+    fi
     [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
     rm -rf "$WORK"
 }
 trap cleanup EXIT
+trap 'exit 124' TERM
+
+# Wall-clock watchdog: a wedged pack/train/serve step must FAIL the
+# gate, not stall CI until the runner's global timeout. SIGTERM first so
+# the EXIT trap still cleans up; SIGKILL backstop.
+WATCHDOG_LIMIT=${BPMF_E2E_TIMEOUT:-900}
+(
+    sleep "$WATCHDOG_LIMIT"
+    echo "watchdog: slab e2e exceeded ${WATCHDOG_LIMIT}s wall clock; aborting" >&2
+    kill -TERM $$ 2>/dev/null
+    sleep 10
+    kill -KILL $$ 2>/dev/null
+) &
+WATCHDOG_PID=$!
 
 # Same launch helper as ci/daemon_e2e.sh: background the server with
 # stdout on a FIFO and block until it announces `serving on HOST:PORT`.

@@ -23,6 +23,8 @@ USAGE:
   bpmf-train recommend --train FILE [OPTIONS] [RECOMMEND OPTIONS]
   bpmf-train serve-daemon --train FILE [OPTIONS] [SERVE OPTIONS]
   bpmf-train serve-router --shard-addr HOST:PORT... [ROUTER OPTIONS]
+  bpmf-train serve-fleet --replica I/N@HOST:PORT[=CKPT]... [FLEET OPTIONS]
+             -- DAEMON ARGS...
   bpmf-train serve-client --addr HOST:PORT [CLIENT OPTIONS]
 
 A `--train` path ending in `.slab` is opened as a packed rating slab and
@@ -109,6 +111,32 @@ chaos drills (also via the BPMF_FAULT_PLAN env var; off when absent):
                       coin per request). KIND: delay:MS|drop|close|panic;
                       TRIGGER: N | N%M | pP
 
+The `serve-fleet` subcommand supervises a whole replica fleet from one
+process: it spawns one `serve-daemon` child per --replica on that
+replica's fixed address, reaps children when they die (no zombies), and
+restarts each on its ORIGINAL port under a per-replica restart budget
+with seeded, jittered exponential backoff. A replica that exhausts its
+budget — or whose checkpoint fails its integrity check before a
+respawn — is quarantined with a typed diagnostic (`crash_loop` /
+`corrupt_artifact`) while its twins keep serving. Everything after `--`
+goes verbatim to every child daemon; it must include --train, while
+--shard/--addr/--resume are owned by the supervisor (from --replica):
+  --replica SPEC      I/N@HOST:PORT[=CKPT]: one child serving range I
+                      of N at HOST:PORT, optionally resuming checkpoint
+                      CKPT (integrity-verified before every (re)spawn).
+                      Repeatable; all N must agree, every range needs at
+                      least one replica, addresses must be unique
+  --restart-limit N   consecutive-failure budget per replica before it
+                      is quarantined; a healthy probe refunds the budget
+                      [default 5]
+  --backoff-base MS   first restart delay; doubles per consecutive
+                      failure, jittered by --seed [default 200]
+  --backoff-max MS    restart-delay ceiling [default 5000]
+  --probe-interval MS liveness-probe period per running replica
+                      [default 500]
+  --probe-failures N  consecutive probe misses before the replica is
+                      killed and restarted [default 3]
+
 The `serve-client` subcommand talks to a running daemon or router (no
 training): one concurrent connection per --user, printed in request
 order in the same format as `recommend` — so the two outputs diff
@@ -172,6 +200,8 @@ pub enum Command {
     ServeDaemon,
     /// Run the scatter-gather router over shard daemons (no training).
     ServeRouter,
+    /// Supervise a fleet of `serve-daemon` children (no training).
+    ServeFleet,
     /// Talk to a running daemon or router (no training).
     ServeClient,
 }
@@ -257,6 +287,53 @@ impl Default for ServeOptions {
     }
 }
 
+/// One `--replica` of the `serve-fleet` subcommand: the catalogue range
+/// a child serves, the fixed address it must come back on after every
+/// restart, and (optionally) the checkpoint it resumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetReplica {
+    /// `(shard_id, num_shards)` of the range this child serves.
+    pub shard: (u32, u32),
+    /// Fixed listen address (`HOST:PORT`; respawns reuse it verbatim).
+    pub addr: String,
+    /// Checkpoint the child resumes, integrity-checked before every
+    /// (re)spawn; `None` trains from scratch on each launch.
+    pub checkpoint: Option<String>,
+}
+
+/// Options of the `serve-fleet` subcommand.
+#[derive(Clone, Debug)]
+pub struct FleetOptions {
+    /// Parsed `--replica` specs in the order given.
+    pub replicas: Vec<FleetReplica>,
+    /// Consecutive-failure budget per replica before quarantine.
+    pub restart_limit: u32,
+    /// First restart delay, in milliseconds.
+    pub backoff_base_ms: f64,
+    /// Restart-delay ceiling, in milliseconds.
+    pub backoff_max_ms: f64,
+    /// Liveness-probe period per running replica, in milliseconds.
+    pub probe_interval_ms: f64,
+    /// Consecutive probe misses before a kill-and-restart.
+    pub probe_failures: u32,
+    /// Everything after `--`, passed verbatim to each child daemon.
+    pub child_args: Vec<String>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            replicas: Vec::new(),
+            restart_limit: 5,
+            backoff_base_ms: 200.0,
+            backoff_max_ms: 5000.0,
+            probe_interval_ms: 500.0,
+            probe_failures: 3,
+            child_args: Vec::new(),
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -267,6 +344,8 @@ pub struct Options {
     pub recommend: RecommendOptions,
     /// `serve-daemon` / `serve-client` subcommand options.
     pub serve: ServeOptions,
+    /// `serve-fleet` subcommand options.
+    pub fleet: FleetOptions,
     /// Path to the MatrixMarket training ratings.
     pub train: String,
     /// Optional path to a held-out MatrixMarket test set.
@@ -364,6 +443,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
         command: Command::Train,
         recommend: RecommendOptions::default(),
         serve: ServeOptions::default(),
+        fleet: FleetOptions::default(),
         train: String::new(),
         test: None,
         test_fraction: 0.1,
@@ -412,6 +492,10 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             opts.command = Command::ServeRouter;
             args = &args[1..];
         }
+        Some("serve-fleet") => {
+            opts.command = Command::ServeFleet;
+            args = &args[1..];
+        }
         Some("serve-client") => {
             opts.command = Command::ServeClient;
             args = &args[1..];
@@ -425,6 +509,7 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     let mut router_flag: Option<&String> = None;
     let mut serve_flag: Option<&String> = None;
     let mut fault_flag: Option<&String> = None;
+    let mut fleet_flag: Option<&String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         // The client never trains: accepting (and ignoring) training
@@ -491,6 +576,37 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                  --shard-addr --inflight-cap --request-timeout --retry-budget \
                  --fault-plan --top-n)"
             )));
+        }
+        // The fleet supervisor never trains in-process: training flags
+        // for the children go after `--` verbatim, and the flags before
+        // it are the supervisor's own small vocabulary.
+        if opts.command == Command::ServeFleet
+            && !matches!(
+                flag.as_str(),
+                "--help"
+                    | "-h"
+                    | "--"
+                    | "--replica"
+                    | "--restart-limit"
+                    | "--backoff-base"
+                    | "--backoff-max"
+                    | "--probe-interval"
+                    | "--probe-failures"
+                    | "--seed"
+            )
+        {
+            return Err(CliError::new(format!(
+                "{flag} is not valid with `serve-fleet` (valid flags: --replica \
+                 --restart-limit --backoff-base --backoff-max --probe-interval \
+                 --probe-failures --seed; child daemon args go after `--`)"
+            )));
+        }
+        if opts.command == Command::ServeFleet && flag == "--" {
+            // Everything after `--` is the child daemons' command line,
+            // passed verbatim (plus the supervisor-owned per-replica
+            // --shard/--addr/--resume) to every spawn.
+            opts.fleet.child_args = it.map(String::clone).collect();
+            break;
         }
         let mut value = || {
             it.next()
@@ -631,6 +747,47 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                 router_flag = Some(flag);
                 opts.serve.retry_budget = parse_num(flag, value()?)?;
             }
+            "--replica" => {
+                fleet_flag = Some(flag);
+                opts.fleet.replicas.push(parse_fleet_replica(value()?)?);
+            }
+            "--restart-limit" => {
+                fleet_flag = Some(flag);
+                opts.fleet.restart_limit = parse_num(flag, value()?)?;
+            }
+            "--backoff-base" => {
+                fleet_flag = Some(flag);
+                opts.fleet.backoff_base_ms = parse_num(flag, value()?)?;
+                if !opts.fleet.backoff_base_ms.is_finite() || opts.fleet.backoff_base_ms <= 0.0 {
+                    return Err(CliError::new(
+                        "--backoff-base must be positive milliseconds",
+                    ));
+                }
+            }
+            "--backoff-max" => {
+                fleet_flag = Some(flag);
+                opts.fleet.backoff_max_ms = parse_num(flag, value()?)?;
+                if !opts.fleet.backoff_max_ms.is_finite() || opts.fleet.backoff_max_ms <= 0.0 {
+                    return Err(CliError::new("--backoff-max must be positive milliseconds"));
+                }
+            }
+            "--probe-interval" => {
+                fleet_flag = Some(flag);
+                opts.fleet.probe_interval_ms = parse_num(flag, value()?)?;
+                if !opts.fleet.probe_interval_ms.is_finite() || opts.fleet.probe_interval_ms <= 0.0
+                {
+                    return Err(CliError::new(
+                        "--probe-interval must be positive milliseconds",
+                    ));
+                }
+            }
+            "--probe-failures" => {
+                fleet_flag = Some(flag);
+                opts.fleet.probe_failures = parse_num(flag, value()?)?;
+                if opts.fleet.probe_failures == 0 {
+                    return Err(CliError::new("--probe-failures must be positive"));
+                }
+            }
             "--fault-plan" => {
                 fault_flag = Some(flag);
                 let spec = value()?.clone();
@@ -719,6 +876,15 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
     if opts.command == Command::ServeRouter {
         opts.serve.shard_groups = group_shard_addrs(&opts.serve.shard_addrs)?;
     }
+    if opts.command != Command::ServeFleet {
+        if let Some(flag) = fleet_flag {
+            return Err(CliError::new(format!(
+                "{flag} is only valid with the `serve-fleet` subcommand"
+            )));
+        }
+    } else {
+        validate_fleet(&opts.fleet)?;
+    }
     if !matches!(opts.command, Command::ServeDaemon | Command::ServeRouter) {
         if let Some(flag) = fault_flag {
             return Err(CliError::new(format!(
@@ -750,8 +916,14 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
             "--user is not valid with `serve-daemon` (clients name users per request)",
         ));
     }
-    // The client and router never train; everything else needs data.
-    if opts.train.is_empty() && !matches!(opts.command, Command::ServeClient | Command::ServeRouter)
+    // The client, router, and fleet supervisor never train in-process;
+    // everything else needs data. (Fleet children get --train through
+    // the `--` passthrough, checked in validate_fleet.)
+    if opts.train.is_empty()
+        && !matches!(
+            opts.command,
+            Command::ServeClient | Command::ServeRouter | Command::ServeFleet
+        )
     {
         return Err(CliError::new("--train is required"));
     }
@@ -836,6 +1008,91 @@ pub fn group_shard_addrs(addrs: &[String]) -> Result<Vec<Vec<String>>, CliError>
         }
     }
     Ok(groups)
+}
+
+/// Parse a `--replica I/N@HOST:PORT[=CKPT]` value.
+pub fn parse_fleet_replica(spec: &str) -> Result<FleetReplica, CliError> {
+    let bad = || {
+        CliError::new(format!(
+            "invalid value '{spec}' for --replica (expected I/N@HOST:PORT[=CKPT], \
+             e.g. 0/2@127.0.0.1:7878=model.json)"
+        ))
+    };
+    let (range, rest) = spec.split_once('@').ok_or_else(bad)?;
+    let shard = parse_shard(range).map_err(|_| bad())?;
+    let (addr, checkpoint) = match rest.split_once('=') {
+        Some((addr, ckpt)) if !ckpt.trim().is_empty() => (addr, Some(ckpt.to_string())),
+        Some(_) => return Err(bad()),
+        None => (rest, None),
+    };
+    if addr.trim().is_empty() {
+        return Err(bad());
+    }
+    Ok(FleetReplica {
+        shard,
+        addr: addr.to_string(),
+        checkpoint,
+    })
+}
+
+/// Cross-flag validation for `serve-fleet`: a coherent replica set (same
+/// N everywhere, every range covered, no two children fighting over one
+/// port) and a child command line the supervisor can actually spawn.
+fn validate_fleet(fleet: &FleetOptions) -> Result<(), CliError> {
+    if fleet.replicas.is_empty() {
+        return Err(CliError::new(
+            "serve-fleet needs at least one --replica I/N@HOST:PORT[=CKPT]",
+        ));
+    }
+    let n = fleet.replicas[0].shard.1;
+    let mut covered = vec![false; n as usize];
+    let mut seen = std::collections::HashSet::new();
+    for r in &fleet.replicas {
+        if r.shard.1 != n {
+            return Err(CliError::new(format!(
+                "--replica {}/{}@{}: declares {} shard range(s) but an earlier \
+                 replica declared {n}",
+                r.shard.0, r.shard.1, r.addr, r.shard.1
+            )));
+        }
+        covered[r.shard.0 as usize] = true;
+        if !seen.insert(r.addr.as_str()) {
+            return Err(CliError::new(format!(
+                "--replica: two replicas on {} would fight over one port; \
+                 addresses must be unique",
+                r.addr
+            )));
+        }
+    }
+    if let Some(i) = covered.iter().position(|c| !c) {
+        return Err(CliError::new(format!(
+            "--replica: range {i}/{n} has no replica; every range needs at least one"
+        )));
+    }
+    // The supervisor appends --shard/--addr/--resume per replica; a copy
+    // in the passthrough would silently override them for every child.
+    if let Some(owned) = fleet
+        .child_args
+        .iter()
+        .find(|a| matches!(a.as_str(), "--shard" | "--addr" | "--resume"))
+    {
+        return Err(CliError::new(format!(
+            "{owned} after `--` is owned by the supervisor: put the range, address, \
+             and checkpoint in --replica I/N@HOST:PORT[=CKPT] instead"
+        )));
+    }
+    if !fleet.child_args.iter().any(|a| a == "--train") {
+        return Err(CliError::new(
+            "serve-fleet needs the child daemon command line after `--`, including \
+             --train (e.g. `-- --train r.mtx --k 8`)",
+        ));
+    }
+    if fleet.backoff_base_ms > fleet.backoff_max_ms {
+        return Err(CliError::new(
+            "--backoff-base must not exceed --backoff-max",
+        ));
+    }
+    Ok(())
 }
 
 /// Parse a `--shard I/N` value (shard index / total shards).
@@ -1254,6 +1511,90 @@ mod tests {
         }
         // --retry-budget is router-only.
         assert!(parse_args(&argv("serve-daemon --train a.mtx --retry-budget 1")).is_err());
+    }
+
+    #[test]
+    fn serve_fleet_subcommand_parses() {
+        let opts = parse_args(&argv(
+            "serve-fleet --replica 0/2@127.0.0.1:7001=m.json \
+             --replica 0/2@127.0.0.1:7002=m.json --replica 1/2@127.0.0.1:7003 \
+             --restart-limit 3 --backoff-base 50 --backoff-max 900 \
+             --probe-interval 100 --probe-failures 2 --seed 7 \
+             -- --train r.mtx --k 4 --top-n 5",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.command, Command::ServeFleet);
+        assert_eq!(opts.fleet.replicas.len(), 3);
+        assert_eq!(
+            opts.fleet.replicas[0],
+            FleetReplica {
+                shard: (0, 2),
+                addr: "127.0.0.1:7001".to_string(),
+                checkpoint: Some("m.json".to_string()),
+            }
+        );
+        assert_eq!(opts.fleet.replicas[2].checkpoint, None);
+        assert_eq!(opts.fleet.restart_limit, 3);
+        assert_eq!(opts.fleet.backoff_base_ms, 50.0);
+        assert_eq!(opts.fleet.backoff_max_ms, 900.0);
+        assert_eq!(opts.fleet.probe_interval_ms, 100.0);
+        assert_eq!(opts.fleet.probe_failures, 2);
+        assert_eq!(opts.seed, 7);
+        // The passthrough is verbatim, order preserved, --train included.
+        assert_eq!(opts.fleet.child_args, argv("--train r.mtx --k 4 --top-n 5"));
+        // The supervisor itself never trains.
+        assert!(opts.train.is_empty());
+    }
+
+    #[test]
+    fn serve_fleet_defaults_are_sane() {
+        let opts = parse_args(&argv(
+            "serve-fleet --replica 0/1@127.0.0.1:7001 -- --train r.mtx",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.fleet.restart_limit, 5);
+        assert_eq!(opts.fleet.backoff_base_ms, 200.0);
+        assert_eq!(opts.fleet.backoff_max_ms, 5000.0);
+        assert_eq!(opts.fleet.probe_interval_ms, 500.0);
+        assert_eq!(opts.fleet.probe_failures, 3);
+    }
+
+    #[test]
+    fn serve_fleet_rejects_incoherent_invocations() {
+        for bad in [
+            // No replicas / no child args / child args without --train.
+            "serve-fleet -- --train r.mtx",
+            "serve-fleet --replica 0/1@a:1",
+            "serve-fleet --replica 0/1@a:1 -- --k 4",
+            // Malformed replica specs.
+            "serve-fleet --replica a:1 -- --train r.mtx",
+            "serve-fleet --replica 1/1@a:1 -- --train r.mtx",
+            "serve-fleet --replica 0/1@ -- --train r.mtx",
+            "serve-fleet --replica 0/1@a:1= -- --train r.mtx",
+            // N disagreement, uncovered range, duplicate address.
+            "serve-fleet --replica 0/2@a:1 --replica 1/3@a:2 -- --train r.mtx",
+            "serve-fleet --replica 0/2@a:1 -- --train r.mtx",
+            "serve-fleet --replica 0/2@a:1 --replica 1/2@a:1 -- --train r.mtx",
+            // Supervisor-owned flags in the passthrough.
+            "serve-fleet --replica 0/1@a:1 -- --train r.mtx --shard 0/1",
+            "serve-fleet --replica 0/1@a:1 -- --train r.mtx --addr b:2",
+            "serve-fleet --replica 0/1@a:1 -- --train r.mtx --resume c.json",
+            // Bad knob values and training flags before the `--`.
+            "serve-fleet --replica 0/1@a:1 --backoff-base 0 -- --train r.mtx",
+            "serve-fleet --replica 0/1@a:1 --probe-failures 0 -- --train r.mtx",
+            "serve-fleet --replica 0/1@a:1 --backoff-base 900 --backoff-max 100 \
+             -- --train r.mtx",
+            "serve-fleet --replica 0/1@a:1 --train r.mtx -- --train r.mtx",
+            "serve-fleet --replica 0/1@a:1 --addr b:2 -- --train r.mtx",
+        ] {
+            assert!(parse_args(&argv(bad)).is_err(), "{bad} should be rejected");
+        }
+        // Fleet flags need the subcommand.
+        assert!(parse_args(&argv("--train r.mtx --replica 0/1@a:1")).is_err());
+        assert!(parse_args(&argv("--train r.mtx --restart-limit 2")).is_err());
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --probe-interval 9")).is_err());
     }
 
     #[test]

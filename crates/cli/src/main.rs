@@ -16,7 +16,10 @@
 //! fitted model resident and serves request-coalesced traffic over TCP
 //! (`bpmf::serve::daemon`); `serve-router` scatter-gathers the same wire
 //! protocol across a fleet of `--shard i/N` daemons
-//! (`bpmf::serve::router`); `serve-client` is the matching test/ops
+//! (`bpmf::serve::router`); `serve-fleet` supervises a whole replica
+//! fleet as child processes — reaping, budgeted restarts on the original
+//! ports, quarantine on crash loops or corrupt checkpoints
+//! (`bpmf::serve::supervise`); `serve-client` is the matching test/ops
 //! client.
 //!
 //! ```text
@@ -59,6 +62,7 @@ use bpmf::serve::faults::FaultPlan;
 use bpmf::serve::net;
 use bpmf::serve::router::{self, RouterConfig};
 use bpmf::serve::shard::{slice_train_columns, ShardSpec, ShardView};
+use bpmf::serve::supervise::{self, ReplicaSpec, SuperviseConfig};
 use bpmf::serve::{wire, RankPolicy, RecommendService, ServeRequest, MICRO_BATCH};
 use bpmf::{
     Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats, MappedSlab, RatingStore,
@@ -86,6 +90,7 @@ fn main() -> ExitCode {
         Command::Pack => run_pack(&opts),
         Command::ServeClient => run_client(&opts),
         Command::ServeRouter => run_router(&opts),
+        Command::ServeFleet => run_fleet(&opts),
         _ => run(&opts),
     };
     match result {
@@ -123,6 +128,17 @@ impl IterCallback for CliCallback<'_> {
         .ok();
         self.trace.push(s.rmse_sample);
         self.printed += 1;
+        // A failed background checkpoint write aborts on the very next
+        // iteration with the real I/O error, instead of training on for
+        // minutes and only surfacing the failure at finish().
+        if let Some(writer) = self.checkpoint_writer {
+            if let Some(msg) = writer.pending_error() {
+                self.error = Some(CliError::new(format!(
+                    "periodic checkpoint write failed: {msg}"
+                )));
+                return FitControl::Stop;
+            }
+        }
         if let Some(path) = self.checkpoint {
             let last = s.iter + 1 >= self.total_iterations;
             let periodic = self
@@ -319,10 +335,11 @@ fn run(opts: &Options) -> Result<(), CliError> {
     let mut resumed_iter: Option<usize> = None;
     let mut resumed_shard: Option<ShardSpec> = None;
     if let Some(path) = &opts.resume {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
-        let ckpt: SamplerCheckpoint = serde_json::from_str(&text)
-            .map_err(|e| CliError::new(format!("cannot parse {path}: {e}")))?;
+        // The envelope checksum is verified here: a torn, truncated, or
+        // bit-flipped checkpoint is a typed integrity error, never a
+        // resume from garbage posterior state.
+        let ckpt = bpmf::checkpoint::read_checkpoint(std::path::Path::new(path))
+            .map_err(|e| CliError::new(format!("cannot resume: {e}")))?;
         eprintln!("resuming from {path} at iteration {}", ckpt.iter);
         resumed_iter = Some(ckpt.iter);
         resumed_shard = ckpt.shard;
@@ -626,6 +643,15 @@ fn run_pack(opts: &Options) -> Result<(), CliError> {
     write_slab(&mut w, &train, &train_t, global_mean, &extents)
         .map_err(|e| CliError::new(format!("cannot write {out}: {e}")))?;
     w.flush()?;
+    drop(w);
+    // Disk-fault arm for drills (BPMF_FAULT_PLAN): a scheduled truncate/
+    // corrupt lands on the freshly written slab exactly as a failing disk
+    // would; a scheduled ENOSPC fails the pack and removes the partial
+    // output instead of leaving an artifact that looks complete.
+    if let Err(e) = bpmf::serve::faults::mangle_artifact_file(std::path::Path::new(out)) {
+        std::fs::remove_file(out).ok();
+        return Err(CliError::new(format!("cannot write {out}: {e}")));
+    }
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     eprintln!(
         "packed {out}: {} x {}, {} ratings in {} extents ({bytes} bytes, mean {global_mean:.6})",
@@ -783,13 +809,107 @@ fn run_router(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Connect with retry and exponential backoff (10 ms doubling to 500 ms,
-/// ~10 s budget) so scripts can launch a daemon or router and immediately
-/// fire clients, with no sleep-based startup synchronization. Only
-/// "not up yet" failures are retried; anything else fails fast.
+/// The `serve-fleet` subcommand: spawn one `serve-daemon` child per
+/// `--replica` and keep the fleet alive — reap exits, respawn on the
+/// original ports under the per-replica restart budget with jittered
+/// backoff, kill-and-restart replicas that stop answering health probes,
+/// and quarantine crash-loopers or replicas whose checkpoint fails its
+/// integrity check (typed `crash_loop` / `corrupt_artifact` diagnostics
+/// on stderr, one JSON line each) — until SIGINT/SIGTERM.
+fn run_fleet(opts: &Options) -> Result<(), CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::new(format!("cannot locate own binary: {e}")))?
+        .to_string_lossy()
+        .into_owned();
+    let specs: Vec<ReplicaSpec> = opts
+        .fleet
+        .replicas
+        .iter()
+        .map(|r| {
+            // Child = this binary's serve-daemon with the verbatim
+            // passthrough args, plus the supervisor-owned per-replica
+            // range, address, and checkpoint. Respawns reuse the argv
+            // unchanged, so a replica always returns on its own port.
+            let mut argv = vec![exe.clone(), "serve-daemon".to_string()];
+            argv.extend(opts.fleet.child_args.iter().cloned());
+            argv.push("--shard".to_string());
+            argv.push(format!("{}/{}", r.shard.0, r.shard.1));
+            argv.push("--addr".to_string());
+            argv.push(r.addr.clone());
+            if let Some(ckpt) = &r.checkpoint {
+                argv.push("--resume".to_string());
+                argv.push(ckpt.clone());
+            }
+            ReplicaSpec {
+                id: format!("{}/{}@{}", r.shard.0, r.shard.1, r.addr),
+                addr: r.addr.clone(),
+                argv,
+                checkpoint: r.checkpoint.as_ref().map(std::path::PathBuf::from),
+            }
+        })
+        .collect();
+    let cfg = SuperviseConfig {
+        restart_limit: opts.fleet.restart_limit,
+        backoff_base: Duration::from_secs_f64(opts.fleet.backoff_base_ms / 1e3),
+        backoff_max: Duration::from_secs_f64(opts.fleet.backoff_max_ms / 1e3),
+        probe_interval: Duration::from_secs_f64(opts.fleet.probe_interval_ms / 1e3),
+        probe_failures: opts.fleet.probe_failures,
+        seed: opts.seed,
+        ..SuperviseConfig::default()
+    };
+    install_shutdown_handler();
+    // Scripts block on this line (stdout, flushed) the same way they
+    // block on a daemon's `serving on` announcement.
+    println!("supervising {} replica(s)", specs.len());
+    std::io::stdout().flush()?;
+    eprintln!(
+        "serve-fleet: restart budget {}, backoff {}..{} ms, probe every {} ms \
+         ({} misses kill); stop with ctrl-c/SIGTERM",
+        opts.fleet.restart_limit,
+        opts.fleet.backoff_base_ms,
+        opts.fleet.backoff_max_ms,
+        opts.fleet.probe_interval_ms,
+        opts.fleet.probe_failures
+    );
+    // Lifecycle events stream to stderr as JSON lines; ops tooling (and
+    // the CI supervisor gate) greps the stable `code` slugs.
+    let mut events = |d: wire::Diagnostic| {
+        let line = serde_json::to_string(&d).unwrap_or_else(|_| d.detail.clone());
+        eprintln!("supervisor: {line}");
+    };
+    let report = supervise::supervise(&specs, &cfg, &SHUTDOWN, &mut events)
+        .map_err(|e| CliError::new(format!("supervisor failed: {e}")))?;
+    eprintln!(
+        "fleet drained: {} spawn(s), {} restart(s) ({} probe-triggered), \
+         {} quarantined",
+        report.spawns, report.restarts, report.probe_restarts, report.quarantined
+    );
+    // Losing every replica is a failure even though the supervisor itself
+    // exited cleanly; losing some is a degraded-but-serving shutdown.
+    if report.quarantined as usize == specs.len() {
+        return Err(CliError::new(
+            "every replica is quarantined; nothing left to supervise",
+        ));
+    }
+    Ok(())
+}
+
+/// Connect with retry and seeded jittered exponential backoff (10 ms
+/// envelope doubling to 500 ms, ~10 s budget) so scripts can launch a
+/// daemon or router and immediately fire clients, with no sleep-based
+/// startup synchronization. The jitter seed mixes the process id with
+/// the target address: the 16+ concurrent clients CI fires at one
+/// starting server retry desynchronized instead of stampeding it in
+/// lockstep. Only "not up yet" failures are retried; anything else
+/// fails fast.
 fn connect_with_retry(addr: &str) -> Result<TcpStream, CliError> {
     let deadline = Instant::now() + Duration::from_secs(10);
-    let mut backoff = Duration::from_millis(10);
+    // FNV-1a over the address, salted with the pid.
+    let seed = addr.bytes().fold(
+        0xcbf2_9ce4_8422_2325u64 ^ u64::from(std::process::id()),
+        |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3),
+    );
+    let mut attempt = 0u32;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
@@ -801,13 +921,19 @@ fn connect_with_retry(addr: &str) -> Result<TcpStream, CliError> {
                         | std::io::ErrorKind::ConnectionAborted
                         | std::io::ErrorKind::TimedOut
                 );
+                let backoff = net::jittered_backoff(
+                    attempt,
+                    Duration::from_millis(10),
+                    Duration::from_millis(500),
+                    seed,
+                );
                 if !transient || Instant::now() + backoff >= deadline {
                     return Err(CliError::new(format!("cannot connect to {addr}: {e}")));
                 }
+                std::thread::sleep(backoff);
+                attempt = attempt.saturating_add(1);
             }
         }
-        std::thread::sleep(backoff);
-        backoff = (backoff * 2).min(Duration::from_millis(500));
     }
 }
 

@@ -13,14 +13,34 @@
 //! serialize-and-write; [`AsyncCheckpointWriter`] moves that off the
 //! training thread — the sampler hands the state over and keeps sampling
 //! while a dedicated writer thread serializes and write-then-renames it.
+//!
+//! ## Integrity envelope
+//!
+//! Checkpoints carry a one-line header ahead of the JSON payload:
+//!
+//! ```text
+//! %BPMFCKPT crc32c=9a8b7c6d len=12345
+//! {"num_latent":...}
+//! ```
+//!
+//! [`write_checkpoint_sync`] stamps it; [`read_checkpoint`] verifies both
+//! the byte length (catches truncation) and the CRC32C (catches bit rot
+//! and torn writes) before deserializing, so a damaged checkpoint is a
+//! typed [`BpmfError::Integrity`] on every resume path — the supervisor
+//! relies on this to quarantine a replica rather than resurrect garbage
+//! factors. Headerless legacy checkpoints still load, unverified.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use bpmf_linalg::Mat;
+use bpmf_sparse::crc32c;
 use serde::{Deserialize, Serialize};
+
+use crate::error::BpmfError;
 
 /// Serializable dense matrix (row-major).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -126,17 +146,99 @@ pub struct SamplerCheckpoint {
     pub shard: Option<crate::serve::shard::ShardSpec>,
 }
 
-/// Serialize `ckpt` as JSON and write it atomically: the bytes land in a
-/// sibling `*.tmp` file first and are renamed over `path`, so an interrupt
-/// mid-write can never corrupt the previous checkpoint.
+/// First token of the checkpoint integrity header line.
+pub const CHECKPOINT_MAGIC: &str = "%BPMFCKPT";
+
+/// Serialize `ckpt` as JSON behind the integrity header and write it
+/// atomically: the bytes land in a sibling `*.tmp` file first and are
+/// renamed over `path`, so an interrupt mid-write can never corrupt the
+/// previous checkpoint. The header's CRC32C and byte length let
+/// [`read_checkpoint`] refuse a file that was damaged *after* the rename.
 pub fn write_checkpoint_sync(path: &Path, ckpt: &SamplerCheckpoint) -> io::Result<()> {
     let json = serde_json::to_string(ckpt)
         .map_err(|e| io::Error::other(format!("cannot serialize checkpoint: {e}")))?;
+    let payload = json.as_bytes();
+    let mut bytes = format!(
+        "{CHECKPOINT_MAGIC} crc32c={:08x} len={}\n",
+        crc32c(payload),
+        payload.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(payload);
+    // Fault-injection hook: a disk-fault arm in the active plan mutates
+    // the artifact (or refuses the write) exactly as a failing disk would.
+    crate::serve::faults::mangle_artifact(&mut bytes)?;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, json)?;
+    std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)
+}
+
+/// Read and verify a checkpoint written by [`write_checkpoint_sync`].
+///
+/// Files carrying the [`CHECKPOINT_MAGIC`] header are checked for exact
+/// payload length and CRC32C before JSON parsing — truncation, torn
+/// writes, and bit flips all surface as [`BpmfError::Integrity`], never a
+/// panic or silently-wrong factors. Headerless legacy files (pre-envelope
+/// checkpoints) parse unverified.
+pub fn read_checkpoint(path: &Path) -> Result<SamplerCheckpoint, BpmfError> {
+    let raw = std::fs::read(path)
+        .map_err(|e| BpmfError::Store(format!("cannot read checkpoint {}: {e}", path.display())))?;
+    parse_checkpoint_bytes(&raw).map_err(|e| match e {
+        BpmfError::Integrity(msg) => {
+            BpmfError::Integrity(format!("checkpoint {}: {msg}", path.display()))
+        }
+        other => other,
+    })
+}
+
+/// Parse (and, when the integrity header is present, verify) checkpoint
+/// bytes. Exposed for fuzzing: every corruption of a valid file must land
+/// in a typed error here.
+pub fn parse_checkpoint_bytes(raw: &[u8]) -> Result<SamplerCheckpoint, BpmfError> {
+    let bad = |msg: String| BpmfError::Integrity(msg);
+    let payload = if raw.starts_with(CHECKPOINT_MAGIC.as_bytes()) {
+        let nl = raw
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| bad("integrity header has no terminating newline".to_string()))?;
+        let header = std::str::from_utf8(&raw[..nl])
+            .map_err(|_| bad("integrity header is not UTF-8".to_string()))?;
+        let mut want_crc = None;
+        let mut want_len = None;
+        for token in header.split_whitespace().skip(1) {
+            if let Some(hex) = token.strip_prefix("crc32c=") {
+                want_crc = u32::from_str_radix(hex, 16).ok();
+            } else if let Some(dec) = token.strip_prefix("len=") {
+                want_len = dec.parse::<usize>().ok();
+            }
+        }
+        let (want_crc, want_len) = match (want_crc, want_len) {
+            (Some(c), Some(l)) => (c, l),
+            _ => return Err(bad(format!("malformed integrity header '{header}'"))),
+        };
+        let payload = &raw[nl + 1..];
+        if payload.len() != want_len {
+            return Err(bad(format!(
+                "payload is {} bytes but the header promises {want_len} (truncated or torn write)",
+                payload.len()
+            )));
+        }
+        let got_crc = crc32c(payload);
+        if got_crc != want_crc {
+            return Err(bad(format!(
+                "checksum mismatch (stored {want_crc:#010x}, computed {got_crc:#010x})"
+            )));
+        }
+        payload
+    } else {
+        raw // legacy headerless checkpoint: accept unverified
+    };
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| bad("checkpoint payload is not UTF-8".to_string()))?;
+    serde_json::from_str(text)
+        .map_err(|e| bad(format!("checkpoint payload is not valid JSON: {e}")))
 }
 
 /// A dedicated checkpoint-writer thread.
@@ -145,26 +247,38 @@ pub fn write_checkpoint_sync(path: &Path, ckpt: &SamplerCheckpoint) -> io::Resul
 /// channel and returns immediately; the writer thread serializes it and
 /// performs the atomic write-then-rename of [`write_checkpoint_sync`] in
 /// the background, overlapping checkpoint I/O with the next sampling
-/// iterations. On the first I/O failure the thread stops; the error
-/// surfaces from [`finish`](AsyncCheckpointWriter::finish) (and `submit`
-/// starts returning `false`). Submissions are written in order, and
-/// `finish` drains everything still queued before returning.
+/// iterations. On the first I/O failure the thread stops; the failure is
+/// visible immediately via [`pending_error`](AsyncCheckpointWriter::pending_error)
+/// (and `submit` starts returning `false`), so a periodic-checkpoint
+/// callback can abort a long run at the *next tick* rather than
+/// discovering a dead disk hours later at
+/// [`finish`](AsyncCheckpointWriter::finish). Submissions are written in
+/// order, and `finish` drains everything still queued before returning.
 #[derive(Debug)]
 pub struct AsyncCheckpointWriter {
     tx: Option<mpsc::Sender<(PathBuf, Box<SamplerCheckpoint>)>>,
     handle: Option<thread::JoinHandle<io::Result<usize>>>,
+    error: Arc<Mutex<Option<String>>>,
 }
 
 impl AsyncCheckpointWriter {
     /// Start the writer thread.
     pub fn spawn() -> Self {
         let (tx, rx) = mpsc::channel::<(PathBuf, Box<SamplerCheckpoint>)>();
+        let error = Arc::new(Mutex::new(None::<String>));
+        let slot = Arc::clone(&error);
         let handle = thread::Builder::new()
             .name("bpmf-ckpt-writer".to_string())
             .spawn(move || {
                 let mut written = 0usize;
                 for (path, ckpt) in rx {
-                    write_checkpoint_sync(&path, &ckpt)?;
+                    if let Err(e) = write_checkpoint_sync(&path, &ckpt) {
+                        // Park the error where the training thread can see
+                        // it on its next tick, then stop accepting work.
+                        *slot.lock().expect("error slot") =
+                            Some(format!("writing {}: {e}", path.display()));
+                        return Err(e);
+                    }
                     written += 1;
                 }
                 Ok(written)
@@ -173,13 +287,26 @@ impl AsyncCheckpointWriter {
         AsyncCheckpointWriter {
             tx: Some(tx),
             handle: Some(handle),
+            error,
         }
     }
 
+    /// The first write failure, if one has happened yet. Non-blocking;
+    /// intended for periodic-tick polling so a dying disk aborts the run
+    /// early instead of at `finish`.
+    pub fn pending_error(&self) -> Option<String> {
+        self.error.lock().expect("error slot").clone()
+    }
+
     /// Queue one checkpoint for background writing. Returns `false` when
-    /// the writer thread has already failed (call
-    /// [`finish`](AsyncCheckpointWriter::finish) for the error).
+    /// the writer thread has already failed (see
+    /// [`pending_error`](AsyncCheckpointWriter::pending_error) for the
+    /// message, or [`finish`](AsyncCheckpointWriter::finish) for the
+    /// underlying `io::Error`).
     pub fn submit(&self, path: impl Into<PathBuf>, ckpt: SamplerCheckpoint) -> bool {
+        if self.pending_error().is_some() {
+            return false;
+        }
         match &self.tx {
             Some(tx) => tx.send((path.into(), Box::new(ckpt))).is_ok(),
             None => false,
@@ -297,8 +424,7 @@ mod tests {
             assert!(writer.submit(&path, tiny_checkpoint(iter)));
         }
         assert_eq!(writer.finish().expect("all writes succeed"), 5);
-        let back: SamplerCheckpoint =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back = read_checkpoint(&path).expect("verified read");
         // Last submission wins: writes are ordered.
         assert_eq!(back.iter, 4);
         let _ = std::fs::remove_file(&path);
@@ -312,6 +438,89 @@ mod tests {
         let writer = AsyncCheckpointWriter::spawn();
         writer.submit(&missing, tiny_checkpoint(0));
         assert!(writer.finish().is_err());
+    }
+
+    #[test]
+    fn async_writer_surfaces_io_errors_on_the_next_tick() {
+        let missing = std::env::temp_dir()
+            .join(format!("bpmf-no-such-dir-tick-{}", std::process::id()))
+            .join("ckpt.json");
+        let writer = AsyncCheckpointWriter::spawn();
+        assert!(writer.pending_error().is_none());
+        writer.submit(&missing, tiny_checkpoint(0));
+        // The failure becomes visible without closing the writer — this is
+        // what lets the periodic-checkpoint callback abort a run early.
+        let mut polled = None;
+        for _ in 0..200 {
+            polled = writer.pending_error();
+            if polled.is_some() {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let msg = polled.expect("error surfaces before finish");
+        assert!(msg.contains("ckpt.json"), "{msg}");
+        // And a subsequent submit is refused.
+        assert!(!writer.submit(&missing, tiny_checkpoint(1)));
+        assert!(writer.finish().is_err());
+    }
+
+    #[test]
+    fn checkpoint_envelope_roundtrips_and_verifies() {
+        let path = std::env::temp_dir().join(format!("bpmf-env-ckpt-{}.json", std::process::id()));
+        write_checkpoint_sync(&path, &tiny_checkpoint(3)).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(raw.starts_with(CHECKPOINT_MAGIC.as_bytes()));
+        assert_eq!(read_checkpoint(&path).unwrap().iter, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_typed_integrity_errors() {
+        let good = {
+            let json = serde_json::to_string(&tiny_checkpoint(5)).unwrap();
+            let mut bytes = format!(
+                "{CHECKPOINT_MAGIC} crc32c={:08x} len={}\n",
+                crc32c(json.as_bytes()),
+                json.len()
+            )
+            .into_bytes();
+            bytes.extend_from_slice(json.as_bytes());
+            bytes
+        };
+        assert_eq!(parse_checkpoint_bytes(&good).unwrap().iter, 5);
+
+        // Bit flip in the payload → checksum mismatch.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let err = parse_checkpoint_bytes(&flipped).unwrap_err();
+        assert!(matches!(err, BpmfError::Integrity(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncation → length mismatch (even when the JSON stays valid-ish).
+        let err = parse_checkpoint_bytes(&good[..good.len() - 7]).unwrap_err();
+        assert!(matches!(err, BpmfError::Integrity(_)), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        // Mangled header → typed, not a panic.
+        let mut header = good.clone();
+        header[12] = b'!';
+        assert!(matches!(
+            parse_checkpoint_bytes(&header).unwrap_err(),
+            BpmfError::Integrity(_)
+        ));
+    }
+
+    #[test]
+    fn legacy_headerless_checkpoints_still_load() {
+        let json = serde_json::to_string(&tiny_checkpoint(9)).unwrap();
+        assert_eq!(parse_checkpoint_bytes(json.as_bytes()).unwrap().iter, 9);
+        // But headerless garbage is still a typed error.
+        assert!(matches!(
+            parse_checkpoint_bytes(b"{not json").unwrap_err(),
+            BpmfError::Integrity(_)
+        ));
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub enum BpmfError {
     },
     /// An out-of-core rating store failed to open, parse, or validate.
     Store(String),
+    /// An on-disk artifact (slab or checkpoint) failed checksum
+    /// verification: a torn write, truncation, or bit rot. Recovery paths
+    /// must refuse such state rather than resurrect garbage factors.
+    Integrity(String),
     /// An algorithm name failed to parse.
     UnknownAlgorithm(String),
     /// A ranking-policy name failed to parse.
@@ -142,6 +146,7 @@ impl fmt::Display for BpmfError {
                 write!(f, "{feature} is not supported by the {algorithm} algorithm")
             }
             BpmfError::Store(msg) => write!(f, "rating store error: {msg}"),
+            BpmfError::Integrity(msg) => write!(f, "artifact integrity error: {msg}"),
             BpmfError::UnknownAlgorithm(name) => {
                 write!(
                     f,

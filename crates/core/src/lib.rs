@@ -38,7 +38,10 @@
 //!   uncertainty-aware ranking policies (mean / UCB / Thompson), and the
 //!   persistent serving daemon ([`serve::daemon`]): concurrent TCP
 //!   requests coalesced ([`serve::coalesce`]) into GEMM micro-batches
-//!   behind a newline-delimited JSON protocol ([`serve::wire`]);
+//!   behind a newline-delimited JSON protocol ([`serve::wire`]), with
+//!   [`serve::supervise`] keeping the replica fleet itself alive
+//!   (respawn under restart budgets, quarantine on crash loops or
+//!   checksum-corrupt artifacts);
 //! * [`FeatureSideInfo`] — Macau-style side information (the paper's
 //!   reference \[6\]): per-item features shift the prior mean through a
 //!   Gibbs-sampled link matrix, closing the ChEMBL cold-start gap;
@@ -218,6 +221,50 @@
 //!     stop_b.store(true, Ordering::Relaxed);
 //! });
 //! # Ok::<(), bpmf::BpmfError>(())
+//! ```
+//!
+//! Failover masks a replica death; [`serve::supervise`] *heals* it. One
+//! supervisor process owns the whole fleet as children, reaps deaths
+//! (SIGCHLD-aware, no zombies), respawns each replica on its original
+//! port under a jittered restart budget, health-probes the survivors,
+//! and — because every (re)spawn re-verifies the replica's checkpoint
+//! checksum first — never resurrects a replica onto corrupt state.
+//! `bpmf-train serve-fleet --replica i/N@HOST:PORT=CKPT … -- DAEMON ARGS`
+//! wraps exactly this. A replica that keeps dying is quarantined with a
+//! typed diagnostic rather than restarted forever:
+//!
+//! ```
+//! use bpmf::serve::supervise::{supervise, ReplicaSpec, SuperviseConfig};
+//! use bpmf::serve::wire;
+//! use std::sync::atomic::AtomicBool;
+//! use std::time::Duration;
+//!
+//! let crash_looper = ReplicaSpec {
+//!     id: "0/1@127.0.0.1:7001".into(),
+//!     addr: "127.0.0.1:7001".into(),
+//!     // Normally `bpmf-train serve-daemon --shard 0/1 --addr …`; respawns
+//!     // reuse this argv verbatim so the replica returns on its port.
+//!     argv: vec!["/bin/sh".into(), "-c".into(), "exit 1".into()],
+//!     checkpoint: None, // integrity-checked before every (re)spawn when set
+//! };
+//! let cfg = SuperviseConfig {
+//!     restart_limit: 2,
+//!     backoff_base: Duration::from_millis(2),
+//!     backoff_max: Duration::from_millis(8),
+//!     ..SuperviseConfig::default()
+//! };
+//! let mut events = Vec::new();
+//! let report = supervise(
+//!     &[crash_looper],
+//!     &cfg,
+//!     &AtomicBool::new(false), // the CLI wires SIGINT/SIGTERM to this
+//!     &mut |d| events.push(d),
+//! )?;
+//! // Initial spawn + 2 budget-charged respawns, then quarantine — the
+//! // supervisor returns on its own once nothing is left to supervise.
+//! assert_eq!((report.spawns, report.quarantined), (3, 1));
+//! assert!(events.iter().any(|d| d.code == wire::CODE_CRASH_LOOP));
+//! # Ok::<(), std::io::Error>(())
 //! ```
 //!
 //! The same `fit` call trains ALS or SGD instead: pick the algorithm with

@@ -141,8 +141,64 @@
 //! aggregate per-replica reports (dead replicas, dead ranges, epoch
 //! skew, failover/retry counters) for diagnostics, and [`faults`]
 //! provides the seeded fault-injection layer (`delay` / `drop` /
-//! `close` / `panic` at scripted request ordinals) that makes the
-//! failover paths deterministically testable — off in release paths.
+//! `close` / `panic` at scripted request ordinals, plus `truncate` /
+//! `corrupt` / `enospc` on a separate artifact-write counter) that makes
+//! the failover and recovery paths deterministically testable — off in
+//! release paths.
+//!
+//! # Self-healing fleet: supervision
+//!
+//! Failover keeps traffic flowing while a replica is down; [`supervise`]
+//! is what brings the replica *back*. One supervisor process owns the
+//! whole fleet as child processes, declared once as
+//! [`supervise::ReplicaSpec`]s (`bpmf-train serve-fleet` on the CLI):
+//!
+//! ```text
+//!                    serve::supervise (one process)
+//!    SIGCHLD-aware reap loop · health probes · restart budgets
+//!      │ spawn/respawn (argv verbatim → ORIGINAL ports)
+//!      ▼
+//!  ┌───────────┐ ┌───────────┐ ┌───────────┐ ┌───────────┐
+//!  │ 0/2:7001  │ │ 0/2:7002  │ │ 1/2:7003  │ │ 1/2:7004  │  children
+//!  └───────────┘ └───────────┘ └───────────┘ └───────────┘
+//!      ▲ fixed replica addresses, so the router needs no re-config
+//!  ┌───┴────────────────────────────────────────────────┐
+//!  │ router::serve — failover bridges each restart gap  │
+//!  └────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Reaping**: children are `waitpid`-ed promptly (a `SIGCHLD` flag
+//!   short-cuts the poll tick), so a crashed replica never lingers as a
+//!   zombie and its exit is observed within one tick.
+//! * **Respawn on the original port**: the replica's argv is reused
+//!   verbatim and the daemon binds with `SO_REUSEADDR`
+//!   ([`net::bind_reuseaddr`]), so the address survives `TIME_WAIT`.
+//!   The router's per-range group pinning re-admits the replica at the
+//!   epoch it already pinned — recovery is client-invisible.
+//! * **Restart budget**: each respawn waits a seeded, jittered
+//!   exponential backoff ([`net::jittered_backoff`], one seed per
+//!   replica — a fleet-wide crash does not respawn as a thundering
+//!   herd). A replica charged `restart_limit` *consecutive* failures —
+//!   exits or probe kills, without a healthy probe in between — is
+//!   **quarantined** with a typed [`wire::CODE_CRASH_LOOP`] diagnostic
+//!   instead of being restarted forever; a healthy probe refunds the
+//!   budget, so a slow memory leak that crashes daily never accumulates
+//!   into quarantine.
+//! * **Health probes**: a running child is probed over its own wire
+//!   protocol (`ping`); `probe_failures` consecutive misses mean the
+//!   process is alive but not serving (wedged accept loop, deadlock) —
+//!   it is killed and charged like a crash.
+//! * **Integrity gate**: before *every* (re)spawn the replica's
+//!   checkpoint is re-verified ([`crate::checkpoint::read_checkpoint`];
+//!   slabs carry per-section CRC32C the same way). A corrupt artifact
+//!   quarantines the replica immediately with
+//!   [`wire::CODE_CORRUPT_ARTIFACT`] — the one thing a self-healing
+//!   loop must never do is resurrect a replica onto damaged state and
+//!   serve garbage rankings that *look* healthy.
+//!
+//! Quarantine is deliberately terminal per supervisor run: budgets and
+//! corrupt artifacts need an operator (or a fresh deploy) — an automatic
+//! un-quarantine would just re-enter the crash loop.
 //!
 //! ```
 //! use bpmf::serve::{RankPolicy, RecommendService};
@@ -174,6 +230,7 @@ pub mod faults;
 pub mod net;
 pub mod router;
 pub mod shard;
+pub mod supervise;
 pub mod wire;
 
 use std::str::FromStr;

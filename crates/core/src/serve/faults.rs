@@ -30,8 +30,28 @@
 //! delays the 8th/24th/40th/… by 50 ms, and closes the connection on a
 //! seeded 1% coin flip. Two plans built from the same spec produce the
 //! same schedule — the property the failover tests lean on.
+//!
+//! ## Disk-fault arm
+//!
+//! A second rule family targets *artifact writes* (checkpoints, packed
+//! slabs) instead of requests, counted on their own ordinal stream
+//! ([`FaultPlan::next_disk`]) so one plan can script both wire and disk
+//! failures:
+//!
+//! ```text
+//! truncate:BYTES@T   cut the artifact to its first BYTES bytes (torn write)
+//! corrupt:OFFSET@T   flip bits in the byte at OFFSET (mod length)
+//! enospc@T           fail the write with raw ENOSPC, artifact untouched
+//! ```
+//!
+//! The write paths consult the process-global plan (parsed once from
+//! `BPMF_FAULT_PLAN`, see [`mangle_artifact`]) — so a chaos drill can hand
+//! a trainer `corrupt:100@2` and the 2nd checkpoint lands damaged on disk,
+//! exactly what the integrity envelope must refuse on resume.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// What to do to the request that tripped a rule.
@@ -47,6 +67,17 @@ pub enum FaultKind {
     /// Poison the request so the scoring worker panics on its batch
     /// (exercises the daemon's `catch_unwind` containment).
     PanicWorker,
+}
+
+/// What to do to the artifact write that tripped a disk rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DiskFault {
+    /// Keep only the first `n` bytes (a torn/partial write).
+    Truncate(u64),
+    /// Flip bits in the byte at this offset (mod artifact length).
+    Corrupt(u64),
+    /// Refuse the write with raw `ENOSPC`; the artifact is untouched.
+    Enospc,
 }
 
 /// When a rule fires, in terms of the plan's request ordinal (1-based).
@@ -68,6 +99,13 @@ struct FaultRule {
     trigger: Trigger,
 }
 
+/// One scripted disk fault, counted on the artifact-write ordinal stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct DiskRule {
+    kind: DiskFault,
+    trigger: Trigger,
+}
+
 /// A seeded, counter-driven fault schedule. Thread-safe: the request
 /// counter is atomic, so concurrent connections share one global ordinal
 /// sequence (the order concurrent requests claim ordinals is the one
@@ -77,6 +115,8 @@ pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
     counter: AtomicU64,
+    disk_rules: Vec<DiskRule>,
+    disk_counter: AtomicU64,
 }
 
 impl Clone for FaultPlan {
@@ -86,13 +126,15 @@ impl Clone for FaultPlan {
             seed: self.seed,
             rules: self.rules.clone(),
             counter: AtomicU64::new(0),
+            disk_rules: self.disk_rules.clone(),
+            disk_counter: AtomicU64::new(0),
         }
     }
 }
 
 impl PartialEq for FaultPlan {
     fn eq(&self, other: &Self) -> bool {
-        self.seed == other.seed && self.rules == other.rules
+        self.seed == other.seed && self.rules == other.rules && self.disk_rules == other.disk_rules
     }
 }
 
@@ -108,6 +150,7 @@ impl FaultPlan {
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut seed = 0u64;
         let mut rules = Vec::new();
+        let mut disk_rules = Vec::new();
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             if let Some(s) = token.strip_prefix("seed=") {
                 seed = s
@@ -118,27 +161,50 @@ impl FaultPlan {
             let (kind_s, trig_s) = token
                 .split_once('@')
                 .ok_or_else(|| format!("fault plan: rule `{token}` has no `@TRIGGER`"))?;
-            let kind = match kind_s.split_once(':') {
-                Some(("delay", ms)) => {
-                    let ms: f64 = ms
-                        .parse()
-                        .map_err(|_| format!("fault plan: bad delay `{kind_s}`"))?;
-                    if !ms.is_finite() || ms < 0.0 {
-                        return Err(format!("fault plan: delay must be >= 0 ms, got `{kind_s}`"));
-                    }
-                    FaultKind::Delay(Duration::from_secs_f64(ms / 1e3))
+            // Disk kinds route to their own rule family (own counter);
+            // everything else is a request fault.
+            let disk_kind = match kind_s.split_once(':') {
+                Some(("truncate", n)) => {
+                    Some(DiskFault::Truncate(n.parse().map_err(|_| {
+                        format!("fault plan: bad truncate length `{kind_s}`")
+                    })?))
                 }
-                None => match kind_s {
-                    "drop" => FaultKind::DropReply,
-                    "close" => FaultKind::CloseConnection,
-                    "panic" => FaultKind::PanicWorker,
-                    other => {
-                        return Err(format!(
-                            "fault plan: unknown kind `{other}` (drop | close | panic | delay:MS)"
-                        ))
+                Some(("corrupt", off)) => {
+                    Some(DiskFault::Corrupt(off.parse().map_err(|_| {
+                        format!("fault plan: bad corrupt offset `{kind_s}`")
+                    })?))
+                }
+                None if kind_s == "enospc" => Some(DiskFault::Enospc),
+                _ => None,
+            };
+            let kind = if disk_kind.is_some() {
+                FaultKind::DropReply // placeholder; the rule lands in disk_rules below
+            } else {
+                match kind_s.split_once(':') {
+                    Some(("delay", ms)) => {
+                        let ms: f64 = ms
+                            .parse()
+                            .map_err(|_| format!("fault plan: bad delay `{kind_s}`"))?;
+                        if !ms.is_finite() || ms < 0.0 {
+                            return Err(format!(
+                                "fault plan: delay must be >= 0 ms, got `{kind_s}`"
+                            ));
+                        }
+                        FaultKind::Delay(Duration::from_secs_f64(ms / 1e3))
                     }
-                },
-                Some(_) => return Err(format!("fault plan: unknown kind `{kind_s}`")),
+                    None => match kind_s {
+                        "drop" => FaultKind::DropReply,
+                        "close" => FaultKind::CloseConnection,
+                        "panic" => FaultKind::PanicWorker,
+                        other => {
+                            return Err(format!(
+                                "fault plan: unknown kind `{other}` (drop | close | panic | \
+                                 delay:MS | truncate:BYTES | corrupt:OFFSET | enospc)"
+                            ))
+                        }
+                    },
+                    Some(_) => return Err(format!("fault plan: unknown kind `{kind_s}`")),
+                }
             };
             let trigger = if let Some(p) = trig_s.strip_prefix('p') {
                 let p: f64 = p
@@ -170,15 +236,24 @@ impl FaultPlan {
                 }
                 Trigger::At(n)
             };
-            rules.push(FaultRule { kind, trigger });
+            if let Some(disk) = disk_kind {
+                disk_rules.push(DiskRule {
+                    kind: disk,
+                    trigger,
+                });
+            } else {
+                rules.push(FaultRule { kind, trigger });
+            }
         }
-        if rules.is_empty() {
+        if rules.is_empty() && disk_rules.is_empty() {
             return Err("fault plan: no rules (expected e.g. `drop@3`)".to_string());
         }
         Ok(FaultPlan {
             seed,
             rules,
             counter: AtomicU64::new(0),
+            disk_rules,
+            disk_counter: AtomicU64::new(0),
         })
     }
 
@@ -212,6 +287,113 @@ impl FaultPlan {
     /// Requests counted so far (how far the schedule has advanced).
     pub fn requests_seen(&self) -> u64 {
         self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Claim the next artifact-write ordinal and return the disk fault
+    /// scheduled for it, if any (first matching rule wins). Separate
+    /// counter from [`next`](FaultPlan::next): request ordinals and write
+    /// ordinals advance independently.
+    pub fn next_disk(&self) -> Option<DiskFault> {
+        let n = self.disk_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.disk_rules.iter().enumerate().find_map(|(i, rule)| {
+            let hit = match rule.trigger {
+                Trigger::At(k) => n == k,
+                Trigger::Every { start, period } => {
+                    n >= start && (n - start).is_multiple_of(period)
+                }
+                // Distinct salt so a shared seed draws independent coins
+                // for the request and disk streams.
+                Trigger::Prob(p) => coin(self.seed ^ ((i as u64) << 32) ^ 0x6469_736b, n) < p,
+            };
+            hit.then_some(rule.kind)
+        })
+    }
+
+    /// Artifact writes counted so far.
+    pub fn writes_seen(&self) -> u64 {
+        self.disk_counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-global fault plan, parsed once from `BPMF_FAULT_PLAN`.
+///
+/// Core write paths (checkpoint writer, pack) consult this because no
+/// plan is threaded down to them — unlike the daemon/router, which take
+/// an explicit plan. A malformed spec yields `None` here; CLI entry
+/// points hard-error on the same spec at startup, so a drill cannot get
+/// this far with a typo'd plan.
+pub fn global() -> Option<&'static FaultPlan> {
+    static GLOBAL: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| FaultPlan::from_env().ok().flatten())
+        .as_ref()
+}
+
+/// Artifact-write fault hook for in-memory artifacts: claims the next
+/// write ordinal on the [`global`] plan and applies any scheduled
+/// [`DiskFault`] to `bytes` (or fails the write, for `enospc`). A no-op
+/// without a plan — release builds pay one `Option` check per artifact.
+pub fn mangle_artifact(bytes: &mut Vec<u8>) -> std::io::Result<()> {
+    match global().and_then(|plan| plan.next_disk()) {
+        Some(fault) => apply_disk_fault(fault, bytes),
+        None => Ok(()),
+    }
+}
+
+/// Artifact-write fault hook for artifacts already streamed to disk
+/// (packed slabs): same schedule as [`mangle_artifact`], applied to the
+/// file in place.
+pub fn mangle_artifact_file(path: &Path) -> std::io::Result<()> {
+    match global().and_then(|plan| plan.next_disk()) {
+        Some(fault) => apply_disk_fault_to_file(fault, path),
+        None => Ok(()),
+    }
+}
+
+/// Apply one disk fault to an in-memory artifact.
+pub fn apply_disk_fault(fault: DiskFault, bytes: &mut Vec<u8>) -> std::io::Result<()> {
+    match fault {
+        DiskFault::Enospc => Err(std::io::Error::from_raw_os_error(28)),
+        DiskFault::Truncate(n) => {
+            bytes.truncate(n as usize);
+            Ok(())
+        }
+        DiskFault::Corrupt(off) => {
+            if !bytes.is_empty() {
+                let i = (off as usize) % bytes.len();
+                bytes[i] ^= 0xA5;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Apply one disk fault to an artifact file in place.
+pub fn apply_disk_fault_to_file(fault: DiskFault, path: &Path) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    match fault {
+        DiskFault::Enospc => Err(std::io::Error::from_raw_os_error(28)),
+        DiskFault::Truncate(n) => std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(n),
+        DiskFault::Corrupt(off) => {
+            let mut file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(());
+            }
+            let at = off % len;
+            let mut byte = [0u8; 1];
+            file.seek(SeekFrom::Start(at))?;
+            file.read_exact(&mut byte)?;
+            byte[0] ^= 0xA5;
+            file.seek(SeekFrom::Start(at))?;
+            file.write_all(&byte)
+        }
     }
 }
 
@@ -314,6 +496,50 @@ mod tests {
                 "`{bad}` error lacks context"
             );
         }
+    }
+
+    #[test]
+    fn disk_rules_parse_and_fire_on_their_own_counter() {
+        let plan = FaultPlan::parse("drop@1,truncate:64@2,corrupt:100@3,enospc@4").unwrap();
+        assert_eq!(plan.rules.len(), 1);
+        assert_eq!(plan.disk_rules.len(), 3);
+        // The request stream is unaffected by disk rules…
+        assert_eq!(plan.next(), Some(FaultKind::DropReply));
+        assert_eq!(plan.next(), None);
+        // …and the write stream fires disk faults at its own ordinals.
+        assert_eq!(plan.next_disk(), None);
+        assert_eq!(plan.next_disk(), Some(DiskFault::Truncate(64)));
+        assert_eq!(plan.next_disk(), Some(DiskFault::Corrupt(100)));
+        assert_eq!(plan.next_disk(), Some(DiskFault::Enospc));
+        assert_eq!(plan.next_disk(), None);
+        assert_eq!(plan.writes_seen(), 5);
+
+        // Disk-only plans are valid.
+        assert!(FaultPlan::parse("corrupt:0@1").is_ok());
+        // Malformed disk rules are typed errors.
+        assert!(FaultPlan::parse("truncate:x@1").is_err());
+        assert!(FaultPlan::parse("corrupt:@1").is_err());
+    }
+
+    #[test]
+    fn disk_faults_mutate_bytes_or_refuse_the_write() {
+        let mut bytes: Vec<u8> = (0..32).collect();
+        apply_disk_fault(DiskFault::Truncate(8), &mut bytes).unwrap();
+        assert_eq!(bytes.len(), 8);
+        apply_disk_fault(DiskFault::Corrupt(3), &mut bytes).unwrap();
+        assert_eq!(bytes[3], 3 ^ 0xA5);
+        let err = apply_disk_fault(DiskFault::Enospc, &mut bytes).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+
+        // File variant: corrupt then truncate in place.
+        let path = std::env::temp_dir().join(format!("bpmf-disk-fault-{}", std::process::id()));
+        std::fs::write(&path, (0u8..32).collect::<Vec<_>>()).unwrap();
+        apply_disk_fault_to_file(DiskFault::Corrupt(33), &path).unwrap(); // 33 % 32 = 1
+        apply_disk_fault_to_file(DiskFault::Truncate(16), &path).unwrap();
+        let back = std::fs::read(&path).unwrap();
+        assert_eq!(back.len(), 16);
+        assert_eq!(back[1], 1 ^ 0xA5);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

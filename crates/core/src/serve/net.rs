@@ -1,4 +1,5 @@
-//! Listener binding with `SO_REUSEADDR`, for crash-replacement restarts.
+//! Listener binding with `SO_REUSEADDR` and shared backoff arithmetic,
+//! for crash-replacement restarts.
 //!
 //! A SIGKILLed daemon leaves its accepted connections in `TIME_WAIT`,
 //! and a plain [`std::net::TcpListener::bind`] on the same port then
@@ -16,6 +17,35 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::time::Duration;
+
+/// Seeded equal-jitter exponential backoff: the delay before retry
+/// `attempt` (0-based) of something that keeps failing.
+///
+/// The exponential envelope is `base << attempt`, capped at `max`; the
+/// returned delay is drawn uniformly from `[envelope/2, envelope)` by a
+/// splitmix64 hash of `(seed, attempt)`. Deterministic per `(seed,
+/// attempt)` — a drill replays identically — while distinct seeds (one
+/// per link/replica) desynchronize, so a fleet-wide event does not turn
+/// into a thundering-herd reconnect at `base`, `2·base`, `4·base`, …
+///
+/// Every reconnect/retry loop in the tier routes through here: router
+/// shard links, `serve-client` connect retries, supervisor respawns.
+pub fn jittered_backoff(attempt: u32, base: Duration, max: Duration, seed: u64) -> Duration {
+    let base = base.max(Duration::from_micros(1));
+    let envelope = base
+        .checked_mul(1u32 << attempt.min(20))
+        .map_or(max, |d| d.min(max))
+        .max(base);
+    // splitmix64 finalizer over (seed, attempt): cheap, seedable, and
+    // uncorrelated across attempts.
+    let mut z = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    envelope.div_f64(2.0) + envelope.div_f64(2.0).mul_f64(unit)
+}
 
 /// Bind a listener with `SO_REUSEADDR` set, so a crashed replica's
 /// address can be reclaimed immediately instead of after `TIME_WAIT`.
@@ -107,6 +137,39 @@ mod tests {
     use super::*;
     use std::io::{Read, Write};
     use std::net::TcpStream;
+
+    #[test]
+    fn jittered_backoff_stays_inside_the_exponential_envelope() {
+        let base = Duration::from_millis(50);
+        let max = Duration::from_secs(2);
+        for attempt in 0..12 {
+            let envelope = base
+                .checked_mul(1u32 << attempt.min(20))
+                .map_or(max, |d| d.min(max));
+            for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+                let d = jittered_backoff(attempt, base, max, seed);
+                assert!(
+                    d >= envelope.div_f64(2.0),
+                    "attempt {attempt} seed {seed}: {d:?}"
+                );
+                assert!(d <= envelope, "attempt {attempt} seed {seed}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_but_desynchronized_across_seeds() {
+        let base = Duration::from_millis(50);
+        let max = Duration::from_secs(2);
+        assert_eq!(
+            jittered_backoff(3, base, max, 11),
+            jittered_backoff(3, base, max, 11)
+        );
+        // Two links with different seeds should (at some attempt) pick
+        // different delays — that is the whole anti-herd point.
+        assert!((0..8)
+            .any(|a| { jittered_backoff(a, base, max, 1) != jittered_backoff(a, base, max, 2) }));
+    }
 
     #[test]
     fn binds_and_accepts_like_a_std_listener() {

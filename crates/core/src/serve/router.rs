@@ -101,6 +101,11 @@ pub struct RouterConfig {
     /// Scripted fault injection (`None` in production: the release path
     /// pays one `Option` check per request). See [`crate::serve::faults`].
     pub faults: Option<FaultPlan>,
+    /// Seed for reconnect-backoff jitter. Each link mixes its own group
+    /// and replica indices in, so after a fleet-wide event the links
+    /// desynchronize instead of reconnecting in lockstep (see
+    /// [`super::net::jittered_backoff`]).
+    pub jitter_seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -113,6 +118,7 @@ impl Default for RouterConfig {
             reconnect_max: Duration::from_secs(2),
             default_top_n: 10,
             faults: None,
+            jitter_seed: 0,
         }
     }
 }
@@ -369,7 +375,10 @@ pub fn serve(
 /// surviving twin (or fail them typed).
 fn shard_link_loop(router: &Router<'_>, g: usize, r: usize) {
     let slot = &router.groups[g].replicas[r];
-    let mut backoff = router.cfg.reconnect_base;
+    // Per-link jitter seed: a group-wide replica death must not make the
+    // survivors' reconnect attempts land in lockstep.
+    let link_seed = router.cfg.jitter_seed ^ ((g as u64) << 32) ^ (r as u64 + 1);
+    let mut attempt = 0u32;
     let mut reconnecting = false;
     while !router.shutdown.load(Ordering::Relaxed) {
         match TcpStream::connect(&slot.addr) {
@@ -386,7 +395,7 @@ fn shard_link_loop(router: &Router<'_>, g: usize, r: usize) {
                     router.counters.reconnects.fetch_add(1, Ordering::Relaxed);
                 }
                 reconnecting = true;
-                backoff = router.cfg.reconnect_base;
+                attempt = 0;
                 run_shard_link(router, g, r, stream);
                 slot.up.store(false, Ordering::Relaxed);
                 *slot.tx.lock().unwrap() = None;
@@ -405,8 +414,13 @@ fn shard_link_loop(router: &Router<'_>, g: usize, r: usize) {
         if router.shutdown.load(Ordering::Relaxed) {
             break;
         }
-        std::thread::sleep(backoff);
-        backoff = (backoff * 2).min(router.cfg.reconnect_max);
+        std::thread::sleep(super::net::jittered_backoff(
+            attempt,
+            router.cfg.reconnect_base,
+            router.cfg.reconnect_max,
+            link_seed,
+        ));
+        attempt = attempt.saturating_add(1);
     }
 }
 

@@ -1,0 +1,658 @@
+//! Fleet supervision: spawn every replica, reap deaths, respawn under a
+//! restart budget, quarantine what keeps dying.
+//!
+//! PR 7's replica groups made the router *mask* a replica death; this
+//! module makes the fleet *heal* it. [`supervise`] owns the full set of
+//! replica processes described by a declarative [`ReplicaSpec`] list:
+//!
+//! * **Reaping** — a SIGCHLD handler flags child state changes and the
+//!   supervision loop reaps them with non-blocking `waitpid` (via
+//!   [`std::process::Child::try_wait`]), so no exit is missed and no
+//!   zombie lingers.
+//! * **Respawn on the original port** — replicas are restarted with their
+//!   exact original argv (the daemon binds via
+//!   [`super::net::bind_reuseaddr`], so `TIME_WAIT` residue from the dead
+//!   process cannot block the rebind), which is what lets the router's
+//!   fixed replica list reconnect transparently: the reborn daemon
+//!   re-stamps its checkpoint epoch, the router's epoch gate re-admits
+//!   it, and `replicas_up` recovers with no client-visible error.
+//! * **Restart budget** — each death costs one attempt from a per-replica
+//!   budget of [`SuperviseConfig::restart_limit`] *consecutive* failures;
+//!   a successful health probe refunds the whole budget. Each respawn
+//!   waits out a seeded-jitter exponential backoff
+//!   ([`super::net::jittered_backoff`]) so a fleet-wide event does not
+//!   respawn everything in lockstep. A replica that exhausts the budget
+//!   without ever probing healthy is **quarantined**: it stays down, a
+//!   [`wire::CODE_CRASH_LOOP`] diagnostic is emitted, and the rest of the
+//!   fleet keeps serving (the router degrades that group to its twin).
+//! * **Health probes** — a live process that stops answering is as dead
+//!   as a crashed one: after [`SuperviseConfig::startup_grace`], each
+//!   replica is pinged over its serving socket every
+//!   [`SuperviseConfig::probe_interval`]; [`SuperviseConfig::probe_failures`]
+//!   consecutive misses kill and restart it through the same
+//!   budget-charged path as an exit.
+//! * **Artifact integrity** — before every (re)spawn, the replica's
+//!   checkpoint (when the spec names one) is verified via
+//!   [`crate::checkpoint::read_checkpoint`]. A checksum failure
+//!   quarantines the replica immediately with
+//!   [`wire::CODE_CORRUPT_ARTIFACT`]: recovery must never resurrect a
+//!   replica onto garbage factors.
+//!
+//! The loop runs until the caller's shutdown flag is raised (children are
+//! then SIGTERMed, given a grace period, and SIGKILLed if still alive) or
+//! until every replica is quarantined. Lifecycle events stream to the
+//! caller as typed [`Diagnostic`]s — the `serve-fleet` CLI prints them as
+//! JSON lines for the e2e drills to assert on.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use super::net::jittered_backoff;
+use super::wire::{self, Diagnostic};
+use crate::error::BpmfError;
+
+/// Everything needed to (re)start one replica, declaratively.
+#[derive(Clone, Debug)]
+pub struct ReplicaSpec {
+    /// Display id for diagnostics (e.g. `0/2@127.0.0.1:7001`).
+    pub id: String,
+    /// Serving address, used for health probes.
+    pub addr: String,
+    /// Full command line: `argv[0]` is the program, the rest arguments.
+    /// Respawns reuse it verbatim, so the replica returns on its
+    /// original port.
+    pub argv: Vec<String>,
+    /// Checkpoint the replica resumes from, integrity-checked before
+    /// every (re)spawn. `None` skips the pre-check.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// Supervision knobs. `Default`: budget of 5 consecutive failures,
+/// 200 ms–5 s restart backoff, probes every 500 ms after a 2 s grace,
+/// 3 missed probes kill, 250 ms probe patience, 2 s shutdown grace.
+#[derive(Clone, Debug)]
+pub struct SuperviseConfig {
+    /// Consecutive budget-charged failures (exits or probe kills) before
+    /// a replica is quarantined. A successful probe resets the count.
+    pub restart_limit: u32,
+    /// First respawn delay (jittered exponential from here).
+    pub backoff_base: Duration,
+    /// Respawn delay ceiling.
+    pub backoff_max: Duration,
+    /// How often to health-probe a running replica.
+    pub probe_interval: Duration,
+    /// Consecutive probe misses before the replica is killed/restarted.
+    pub probe_failures: u32,
+    /// Connect/read patience per probe.
+    pub probe_timeout: Duration,
+    /// No probes until this long after a spawn (daemons resume a
+    /// checkpoint and warm caches before listening).
+    pub startup_grace: Duration,
+    /// How long SIGTERMed children get before SIGKILL at shutdown.
+    pub shutdown_grace: Duration,
+    /// Supervision loop tick.
+    pub poll_interval: Duration,
+    /// Seed for restart-backoff jitter (each replica mixes its index in).
+    pub seed: u64,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            restart_limit: 5,
+            backoff_base: Duration::from_millis(200),
+            backoff_max: Duration::from_secs(5),
+            probe_interval: Duration::from_millis(500),
+            probe_failures: 3,
+            probe_timeout: Duration::from_millis(250),
+            startup_grace: Duration::from_secs(2),
+            shutdown_grace: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(25),
+            seed: 0,
+        }
+    }
+}
+
+/// What the supervisor did over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SupervisorReport {
+    /// Processes spawned, including first launches.
+    pub spawns: u64,
+    /// Respawns after an exit or probe kill.
+    pub restarts: u64,
+    /// Restarts triggered by failed health probes (subset of `restarts`).
+    pub probe_restarts: u64,
+    /// Replicas quarantined (crash loop or corrupt artifact).
+    pub quarantined: u64,
+}
+
+/// Per-replica lifecycle state.
+enum State {
+    Running {
+        child: Child,
+        spawned_at: Instant,
+        probe_misses: u32,
+        last_probe: Instant,
+    },
+    Waiting {
+        until: Instant,
+    },
+    Quarantined,
+}
+
+struct Replica<'a> {
+    spec: &'a ReplicaSpec,
+    state: State,
+    /// Consecutive budget-charged failures since the last healthy probe.
+    failures: u32,
+}
+
+/// Run the fleet described by `specs` until `shutdown` is raised or
+/// every replica is quarantined. Lifecycle events (deaths, respawns,
+/// quarantines) are delivered to `events` as typed [`Diagnostic`]s.
+pub fn supervise(
+    specs: &[ReplicaSpec],
+    cfg: &SuperviseConfig,
+    shutdown: &AtomicBool,
+    events: &mut dyn FnMut(Diagnostic),
+) -> io::Result<SupervisorReport> {
+    let sigchld = install_sigchld_flag();
+    let mut report = SupervisorReport::default();
+    let now = Instant::now();
+    let mut fleet: Vec<Replica<'_>> = specs
+        .iter()
+        .map(|spec| Replica {
+            spec,
+            // Everyone starts "due now": the first loop pass performs the
+            // integrity pre-check and initial spawn through the same path
+            // as a restart.
+            state: State::Waiting { until: now },
+            failures: 0,
+        })
+        .collect();
+
+    while !shutdown.load(Ordering::Relaxed) {
+        sigchld.swap(false, Ordering::Relaxed);
+        let now = Instant::now();
+        for (idx, replica) in fleet.iter_mut().enumerate() {
+            match &mut replica.state {
+                State::Quarantined => {}
+                State::Waiting { until } => {
+                    if now >= *until {
+                        step_spawn(replica, idx, cfg, &mut report, events);
+                    }
+                }
+                State::Running {
+                    child,
+                    spawned_at,
+                    probe_misses,
+                    last_probe,
+                } => {
+                    // Reap: non-blocking waitpid via try_wait.
+                    match child.try_wait() {
+                        Ok(Some(status)) => {
+                            let detail = format!(
+                                "replica {} exited ({status}); charging restart budget \
+                                 ({} of {} consecutive failures)",
+                                replica.spec.id,
+                                replica.failures + 1,
+                                cfg.restart_limit
+                            );
+                            events(Diagnostic::new(
+                                wire::SEV_WARNING,
+                                wire::CODE_REPLICA_DOWN,
+                                detail,
+                            ));
+                            step_failure(replica, idx, cfg, &mut report, events, false);
+                        }
+                        Ok(None) => {
+                            // Alive: probe it once the grace and interval allow.
+                            let due = now.duration_since(*spawned_at) >= cfg.startup_grace
+                                && now.duration_since(*last_probe) >= cfg.probe_interval;
+                            if due {
+                                *last_probe = now;
+                                if probe(&replica.spec.addr, cfg.probe_timeout) {
+                                    *probe_misses = 0;
+                                    replica.failures = 0; // healthy: refund the budget
+                                } else {
+                                    *probe_misses += 1;
+                                    if *probe_misses >= cfg.probe_failures {
+                                        events(Diagnostic::new(
+                                            wire::SEV_WARNING,
+                                            wire::CODE_REPLICA_DOWN,
+                                            format!(
+                                                "replica {} failed {} consecutive health \
+                                                 probes; killing for restart",
+                                                replica.spec.id, probe_misses
+                                            ),
+                                        ));
+                                        let _ = child.kill();
+                                        let _ = child.wait(); // reap the kill
+                                        step_failure(replica, idx, cfg, &mut report, events, true);
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            events(Diagnostic::new(
+                                wire::SEV_ERROR,
+                                wire::CODE_INTERNAL,
+                                format!("replica {}: waitpid failed: {e}", replica.spec.id),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if fleet.iter().all(|r| matches!(r.state, State::Quarantined)) {
+            // Nothing left to supervise; return rather than spin forever.
+            return Ok(report);
+        }
+        std::thread::sleep(cfg.poll_interval);
+    }
+
+    // Graceful shutdown: SIGTERM everyone, grant the grace period, then
+    // SIGKILL whatever remains. Every child is reaped before returning.
+    let mut children: Vec<Child> = fleet
+        .into_iter()
+        .filter_map(|r| match r.state {
+            State::Running { child, .. } => Some(child),
+            _ => None,
+        })
+        .collect();
+    for child in &children {
+        send_sigterm(child.id());
+    }
+    let deadline = Instant::now() + cfg.shutdown_grace;
+    while Instant::now() < deadline
+        && children
+            .iter_mut()
+            .any(|c| matches!(c.try_wait(), Ok(None)))
+    {
+        std::thread::sleep(cfg.poll_interval);
+    }
+    for child in &mut children {
+        if matches!(child.try_wait(), Ok(None)) {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+    }
+    Ok(report)
+}
+
+/// Charge one failure against the budget and schedule the respawn (or
+/// quarantine a crash-looper).
+fn step_failure(
+    replica: &mut Replica<'_>,
+    idx: usize,
+    cfg: &SuperviseConfig,
+    report: &mut SupervisorReport,
+    events: &mut dyn FnMut(Diagnostic),
+    from_probe: bool,
+) {
+    replica.failures += 1;
+    if from_probe {
+        report.probe_restarts += 1;
+    }
+    if replica.failures > cfg.restart_limit {
+        replica.state = State::Quarantined;
+        report.quarantined += 1;
+        events(Diagnostic::new(
+            wire::SEV_ERROR,
+            wire::CODE_CRASH_LOOP,
+            format!(
+                "replica {} quarantined: {} consecutive failures without a healthy probe \
+                 (budget {}); leaving it down",
+                replica.spec.id, replica.failures, cfg.restart_limit
+            ),
+        ));
+        return;
+    }
+    let delay = jittered_backoff(
+        replica.failures - 1,
+        cfg.backoff_base,
+        cfg.backoff_max,
+        cfg.seed ^ ((idx as u64) << 16),
+    );
+    replica.state = State::Waiting {
+        until: Instant::now() + delay,
+    };
+}
+
+/// Integrity-check the replica's checkpoint and spawn it. A corrupt
+/// artifact quarantines instead of spawning; a spawn error charges the
+/// budget like a death.
+fn step_spawn(
+    replica: &mut Replica<'_>,
+    idx: usize,
+    cfg: &SuperviseConfig,
+    report: &mut SupervisorReport,
+    events: &mut dyn FnMut(Diagnostic),
+) {
+    if let Some(path) = &replica.spec.checkpoint {
+        match crate::checkpoint::read_checkpoint(path) {
+            Ok(_) => {}
+            Err(BpmfError::Integrity(msg)) => {
+                replica.state = State::Quarantined;
+                report.quarantined += 1;
+                events(Diagnostic::new(
+                    wire::SEV_ERROR,
+                    wire::CODE_CORRUPT_ARTIFACT,
+                    format!(
+                        "replica {} quarantined: refusing to restart onto a corrupt \
+                         checkpoint: {msg}",
+                        replica.spec.id
+                    ),
+                ));
+                return;
+            }
+            Err(other) => {
+                // Unreadable for another reason (missing, permissions):
+                // surfacing it and charging the budget converges to
+                // quarantine if it never recovers.
+                events(Diagnostic::new(
+                    wire::SEV_WARNING,
+                    wire::CODE_INTERNAL,
+                    format!("replica {}: checkpoint pre-check: {other}", replica.spec.id),
+                ));
+                step_failure(replica, idx, cfg, report, events, false);
+                return;
+            }
+        }
+    }
+    let mut command = Command::new(&replica.spec.argv[0]);
+    command
+        .args(&replica.spec.argv[1..])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null()); // stderr inherits: replica logs interleave
+    match command.spawn() {
+        Ok(child) => {
+            report.spawns += 1;
+            if replica.failures > 0 {
+                report.restarts += 1;
+            }
+            let now = Instant::now();
+            events(Diagnostic::new(
+                wire::SEV_INFO,
+                wire::CODE_REPLICA_DOWN,
+                format!(
+                    "replica {} spawned (pid {}, attempt {})",
+                    replica.spec.id,
+                    child.id(),
+                    replica.failures
+                ),
+            ));
+            replica.state = State::Running {
+                child,
+                spawned_at: now,
+                probe_misses: 0,
+                last_probe: now,
+            };
+        }
+        Err(e) => {
+            events(Diagnostic::new(
+                wire::SEV_WARNING,
+                wire::CODE_INTERNAL,
+                format!("replica {}: spawn failed: {e}", replica.spec.id),
+            ));
+            step_failure(replica, idx, cfg, report, events, false);
+        }
+    }
+}
+
+/// One health probe: connect, send a wire ping, expect any reply line.
+fn probe(addr: &str, timeout: Duration) -> bool {
+    use std::io::{BufRead, BufReader, Write};
+    let Ok(mut addrs) = addr.to_socket_addrs() else {
+        return false;
+    };
+    let Some(sock_addr) = addrs.next() else {
+        return false;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&sock_addr, timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    if stream
+        .write_all(format!("{{\"v\":{},\"cmd\":\"ping\"}}\n", wire::WIRE_VERSION).as_bytes())
+        .is_err()
+    {
+        return false;
+    }
+    let mut line = String::new();
+    matches!(BufReader::new(stream).read_line(&mut line), Ok(n) if n > 0)
+}
+
+/// Process-global "a child changed state" flag, raised by the SIGCHLD
+/// handler so the supervision loop reaps promptly rather than only on
+/// its poll tick.
+#[cfg(unix)]
+fn install_sigchld_flag() -> &'static AtomicBool {
+    static CHILD_EVENT: AtomicBool = AtomicBool::new(false);
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    const SIGCHLD: i32 = 17;
+    extern "C" fn on_sigchld(_sig: i32) {
+        CHILD_EVENT.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    if !INSTALLED.swap(true, Ordering::Relaxed) {
+        // SAFETY: registering an async-signal-safe handler (one relaxed
+        // atomic store), same idiom as the CLI's shutdown handler.
+        unsafe {
+            signal(SIGCHLD, on_sigchld);
+        }
+    }
+    &CHILD_EVENT
+}
+
+#[cfg(not(unix))]
+fn install_sigchld_flag() -> &'static AtomicBool {
+    static CHILD_EVENT: AtomicBool = AtomicBool::new(false);
+    &CHILD_EVENT
+}
+
+/// Ask a child to exit gracefully (straight to the point on non-Unix:
+/// the portable `Child::kill` below still reaps it).
+#[cfg(unix)]
+fn send_sigterm(pid: u32) {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // SAFETY: signalling a pid we spawned and have not yet reaped.
+    unsafe {
+        kill(pid as i32, SIGTERM);
+    }
+}
+
+#[cfg(not(unix))]
+fn send_sigterm(_pid: u32) {}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn fast_cfg() -> SuperviseConfig {
+        SuperviseConfig {
+            restart_limit: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(20),
+            probe_interval: Duration::from_millis(30),
+            probe_failures: 2,
+            probe_timeout: Duration::from_millis(50),
+            startup_grace: Duration::from_millis(50),
+            shutdown_grace: Duration::from_millis(500),
+            poll_interval: Duration::from_millis(5),
+            seed: 7,
+        }
+    }
+
+    fn sh(id: &str, addr: &str, script: &str) -> ReplicaSpec {
+        ReplicaSpec {
+            id: id.to_string(),
+            addr: addr.to_string(),
+            argv: vec!["/bin/sh".to_string(), "-c".to_string(), script.to_string()],
+            checkpoint: None,
+        }
+    }
+
+    fn run_until_done(
+        specs: Vec<ReplicaSpec>,
+        cfg: SuperviseConfig,
+        stop_when: impl Fn(&[Diagnostic]) -> bool,
+    ) -> (SupervisorReport, Vec<Diagnostic>) {
+        let shutdown = AtomicBool::new(false);
+        let events = Mutex::new(Vec::<Diagnostic>::new());
+        let report = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let mut sink = |d: Diagnostic| events.lock().unwrap().push(d);
+                supervise(&specs, &cfg, &shutdown, &mut sink)
+            });
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while Instant::now() < deadline {
+                if handle.is_finished() || stop_when(&events.lock().unwrap()) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            shutdown.store(true, Ordering::Relaxed);
+            handle
+                .join()
+                .expect("supervisor thread")
+                .expect("supervise")
+        });
+        (report, events.into_inner().unwrap())
+    }
+
+    #[test]
+    fn crash_looping_replica_is_quarantined_within_budget() {
+        let (report, events) = run_until_done(
+            vec![sh("looper", "127.0.0.1:1", "exit 1")],
+            fast_cfg(),
+            |_| false, // supervise returns on its own once all are quarantined
+        );
+        // Budget of 2: initial spawn + 2 respawns, then quarantine.
+        assert_eq!(report.spawns, 3, "{report:?}");
+        assert_eq!(report.restarts, 2);
+        assert_eq!(report.quarantined, 1);
+        assert!(
+            events.iter().any(|d| d.code == wire::CODE_CRASH_LOOP),
+            "no crash_loop diagnostic in {events:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_terminates_long_running_children() {
+        let start = Instant::now();
+        let (report, _) = run_until_done(
+            vec![sh("sleeper", "127.0.0.1:1", "exec sleep 30")],
+            SuperviseConfig {
+                // No probes: the child is not a server, and this test is
+                // about shutdown, not health.
+                startup_grace: Duration::from_secs(60),
+                ..fast_cfg()
+            },
+            |events| !events.is_empty(), // stop right after the spawn event
+        );
+        assert_eq!(report.spawns, 1);
+        assert_eq!(report.quarantined, 0);
+        // SIGTERM + reap must beat the 30 s sleep by a wide margin.
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_quarantines_while_the_twin_keeps_running() {
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("bpmf-sup-bad-ckpt-{}.json", std::process::id()));
+        // A plausible envelope whose checksum cannot match its payload.
+        std::fs::write(&bad, "%BPMFCKPT crc32c=deadbeef len=2\n{}").unwrap();
+        let mut corrupt_spec = sh("corrupt", "127.0.0.1:1", "exit 0");
+        corrupt_spec.checkpoint = Some(bad.clone());
+        let twin = sh("twin", "127.0.0.1:1", "exec sleep 30");
+        let (report, events) = run_until_done(
+            vec![corrupt_spec, twin],
+            SuperviseConfig {
+                startup_grace: Duration::from_secs(60),
+                ..fast_cfg()
+            },
+            |events| events.iter().any(|d| d.code == wire::CODE_CORRUPT_ARTIFACT),
+        );
+        // The corrupt replica never spawned; the twin did and kept going.
+        assert_eq!(report.quarantined, 1, "{report:?}");
+        assert_eq!(report.spawns, 1);
+        let quarantine = events
+            .iter()
+            .find(|d| d.code == wire::CODE_CORRUPT_ARTIFACT)
+            .expect("corrupt_artifact diagnostic");
+        assert!(quarantine.detail.contains("corrupt"), "{quarantine:?}");
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn failed_health_probes_trigger_budget_charged_restarts() {
+        // The child never listens on its advertised address, so every
+        // probe misses; after probe_failures misses it is killed and
+        // restarted, and with no healthy probe ever, that converges to
+        // quarantine.
+        let cfg = SuperviseConfig {
+            startup_grace: Duration::from_millis(20),
+            ..fast_cfg()
+        };
+        let (report, events) = run_until_done(
+            vec![sh("deaf", "127.0.0.1:1", "exec sleep 30")],
+            cfg,
+            |_| false,
+        );
+        assert!(report.probe_restarts >= 1, "{report:?}");
+        assert_eq!(report.quarantined, 1);
+        assert!(
+            events.iter().any(|d| d.detail.contains("health probes")),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_replica_is_left_alone_and_budget_refunds() {
+        // A real listener answering ping lines stands in for a daemon.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let serve = std::thread::spawn(move || {
+            use std::io::{BufRead, BufReader, Write};
+            // Enough accepts for several probes; the test shuts down first.
+            for _ in 0..64 {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    let mut stream = stream;
+                    let _ = stream.write_all(b"{\"v\":1,\"code\":null}\n");
+                }
+            }
+        });
+        let cfg = SuperviseConfig {
+            startup_grace: Duration::from_millis(10),
+            ..fast_cfg()
+        };
+        let t0 = Instant::now();
+        let (report, _) = run_until_done(
+            vec![sh("healthy", &addr, "exec sleep 30")],
+            cfg,
+            // Observe a dozen probe intervals, then stop.
+            |_| t0.elapsed() > Duration::from_millis(400),
+        );
+        assert_eq!(report.probe_restarts, 0, "{report:?}");
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.spawns, 1);
+        drop(serve);
+    }
+}

@@ -86,6 +86,12 @@ pub const CODE_INTERNAL: &str = "internal";
 /// The request waited longer than the router's patience for a shard
 /// reply.
 pub const CODE_TIMEOUT: &str = "timeout";
+/// A supervised replica exhausted its restart budget (kept dying before
+/// ever reporting healthy) and has been quarantined instead of flapped.
+pub const CODE_CRASH_LOOP: &str = "crash_loop";
+/// An on-disk artifact (checkpoint or slab) failed integrity
+/// verification; the supervisor refuses to restart a replica onto it.
+pub const CODE_CORRUPT_ARTIFACT: &str = "corrupt_artifact";
 
 /// Diagnostic severity: informational only.
 pub const SEV_INFO: &str = "info";

@@ -212,7 +212,15 @@ impl MappedSlab {
         let map = Mmap::map_file(&file).map_err(|e| err("cannot map", &e))?;
         let (meta, offsets);
         {
-            let view = SlabView::parse(&map).map_err(|e| err("cannot read", &e))?;
+            // Checksum failures keep their own typed identity so callers
+            // (supervisor, resume paths) can distinguish "corrupt artifact,
+            // quarantine it" from ordinary open/parse failures.
+            let view = SlabView::parse(&map).map_err(|e| match e {
+                bpmf_sparse::SlabError::Corrupt(msg) => {
+                    BpmfError::Integrity(format!("slab {}: {msg}", path.display()))
+                }
+                other => err("cannot read", &other),
+            })?;
             let base = map.as_slice().as_ptr() as usize;
             offsets = (
                 view.r.col_idx.as_ptr() as usize - base,

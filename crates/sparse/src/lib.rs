@@ -20,13 +20,15 @@
 //! * the on-disk CSR slab format for out-of-core training
 //!   ([`write_slab`], [`SlabView`], [`slab_extents`]): both orientations of
 //!   the matrix in one 8-byte-aligned file that memory-mapped stores read
-//!   without parsing.
+//!   without parsing, with CRC32C section checksums ([`crc32c`]) so a
+//!   torn or bit-flipped file is a typed error instead of garbage factors.
 //!
 //! Column indices are `u32`: the largest paper workload (483 500 compounds)
 //! fits with room to spare, and halving index bytes measurably helps the
 //! memory-bound accumulation loops.
 
 mod coo;
+mod crc;
 mod csr;
 mod io;
 mod partition;
@@ -34,6 +36,7 @@ mod reorder;
 mod slab;
 
 pub use coo::Coo;
+pub use crc::{crc32c, Crc32c};
 pub use csr::Csr;
 pub use io::{read_matrix_market, write_matrix_market, SparseIoError};
 pub use partition::{comm_volume, BlockPartition, CommPlan, WorkModel};

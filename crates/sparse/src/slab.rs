@@ -10,7 +10,7 @@
 //!
 //! ```text
 //!  byte  0  magic      "BPMFSLAB"
-//!        8  version    u32 (= 1)        12  reserved u32 (0)
+//!        8  version    u32 (= 1)        12  flags u32 (bit 0: CRC table)
 //!       16  endian tag u64 (0x0102030405060708, read back natively)
 //!       24  nrows u64   32  ncols u64   40  nnz u64
 //!       48  global_mean f64
@@ -19,8 +19,19 @@
 //!           [ r.row_ptr | r.col_idx | r.values
 //!           | rt.row_ptr | rt.col_idx | rt.values ]
 //!      160  extent table: n_extents × { row_lo u64, row_hi u64 }
+//!       …   CRC table (when flag bit 0 set): 8 × u32
+//!           [ six section CRC32Cs | header CRC32C | reserved 0 ]
 //!       …   the six sections, in table order, each 8-byte aligned
 //! ```
+//!
+//! The CRC table makes corruption a *typed* failure on every load path:
+//! the header CRC covers everything before the table (magic through the
+//! extent table), each section CRC covers that section's exact on-disk
+//! bytes, and [`SlabView::parse`] verifies all of them before handing out
+//! zero-copy views — a torn write, a truncated file, or a flipped bit
+//! surfaces as [`SlabError::Corrupt`], never as garbage factors. Writers
+//! always stamp the table ([`write_slab`] sets flag bit 0); readers accept
+//! flag-clear legacy slabs unverified and refuse unknown flag bits.
 //!
 //! *Extents* are contiguous, covering user-row ranges — the same
 //! consecutive blocks [`BlockPartition`](crate::BlockPartition) hands to
@@ -34,6 +45,7 @@
 use std::fmt;
 use std::io::Write;
 
+use crate::crc::{crc32c, Crc32c};
 use crate::csr::Csr;
 use crate::partition::{BlockPartition, WorkModel};
 
@@ -42,6 +54,16 @@ pub const SLAB_MAGIC: [u8; 8] = *b"BPMFSLAB";
 
 /// Current slab layout version.
 pub const SLAB_VERSION: u32 = 1;
+
+/// Header flag bit 0: a CRC32C table follows the extent table.
+pub const SLAB_FLAG_SECTION_CRCS: u32 = 1;
+
+/// Flag bits this build understands; anything else is a typed refusal.
+const SLAB_FLAGS_KNOWN: u32 = SLAB_FLAG_SECTION_CRCS;
+
+/// Size of the CRC table: six section CRCs, one header CRC, one reserved
+/// zero word (keeps the table — and thus the first section — 8-aligned).
+const CRC_TABLE_BYTES: usize = 32;
 
 /// Native-read check value: reads back as written only on a
 /// matching-endianness host.
@@ -60,6 +82,9 @@ pub enum SlabError {
     Io(std::io::Error),
     /// Structurally invalid slab bytes.
     Format(String),
+    /// Structurally plausible bytes that fail checksum verification —
+    /// a torn write, truncation landing inside a section, or bit rot.
+    Corrupt(String),
 }
 
 impl fmt::Display for SlabError {
@@ -67,6 +92,7 @@ impl fmt::Display for SlabError {
         match self {
             SlabError::Io(e) => write!(f, "slab I/O error: {e}"),
             SlabError::Format(msg) => write!(f, "invalid slab: {msg}"),
+            SlabError::Corrupt(msg) => write!(f, "corrupt slab: {msg}"),
         }
     }
 }
@@ -81,6 +107,26 @@ impl From<std::io::Error> for SlabError {
 
 fn bad(msg: impl Into<String>) -> SlabError {
     SlabError::Format(msg.into())
+}
+
+fn corrupt(msg: impl Into<String>) -> SlabError {
+    SlabError::Corrupt(msg.into())
+}
+
+/// `Write` sink that folds everything written into a CRC32C — lets the
+/// writer checksum a section via the exact same encode path
+/// ([`Section::write_to`]) that later produces the on-disk bytes.
+struct CrcSink(Crc32c);
+
+impl Write for CrcSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.update(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Workload-balanced user-row extents for a slab: the contiguous covering
@@ -144,20 +190,41 @@ pub fn write_slab<W: Write>(
         (rt_col.len() * 4) as u64,
         (rt_val.len() * 8) as u64,
     ];
-    // Section offsets: sequential from the end of the extent table, each
-    // aligned up to 8 bytes.
+    // Section offsets: sequential from the end of the CRC table (which
+    // follows the extent table), each aligned up to 8 bytes.
+    let crc_table_at = EXTENT_TABLE_AT + extents.len() * 16;
     let mut offsets = [0u64; 6];
-    let mut at = (EXTENT_TABLE_AT + extents.len() * 16) as u64;
+    let mut at = (crc_table_at + CRC_TABLE_BYTES) as u64;
     for (i, &bytes) in section_bytes.iter().enumerate() {
         at = at.next_multiple_of(8);
         offsets[i] = at;
         at += bytes;
     }
 
-    let mut header = Vec::with_capacity(EXTENT_TABLE_AT + extents.len() * 16);
+    let sections = [
+        Section::Ptr(r_ptr),
+        Section::Col(r_col),
+        Section::Val(r_val),
+        Section::Ptr(rt_ptr),
+        Section::Col(rt_col),
+        Section::Val(rt_val),
+    ];
+
+    // Checksum pre-pass: the CRC table lives in the header, which goes out
+    // before any section bytes, and `w` is not seekable — so run each
+    // section through the encoder once into a CRC sink first.
+    let mut section_crcs = [0u32; 6];
+    for (i, section) in sections.iter().enumerate() {
+        let mut sink = CrcSink(Crc32c::new());
+        let streamed = section.write_to(&mut sink)?;
+        debug_assert_eq!(streamed, section_bytes[i]);
+        section_crcs[i] = sink.0.finish();
+    }
+
+    let mut header = Vec::with_capacity(crc_table_at + CRC_TABLE_BYTES);
     header.extend_from_slice(&SLAB_MAGIC);
     header.extend_from_slice(&SLAB_VERSION.to_le_bytes());
-    header.extend_from_slice(&0u32.to_le_bytes());
+    header.extend_from_slice(&SLAB_FLAG_SECTION_CRCS.to_le_bytes());
     push_u64(&mut header, ENDIAN_TAG);
     push_u64(&mut header, r.nrows() as u64);
     push_u64(&mut header, r.ncols() as u64);
@@ -174,22 +241,21 @@ pub fn write_slab<W: Write>(
         push_u64(&mut header, lo as u64);
         push_u64(&mut header, hi as u64);
     }
+    debug_assert_eq!(header.len(), crc_table_at);
+    // CRC table: six section CRCs, then a header CRC over everything
+    // before the table itself, then a reserved zero word.
+    let header_crc = crc32c(&header);
+    for crc in section_crcs {
+        header.extend_from_slice(&crc.to_le_bytes());
+    }
+    header.extend_from_slice(&header_crc.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
     w.write_all(&header)?;
     let mut written = header.len() as u64;
 
     // Sections in table order. The row pointers are widened to u64 on the
     // way out; columns and values are already in their on-disk width.
-    for (i, section) in [
-        Section::Ptr(r_ptr),
-        Section::Col(r_col),
-        Section::Val(r_val),
-        Section::Ptr(rt_ptr),
-        Section::Col(rt_col),
-        Section::Val(rt_val),
-    ]
-    .into_iter()
-    .enumerate()
-    {
+    for (i, section) in sections.into_iter().enumerate() {
         written = pad8(w, written)?;
         debug_assert_eq!(written, offsets[i]);
         written += section.write_to(w)?;
@@ -291,6 +357,11 @@ fn u64_at(bytes: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
 }
 
+/// Read a little-endian `u32` at `at` (bounds already checked by caller).
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
 /// Reinterpret an aligned byte range as a typed slice.
 ///
 /// SAFETY-relevant preconditions, all checked by the caller
@@ -330,6 +401,13 @@ impl<'a> SlabView<'a> {
                 "unsupported slab version {version} (this build reads version {SLAB_VERSION})"
             )));
         }
+        let flags = u32_at(bytes, 12);
+        if flags & !SLAB_FLAGS_KNOWN != 0 {
+            return Err(bad(format!(
+                "unknown slab flags {flags:#x} (this build understands {SLAB_FLAGS_KNOWN:#x})"
+            )));
+        }
+        let has_crcs = flags & SLAB_FLAG_SECTION_CRCS != 0;
         if u64_at(bytes, 16) != ENDIAN_TAG {
             return Err(bad(
                 "endianness mismatch: slab was written on a foreign-byte-order host",
@@ -344,10 +422,29 @@ impl<'a> SlabView<'a> {
         let extent_table_bytes = n_extents
             .checked_mul(16)
             .ok_or_else(|| bad("extent count overflows"))?;
-        let body_at = EXTENT_TABLE_AT
+        let crc_table_at = EXTENT_TABLE_AT
             .checked_add(extent_table_bytes)
             .filter(|&end| end <= bytes.len())
             .ok_or_else(|| bad("extent table runs past end of file"))?;
+        let body_at = if has_crcs {
+            let end = crc_table_at
+                .checked_add(CRC_TABLE_BYTES)
+                .filter(|&end| end <= bytes.len())
+                .ok_or_else(|| bad("CRC table runs past end of file"))?;
+            // Header CRC first: everything parsed below (dims, section
+            // table, extents) is covered by it, so a flipped bit in any
+            // of those fields is caught here rather than downstream.
+            let stored = u32_at(bytes, crc_table_at + 24);
+            let computed = crc32c(&bytes[..crc_table_at]);
+            if stored != computed {
+                return Err(corrupt(format!(
+                    "header checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                )));
+            }
+            end
+        } else {
+            crc_table_at
+        };
         let mut extents = Vec::with_capacity(n_extents);
         for i in 0..n_extents {
             let at = EXTENT_TABLE_AT + i * 16;
@@ -380,9 +477,35 @@ impl<'a> SlabView<'a> {
             let end = offset
                 .checked_add(len)
                 .filter(|&end| end <= bytes.len())
-                .ok_or_else(|| bad(format!("section {name} runs past end of file")))?;
+                .ok_or_else(|| {
+                    if has_crcs {
+                        // The header's own CRC already verified, so its
+                        // promise of these bytes is trustworthy — the
+                        // file lost them: a truncated or torn write, not
+                        // a structurally alien format.
+                        corrupt(format!("section {name} runs past end of file"))
+                    } else {
+                        bad(format!("section {name} runs past end of file"))
+                    }
+                })?;
             let _ = end;
             sections[i] = (offset, len);
+        }
+
+        // Section payloads verify against the CRC table before any bytes
+        // are handed out as typed slices.
+        if has_crcs {
+            for (i, &(offset, len)) in sections.iter().enumerate() {
+                let stored = u32_at(bytes, crc_table_at + i * 4);
+                let computed = crc32c(&bytes[offset..offset + len]);
+                if stored != computed {
+                    return Err(corrupt(format!(
+                        "section {} checksum mismatch (stored {stored:#010x}, \
+                         computed {computed:#010x})",
+                        expected[i].1
+                    )));
+                }
+            }
         }
 
         // SAFETY: offsets/lengths were bounds-checked and 8-aligned above,
@@ -540,13 +663,17 @@ mod tests {
         let len = write_slab(&mut bytes, &r, &rt, 0.5, &extents).unwrap() as usize;
         let good = roundtrip(&r, &rt, 0.5, &extents);
 
-        // Truncated file.
+        // Truncated file: the (CRC-verified) header promises bytes the
+        // file no longer has, so this classifies as corruption — the
+        // class the serving supervisor quarantines on — not as a
+        // structurally alien format.
         let mut short = good.clone();
         let err = {
             let bytes = unsafe { std::slice::from_raw_parts(short.as_ptr() as *const u8, len - 9) };
             SlabView::parse(bytes).unwrap_err()
         };
-        assert!(err.to_string().contains("invalid slab"), "{err}");
+        assert!(matches!(err, SlabError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("corrupt slab"), "{err}");
 
         // Bad magic.
         short = good.clone();
@@ -580,6 +707,74 @@ mod tests {
                 .to_string()
                 .contains("aligned"));
         }
+    }
+
+    /// Mutable byte view over the aligned test buffer.
+    fn bytes_mut(buf: &mut [u64], len: usize) -> &mut [u8] {
+        // SAFETY: reading/writing the u64 buffer as its byte prefix.
+        unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) }
+    }
+
+    #[test]
+    fn bit_flips_are_corrupt_errors_on_every_covered_byte_class() {
+        let (r, rt) = example();
+        let extents = slab_extents(&r, 2);
+        let mut bytes = Vec::new();
+        let len = write_slab(&mut bytes, &r, &rt, 0.5, &extents).unwrap() as usize;
+        let good = roundtrip(&r, &rt, 0.5, &extents);
+
+        // A flipped bit in the header (nrows) trips the header CRC before
+        // the bogus dimension can misdirect section parsing.
+        let mut hdr = good.clone();
+        bytes_mut(&mut hdr, len)[24] ^= 0x04;
+        let err = SlabView::parse(&bytes_mut(&mut hdr, len)[..]).unwrap_err();
+        assert!(
+            matches!(err, SlabError::Corrupt(_)) || matches!(err, SlabError::Format(_)),
+            "{err}"
+        );
+
+        // A flipped bit in the last section byte trips that section's CRC.
+        let mut tail = good.clone();
+        bytes_mut(&mut tail, len)[len - 1] ^= 0x80;
+        let err = SlabView::parse(&bytes_mut(&mut tail, len)[..]).unwrap_err();
+        assert!(matches!(err, SlabError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // A flipped bit in the CRC table itself also refuses to load.
+        let crc_table_at = EXTENT_TABLE_AT + extents.len() * 16;
+        let mut table = good.clone();
+        bytes_mut(&mut table, len)[crc_table_at] ^= 0x01;
+        let err = SlabView::parse(&bytes_mut(&mut table, len)[..]).unwrap_err();
+        assert!(matches!(err, SlabError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn legacy_flag_clear_slabs_parse_unverified() {
+        let (r, rt) = example();
+        let extents = slab_extents(&r, 1);
+        let mut bytes = Vec::new();
+        let len = write_slab(&mut bytes, &r, &rt, 0.5, &extents).unwrap() as usize;
+        let mut buf = roundtrip(&r, &rt, 0.5, &extents);
+
+        // Clear the flags word: pre-CRC slabs carried a zero there. The
+        // stale CRC table region just becomes dead bytes before the first
+        // section, and a payload flip goes (by design) undetected.
+        bytes_mut(&mut buf, len)[12..16].fill(0);
+        bytes_mut(&mut buf, len)[len - 1] ^= 0x80;
+        let view = view_of(&buf, len);
+        assert_eq!(view.nnz, r.nnz());
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_refused() {
+        let (r, rt) = example();
+        let extents = slab_extents(&r, 1);
+        let mut bytes = Vec::new();
+        let len = write_slab(&mut bytes, &r, &rt, 0.5, &extents).unwrap() as usize;
+        let mut buf = roundtrip(&r, &rt, 0.5, &extents);
+        bytes_mut(&mut buf, len)[12] |= 0x80;
+        let err = SlabView::parse(&bytes_mut(&mut buf, len)[..]).unwrap_err();
+        assert!(err.to_string().contains("unknown slab flags"), "{err}");
     }
 
     #[test]
