@@ -32,6 +32,7 @@
 //! assert!(trainer.recommender().unwrap().predict(0, 0).is_finite());
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bpmf::{
@@ -202,7 +203,7 @@ fn baseline_iter_stats(iter: usize, rmse: f64, secs: f64, items: usize) -> IterS
 /// callback, and leaves an [`MfModel`] behind for serving.
 pub struct AlsRecommenderTrainer {
     spec: Bpmf,
-    model: Option<MfModel>,
+    model: Option<Arc<MfModel>>,
 }
 
 impl AlsRecommenderTrainer {
@@ -213,7 +214,7 @@ impl AlsRecommenderTrainer {
 
     /// The fitted model, once `fit` has run.
     pub fn model(&self) -> Option<&MfModel> {
-        self.model.as_ref()
+        self.model.as_deref()
     }
 
     fn config(&self) -> AlsConfig {
@@ -263,7 +264,7 @@ impl Trainer for AlsRecommenderTrainer {
                 break;
             }
         }
-        self.model = Some(trainer.into_model());
+        self.model = Some(Arc::new(trainer.into_model()));
         Ok(FitReport {
             algorithm: Algorithm::Als.to_string(),
             engine: runner.name().to_string(),
@@ -275,11 +276,20 @@ impl Trainer for AlsRecommenderTrainer {
     }
 
     fn recommender(&self) -> Option<&dyn Recommender> {
-        self.model.as_ref().map(|m| m as &dyn Recommender)
+        self.model.as_deref().map(|m| m as &dyn Recommender)
     }
 
+    fn shared_model(&self) -> Option<Arc<dyn Recommender + Send + Sync>> {
+        self.model
+            .clone()
+            .map(|m| m as Arc<dyn Recommender + Send + Sync>)
+    }
+
+    #[allow(deprecated)]
     fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
-        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+        self.model
+            .as_deref()
+            .map(|m| m as &(dyn Recommender + Sync))
     }
 }
 
@@ -292,7 +302,7 @@ impl Trainer for AlsRecommenderTrainer {
 /// epoch by epoch through the callback.
 pub struct SgdRecommenderTrainer {
     spec: Bpmf,
-    model: Option<MfModel>,
+    model: Option<Arc<MfModel>>,
 }
 
 impl SgdRecommenderTrainer {
@@ -303,7 +313,7 @@ impl SgdRecommenderTrainer {
 
     /// The fitted model, once `fit` has run.
     pub fn model(&self) -> Option<&MfModel> {
-        self.model.as_ref()
+        self.model.as_deref()
     }
 
     fn config(&self) -> SgdConfig {
@@ -360,7 +370,7 @@ impl Trainer for SgdRecommenderTrainer {
                 break;
             }
         }
-        self.model = Some(trainer.into_model());
+        self.model = Some(Arc::new(trainer.into_model()));
         Ok(FitReport {
             algorithm: Algorithm::Sgd.to_string(),
             engine: if threads > 1 {
@@ -376,11 +386,20 @@ impl Trainer for SgdRecommenderTrainer {
     }
 
     fn recommender(&self) -> Option<&dyn Recommender> {
-        self.model.as_ref().map(|m| m as &dyn Recommender)
+        self.model.as_deref().map(|m| m as &dyn Recommender)
     }
 
+    fn shared_model(&self) -> Option<Arc<dyn Recommender + Send + Sync>> {
+        self.model
+            .clone()
+            .map(|m| m as Arc<dyn Recommender + Send + Sync>)
+    }
+
+    #[allow(deprecated)]
     fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
-        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+        self.model
+            .as_deref()
+            .map(|m| m as &(dyn Recommender + Sync))
     }
 }
 
@@ -396,7 +415,7 @@ impl Trainer for SgdRecommenderTrainer {
 /// serving, sharding, and replication work unchanged.
 pub struct SgmcmcRecommenderTrainer {
     spec: Bpmf,
-    model: Option<MfModel>,
+    model: Option<Arc<MfModel>>,
 }
 
 impl SgmcmcRecommenderTrainer {
@@ -407,7 +426,7 @@ impl SgmcmcRecommenderTrainer {
 
     /// The fitted model, once `fit` has run.
     pub fn model(&self) -> Option<&MfModel> {
-        self.model.as_ref()
+        self.model.as_deref()
     }
 
     fn config(&self) -> SgldConfig {
@@ -474,7 +493,7 @@ impl Trainer for SgmcmcRecommenderTrainer {
         let (u, v) = sampler.posterior_factors();
         let mut model = MfModel::new(u, v, data.global_mean);
         model.clip = self.spec.rating_bounds;
-        self.model = Some(model);
+        self.model = Some(Arc::new(model));
         Ok(FitReport {
             algorithm: Algorithm::Sgmcmc.to_string(),
             engine: "sgld-serial".to_string(),
@@ -486,11 +505,20 @@ impl Trainer for SgmcmcRecommenderTrainer {
     }
 
     fn recommender(&self) -> Option<&dyn Recommender> {
-        self.model.as_ref().map(|m| m as &dyn Recommender)
+        self.model.as_deref().map(|m| m as &dyn Recommender)
     }
 
+    fn shared_model(&self) -> Option<Arc<dyn Recommender + Send + Sync>> {
+        self.model
+            .clone()
+            .map(|m| m as Arc<dyn Recommender + Send + Sync>)
+    }
+
+    #[allow(deprecated)]
     fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
-        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+        self.model
+            .as_deref()
+            .map(|m| m as &(dyn Recommender + Sync))
     }
 }
 

@@ -598,9 +598,16 @@ fn router_section(
         let specs: Vec<ShardSpec> = (0..num_shards)
             .map(|i| ShardSpec::for_shard(i as u32, num_shards as u32, n_items, 1))
             .collect();
-        let views: Vec<ShardView> = specs
+        let shared = std::sync::Arc::new(model.clone());
+        let views: Vec<std::sync::Arc<ShardView>> = specs
             .iter()
-            .map(|sp| ShardView::new(model, sp.item_lo as usize, sp.item_hi as usize))
+            .map(|sp| {
+                std::sync::Arc::new(ShardView::new(
+                    shared.clone(),
+                    sp.item_lo as usize,
+                    sp.item_hi as usize,
+                ))
+            })
             .collect();
         let locals: Vec<Csr> = specs
             .iter()
@@ -608,11 +615,12 @@ fn router_section(
             .collect();
         let worlds: Vec<ServingModel> = (0..num_shards)
             .map(|i| ServingModel {
-                model: &views[i],
+                model: bpmf::ModelHandle::new(views[i].clone(), 1),
                 train: Some(&locals[i]),
                 n_users,
                 n_items: specs[i].width(),
                 shard: Some(specs[i]),
+                reload: None,
             })
             .collect();
         let shard_listeners: Vec<TcpListener> = (0..num_shards)
@@ -841,11 +849,12 @@ fn daemon_bench(
     cfg: &DaemonConfig,
 ) -> DaemonRow {
     let world = ServingModel {
-        model,
+        model: bpmf::ModelHandle::new(std::sync::Arc::new(model.clone()), 1),
         train: Some(train),
         n_users,
         n_items,
         shard: None,
+        reload: None,
     };
     let shutdown = AtomicBool::new(false);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");

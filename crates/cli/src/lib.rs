@@ -147,6 +147,13 @@ starts up:
   --health            print the server's structured health report (one
                       JSON line; a router nests per-shard reports)
   --stats             print the server's counter snapshot (one JSON line)
+  --reload PATH       ask the daemon to hot-swap its model from the
+                      checkpoint at PATH (server-local; CRC-verified and
+                      shard-checked before the swap, zero dropped
+                      requests); prints the new model epoch
+  --fold-in SPEC      fold a brand-new user into the served posterior
+                      from SPEC = 'ITEM:RATING,ITEM:RATING,...' and
+                      print their top-N — answered live, no retrain
   --shutdown          after any requests, ask the server to shut down
 
 OPTIONS:
@@ -262,6 +269,11 @@ pub struct ServeOptions {
     pub health: bool,
     /// Client: print the server's counter snapshot.
     pub stats: bool,
+    /// Client: checkpoint path for a live model reload (`--reload`).
+    pub reload: Option<String>,
+    /// Client: cold-start observations for a fold-in request
+    /// (`--fold-in 'ITEM:RATING,...'`), validated at parse time.
+    pub fold_in: Option<Vec<(u32, f64)>>,
     /// Client: ask the daemon to shut down after any requests.
     pub shutdown: bool,
 }
@@ -282,6 +294,8 @@ impl Default for ServeOptions {
             fault_plan: None,
             health: false,
             stats: false,
+            reload: None,
+            fold_in: None,
             shutdown: false,
         }
     }
@@ -528,11 +542,14 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                     | "--policy"
                     | "--health"
                     | "--stats"
+                    | "--reload"
+                    | "--fold-in"
             )
         {
             return Err(CliError::new(format!(
                 "{flag} is not valid with `serve-client` (valid flags: --addr --user \
-                 --top-n --exclude-seen --policy --health --stats --shutdown)"
+                 --top-n --exclude-seen --policy --health --stats --reload --fold-in \
+                 --shutdown)"
             )));
         }
         // `pack` is a pure format conversion: a training or serving flag
@@ -805,6 +822,16 @@ pub fn parse_args(args: &[String]) -> Result<Option<Options>, CliError> {
                 client_flag = Some(flag);
                 opts.serve.stats = true;
             }
+            "--reload" => {
+                client_flag = Some(flag);
+                opts.serve.reload = Some(value()?.clone());
+            }
+            "--fold-in" => {
+                client_flag = Some(flag);
+                // Validate at parse time: a typo'd observation list must
+                // die here, not as a daemon-side error reply.
+                opts.serve.fold_in = Some(parse_fold_in_spec(value()?)?);
+            }
             "--shutdown" => {
                 client_flag = Some(flag);
                 opts.serve.shutdown = true;
@@ -1033,6 +1060,45 @@ pub fn parse_fleet_replica(spec: &str) -> Result<FleetReplica, CliError> {
         addr: addr.to_string(),
         checkpoint,
     })
+}
+
+/// Parse a `--fold-in 'ITEM:RATING,ITEM:RATING,...'` value.
+///
+/// Every pair must be `u32:f64` with a finite rating; duplicated items
+/// are rejected here so the daemon never sees a contradictory
+/// observation set for one user.
+pub fn parse_fold_in_spec(spec: &str) -> Result<Vec<(u32, f64)>, CliError> {
+    let bad = |why: &str| {
+        CliError::new(format!(
+            "invalid value '{spec}' for --fold-in ({why}; expected \
+             ITEM:RATING,ITEM:RATING,... e.g. 3:4.0,17:2.5)"
+        ))
+    };
+    let mut pairs = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(bad("empty observation"));
+        }
+        let (item, rating) = part.split_once(':').ok_or_else(|| bad("missing ':'"))?;
+        let item: u32 = item
+            .trim()
+            .parse()
+            .map_err(|_| bad("item id must be a non-negative integer"))?;
+        let rating: f64 = rating
+            .trim()
+            .parse()
+            .map_err(|_| bad("rating must be a number"))?;
+        if !rating.is_finite() {
+            return Err(bad("rating must be finite"));
+        }
+        if !seen.insert(item) {
+            return Err(bad("item listed twice"));
+        }
+        pairs.push((item, rating));
+    }
+    Ok(pairs)
 }
 
 /// Cross-flag validation for `serve-fleet`: a coherent replica set (same
@@ -1632,6 +1698,40 @@ mod tests {
         // Client-only flags are rejected elsewhere.
         assert!(parse_args(&argv("serve-daemon --train a.mtx --health")).is_err());
         assert!(parse_args(&argv("serve-router --shard-addr a:1 --stats")).is_err());
+    }
+
+    #[test]
+    fn serve_client_reload_and_fold_in_parse() {
+        let opts = parse_args(&argv("serve-client --addr 127.0.0.1:9 --reload v2.json"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.serve.reload.as_deref(), Some("v2.json"));
+        let opts = parse_args(&argv(
+            "serve-client --addr 127.0.0.1:9 --fold-in 3:4.0,17:2.5 --top-n 5",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.serve.fold_in, Some(vec![(3, 4.0), (17, 2.5)]));
+        // Client-only: daemons and routers load models their own way.
+        assert!(parse_args(&argv("serve-daemon --train a.mtx --reload v2.json")).is_err());
+        assert!(parse_args(&argv("serve-router --shard-addr a:1 --fold-in 1:2")).is_err());
+    }
+
+    #[test]
+    fn fold_in_specs_validate_at_parse_time() {
+        assert_eq!(parse_fold_in_spec("7:3").unwrap(), vec![(7, 3.0)]);
+        assert_eq!(
+            parse_fold_in_spec(" 1:4.5 , 2:-0.5 ").unwrap(),
+            vec![(1, 4.5), (2, -0.5)]
+        );
+        for bad in [
+            "", ",", "3", "3:", ":4", "a:4", "3:b", "3:NaN", "3:inf", "-1:4", "3:4,3:5",
+        ] {
+            assert!(
+                parse_fold_in_spec(bad).is_err(),
+                "--fold-in {bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ use std::time::{Duration, Instant};
 
 use bpmf::checkpoint::{AsyncCheckpointWriter, SamplerCheckpoint};
 use bpmf::serve::coalesce::CoalesceConfig;
-use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
+use bpmf::serve::daemon::{self, DaemonConfig, ReloadContext, ServingModel};
 use bpmf::serve::faults::FaultPlan;
 use bpmf::serve::net;
 use bpmf::serve::router::{self, RouterConfig};
@@ -65,8 +65,8 @@ use bpmf::serve::shard::{slice_train_columns, ShardSpec, ShardView};
 use bpmf::serve::supervise::{self, ReplicaSpec, SuperviseConfig};
 use bpmf::serve::{wire, RankPolicy, RecommendService, ServeRequest, MICRO_BATCH};
 use bpmf::{
-    Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats, MappedSlab, RatingStore,
-    Trainer,
+    Algorithm, Bpmf, FitControl, FitSnapshot, IterCallback, IterStats, MappedSlab, ModelHandle,
+    RatingStore, Trainer,
 };
 use bpmf_baselines::make_trainer;
 use bpmf_cli::{parse_args, CliError, Command, Options};
@@ -535,7 +535,24 @@ fn run(opts: &Options) -> Result<(), CliError> {
         // Epoch tag for the served factors: the exact iteration count they
         // correspond to, so the router can flag mixed-epoch shard fleets.
         let epoch = final_iter.unwrap_or(total_iterations.max(resumed_iter.unwrap_or(0))) as u64;
-        run_daemon(opts, trainer.as_ref(), train_csr, n_users, n_items, epoch)?;
+        // Everything a live `reload` needs to rebuild a PosteriorModel
+        // from a checkpoint exactly as training would have: these are
+        // run configuration, not chain state, so they are not in the
+        // checkpoint envelope.
+        let reload = ReloadContext {
+            global_mean,
+            rating_bounds: spec.rating_bounds,
+            alpha: spec.alpha,
+        };
+        run_daemon(
+            opts,
+            trainer.as_ref(),
+            train_csr,
+            n_users,
+            n_items,
+            epoch,
+            reload,
+        )?;
     }
     Ok(())
 }
@@ -672,9 +689,10 @@ fn run_daemon(
     n_users: usize,
     n_items: usize,
     epoch: u64,
+    reload: ReloadContext,
 ) -> Result<(), CliError> {
     let model = trainer
-        .shared_recommender()
+        .shared_model()
         .ok_or_else(|| CliError::new("training produced no model to serve"))?;
     let default_policy: RankPolicy = opts.recommend.policy.parse()?;
     // With `--shard i/N`, serve only our contiguous column slice: the
@@ -693,25 +711,32 @@ fn run_daemon(
         }
         None => None,
     };
-    let view;
+    // The daemon owns the model behind an epoch-stamped swappable handle:
+    // a later `reload` request publishes a fresh checkpoint in place with
+    // zero dropped requests. Sharded daemons wrap the swapped-in model in
+    // a fresh ShardView with the same (validated) range.
     let world = match &sharded {
         Some((spec, local_train)) => {
             eprintln!("serving shard {spec}");
-            view = ShardView::new(model, spec.item_lo as usize, spec.item_hi as usize);
+            let view: std::sync::Arc<dyn bpmf::Recommender + Send + Sync> = std::sync::Arc::new(
+                ShardView::new(model, spec.item_lo as usize, spec.item_hi as usize),
+            );
             ServingModel {
-                model: &view,
+                model: ModelHandle::new(view, epoch),
                 train: Some(local_train),
                 n_users,
                 n_items: spec.width(),
                 shard: Some(*spec),
+                reload: Some(reload),
             }
         }
         None => ServingModel {
-            model,
+            model: ModelHandle::new(model, epoch),
             train,
             n_users,
             n_items,
             shard: None,
+            reload: Some(reload),
         },
     };
     let faults = resolve_fault_plan(opts)?;
@@ -845,6 +870,10 @@ fn run_fleet(opts: &Options) -> Result<(), CliError> {
                 addr: r.addr.clone(),
                 argv,
                 checkpoint: r.checkpoint.as_ref().map(std::path::PathBuf::from),
+                // Replicas of one catalogue range form a reload group:
+                // the supervisor rolls checkpoint changes across a group
+                // one replica at a time, so the range keeps serving.
+                group: r.shard.0,
             }
         })
         .collect();
@@ -963,9 +992,16 @@ fn client_request(addr: &str, req: &wire::Request) -> Result<wire::Response, Cli
 fn run_client(opts: &Options) -> Result<(), CliError> {
     let addr = opts.serve.addr.as_str();
     let users = &opts.recommend.users;
-    if users.is_empty() && !opts.serve.shutdown && !opts.serve.health && !opts.serve.stats {
+    if users.is_empty()
+        && !opts.serve.shutdown
+        && !opts.serve.health
+        && !opts.serve.stats
+        && opts.serve.reload.is_none()
+        && opts.serve.fold_in.is_none()
+    {
         return Err(CliError::new(
-            "serve-client needs at least one --user (or --health/--stats/--shutdown)",
+            "serve-client needs at least one --user (or --health/--stats/--reload/\
+             --fold-in/--shutdown)",
         ));
     }
     let results: Vec<Result<wire::Response, CliError>> = std::thread::scope(|s| {
@@ -981,6 +1017,7 @@ fn run_client(opts: &Options) -> Result<(), CliError> {
                         top_n: opts.recommend.top_n,
                         policy: opts.recommend.policy.clone(),
                         exclude_seen: Some(opts.recommend.exclude_seen),
+                        ..wire::Request::default()
                     };
                     client_request(addr, &req)
                 })
@@ -1041,6 +1078,75 @@ fn run_client(opts: &Options) -> Result<(), CliError> {
             "{}",
             serde_json::to_string(&report).map_err(|e| CliError::new(e.to_string()))?
         );
+    }
+    // Live model swap: the daemon loads + CRC-verifies the checkpoint off
+    // the request path and swaps it in atomically; the reply's model
+    // epoch is the proof the swap landed.
+    if let Some(path) = &opts.serve.reload {
+        let req = wire::Request {
+            v: wire::WIRE_VERSION,
+            cmd: wire::CMD_RELOAD.to_string(),
+            path: path.clone(),
+            ..wire::Request::default()
+        };
+        let resp = client_request(addr, &req)?;
+        if let Some(err) = resp.error {
+            let code = resp.code.map(|c| format!(" [{c}]")).unwrap_or_default();
+            return Err(CliError::new(format!("reload refused: {err}{code}")));
+        }
+        let epoch = resp
+            .model_epoch
+            .ok_or_else(|| CliError::new("reload reply carried no model epoch"))?;
+        eprintln!("daemon reloaded {path}; now serving model epoch {epoch}");
+    }
+    // Cold-start fold-in: the daemon answers from the served posterior
+    // with one conjugate kernel call — validate the reply shape (factors
+    // present, list within --top-n) before printing, like `--user` does.
+    if let Some(pairs) = &opts.serve.fold_in {
+        let req = wire::Request {
+            v: wire::WIRE_VERSION,
+            cmd: wire::CMD_FOLD_IN.to_string(),
+            ratings: pairs
+                .iter()
+                .map(|&(item, rating)| wire::RatedItem { item, rating })
+                .collect(),
+            top_n: opts.recommend.top_n,
+            ..wire::Request::default()
+        };
+        let resp = client_request(addr, &req)?;
+        if let Some(err) = resp.error {
+            let code = resp.code.map(|c| format!(" [{c}]")).unwrap_or_default();
+            return Err(CliError::new(format!("fold-in refused: {err}{code}")));
+        }
+        if resp.factors.is_empty() {
+            return Err(CliError::new("fold-in reply carried no user factors"));
+        }
+        if resp.items.len() > opts.recommend.top_n {
+            return Err(CliError::new(format!(
+                "fold-in reply carried {} items but --top-n was {}",
+                resp.items.len(),
+                opts.recommend.top_n
+            )));
+        }
+        let epoch = resp
+            .model_epoch
+            .ok_or_else(|| CliError::new("fold-in reply carried no model epoch"))?;
+        eprintln!(
+            "folded in {} observation(s) against model epoch {epoch} ({} factors)",
+            pairs.len(),
+            resp.factors.len()
+        );
+        let items: Vec<(u32, f64)> = resp.items.iter().map(|i| (i.item, i.score)).collect();
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        bpmf_cli::write_top_n_list(
+            &mut out,
+            opts.recommend.top_n,
+            u64::from(resp.user),
+            "fold-in",
+            &items,
+        )?;
+        out.flush()?;
     }
     if opts.serve.shutdown {
         let req = wire::Request {

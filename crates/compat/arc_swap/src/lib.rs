@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `arc-swap` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the exact API subset it uses — `ArcSwap::new` / `from_pointee`,
+//! `load` (returning a guard that derefs to the `Arc`), `load_full`,
+//! `store`, and `swap` — implemented over `std::sync::RwLock`. The real
+//! crate performs the same swap wait-free; this stand-in trades that for
+//! a short read-lock critical section (one `Arc` clone), which is
+//! invisible at the workspace's load-per-micro-batch cadence. Swapping
+//! the real dependency back in is a Cargo.toml-only change.
+
+use std::ops::Deref;
+use std::sync::{Arc, RwLock};
+
+/// An atomic storage cell for an `Arc<T>` that readers can load without
+/// blocking writers for longer than one pointer clone.
+///
+/// Readers call [`ArcSwap::load`] and keep the returned [`Guard`] (or the
+/// `Arc` from [`ArcSwap::load_full`]) for as long as they need the old
+/// value; a concurrent [`ArcSwap::store`] swaps the cell without
+/// invalidating anything already loaded — classic RCU publication.
+pub struct ArcSwap<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Wrap an existing `Arc` in a swappable cell.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Allocate a new `Arc` around `value` and wrap it.
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Load the current value. The guard derefs to `Arc<T>` and stays
+    /// valid across concurrent stores (it pins the loaded snapshot, not
+    /// the cell).
+    pub fn load(&self) -> Guard<T> {
+        Guard(self.load_full())
+    }
+
+    /// Load the current value as an owned `Arc`.
+    pub fn load_full(&self) -> Arc<T> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Replace the stored value, dropping the previous one.
+    pub fn store(&self, value: Arc<T>) {
+        drop(self.swap(value));
+    }
+
+    /// Replace the stored value and return the previous one.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let mut slot = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::replace(&mut *slot, value)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load_full()).finish()
+    }
+}
+
+/// A loaded snapshot of an [`ArcSwap`]; derefs to `Arc<T>`.
+pub struct Guard<T>(Arc<T>);
+
+impl<T> Guard<T> {
+    /// Extract the owned `Arc` from the guard.
+    pub fn into_inner(this: Guard<T>) -> Arc<T> {
+        this.0
+    }
+}
+
+impl<T> Deref for Guard<T> {
+    type Target = Arc<T>;
+
+    fn deref(&self) -> &Arc<T> {
+        &self.0
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Guard<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Guard").field(&self.0).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn load_sees_latest_store() {
+        let cell = ArcSwap::from_pointee(1u32);
+        assert_eq!(**cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(**cell.load(), 2);
+    }
+
+    #[test]
+    fn swap_returns_previous_value() {
+        let cell = ArcSwap::new(Arc::new(String::from("old")));
+        let prev = cell.swap(Arc::new(String::from("new")));
+        assert_eq!(*prev, "old");
+        assert_eq!(**cell.load(), "new");
+    }
+
+    #[test]
+    fn guard_pins_snapshot_across_store() {
+        let cell = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let guard = cell.load();
+        cell.store(Arc::new(vec![9]));
+        assert_eq!(**guard, [1, 2, 3]);
+        assert_eq!(**cell.load(), [9]);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_values() {
+        let cell = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let pair = cell.load_full();
+                        assert_eq!(pair.0, pair.1, "reader saw a half-published pair");
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=1000u64 {
+            cell.store(Arc::new((i, i)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

@@ -47,9 +47,11 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 use std::time::Instant;
 
-use bpmf_linalg::{vecops, Mat};
+use arc_swap::ArcSwap;
+use bpmf_linalg::{vecops, Cholesky, Mat};
 use bpmf_sched::ItemRunner;
 
 use crate::checkpoint::SamplerCheckpoint;
@@ -229,12 +231,141 @@ pub trait Trainer {
     /// The fitted model, once [`Trainer::fit`] has succeeded.
     fn recommender(&self) -> Option<&dyn Recommender>;
 
+    /// The fitted model as an **owned**, thread-shareable `Arc` — the
+    /// building block of [`Trainer::model_handle`]. Ownership (rather
+    /// than a borrow tied to the trainer's lifetime) is what lets the
+    /// serving tier swap a fresher model in while the old one is still
+    /// scoring in-flight requests. Every built-in trainer overrides
+    /// this; the default conservatively says "not shareable".
+    fn shared_model(&self) -> Option<Arc<dyn Recommender + Send + Sync>> {
+        None
+    }
+
+    /// The fitted model wrapped in an epoch-stamped, swappable
+    /// [`ModelHandle`] — the handle the daemon serves from and the
+    /// `reload` wire command swaps. `epoch` stamps the initial model
+    /// version (conventionally the chain iteration the factors came
+    /// from).
+    fn model_handle(&self, epoch: u64) -> Option<ModelHandle> {
+        self.shared_model()
+            .map(|model| ModelHandle::new(model, epoch))
+    }
+
     /// The fitted model as a thread-shareable reference, for concurrent
-    /// serving (the daemon's worker pool needs `Sync` to share one model
-    /// across workers). Every built-in trainer overrides this; the
-    /// default conservatively says "not shareable".
+    /// serving.
+    #[deprecated(
+        note = "borrowed-for-life serving surface; use `Trainer::model_handle` \
+                (or `shared_model`) so serving can swap models live"
+    )]
     fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
         None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The live model handle (RCU-style swap)
+// ---------------------------------------------------------------------------
+
+/// One immutable, epoch-stamped model version inside a [`ModelHandle`].
+struct ModelVersion {
+    model: Arc<dyn Recommender + Send + Sync>,
+    epoch: u64,
+}
+
+/// An owned, epoch-stamped, swappable handle to a served model.
+///
+/// The handle is an RCU-style publication cell (an [`arc_swap::ArcSwap`]
+/// over an `Arc`'d model + epoch pair): readers [`ModelHandle::load`] a
+/// [`ModelGuard`] pinning the current version and score against it for as
+/// long as they like, while a writer [`ModelHandle::swap`]s a fresher
+/// model in without blocking them — in-flight requests finish on the
+/// version they loaded, new loads see the new one. Because the guard owns
+/// the model (no lifetime tie to a trainer), the `OnceLock`'d packed
+/// factor caches live *inside* the swapped model and can never go stale.
+///
+/// Clones share the same cell: a swap through any clone is visible to all
+/// of them — the daemon's accept loop and its workers each hold a clone.
+#[derive(Clone)]
+pub struct ModelHandle {
+    inner: Arc<ArcSwap<ModelVersion>>,
+}
+
+impl ModelHandle {
+    /// Wrap an owned model as the handle's first version, stamped `epoch`.
+    pub fn new(model: Arc<dyn Recommender + Send + Sync>, epoch: u64) -> Self {
+        ModelHandle {
+            inner: Arc::new(ArcSwap::from_pointee(ModelVersion { model, epoch })),
+        }
+    }
+
+    /// Pin the current model version. The guard stays valid (and keeps
+    /// serving the *old* model) across concurrent swaps.
+    pub fn load(&self) -> ModelGuard {
+        ModelGuard {
+            version: self.inner.load_full(),
+        }
+    }
+
+    /// Publish a new model version stamped `epoch`, returning the epoch it
+    /// replaced. Readers holding a [`ModelGuard`] are unaffected; the old
+    /// model is dropped when the last guard releases it.
+    pub fn swap(&self, model: Arc<dyn Recommender + Send + Sync>, epoch: u64) -> u64 {
+        self.inner
+            .swap(Arc::new(ModelVersion { model, epoch }))
+            .epoch
+    }
+
+    /// Epoch of the currently published version.
+    pub fn epoch(&self) -> u64 {
+        self.inner.load().epoch
+    }
+
+    /// Is `guard` still the published version? Workers use this per
+    /// micro-batch to decide whether to rebuild their scoring service
+    /// against a freshly swapped model.
+    pub fn is_current(&self, guard: &ModelGuard) -> bool {
+        Arc::ptr_eq(&*self.inner.load(), &guard.version)
+    }
+}
+
+impl fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelHandle")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pinned model version loaded from a [`ModelHandle`]: owns the model,
+/// so it outlives any concurrent swap.
+#[derive(Clone)]
+pub struct ModelGuard {
+    version: Arc<ModelVersion>,
+}
+
+impl ModelGuard {
+    /// The pinned model.
+    pub fn model(&self) -> &(dyn Recommender + Sync) {
+        &*self.version.model
+    }
+
+    /// The pinned model as an owned `Arc` (e.g. to re-wrap it in a shard
+    /// view).
+    pub fn shared(&self) -> Arc<dyn Recommender + Send + Sync> {
+        Arc::clone(&self.version.model)
+    }
+
+    /// Epoch this version was published under.
+    pub fn epoch(&self) -> u64 {
+        self.version.epoch
+    }
+}
+
+impl fmt::Debug for ModelGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelGuard")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
     }
 }
 
@@ -408,7 +539,80 @@ pub trait Recommender {
     fn factors(&self) -> Option<(&Mat, &Mat)> {
         None
     }
+
+    /// Fold a **brand-new** user into the model from their ratings alone —
+    /// no retrain, no factor-matrix growth. `items` are global item ids,
+    /// `ratings` the raw observed values.
+    ///
+    /// Models carrying a user-side Normal–Wishart prior (the Gibbs
+    /// posterior) answer with the conditional posterior-mean factors given
+    /// the fixed item factors — exactly one [`crate::update::fold_in_mean`]
+    /// kernel call, `O(d·K² + K³)` — plus the folded user's scores over
+    /// this model's served catalogue. Point estimators and models without
+    /// hyper state return [`FoldInError::Unsupported`].
+    fn fold_in_user(&self, items: &[u32], ratings: &[f64]) -> Result<FoldIn, FoldInError> {
+        let _ = (items, ratings);
+        Err(FoldInError::Unsupported)
+    }
 }
+
+/// A cold-start user folded into a model by [`Recommender::fold_in_user`].
+#[derive(Clone, Debug)]
+pub struct FoldIn {
+    /// The folded user's posterior-mean factors (length K). Deterministic:
+    /// a pure function of the model and the ratings.
+    pub factors: Vec<f64>,
+    /// The folded user's predictions over this model's served catalogue
+    /// (global mean added, rating bounds applied); shard views return
+    /// their range's slice.
+    pub scores: Vec<f64>,
+}
+
+/// Why [`Recommender::fold_in_user`] could not answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FoldInError {
+    /// The model carries no user-side prior (point estimators, factor
+    /// dumps without hyper state).
+    Unsupported,
+    /// `items` and `ratings` lengths disagree.
+    LengthMismatch {
+        /// Rated item count.
+        items: usize,
+        /// Rating count.
+        ratings: usize,
+    },
+    /// A rated item id falls outside the model's catalogue.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: u32,
+        /// The catalogue size it must stay below.
+        catalogue: usize,
+    },
+    /// The stored prior precision is not positive definite (corrupt or
+    /// hand-built hyper state).
+    DegeneratePrior,
+}
+
+impl fmt::Display for FoldInError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldInError::Unsupported => {
+                write!(f, "model carries no user-side prior to fold against")
+            }
+            FoldInError::LengthMismatch { items, ratings } => {
+                write!(f, "{items} rated items but {ratings} ratings")
+            }
+            FoldInError::ItemOutOfRange { item, catalogue } => {
+                write!(f, "rated item {item} outside catalogue of {catalogue}")
+            }
+            FoldInError::DegeneratePrior => {
+                write!(f, "user-side prior precision is not positive definite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FoldInError {}
 
 // ---------------------------------------------------------------------------
 // The posterior-mean model produced by the Gibbs trainer
@@ -442,11 +646,25 @@ pub struct PosteriorModel {
     /// process only ever serves one range, so one slot is a full cache
     /// (other ranges fall back to packing per call).
     movie_means_range_packed: std::sync::OnceLock<(usize, usize, bpmf_linalg::PackedB)>,
+    /// User-side Normal–Wishart state `(μ_U, Λ_U, α)` captured from the
+    /// chain, enabling cold-start fold-in. Absent on models built from
+    /// bare factor dumps.
+    fold_in: Option<UserPrior>,
+}
+
+/// The user-side hyper state a fold-in conditions on.
+#[derive(Clone)]
+struct UserPrior {
+    mu: Vec<f64>,
+    lambda: Mat,
+    alpha: f64,
 }
 
 impl PosteriorModel {
     /// Extract the posterior model from a sampler. Falls back to the
     /// current factor sample when no post-burn-in draws were accumulated.
+    /// The sampler's user-side hyper state rides along, so the model can
+    /// fold in cold-start users ([`Recommender::fold_in_user`]).
     pub fn from_sampler(s: &GibbsSampler<'_>) -> Self {
         let (user_means, movie_means, samples) = match s.posterior_mean_factors() {
             Some((u, v)) => (u, v, s.accumulated_samples()),
@@ -456,6 +674,7 @@ impl PosteriorModel {
             Some((u2, v2)) if samples >= 2 => (Some(u2), Some(v2)),
             _ => (None, None),
         };
+        let (mu, lambda) = s.user_hyper();
         PosteriorModel {
             user_means,
             movie_means,
@@ -467,6 +686,11 @@ impl PosteriorModel {
             movie_means_t: std::sync::OnceLock::new(),
             movie_means_packed: std::sync::OnceLock::new(),
             movie_means_range_packed: std::sync::OnceLock::new(),
+            fold_in: Some(UserPrior {
+                mu: mu.to_vec(),
+                lambda: lambda.clone(),
+                alpha: s.cfg().alpha,
+            }),
         }
     }
 
@@ -500,7 +724,106 @@ impl PosteriorModel {
             movie_means_t: std::sync::OnceLock::new(),
             movie_means_packed: std::sync::OnceLock::new(),
             movie_means_range_packed: std::sync::OnceLock::new(),
+            fold_in: None,
         }
+    }
+
+    /// Attach a user-side Normal–Wishart prior `(μ_U, Λ_U)` with
+    /// observation precision `α`, enabling [`Recommender::fold_in_user`]
+    /// on a model assembled via [`PosteriorModel::from_factors`].
+    ///
+    /// # Panics
+    /// If `lambda` is not `K × K` or `mu` is not length `K`.
+    pub fn with_user_prior(mut self, mu: Vec<f64>, lambda: Mat, alpha: f64) -> Self {
+        let k = self.user_means.cols();
+        assert_eq!(mu.len(), k, "fold-in prior mean length mismatch");
+        assert_eq!(
+            (lambda.rows(), lambda.cols()),
+            (k, k),
+            "fold-in prior precision shape mismatch"
+        );
+        self.fold_in = Some(UserPrior { mu, lambda, alpha });
+        self
+    }
+
+    /// Rebuild a servable model straight from a [`SamplerCheckpoint`] —
+    /// the zero-downtime `reload` path, where a daemon swaps in a fresher
+    /// chain state without retraining.
+    ///
+    /// Replays exactly the arithmetic [`PosteriorModel::from_sampler`]
+    /// performs on the live sampler (accumulator ÷ count, in the same
+    /// order), so a model rebuilt from a checkpoint scores **bit-identically**
+    /// to the trainer's model at the moment that checkpoint was written.
+    /// `global_mean`, `rating_bounds`, and `alpha` are not chain state and
+    /// must be supplied by the caller (the daemon captures them at
+    /// startup).
+    pub fn from_checkpoint(
+        ckpt: &SamplerCheckpoint,
+        global_mean: f64,
+        rating_bounds: Option<(f64, f64)>,
+        alpha: f64,
+    ) -> Result<Self, BpmfError> {
+        let k = ckpt.num_latent;
+        for (what, m) in [
+            ("user factors", &ckpt.users),
+            ("movie factors", &ckpt.movies),
+        ] {
+            if m.cols != k || m.data.len() != m.rows * m.cols {
+                return Err(BpmfError::CheckpointMismatch(format!(
+                    "{what} are {}x{} with {} values; expected K={k}",
+                    m.rows,
+                    m.cols,
+                    m.data.len()
+                )));
+            }
+        }
+        if ckpt.users_mu.len() != k || (ckpt.users_lambda.rows, ckpt.users_lambda.cols) != (k, k) {
+            return Err(BpmfError::CheckpointMismatch(format!(
+                "user hyper state is μ:{} Λ:{}x{}; expected K={k}",
+                ckpt.users_mu.len(),
+                ckpt.users_lambda.rows,
+                ckpt.users_lambda.cols
+            )));
+        }
+        // Mirror `GibbsSampler::posterior_mean_factors`: accumulators
+        // scaled by 1/acc_count, falling back to the current sample.
+        let (user_means, movie_means, samples) = match (&ckpt.factor_acc, ckpt.acc_count) {
+            (Some((u, v)), n) if n > 0 => {
+                let inv = 1.0 / n as f64;
+                let mut mu = u.to_mat();
+                mu.scale(inv);
+                let mut mv = v.to_mat();
+                mv.scale(inv);
+                (mu, mv, n)
+            }
+            _ => (ckpt.users.to_mat(), ckpt.movies.to_mat(), 0),
+        };
+        if user_means.rows() != ckpt.users.rows || movie_means.rows() != ckpt.movies.rows {
+            return Err(BpmfError::CheckpointMismatch(
+                "factor accumulator shape disagrees with the factor sample".to_string(),
+            ));
+        }
+        // Mirror `GibbsSampler::posterior_second_moments`.
+        let second_moments = match (&ckpt.factor_sq_acc, ckpt.acc_count) {
+            (Some((u2, v2)), n) if n > 0 => {
+                let inv = 1.0 / n as f64;
+                let mut mu2 = u2.to_mat();
+                mu2.scale(inv);
+                let mut mv2 = v2.to_mat();
+                mv2.scale(inv);
+                Some((mu2, mv2))
+            }
+            _ => None,
+        };
+        Ok(PosteriorModel::from_factors(
+            user_means,
+            movie_means,
+            second_moments,
+            global_mean,
+            rating_bounds,
+            samples,
+        )
+        .with_user_prior(ckpt.users_mu.clone(), ckpt.users_lambda.to_mat(), alpha))
     }
 
     /// Posterior-mean user factors (`M × K`).
@@ -704,6 +1027,53 @@ impl Recommender for PosteriorModel {
             *s = var.max(0.0).sqrt();
         }
         true
+    }
+
+    /// One [`crate::update::fold_in_mean`] kernel call against the
+    /// posterior-mean item factors (noise-free, so bit-deterministic),
+    /// then the same transposed-factor scan as
+    /// [`PosteriorModel::score_all`] for the catalogue scores.
+    fn fold_in_user(&self, items: &[u32], ratings: &[f64]) -> Result<FoldIn, FoldInError> {
+        let prior = self.fold_in.as_ref().ok_or(FoldInError::Unsupported)?;
+        if items.len() != ratings.len() {
+            return Err(FoldInError::LengthMismatch {
+                items: items.len(),
+                ratings: ratings.len(),
+            });
+        }
+        let n = self.movie_means.rows();
+        if let Some(&bad) = items.iter().find(|&&m| m as usize >= n) {
+            return Err(FoldInError::ItemOutOfRange {
+                item: bad,
+                catalogue: n,
+            });
+        }
+        let k = self.movie_means.cols();
+        let lambda_mu = prior.lambda.matvec(&prior.mu);
+        let chol = Cholesky::factor(&prior.lambda).map_err(|_| FoldInError::DegeneratePrior)?;
+        let side = crate::update::SidePrior {
+            lambda: &prior.lambda,
+            lambda_mu: &lambda_mu,
+            chol_lambda: &chol,
+            alpha: prior.alpha,
+            mean_offset: self.global_mean,
+        };
+        let mut scratch = crate::update::UpdateScratch::new(k);
+        let mut factors = vec![0.0; k];
+        crate::update::fold_in_mean(
+            &side,
+            (items, ratings),
+            &self.movie_means,
+            &mut scratch,
+            &mut factors,
+        );
+        let mut scores = vec![0.0; n];
+        let vt = self
+            .movie_means_t
+            .get_or_init(|| self.movie_means.transposed());
+        vt.matvec_t_into(&factors, &mut scores);
+        self.finish_scores(&mut scores);
+        Ok(FoldIn { factors, scores })
     }
 }
 
@@ -1120,7 +1490,7 @@ impl BpmfBuilder {
 /// leaves a [`PosteriorModel`] behind for serving.
 pub struct GibbsTrainer {
     spec: Bpmf,
-    model: Option<PosteriorModel>,
+    model: Option<Arc<PosteriorModel>>,
 }
 
 impl GibbsTrainer {
@@ -1131,7 +1501,7 @@ impl GibbsTrainer {
 
     /// The fitted posterior model, once `fit` has run.
     pub fn model(&self) -> Option<&PosteriorModel> {
-        self.model.as_ref()
+        self.model.as_deref()
     }
 
     /// The spec this trainer runs.
@@ -1198,7 +1568,7 @@ impl Trainer for GibbsTrainer {
                 break;
             }
         }
-        self.model = Some(PosteriorModel::from_sampler(&sampler));
+        self.model = Some(Arc::new(PosteriorModel::from_sampler(&sampler)));
         Ok(FitReport {
             algorithm: Algorithm::Gibbs.to_string(),
             engine: runner.name().to_string(),
@@ -1210,11 +1580,20 @@ impl Trainer for GibbsTrainer {
     }
 
     fn recommender(&self) -> Option<&dyn Recommender> {
-        self.model.as_ref().map(|m| m as &dyn Recommender)
+        self.model.as_deref().map(|m| m as &dyn Recommender)
     }
 
+    fn shared_model(&self) -> Option<Arc<dyn Recommender + Send + Sync>> {
+        self.model
+            .clone()
+            .map(|m| m as Arc<dyn Recommender + Send + Sync>)
+    }
+
+    #[allow(deprecated)]
     fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
-        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+        self.model
+            .as_deref()
+            .map(|m| m as &(dyn Recommender + Sync))
     }
 }
 
@@ -1432,6 +1811,226 @@ mod tests {
         let via_model = rec.predict(0, 1);
         let via_sampler = sampler.predict_posterior_mean(0, 1).unwrap();
         assert!((via_model - via_sampler).abs() < 1e-12);
+    }
+
+    fn fitted_trainer() -> GibbsTrainer {
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(3)
+            .burnin(2)
+            .samples(4)
+            .seed(7)
+            .engine(EngineKind::Static)
+            .threads(1)
+            .kernel_threads(1)
+            .rating_bounds(1.0, 5.0)
+            .build()
+            .unwrap();
+        let runner = spec.runner();
+        let mut trainer = spec.gibbs_trainer();
+        trainer
+            .fit(&data, runner.as_ref(), &mut NoCallback)
+            .unwrap();
+        trainer
+    }
+
+    #[test]
+    fn model_handle_swap_preserves_pinned_guards_and_bumps_epoch() {
+        let trainer = fitted_trainer();
+        let handle = trainer.model_handle(3).expect("fitted");
+        assert_eq!(handle.epoch(), 3);
+        let pinned = handle.load();
+        let before = pinned.model().predict(0, 1);
+
+        // Swap in a deliberately different model; the pinned guard keeps
+        // serving the old one bit-for-bit.
+        let other = PosteriorModel::from_factors(
+            Mat::from_fn(6, 3, |_, _| 0.5),
+            Mat::from_fn(5, 3, |_, _| 0.5),
+            None,
+            2.5,
+            Some((1.0, 5.0)),
+            1,
+        );
+        let prev = handle.swap(Arc::new(other), 9);
+        assert_eq!(prev, 3);
+        assert_eq!(handle.epoch(), 9);
+        assert!(!handle.is_current(&pinned));
+        assert_eq!(pinned.model().predict(0, 1).to_bits(), before.to_bits());
+        let fresh = handle.load();
+        assert!(handle.is_current(&fresh));
+        assert_eq!(fresh.epoch(), 9);
+
+        // Clones share the cell: a swap through one is visible to all.
+        let twin = handle.clone();
+        twin.swap(fresh.shared(), 10);
+        assert_eq!(handle.epoch(), 10);
+    }
+
+    #[test]
+    fn fold_in_matches_dense_reference_and_reports_typed_errors() {
+        let trainer = fitted_trainer();
+        let model = trainer.model().expect("fitted");
+        let items = [0u32, 2, 4];
+        let ratings = [4.0, 2.0, 3.0];
+        let fold = model
+            .fold_in_user(&items, &ratings)
+            .expect("gibbs folds in");
+        assert_eq!(fold.factors.len(), 3);
+        assert_eq!(fold.scores.len(), 5);
+
+        // Scores must be the folded factors pushed through the same
+        // epilogue as `predict`: global mean + clamp.
+        for (m, &s) in fold.scores.iter().enumerate() {
+            let raw = 2.5 + vecops::dot(&fold.factors, model.movie_means().row(m));
+            assert!(
+                (s - raw.clamp(1.0, 5.0)).abs() <= 1e-12,
+                "item {m}: {s} vs {raw}"
+            );
+        }
+
+        // Determinism: bit-identical on repeat.
+        let again = model.fold_in_user(&items, &ratings).unwrap();
+        assert_eq!(
+            fold.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            again
+                .factors
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>()
+        );
+
+        assert_eq!(
+            model.fold_in_user(&items, &ratings[..2]).unwrap_err(),
+            FoldInError::LengthMismatch {
+                items: 3,
+                ratings: 2
+            }
+        );
+        assert_eq!(
+            model.fold_in_user(&[5], &[3.0]).unwrap_err(),
+            FoldInError::ItemOutOfRange {
+                item: 5,
+                catalogue: 5
+            }
+        );
+
+        // A bare factor dump has no hyper state to fold against.
+        let bare = PosteriorModel::from_factors(
+            model.user_means().clone(),
+            model.movie_means().clone(),
+            None,
+            2.5,
+            None,
+            model.samples(),
+        );
+        assert_eq!(
+            bare.fold_in_user(&items, &ratings).unwrap_err(),
+            FoldInError::Unsupported
+        );
+    }
+
+    #[test]
+    fn checkpoint_rebuild_scores_bitwise_like_the_trainer_model() {
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(3)
+            .burnin(2)
+            .samples(4)
+            .seed(7)
+            .engine(EngineKind::Static)
+            .threads(1)
+            .kernel_threads(1)
+            .rating_bounds(1.0, 5.0)
+            .build()
+            .unwrap();
+        let runner = spec.runner();
+        let mut trainer = spec.gibbs_trainer();
+        // Capture the checkpoint of the *final* iteration: the state the
+        // trainer's model is extracted from.
+        let mut last = None;
+        struct Capture<'c> {
+            slot: &'c mut Option<SamplerCheckpoint>,
+        }
+        impl IterCallback for Capture<'_> {
+            fn on_iteration(&mut self, _s: &IterStats, snap: &dyn FitSnapshot) -> FitControl {
+                *self.slot = snap.sampler_checkpoint();
+                FitControl::Continue
+            }
+        }
+        trainer
+            .fit(&data, runner.as_ref(), &mut Capture { slot: &mut last })
+            .unwrap();
+        let ckpt = last.expect("checkpoint captured");
+        let direct = trainer.model().expect("fitted");
+
+        let rebuilt =
+            PosteriorModel::from_checkpoint(&ckpt, 2.5, Some((1.0, 5.0)), spec.alpha).unwrap();
+        assert_eq!(rebuilt.samples(), direct.samples());
+        let mut a = vec![0.0; 5];
+        let mut b = vec![0.0; 5];
+        for user in 0..6 {
+            direct.score_all(user, &mut a);
+            rebuilt.score_all(user, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "user {user} diverged");
+            }
+        }
+        // The rebuilt model folds in cold-start users identically too.
+        let f1 = direct.fold_in_user(&[1, 3], &[4.0, 2.0]).unwrap();
+        let f2 = rebuilt.fold_in_user(&[1, 3], &[4.0, 2.0]).unwrap();
+        assert_eq!(
+            f1.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            f2.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+        // Uncertainty (second moments) survives the round trip.
+        assert_eq!(
+            direct
+                .predict_with_uncertainty(0, 1)
+                .map(|p| p.std.to_bits()),
+            rebuilt
+                .predict_with_uncertainty(0, 1)
+                .map(|p| p.std.to_bits()),
+        );
+    }
+
+    #[test]
+    fn checkpoint_rebuild_rejects_malformed_hyper_state() {
+        let trainer = fitted_trainer();
+        let _ = trainer; // fit only to prove the happy path elsewhere
+        let (r, rt, test) = tiny();
+        let data = TrainData::try_new(&r, &rt, 2.5, &test).unwrap();
+        let spec = Bpmf::builder()
+            .latent(2)
+            .burnin(1)
+            .samples(1)
+            .threads(1)
+            .kernel_threads(1)
+            .build()
+            .unwrap();
+        let mut sampler = GibbsSampler::try_new(spec.to_gibbs_config(), data).unwrap();
+        let runner = spec.runner();
+        sampler.step(runner.as_ref());
+        let mut ckpt = sampler.checkpoint();
+        ckpt.users_mu.pop();
+        assert!(matches!(
+            PosteriorModel::from_checkpoint(&ckpt, 0.0, None, 2.0),
+            Err(BpmfError::CheckpointMismatch(_))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shared_recommender_shim_still_serves() {
+        let trainer = fitted_trainer();
+        let shim = trainer.shared_recommender().expect("shim still works");
+        let via_handle = trainer.model_handle(1).unwrap();
+        assert_eq!(
+            shim.predict(0, 1).to_bits(),
+            via_handle.load().model().predict(0, 1).to_bits()
+        );
     }
 
     #[test]

@@ -809,7 +809,7 @@ fn apply_items(items: &mut Mat, bytes: &[u8], stride: usize, outstanding: &mut u
 ///   run.
 pub struct DistributedTrainer {
     spec: Bpmf,
-    model: Option<PosteriorModel>,
+    model: Option<std::sync::Arc<PosteriorModel>>,
     outcome: Option<DistOutcome>,
 }
 
@@ -854,7 +854,7 @@ impl DistributedTrainer {
     /// The fitted posterior model, once `fit` has run with at least one
     /// post-burn-in iteration.
     pub fn model(&self) -> Option<&PosteriorModel> {
-        self.model.as_ref()
+        self.model.as_deref()
     }
 }
 
@@ -925,7 +925,7 @@ impl Trainer for DistributedTrainer {
         }
 
         self.model = match (&outcome.user_factors, &outcome.movie_factors) {
-            (Some(u), Some(v)) => Some(PosteriorModel::from_factors(
+            (Some(u), Some(v)) => Some(std::sync::Arc::new(PosteriorModel::from_factors(
                 u.to_mat(),
                 v.to_mat(),
                 match (&outcome.user_second, &outcome.movie_second) {
@@ -935,7 +935,7 @@ impl Trainer for DistributedTrainer {
                 data.global_mean,
                 self.spec.rating_bounds,
                 outcome.factor_samples,
-            )),
+            ))),
             _ => None,
         };
         self.outcome = Some(outcome);
@@ -950,11 +950,20 @@ impl Trainer for DistributedTrainer {
     }
 
     fn recommender(&self) -> Option<&dyn Recommender> {
-        self.model.as_ref().map(|m| m as &dyn Recommender)
+        self.model.as_deref().map(|m| m as &dyn Recommender)
     }
 
+    fn shared_model(&self) -> Option<std::sync::Arc<dyn Recommender + Send + Sync>> {
+        self.model
+            .clone()
+            .map(|m| m as std::sync::Arc<dyn Recommender + Send + Sync>)
+    }
+
+    #[allow(deprecated)]
     fn shared_recommender(&self) -> Option<&(dyn Recommender + Sync)> {
-        self.model.as_ref().map(|m| m as &(dyn Recommender + Sync))
+        self.model
+            .as_deref()
+            .map(|m| m as &(dyn Recommender + Sync))
     }
 }
 

@@ -41,7 +41,11 @@
 //!   behind a newline-delimited JSON protocol ([`serve::wire`]), with
 //!   [`serve::supervise`] keeping the replica fleet itself alive
 //!   (respawn under restart budgets, quarantine on crash loops or
-//!   checksum-corrupt artifacts);
+//!   checksum-corrupt artifacts) and fresh (rolling zero-downtime
+//!   model reloads, one replica per group at a time, when a served
+//!   checkpoint changes on disk); daemons own their model through an
+//!   epoch-stamped swappable [`ModelHandle`] and answer cold-start
+//!   users live via [`Recommender::fold_in_user`];
 //! * [`FeatureSideInfo`] — Macau-style side information (the paper's
 //!   reference \[6\]): per-item features shift the prior mean through a
 //!   Gibbs-sampled link matrix, closing the ChEMBL cold-start gap;
@@ -116,15 +120,20 @@
 //! // exactly this; see `serve::daemon` for the architecture.
 //! use bpmf::serve::daemon::{self, DaemonConfig, ServingModel};
 //! use bpmf::serve::wire;
+//! use bpmf::ModelHandle;
 //! use std::io::{BufRead as _, BufReader, Write as _};
 //! use std::sync::atomic::{AtomicBool, Ordering};
 //!
+//! // The daemon *owns* its model through an epoch-stamped, swappable
+//! // `ModelHandle` (RCU-style atomic pointer) instead of borrowing it
+//! // for life — that's what makes live reload below possible.
 //! let world = ServingModel {
-//!     model: trainer.shared_recommender().expect("fitted"),
+//!     model: ModelHandle::new(trainer.shared_model().expect("fitted"), 1),
 //!     train: Some(&r),
 //!     n_users: r.nrows(),
 //!     n_items: r.ncols(),
 //!     shard: None,
+//!     reload: None, // daemon::ReloadContext enables the `reload` command
 //! };
 //! let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
 //! let addr = listener.local_addr().unwrap();
@@ -141,6 +150,28 @@
 //!     daemon.join().unwrap().unwrap(); // drains in-flight batches
 //! });
 //!
+//! // Models go stale while the daemon runs. Publish a fresh posterior
+//! // with `swap`: new micro-batches score against it immediately, while
+//! // a worker that already pinned a guard finishes its batch on the old
+//! // version — every reply is computed entirely against exactly one
+//! // model, never a half-swapped mix. Over the wire,
+//! // `{"cmd":"reload","path":"v2.ckpt"}` (CLI: `serve-client --reload
+//! // v2.ckpt`) does exactly this after CRC + shard validation, with
+//! // zero dropped requests.
+//! let pinned = world.model.load();
+//! world.model.swap(trainer.shared_model().expect("fitted"), 2);
+//! assert_eq!((pinned.epoch(), world.model.epoch()), (1, 2));
+//! assert!(!world.model.is_current(&pinned)); // reader drains, then re-pins
+//!
+//! // Cold-start: a user who signed up *after* training still gets a
+//! // personalised list — one conjugate Gibbs kernel call folds their
+//! // ratings in against the fixed item factors, served in milliseconds
+//! // with no retrain (wire: `{"cmd":"fold_in","ratings":[…]}`; CLI:
+//! // `serve-client --fold-in '0:5.0,2:1.0'`).
+//! let fold = world.model.load().model().fold_in_user(&[0, 2], &[5.0, 1.0]).unwrap();
+//! assert_eq!(fold.factors.len(), 4); // K posterior-mean factors
+//! assert_eq!(fold.scores.len(), r.ncols()); // ready to rank
+//!
 //! // Catalogue outgrew one process? Shard it: each `ShardView` serves a
 //! // contiguous GEMM-panel-aligned item range (global ids in replies),
 //! // and `merge_top_n` k-way-merges the per-shard lists with the exact
@@ -151,11 +182,11 @@
 //! use bpmf::serve::shard::{merge_top_n, shard_ranges, slice_train_columns, ShardView};
 //! use bpmf::serve::wire::RankedItem;
 //! let whole = service.top_n(1, 2);
-//! let model = trainer.shared_recommender().expect("fitted");
+//! let model = trainer.shared_model().expect("fitted");
 //! let per_shard: Vec<Vec<RankedItem>> = shard_ranges(r.ncols(), 2)
 //!     .into_iter()
 //!     .map(|(lo, hi)| {
-//!         let view = ShardView::new(model, lo, hi);
+//!         let view = ShardView::new(model.clone(), lo, hi);
 //!         let local = slice_train_columns(&r, lo, hi);
 //!         RecommendService::new(&view, hi - lo)
 //!             .exclude_seen(&local)
@@ -246,6 +277,7 @@
 //!     // reuse this argv verbatim so the replica returns on its port.
 //!     argv: vec!["/bin/sh".into(), "-c".into(), "exit 1".into()],
 //!     checkpoint: None, // integrity-checked before every (re)spawn when set
+//!     group: 0, // rolling reloads touch one replica per group at a time
 //! };
 //! let cfg = SuperviseConfig {
 //!     restart_limit: 2,
@@ -362,8 +394,9 @@ pub mod store;
 mod update;
 
 pub use api::{
-    Algorithm, Bpmf, BpmfBuilder, FitControl, FitSnapshot, GibbsTrainer, IterCallback, NoCallback,
-    NoSnapshot, PosteriorModel, Recommender, SideInfoSpec, Trainer,
+    Algorithm, Bpmf, BpmfBuilder, FitControl, FitSnapshot, FoldIn, FoldInError, GibbsTrainer,
+    IterCallback, ModelGuard, ModelHandle, NoCallback, NoSnapshot, PosteriorModel, Recommender,
+    SideInfoSpec, Trainer,
 };
 pub use callbacks::{Patience, WallClockBudget};
 pub use config::BpmfConfig;
@@ -375,4 +408,6 @@ pub use sampler::{GibbsSampler, PredictionSummary, TrainData};
 pub use sgld::{SgldConfig, SgldSampler};
 pub use sideinfo::FeatureSideInfo;
 pub use store::{store_row_weights, MappedSlab, RatingStore, SlabCsr};
-pub use update::{choose_method, update_item, SidePrior, UpdateMethod, UpdateScratch};
+pub use update::{
+    choose_method, fold_in_mean, update_item, SidePrior, UpdateMethod, UpdateScratch,
+};

@@ -281,6 +281,13 @@ impl<'a> GibbsSampler<'a> {
         &self.movies.items
     }
 
+    /// Current user-side hyperprior `(μ_U, Λ_U)` — the Normal–Wishart
+    /// state a cold-start fold-in conditions on (see
+    /// [`crate::update::fold_in_mean`]).
+    pub fn user_hyper(&self) -> (&[f64], &Mat) {
+        (&self.users.mu, &self.users.lambda)
+    }
+
     /// Predict one rating from the *current* sample, clamped to the
     /// configured rating bounds.
     pub fn predict_one(&self, user: usize, movie: usize) -> f64 {

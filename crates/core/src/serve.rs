@@ -200,6 +200,61 @@
 //! corrupt artifacts need an operator (or a fresh deploy) — an automatic
 //! un-quarantine would just re-enter the crash loop.
 //!
+//! # Live models: RCU-style swap and rolling reload
+//!
+//! A daemon *owns* its model behind an epoch-stamped
+//! [`crate::ModelHandle`] — an RCU-style atomic pointer — instead of
+//! borrowing one for its whole life. Workers pin a guard per micro-batch
+//! (read side: one atomic load, no lock on the scoring path); a
+//! [`wire::CMD_RELOAD`] request loads + CRC-verifies a new checkpoint on
+//! the *connection* thread, validates it against the running shard's
+//! range, rebuilds the posterior, and publishes it with one pointer swap
+//! (write side):
+//!
+//! ```text
+//!   connection thread                      worker threads
+//!   ─────────────────                      ──────────────
+//!   reload v2.ckpt                         guard = handle.load()  ←─ pin
+//!     read + CRC ✔                         … score micro-batch
+//!     shard range ✔         swap           … on pinned version
+//!     rebuild posterior ──────────▶ ptr    stale? re-pin, re-score,
+//!     reply {model_epoch}                  THEN reply (never mixed)
+//! ```
+//!
+//! Requests in flight during a swap finish against exactly one version —
+//! a worker that observes the swap mid-batch re-pins and re-scores the
+//! whole batch before replying, so every reply is bit-identical to the
+//! old *or* the new model, never a blend; staleness is bounded by one
+//! micro-batch. Zero requests are dropped or errored by a reload.
+//!
+//! The supervisor turns this into **fleet freshness**: when a replica's
+//! checkpoint file changes on disk (a trainer finishing `--resume`d
+//! warm-start iterations, for instance), it verifies the new artifact
+//! first and then pushes `reload` across each replica *group* one
+//! replica at a time — the router's failover covers the one briefly
+//! mid-swap replica, and its health report flags the transient
+//! intra-group epoch skew as an informational
+//! [`wire::CODE_MODEL_RELOAD`] diagnostic (never `degraded`):
+//!
+//! ```text
+//!   trainer ──writes──▶ v2.ckpt (shared path)
+//!                         │ supervisor: stat poll → CRC verify
+//!              ┌──────────┴──────────┐   then, one group at a time,
+//!              ▼ reload              │   one replica at a time:
+//!   ┌───────────┐ ┌───────────┐     ▼
+//!   │ replica 0 │ │ replica 1 │   (next pass: replica 1, then
+//!   │ epoch 100 │ │ epoch 60  │    the other group's replicas)
+//!   └───────────┘ └───────────┘
+//!       range keeps serving throughout; skew is SEV_INFO
+//! ```
+//!
+//! Cold-start users ride the same owned-model surface:
+//! [`wire::CMD_FOLD_IN`] folds a brand-new user's ratings into the
+//! *served* posterior with one conjugate kernel call
+//! ([`crate::Recommender::fold_in_user`], item factors fixed) and
+//! returns their factors plus a ranked list — milliseconds, no retrain,
+//! deterministic.
+//!
 //! ```
 //! use bpmf::serve::{RankPolicy, RecommendService};
 //! use bpmf::{Bpmf, NoCallback, TrainData, Trainer};

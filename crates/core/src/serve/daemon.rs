@@ -8,22 +8,30 @@
 //! [`wire::CMD_SHUTDOWN`] command — then drains every request accepted
 //! before the signal and returns a [`DaemonReport`]. All threads (worker
 //! pool, one reader + one writer per connection) live inside one
-//! [`std::thread::scope`], so the model is borrowed, not `Arc`ed: any
-//! fitted [`crate::Recommender`] that is `Sync` can be served without
-//! changing how it is owned.
+//! [`std::thread::scope`].
+//!
+//! The model itself is *owned, not borrowed*: the daemon serves through
+//! a [`ModelHandle`] (an RCU-style swappable `Arc`), which is what makes
+//! [`wire::CMD_RELOAD`] possible — a connection thread loads and
+//! CRC-verifies a new checkpoint **off the request path**, swaps it into
+//! the handle, and workers pick it up at their next micro-batch without
+//! dropping a single in-flight request (see [`serve_batches`] for the
+//! consistency guarantee).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use bpmf_sparse::Csr;
 
-use crate::api::Recommender;
+use crate::api::{FoldInError, ModelHandle, PosteriorModel, Recommender};
+use crate::checkpoint::SamplerCheckpoint;
+use crate::error::BpmfError;
 use crate::serve::coalesce::{CoalesceConfig, Queue};
 use crate::serve::faults::{FaultKind, FaultPlan};
-use crate::serve::shard::ShardSpec;
+use crate::serve::shard::{ShardSpec, ShardView};
 use crate::serve::{wire, RankPolicy, RecommendService, ServeRequest};
 
 /// How often the accept loop re-checks the shutdown flag. Short, because
@@ -41,12 +49,28 @@ const POLL: Duration = Duration::from_millis(25);
 /// a request.
 const MAX_LINE: usize = 1 << 20;
 
-/// Everything the daemon serves from: the fitted model plus the training
-/// matrix for exclude-seen filtering and the catalogue/user-count bounds
-/// requests are validated against.
+/// Everything a [`wire::CMD_RELOAD`] needs that a raw
+/// [`crate::SamplerCheckpoint`] does not carry: the training-spec values
+/// the daemon was originally configured with, so a rebuilt
+/// [`PosteriorModel`] scores bit-identically to the trainer's own.
+#[derive(Clone, Copy, Debug)]
+pub struct ReloadContext {
+    /// Global mean rating the factors were centred on.
+    pub global_mean: f64,
+    /// Rating clamp applied to predictions, if any.
+    pub rating_bounds: Option<(f64, f64)>,
+    /// Observation precision `alpha` (drives cold-start fold-in).
+    pub alpha: f64,
+}
+
+/// Everything the daemon serves from: the live model handle plus the
+/// training matrix for exclude-seen filtering and the
+/// catalogue/user-count bounds requests are validated against.
 pub struct ServingModel<'a> {
-    /// The fitted model, shareable across the worker pool.
-    pub model: &'a (dyn Recommender + Sync),
+    /// The served model, behind a swappable handle: workers load it per
+    /// micro-batch, so a [`wire::CMD_RELOAD`] takes effect without
+    /// restarting anything.
+    pub model: ModelHandle,
     /// Training ratings; enables per-request exclude-seen.
     pub train: Option<&'a Csr>,
     /// Number of users requests may address (`user < n_users`).
@@ -59,6 +83,11 @@ pub struct ServingModel<'a> {
     /// `health`/`stats` replies carry the spec so a router can check
     /// coverage and epoch agreement.
     pub shard: Option<ShardSpec>,
+    /// Context for rebuilding a model from a checkpoint on
+    /// [`wire::CMD_RELOAD`]. `None` disables reload with a typed error
+    /// (the daemon cannot know what mean/bounds/alpha the checkpoint's
+    /// factors assume).
+    pub reload: Option<ReloadContext>,
 }
 
 /// Daemon knobs. `Default` is a coalescing configuration: 64-request
@@ -116,6 +145,10 @@ pub struct DaemonReport {
     pub worker_panics: u64,
     /// Scripted faults fired by [`DaemonConfig::faults`].
     pub faults_injected: u64,
+    /// Live model swaps performed via [`wire::CMD_RELOAD`].
+    pub reloads: u64,
+    /// Cold-start users answered via [`wire::CMD_FOLD_IN`].
+    pub fold_ins: u64,
 }
 
 #[derive(Default)]
@@ -127,6 +160,8 @@ struct Counters {
     rejected: AtomicU64,
     worker_panics: AtomicU64,
     faults_injected: AtomicU64,
+    reloads: AtomicU64,
+    fold_ins: AtomicU64,
 }
 
 /// One queued request: the resolved work plus the way home.
@@ -194,6 +229,8 @@ pub fn serve(
         rejected: counters.rejected.load(Ordering::Relaxed),
         worker_panics: counters.worker_panics.load(Ordering::Relaxed),
         faults_injected: counters.faults_injected.load(Ordering::Relaxed),
+        reloads: counters.reloads.load(Ordering::Relaxed),
+        fold_ins: counters.fold_ins.load(Ordering::Relaxed),
     })
 }
 
@@ -254,40 +291,72 @@ fn worker_loop(
 
 /// The actual serving loop (split out so [`worker_loop`] can restart it
 /// after a panic with a freshly built service).
+///
+/// # Reload consistency
+///
+/// The worker pins one model version ([`ModelHandle::load`]) and builds
+/// its [`RecommendService`] — and the `OnceLock`'d packed-factor caches
+/// inside the model — against that pinned guard. Before *each*
+/// micro-batch it re-checks [`ModelHandle::is_current`]: when a reload
+/// has swapped the handle, the batch in hand is stashed, the service is
+/// rebuilt over the fresh guard, and the stashed batch is served first.
+/// Every batch is therefore scored **entirely under a single model
+/// version** — each in-flight reply is bit-identical to what exactly one
+/// of {old model, new model} would have produced — and staleness is
+/// bounded by one micro-batch.
 fn serve_batches(world: &ServingModel<'_>, queue: &Queue<Job>, counters: &Counters) {
-    let mut service = RecommendService::new(world.model, world.n_items);
-    if let Some(train) = world.train {
-        service = service.exclude_seen(train);
-    }
-    if let Some(spec) = world.shard {
-        // Local item `i` is global item `item_lo + i`: replies carry
-        // global ids, and Thompson draws are keyed on them, so a sharded
-        // reply splices bit-exactly into a full-catalogue ranking.
-        service = service.item_base(spec.item_lo);
-    }
     let mut reqs: Vec<ServeRequest> = Vec::new();
-    while let Some(batch) = queue.next_batch() {
-        if batch.iter().any(|j| j.poison) {
-            // Scripted panic-worker fault: dying *before* scoring loses
-            // the batch in hand, exactly like a real scorer panic, and
-            // `worker_loop`'s catch_unwind recovery takes it from there.
-            panic!("fault injection: poisoned batch");
+    // A batch pulled just as a reload landed: re-served (never dropped)
+    // under the rebuilt service in the next outer-loop turn.
+    let mut stashed: Option<Vec<Job>> = None;
+    'model: loop {
+        let guard = world.model.load();
+        let mut service = RecommendService::new(guard.model(), world.n_items);
+        if let Some(train) = world.train {
+            service = service.exclude_seen(train);
         }
-        reqs.clear();
-        reqs.extend(batch.iter().map(|j| j.req));
-        let lists = service.recommend_each(&reqs);
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        counters
-            .largest_batch
-            .fetch_max(batch.len() as u64, Ordering::Relaxed);
-        counters
-            .requests
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        for (job, list) in batch.into_iter().zip(lists) {
-            // A send error just means the connection died first.
-            let _ = job
-                .reply
-                .send(wire::Response::success(job.id, job.req.user, &list));
+        if let Some(spec) = world.shard {
+            // Local item `i` is global item `item_lo + i`: replies carry
+            // global ids, and Thompson draws are keyed on them, so a
+            // sharded reply splices bit-exactly into a full-catalogue
+            // ranking.
+            service = service.item_base(spec.item_lo);
+        }
+        loop {
+            let batch = match stashed.take() {
+                Some(b) => b,
+                None => match queue.next_batch() {
+                    Some(b) => b,
+                    None => return,
+                },
+            };
+            if batch.iter().any(|j| j.poison) {
+                // Scripted panic-worker fault: dying *before* scoring
+                // loses the batch in hand, exactly like a real scorer
+                // panic, and `worker_loop`'s catch_unwind recovery takes
+                // it from there.
+                panic!("fault injection: poisoned batch");
+            }
+            if !world.model.is_current(&guard) {
+                stashed = Some(batch);
+                continue 'model;
+            }
+            reqs.clear();
+            reqs.extend(batch.iter().map(|j| j.req));
+            let lists = service.recommend_each(&reqs);
+            counters.batches.fetch_add(1, Ordering::Relaxed);
+            counters
+                .largest_batch
+                .fetch_max(batch.len() as u64, Ordering::Relaxed);
+            counters
+                .requests
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for (job, list) in batch.into_iter().zip(lists) {
+                // A send error just means the connection died first.
+                let _ = job
+                    .reply
+                    .send(wire::Response::success(job.id, job.req.user, &list));
+            }
         }
     }
 }
@@ -442,6 +511,26 @@ fn process_line(
             shutdown.store(true, Ordering::Relaxed);
             false
         }
+        wire::CMD_RELOAD => {
+            // Runs on this connection's reader thread: checkpoint I/O,
+            // CRC verification, and model rebuild all happen *off* the
+            // worker pool's request path; only the final pointer swap is
+            // visible to serving.
+            let resp = handle_reload(&req, world, counters);
+            if resp.error.is_some() {
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = tx.send(resp);
+            true
+        }
+        wire::CMD_FOLD_IN => {
+            let resp = handle_fold_in(&req, world, cfg, counters);
+            if resp.error.is_some() {
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = tx.send(resp);
+            true
+        }
         "" | wire::CMD_RECOMMEND => {
             let user = req.user.unwrap_or(0);
             // Scripted fault, claimed per recommend request so ordinals
@@ -544,6 +633,193 @@ fn resolve(
     })
 }
 
+/// Execute a [`wire::CMD_RELOAD`]: read + CRC-verify the checkpoint,
+/// refuse anything whose shard layout or catalogue shape disagrees with
+/// the running daemon (a typed error, never a silent catalogue change),
+/// rebuild the model, and swap it in. Runs on a connection thread — the
+/// worker pool never blocks on checkpoint I/O.
+fn handle_reload(
+    req: &wire::Request,
+    world: &ServingModel<'_>,
+    counters: &Counters,
+) -> wire::Response {
+    let id = req.id;
+    let Some(ctx) = world.reload else {
+        return wire::Response::failure(
+            id,
+            0,
+            "reload unavailable: daemon was started without a reload context",
+        );
+    };
+    if req.path.is_empty() {
+        return wire::Response::failure(id, 0, "missing field `path`");
+    }
+    let ckpt = match crate::checkpoint::read_checkpoint(std::path::Path::new(&req.path)) {
+        Ok(c) => c,
+        Err(BpmfError::Integrity(msg)) => {
+            return wire::Response::failure(id, 0, msg).with_code(wire::CODE_CORRUPT_ARTIFACT)
+        }
+        Err(e) => return wire::Response::failure(id, 0, format!("cannot read checkpoint: {e}")),
+    };
+    if let Err(msg) = validate_reload_shard(&ckpt, world) {
+        return wire::Response::failure(id, 0, msg).with_code(wire::CODE_SHARD_MISMATCH);
+    }
+    let model =
+        match PosteriorModel::from_checkpoint(&ckpt, ctx.global_mean, ctx.rating_bounds, ctx.alpha)
+        {
+            Ok(m) => m,
+            Err(e) => {
+                return wire::Response::failure(id, 0, format!("checkpoint unusable: {e}"))
+                    .with_code(wire::CODE_CORRUPT_ARTIFACT)
+            }
+        };
+    let model: Arc<dyn Recommender + Send + Sync> = match world.shard {
+        // The view owns the full-catalogue model and serves this
+        // daemon's slice of it, exactly like the boot path.
+        Some(spec) => Arc::new(ShardView::new(
+            Arc::new(model),
+            spec.item_lo as usize,
+            spec.item_hi as usize,
+        )),
+        None => Arc::new(model),
+    };
+    let epoch = ckpt.iter as u64;
+    world.model.swap(model, epoch);
+    counters.reloads.fetch_add(1, Ordering::Relaxed);
+    wire::Response {
+        model_epoch: Some(epoch),
+        ..wire::Response::ack(id)
+    }
+}
+
+/// Refuse a reload that would silently change what this daemon serves:
+/// the checkpoint's shard spec (when it carries one) and its factor
+/// shapes must reproduce the running daemon's slice exactly.
+fn validate_reload_shard(ckpt: &SamplerCheckpoint, world: &ServingModel<'_>) -> Result<(), String> {
+    let ckpt_items = ckpt.movies.rows;
+    let ckpt_users = ckpt.users.rows;
+    if ckpt_users != world.n_users {
+        return Err(format!(
+            "checkpoint covers {ckpt_users} users but this daemon serves {}",
+            world.n_users
+        ));
+    }
+    match (world.shard, ckpt.shard) {
+        (None, Some(cs)) => Err(format!(
+            "checkpoint is pinned to shard {cs} but this daemon serves the whole catalogue"
+        )),
+        (None, None) => {
+            if ckpt_items != world.n_items {
+                return Err(format!(
+                    "checkpoint catalogue has {ckpt_items} items but this daemon serves {}",
+                    world.n_items
+                ));
+            }
+            Ok(())
+        }
+        (Some(ws), cs) => {
+            if let Some(cs) = cs {
+                if (cs.shard_id, cs.num_shards) != (ws.shard_id, ws.num_shards)
+                    || (cs.item_lo, cs.item_hi) != (ws.item_lo, ws.item_hi)
+                {
+                    return Err(format!(
+                        "checkpoint shard {cs} disagrees with the running shard {ws}"
+                    ));
+                }
+            }
+            // Re-derive this shard's slice from the checkpoint's
+            // catalogue size: a different-sized catalogue would move the
+            // GEMM-aligned range boundaries out from under the router.
+            let derived = ShardSpec::for_shard(ws.shard_id, ws.num_shards, ckpt_items, ws.epoch);
+            if (derived.item_lo, derived.item_hi) != (ws.item_lo, ws.item_hi) {
+                return Err(format!(
+                    "checkpoint catalogue has {ckpt_items} items, which maps shard \
+                     {}/{} to [{}, {}) — this daemon serves [{}, {})",
+                    ws.shard_id,
+                    ws.num_shards,
+                    derived.item_lo,
+                    derived.item_hi,
+                    ws.item_lo,
+                    ws.item_hi
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Execute a [`wire::CMD_FOLD_IN`]: fold a brand-new user's ratings into
+/// the served posterior (one conjugate kernel call, item factors fixed)
+/// and rank for them. Computed on the connection thread against one
+/// pinned model version; the reply carries the folded factors and the
+/// epoch that produced them.
+fn handle_fold_in(
+    req: &wire::Request,
+    world: &ServingModel<'_>,
+    cfg: &DaemonConfig,
+    counters: &Counters,
+) -> wire::Response {
+    let id = req.id;
+    let user = req.user.unwrap_or(0);
+    let mut items: Vec<u32> = Vec::with_capacity(req.ratings.len());
+    let mut vals: Vec<f64> = Vec::with_capacity(req.ratings.len());
+    for r in &req.ratings {
+        items.push(r.item);
+        vals.push(r.rating);
+    }
+    let top_n = if req.top_n == 0 {
+        cfg.default_top_n
+    } else {
+        req.top_n
+    }
+    .min(world.n_items)
+    .max(1);
+    let guard = world.model.load();
+    let fold = match guard.model().fold_in_user(&items, &vals) {
+        Ok(f) => f,
+        Err(FoldInError::Unsupported) => {
+            return wire::Response::failure(
+                id,
+                user,
+                "fold-in unavailable: the served model carries no user prior",
+            )
+        }
+        Err(FoldInError::DegeneratePrior) => {
+            return wire::Response::failure(id, user, "fold-in failed: degenerate user prior")
+                .with_code(wire::CODE_INTERNAL)
+        }
+        Err(e) => return wire::Response::failure(id, user, e.to_string()),
+    };
+    // Rank the folded user's slice scores in serving order — score
+    // descending, ties by ascending item id — offset to global ids when
+    // sharded, exactly like a recommend reply.
+    let base: u32 = world.shard.map_or(0, |s| s.item_lo);
+    let mut ranked: Vec<wire::RankedItem> = fold
+        .scores
+        .iter()
+        .enumerate()
+        .map(|(i, &score)| wire::RankedItem {
+            item: base + i as u32,
+            score,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.item.cmp(&b.item))
+    });
+    ranked.truncate(top_n);
+    counters.fold_ins.fetch_add(1, Ordering::Relaxed);
+    wire::Response {
+        user,
+        items: ranked,
+        factors: fold.factors,
+        model_epoch: Some(guard.epoch()),
+        ..wire::Response::ack(id)
+    }
+}
+
 /// Snapshot the daemon's health. Surviving worker panics degrade the
 /// status (the model panicked at least once on real traffic) without
 /// taking the daemon out of rotation; `down` is never self-reported — a
@@ -561,6 +837,7 @@ fn health_report(world: &ServingModel<'_>, counters: &Counters) -> wire::HealthR
         n_users: world.n_users as u64,
         n_items: world.n_items as u64,
         shard: world.shard,
+        model_epoch: world.model.epoch(),
         ..wire::HealthReport::default()
     };
     if panics > 0 {
@@ -587,6 +864,9 @@ fn stats_report(world: &ServingModel<'_>, counters: &Counters) -> wire::StatsRep
         worker_panics: counters.worker_panics.load(Ordering::Relaxed),
         faults_injected: counters.faults_injected.load(Ordering::Relaxed),
         shard: world.shard,
+        model_epoch: world.model.epoch(),
+        reloads: counters.reloads.load(Ordering::Relaxed),
+        fold_ins: counters.fold_ins.load(Ordering::Relaxed),
         ..wire::StatsReport::default()
     }
 }

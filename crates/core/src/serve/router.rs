@@ -1058,6 +1058,7 @@ fn scatter(
         top_n,
         policy: req.policy.clone(),
         exclude_seen: req.exclude_seen,
+        ..wire::Request::default()
     };
     let line = wire::encode(&fwd);
     // Pick a replica per range and register before queueing any send: a
@@ -1191,11 +1192,13 @@ fn router_health(router: &Router<'_>) -> wire::HealthReport {
     let mut replicas_out = 0usize;
     for (g, group) in router.groups.iter().enumerate() {
         let mut live = 0usize;
+        let mut group_model_epochs: Vec<u64> = Vec::with_capacity(group.replicas.len());
         for (r, rep) in group.replicas.iter().enumerate() {
             let quarantined = rep.quarantined.load(Ordering::Relaxed);
             match probe_shard(&rep.addr, wire::CMD_HEALTH).and_then(|x| x.health) {
                 Some(report) if !quarantined => {
                     live += 1;
+                    group_model_epochs.push(report.model_epoch);
                     shards.push(report);
                 }
                 Some(report) => {
@@ -1242,6 +1245,23 @@ fn router_health(router: &Router<'_>) -> wire::HealthReport {
                 ),
             ));
         }
+        // Replicas of one range serving different *model* epochs is the
+        // expected transient of a rolling reload (the supervisor swaps
+        // one replica per group at a time): informational, not degraded.
+        // The catalogue-layout epoch (`ShardSpec::epoch`) stays pinned
+        // across reloads, so group admission is unaffected.
+        group_model_epochs.sort_unstable();
+        group_model_epochs.dedup();
+        if group_model_epochs.len() > 1 {
+            diagnostics.push(wire::Diagnostic::new(
+                wire::SEV_INFO,
+                wire::CODE_MODEL_RELOAD,
+                format!(
+                    "range {g}: replicas serve model epochs {group_model_epochs:?} \
+                     (rolling reload in progress)"
+                ),
+            ));
+        }
     }
     // Mixed training epochs across the fleet: every live replica must
     // serve factors from the same sampler iteration or rankings straddle
@@ -1264,9 +1284,12 @@ fn router_health(router: &Router<'_>) -> wire::HealthReport {
         ));
     }
     let degraded_child = shards.iter().any(|h| h.status != wire::STATUS_OK);
+    // Informational findings (e.g. mid-rolling-reload model-epoch skew)
+    // never degrade the aggregate status; anything warning-or-worse does.
+    let notable = diagnostics.iter().any(|d| d.severity != wire::SEV_INFO);
     let status = if ranges_down == router.groups.len() {
         wire::STATUS_DOWN
-    } else if ranges_down > 0 || replicas_out > 0 || degraded_child || !diagnostics.is_empty() {
+    } else if ranges_down > 0 || replicas_out > 0 || degraded_child || notable {
         wire::STATUS_DEGRADED
     } else {
         wire::STATUS_OK
@@ -1284,6 +1307,9 @@ fn router_health(router: &Router<'_>) -> wire::HealthReport {
             .max()
             .unwrap_or_else(|| shards.iter().map(|h| h.n_items).max().unwrap_or(0)),
         shard: None,
+        // The fleet's newest served model; during a rolling reload the
+        // per-group skew diagnostic above names the laggards.
+        model_epoch: shards.iter().map(|h| h.model_epoch).max().unwrap_or(0),
         diagnostics,
         shards,
     }
@@ -1322,6 +1348,9 @@ fn router_stats(router: &Router<'_>) -> wire::StatsReport {
         faults_injected: router.counters.faults_injected.load(Ordering::Relaxed),
         replicas,
         replicas_up,
+        model_epoch: shards.iter().map(|s| s.model_epoch).max().unwrap_or(0),
+        reloads: shards.iter().map(|s| s.reloads).sum(),
+        fold_ins: shards.iter().map(|s| s.fold_ins).sum(),
         shards,
         ..wire::StatsReport::default()
     }

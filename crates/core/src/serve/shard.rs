@@ -130,6 +130,11 @@ pub fn shard_ranges(n_items: usize, num_shards: usize) -> Vec<(usize, usize)> {
 /// item range `[lo, hi)` of the wrapped model's, in *local* coordinates
 /// (`0..hi − lo`).
 ///
+/// The view **owns** its model (an `Arc`, shared with whoever else serves
+/// it), so a shard can live inside a swapped [`crate::ModelHandle`]
+/// version: a zero-downtime `reload` builds a fresh full model, wraps it
+/// in a new view for the same range, and publishes the pair atomically.
+///
 /// All whole-catalogue entry points delegate to the wrapped model's range
 /// scans ([`Recommender::score_block_range`] /
 /// [`Recommender::uncertainty_range`]), so on factor models a shard's
@@ -137,20 +142,20 @@ pub fn shard_ranges(n_items: usize, num_shards: usize) -> Vec<(usize, usize)> {
 /// pins down. Pair with
 /// [`crate::serve::RecommendService::item_base`]`(lo)` so replies carry
 /// global ids and Thompson draws key on them.
-pub struct ShardView<'a> {
-    inner: &'a (dyn Recommender + Sync),
+pub struct ShardView {
+    inner: std::sync::Arc<dyn Recommender + Send + Sync>,
     lo: usize,
     hi: usize,
 }
 
-impl<'a> ShardView<'a> {
+impl ShardView {
     /// View of `model`'s items `[lo, hi)`.
     ///
     /// # Panics
     ///
     /// Panics on an inverted range, or one out of bounds when the model
     /// knows its catalogue size.
-    pub fn new(model: &'a (dyn Recommender + Sync), lo: usize, hi: usize) -> Self {
+    pub fn new(model: std::sync::Arc<dyn Recommender + Send + Sync>, lo: usize, hi: usize) -> Self {
         assert!(lo <= hi, "bad item range [{lo}, {hi})");
         if let Some(n) = model.num_items() {
             assert!(hi <= n, "item range [{lo}, {hi}) out of 0..{n}");
@@ -173,7 +178,7 @@ impl<'a> ShardView<'a> {
     }
 }
 
-impl Recommender for ShardView<'_> {
+impl Recommender for ShardView {
     fn predict(&self, user: usize, movie: usize) -> f64 {
         debug_assert!(movie < self.hi - self.lo, "local item out of shard");
         self.inner.predict(user, self.lo + movie)
@@ -213,6 +218,21 @@ impl Recommender for ShardView<'_> {
         assert!(lo <= hi && self.lo + hi <= self.hi, "range out of shard");
         self.inner
             .uncertainty_range(user, self.lo + lo, self.lo + hi, stds)
+    }
+
+    /// Fold-in runs against the *full* wrapped model (the rated items are
+    /// global ids and may live outside this shard's range — the inner
+    /// model carries the whole catalogue's factors), then the scores are
+    /// sliced down to this shard's `[lo, hi)` so the reply matches the
+    /// rest of the shard's serving surface.
+    fn fold_in_user(
+        &self,
+        items: &[u32],
+        ratings: &[f64],
+    ) -> Result<crate::api::FoldIn, crate::api::FoldInError> {
+        let mut fold = self.inner.fold_in_user(items, ratings)?;
+        fold.scores = fold.scores[self.lo..self.hi].to_vec();
+        Ok(fold)
     }
 }
 

@@ -37,6 +37,17 @@
 //!   quarantines the replica immediately with
 //!   [`wire::CODE_CORRUPT_ARTIFACT`]: recovery must never resurrect a
 //!   replica onto garbage factors.
+//! * **Rolling reload** — the supervisor watches each replica's
+//!   checkpoint file; when a new checkpoint lands (a trainer published a
+//!   fresher posterior), it CRC-verifies the file and pushes a
+//!   [`wire::CMD_RELOAD`] over the replica's serving socket — **one
+//!   replica per [`ReplicaSpec::group`] at a time**, so every shard
+//!   range keeps at least one replica on a settled model while its twin
+//!   swaps. A corrupt drop is refused (never pushed); a failed push is
+//!   retried on the next check. Progress streams out as
+//!   [`wire::CODE_MODEL_RELOAD`] diagnostics, and respawns stay
+//!   self-consistent because the replica's `--resume` argv already names
+//!   the reloaded file.
 //!
 //! The loop runs until the caller's shutdown flag is raised (children are
 //! then SIGTERMed, given a grace period, and SIGKILLed if still alive) or
@@ -67,8 +78,13 @@ pub struct ReplicaSpec {
     /// original port.
     pub argv: Vec<String>,
     /// Checkpoint the replica resumes from, integrity-checked before
-    /// every (re)spawn. `None` skips the pre-check.
+    /// every (re)spawn and watched for rolling reloads. `None` skips
+    /// both.
     pub checkpoint: Option<PathBuf>,
+    /// Replica group (shard-range) this replica belongs to. Rolling
+    /// reloads touch at most one replica per group at a time, so a
+    /// range's twin keeps serving a settled model during the swap.
+    pub group: u32,
 }
 
 /// Supervision knobs. `Default`: budget of 5 consecutive failures,
@@ -96,6 +112,13 @@ pub struct SuperviseConfig {
     pub shutdown_grace: Duration,
     /// Supervision loop tick.
     pub poll_interval: Duration,
+    /// How often to stat a replica's checkpoint for a rolling reload
+    /// (and how closely reloads of twin replicas may follow each other).
+    pub reload_check_interval: Duration,
+    /// Connect/read patience for a reload push (the daemon reads and
+    /// CRC-verifies the checkpoint before acking, so this is much longer
+    /// than a probe).
+    pub reload_timeout: Duration,
     /// Seed for restart-backoff jitter (each replica mixes its index in).
     pub seed: u64,
 }
@@ -112,6 +135,8 @@ impl Default for SuperviseConfig {
             startup_grace: Duration::from_secs(2),
             shutdown_grace: Duration::from_secs(2),
             poll_interval: Duration::from_millis(25),
+            reload_check_interval: Duration::from_millis(500),
+            reload_timeout: Duration::from_secs(5),
             seed: 0,
         }
     }
@@ -128,6 +153,8 @@ pub struct SupervisorReport {
     pub probe_restarts: u64,
     /// Replicas quarantined (crash loop or corrupt artifact).
     pub quarantined: u64,
+    /// Rolling model reloads pushed successfully.
+    pub reloads: u64,
 }
 
 /// Per-replica lifecycle state.
@@ -144,11 +171,28 @@ enum State {
     Quarantined,
 }
 
+/// Size + mtime snapshot of a checkpoint file: cheap to poll, and any
+/// publish (rename or rewrite) changes it.
+type FileStamp = (u64, Option<std::time::SystemTime>);
+
+fn checkpoint_stamp(path: &std::path::Path) -> Option<FileStamp> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.len(), meta.modified().ok()))
+}
+
 struct Replica<'a> {
     spec: &'a ReplicaSpec,
     state: State,
     /// Consecutive budget-charged failures since the last healthy probe.
     failures: u32,
+    /// Stamp of the checkpoint as last loaded into the replica (at spawn
+    /// or after a successful reload push); a differing stamp on disk is
+    /// a pending rolling reload.
+    ckpt_stamp: Option<FileStamp>,
+    /// The on-disk checkpoint changed and has not been pushed yet.
+    reload_pending: bool,
+    /// Last checkpoint poll (rate-limits stats and reload pushes).
+    last_reload_check: Instant,
 }
 
 /// Run the fleet described by `specs` until `shutdown` is raised or
@@ -172,6 +216,9 @@ pub fn supervise(
             // as a restart.
             state: State::Waiting { until: now },
             failures: 0,
+            ckpt_stamp: None,
+            reload_pending: false,
+            last_reload_check: now,
         })
         .collect();
 
@@ -248,6 +295,40 @@ pub fn supervise(
                 }
             }
         }
+        // Rolling reload: poll each running replica's checkpoint file and
+        // push changed ones over the wire — at most one replica per group
+        // per pass. The push is a synchronous roundtrip, so by the time a
+        // twin's turn comes (one reload_check_interval later) the first
+        // swap has already completed.
+        let mut groups_swapping: Vec<u32> = Vec::new();
+        for replica in fleet.iter_mut() {
+            let State::Running { spawned_at, .. } = &replica.state else {
+                continue;
+            };
+            let spawned_at = *spawned_at;
+            let Some(path) = replica.spec.checkpoint.clone() else {
+                continue;
+            };
+            if now.duration_since(spawned_at) < cfg.startup_grace
+                || now.duration_since(replica.last_reload_check) < cfg.reload_check_interval
+            {
+                continue;
+            }
+            replica.last_reload_check = now;
+            let stamp = checkpoint_stamp(&path);
+            if !replica.reload_pending {
+                if stamp.is_some() && stamp != replica.ckpt_stamp {
+                    replica.reload_pending = true;
+                } else {
+                    continue;
+                }
+            }
+            if groups_swapping.contains(&replica.spec.group) {
+                continue; // this range already swapped a replica this pass
+            }
+            groups_swapping.push(replica.spec.group);
+            step_reload(replica, &path, stamp, cfg, &mut report, events);
+        }
         if fleet.iter().all(|r| matches!(r.state, State::Quarantined)) {
             // Nothing left to supervise; return rather than spin forever.
             return Ok(report);
@@ -323,6 +404,116 @@ fn step_failure(
     };
 }
 
+/// Push one pending rolling reload: CRC-verify what is on disk, then
+/// send [`wire::CMD_RELOAD`] over the replica's serving socket. A
+/// corrupt drop is swallowed with a warning (the replica keeps serving
+/// its current model); a failed push stays pending and is retried next
+/// check.
+fn step_reload(
+    replica: &mut Replica<'_>,
+    path: &std::path::Path,
+    stamp: Option<FileStamp>,
+    cfg: &SuperviseConfig,
+    report: &mut SupervisorReport,
+    events: &mut dyn FnMut(Diagnostic),
+) {
+    match crate::checkpoint::read_checkpoint(path) {
+        Ok(_) => {}
+        Err(BpmfError::Integrity(msg)) => {
+            // Never push garbage at a healthy replica. Remember the bad
+            // file's stamp so one corrupt drop warns once, not per tick;
+            // the next (re)write re-arms detection.
+            replica.ckpt_stamp = stamp;
+            replica.reload_pending = false;
+            events(Diagnostic::new(
+                wire::SEV_WARNING,
+                wire::CODE_CORRUPT_ARTIFACT,
+                format!(
+                    "replica {}: refusing to push a corrupt checkpoint: {msg}",
+                    replica.spec.id
+                ),
+            ));
+            return;
+        }
+        Err(other) => {
+            replica.ckpt_stamp = stamp;
+            replica.reload_pending = false;
+            events(Diagnostic::new(
+                wire::SEV_WARNING,
+                wire::CODE_INTERNAL,
+                format!("replica {}: reload pre-check: {other}", replica.spec.id),
+            ));
+            return;
+        }
+    }
+    match push_reload(&replica.spec.addr, path, cfg.reload_timeout) {
+        Ok(epoch) => {
+            replica.ckpt_stamp = stamp;
+            replica.reload_pending = false;
+            report.reloads += 1;
+            events(Diagnostic::new(
+                wire::SEV_INFO,
+                wire::CODE_MODEL_RELOAD,
+                match epoch {
+                    Some(e) => format!(
+                        "replica {} reloaded {} (model epoch {e})",
+                        replica.spec.id,
+                        path.display()
+                    ),
+                    None => format!("replica {} reloaded {}", replica.spec.id, path.display()),
+                },
+            ));
+        }
+        Err(msg) => {
+            // Stays pending: retried on the next check interval.
+            events(Diagnostic::new(
+                wire::SEV_WARNING,
+                wire::CODE_MODEL_RELOAD,
+                format!(
+                    "replica {}: reload push failed ({msg}); will retry",
+                    replica.spec.id
+                ),
+            ));
+        }
+    }
+}
+
+/// One synchronous reload roundtrip: connect, send the command, read the
+/// ack. `Ok` carries the daemon's new model epoch when it reports one.
+fn push_reload(
+    addr: &str,
+    path: &std::path::Path,
+    timeout: Duration,
+) -> Result<Option<u64>, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| e.to_string())?
+        .next()
+        .ok_or_else(|| "address resolves to nothing".to_string())?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(|e| e.to_string())?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let req = wire::Request {
+        v: wire::WIRE_VERSION,
+        cmd: wire::CMD_RELOAD.to_string(),
+        path: path.display().to_string(),
+        ..wire::Request::default()
+    };
+    stream
+        .write_all(format!("{}\n", wire::encode(&req)).as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    let resp = wire::decode_response(&line)?;
+    match resp.error {
+        Some(err) => Err(err),
+        None => Ok(resp.model_epoch),
+    }
+}
+
 /// Integrity-check the replica's checkpoint and spawn it. A corrupt
 /// artifact quarantines instead of spawning; a spawn error charges the
 /// budget like a death.
@@ -335,7 +526,12 @@ fn step_spawn(
 ) {
     if let Some(path) = &replica.spec.checkpoint {
         match crate::checkpoint::read_checkpoint(path) {
-            Ok(_) => {}
+            Ok(_) => {
+                // What boots is what is on disk right now: the rolling
+                // reload watcher diffs against this stamp.
+                replica.ckpt_stamp = checkpoint_stamp(path);
+                replica.reload_pending = false;
+            }
             Err(BpmfError::Integrity(msg)) => {
                 replica.state = State::Quarantined;
                 report.quarantined += 1;
@@ -491,6 +687,8 @@ mod tests {
             startup_grace: Duration::from_millis(50),
             shutdown_grace: Duration::from_millis(500),
             poll_interval: Duration::from_millis(5),
+            reload_check_interval: Duration::from_millis(30),
+            reload_timeout: Duration::from_millis(500),
             seed: 7,
         }
     }
@@ -501,6 +699,7 @@ mod tests {
             addr: addr.to_string(),
             argv: vec!["/bin/sh".to_string(), "-c".to_string(), script.to_string()],
             checkpoint: None,
+            group: 0,
         }
     }
 
@@ -617,6 +816,155 @@ mod tests {
             events.iter().any(|d| d.detail.contains("health probes")),
             "{events:?}"
         );
+    }
+
+    /// A minimal checkpoint that passes every integrity and shape check.
+    fn write_tiny_checkpoint(path: &std::path::Path, iter: usize) {
+        use crate::checkpoint::{write_checkpoint_sync, FlatMat, RngState, SamplerCheckpoint};
+        use bpmf_linalg::Mat;
+        let ckpt = SamplerCheckpoint {
+            num_latent: 2,
+            iter,
+            acc_count: 0,
+            users: FlatMat::from_mat(&Mat::identity(2)),
+            movies: FlatMat::from_mat(&Mat::identity(2)),
+            users_mu: vec![0.0; 2],
+            users_lambda: FlatMat::from_mat(&Mat::identity(2)),
+            movies_mu: vec![0.0; 2],
+            movies_lambda: FlatMat::from_mat(&Mat::identity(2)),
+            hyper_rng: RngState {
+                words: [1, 2, 3, 4],
+                spare_normal: None,
+            },
+            worker_rngs: vec![],
+            predict_acc: vec![],
+            predict_sq_acc: vec![],
+            factor_acc: None,
+            factor_sq_acc: None,
+            user_link: None,
+            movie_link: None,
+            shard: None,
+        };
+        write_checkpoint_sync(path, &ckpt).unwrap();
+    }
+
+    /// A stand-in daemon: answers every protocol line (probe pings and
+    /// reload pushes alike) with a success reply carrying a model epoch.
+    fn answering_listener() -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            use std::io::{BufRead, BufReader, Write};
+            for _ in 0..256 {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                let mut line = String::new();
+                while matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+                    if stream
+                        .write_all(b"{\"v\":1,\"id\":0,\"model_epoch\":7}\n")
+                        .is_err()
+                    {
+                        break;
+                    }
+                    line.clear();
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn changed_checkpoints_roll_reloads_one_replica_per_group_at_a_time() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let ckpt_a = dir.join(format!("bpmf-sup-roll-a-{pid}.json"));
+        let ckpt_b = dir.join(format!("bpmf-sup-roll-b-{pid}.json"));
+        write_tiny_checkpoint(&ckpt_a, 0);
+        write_tiny_checkpoint(&ckpt_b, 0);
+        let (addr_a, srv_a) = answering_listener();
+        let (addr_b, srv_b) = answering_listener();
+        // Twins of one range: the rolling pass must push their reloads
+        // on separate check intervals, never in the same pass.
+        let mut rep_a = sh("g0-a", &addr_a, "exec sleep 30");
+        rep_a.checkpoint = Some(ckpt_a.clone());
+        let mut rep_b = sh("g0-b", &addr_b, "exec sleep 30");
+        rep_b.checkpoint = Some(ckpt_b.clone());
+        let cfg = SuperviseConfig {
+            startup_grace: Duration::from_millis(20),
+            ..fast_cfg()
+        };
+        // Publish fresher checkpoints before the fleet even boots: the
+        // spawn pre-check stamps what it loads, so only a *subsequent*
+        // change may trigger a reload. Rewrite after the first spawn
+        // events instead — run_until_done's stop_when gives us the hook.
+        let published = std::sync::atomic::AtomicBool::new(false);
+        let (report, events) = run_until_done(vec![rep_a, rep_b], cfg, |events| {
+            let spawned = events
+                .iter()
+                .filter(|d| d.detail.contains("spawned"))
+                .count();
+            if spawned >= 2 && !published.swap(true, Ordering::Relaxed) {
+                // Both replicas are up on epoch 0: drop new files.
+                write_tiny_checkpoint(&ckpt_a, 100);
+                write_tiny_checkpoint(&ckpt_b, 100);
+            }
+            events
+                .iter()
+                .filter(|d| d.code == wire::CODE_MODEL_RELOAD && d.severity == wire::SEV_INFO)
+                .count()
+                >= 2
+        });
+        assert_eq!(report.reloads, 2, "{report:?}\n{events:?}");
+        assert_eq!(report.quarantined, 0);
+        let reloaded: Vec<&Diagnostic> = events
+            .iter()
+            .filter(|d| d.code == wire::CODE_MODEL_RELOAD)
+            .collect();
+        assert!(reloaded.iter().all(|d| d.severity == wire::SEV_INFO));
+        assert!(reloaded.iter().any(|d| d.detail.contains("g0-a")));
+        assert!(reloaded.iter().any(|d| d.detail.contains("g0-b")));
+        assert!(
+            reloaded.iter().all(|d| d.detail.contains("model epoch 7")),
+            "push replies carry the daemon's epoch: {reloaded:?}"
+        );
+        let _ = std::fs::remove_file(&ckpt_a);
+        let _ = std::fs::remove_file(&ckpt_b);
+        drop((srv_a, srv_b));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_drop_is_never_pushed() {
+        let dir = std::env::temp_dir();
+        let ckpt = dir.join(format!("bpmf-sup-badroll-{}.json", std::process::id()));
+        write_tiny_checkpoint(&ckpt, 0);
+        let (addr, srv) = answering_listener();
+        let mut rep = sh("victim", &addr, "exec sleep 30");
+        rep.checkpoint = Some(ckpt.clone());
+        let cfg = SuperviseConfig {
+            startup_grace: Duration::from_millis(20),
+            ..fast_cfg()
+        };
+        let published = std::sync::atomic::AtomicBool::new(false);
+        let (report, events) = run_until_done(vec![rep], cfg, |events| {
+            if events.iter().any(|d| d.detail.contains("spawned"))
+                && !published.swap(true, Ordering::Relaxed)
+            {
+                // A torn write lands: plausible envelope, wrong CRC.
+                std::fs::write(&ckpt, "%BPMFCKPT crc32c=deadbeef len=2\n{}").unwrap();
+            }
+            events.iter().any(|d| {
+                d.code == wire::CODE_CORRUPT_ARTIFACT && d.detail.contains("refusing to push")
+            })
+        });
+        // Warned, did not push, did not quarantine the healthy replica.
+        assert_eq!(report.reloads, 0, "{report:?}\n{events:?}");
+        assert_eq!(report.quarantined, 0);
+        assert!(!events.iter().any(|d| d.code == wire::CODE_MODEL_RELOAD));
+        let _ = std::fs::remove_file(&ckpt);
+        drop(srv);
     }
 
     #[test]

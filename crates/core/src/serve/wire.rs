@@ -60,6 +60,14 @@ pub const CMD_HEALTH: &str = "health";
 /// Structured counter snapshot ([`StatsReport`]); the router aggregates
 /// across shards.
 pub const CMD_STATS: &str = "stats";
+/// Load and CRC-verify the checkpoint named by [`Request::path`], then
+/// swap it in as the served model without dropping in-flight requests.
+/// The ack carries the new [`Response::model_epoch`].
+pub const CMD_RELOAD: &str = "reload";
+/// Fold a brand-new user into the served posterior from the ratings in
+/// [`Request::ratings`] (one conjugate kernel call, item factors fixed)
+/// and rank for them — no retrain, no restart.
+pub const CMD_FOLD_IN: &str = "fold_in";
 
 /// The request could not be parsed or failed validation.
 pub const CODE_BAD_REQUEST: &str = "bad_request";
@@ -92,6 +100,13 @@ pub const CODE_CRASH_LOOP: &str = "crash_loop";
 /// An on-disk artifact (checkpoint or slab) failed integrity
 /// verification; the supervisor refuses to restart a replica onto it.
 pub const CODE_CORRUPT_ARTIFACT: &str = "corrupt_artifact";
+/// A [`CMD_RELOAD`] checkpoint's shard layout (range or shard count)
+/// disagrees with the running daemon's shard; swapping it in would
+/// silently change the served catalogue, so the reload is refused.
+pub const CODE_SHARD_MISMATCH: &str = "shard_mismatch";
+/// A model reload event (supervisor rolling-reload progress, or a
+/// router observing epoch skew *within* a replica group mid-reload).
+pub const CODE_MODEL_RELOAD: &str = "model_reload";
 
 /// Diagnostic severity: informational only.
 pub const SEV_INFO: &str = "info";
@@ -146,6 +161,12 @@ pub struct Request {
     /// Override the daemon's exclude-seen default for this request.
     #[serde(default)]
     pub exclude_seen: Option<bool>,
+    /// Checkpoint path for a [`CMD_RELOAD`] request (server-local).
+    #[serde(default)]
+    pub path: String,
+    /// Observed ratings for a [`CMD_FOLD_IN`] request.
+    #[serde(default)]
+    pub ratings: Vec<RatedItem>,
 }
 
 impl Request {
@@ -175,6 +196,15 @@ impl From<Recommendation> for RankedItem {
             score: r.score,
         }
     }
+}
+
+/// One observed rating inside a [`CMD_FOLD_IN`] request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RatedItem {
+    /// Item (movie) id, in the daemon's global catalogue numbering.
+    pub item: u32,
+    /// Observed rating value.
+    pub rating: f64,
 }
 
 /// One server reply line. `error` is `None` on success; on failure it
@@ -208,6 +238,14 @@ pub struct Response {
     /// Structured payload of a [`CMD_STATS`] reply.
     #[serde(default)]
     pub stats: Option<StatsReport>,
+    /// Folded-in user factors (length K) on a [`CMD_FOLD_IN`] reply.
+    #[serde(default)]
+    pub factors: Vec<f64>,
+    /// The served model epoch, on [`CMD_RELOAD`] acks (the epoch just
+    /// swapped in) and [`CMD_FOLD_IN`] replies (the epoch that computed
+    /// the fold-in).
+    #[serde(default)]
+    pub model_epoch: Option<u64>,
 }
 
 impl Response {
@@ -323,6 +361,12 @@ pub struct HealthReport {
     /// Which catalogue slice this process serves, when sharded.
     #[serde(default)]
     pub shard: Option<ShardSpec>,
+    /// Epoch of the *served model* (bumped by [`CMD_RELOAD`]; unlike
+    /// [`ShardSpec::epoch`], which pins the catalogue layout and stays
+    /// stable across reloads). The router reports the maximum across its
+    /// shards.
+    #[serde(default)]
+    pub model_epoch: u64,
     /// Findings, ordered worst-first by the emitter.
     #[serde(default)]
     pub diagnostics: Vec<Diagnostic>,
@@ -390,6 +434,15 @@ pub struct StatsReport {
     /// fault-injection drill is running).
     #[serde(default)]
     pub faults_injected: u64,
+    /// Epoch of the served model (see [`HealthReport::model_epoch`]).
+    #[serde(default)]
+    pub model_epoch: u64,
+    /// Live model swaps performed via [`CMD_RELOAD`] (daemon).
+    #[serde(default)]
+    pub reloads: u64,
+    /// Cold-start users answered via [`CMD_FOLD_IN`] (daemon).
+    #[serde(default)]
+    pub fold_ins: u64,
     /// Replica links configured across all ranges (router).
     #[serde(default)]
     pub replicas: u64,
@@ -436,6 +489,8 @@ mod tests {
             top_n: 5,
             policy: "ucb:0.5".to_string(),
             exclude_seen: Some(true),
+            path: String::new(),
+            ratings: Vec::new(),
         };
         let line = encode(&req);
         assert!(!line.contains('\n'), "one message, one line");
@@ -606,6 +661,69 @@ mod tests {
             (old.requests, old.failovers, old.retries, old.replicas),
             (5, 0, 0, 0)
         );
+    }
+
+    #[test]
+    fn reload_and_fold_in_payloads_roundtrip() {
+        // A reload request names a server-local checkpoint path.
+        let reload = Request {
+            v: WIRE_VERSION,
+            id: 3,
+            cmd: CMD_RELOAD.to_string(),
+            path: "/tmp/v2.json".to_string(),
+            ..Request::default()
+        };
+        let back = decode_request(&encode(&reload)).unwrap();
+        assert_eq!(back, reload);
+
+        // A fold-in request carries (item, rating) observations.
+        let fold = Request {
+            v: WIRE_VERSION,
+            id: 4,
+            cmd: CMD_FOLD_IN.to_string(),
+            top_n: 3,
+            ratings: vec![
+                RatedItem {
+                    item: 7,
+                    rating: 4.5,
+                },
+                RatedItem {
+                    item: 2,
+                    rating: 1.0,
+                },
+            ],
+            ..Request::default()
+        };
+        let back = decode_request(&encode(&fold)).unwrap();
+        assert_eq!(back.ratings, fold.ratings);
+
+        // The fold-in reply carries the folded factors and the model
+        // epoch that computed them, bit-exactly.
+        let reply = Response {
+            factors: vec![0.1 + 0.2, -1.5],
+            model_epoch: Some(6),
+            ..Response::ack(4)
+        };
+        let back = decode_response(&encode(&reply)).unwrap();
+        assert_eq!(back.factors[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.model_epoch, Some(6));
+    }
+
+    #[test]
+    fn pre_reload_payloads_still_parse() {
+        // A PR-9 request (no path/ratings on the wire) parses with the
+        // new fields defaulting to empty.
+        let old = decode_request("{\"v\":1,\"id\":1,\"cmd\":\"recommend\",\"user\":2}").unwrap();
+        assert_eq!((old.path.as_str(), old.ratings.len()), ("", 0));
+        // A PR-9 response (no factors/model_epoch) parses too.
+        let old = decode_response("{\"v\":1,\"id\":1,\"user\":2,\"items\":[]}").unwrap();
+        assert_eq!((old.factors.len(), old.model_epoch), (0, None));
+        // And a PR-9 health/stats payload defaults the epoch counters.
+        let old = decode_response("{\"id\":1,\"health\":{\"v\":1,\"role\":\"daemon\"}}").unwrap();
+        assert_eq!(old.health.unwrap().model_epoch, 0);
+        let old = decode_response("{\"id\":1,\"stats\":{\"v\":1,\"requests\":5}}").unwrap();
+        let s = old.stats.unwrap();
+        assert_eq!((s.model_epoch, s.reloads, s.fold_ins), (0, 0, 0));
     }
 
     #[test]

@@ -1,0 +1,787 @@
+//! Live-model integration: the swappable `ModelHandle` end to end.
+//!
+//! Four guarantees under test:
+//! * cold-start fold-in is exactly the `update.rs` conjugate kernel
+//!   (≤1e-12 against a hand-built reference) and bit-identical whether
+//!   the chain trained in RAM or off an mmap'd slab;
+//! * a `reload` under concurrent traffic drops zero requests and every
+//!   in-flight reply is bit-identical to *exactly one* of {old model,
+//!   new model} — never a blend;
+//! * a `reload` whose checkpoint disagrees with the running daemon's
+//!   shard layout (or fails its CRC) is refused with a typed error and
+//!   the served model is untouched;
+//! * warm-start: a Gibbs chain resumes from a served checkpoint over a
+//!   rating matrix with *new* observations folded in.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bpmf::checkpoint::{write_checkpoint_sync, FlatMat, RngState, SamplerCheckpoint};
+use bpmf::serve::daemon::{self, DaemonConfig, ReloadContext, ServingModel};
+use bpmf::serve::shard::ShardSpec;
+use bpmf::serve::{wire, RankPolicy, RecommendService};
+use bpmf::{
+    fold_in_mean, BpmfConfig, EngineKind, GibbsSampler, MappedSlab, ModelHandle, PosteriorModel,
+    Recommender, SidePrior, TrainData, UpdateScratch,
+};
+use bpmf_dataset::chembl_like;
+use bpmf_linalg::{Cholesky, Mat};
+use bpmf_sparse::{slab_extents, write_slab, Coo, Csr};
+use bpmf_stats::{normal, Xoshiro256pp};
+
+const N_USERS: usize = 24;
+const N_ITEMS: usize = 48;
+const K: usize = 4;
+const TOP: usize = 5;
+const GLOBAL_MEAN: f64 = 3.3;
+const BOUNDS: Option<(f64, f64)> = Some((0.5, 5.0));
+const ALPHA: f64 = 2.0;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bpmf-live-reload-{}-{tag}", std::process::id()))
+}
+
+/// A complete synthetic checkpoint whose served model is deterministic in
+/// `seed` (current-sample fallback: no accumulators, so `from_checkpoint`
+/// serves `users`/`movies` directly).
+fn ckpt_fixture(seed: u64, iter: usize) -> SamplerCheckpoint {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let users = Mat::from_fn(N_USERS, K, |_, _| normal(&mut rng, 0.0, 0.4));
+    let movies = Mat::from_fn(N_ITEMS, K, |_, _| normal(&mut rng, 0.0, 0.4));
+    let mut lambda = Mat::identity(K);
+    for d in 0..K {
+        lambda[(d, d)] = 1.5 + d as f64 * 0.25;
+    }
+    SamplerCheckpoint {
+        num_latent: K,
+        iter,
+        acc_count: 0,
+        users: FlatMat::from_mat(&users),
+        movies: FlatMat::from_mat(&movies),
+        users_mu: vec![0.1; K],
+        users_lambda: FlatMat::from_mat(&lambda),
+        movies_mu: vec![0.0; K],
+        movies_lambda: FlatMat::from_mat(&Mat::identity(K)),
+        hyper_rng: RngState {
+            words: [seed, 2, 3, 4],
+            spare_normal: None,
+        },
+        worker_rngs: vec![RngState {
+            words: [5, 6, 7, seed],
+            spare_normal: None,
+        }],
+        predict_acc: Vec::new(),
+        predict_sq_acc: Vec::new(),
+        factor_acc: None,
+        factor_sq_acc: None,
+        user_link: None,
+        movie_link: None,
+        shard: None,
+    }
+}
+
+fn served_model(ckpt: &SamplerCheckpoint) -> PosteriorModel {
+    PosteriorModel::from_checkpoint(ckpt, GLOBAL_MEAN, BOUNDS, ALPHA).expect("valid checkpoint")
+}
+
+/// The offline reference ranking the daemon must reproduce bit-for-bit.
+///
+/// Scores go through [`RecommendService::recommend_each`] — the daemon's
+/// batch path (`Recommender::score_block`, the register-tiled GEMM) —
+/// because its results are independent of batch composition, while the
+/// single-user `top_n` scan re-associates sums differently and can land
+/// an ULP away.
+fn reference_top_n(model: &PosteriorModel, user: usize) -> Vec<(u32, u64)> {
+    let req = bpmf::serve::ServeRequest {
+        user: user as u32,
+        top_n: TOP,
+        policy: RankPolicy::Mean,
+        exclude_seen: false,
+    };
+    RecommendService::new(model, N_ITEMS)
+        .recommend_each(&[req])
+        .remove(0)
+        .into_iter()
+        .map(|r| (r.item, r.score.to_bits()))
+        .collect()
+}
+
+fn round_trip(addr: SocketAddr, req: &wire::Request) -> wire::Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writeln!(writer, "{}", wire::encode(req)).expect("send");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("reply");
+    wire::decode_response(&line).expect("decode")
+}
+
+fn recommend_req(id: u64, user: u32) -> wire::Request {
+    wire::Request {
+        v: wire::WIRE_VERSION,
+        id,
+        cmd: wire::CMD_RECOMMEND.to_string(),
+        user: Some(user),
+        top_n: TOP,
+        policy: "mean".to_string(),
+        exclude_seen: Some(false),
+        ..wire::Request::default()
+    }
+}
+
+fn reload_req(path: &std::path::Path) -> wire::Request {
+    wire::Request {
+        v: wire::WIRE_VERSION,
+        cmd: wire::CMD_RELOAD.to_string(),
+        path: path.display().to_string(),
+        ..wire::Request::default()
+    }
+}
+
+/// The bit-identity the reload test leans on: a checkpoint written to
+/// disk and read back rebuilds a model whose served scores are the same
+/// bits, across instances and regardless of batch composition.
+#[test]
+fn checkpoint_round_trip_and_batch_composition_preserve_served_bits() {
+    let v2 = ckpt_fixture(2, 200);
+    let p = temp_path("probe.ckpt");
+    write_checkpoint_sync(&p, &v2).expect("write");
+    let back = bpmf::checkpoint::read_checkpoint(&p).expect("read");
+    assert_eq!(
+        v2.movies
+            .data
+            .iter()
+            .map(|f| f.to_bits())
+            .collect::<Vec<_>>(),
+        back.movies
+            .data
+            .iter()
+            .map(|f| f.to_bits())
+            .collect::<Vec<_>>(),
+        "movies data round-trip"
+    );
+    assert_eq!(
+        v2.users
+            .data
+            .iter()
+            .map(|f| f.to_bits())
+            .collect::<Vec<_>>(),
+        back.users
+            .data
+            .iter()
+            .map(|f| f.to_bits())
+            .collect::<Vec<_>>(),
+        "users data round-trip"
+    );
+    let a = served_model(&v2);
+    let b = served_model(&v2);
+    let c = served_model(&back);
+    for u in 0..N_USERS {
+        assert_eq!(
+            reference_top_n(&a, u),
+            reference_top_n(&b, u),
+            "u{u} a-vs-b"
+        );
+        assert_eq!(
+            reference_top_n(&a, u),
+            reference_top_n(&c, u),
+            "u{u} a-vs-disk"
+        );
+    }
+    // A full-fleet batch serves every user the same bits as a batch of one.
+    let mut svc = RecommendService::new(&a, N_ITEMS);
+    let reqs: Vec<bpmf::serve::ServeRequest> = (0..N_USERS as u32)
+        .map(|u| bpmf::serve::ServeRequest {
+            user: u,
+            top_n: TOP,
+            policy: RankPolicy::Mean,
+            exclude_seen: false,
+        })
+        .collect();
+    let lists = svc.recommend_each(&reqs);
+    for (u, list) in lists.iter().enumerate() {
+        let batch: Vec<(u32, u64)> = list.iter().map(|r| (r.item, r.score.to_bits())).collect();
+        assert_eq!(batch, reference_top_n(&a, u), "u{u} batch-vs-single");
+    }
+    let _ = std::fs::remove_file(&p);
+}
+
+// ---------------------------------------------------------------------------
+// Fold-in: kernel parity and store independence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fold_in_matches_the_update_kernel_reference() {
+    let mut rng = Xoshiro256pp::seed_from_u64(41);
+    let u = Mat::from_fn(N_USERS, K, |_, _| normal(&mut rng, 0.0, 0.5));
+    let v = Mat::from_fn(N_ITEMS, K, |_, _| normal(&mut rng, 0.0, 0.5));
+    // A dense SPD precision, not just a scaled identity, so the parity
+    // check exercises the full Cholesky solve.
+    let a = Mat::from_fn(K, K, |_, _| normal(&mut rng, 0.0, 0.6));
+    let mut lambda = Mat::identity(K);
+    for i in 0..K {
+        for j in 0..K {
+            let mut s = 0.0;
+            for l in 0..K {
+                s += a[(i, l)] * a[(j, l)];
+            }
+            lambda[(i, j)] = s + if i == j { 1.0 } else { 0.0 };
+        }
+    }
+    let mu: Vec<f64> = (0..K).map(|d| 0.2 - 0.1 * d as f64).collect();
+
+    let model = PosteriorModel::from_factors(u, v.clone(), None, GLOBAL_MEAN, BOUNDS, 0)
+        .with_user_prior(mu.clone(), lambda.clone(), ALPHA);
+    let items: Vec<u32> = vec![0, 3, 17, 40];
+    let ratings: Vec<f64> = vec![4.0, 2.5, 5.0, 1.0];
+    let fold = model
+        .fold_in_user(&items, &ratings)
+        .expect("prior attached");
+
+    // Reference: one direct update.rs kernel call with item factors fixed.
+    let lambda_mu = lambda.matvec(&mu);
+    let chol = Cholesky::factor(&lambda).expect("SPD prior");
+    let side = SidePrior {
+        lambda: &lambda,
+        lambda_mu: &lambda_mu,
+        chol_lambda: &chol,
+        alpha: ALPHA,
+        mean_offset: GLOBAL_MEAN,
+    };
+    let mut scratch = UpdateScratch::new(K);
+    let mut want = vec![0.0; K];
+    fold_in_mean(&side, (&items, &ratings), &v, &mut scratch, &mut want);
+
+    assert_eq!(fold.factors.len(), K);
+    for (got, want) in fold.factors.iter().zip(&want) {
+        assert!(
+            (got - want).abs() <= 1e-12,
+            "fold-in factors diverged from the update.rs reference: {got} vs {want}"
+        );
+    }
+    // Scores are the folded factors against every catalogue column, with
+    // the global mean and rating clamp applied.
+    assert_eq!(fold.scores.len(), N_ITEMS);
+    let (lo, hi) = BOUNDS.unwrap();
+    for (m, &score) in fold.scores.iter().enumerate() {
+        let dot: f64 = (0..K).map(|d| want[d] * v[(m, d)]).sum();
+        let expect = (GLOBAL_MEAN + dot).clamp(lo, hi);
+        assert!(
+            (score - expect).abs() <= 1e-12,
+            "score {m}: {score} vs {expect}"
+        );
+    }
+    // Deterministic: a pure function of (model, ratings).
+    let again = model.fold_in_user(&items, &ratings).unwrap();
+    assert_eq!(
+        fold.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        again
+            .factors
+            .iter()
+            .map(|f| f.to_bits())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fold_in_is_bit_identical_across_rating_stores() {
+    let ds = chembl_like(0.003, 31);
+    let slab_path = temp_path("stores.slab");
+    {
+        let extents = slab_extents(&ds.train, 3);
+        let file = std::fs::File::create(&slab_path).expect("create slab");
+        let mut w = std::io::BufWriter::new(file);
+        write_slab(&mut w, &ds.train, &ds.train_t, ds.global_mean, &extents).expect("write slab");
+    }
+    let slab = MappedSlab::open(&slab_path).expect("open slab");
+
+    let cfg = BpmfConfig {
+        num_latent: 6,
+        burnin: 2,
+        samples: 4,
+        seed: 99,
+        kernel_threads: 1,
+        rating_bounds: Some((0.0, 10.0)),
+        ..Default::default()
+    };
+    let runner = EngineKind::Static.build(1);
+
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut in_ram = GibbsSampler::new(cfg.clone(), data);
+    in_ram.run(runner.as_ref(), cfg.iterations());
+    let ram_model = PosteriorModel::from_sampler(&in_ram);
+
+    let (sr, srt) = (slab.r(), slab.rt());
+    let data = TrainData::new(&sr, &srt, slab.global_mean(), &ds.test);
+    let mut off_core = GibbsSampler::new(cfg.clone(), data);
+    off_core.run(runner.as_ref(), cfg.iterations());
+    let slab_model = PosteriorModel::from_sampler(&off_core);
+
+    let items: Vec<u32> = vec![0, 2, 5];
+    let ratings: Vec<f64> = vec![6.5, 4.0, 7.5];
+    let a = ram_model.fold_in_user(&items, &ratings).expect("fold in");
+    let b = slab_model.fold_in_user(&items, &ratings).expect("fold in");
+    assert_eq!(
+        a.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        b.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        "slab-trained fold-in factors must be bit-identical to in-RAM"
+    );
+    assert_eq!(
+        a.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        b.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        "slab-trained fold-in scores must be bit-identical to in-RAM"
+    );
+
+    drop(slab);
+    let _ = std::fs::remove_file(&slab_path);
+}
+
+// ---------------------------------------------------------------------------
+// Reload under traffic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reload_under_traffic_serves_exactly_old_or_new_and_drops_nothing() {
+    let v1 = ckpt_fixture(1, 100);
+    let v2 = ckpt_fixture(2, 200);
+    let v2_path = temp_path("v2.ckpt");
+    write_checkpoint_sync(&v2_path, &v2).expect("write v2");
+
+    let model_v1 = served_model(&v1);
+    let model_v2 = served_model(&v2);
+    let want_v1: Vec<Vec<(u32, u64)>> = (0..N_USERS)
+        .map(|u| reference_top_n(&model_v1, u))
+        .collect();
+    let want_v2: Vec<Vec<(u32, u64)>> = (0..N_USERS)
+        .map(|u| reference_top_n(&model_v2, u))
+        .collect();
+
+    let world = ServingModel {
+        model: ModelHandle::new(Arc::new(served_model(&v1)), v1.iter as u64),
+        train: None,
+        n_users: N_USERS,
+        n_items: N_ITEMS,
+        shard: None,
+        reload: Some(ReloadContext {
+            global_mean: GLOBAL_MEAN,
+            rating_bounds: BOUNDS,
+            alpha: ALPHA,
+        }),
+    };
+    let cfg = DaemonConfig {
+        workers: 2,
+        default_top_n: TOP,
+        ..DaemonConfig::default()
+    };
+    let shutdown = AtomicBool::new(false);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let report = std::thread::scope(|s| {
+        let daemon_handle = s.spawn(|| daemon::serve(&world, listener, &cfg, &shutdown));
+        struct StopOnDrop<'a>(&'a AtomicBool);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+        let _guard = StopOnDrop(&shutdown);
+
+        // 4 concurrent clients hammer the daemon across the swap; each
+        // records every reply for post-hoc validation.
+        const CLIENTS: usize = 4;
+        const REQUESTS: usize = 60;
+        type ClientReplies = Vec<(u32, Vec<(u32, u64)>)>;
+        let replies: Vec<ClientReplies> = std::thread::scope(|cs| {
+            let reload_handle = cs.spawn(|| {
+                // Let traffic get in flight first, then swap mid-stream.
+                std::thread::sleep(Duration::from_millis(20));
+                let resp = round_trip(addr, &reload_req(&v2_path));
+                assert_eq!(resp.error, None, "reload must succeed: {:?}", resp.error);
+                assert_eq!(
+                    resp.model_epoch,
+                    Some(200),
+                    "reload reply carries the new epoch"
+                );
+            });
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    cs.spawn(move || {
+                        let mut seen = Vec::with_capacity(REQUESTS);
+                        for i in 0..REQUESTS {
+                            let user = ((c * 7 + i) % N_USERS) as u32;
+                            let resp = round_trip(addr, &recommend_req(i as u64, user));
+                            assert_eq!(
+                                resp.error, None,
+                                "zero client-visible failures across the swap"
+                            );
+                            let items: Vec<(u32, u64)> = resp
+                                .items
+                                .iter()
+                                .map(|r| (r.item, r.score.to_bits()))
+                                .collect();
+                            seen.push((user, items));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            reload_handle.join().expect("reload thread");
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Every reply matches exactly one full model version, bit for bit.
+        let mut from_v2 = 0usize;
+        for (user, items) in replies.iter().flatten() {
+            let u = *user as usize;
+            let is_v1 = items == &want_v1[u];
+            let is_v2 = items == &want_v2[u];
+            assert!(
+                is_v1 || is_v2,
+                "user {user}: reply matches neither the old nor the new model\n  got: {items:?}\n  v1:  {:?}\n  v2:  {:?}",
+                want_v1[u],
+                want_v2[u]
+            );
+            if is_v2 {
+                from_v2 += 1;
+            }
+        }
+        assert!(
+            from_v2 > 0,
+            "the swap landed mid-run; some replies serve v2"
+        );
+
+        // After the acknowledged swap, *every* new request serves v2 and
+        // the reports say so.
+        for user in 0..4u32 {
+            let resp = round_trip(addr, &recommend_req(1000 + u64::from(user), user));
+            let items: Vec<(u32, u64)> = resp
+                .items
+                .iter()
+                .map(|r| (r.item, r.score.to_bits()))
+                .collect();
+            assert_eq!(items, want_v2[user as usize], "post-ack replies are v2");
+        }
+        let health = round_trip(
+            addr,
+            &wire::Request {
+                v: wire::WIRE_VERSION,
+                cmd: wire::CMD_HEALTH.to_string(),
+                ..wire::Request::default()
+            },
+        )
+        .health
+        .expect("health report");
+        assert_eq!(health.model_epoch, 200, "health reports the served epoch");
+        let stats = round_trip(
+            addr,
+            &wire::Request {
+                v: wire::WIRE_VERSION,
+                cmd: wire::CMD_STATS.to_string(),
+                ..wire::Request::default()
+            },
+        )
+        .stats
+        .expect("stats report");
+        assert_eq!((stats.model_epoch, stats.reloads), (200, 1));
+
+        shutdown.store(true, Ordering::Relaxed);
+        daemon_handle
+            .join()
+            .expect("daemon thread")
+            .expect("daemon io")
+    });
+    assert_eq!(report.reloads, 1);
+    let _ = std::fs::remove_file(&v2_path);
+}
+
+// ---------------------------------------------------------------------------
+// Reload refusals
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reload_rejects_mismatched_or_damaged_checkpoints() {
+    let v1 = ckpt_fixture(1, 100);
+    let world = ServingModel {
+        model: ModelHandle::new(Arc::new(served_model(&v1)), v1.iter as u64),
+        train: None,
+        n_users: N_USERS,
+        n_items: N_ITEMS,
+        shard: None,
+        reload: Some(ReloadContext {
+            global_mean: GLOBAL_MEAN,
+            rating_bounds: BOUNDS,
+            alpha: ALPHA,
+        }),
+    };
+    let baseline = reference_top_n(&served_model(&v1), 3);
+
+    // A checkpoint stamped for a shard, pushed at an unsharded daemon.
+    let mut sharded = ckpt_fixture(3, 300);
+    sharded.shard = Some(ShardSpec::for_shard(0, 2, N_ITEMS, 1));
+    let sharded_path = temp_path("sharded.ckpt");
+    write_checkpoint_sync(&sharded_path, &sharded).expect("write");
+
+    // A whole-catalogue checkpoint of the wrong width.
+    let mut narrow = ckpt_fixture(4, 400);
+    narrow.movies = FlatMat::from_mat(&Mat::identity(K)); // K items, not N_ITEMS
+    let narrow_path = temp_path("narrow.ckpt");
+    write_checkpoint_sync(&narrow_path, &narrow).expect("write");
+
+    // A CRC-violating drop.
+    let corrupt_path = temp_path("corrupt.ckpt");
+    std::fs::write(&corrupt_path, "%BPMFCKPT crc32c=deadbeef len=2\n{}\n").expect("write");
+
+    let shutdown = AtomicBool::new(false);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|s| {
+        let handle =
+            s.spawn(|| daemon::serve(&world, listener, &DaemonConfig::default(), &shutdown));
+
+        for (path, code) in [
+            (&sharded_path, wire::CODE_SHARD_MISMATCH),
+            (&narrow_path, wire::CODE_SHARD_MISMATCH),
+            (&corrupt_path, wire::CODE_CORRUPT_ARTIFACT),
+        ] {
+            let resp = round_trip(addr, &reload_req(path));
+            assert!(resp.error.is_some(), "{} must be refused", path.display());
+            assert_eq!(resp.code.as_deref(), Some(code), "{}", path.display());
+        }
+        // A missing file is a refusal too (no typed integrity class).
+        let resp = round_trip(addr, &reload_req(&temp_path("missing.ckpt")));
+        assert!(resp.error.is_some());
+
+        // The served model never budged: same epoch, same rankings.
+        let resp = round_trip(addr, &recommend_req(1, 3));
+        let items: Vec<(u32, u64)> = resp
+            .items
+            .iter()
+            .map(|r| (r.item, r.score.to_bits()))
+            .collect();
+        assert_eq!(items, baseline, "refused reloads leave the model untouched");
+        let health = round_trip(
+            addr,
+            &wire::Request {
+                v: wire::WIRE_VERSION,
+                cmd: wire::CMD_HEALTH.to_string(),
+                ..wire::Request::default()
+            },
+        )
+        .health
+        .expect("health");
+        assert_eq!(health.model_epoch, 100);
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().expect("daemon thread").expect("daemon io");
+    });
+    for p in [&sharded_path, &narrow_path, &corrupt_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn daemon_without_reload_context_refuses_reloads_and_fold_in_needs_a_prior() {
+    let v1 = ckpt_fixture(1, 100);
+    let v1_path = temp_path("ctxless.ckpt");
+    write_checkpoint_sync(&v1_path, &v1).expect("write");
+    // No ReloadContext, and a model without a user prior: both live
+    // surfaces must refuse with typed errors rather than serve garbage.
+    let bare = PosteriorModel::from_factors(
+        v1.users.to_mat(),
+        v1.movies.to_mat(),
+        None,
+        GLOBAL_MEAN,
+        BOUNDS,
+        0,
+    );
+    let world = ServingModel {
+        model: ModelHandle::new(Arc::new(bare), 1),
+        train: None,
+        n_users: N_USERS,
+        n_items: N_ITEMS,
+        shard: None,
+        reload: None,
+    };
+    let shutdown = AtomicBool::new(false);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|s| {
+        let handle =
+            s.spawn(|| daemon::serve(&world, listener, &DaemonConfig::default(), &shutdown));
+
+        let resp = round_trip(addr, &reload_req(&v1_path));
+        assert!(resp.error.is_some(), "reload without context is refused");
+
+        let resp = round_trip(
+            addr,
+            &wire::Request {
+                v: wire::WIRE_VERSION,
+                cmd: wire::CMD_FOLD_IN.to_string(),
+                ratings: vec![wire::RatedItem {
+                    item: 0,
+                    rating: 4.0,
+                }],
+                top_n: TOP,
+                ..wire::Request::default()
+            },
+        );
+        assert!(
+            resp.error.is_some(),
+            "fold-in without a user prior is refused"
+        );
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().expect("daemon thread").expect("daemon io");
+    });
+    let _ = std::fs::remove_file(&v1_path);
+}
+
+// ---------------------------------------------------------------------------
+// Fold-in over the wire
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wire_fold_in_matches_the_library_call() {
+    let v1 = ckpt_fixture(1, 100);
+    let model = served_model(&v1);
+    let items: Vec<u32> = vec![1, 9, 30];
+    let ratings: Vec<f64> = vec![4.5, 2.0, 3.5];
+    let fold = model
+        .fold_in_user(&items, &ratings)
+        .expect("prior attached");
+    // The daemon's ranking of the fold-in scores: best-first, ties to the
+    // lower item id, truncated to top_n.
+    let mut want: Vec<(u32, f64)> = fold
+        .scores
+        .iter()
+        .enumerate()
+        .map(|(m, &s)| (m as u32, s))
+        .collect();
+    want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    want.truncate(TOP);
+
+    let world = ServingModel {
+        model: ModelHandle::new(Arc::new(served_model(&v1)), v1.iter as u64),
+        train: None,
+        n_users: N_USERS,
+        n_items: N_ITEMS,
+        shard: None,
+        reload: None,
+    };
+    let shutdown = AtomicBool::new(false);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|s| {
+        let handle =
+            s.spawn(|| daemon::serve(&world, listener, &DaemonConfig::default(), &shutdown));
+
+        let resp = round_trip(
+            addr,
+            &wire::Request {
+                v: wire::WIRE_VERSION,
+                id: 7,
+                cmd: wire::CMD_FOLD_IN.to_string(),
+                ratings: items
+                    .iter()
+                    .zip(&ratings)
+                    .map(|(&item, &rating)| wire::RatedItem { item, rating })
+                    .collect(),
+                top_n: TOP,
+                ..wire::Request::default()
+            },
+        );
+        assert_eq!(resp.error, None, "fold-in succeeds");
+        assert_eq!(resp.id, 7);
+        assert_eq!(resp.model_epoch, Some(100), "reply names the model it used");
+        assert_eq!(
+            resp.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            fold.factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "wire factors are the library factors, bit for bit"
+        );
+        assert_eq!(resp.items.len(), want.len());
+        for (got, want) in resp.items.iter().zip(&want) {
+            assert_eq!(got.item, want.0);
+            assert_eq!(got.score.to_bits(), want.1.to_bits());
+        }
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().expect("daemon thread").expect("daemon io");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start: resume a chain from a served posterior plus rating deltas
+// ---------------------------------------------------------------------------
+
+#[test]
+fn warm_start_resumes_the_served_chain_over_new_ratings() {
+    let ds = chembl_like(0.003, 17);
+    let runner = EngineKind::Static.build(1);
+    let cfg = BpmfConfig {
+        num_latent: 5,
+        burnin: 1,
+        samples: 5,
+        seed: 13,
+        kernel_threads: 1,
+        ..Default::default()
+    };
+
+    // v1: the chain a daemon would be serving.
+    let data = TrainData::new(&ds.train, &ds.train_t, ds.global_mean, &ds.test);
+    let mut first = GibbsSampler::new(cfg.clone(), data);
+    first.run(runner.as_ref(), 3);
+    let ckpt = first.checkpoint();
+
+    // Rating deltas: the observations that arrived since v1 trained
+    // (same user/item universe, more non-zeros).
+    let (ptr, cols, vals) = ds.train.raw_parts();
+    let mut coo = Coo::new(ds.train.nrows(), ds.train.ncols());
+    for row in 0..ds.train.nrows() {
+        for idx in ptr[row]..ptr[row + 1] {
+            coo.push(row, cols[idx] as usize, vals[idx]);
+        }
+    }
+    let fresh = [(1usize, 1usize, 7.0f64), (2, 4, 5.5), (4, 0, 6.0)];
+    for &(u, m, r) in &fresh {
+        coo.push(u, m, r);
+    }
+    let train2 = Csr::from_coo_owned(coo);
+    let train2_t = train2.transpose();
+    assert!(train2.nnz() > ds.train.nnz(), "deltas actually folded in");
+
+    // v2: resume the *same* chain over the grown matrix.
+    let data = TrainData::new(&train2, &train2_t, ds.global_mean, &ds.test);
+    let mut resumed = GibbsSampler::resume(cfg, data, &ckpt);
+    assert_eq!(resumed.iterations_done(), 3);
+    let report = resumed.run(runner.as_ref(), 3);
+    assert_eq!(resumed.iterations_done(), 6);
+    assert!(report.final_rmse().is_finite());
+
+    // The resumed posterior is servable and differs from v1 (the deltas
+    // moved it), and its checkpoint round-trips into a reload-able model.
+    let v2 = PosteriorModel::from_sampler(&resumed);
+    let v1_model = PosteriorModel::from_sampler(&first);
+    let moved = (0..ds.train.ncols())
+        .any(|m| v2.predict(1, m).to_bits() != v1_model.predict(1, m).to_bits());
+    assert!(
+        moved,
+        "warm-start training must actually update the posterior"
+    );
+    let ckpt2 = resumed.checkpoint();
+    let reloaded =
+        PosteriorModel::from_checkpoint(&ckpt2, ds.global_mean, None, 2.0).expect("servable");
+    for m in 0..ds.train.ncols().min(8) {
+        assert_eq!(
+            reloaded.predict(1, m).to_bits(),
+            v2.predict(1, m).to_bits(),
+            "checkpoint-rebuilt model scores bit-identically to the live chain"
+        );
+    }
+}

@@ -47,11 +47,12 @@ fn world_fixture() -> (PosteriorModel, Csr) {
 fn with_daemon(cfg: DaemonConfig, f: impl FnOnce(SocketAddr)) -> DaemonReport {
     let (model, train) = world_fixture();
     let world = ServingModel {
-        model: &model,
+        model: bpmf::ModelHandle::new(std::sync::Arc::new(model), 1),
         train: Some(&train),
         n_users: N_USERS,
         n_items: N_ITEMS,
         shard: None,
+        reload: None,
     };
     let shutdown = AtomicBool::new(false);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
@@ -172,6 +173,7 @@ fn concurrent_clients_match_offline_top_n_for_every_policy() {
                                 policy: name.to_string(),
                                 exclude_seen: Some(*exclude),
                                 v: wire::WIRE_VERSION,
+                                ..wire::Request::default()
                             },
                         )
                     })
@@ -365,13 +367,13 @@ fn panicking_scorer_cannot_wedge_the_daemon() {
         }
     }
 
-    let model = PanickyModel;
     let world = ServingModel {
-        model: &model,
+        model: bpmf::ModelHandle::new(std::sync::Arc::new(PanickyModel), 1),
         train: None,
         n_users: 8,
         n_items: 4,
         shard: None,
+        reload: None,
     };
     let cfg = DaemonConfig::default();
     let shutdown = AtomicBool::new(false);

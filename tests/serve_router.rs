@@ -120,13 +120,20 @@ fn with_replicated_cluster(
 ) -> RouterReport {
     let num_ranges = group_epochs.len();
     let (model, train) = world_fixture();
+    let model = std::sync::Arc::new(model);
     // One catalogue slice per *range*; replicas of a range share it.
     let range_specs: Vec<ShardSpec> = (0..num_ranges)
         .map(|g| ShardSpec::for_shard(g as u32, num_ranges as u32, N_ITEMS, 0))
         .collect();
-    let views: Vec<ShardView<'_>> = range_specs
+    let views: Vec<std::sync::Arc<ShardView>> = range_specs
         .iter()
-        .map(|s| ShardView::new(&model, s.item_lo as usize, s.item_hi as usize))
+        .map(|s| {
+            std::sync::Arc::new(ShardView::new(
+                model.clone(),
+                s.item_lo as usize,
+                s.item_hi as usize,
+            ))
+        })
         .collect();
     let trains: Vec<Csr> = range_specs
         .iter()
@@ -138,7 +145,7 @@ fn with_replicated_cluster(
         .map(|(g, eps)| {
             eps.iter()
                 .map(|&epoch| ServingModel {
-                    model: &views[g],
+                    model: bpmf::ModelHandle::new(views[g].clone(), epoch),
                     train: Some(&trains[g]),
                     n_users: N_USERS,
                     n_items: range_specs[g].width(),
@@ -146,6 +153,7 @@ fn with_replicated_cluster(
                         epoch,
                         ..range_specs[g]
                     }),
+                    reload: None,
                 })
                 .collect()
         })
@@ -276,7 +284,7 @@ fn sharded_scoring_merges_to_the_full_ranking_bit_for_bit() {
                 for num_shards in [1usize, 2, 3, 4, 6] {
                     let mut parts: Vec<Vec<wire::RankedItem>> = Vec::new();
                     for (lo, hi) in shard_ranges(N_ITEMS, num_shards) {
-                        let view = ShardView::new(&model, lo, hi);
+                        let view = ShardView::new(std::sync::Arc::new(model.clone()), lo, hi);
                         let local = slice_train_columns(&train, lo, hi);
                         let mut svc = RecommendService::new(&view, hi - lo)
                             .exclude_seen(&local)
@@ -353,11 +361,12 @@ fn router_replies_match_the_single_process_daemon_bit_for_bit() {
     // The single-process reference daemon over the whole catalogue.
     let (model, train) = world_fixture();
     let full_world = ServingModel {
-        model: &model,
+        model: bpmf::ModelHandle::new(std::sync::Arc::new(model), 1),
         train: Some(&train),
         n_users: N_USERS,
         n_items: N_ITEMS,
         shard: None,
+        reload: None,
     };
     let full_stop = AtomicBool::new(false);
     let full_listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -398,6 +407,7 @@ fn router_replies_match_the_single_process_daemon_bit_for_bit() {
                             top_n: 7,
                             policy: name.to_string(),
                             exclude_seen: Some(exclude_seen),
+                            ..wire::Request::default()
                         };
                         let want = round_trip(full_addr, &req);
                         let got = round_trip(router, &req);
@@ -659,6 +669,7 @@ fn killed_replica_fails_over_with_zero_client_errors() {
                     top_n: 7,
                     policy: "ucb:0.5".to_string(),
                     exclude_seen: Some(true),
+                    ..wire::Request::default()
                 };
                 writeln!(stream, "{}", wire::encode(&req)).expect("pipeline request");
                 if i == 10 {
